@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures and result persistence.
+
+Every benchmark regenerates one of the paper's tables/figures, asserts
+its shape claims, and drops the rendered table under
+``benchmarks/results/`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves a complete, human-readable reproduction
+record behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist an ExperimentResult's rendering under benchmarks/results/."""
+
+    def _record(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        safe_id = result.experiment_id.replace("+", "_")
+        (RESULTS_DIR / f"{safe_id}.txt").write_text(result.render() + "\n")
+
+    return _record

@@ -1,0 +1,79 @@
+"""Ablation: how the number of kept rules k affects the guessing error.
+
+Eq. 1's 85% heuristic is the paper's only cutoff; this bench sweeps k
+explicitly on the `nba` data to show the accuracy/complexity trade-off:
+the guessing error falls steeply for the first rules, then flattens --
+which is exactly why an energy heuristic works.  Also compares the
+named policies (paper / scree / kaiser).
+"""
+
+import pytest
+
+from repro.core.guessing_error import single_hole_error
+from repro.core.model import RatioRuleModel
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def nba_split():
+    dataset = load_dataset("nba", seed=0)
+    return dataset.train_test_split(0.1, seed=0)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 6, 12])
+def test_ge1_vs_k(benchmark, nba_split, k):
+    train, test = nba_split
+
+    def evaluate():
+        model = RatioRuleModel(cutoff=k).fit(train.matrix)
+        return single_hole_error(model, test.matrix).value
+
+    ge1 = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    assert ge1 > 0
+    # The trade-off this ablation documents: keeping (nearly) all rules
+    # makes hole filling an exact interpolation of the remaining cells,
+    # which fits the noise instead of the structure -- the guessing
+    # error *explodes* at full rank.  That is why Eq. 1's energy cutoff
+    # is load-bearing, not cosmetic.
+    if k == 12:
+        model1 = RatioRuleModel(cutoff=1).fit(train.matrix)
+        baseline = single_hole_error(model1, test.matrix).value
+        assert ge1 > baseline, "full-rank overfitting should hurt GE1"
+
+
+@pytest.mark.parametrize("policy", ["paper", "scree", "kaiser"])
+def test_cutoff_policies(benchmark, nba_split, policy):
+    train, test = nba_split
+
+    def evaluate():
+        model = RatioRuleModel(cutoff=policy).fit(train.matrix)
+        return model.k, single_hole_error(model, test.matrix).value
+
+    k, ge1 = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    assert 1 <= k <= 12
+    assert ge1 > 0
+
+
+def test_cutoff_cross_validation(benchmark, nba_split):
+    """CV selection: pricier than Eq. 1 but lands on a low-GE cutoff."""
+    from repro.core.crossval import fit_with_cv_cutoff
+
+    train, test = nba_split
+
+    def evaluate():
+        model, report = fit_with_cv_cutoff(
+            train.matrix, k_values=[1, 2, 3, 4, 6], n_folds=4, seed=0
+        )
+        return model, report
+
+    model, report = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    ge_cv = single_hole_error(model, test.matrix).value
+    # CV must avoid the full-rank cliff: its GE1 stays within 1.3x of
+    # the best fixed-k choice among the candidates.
+    best_fixed = min(
+        single_hole_error(
+            RatioRuleModel(cutoff=k).fit(train.matrix), test.matrix
+        ).value
+        for k in [1, 2, 3, 4, 6]
+    )
+    assert ge_cv <= 1.3 * best_fixed, report.describe()

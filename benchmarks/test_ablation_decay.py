@@ -1,0 +1,46 @@
+"""Ablation: forgetting factor vs drift-tracking accuracy.
+
+Sweeps the online model's decay factor over a stream whose spending
+ratio changes mid-way, measuring how far the final mined ratio lands
+from the post-change truth.  Strong forgetting tracks the change but
+wastes data in stationary periods; no forgetting never converges to the
+new regime.  The bench records the whole trade-off curve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineRatioRuleModel
+from repro.datasets.streams import StreamPhase, TransactionStream
+
+TRUE_POST_RATIO = 2.0  # column1 / column0 after the change
+
+
+@pytest.fixture(scope="module")
+def drifting_stream():
+    return TransactionStream(
+        [
+            StreamPhase(loadings=(2.0, 1.0), n_blocks=15, name="before"),
+            StreamPhase(loadings=(1.0, 2.0), n_blocks=15, name="after"),
+        ],
+        block_rows=1_000,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("decay", [1.0, 0.95, 0.8, 0.5])
+def test_decay_tracking_error(benchmark, drifting_stream, decay):
+    def run_stream():
+        model = OnlineRatioRuleModel(2, cutoff=1, decay=decay)
+        for _phase, block in drifting_stream.blocks():
+            model.update(block)
+        rule = model.model().rules_[0].loadings
+        return abs(rule[1] / rule[0] - TRUE_POST_RATIO)
+
+    error = benchmark.pedantic(run_stream, rounds=1, iterations=1)
+    if decay <= 0.8:
+        # Meaningful forgetting: the final ratio sits near the new truth.
+        assert error < 0.25
+    if decay == 1.0:
+        # No forgetting: the blend is visibly off the new regime.
+        assert error > 0.25

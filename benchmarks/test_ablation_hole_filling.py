@@ -1,0 +1,72 @@
+"""Ablation: per-row solves vs the precomputed hole-pattern operator.
+
+The guessing-error harness leans on ``hole_fill_operator`` to turn "one
+linear solve per (row, pattern)" into "one solve per pattern plus a
+matrix multiply".  This bench quantifies that design choice on a
+realistic GE1 sweep, and benchmarks the three hole-fill case paths
+individually.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.guessing_error import single_hole_error
+from repro.core.model import RatioRuleModel
+from repro.core.reconstruction import fill_holes
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def baseball_fit():
+    dataset = load_dataset("baseball", seed=0)
+    train, test = dataset.train_test_split(0.1, seed=0)
+    model = RatioRuleModel(cutoff=3).fit(train.matrix)
+    return model, test.matrix
+
+
+class _SlowWrapper:
+    """Expose only fill_row, forcing the per-row fallback path."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def fill_row(self, row):
+        return self._inner.fill_row(row)
+
+
+def test_ge1_batch_operator_path(benchmark, baseball_fit):
+    model, test = baseball_fit
+    report = benchmark.pedantic(
+        lambda: single_hole_error(model, test), rounds=3, iterations=1
+    )
+    assert report.value > 0
+
+
+def test_ge1_per_row_path(benchmark, baseball_fit):
+    model, test = baseball_fit
+    slow = _SlowWrapper(model)
+    report = benchmark.pedantic(
+        lambda: single_hole_error(slow, test), rounds=1, iterations=1
+    )
+    # Same answer as the batch path -- just slower.
+    fast = single_hole_error(model, test)
+    assert report.value == pytest.approx(fast.value, rel=1e-9)
+
+
+@pytest.mark.parametrize(
+    "n_holes,case",
+    [(14, "exactly-specified"), (1, "over-specified"), (16, "under-specified")],
+)
+def test_case_path_cost(benchmark, baseball_fit, n_holes, case):
+    """Benchmark each of Sec. 4.4's three solve regimes (M=17, k=3)."""
+    model, test = baseball_fit
+    row = test[0].copy()
+    row[:n_holes] = np.nan
+
+    result = benchmark.pedantic(
+        lambda: fill_holes(row, model.rules_matrix, model.means_),
+        rounds=5,
+        iterations=10,
+    )
+    assert result.case == case
+    assert not np.isnan(result.filled).any()

@@ -1,0 +1,46 @@
+"""Benchmarks for the extension experiments (beyond the paper).
+
+- ``ext-incomplete``: GE1 as the training matrix loses cells;
+- ``ext-categorical``: hidden-category recovery on mixed data.
+
+Both assert their shape claims and persist the rendered tables.
+"""
+
+from repro.experiments import (
+    ext_categorical,
+    ext_incomplete,
+    ext_stability,
+    ext_wide,
+)
+
+
+def test_ext_rule_stability(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: ext_stability.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()
+
+
+def test_ext_wide_matrix_paths(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: ext_wide.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()
+
+
+def test_ext_incomplete_training(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: ext_incomplete.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()
+
+
+def test_ext_categorical_recovery(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: ext_categorical.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()

@@ -1,0 +1,68 @@
+"""Benchmarks for the extension paths: sharded mining and wide matrices.
+
+- Sharded mining must match the single-scan fit bit-for-bit (up to
+  round-off) while letting the map step run per shard; the bench
+  records what the merge machinery costs relative to a plain fit.
+- The wide-matrix path (implicit covariance + Lanczos) must beat the
+  dense path once M is large and k small -- the regime of the paper's
+  footnote 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.core.wide import mine_wide
+
+N_ROWS = 30_000
+N_COLS = 50
+
+
+@pytest.fixture(scope="module")
+def tall_matrix():
+    rng = np.random.default_rng(0)
+    scores = rng.standard_normal((N_ROWS, 4)) * np.array([10.0, 5.0, 2.0, 1.0])
+    loadings = rng.standard_normal((4, N_COLS))
+    return scores @ loadings + rng.normal(0, 0.1, (N_ROWS, N_COLS))
+
+
+def test_plain_fit(benchmark, tall_matrix):
+    model = benchmark.pedantic(
+        lambda: RatioRuleModel(cutoff=4).fit(tall_matrix), rounds=3, iterations=1
+    )
+    assert model.k == 4
+
+
+def test_sharded_fit_four_ways(benchmark, tall_matrix):
+    shards = [tall_matrix[i::4] for i in range(4)]
+    model = benchmark.pedantic(
+        lambda: fit_sharded(shards, cutoff=4, max_workers=4), rounds=3, iterations=1
+    )
+    reference = RatioRuleModel(cutoff=4).fit(tall_matrix)
+    np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-6)
+
+
+@pytest.fixture(scope="module")
+def wide_matrix():
+    rng = np.random.default_rng(1)
+    scores = rng.standard_normal((500, 3)) * np.array([10.0, 4.0, 2.0])
+    loadings = rng.standard_normal((3, 800))
+    return scores @ loadings + rng.normal(0, 0.05, (500, 800))
+
+
+def test_wide_dense_path(benchmark, wide_matrix):
+    """Dense baseline: forms the 800 x 800 covariance and solves it all."""
+    model = benchmark.pedantic(
+        lambda: RatioRuleModel(cutoff=3).fit(wide_matrix), rounds=2, iterations=1
+    )
+    assert model.k == 3
+
+
+def test_wide_implicit_path(benchmark, wide_matrix):
+    """Footnote-1 path: never materializes the covariance matrix."""
+    model = benchmark.pedantic(
+        lambda: mine_wide(wide_matrix, 3), rounds=2, iterations=1
+    )
+    dense = RatioRuleModel(cutoff=3).fit(wide_matrix)
+    np.testing.assert_allclose(model.eigenvalues_, dense.eigenvalues_, rtol=1e-5)

@@ -1,0 +1,16 @@
+"""Benchmark + reproduction of Fig. 12: quantitative rules vs Ratio Rules.
+
+The extrapolation showdown on the fictitious bread/butter data: the
+quantitative rules must go mute at bread = $8.50 while RR1 predicts
+close to the paper's $6.10.
+"""
+
+from repro.experiments import fig12_quant_vs_rr
+
+
+def test_fig12_quant_vs_rr(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig12_quant_vs_rr.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()

@@ -1,0 +1,11 @@
+"""Benchmark + reproduction of Fig. 1: the bread/butter toy example."""
+
+from repro.experiments import fig1_example
+
+
+def test_fig1_example(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig1_example.run(seed=0), rounds=3, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()

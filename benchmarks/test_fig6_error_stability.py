@@ -1,0 +1,18 @@
+"""Benchmark + reproduction of Fig. 6: GEh vs number of holes.
+
+Runs the paper's error-stability sweep (h = 1..5 on `nba` and
+`baseball`) and asserts the two shapes Fig. 6 shows: Ratio Rules stay
+below col-avgs at every h, and their error is stable as holes multiply.
+"""
+
+from repro.experiments import fig6_stability
+
+
+def test_fig6_error_stability(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig6_stability.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()
+    # Full grid: 2 datasets x 5 hole counts.
+    assert len(result.rows) == 10

@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Figs. 9 and 11: RR-space scatter plots.
+
+Regenerates the projection data (nba side/front views, baseball and
+abalone 2-d views) and asserts the visual claims: strong linearity
+along RR1 and the paper's outlier call-outs (Jordan/Rodman on opposite
+RR2 extremes, Bogues/Malone on opposite RR3 extremes).
+"""
+
+from repro.experiments import fig9_fig11_projections
+
+
+def test_fig9_fig11_projections(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: fig9_fig11_projections.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()

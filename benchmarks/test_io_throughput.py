@@ -1,0 +1,72 @@
+"""I/O substrate throughput: the disk side of the single-pass claim.
+
+Fig. 2(a)'s cost model charges O(N) disk reads for the scan; these
+benches measure what the row-store write, sequential scan, and the full
+covariance pass over it actually cost at a realistic size, plus the CSV
+path for comparison (text parsing dominates there -- which is exactly
+why the binary row store exists).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import covariance_single_pass
+from repro.io.csv_format import save_csv_matrix
+from repro.io.matrix_reader import CSVReader, RowStoreReader
+from repro.io.rowstore import RowStore
+
+N_ROWS = 50_000
+N_COLS = 50
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((N_ROWS, N_COLS))
+
+
+@pytest.fixture(scope="module")
+def rowstore_path(matrix, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "bench.rr"
+    RowStore.write_matrix(path, matrix)
+    return path
+
+
+@pytest.fixture(scope="module")
+def csv_path(matrix, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "bench.csv"
+    save_csv_matrix(path, matrix[:5_000])  # text is slow; keep it sane
+    return path
+
+
+def test_rowstore_write(benchmark, matrix, tmp_path):
+    path = tmp_path / "write.rr"
+    benchmark.pedantic(
+        lambda: RowStore.write_matrix(path, matrix), rounds=3, iterations=1
+    )
+    assert path.exists()
+
+
+def test_rowstore_scan(benchmark, rowstore_path):
+    def scan():
+        reader = RowStoreReader(rowstore_path)
+        total_rows = sum(block.shape[0] for block in reader.iter_blocks())
+        return total_rows
+
+    assert benchmark.pedantic(scan, rounds=3, iterations=1) == N_ROWS
+
+
+def test_covariance_pass_over_rowstore(benchmark, rowstore_path):
+    scatter, _means, n_rows = benchmark.pedantic(
+        lambda: covariance_single_pass(rowstore_path), rounds=3, iterations=1
+    )
+    assert n_rows == N_ROWS
+    assert scatter.shape == (N_COLS, N_COLS)
+
+
+def test_csv_scan(benchmark, csv_path):
+    def scan():
+        reader = CSVReader(csv_path)
+        return sum(block.shape[0] for block in reader.iter_blocks())
+
+    assert benchmark.pedantic(scan, rounds=1, iterations=1) == 5_000

@@ -1,0 +1,55 @@
+"""Online-model throughput: update cost must be flat in stream length.
+
+The streaming claim: folding a block into the accumulator is
+O(B * M^2), independent of how many rows came before, and the lazy
+re-solve is O(M^3), independent of everything.  These benches measure
+the update and re-solve costs at two very different stream depths and
+compare the cumulative vs the forgetting accumulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineRatioRuleModel
+
+N_COLS = 40
+BLOCK = 2_000
+
+
+@pytest.fixture(scope="module")
+def block():
+    rng = np.random.default_rng(0)
+    factor = rng.normal(4.0, 1.5, size=BLOCK)
+    loadings = rng.uniform(0.5, 2.0, size=N_COLS)
+    return np.outer(factor, loadings) + rng.normal(0, 0.1, (BLOCK, N_COLS))
+
+
+def _preloaded(block, n_prior_updates, **kwargs):
+    model = OnlineRatioRuleModel(N_COLS, cutoff=3, **kwargs)
+    for _ in range(n_prior_updates):
+        model.update(block)
+    return model
+
+
+@pytest.mark.parametrize("depth", [1, 200])
+def test_update_cost_flat_in_depth(benchmark, block, depth):
+    model = _preloaded(block, depth)
+    benchmark.pedantic(lambda: model.update(block), rounds=10, iterations=1)
+    assert model.n_rows_seen >= depth * BLOCK
+
+
+def test_resolve_cost(benchmark, block):
+    model = _preloaded(block, 5)
+
+    def update_and_solve():
+        model.update(block)
+        return model.model()
+
+    solved = benchmark.pedantic(update_and_solve, rounds=5, iterations=1)
+    assert solved.k == 3
+
+
+def test_forgetting_update_cost(benchmark, block):
+    model = _preloaded(block, 5, decay=0.9)
+    benchmark.pedantic(lambda: model.update(block), rounds=10, iterations=1)
+    assert model.n_rows_seen > 0

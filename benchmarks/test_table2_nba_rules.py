@@ -1,0 +1,17 @@
+"""Benchmark + reproduction of Table 2: the first three nba Ratio Rules.
+
+Regenerates the loading table and asserts the interpretation structure
+the paper reads off it: RR1 "court action" (all positive, minutes:points
+~ 2:1), RR2 "field position" (rebounds vs points), RR3 "height"
+(rebounds vs assists/steals).
+"""
+
+from repro.experiments import table2_rules
+
+
+def test_table2_nba_rules(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: table2_rules.run(seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert result.all_claims_upheld(), result.render()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Data cleaning: repairing a damaged data-warehouse extract.
+
+The paper's first application (Sec. 3): "reconstructing lost data and
+repairing noisy, damaged or incorrect data (perhaps as a result of
+consolidating data from many heterogeneous sources for use in a data
+warehouse)".
+
+We simulate the scenario end to end: take the (simulated) abalone
+measurements, punch NULLs and inject unit-conversion corruptions (a
+classic consolidation bug: grams where the feed expected the scaled
+unit), then repair both kinds of damage with the mined rules and
+measure how close the repairs land to the original values.
+
+Run:  python examples/data_cleaning.py
+"""
+
+import numpy as np
+
+from repro import RatioRuleModel, impute_missing, load_dataset, repair_corrupted
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    dataset = load_dataset("abalone", seed=0)
+    clean = dataset.matrix
+
+    # Train on the archive's good history...
+    train = clean[:3500]
+    model = RatioRuleModel().fit(train, schema=dataset.schema)
+    print(f"Trained on {train.shape[0]} rows; kept {model.k} rule(s) covering "
+          f"{model.rules_.total_energy_fraction():.1%} of the variance.\n")
+
+    # ...and damage this month's feed.
+    feed = clean[3500:3600].copy()
+    truth = feed.copy()
+
+    # Damage 1: NULLs from a broken extractor (5% of cells).
+    null_mask = rng.random(feed.shape) < 0.05
+    feed[null_mask] = np.nan
+
+    # Damage 2: a unit bug multiplies a few 'whole weight' cells by 200.
+    weight_column = dataset.schema.index_of("whole weight")
+    bad_rows = rng.choice(feed.shape[0], size=4, replace=False)
+    for row in bad_rows:
+        if not np.isnan(feed[row, weight_column]):
+            feed[row, weight_column] *= 200.0
+
+    print(f"Feed damage: {int(null_mask.sum())} NULL cells, "
+          f"{len(bad_rows)} unit-corrupted weights.\n")
+
+    # Step 1: impute the NULLs.
+    imputation = impute_missing(model, feed)
+    imputed_error = np.sqrt(
+        np.mean(
+            [
+                (value - truth[r, c]) ** 2
+                for (r, c, _old, value) in imputation.repairs
+            ]
+        )
+    )
+    print(f"Imputed {imputation.n_repairs} NULLs "
+          f"(RMS error vs original values: {imputed_error:.4f}).")
+
+    # Step 2: find and repair the corrupted cells.
+    repair = repair_corrupted(model, imputation.cleaned, n_sigmas=4.0)
+    print(f"Repaired {repair.n_repairs} corrupted cells:")
+    for row, column, old, new in repair.repairs[:6]:
+        field = dataset.schema[column].name
+        print(f"  row {row:3d} {field:<14} {old:10.3f} -> {new:7.3f} "
+              f"(original {truth[row, column]:7.3f})")
+
+    final_rms = np.sqrt(np.mean((repair.cleaned - truth) ** 2))
+    damaged_rms = np.sqrt(np.nanmean((np.where(null_mask, np.nan, feed) - truth) ** 2))
+    print(f"\nRMS distance to the original matrix: damaged feed {damaged_rms:.3f} "
+          f"-> cleaned feed {final_rms:.3f}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Market-basket completion: recommendations from Ratio Rules.
+
+The paper's customers-x-products framing, taken to its natural
+application: a shopper's cart is a partially-known row, hole-filling
+predicts the spend on everything else, and ranking those predictions
+yields recommendations.  Built on Quest-style synthetic transactions
+(the same generator as the scale-up experiment) so the co-purchase
+patterns the rules discover are genuinely in the data.
+
+Also contrasts the two ranking modes: raw predicted spend (dominated by
+big-cart volume) versus uplift over the population average (what this
+cart specifically signals).
+
+Run:  python examples/market_basket.py
+"""
+
+import numpy as np
+
+from repro import BasketRecommender, RatioRuleModel
+from repro.baselines.apriori import AprioriMiner, binarize_matrix
+from repro.datasets.quest import QuestBasketGenerator
+
+
+def main() -> None:
+    generator = QuestBasketGenerator(
+        n_items=24, n_patterns=6, avg_pattern_len=3.5, seed=3
+    )
+    history = generator.generate(4_000, seed=4)
+    schema = generator.schema
+    print(f"Transaction history: {history.shape[0]} baskets x "
+          f"{history.shape[1]} products "
+          f"({100 * (history > 0).mean():.0f}% of cells non-zero)\n")
+
+    model = RatioRuleModel(cutoff=6).fit(history, schema=schema)
+    recommender = BasketRecommender(model, ranking="uplift")
+
+    # A shopper has two items in the cart: the flagship product of each
+    # of the two strongest rules.
+    cart = {}
+    for rule in model.rules_[:2]:
+        name, loading = rule.dominant_attributes(0.5)[0]
+        cart.setdefault(name, round(3.0 * abs(loading) + 1.0, 2))
+    print(f"Cart so far: {cart}\n")
+
+    print("Top recommendations (uplift ranking):")
+    for rec in recommender.recommend(cart, top_n=5):
+        print(f"  {rec.product:<8} predicted ${rec.predicted_spend:6.2f} "
+              f"(uplift {rec.uplift:+.2f} vs average shopper)")
+
+    by_spend = BasketRecommender(model, ranking="predicted")
+    print("\nTop recommendations (raw predicted spend):")
+    for rec in by_spend.recommend(cart, top_n=5):
+        print(f"  {rec.product:<8} predicted ${rec.predicted_spend:6.2f}")
+
+    # Cross-check against Boolean association rules on the same data:
+    # do the co-purchase patterns agree?
+    print("\nBoolean association rules over the same history (Apriori):")
+    transactions = binarize_matrix(history[:1500], schema)
+    miner = AprioriMiner(min_support=0.15, min_confidence=0.6, max_itemset_size=2)
+    miner.fit(transactions)
+    cart_items = set(cart)
+    fired = [
+        rule for rule in miner.rules() if rule.antecedent <= cart_items
+    ][:5]
+    if fired:
+        for rule in fired:
+            print(f"  {rule}")
+        print("\nBoth paradigms surface the co-purchase pattern; only the "
+              "Ratio Rules also say *how much* the shopper will spend.")
+    else:
+        print("  (no Boolean rule fires on this cart at these thresholds)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Streaming Ratio Rules: a live model over an endless transaction feed.
+
+The paper's single-pass design (Fig. 2a) is one-shot, but its state --
+the mergeable covariance accumulator -- supports a *live* model: fold
+each day's transactions in as they land, re-solve the tiny eigensystem
+on demand.  This example drives the online model with a declarative
+:class:`~repro.datasets.streams.TransactionStream` whose shopping
+pattern shifts mid-stream (a promotion changes the bread:butter
+ratio), shows the model tracking the shift, and confirms per-update
+cost stays flat in stream length.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.compare import compare_models
+from repro.core.online import OnlineRatioRuleModel
+from repro.datasets.streams import StreamPhase, TransactionStream
+
+
+def main() -> None:
+    stream = TransactionStream(
+        [
+            StreamPhase(loadings=(2.0, 1.0, 0.8), n_blocks=10, name="regular price"),
+            StreamPhase(loadings=(1.0, 1.0, 0.8), n_blocks=20, name="butter promotion"),
+        ],
+        block_rows=2_000,
+        seed=0,
+    )
+    schema = stream.schema(["bread", "butter", "milk"])
+    online = OnlineRatioRuleModel(3, schema=schema, cutoff=1)
+
+    # Two companions for the cumulative model: a trailing window
+    # (isolates the current regime exactly) and an exponentially
+    # forgetting model (tracks drift continuously, ~5-update memory).
+    window = OnlineRatioRuleModel(3, schema=schema, cutoff=1)
+    forgetting = OnlineRatioRuleModel(3, schema=schema, cutoff=1, decay=0.8)
+    print("day  phase             rows_seen  bread:butter (RR1)  update_ms")
+    snapshot_before = None
+    for day, (phase, block) in enumerate(stream.blocks(), start=1):
+        start = time.perf_counter()
+        online.update(block)
+        elapsed_ms = (time.perf_counter() - start) * 1_000
+        if day == 10:
+            snapshot_before = online.model()
+        forgetting.update(block)
+        if day > 20:  # last 10 days only
+            window.update(block)
+        if day % 5 == 0 or day == 11:
+            rule = online.model().rules_[0]
+            observed = rule.loading_of("bread") / rule.loading_of("butter")
+            print(f"{day:3d}  {phase.name:<16} {online.n_rows_seen:9d}  "
+                  f"{observed:8.2f} : 1        {elapsed_ms:7.2f}")
+
+    cumulative_rule = online.model().rules_[0]
+    window_rule = window.model().rules_[0]
+    print(f"\nCumulative model's bread:butter after 30 days: "
+          f"{cumulative_rule.loading_of('bread') / cumulative_rule.loading_of('butter'):.2f}:1 "
+          "(a blend -- it never forgets the pre-promotion days; the feed "
+          "shifted from 2:1 to 1:1).")
+    print(f"Trailing 10-day window's bread:butter:               "
+          f"{window_rule.loading_of('bread') / window_rule.loading_of('butter'):.2f}:1 "
+          "(the promotion regime, isolated).")
+    forgetting_rule = forgetting.model().rules_[0]
+    print(f"Forgetting model's bread:butter (decay 0.8):         "
+          f"{forgetting_rule.loading_of('bread') / forgetting_rule.loading_of('butter'):.2f}:1 "
+          "(tracks the change with no window bookkeeping).")
+    print("Update cost is flat in stream length: the accumulator is O(M^2) "
+          "state, the re-solve O(M^3) -- independent of rows seen.")
+
+    # Drift detection: old snapshot vs the current-window model.
+    comparison = compare_models(snapshot_before, window.model())
+    print("\nDrift report (day-10 snapshot vs trailing window):")
+    print(comparison.describe())
+
+    # The live model is a full estimator at any point:
+    filled = online.fill_row(np.array([6.0, np.nan, np.nan]))
+    print(f"\nLive forecast: a $6.00 bread basket implies "
+          f"${filled[1]:.2f} butter, ${filled[2]:.2f} milk.")
+
+
+if __name__ == "__main__":
+    main()

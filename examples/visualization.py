@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Visualization for free: 2-d RR-space scatter plots of every dataset.
+
+Sec. 6.1 of the paper: Ratio Rules double as a dimensionality
+reduction, so plotting the first two coordinates reveals the shape of
+any dataset.  This script renders the paper's Fig. 9 (baseball and
+abalone) and Fig. 11(a) (nba) as terminal scatter plots -- no plotting
+library required.
+
+Run:  python examples/visualization.py
+"""
+
+from repro import RatioRuleModel, ascii_scatter, load_dataset, project
+
+
+def main() -> None:
+    for name in ("nba", "baseball", "abalone"):
+        dataset = load_dataset(name, seed=0)
+        model = RatioRuleModel(cutoff=2).fit(dataset.matrix, schema=dataset.schema)
+        projection = project(
+            model, dataset.matrix, x_rule=0, y_rule=1, labels=dataset.row_labels
+        )
+        print(f"=== {name}: {dataset.n_rows} rows projected onto RR1 / RR2 ===\n")
+        print(ascii_scatter(projection, width=72, height=18,
+                            mark_extremes=2 if name == "nba" else 0))
+        rr1 = model.rules_[0]
+        print(f"\nRR1 ({rr1.energy_fraction:.0%} of variance): "
+              f"{rr1.ratio_string(digits=2)}\n")
+
+
+if __name__ == "__main__":
+    main()

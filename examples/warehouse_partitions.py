@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Partitioned warehouse data: mining rules across monthly shards.
+
+Real transaction history lands in partitions (one file per month).
+This example builds a year of Quest-style monthly partitions on disk,
+then mines Ratio Rules three equivalent ways:
+
+1. **one sequential pass** over the partition set
+   (:class:`~repro.io.partitioned.PartitionedReader` -- the paper's
+   Fig. 2a access pattern, spanning files);
+2. **parallel map/merge** over the shards
+   (:func:`~repro.core.parallel.fit_sharded` -- each shard scanned
+   independently, partial covariances merged exactly);
+3. a monolithic in-memory fit, as the ground truth.
+
+All three produce identical rules; integrity of every shard is
+verified via the row-store CRC trailer first.
+
+Run:  python examples/warehouse_partitions.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import RatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.datasets.quest import QuestBasketGenerator
+from repro.io.partitioned import PartitionedReader, write_partitioned
+from repro.io.rowstore import RowStore
+
+MONTHS = 12
+ROWS_PER_MONTH = 4_000
+
+
+def main() -> None:
+    generator = QuestBasketGenerator(n_items=40, seed=0)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "warehouse"
+        monthly = [
+            generator.generate(ROWS_PER_MONTH, seed=month + 1)
+            for month in range(MONTHS)
+        ]
+        write_partitioned(
+            directory, monthly, generator.schema,
+            shard_name="month-{index:02d}.rr",
+        )
+        print(f"Wrote {MONTHS} monthly partitions "
+              f"({MONTHS * ROWS_PER_MONTH} transactions) to {directory.name}/\n")
+
+        # Integrity first: every shard carries a CRC32 trailer.
+        reader = PartitionedReader(directory)
+        verified = sum(RowStore.verify(path) for path in reader.shard_paths())
+        print(f"Integrity: {verified}/{reader.n_shards} shards checksum-verified.\n")
+
+        # Path 1: one sequential pass across all partitions.
+        start = time.perf_counter()
+        sequential = RatioRuleModel(cutoff=5).fit(reader)
+        sequential_s = time.perf_counter() - start
+        assert reader.passes_completed == 1
+
+        # Path 2: parallel map over shards, exact merge.
+        start = time.perf_counter()
+        parallel = fit_sharded(reader.shard_paths(), cutoff=5, max_workers=4)
+        parallel_s = time.perf_counter() - start
+
+        # Ground truth: everything in memory at once.
+        whole = np.vstack(monthly)
+        monolithic = RatioRuleModel(cutoff=5).fit(whole, schema=generator.schema)
+
+        agree_seq = np.allclose(
+            sequential.rules_matrix, monolithic.rules_matrix, atol=1e-8
+        )
+        agree_par = np.allclose(
+            parallel.rules_matrix, monolithic.rules_matrix, atol=1e-8
+        )
+        print(f"Sequential partition scan: {sequential_s * 1000:6.1f} ms, "
+              f"rules identical to monolithic: {agree_seq}")
+        print(f"Parallel map/merge (4 workers): {parallel_s * 1000:3.1f} ms, "
+              f"rules identical to monolithic: {agree_par}")
+
+        print(f"\nMined {sequential.k} rules over {reader.n_rows} transactions; "
+              f"strongest co-purchase pattern:")
+        print(f"  {sequential.rules_[0].ratio_string(digits=2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""repro: a full reproduction of "Ratio Rules: A New Paradigm for Fast,
+Quantifiable Data Mining" (Korn, Labrinidis, Kotidis, Faloutsos; VLDB 1998).
+
+The package mines **Ratio Rules** -- eigenvectors of a data matrix's
+covariance matrix, read as quantitative rules like ``bread : milk :
+butter => 1 : 2 : 5`` -- in a single pass over data on disk, and uses
+them to reconstruct missing values, forecast, answer what-if scenarios,
+detect outliers, and visualize datasets.  It also implements the
+paper's "guessing error" quality measure and every baseline the paper
+compares against.
+
+Quickstart::
+
+    import numpy as np
+    from repro import RatioRuleModel
+
+    model = RatioRuleModel().fit(training_matrix)
+    print(model.describe())                       # the mined rules
+    filled = model.fill_row(np.array([10.0, 3.0, np.nan]))  # guess butter
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: model, single-pass covariance,
+    hole-filling, guessing error, outliers, what-if, cleaning,
+    visualization, interpretation.
+``repro.linalg``
+    From-scratch eigensolvers (Jacobi, power iteration, Lanczos) and
+    SVD/pseudo-inverse.
+``repro.io``
+    On-disk row store, CSV, and streaming readers.
+``repro.datasets``
+    Simulated `nba` / `baseball` / `abalone` datasets and a Quest-style
+    basket generator (see DESIGN.md for the substitution rationale).
+``repro.baselines``
+    col-avgs, multiple linear regression, Apriori, and quantitative
+    association rules.
+``repro.experiments``
+    One runnable reproduction per paper table/figure.
+"""
+
+from repro.baselines import (
+    AprioriMiner,
+    AssociationRule,
+    ColumnAverageBaseline,
+    LinearRegressionBaseline,
+    QuantitativeRuleModel,
+)
+from repro.core import (
+    BasketRecommender,
+    CategoricalAttribute,
+    CategoricalRatioRuleModel,
+    EnergyCutoff,
+    FixedCutoff,
+    GuessingErrorReport,
+    MixedSchema,
+    OnlineRatioRuleModel,
+    RatioRule,
+    RatioRuleModel,
+    RuleSet,
+    Scenario,
+    ascii_scatter,
+    calibrate,
+    detect_cell_outliers,
+    detect_row_outliers,
+    evaluate_scenario,
+    fill_holes,
+    fit_incomplete,
+    fit_sharded,
+    guessing_error,
+    impute_missing,
+    interpret_rules,
+    loading_table,
+    mine_wide,
+    project,
+    relative_guessing_error,
+    repair_corrupted,
+    scatter_svg,
+    single_hole_error,
+)
+from repro.datasets import Dataset, load_dataset
+from repro.io import TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AprioriMiner",
+    "AssociationRule",
+    "BasketRecommender",
+    "CategoricalAttribute",
+    "CategoricalRatioRuleModel",
+    "ColumnAverageBaseline",
+    "Dataset",
+    "EnergyCutoff",
+    "FixedCutoff",
+    "GuessingErrorReport",
+    "LinearRegressionBaseline",
+    "MixedSchema",
+    "OnlineRatioRuleModel",
+    "QuantitativeRuleModel",
+    "RatioRule",
+    "RatioRuleModel",
+    "RuleSet",
+    "Scenario",
+    "TableSchema",
+    "__version__",
+    "ascii_scatter",
+    "calibrate",
+    "detect_cell_outliers",
+    "detect_row_outliers",
+    "evaluate_scenario",
+    "fill_holes",
+    "fit_incomplete",
+    "fit_sharded",
+    "guessing_error",
+    "impute_missing",
+    "interpret_rules",
+    "load_dataset",
+    "loading_table",
+    "mine_wide",
+    "project",
+    "relative_guessing_error",
+    "repair_corrupted",
+    "scatter_svg",
+    "single_hole_error",
+]

@@ -1,0 +1,37 @@
+"""Competitor methods the paper compares against (or contrasts with).
+
+- :mod:`repro.baselines.column_average` -- `col-avgs`, the quantitative
+  straw man of Sec. 5 (identical to Ratio Rules with ``k = 0``);
+- :mod:`repro.baselines.linear_regression` -- multiple linear
+  regression, Sec. 5's "remotely related" method, needing one model per
+  (hole pattern, target column);
+- :mod:`repro.baselines.apriori` -- Boolean association rules
+  (Agrawal et al.), Sec. 6.3's first comparison point;
+- :mod:`repro.baselines.quantitative` -- quantitative association rules
+  (Srikant & Agrawal), Sec. 6.3's second comparison point and the
+  Fig. 12 comparator;
+- :mod:`repro.baselines.knn` -- k-nearest-neighbours imputation, a
+  classic non-parametric competitor added beyond the paper's roster.
+"""
+
+from repro.baselines.apriori import AprioriMiner, AssociationRule, binarize_matrix
+from repro.baselines.column_average import ColumnAverageBaseline
+from repro.baselines.knn import KNNImputationBaseline
+from repro.baselines.linear_regression import LinearRegressionBaseline
+from repro.baselines.quantitative import (
+    Interval,
+    QuantitativeRule,
+    QuantitativeRuleModel,
+)
+
+__all__ = [
+    "AprioriMiner",
+    "AssociationRule",
+    "ColumnAverageBaseline",
+    "Interval",
+    "KNNImputationBaseline",
+    "LinearRegressionBaseline",
+    "QuantitativeRule",
+    "QuantitativeRuleModel",
+    "binarize_matrix",
+]

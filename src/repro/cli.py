@@ -1,0 +1,564 @@
+"""Command-line interface: ``ratio-rules`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``fit``
+    Mine Ratio Rules from a CSV or row-store file and print (or save)
+    them.
+``rules``
+    Pretty-print the rules of a saved model (Table-2-style table,
+    histograms, narratives).
+``fill``
+    Fill the missing cells of a CSV file (empty cells or ``nan`` are
+    holes) using a saved model.
+``ge``
+    Evaluate the guessing error of a model against a test file, with
+    the col-avgs comparison.
+``outliers``
+    Flag suspicious rows and cells of a data file against a saved model.
+``clean``
+    Impute NaN holes and repair corrupted cells of a CSV file.
+``whatif``
+    Evaluate a what-if scenario (``--set attr=value`` /
+    ``--scale attr=factor``) against a saved model.
+``experiment``
+    Run one of the paper-reproduction experiments (``fig6``, ``fig7``,
+    ``fig8``, ``fig9+fig11``, ``fig12``, ``table2``) or ``all``.
+``generate``
+    Materialize one of the simulated datasets to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="ratio-rules",
+        description="Ratio Rules data mining (VLDB 1998 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fit = subparsers.add_parser("fit", help="mine Ratio Rules from a data file")
+    fit.add_argument("data", help="input .csv or row-store file")
+    fit.add_argument("--cutoff", default=None,
+                     help="rules to keep: an integer k, a float energy "
+                          "threshold in (0,1], or 'paper'/'scree'/'kaiser' "
+                          "(default: paper's 85%% rule)")
+    fit.add_argument("--backend", default="numpy",
+                     choices=["numpy", "jacobi", "householder", "power", "lanczos"],
+                     help="eigensolver backend")
+    fit.add_argument("--save", metavar="MODEL.npz", default=None,
+                     help="save the fitted model")
+
+    rules = subparsers.add_parser("rules", help="print the rules of a saved model")
+    rules.add_argument("model", help="model .npz produced by 'fit --save'")
+    rules.add_argument("--table", action="store_true",
+                       help="print the Table-2-style loading table only")
+    rules.add_argument("--json", action="store_true",
+                       help="emit the rules as JSON for downstream tooling")
+
+    fill = subparsers.add_parser("fill", help="fill missing cells of a CSV file")
+    fill.add_argument("model", help="model .npz produced by 'fit --save'")
+    fill.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
+    fill.add_argument("--output", default=None,
+                      help="write the completed CSV here (default: stdout)")
+
+    ge = subparsers.add_parser("ge", help="guessing error of a model on test data")
+    ge.add_argument("model", help="model .npz produced by 'fit --save'")
+    ge.add_argument("data", help="complete test .csv or row-store file")
+    ge.add_argument("--holes", type=int, default=1, help="h, simultaneous holes")
+    ge.add_argument("--max-hole-sets", type=int, default=200,
+                    help="cap on evaluated hole sets")
+
+    outliers = subparsers.add_parser(
+        "outliers", help="flag outlier rows/cells against a saved model"
+    )
+    outliers.add_argument("model", help="model .npz produced by 'fit --save'")
+    outliers.add_argument("data", help="complete .csv or row-store file to audit")
+    outliers.add_argument("--sigmas", type=float, default=2.0,
+                          help="flagging threshold in standard deviations")
+    outliers.add_argument("--limit", type=int, default=10,
+                          help="max outliers listed per kind")
+
+    clean = subparsers.add_parser(
+        "clean", help="impute holes and repair corrupted cells of a CSV file"
+    )
+    clean.add_argument("model", help="model .npz produced by 'fit --save'")
+    clean.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
+    clean.add_argument("output", help="where to write the cleaned CSV")
+    clean.add_argument("--repair-sigmas", type=float, default=None,
+                       help="also repair cells deviating this many sigmas "
+                            "(default: impute only)")
+
+    whatif = subparsers.add_parser(
+        "whatif", help="evaluate a what-if scenario against a saved model"
+    )
+    whatif.add_argument("model", help="model .npz produced by 'fit --save'")
+    whatif.add_argument("--set", dest="fixed", action="append", default=[],
+                        metavar="ATTR=VALUE",
+                        help="pin an attribute to an absolute value")
+    whatif.add_argument("--scale", dest="scaled", action="append", default=[],
+                        metavar="ATTR=FACTOR",
+                        help="multiply an attribute's baseline by a factor")
+
+    stability = subparsers.add_parser(
+        "stability", help="bootstrap stability of a model's rules"
+    )
+    stability.add_argument("model", help="model .npz produced by 'fit --save'")
+    stability.add_argument("data", help="the training data file the model was fitted on")
+    stability.add_argument("--resamples", type=int, default=30,
+                           help="bootstrap resamples")
+
+    verify = subparsers.add_parser(
+        "verify", help="check row-store / partition integrity (CRC32)"
+    )
+    verify.add_argument("target", help="a .rr file or a partition directory")
+
+    inspect = subparsers.add_parser(
+        "inspect", help="summarize a data file before mining"
+    )
+    inspect.add_argument("data", help=".csv, .csv.gz, .npz or row-store file")
+    inspect.add_argument("--top-correlations", type=int, default=5,
+                         help="strongest attribute pairs to list")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare two saved models (drift report)"
+    )
+    compare.add_argument("model_a", help="baseline model .npz")
+    compare.add_argument("model_b", help="candidate model .npz")
+    compare.add_argument("--angle-threshold", type=float, default=15.0,
+                         help="drift threshold on the largest principal "
+                              "angle, in degrees")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper-reproduction experiment"
+    )
+    experiment.add_argument(
+        "id", help="experiment id (fig6, fig7, fig8, fig9+fig11, fig12, table2) or 'all'"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--markdown", metavar="REPORT.md", default=None,
+                            help="also write a markdown reproduction report")
+
+    generate = subparsers.add_parser(
+        "generate", help="materialize a simulated dataset to CSV"
+    )
+    generate.add_argument("dataset", choices=["nba", "baseball", "abalone"])
+    generate.add_argument("output", help="output .csv path")
+    generate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _parse_cutoff(text: Optional[str]):
+    if text is None:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _load_csv_with_holes(path: str):
+    """Read a CSV where empty cells or 'nan' mark holes."""
+    import csv
+
+    from repro.io.schema import TableSchema
+
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        schema = TableSchema.from_names(name.strip() for name in header)
+        rows = []
+        for record in reader:
+            if not record:
+                continue
+            rows.append(
+                [float(cell) if cell.strip() else float("nan") for cell in record]
+            )
+    return np.asarray(rows, dtype=np.float64), schema
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.core.model import RatioRuleModel
+
+    model = RatioRuleModel(cutoff=_parse_cutoff(args.cutoff), backend=args.backend)
+    model.fit(args.data)
+    print(
+        f"Mined {model.k} Ratio Rules from {model.n_rows_} rows x "
+        f"{model.schema_.width} attributes "
+        f"({model.rules_.total_energy_fraction():.1%} of variance)."
+    )
+    print()
+    print(model.describe())
+    if args.save:
+        model.save(args.save)
+        print(f"\nModel saved to {args.save}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.core.interpret import interpret_rules, loading_table
+    from repro.core.model import RatioRuleModel
+
+    model = RatioRuleModel.load(args.model)
+    if args.json:
+        print(model.rules_.to_json())
+        return 0
+    if args.table:
+        print(loading_table(model.rules_))
+        return 0
+    print(loading_table(model.rules_))
+    print()
+    for interpretation in interpret_rules(model.rules_):
+        print(interpretation.narrative())
+    return 0
+
+
+def _cmd_fill(args: argparse.Namespace) -> int:
+    from repro.core.model import RatioRuleModel
+    from repro.io.csv_format import save_csv_matrix
+
+    model = RatioRuleModel.load(args.model)
+    matrix, schema = _load_csv_with_holes(args.data)
+    if schema.names != model.schema_.names:
+        print(
+            f"error: column mismatch between model ({model.schema_.names}) "
+            f"and data ({schema.names})",
+            file=sys.stderr,
+        )
+        return 2
+    n_holes = int(np.isnan(matrix).sum())
+    filled = model.fill(matrix)
+    if args.output:
+        save_csv_matrix(args.output, filled, schema)
+        print(f"Filled {n_holes} holes; wrote {args.output}")
+    else:
+        print(",".join(schema.names))
+        for row in filled:
+            print(",".join(f"{value:g}" for value in row))
+    return 0
+
+
+def _cmd_ge(args: argparse.Namespace) -> int:
+    from repro.baselines.column_average import ColumnAverageBaseline
+    from repro.core.guessing_error import guessing_error
+    from repro.core.model import RatioRuleModel
+    from repro.io.matrix_reader import open_matrix
+
+    model = RatioRuleModel.load(args.model)
+    reader = open_matrix(args.data)
+    test_matrix = reader.read_matrix()
+
+    baseline = ColumnAverageBaseline()
+    baseline.means_ = model.means_
+    baseline.schema_ = model.schema_
+    baseline.n_rows_ = model.n_rows_
+
+    report_rr = guessing_error(
+        model, test_matrix, h=args.holes, max_hole_sets=args.max_hole_sets
+    )
+    report_col = guessing_error(
+        baseline,
+        test_matrix,
+        h=args.holes,
+        hole_sets=report_rr.hole_sets,
+    )
+    print(f"GE{args.holes} (Ratio Rules, k={model.k}): {report_rr.value:.4f}")
+    print(f"GE{args.holes} (col-avgs):              {report_col.value:.4f}")
+    if report_col.value > 0:
+        print(f"RR / col-avgs: {100.0 * report_rr.value / report_col.value:.1f}%")
+    return 0
+
+
+def _cmd_outliers(args: argparse.Namespace) -> int:
+    from repro.core.model import RatioRuleModel
+    from repro.core.outliers import detect_cell_outliers, detect_row_outliers
+    from repro.io.matrix_reader import open_matrix
+
+    model = RatioRuleModel.load(args.model)
+    matrix = open_matrix(args.data).read_matrix()
+    names = model.schema_.names
+
+    row_outliers = detect_row_outliers(model, matrix, n_sigmas=args.sigmas)
+    print(f"Row outliers (> {args.sigmas:g} sigma off the rule hyper-plane): "
+          f"{len(row_outliers)}")
+    for outlier in row_outliers[: args.limit]:
+        print(f"  row {outlier.row:5d}  residual {outlier.residual:12.4g}  "
+              f"z = {outlier.z_score:.2f}")
+
+    cell_outliers = detect_cell_outliers(model, matrix, n_sigmas=args.sigmas)
+    print(f"\nCell outliers (> {args.sigmas:g} sigma reconstruction error): "
+          f"{len(cell_outliers)}")
+    for outlier in cell_outliers[: args.limit]:
+        print(f"  row {outlier.row:5d}  {names[outlier.column]:<20} "
+              f"actual {outlier.actual:12.4g}  predicted {outlier.predicted:12.4g}  "
+              f"z = {outlier.z_score:+.2f}")
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    from repro.core.cleaning import impute_missing, repair_corrupted
+    from repro.core.model import RatioRuleModel
+    from repro.io.csv_format import save_csv_matrix
+
+    model = RatioRuleModel.load(args.model)
+    matrix, schema = _load_csv_with_holes(args.data)
+    if schema.names != model.schema_.names:
+        print(
+            f"error: column mismatch between model ({model.schema_.names}) "
+            f"and data ({schema.names})",
+            file=sys.stderr,
+        )
+        return 2
+    imputation = impute_missing(model, matrix)
+    cleaned = imputation.cleaned
+    print(f"Imputed {imputation.n_repairs} missing cell(s).")
+    if args.repair_sigmas is not None:
+        repair = repair_corrupted(model, cleaned, n_sigmas=args.repair_sigmas)
+        cleaned = repair.cleaned
+        print(f"Repaired {repair.n_repairs} corrupted cell(s) "
+              f"(threshold {args.repair_sigmas:g} sigma).")
+        for row, column, old, new in repair.repairs[:10]:
+            print(f"  row {row:5d}  {schema[column].name:<20} "
+                  f"{old:12.4g} -> {new:12.4g}")
+    save_csv_matrix(args.output, cleaned, schema)
+    print(f"Wrote {args.output}")
+    return 0
+
+
+def _parse_assignments(pairs, *, label: str):
+    parsed = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: {label} expects ATTR=VALUE, got {pair!r}")
+        name, _, value = pair.partition("=")
+        try:
+            parsed[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: non-numeric value in {pair!r}") from None
+    return parsed
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.core.model import RatioRuleModel
+    from repro.core.whatif import Scenario, evaluate_scenario
+
+    model = RatioRuleModel.load(args.model)
+    fixed = _parse_assignments(args.fixed, label="--set")
+    scaled = _parse_assignments(args.scaled, label="--scale")
+    if not fixed and not scaled:
+        print("error: provide at least one --set or --scale", file=sys.stderr)
+        return 2
+    try:
+        result = evaluate_scenario(model, Scenario(fixed=fixed, scaled=scaled))
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline = dict(zip(model.schema_.names, model.means_))
+    print(f"Scenario result ({result.case}):")
+    for name in model.schema_.names:
+        marker = "  (assumed)" if name in result.specified else ""
+        delta = result[name] - baseline[name]
+        print(f"  {name:<24} {result[name]:12.4g}  ({delta:+.4g} vs baseline){marker}")
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.core.model import RatioRuleModel
+    from repro.core.stability import bootstrap_stability
+    from repro.io.matrix_reader import open_matrix
+
+    model = RatioRuleModel.load(args.model)
+    matrix = open_matrix(args.data).read_matrix()
+    if matrix.shape[1] != model.schema_.width:
+        print(
+            f"error: data has {matrix.shape[1]} columns, model expects "
+            f"{model.schema_.width}",
+            file=sys.stderr,
+        )
+        return 2
+    report = bootstrap_stability(model, matrix, n_resamples=args.resamples)
+    print(report.describe())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.io.partitioned import MANIFEST_NAME, PartitionedReader
+    from repro.io.rowstore import RowStore, RowStoreError
+
+    target = Path(args.target)
+    if target.is_dir():
+        try:
+            reader = PartitionedReader(target)
+        except RowStoreError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        failures = 0
+        for shard in reader.shard_paths():
+            try:
+                verified = RowStore.verify(shard)
+            except RowStoreError as exc:
+                print(f"FAIL  {shard.name}: {exc}")
+                failures += 1
+                continue
+            status = "OK   " if verified else "OK?  "  # '?' = legacy, no trailer
+            print(f"{status} {shard.name}")
+        print(
+            f"{reader.n_shards} shard(s), {reader.n_rows} rows; "
+            f"{failures} failure(s)"
+        )
+        return 1 if failures else 0
+
+    try:
+        verified = RowStore.verify(target)
+    except RowStoreError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    if verified:
+        print(f"OK: {target} (checksum verified)")
+    else:
+        print(f"OK: {target} (no checksum trailer; length consistent)")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.core.covariance import covariance_single_pass
+    from repro.io.matrix_reader import open_matrix
+    from repro.linalg.eigen import solve_eigensystem
+
+    reader = open_matrix(args.data)
+    scatter, means, n_rows = covariance_single_pass(reader)
+    names = reader.schema.names
+    n_cols = len(names)
+    stds = np.sqrt(np.clip(np.diag(scatter), 0, None) / max(n_rows - 1, 1))
+
+    print(f"{args.data}: {n_rows} rows x {n_cols} columns\n")
+    name_width = max(len(n) for n in names)
+    print(f"{'column':<{name_width}}  {'mean':>12}  {'stddev':>12}")
+    for j, name in enumerate(names):
+        print(f"{name:<{name_width}}  {means[j]:>12.4g}  {stds[j]:>12.4g}")
+
+    # Strongest correlations.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        denom = np.outer(stds, stds) * max(n_rows - 1, 1)
+        correlation = np.where(denom > 0, scatter / denom, 0.0)
+    pairs = []
+    for i in range(n_cols):
+        for j in range(i + 1, n_cols):
+            pairs.append((abs(correlation[i, j]), correlation[i, j], names[i], names[j]))
+    pairs.sort(reverse=True)
+    if pairs:
+        print(f"\nStrongest correlations (top {args.top_correlations}):")
+        for _mag, value, name_a, name_b in pairs[: args.top_correlations]:
+            print(f"  {name_a} ~ {name_b}: {value:+.3f}")
+
+    # Energy curve and the 85% suggestion.
+    eigen = solve_eigensystem(scatter)
+    fractions = eigen.energy_fractions()
+    suggested = int(np.searchsorted(fractions, 0.85 - 1e-12) + 1)
+    curve = "  ".join(
+        f"k={k + 1}:{fractions[k]:.0%}" for k in range(min(n_cols, 6))
+    )
+    print(f"\nEigenvalue energy: {curve}")
+    print(f"Suggested cutoff (85% rule, Eq. 1): k = {suggested}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import compare_models
+    from repro.core.model import RatioRuleModel
+
+    model_a = RatioRuleModel.load(args.model_a)
+    model_b = RatioRuleModel.load(args.model_b)
+    try:
+        comparison = compare_models(model_a, model_b)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(comparison.describe())
+    return 1 if comparison.is_drifted(
+        angle_threshold_degrees=args.angle_threshold
+    ) else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import get_experiment, list_experiments
+    from repro.experiments.report import render_markdown
+
+    if args.id == "all":
+        ids = list(list_experiments())
+    else:
+        ids = [args.id]
+    exit_code = 0
+    results = []
+    for experiment_id in ids:
+        run = get_experiment(experiment_id)
+        result = run(seed=args.seed)
+        results.append(result)
+        print(result.render())
+        print()
+        if not result.all_claims_upheld():
+            exit_code = 1
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(render_markdown(results))
+        print(f"Markdown report written to {args.markdown}")
+    return exit_code
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset
+    from repro.io.csv_format import save_csv_matrix
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    save_csv_matrix(args.output, dataset.matrix, dataset.schema)
+    print(
+        f"Wrote {dataset.n_rows} x {dataset.n_cols} {args.dataset} matrix "
+        f"to {args.output}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "fit": _cmd_fit,
+    "rules": _cmd_rules,
+    "fill": _cmd_fill,
+    "ge": _cmd_ge,
+    "outliers": _cmd_outliers,
+    "clean": _cmd_clean,
+    "whatif": _cmd_whatif,
+    "inspect": _cmd_inspect,
+    "stability": _cmd_stability,
+    "verify": _cmd_verify,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""Ratio Rules over mixed numeric/categorical data.
+
+The paper closes with: "Future research could focus on applying Ratio
+Rules to datasets that contain categorical data."  This module is that
+extension, built the standard way: categorical attributes are one-hot
+encoded into indicator columns (scaled so one categorical attribute
+carries comparable variance to one numeric attribute), Ratio Rules are
+mined over the widened numeric matrix, and predictions are decoded
+back -- a reconstructed indicator block is read out as the category
+with the largest reconstructed score.
+
+The encoder is deliberately explicit and auditable (no dataframe
+magic): a :class:`MixedSchema` declares which attributes are
+categorical and with which vocabulary; :class:`CategoricalRatioRuleModel`
+wraps the ordinary :class:`~repro.core.model.RatioRuleModel` behind an
+encode/decode boundary and mirrors its estimator API (``fill_row``
+works on mixed rows where numeric holes are ``NaN`` and categorical
+holes are ``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.io.schema import TableSchema
+
+__all__ = ["CategoricalAttribute", "MixedSchema", "CategoricalRatioRuleModel"]
+
+MixedValue = Union[float, str, None]
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """One categorical attribute: a name and its closed vocabulary.
+
+    Attributes
+    ----------
+    name:
+        Attribute name (e.g. ``"position"``).
+    categories:
+        The allowed values, in a fixed order (the order defines the
+        indicator columns).
+    scale:
+        Indicator magnitude.  One-hot blocks with scale ``s`` contribute
+        variance O(s^2); pick ``s`` near the numeric attributes'
+        standard deviation so the eigensolver weighs a categorical
+        attribute like one numeric attribute.  The model's
+        ``auto_scale`` option sets this per-fit.
+    """
+
+    name: str
+    categories: Tuple[str, ...]
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("attribute name must be non-empty")
+        if len(self.categories) < 2:
+            raise ValueError(
+                f"{self.name}: need at least 2 categories, got {len(self.categories)}"
+            )
+        if len(set(self.categories)) != len(self.categories):
+            raise ValueError(f"{self.name}: duplicate categories")
+        if self.scale <= 0:
+            raise ValueError(f"{self.name}: scale must be > 0")
+
+    def index_of(self, category: str) -> int:
+        """Position of ``category`` in the vocabulary."""
+        try:
+            return self.categories.index(category)
+        except ValueError:
+            raise KeyError(
+                f"unknown category {category!r} for {self.name!r}; "
+                f"expected one of {list(self.categories)}"
+            ) from None
+
+
+class MixedSchema:
+    """Column layout of a mixed numeric/categorical table.
+
+    Parameters
+    ----------
+    fields:
+        Ordered attribute declarations: a plain string declares a
+        numeric attribute; a :class:`CategoricalAttribute` declares a
+        categorical one.
+    """
+
+    def __init__(self, fields: Sequence[Union[str, CategoricalAttribute]]) -> None:
+        if not fields:
+            raise ValueError("schema needs at least one field")
+        self.fields: Tuple[Union[str, CategoricalAttribute], ...] = tuple(fields)
+        names = [f if isinstance(f, str) else f.name for f in self.fields]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate field names: {sorted(duplicates)}")
+        self._names = names
+
+    @property
+    def names(self) -> List[str]:
+        """Attribute names in declaration order."""
+        return list(self._names)
+
+    @property
+    def width(self) -> int:
+        """Number of (mixed) attributes."""
+        return len(self.fields)
+
+    def index_of(self, name: str) -> int:
+        """Position of the attribute called ``name``."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise KeyError(f"no field named {name!r}; have {self._names}") from None
+
+    def is_categorical(self, index: int) -> bool:
+        """True when field ``index`` is categorical."""
+        return isinstance(self.fields[index], CategoricalAttribute)
+
+    def encoded_width(self) -> int:
+        """Width of the numeric matrix after one-hot encoding."""
+        total = 0
+        for field in self.fields:
+            total += len(field.categories) if isinstance(field, CategoricalAttribute) else 1
+        return total
+
+    def encoded_schema(self) -> TableSchema:
+        """Column names of the encoded matrix (``position=center`` style)."""
+        names = []
+        for field in self.fields:
+            if isinstance(field, CategoricalAttribute):
+                names.extend(f"{field.name}={cat}" for cat in field.categories)
+            else:
+                names.append(field)
+        return TableSchema.from_names(names)
+
+    def encoded_slices(self) -> List[Tuple[int, int]]:
+        """Per-field ``(start, stop)`` column ranges in the encoded matrix."""
+        slices = []
+        cursor = 0
+        for field in self.fields:
+            width = len(field.categories) if isinstance(field, CategoricalAttribute) else 1
+            slices.append((cursor, cursor + width))
+            cursor += width
+        return slices
+
+
+class CategoricalRatioRuleModel:
+    """Ratio Rules over mixed data via one-hot encoding.
+
+    Parameters
+    ----------
+    schema:
+        The mixed layout.
+    cutoff, backend:
+        Forwarded to the inner :class:`~repro.core.model.RatioRuleModel`.
+    auto_scale:
+        When True (default), each categorical attribute's indicator
+        scale is set to the mean standard deviation of the numeric
+        attributes at fit time, balancing their influence.
+    """
+
+    def __init__(
+        self,
+        schema: MixedSchema,
+        *,
+        cutoff=None,
+        backend: str = "numpy",
+        auto_scale: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.auto_scale = auto_scale
+        self._inner = RatioRuleModel(cutoff=cutoff, backend=backend)
+        self._scales: Optional[Dict[int, float]] = None
+
+    # -- encoding ---------------------------------------------------------
+
+    def _resolve_scales(self, rows: Sequence[Sequence[MixedValue]]) -> Dict[int, float]:
+        """Per-categorical-field indicator scale."""
+        scales: Dict[int, float] = {}
+        if not self.auto_scale:
+            for index, field in enumerate(self.schema.fields):
+                if isinstance(field, CategoricalAttribute):
+                    scales[index] = field.scale
+            return scales
+        numeric_stds = []
+        for index, field in enumerate(self.schema.fields):
+            if not isinstance(field, CategoricalAttribute):
+                values = np.asarray(
+                    [float(row[index]) for row in rows], dtype=np.float64
+                )
+                numeric_stds.append(float(values.std()))
+        default = float(np.mean(numeric_stds)) if numeric_stds else 1.0
+        default = default if default > 0 else 1.0
+        for index, field in enumerate(self.schema.fields):
+            if isinstance(field, CategoricalAttribute):
+                scales[index] = default
+        return scales
+
+    def encode_rows(self, rows: Sequence[Sequence[MixedValue]]) -> np.ndarray:
+        """One-hot encode mixed rows into the numeric training matrix.
+
+        Numeric holes (NaN) and categorical holes (None) are forbidden
+        here -- training data must be complete; use the estimator API
+        for rows with holes.
+        """
+        if self._scales is None:
+            raise RuntimeError("internal: scales unresolved (call fit first)")
+        encoded = np.empty((len(rows), self.schema.encoded_width()))
+        for i, row in enumerate(rows):
+            encoded[i] = self._encode_row(row, allow_holes=False)
+        return encoded
+
+    def _encode_row(self, row: Sequence[MixedValue], *, allow_holes: bool) -> np.ndarray:
+        if len(row) != self.schema.width:
+            raise ValueError(
+                f"row has {len(row)} fields, schema has {self.schema.width}"
+            )
+        parts: List[np.ndarray] = []
+        for index, (field, value) in enumerate(zip(self.schema.fields, row)):
+            if isinstance(field, CategoricalAttribute):
+                block = np.zeros(len(field.categories))
+                if value is None:
+                    if not allow_holes:
+                        raise ValueError(f"{field.name}: missing category in training row")
+                    block[:] = np.nan
+                else:
+                    scale = self._scales[index]
+                    block[field.index_of(str(value))] = scale
+                parts.append(block)
+            else:
+                numeric = np.nan if value is None else float(value)
+                if np.isnan(numeric) and not allow_holes:
+                    raise ValueError(f"{field}: NaN in training row")
+                parts.append(np.asarray([numeric]))
+        return np.concatenate(parts)
+
+    def _decode_row(self, encoded: np.ndarray) -> List[MixedValue]:
+        decoded: List[MixedValue] = []
+        for field, (start, stop) in zip(self.schema.fields, self.schema.encoded_slices()):
+            block = encoded[start:stop]
+            if isinstance(field, CategoricalAttribute):
+                decoded.append(field.categories[int(np.argmax(block))])
+            else:
+                decoded.append(float(block[0]))
+        return decoded
+
+    # -- estimator API ----------------------------------------------------
+
+    def fit(self, rows: Sequence[Sequence[MixedValue]]) -> "CategoricalRatioRuleModel":
+        """Mine Ratio Rules from complete mixed rows."""
+        if not rows:
+            raise ValueError("need at least one training row")
+        self._scales = self._resolve_scales(rows)
+        matrix = self.encode_rows(rows)
+        self._inner.fit(matrix, schema=self.schema.encoded_schema())
+        return self
+
+    @property
+    def inner_model(self) -> RatioRuleModel:
+        """The underlying numeric model (for rule inspection)."""
+        return self._inner
+
+    @property
+    def k(self) -> int:
+        """Number of rules kept."""
+        return self._inner.k
+
+    def fill_row(self, row: Sequence[MixedValue]) -> List[MixedValue]:
+        """Fill the holes of a mixed row.
+
+        Numeric holes are ``float('nan')`` (or ``None``); categorical
+        holes are ``None``.  Returns the completed row in schema order,
+        with categorical predictions decoded back to category labels.
+        """
+        encoded = self._encode_row(row, allow_holes=True)
+        filled = self._inner.fill_row(encoded)
+        decoded = self._decode_row(filled)
+        # Pass known values through verbatim (decode can only lose
+        # precision / re-bucket what the caller already gave us).
+        result: List[MixedValue] = []
+        for index, (field, value) in enumerate(zip(self.schema.fields, row)):
+            is_hole = value is None or (
+                not isinstance(field, CategoricalAttribute)
+                and isinstance(value, float)
+                and np.isnan(value)
+            )
+            result.append(decoded[index] if is_hole else
+                          (str(value) if isinstance(field, CategoricalAttribute) else float(value)))
+        return result
+
+    def predict_category(
+        self,
+        row: Sequence[MixedValue],
+        name: str,
+        *,
+        method: str = "residual",
+    ) -> str:
+        """Predict the categorical attribute ``name`` from the rest of the row.
+
+        Parameters
+        ----------
+        row:
+            Mixed row; the target's own value is ignored.
+        name:
+            The categorical attribute to predict.
+        method:
+            ``"residual"`` (default) tries each candidate category and
+            keeps the one whose completed row lies closest to the rule
+            hyper-plane -- a nearest-subspace classifier, usually the
+            more accurate decode.  ``"argmax"`` reconstructs the
+            indicator block once and takes the largest score -- one
+            solve instead of one per category.
+        """
+        index = self.schema.index_of(name)
+        if not self.schema.is_categorical(index):
+            raise ValueError(f"{name!r} is numeric; use fill_row")
+        if method == "argmax":
+            probe = list(row)
+            probe[index] = None
+            return str(self.fill_row(probe)[index])
+        if method != "residual":
+            raise ValueError(
+                f"unknown method {method!r}; expected 'residual' or 'argmax'"
+            )
+        field = self.schema.fields[index]
+        best_category = field.categories[0]
+        best_residual = np.inf
+        for category in field.categories:
+            candidate = list(row)
+            candidate[index] = category
+            encoded = self._encode_row(candidate, allow_holes=True)
+            # Fill any *other* holes first, then score the distance of
+            # the completed row to the RR-hyperplane.
+            completed = self._inner.fill_row(encoded)
+            residual = float(
+                np.linalg.norm(completed - self._inner.reconstruct(completed)[0])
+            )
+            if residual < best_residual:
+                best_residual = residual
+                best_category = category
+        return str(best_category)
+
+    def category_scores(self, row: Sequence[MixedValue], name: str) -> Dict[str, float]:
+        """Reconstructed indicator scores per category (pre-argmax view).
+
+        Useful for inspecting how confident the decode is: well-separated
+        scores mean a clear prediction, near-ties mean a coin flip.
+        """
+        index = self.schema.index_of(name)
+        if not self.schema.is_categorical(index):
+            raise ValueError(f"{name!r} is numeric")
+        probe = list(row)
+        probe[index] = None
+        encoded = self._encode_row(probe, allow_holes=True)
+        filled = self._inner.fill_row(encoded)
+        field = self.schema.fields[index]
+        start, stop = self.schema.encoded_slices()[index]
+        return dict(zip(field.categories, filled[start:stop].tolist()))

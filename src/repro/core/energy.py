@@ -1,0 +1,159 @@
+"""Cutoff selection: how many Ratio Rules to keep.
+
+The paper's Eq. 1 keeps the smallest ``k`` whose eigenvalues cover 85%
+of the total eigenvalue mass ("the simplest textbook heuristic",
+Jolliffe p. 94).  We implement that rule as the default and add the
+other standard heuristics (fixed ``k``, scree elbow, Kaiser-style
+average-eigenvalue) so ablations can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "CutoffPolicy",
+    "EnergyCutoff",
+    "FixedCutoff",
+    "ScreeCutoff",
+    "AverageEigenvalueCutoff",
+    "resolve_cutoff",
+    "PAPER_ENERGY_THRESHOLD",
+]
+
+#: The 85% threshold used throughout the paper (Eq. 1).
+PAPER_ENERGY_THRESHOLD = 0.85
+
+
+class CutoffPolicy:
+    """Strategy object choosing ``k`` from a descending eigenvalue array."""
+
+    def choose_k(self, eigenvalues: np.ndarray, total_variance: float) -> int:
+        """Return the number of rules to keep (``1 <= k <= len(eigenvalues)``)."""
+        raise NotImplementedError
+
+
+def _validate_spectrum(eigenvalues: np.ndarray) -> np.ndarray:
+    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+    if eigenvalues.ndim != 1 or eigenvalues.size == 0:
+        raise ValueError("eigenvalues must be a non-empty 1-d array")
+    if np.any(np.diff(eigenvalues) > 1e-9 * max(1.0, abs(float(eigenvalues[0])))):
+        raise ValueError("eigenvalues must be sorted in descending order")
+    return eigenvalues
+
+
+@dataclass(frozen=True)
+class EnergyCutoff(CutoffPolicy):
+    """Keep the fewest rules covering ``threshold`` of the eigenvalue mass.
+
+    This is the paper's Eq. 1 with ``threshold = 0.85``.  When the
+    supplied eigenvalues do not reach the threshold (possible when only
+    the top few were computed by an iterative backend), all supplied
+    rules are kept.
+    """
+
+    threshold: float = PAPER_ENERGY_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {self.threshold}")
+
+    def choose_k(self, eigenvalues: np.ndarray, total_variance: float) -> int:
+        eigenvalues = _validate_spectrum(eigenvalues)
+        if total_variance <= 0.0:
+            # Degenerate (constant) data: one rule describes it all.
+            return 1
+        fractions = np.cumsum(eigenvalues) / total_variance
+        reaching = np.nonzero(fractions >= self.threshold - 1e-12)[0]
+        if reaching.size == 0:
+            return int(eigenvalues.size)
+        return int(reaching[0]) + 1
+
+
+@dataclass(frozen=True)
+class FixedCutoff(CutoffPolicy):
+    """Always keep exactly ``k`` rules (clamped to the available count)."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    def choose_k(self, eigenvalues: np.ndarray, total_variance: float) -> int:
+        eigenvalues = _validate_spectrum(eigenvalues)
+        return min(self.k, int(eigenvalues.size))
+
+
+@dataclass(frozen=True)
+class ScreeCutoff(CutoffPolicy):
+    """Keep rules up to the largest drop in consecutive eigenvalues.
+
+    The classic scree-plot "elbow": find the index with the largest gap
+    ``lambda_i - lambda_{i+1}`` and keep everything before it.
+    """
+
+    def choose_k(self, eigenvalues: np.ndarray, total_variance: float) -> int:
+        eigenvalues = _validate_spectrum(eigenvalues)
+        if eigenvalues.size == 1:
+            return 1
+        gaps = eigenvalues[:-1] - eigenvalues[1:]
+        return int(np.argmax(gaps)) + 1
+
+
+@dataclass(frozen=True)
+class AverageEigenvalueCutoff(CutoffPolicy):
+    """Kaiser-style rule: keep eigenvalues above the average eigenvalue.
+
+    The average is ``total_variance / M``; since iterative backends may
+    supply fewer than ``M`` eigenvalues, the caller's ``total_variance``
+    (the trace) is used together with an explicit dimensionality
+    inferred from it being a trace over ``M`` columns -- we approximate
+    ``M`` by the supplied spectrum length, which is exact for dense
+    backends.
+    """
+
+    def choose_k(self, eigenvalues: np.ndarray, total_variance: float) -> int:
+        eigenvalues = _validate_spectrum(eigenvalues)
+        average = total_variance / eigenvalues.size if total_variance > 0 else 0.0
+        above = int(np.sum(eigenvalues > average))
+        return max(above, 1)
+
+
+def resolve_cutoff(cutoff: Union[CutoffPolicy, int, float, str, None]) -> CutoffPolicy:
+    """Normalize user-friendly cutoff specifications to a policy object.
+
+    Accepted forms:
+
+    - ``None`` -> the paper's 85% :class:`EnergyCutoff`;
+    - an ``int`` ``k`` -> :class:`FixedCutoff`;
+    - a ``float`` in (0, 1] -> :class:`EnergyCutoff` with that threshold;
+    - the strings ``"paper"``, ``"scree"``, ``"kaiser"``;
+    - any :class:`CutoffPolicy` instance (returned unchanged).
+    """
+    if cutoff is None:
+        return EnergyCutoff()
+    if isinstance(cutoff, CutoffPolicy):
+        return cutoff
+    if isinstance(cutoff, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("cutoff must not be a bool")
+    if isinstance(cutoff, int):
+        return FixedCutoff(cutoff)
+    if isinstance(cutoff, float):
+        return EnergyCutoff(cutoff)
+    if isinstance(cutoff, str):
+        named = {
+            "paper": EnergyCutoff(),
+            "scree": ScreeCutoff(),
+            "kaiser": AverageEigenvalueCutoff(),
+        }
+        try:
+            return named[cutoff]
+        except KeyError:
+            raise ValueError(
+                f"unknown cutoff {cutoff!r}; expected one of {sorted(named)}"
+            ) from None
+    raise TypeError(f"cannot interpret cutoff of type {type(cutoff).__name__}")

@@ -1,0 +1,196 @@
+"""Mining Ratio Rules from data that is *already* incomplete.
+
+The paper assumes a complete training matrix and only the new/query
+rows have holes.  Real warehouses are messier: the historical data
+itself has NULLs.  This module extends the single-pass covariance
+machinery to incomplete rows using **pairwise-available statistics**:
+
+- each column's mean is computed over its observed cells;
+- each covariance entry ``C[j][l]`` is accumulated over the rows where
+  *both* ``j`` and ``l`` are observed, then rescaled to a common row
+  count so the matrix approximates the complete-data scatter.
+
+Pairwise deletion is the standard estimator for this setting; its known
+wart -- the assembled matrix may lose positive semi-definiteness when
+missingness is heavy -- is handled by clipping negative eigenvalues at
+the solve (our eigen front-end already does) plus an explicit
+diagnostic (:attr:`IncompleteCovariance.min_pair_count`) so callers can
+tell when they are on thin ice.
+
+The result plugs straight into :class:`~repro.core.model.RatioRuleModel`
+via :func:`fit_incomplete`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.io.matrix_reader import open_matrix
+from repro.io.schema import TableSchema
+
+__all__ = ["IncompleteCovariance", "fit_incomplete"]
+
+
+class IncompleteCovariance:
+    """Single-pass pairwise-available covariance over rows with NaNs.
+
+    Memory: three ``M x M`` matrices (pair counts, pair co-moments and
+    cross-sums) plus per-column counts/sums -- still O(M^2), still one
+    sequential scan.
+    """
+
+    def __init__(self, n_cols: int) -> None:
+        if n_cols < 1:
+            raise ValueError(f"n_cols must be >= 1, got {n_cols}")
+        self._n_cols = n_cols
+        self._row_count = 0
+        self._col_counts = np.zeros(n_cols)
+        self._col_sums = np.zeros(n_cols)
+        self._pair_counts = np.zeros((n_cols, n_cols))
+        self._pair_products = np.zeros((n_cols, n_cols))
+        # Sum of x_j over rows where BOTH j and l are observed, per (j, l).
+        self._pair_sums_j = np.zeros((n_cols, n_cols))
+
+    def update(self, block: np.ndarray) -> None:
+        """Fold a block of rows (NaN = missing) into the statistics."""
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim == 1:
+            block = block.reshape(1, -1)
+        if block.ndim != 2 or block.shape[1] != self._n_cols:
+            raise ValueError(
+                f"expected width {self._n_cols}, got shape {block.shape}"
+            )
+        observed = ~np.isnan(block)
+        filled = np.where(observed, block, 0.0)
+        obs_f = observed.astype(np.float64)
+
+        self._row_count += block.shape[0]
+        self._col_counts += obs_f.sum(axis=0)
+        self._col_sums += filled.sum(axis=0)
+        self._pair_counts += obs_f.T @ obs_f
+        self._pair_products += filled.T @ filled
+        # sum over rows of x_j * [l observed]:
+        self._pair_sums_j += filled.T @ obs_f
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Rows scanned (complete or not)."""
+        return self._row_count
+
+    @property
+    def column_means(self) -> np.ndarray:
+        """Per-column mean over observed cells."""
+        if self._row_count == 0:
+            raise ValueError("no rows accumulated yet")
+        counts = np.where(self._col_counts > 0, self._col_counts, np.nan)
+        means = self._col_sums / counts
+        if np.isnan(means).any():
+            empty = [int(j) for j in np.nonzero(np.isnan(means))[0]]
+            raise ValueError(f"columns {empty} have no observed values")
+        return means
+
+    @property
+    def min_pair_count(self) -> int:
+        """Smallest number of co-observed rows over all column pairs.
+
+        Below ~10 the pairwise estimates are unreliable; 0 means a pair
+        of columns was never observed together and the scatter entry is
+        pure extrapolation (set to 0).
+        """
+        return int(self._pair_counts.min())
+
+    def scatter_matrix(self) -> np.ndarray:
+        """Pairwise-available scatter, rescaled to the full row count.
+
+        Entry (j, l) is the centered co-moment over the rows where both
+        columns are observed, scaled by ``n_rows / pair_count`` so the
+        magnitude matches a complete-data scatter (the eigenvector
+        directions are scale-invariant; the rescaling keeps eigenvalue
+        *ratios* comparable across pairs with different missingness).
+        """
+        means = self.column_means
+        counts = self._pair_counts
+        safe_counts = np.where(counts > 0, counts, 1.0)
+        # Centered pairwise co-moment:
+        #   sum_{i in both} (x_ij - mu_j)(x_il - mu_l)
+        # = sum x_j x_l - mu_l * sum_{both} x_j - mu_j * sum_{both} x_l
+        #   + n_both * mu_j mu_l
+        centered = (
+            self._pair_products
+            - self._pair_sums_j * means[np.newaxis, :]
+            - self._pair_sums_j.T * means[:, np.newaxis]
+            + counts * np.outer(means, means)
+        )
+        scaled = centered * (self._row_count / safe_counts)
+        scaled = np.where(counts > 0, scaled, 0.0)
+        return (scaled + scaled.T) / 2.0
+
+
+def fit_incomplete(
+    source,
+    *,
+    schema: Optional[TableSchema] = None,
+    cutoff=None,
+    backend: str = "numpy",
+    block_rows: int = 4096,
+    min_pair_count: int = 2,
+) -> Tuple[RatioRuleModel, IncompleteCovariance]:
+    """Mine Ratio Rules from a matrix that contains NaNs.
+
+    Parameters
+    ----------
+    source:
+        Array / reader / path; NaN cells mark missing values.
+        (File readers reject NaNs at parse time, so in practice this is
+        used with in-memory arrays or a permissive custom reader.)
+    schema, cutoff, backend, block_rows:
+        As for :class:`~repro.core.model.RatioRuleModel`.
+    min_pair_count:
+        Reject the fit if any column pair was co-observed fewer than
+        this many times (the pairwise scatter would be meaningless).
+
+    Returns
+    -------
+    (model, accumulator):
+        The fitted model plus the accumulator, whose
+        :attr:`~IncompleteCovariance.min_pair_count` diagnoses the
+        missingness severity.
+    """
+    if isinstance(source, np.ndarray) or isinstance(source, list):
+        matrix = np.asarray(source, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+        if schema is None:
+            schema = TableSchema.generic(matrix.shape[1])
+        accumulator = IncompleteCovariance(matrix.shape[1])
+        for start in range(0, matrix.shape[0], block_rows):
+            accumulator.update(matrix[start : start + block_rows])
+    else:
+        reader = open_matrix(source, schema)
+        schema = reader.schema
+        accumulator = IncompleteCovariance(reader.n_cols)
+        for block in reader.iter_blocks(block_rows):
+            accumulator.update(block)
+
+    if accumulator.n_rows == 0:
+        raise ValueError("source matrix has no rows")
+    if accumulator.min_pair_count < min_pair_count:
+        raise ValueError(
+            f"some column pair is co-observed only "
+            f"{accumulator.min_pair_count} time(s) (< {min_pair_count}); "
+            "the pairwise covariance is unreliable"
+        )
+
+    model = RatioRuleModel(cutoff=cutoff, backend=backend)
+    model._fit_from_scatter(
+        accumulator.scatter_matrix(),
+        accumulator.column_means,
+        accumulator.n_rows,
+        schema,
+    )
+    return model, accumulator

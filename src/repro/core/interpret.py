@@ -1,0 +1,195 @@
+"""Interpreting Ratio Rules as meaningful statements.
+
+The paper's Fig. 10 methodology:
+
+1. solve the eigensystem;
+2. keep the ``k`` strongest rules (Eq. 1);
+3. display each rule graphically in a histogram;
+4. observe positive and negative correlations;
+5. interpret.
+
+Steps 1-2 live in the model; this module automates 3-4 and assists 5:
+it renders Table-2-style loading tables, extracts each rule's
+positively and negatively correlated attribute groups, states the
+implied pairwise ratios ("the average player scores 1 point for every 2
+minutes of play" comes from RR1's 0.808 : 0.406 loading pair), and
+emits a compact narrative per rule.  Naming a rule ("court action",
+"height") remains the analyst's job, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.rules import RatioRule, RuleSet
+
+__all__ = [
+    "RuleInterpretation",
+    "interpret_rule",
+    "interpret_rules",
+    "loading_table",
+]
+
+#: Loadings below this fraction of the rule's peak are treated as noise,
+#: mirroring how Table 2 leaves small entries blank.
+DEFAULT_DISPLAY_THRESHOLD = 0.2
+
+
+@dataclass(frozen=True)
+class RuleInterpretation:
+    """Structured reading of one Ratio Rule.
+
+    Attributes
+    ----------
+    rule:
+        The rule being interpreted.
+    positive:
+        ``(attribute, loading)`` pairs moving together in the positive
+        direction, strongest first.
+    negative:
+        Likewise for the negatively loaded attributes.
+    ratios:
+        Noteworthy pairwise ratios among dominant attributes, as
+        ``(attribute_a, attribute_b, ratio)`` with ``ratio =
+        loading_a / loading_b`` (both above threshold).
+    """
+
+    rule: RatioRule
+    positive: Tuple[Tuple[str, float], ...]
+    negative: Tuple[Tuple[str, float], ...]
+    ratios: Tuple[Tuple[str, str, float], ...]
+
+    def is_size_factor(self) -> bool:
+        """True when every dominant loading shares one sign.
+
+        Such a rule is a "volume" factor (the paper's RR1: overall
+        court action) rather than a contrast between attribute groups.
+        """
+        return not self.positive or not self.negative
+
+    def narrative(self) -> str:
+        """One-paragraph plain-language description of the rule."""
+        name = self.rule.name
+        if self.is_size_factor():
+            side = self.positive or self.negative
+            attrs = ", ".join(attr for attr, _ in side[:4])
+            sentences = [
+                f"{name} is a volume factor: {attrs} all rise and fall together."
+            ]
+        else:
+            pos = ", ".join(attr for attr, _ in self.positive[:3])
+            neg = ", ".join(attr for attr, _ in self.negative[:3])
+            sentences = [
+                f"{name} contrasts {pos} (positive) against {neg} (negative): "
+                f"rows scoring high on one group tend to score low on the other."
+            ]
+        if self.ratios:
+            a, b, ratio = self.ratios[0]
+            sentences.append(
+                f"Dominant ratio: {a} : {b} is about {_simple_ratio(ratio)}."
+            )
+        sentences.append(
+            f"It explains {self.rule.energy_fraction:.1%} of the total variance."
+        )
+        return " ".join(sentences)
+
+
+def _simple_ratio(ratio: float, max_denominator: int = 4) -> str:
+    """Render a loading ratio as a small integer ratio when one is close.
+
+    ``2.02 -> "2:1"``, ``2.46 -> "2.46:1"`` (no small fraction nearby).
+    Only genuinely simple fractions qualify: small denominators and a
+    tight (1.5%) relative error, matching how the paper rounds
+    0.808:0.406 to "2:1" but leaves 2.45:1 as a decimal.
+    """
+    magnitude = abs(ratio)
+    best: Optional[Tuple[int, int]] = None
+    best_error = 0.015
+    for denominator in range(1, max_denominator + 1):
+        numerator = round(magnitude * denominator)
+        if numerator == 0 or numerator > 20:
+            continue
+        error = abs(magnitude - numerator / denominator) / magnitude
+        if error < best_error:
+            best, best_error = (numerator, denominator), error
+    if best is not None:
+        return f"{best[0]}:{best[1]}"
+    return f"{magnitude:.2f}:1"
+
+
+def interpret_rule(
+    rule: RatioRule,
+    *,
+    threshold: float = DEFAULT_DISPLAY_THRESHOLD,
+) -> RuleInterpretation:
+    """Extract the sign structure and key ratios of one rule.
+
+    Parameters
+    ----------
+    rule:
+        The Ratio Rule.
+    threshold:
+        Fraction of the peak |loading| below which attributes are
+        ignored (Table 2 leaves such entries blank).
+    """
+    dominant = rule.dominant_attributes(threshold)
+    positive = tuple((name, value) for name, value in dominant if value > 0)
+    negative = tuple((name, value) for name, value in dominant if value < 0)
+
+    ratios: List[Tuple[str, str, float]] = []
+    for group in (positive, negative):
+        for (name_a, value_a), (name_b, value_b) in zip(group, group[1:]):
+            ratios.append((name_a, name_b, value_a / value_b))
+    # Cross-sign ratio between the strongest of each group -- this is how
+    # the paper reads RR2 ("rebounds negatively correlated with points in
+    # a 0.489:0.199 = 2.45:1 ratio").
+    if positive and negative:
+        name_a, value_a = positive[0]
+        name_b, value_b = negative[0]
+        ratios.append((name_a, name_b, abs(value_a / value_b)))
+    return RuleInterpretation(
+        rule=rule, positive=positive, negative=negative, ratios=tuple(ratios)
+    )
+
+
+def interpret_rules(
+    rules: RuleSet,
+    *,
+    threshold: float = DEFAULT_DISPLAY_THRESHOLD,
+) -> List[RuleInterpretation]:
+    """Interpret every rule in a set, strongest first."""
+    return [interpret_rule(rule, threshold=threshold) for rule in rules]
+
+
+def loading_table(
+    rules: RuleSet,
+    *,
+    threshold: float = DEFAULT_DISPLAY_THRESHOLD,
+    digits: int = 3,
+) -> str:
+    """Render the rules as the paper's Table 2: attributes x rules.
+
+    Loadings below ``threshold`` of each rule's peak are left blank,
+    exactly as Table 2 omits negligible entries.
+    """
+    names = rules.schema.names
+    name_width = max(len("field"), max(len(name) for name in names))
+    value_width = digits + 5
+    header = f"{'field':<{name_width}}" + "".join(
+        f"  {rule.name:>{value_width}}" for rule in rules
+    )
+    peaks = [float(np.max(np.abs(rule.loadings))) for rule in rules]
+    lines = [header, "-" * len(header)]
+    for j, name in enumerate(names):
+        cells = []
+        for rule, peak in zip(rules, peaks):
+            value = float(rule.loadings[j])
+            if peak > 0 and abs(value) >= threshold * peak:
+                cells.append(f"  {value:>{value_width}.{digits}f}")
+            else:
+                cells.append("  " + " " * value_width)
+        lines.append(f"{name:<{name_width}}" + "".join(cells))
+    return "\n".join(lines)

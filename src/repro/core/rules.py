@@ -1,0 +1,256 @@
+"""Ratio Rule value objects.
+
+A Ratio Rule is one eigenvector of the data's covariance matrix,
+dressed up with everything needed to read it as a *rule*: the attribute
+names it loads on, its eigenvalue (strength), and the fraction of the
+total variance it explains.  ``bread : butter => 0.866 : 0.5`` in the
+paper's running example is exactly ``RatioRule.ratio_string()`` here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.io.schema import TableSchema
+
+__all__ = ["RatioRule", "RuleSet"]
+
+
+@dataclass(frozen=True)
+class RatioRule:
+    """One Ratio Rule: a unit direction in attribute space plus metadata.
+
+    Attributes
+    ----------
+    index:
+        Rank of the rule (0 = strongest, i.e. "RR1" in the paper is
+        ``index == 0``).
+    loadings:
+        Length-``M`` unit vector; entry ``j`` is the rule's weight on
+        attribute ``j``.  Sign-canonicalized so the largest-|entry| is
+        positive.
+    eigenvalue:
+        Variance captured along this direction (paper's lambda).
+    energy_fraction:
+        ``eigenvalue / total variance`` -- this rule's share of Eq. 1's
+        denominator.
+    schema:
+        Column metadata for pretty-printing.
+    """
+
+    index: int
+    loadings: np.ndarray
+    eigenvalue: float
+    energy_fraction: float
+    schema: TableSchema
+
+    def __post_init__(self) -> None:
+        loadings = np.asarray(self.loadings, dtype=np.float64)
+        if loadings.ndim != 1:
+            raise ValueError(f"loadings must be 1-d, got ndim={loadings.ndim}")
+        if loadings.shape[0] != self.schema.width:
+            raise ValueError(
+                f"loadings length {loadings.shape[0]} != schema width {self.schema.width}"
+            )
+        object.__setattr__(self, "loadings", loadings)
+
+    @property
+    def name(self) -> str:
+        """The paper's naming: RR1 for the strongest rule, RR2, ..."""
+        return f"RR{self.index + 1}"
+
+    def loading_of(self, attribute: str) -> float:
+        """Loading on the named attribute."""
+        return float(self.loadings[self.schema.index_of(attribute)])
+
+    def dominant_attributes(self, threshold: float = 0.2) -> List[Tuple[str, float]]:
+        """Attributes whose |loading| is at least ``threshold`` of the max.
+
+        Returns ``(name, loading)`` pairs sorted by decreasing
+        |loading| -- the entries one would read off Table 2.
+        """
+        magnitudes = np.abs(self.loadings)
+        peak = float(magnitudes.max())
+        if peak == 0.0:
+            return []
+        keep = np.nonzero(magnitudes >= threshold * peak)[0]
+        order = keep[np.argsort(-magnitudes[keep])]
+        return [(self.schema[j].name, float(self.loadings[j])) for j in order]
+
+    def ratio_string(self, attributes: Optional[Sequence[str]] = None, *, digits: int = 3) -> str:
+        """Render the rule in the paper's ``a : b => x : y`` form.
+
+        Parameters
+        ----------
+        attributes:
+            Which attributes to include; defaults to the dominant ones.
+        digits:
+            Decimal places for the ratio values.
+        """
+        if attributes is None:
+            pairs = self.dominant_attributes()
+        else:
+            pairs = [(name, self.loading_of(name)) for name in attributes]
+        if not pairs:
+            return f"{self.name}: (zero rule)"
+        names = " : ".join(name for name, _ in pairs)
+        values = " : ".join(f"{value:.{digits}f}" for _, value in pairs)
+        return f"{names} => {values}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (attribute name -> loading)."""
+        return {
+            "name": self.name,
+            "eigenvalue": float(self.eigenvalue),
+            "energy_fraction": float(self.energy_fraction),
+            "loadings": {
+                column.name: float(self.loadings[j])
+                for j, column in enumerate(self.schema)
+            },
+        }
+
+    def histogram_string(self, *, width: int = 30) -> str:
+        """ASCII bar chart of the loadings (Fig. 10's "display graphically").
+
+        One line per attribute: name, signed bar, numeric loading.
+        """
+        peak = float(np.max(np.abs(self.loadings)))
+        lines = [f"{self.name} (eigenvalue {self.eigenvalue:.4g}, "
+                 f"{self.energy_fraction:.1%} of variance)"]
+        name_width = max(len(c.name) for c in self.schema)
+        for j, column in enumerate(self.schema):
+            value = float(self.loadings[j])
+            bar_len = 0 if peak == 0 else int(round(abs(value) / peak * width))
+            bar = ("+" if value >= 0 else "-") * bar_len
+            lines.append(f"  {column.name:<{name_width}} {value:+8.3f} {bar}")
+        return "\n".join(lines)
+
+
+class RuleSet:
+    """An ordered collection of Ratio Rules sharing one schema.
+
+    Provides the matrix view the reconstruction algorithms need
+    (:attr:`matrix`, the paper's ``V``: ``M x k``, one rule per column)
+    and sequence-style access to the individual rules.
+    """
+
+    def __init__(self, rules: Sequence[RatioRule]) -> None:
+        rules = list(rules)
+        if not rules:
+            raise ValueError("a RuleSet needs at least one rule")
+        schema = rules[0].schema
+        for rule in rules:
+            if rule.schema.names != schema.names:
+                raise ValueError("all rules in a RuleSet must share one schema")
+        for position, rule in enumerate(rules):
+            if rule.index != position:
+                raise ValueError(
+                    f"rules must be supplied strongest-first with contiguous "
+                    f"indices; rule at position {position} has index {rule.index}"
+                )
+        self._rules = rules
+        self._schema = schema
+        self._matrix = np.column_stack([rule.loadings for rule in rules])
+
+    @classmethod
+    def from_eigen(
+        cls,
+        eigenvalues: np.ndarray,
+        eigenvectors: np.ndarray,
+        total_variance: float,
+        schema: TableSchema,
+    ) -> "RuleSet":
+        """Build a rule set from descending eigenpairs."""
+        eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+        eigenvectors = np.asarray(eigenvectors, dtype=np.float64)
+        if eigenvectors.shape[1] != eigenvalues.shape[0]:
+            raise ValueError("eigenvalue/eigenvector count mismatch")
+        denom = total_variance if total_variance > 0 else float("inf")
+        rules = [
+            RatioRule(
+                index=i,
+                loadings=eigenvectors[:, i].copy(),
+                eigenvalue=float(eigenvalues[i]),
+                energy_fraction=float(eigenvalues[i]) / denom,
+                schema=schema,
+            )
+            for i in range(eigenvalues.shape[0])
+        ]
+        return cls(rules)
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[RatioRule]:
+        return iter(self._rules)
+
+    def __getitem__(self, index: int) -> RatioRule:
+        return self._rules[index]
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        """Shared column metadata."""
+        return self._schema
+
+    @property
+    def k(self) -> int:
+        """Number of rules (the paper's cutoff ``k``)."""
+        return len(self._rules)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The paper's ``V``: ``M x k``, one rule per column (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Eigenvalues of the kept rules, descending."""
+        return np.asarray([rule.eigenvalue for rule in self._rules])
+
+    def total_energy_fraction(self) -> float:
+        """Left-hand side of Eq. 1 for this rule set."""
+        return float(sum(rule.energy_fraction for rule in self._rules))
+
+    def truncate(self, k: int) -> "RuleSet":
+        """The ``k`` strongest rules as a new set."""
+        if not 1 <= k <= self.k:
+            raise ValueError(f"k must be in [1, {self.k}], got {k}")
+        return RuleSet(self._rules[:k])
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of all rules."""
+        header = (
+            f"RuleSet: {self.k} Ratio Rules over {self._schema.width} attributes, "
+            f"covering {self.total_energy_fraction():.1%} of the variance"
+        )
+        return "\n\n".join([header] + [rule.histogram_string() for rule in self._rules])
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleSet(k={self.k}, M={self._schema.width}, "
+            f"energy={self.total_energy_fraction():.1%})"
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Serialize the rule set for downstream tooling.
+
+        The document carries everything needed to *read* the rules
+        (names, loadings, eigenvalues, energy); use
+        :meth:`~repro.core.model.RatioRuleModel.save` for a loadable
+        model (this export intentionally omits the column means).
+        """
+        payload = {
+            "k": self.k,
+            "attributes": self._schema.names,
+            "total_energy_fraction": self.total_energy_fraction(),
+            "rules": [rule.to_dict() for rule in self._rules],
+        }
+        return json.dumps(payload, indent=indent)

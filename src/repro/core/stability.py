@@ -1,0 +1,133 @@
+"""Bootstrap stability of mined Ratio Rules.
+
+A rule is only worth interpreting (Sec. 6.2 of the paper) if it is a
+property of the population, not of the sample: would RR2 still contrast
+rebounds against points if the season had included a different set of
+players?  The standard answer is the bootstrap -- refit on resampled
+rows and measure how much the rule subspace moves.
+
+:func:`bootstrap_stability` reports, per rule index, the distribution
+of angles between the original rule and its best-matching counterpart
+in each bootstrap refit, plus the subspace-level principal angles.
+Stable rules (small angles across resamples) deserve interpretation;
+unstable ones are sampling noise -- typically the trailing rules just
+above the energy cutoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.compare import principal_angles
+from repro.core.model import RatioRuleModel
+
+__all__ = ["RuleStabilityReport", "bootstrap_stability"]
+
+
+@dataclass(frozen=True)
+class RuleStabilityReport:
+    """Bootstrap stability results.
+
+    Attributes
+    ----------
+    per_rule_angles_degrees:
+        Rule index -> array of per-resample angles (degrees) between the
+        original rule and its best-matching refit rule.
+    subspace_angles_degrees:
+        Array of per-resample largest principal angles between the
+        original rule subspace and the refit subspace.
+    n_resamples:
+        Bootstrap resamples performed.
+    """
+
+    per_rule_angles_degrees: Dict[int, np.ndarray]
+    subspace_angles_degrees: np.ndarray
+    n_resamples: int
+
+    def rule_stability(self, index: int) -> Tuple[float, float]:
+        """(median, 90th-percentile) angle for one rule, in degrees."""
+        angles = self.per_rule_angles_degrees[index]
+        return float(np.median(angles)), float(np.quantile(angles, 0.9))
+
+    def stable_rules(self, *, max_median_degrees: float = 10.0) -> Tuple[int, ...]:
+        """Indices of rules whose median bootstrap angle is small."""
+        return tuple(
+            index
+            for index in sorted(self.per_rule_angles_degrees)
+            if np.median(self.per_rule_angles_degrees[index]) <= max_median_degrees
+        )
+
+    def describe(self) -> str:
+        """Aligned text table: one row per rule."""
+        lines = [f"{'rule':>6}  {'median angle':>13}  {'p90 angle':>10}  stable?"]
+        for index in sorted(self.per_rule_angles_degrees):
+            median, p90 = self.rule_stability(index)
+            stable = "yes" if median <= 10.0 else "no"
+            lines.append(f"{f'RR{index + 1}':>6}  {median:>12.1f}°  {p90:>9.1f}°  {stable}")
+        lines.append(
+            f"subspace: median largest principal angle "
+            f"{float(np.median(self.subspace_angles_degrees)):.1f}° "
+            f"over {self.n_resamples} resamples"
+        )
+        return "\n".join(lines)
+
+
+def bootstrap_stability(
+    model: RatioRuleModel,
+    matrix: np.ndarray,
+    *,
+    n_resamples: int = 50,
+    seed: int = 0,
+) -> RuleStabilityReport:
+    """Measure how much each mined rule moves under row resampling.
+
+    Parameters
+    ----------
+    model:
+        The fitted model whose rules are being audited.
+    matrix:
+        The training matrix the model was fitted on.
+    n_resamples:
+        Bootstrap refits (each on ``N`` rows drawn with replacement).
+    seed:
+        Resampling seed.
+
+    Returns
+    -------
+    RuleStabilityReport
+    """
+    if model.rules_ is None:
+        raise ValueError("model must be fitted")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    if n_resamples < 2:
+        raise ValueError(f"n_resamples must be >= 2, got {n_resamples}")
+
+    rng = np.random.default_rng(seed)
+    original = model.rules_.matrix  # M x k
+    k = original.shape[1]
+    per_rule = {index: np.empty(n_resamples) for index in range(k)}
+    subspace = np.empty(n_resamples)
+
+    for resample in range(n_resamples):
+        rows = rng.integers(0, matrix.shape[0], size=matrix.shape[0])
+        refit = RatioRuleModel(cutoff=k, backend=model.backend).fit(matrix[rows])
+        refit_rules = refit.rules_.matrix  # M x k' (k' <= k possible if M < k)
+        # Per-rule: best |cosine| match among the refit rules.
+        cosines = np.abs(original.T @ refit_rules)  # k x k'
+        best = cosines.max(axis=1)
+        angles = np.degrees(np.arccos(np.clip(best, -1.0, 1.0)))
+        for index in range(k):
+            per_rule[index][resample] = angles[index]
+        subspace_angles = principal_angles(original, refit_rules)
+        subspace[resample] = float(np.degrees(subspace_angles.max()))
+
+    return RuleStabilityReport(
+        per_rule_angles_degrees=per_rule,
+        subspace_angles_degrees=subspace,
+        n_resamples=n_resamples,
+    )

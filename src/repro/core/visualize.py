@@ -1,0 +1,274 @@
+"""Visualization: projecting data into RR-space.
+
+Sec. 6.1 of the paper: Ratio Rules "give visualization for free" --
+project the rows onto the strongest 2 or 3 rules and scatter-plot the
+result to reveal clusters, linear correlation, and outliers (Figs. 9
+and 11; Jordan and Rodman are literally visible).
+
+This module produces the projections (for any downstream plotting
+tool) and renders terminal-friendly ASCII scatter plots so the examples
+and CLI need no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Projection", "project", "ascii_scatter", "scatter_svg"]
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A 2-d view of the data in RR-space.
+
+    Attributes
+    ----------
+    x, y:
+        Coordinates along the chosen pair of rules.
+    x_rule, y_rule:
+        Zero-based rule indices of the axes (``0`` = RR1).
+    labels:
+        Optional per-point labels (player names etc.).
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    x_rule: int
+    y_rule: int
+    labels: Optional[Tuple[str, ...]] = None
+
+    def extremes(self, count: int = 3) -> List[Tuple[int, float, float]]:
+        """Indices of the ``count`` points farthest from the centroid.
+
+        Returns ``(index, x, y)`` triples, farthest first -- the
+        quickest route to "who are those two points?" (Fig. 11).
+        """
+        cx, cy = float(self.x.mean()), float(self.y.mean())
+        distances = np.hypot(self.x - cx, self.y - cy)
+        order = np.argsort(-distances)[:count]
+        return [(int(i), float(self.x[i]), float(self.y[i])) for i in order]
+
+
+def project(
+    model,
+    matrix: np.ndarray,
+    *,
+    x_rule: int = 0,
+    y_rule: int = 1,
+    labels: Optional[Sequence[str]] = None,
+) -> Projection:
+    """Project rows onto a pair of Ratio Rules.
+
+    ``x_rule=0, y_rule=1`` reproduces the "side view" of Fig. 11(a);
+    ``x_rule=1, y_rule=2`` the "front view" of Fig. 11(b).
+
+    Parameters
+    ----------
+    model:
+        Fitted :class:`~repro.core.model.RatioRuleModel`.
+    matrix:
+        Complete ``N x M`` matrix.
+    x_rule, y_rule:
+        Zero-based rule indices; must be distinct and < ``model.k``.
+    labels:
+        Optional per-row labels carried into the projection.
+    """
+    if x_rule == y_rule:
+        raise ValueError("x_rule and y_rule must differ")
+    coords = model.transform(matrix)
+    k = coords.shape[1]
+    for axis in (x_rule, y_rule):
+        if not 0 <= axis < k:
+            raise ValueError(f"rule index {axis} out of range; model kept k={k} rules")
+    label_tuple: Optional[Tuple[str, ...]] = None
+    if labels is not None:
+        labels = tuple(str(label) for label in labels)
+        if len(labels) != coords.shape[0]:
+            raise ValueError(
+                f"got {len(labels)} labels for {coords.shape[0]} rows"
+            )
+        label_tuple = labels
+    return Projection(
+        x=coords[:, x_rule].copy(),
+        y=coords[:, y_rule].copy(),
+        x_rule=x_rule,
+        y_rule=y_rule,
+        labels=label_tuple,
+    )
+
+
+def ascii_scatter(
+    projection: Projection,
+    *,
+    width: int = 72,
+    height: int = 24,
+    mark_extremes: int = 0,
+) -> str:
+    """Render a projection as a terminal scatter plot.
+
+    Points are drawn as ``*`` (``#`` where several points coincide);
+    with ``mark_extremes > 0``, the farthest-from-centroid points are
+    drawn as letters ``A``, ``B``, ... and listed with their labels
+    under the plot.
+
+    Parameters
+    ----------
+    projection:
+        Output of :func:`project`.
+    width, height:
+        Plot dimensions in characters.
+    mark_extremes:
+        How many extreme points to call out.
+    """
+    if width < 10 or height < 5:
+        raise ValueError("plot must be at least 10 x 5 characters")
+    x, y = projection.x, projection.y
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = (height - 1) - int((yi - y_min) / y_span * (height - 1))
+        grid[row][col] = "#" if grid[row][col] in ("*", "#") else "*"
+
+    callouts = []
+    if mark_extremes > 0:
+        for rank, (index, xi, yi) in enumerate(projection.extremes(mark_extremes)):
+            marker = chr(ord("A") + rank)
+            col = int((xi - x_min) / x_span * (width - 1))
+            row = (height - 1) - int((yi - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+            label = (
+                projection.labels[index]
+                if projection.labels is not None
+                else f"row {index}"
+            )
+            callouts.append(f"  {marker} = {label} (RR{projection.x_rule + 1}={xi:.1f}, "
+                            f"RR{projection.y_rule + 1}={yi:.1f})")
+
+    lines = [
+        f"RR{projection.y_rule + 1} (vertical) vs RR{projection.x_rule + 1} (horizontal)",
+        "+" + "-" * width + "+",
+    ]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: [{x_min:.2f}, {x_max:.2f}]   y: [{y_min:.2f}, {y_max:.2f}]")
+    lines.extend(callouts)
+    return "\n".join(lines)
+
+
+def scatter_svg(
+    projection: Projection,
+    *,
+    width: int = 640,
+    height: int = 480,
+    point_radius: float = 2.5,
+    mark_extremes: int = 0,
+    title: Optional[str] = None,
+) -> str:
+    """Render a projection as a standalone SVG document (no dependencies).
+
+    The output is a complete ``<svg>`` string: axes with tick labels,
+    one circle per point, and optional labelled call-outs for the
+    extreme points.  Write it to a ``.svg`` file and open it in any
+    browser.
+
+    Parameters
+    ----------
+    projection:
+        Output of :func:`project`.
+    width, height:
+        Canvas size in pixels.
+    point_radius:
+        Dot radius.
+    mark_extremes:
+        Number of extreme points to label (uses ``projection.labels``
+        when available).
+    title:
+        Optional title text; defaults to the axis description.
+    """
+    if width < 100 or height < 100:
+        raise ValueError("SVG canvas must be at least 100 x 100 pixels")
+    x, y = projection.x, projection.y
+    margin = 50.0
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def sx(value: float) -> float:
+        return margin + (value - x_min) / x_span * (width - 2 * margin)
+
+    def sy(value: float) -> float:
+        return height - margin - (value - y_min) / y_span * (height - 2 * margin)
+
+    if title is None:
+        title = (
+            f"RR{projection.y_rule + 1} vs RR{projection.x_rule + 1}"
+        )
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{title}</text>',
+        # Axes.
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="black"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height - margin}" stroke="black"/>',
+        # Axis labels and extent ticks.
+        f'<text x="{width / 2:.0f}" y="{height - 10:.0f}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="11">RR{projection.x_rule + 1}</text>',
+        f'<text x="14" y="{height / 2:.0f}" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="11" '
+        f'transform="rotate(-90 14 {height / 2:.0f})">RR{projection.y_rule + 1}</text>',
+        f'<text x="{margin:.0f}" y="{height - margin + 16:.0f}" '
+        f'font-family="sans-serif" font-size="9">{x_min:.3g}</text>',
+        f'<text x="{width - margin:.0f}" y="{height - margin + 16:.0f}" '
+        f'text-anchor="end" font-family="sans-serif" font-size="9">{x_max:.3g}</text>',
+        f'<text x="{margin - 4:.0f}" y="{height - margin:.0f}" text-anchor="end" '
+        f'font-family="sans-serif" font-size="9">{y_min:.3g}</text>',
+        f'<text x="{margin - 4:.0f}" y="{margin + 4:.0f}" text-anchor="end" '
+        f'font-family="sans-serif" font-size="9">{y_max:.3g}</text>',
+    ]
+    for xi, yi in zip(x, y):
+        parts.append(
+            f'<circle cx="{sx(float(xi)):.1f}" cy="{sy(float(yi)):.1f}" '
+            f'r="{point_radius}" fill="steelblue" fill-opacity="0.55"/>'
+        )
+    if mark_extremes > 0:
+        for index, xi, yi in projection.extremes(mark_extremes):
+            label = (
+                projection.labels[index]
+                if projection.labels is not None
+                else f"row {index}"
+            )
+            cx, cy = sx(xi), sy(yi)
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{point_radius + 2}" '
+                f'fill="none" stroke="crimson" stroke-width="1.5"/>'
+            )
+            anchor = "start" if cx < width - 140 else "end"
+            dx = 8 if anchor == "start" else -8
+            parts.append(
+                f'<text x="{cx + dx:.1f}" y="{cy - 6:.1f}" text-anchor="{anchor}" '
+                f'font-family="sans-serif" font-size="10" '
+                f'fill="crimson">{_svg_escape(label)}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _svg_escape(text: str) -> str:
+    """Escape the XML special characters in a label."""
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

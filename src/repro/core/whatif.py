@@ -1,0 +1,125 @@
+"""What-if scenarios over Ratio Rules.
+
+The paper's Sec. 3/4.4: *"We expect the demand for Cheerios to double;
+how much milk should we stock up on?"* -- specify hypothetical values
+for some attributes and let the rules propagate the consequences to the
+rest.  Mechanically this is the hole-filling algorithm with the
+*unspecified* attributes as holes, wrapped in a small scenario API that
+speaks in attribute names and supports multiplicative shocks relative
+to a baseline row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["Scenario", "ScenarioResult", "evaluate_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A hypothetical: fixed values and/or multiplicative shocks.
+
+    Attributes
+    ----------
+    fixed:
+        Attribute name -> assumed absolute value ("a customer spends $1
+        on bread").
+    scaled:
+        Attribute name -> multiplier applied to the baseline value
+        ("demand for Cheerios doubles" is ``{"cheerios": 2.0}``).
+        Requires a baseline row at evaluation time.
+    """
+
+    fixed: Mapping[str, float] = field(default_factory=dict)
+    scaled: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        overlap = set(self.fixed) & set(self.scaled)
+        if overlap:
+            raise ValueError(f"attributes both fixed and scaled: {sorted(overlap)}")
+        if not self.fixed and not self.scaled:
+            raise ValueError("a scenario must constrain at least one attribute")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Evaluated scenario: the full predicted attribute vector.
+
+    Attributes
+    ----------
+    values:
+        Attribute name -> predicted value (includes the specified ones,
+        passed through unchanged).
+    specified:
+        Names the scenario pinned down.
+    case:
+        The hole-filling regime used (see
+        :mod:`repro.core.reconstruction`).
+    """
+
+    values: Dict[str, float]
+    specified: frozenset
+    case: str
+
+    def __getitem__(self, attribute: str) -> float:
+        return self.values[attribute]
+
+    def delta_versus(self, baseline: Mapping[str, float]) -> Dict[str, float]:
+        """Predicted minus baseline, per attribute present in both."""
+        return {
+            name: self.values[name] - baseline[name]
+            for name in self.values
+            if name in baseline
+        }
+
+
+def evaluate_scenario(
+    model,
+    scenario: Scenario,
+    *,
+    baseline: Optional[Mapping[str, float]] = None,
+) -> ScenarioResult:
+    """Propagate a scenario's assumptions through the Ratio Rules.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.model.RatioRuleModel` (anything
+        with ``schema_``, ``fill_row_detailed``).
+    scenario:
+        The assumptions.
+    baseline:
+        Attribute name -> reference value, required when the scenario
+        uses multiplicative ``scaled`` shocks.  Defaults to the training
+        column means when omitted and shocks are present.
+
+    Returns
+    -------
+    ScenarioResult
+        Every attribute's predicted value under the scenario.
+    """
+    schema = model.schema_
+    if schema is None:
+        raise ValueError("model must be fitted before evaluating scenarios")
+
+    row = np.full(schema.width, np.nan)
+    specified = set()
+    for name, value in scenario.fixed.items():
+        row[schema.index_of(name)] = float(value)
+        specified.add(name)
+    if scenario.scaled:
+        if baseline is None:
+            baseline = dict(zip(schema.names, model.means_))
+        for name, multiplier in scenario.scaled.items():
+            if name not in baseline:
+                raise KeyError(f"baseline has no value for scaled attribute {name!r}")
+            row[schema.index_of(name)] = float(baseline[name]) * float(multiplier)
+            specified.add(name)
+
+    result = model.fill_row_detailed(row)
+    values = {schema[j].name: float(result.filled[j]) for j in range(schema.width)}
+    return ScenarioResult(values=values, specified=frozenset(specified), case=result.case)

@@ -1,0 +1,145 @@
+"""Top-k Ratio Rules for very wide matrices (the paper's footnote 1).
+
+When the number of columns ``M`` grows into the thousands (wide
+market-basket matrices), materializing the ``M x M`` covariance matrix
+costs O(M^2) memory and the dense eigensolve O(M^3) time.  The paper's
+footnote points to Berry, Dumais & O'Brien's sparse methods; the
+standard trick is to never form ``C`` at all:
+
+    C v  =  Xc^t (Xc v)  =  X^t (X v)  -  N * mean * (mean . v)
+
+Each Lanczos step then costs two matrix-vector products with ``X``
+(O(N M), or O(nnz) for sparse data) instead of touching an ``M x M``
+array.  :func:`mine_wide` runs Lanczos against this implicit operator
+and assembles a fully functional
+:class:`~repro.core.model.RatioRuleModel` from the top-``k`` eigenpairs
+-- hole filling, projection, guessing error and the rest all work
+unchanged, because they only need ``V``, the means and the eigenvalues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.core.rules import RuleSet
+from repro.io.schema import TableSchema
+from repro.linalg.lanczos import lanczos_eigensystem
+from repro.linalg.matrix_utils import canonicalize_sign
+
+__all__ = ["implicit_covariance_operator", "mine_wide"]
+
+
+def implicit_covariance_operator(
+    matrix,
+) -> Tuple[Callable[[np.ndarray], np.ndarray], np.ndarray, float]:
+    """Build ``v -> C v`` for ``C = Xc^t Xc`` without forming ``C``.
+
+    Accepts a dense array or a :class:`~repro.linalg.sparse.CSRMatrix`
+    (basket data is mostly zeros; the sparse path costs O(nnz) per
+    product instead of O(N*M)).
+
+    Returns
+    -------
+    (matvec, means, total_variance):
+        The operator, the column means, and ``trace(C) = ||Xc||_F^2``
+        (needed by the energy cutoff).
+    """
+    from repro.linalg.sparse import CSRMatrix
+
+    if isinstance(matrix, CSRMatrix):
+        n_rows = matrix.shape[0]
+        if n_rows < 1:
+            raise ValueError("matrix has no rows")
+        means = matrix.column_sums() / n_rows
+        # trace(C) = sum_j sum_i x_ij^2 - N * mean_j^2 (zeros contribute
+        # only through the mean term).
+        total_variance = float(
+            (matrix.column_squared_sums() - n_rows * means**2).sum()
+        )
+
+        def matvec(vector: np.ndarray) -> np.ndarray:
+            projected = matrix.matvec(vector) - float(means @ vector)
+            return matrix.rmatvec(projected) - means * float(projected.sum())
+
+        return matvec, means, total_variance
+
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    if matrix.shape[0] < 1:
+        raise ValueError("matrix has no rows")
+    means = matrix.mean(axis=0)
+    # trace(C) = sum over columns of centered squared norms.
+    total_variance = float(((matrix - means) ** 2).sum())
+
+    def matvec(vector: np.ndarray) -> np.ndarray:
+        # Xc v = X v - (mean . v) 1  ;  Xc^t w = X^t w - mean * sum(w)
+        projected = matrix @ vector - float(means @ vector)
+        return matrix.T @ projected - means * float(projected.sum())
+
+    return matvec, means, total_variance
+
+
+def mine_wide(
+    matrix,
+    k: int,
+    *,
+    schema: Optional[TableSchema] = None,
+    seed: int = 0,
+) -> RatioRuleModel:
+    """Mine the top-``k`` Ratio Rules without forming the covariance matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The ``N x M`` data (wide: M may be large).  Dense array or
+        :class:`~repro.linalg.sparse.CSRMatrix`.
+    k:
+        Number of rules to extract (must be chosen up front -- the full
+        spectrum is never computed, so energy-based cutoffs do not
+        apply here; pick generously and truncate).
+    schema:
+        Optional column metadata.
+    seed:
+        Lanczos start-vector seed.
+
+    Returns
+    -------
+    RatioRuleModel
+        A fully functional fitted model (fill/transform/etc.), built
+        from the implicitly computed eigenpairs.
+    """
+    from repro.linalg.sparse import CSRMatrix
+
+    if not isinstance(matrix, CSRMatrix):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    n_rows, n_cols = matrix.shape
+    if not 1 <= k <= n_cols:
+        raise ValueError(f"k must be in [1, {n_cols}], got {k}")
+    if schema is None:
+        schema = TableSchema.generic(n_cols)
+    if schema.width != n_cols:
+        raise ValueError(
+            f"schema width {schema.width} != matrix width {n_cols}"
+        )
+
+    matvec, means, total_variance = implicit_covariance_operator(matrix)
+    eigenvalues, eigenvectors = lanczos_eigensystem(
+        matvec, k, dimension=n_cols, seed=seed
+    )
+    eigenvalues = np.where(eigenvalues > 0.0, eigenvalues, 0.0)
+    eigenvectors = canonicalize_sign(eigenvectors)
+
+    model = RatioRuleModel(cutoff=k, backend="lanczos")
+    model.rules_ = RuleSet.from_eigen(eigenvalues, eigenvectors, total_variance, schema)
+    model.means_ = means.copy()
+    model.n_rows_ = int(n_rows)
+    model.schema_ = schema
+    model.eigenvalues_ = eigenvalues.copy()
+    model.total_variance_ = total_variance
+    return model

@@ -1,0 +1,96 @@
+"""Dataset container shared by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.io.schema import TableSchema
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named ``N x M`` matrix with column schema and optional row labels.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"nba"``, ``"baseball"``, ...).
+    matrix:
+        The ``N x M`` data.
+    schema:
+        Column metadata.
+    row_labels:
+        Optional per-row labels (player names and the like); used by
+        the visualization call-outs.
+    """
+
+    name: str
+    matrix: np.ndarray
+    schema: TableSchema
+    row_labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+        if matrix.shape[1] != self.schema.width:
+            raise ValueError(
+                f"matrix width {matrix.shape[1]} != schema width {self.schema.width}"
+            )
+        if self.row_labels is not None and len(self.row_labels) != matrix.shape[0]:
+            raise ValueError(
+                f"got {len(self.row_labels)} labels for {matrix.shape[0]} rows"
+            )
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows ``N``."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns ``M``."""
+        return self.matrix.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(N, M)``."""
+        return self.matrix.shape
+
+    def __repr__(self) -> str:
+        return f"Dataset(name={self.name!r}, shape={self.n_rows}x{self.n_cols})"
+
+    def train_test_split(
+        self, test_fraction: float = 0.1, *, seed: int = 0
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Shuffle rows and split (the paper's 90/10 protocol).
+
+        Returns ``(train, test)`` datasets; both keep at least one row.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(self.n_rows)
+        n_test = max(1, int(round(self.n_rows * test_fraction)))
+        n_test = min(n_test, self.n_rows - 1)
+        test_rows = order[:n_test]
+        train_rows = order[n_test:]
+
+        def _subset(rows: np.ndarray, suffix: str) -> Dataset:
+            labels = None
+            if self.row_labels is not None:
+                labels = tuple(self.row_labels[i] for i in rows)
+            return Dataset(
+                name=f"{self.name}-{suffix}",
+                matrix=self.matrix[rows],
+                schema=self.schema,
+                row_labels=labels,
+            )
+
+        return _subset(train_rows, "train"), _subset(test_rows, "test")

@@ -1,0 +1,165 @@
+"""Simulated `nba` dataset (459 players x 12 attributes).
+
+The paper's `nba` dataset holds 1991-92 NBA season statistics.  We do
+not redistribute that file; instead this generator produces a matrix
+with the same shape and -- more importantly -- the same *spectral
+story* the paper tells in Sec. 6.2:
+
+- **RR1 "court action"**: one dominant all-positive volume factor
+  separating starters from the bench, with points : minutes roughly
+  1 : 2 (a basket every four minutes);
+- **RR2 "field position"**: rebounds negatively correlated with points
+  (rebounders shoot less), roughly 2.45 : 1;
+- **RR3 "height"**: rebounds/blocks negatively correlated with
+  assists/steals (tall rebounders vs short playmakers);
+- four injected outlier archetypes mirroring the players the paper
+  calls out in Figs. 11(a)/(b): a Jordan-like extreme scorer, a
+  Rodman-like extreme rebounder, a Bogues-like extreme playmaker and a
+  Malone-like scoring big man.
+
+The attribute list is exactly Table 2's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import (
+    Archetype,
+    Factor,
+    LatentFactorSpec,
+    generate_latent_factor,
+)
+from repro.io.schema import TableSchema
+
+__all__ = ["NBA_FIELDS", "NBA_OUTLIER_LABELS", "generate_nba"]
+
+#: Table 2's field list, in order.
+NBA_FIELDS = (
+    "minutes played",
+    "field goals",
+    "goal attempts",
+    "free throws",
+    "throws attempted",
+    "blocked shots",
+    "fouls",
+    "points",
+    "offensive rebounds",
+    "total rebounds",
+    "assists",
+    "steals",
+)
+
+#: Labels of the injected outlier rows (appended last, in this order).
+NBA_OUTLIER_LABELS = (
+    "JORDAN-LIKE star scorer",
+    "RODMAN-LIKE rebounder",
+    "BOGUES-LIKE playmaker",
+    "MALONE-LIKE scoring big",
+)
+
+# Hand-crafted season lines for the outlier archetypes, in NBA_FIELDS order:
+# min,  fg,  fga,  ft, fta, blk,  pf,  pts, oreb, treb, ast, stl
+_OUTLIER_ROWS = np.asarray(
+    [
+        [3102.0, 943.0, 1893.0, 491.0, 571.0, 75.0, 188.0, 2404.0, 91.0, 460.0, 489.0, 182.0],
+        [2939.0, 342.0, 635.0, 84.0, 140.0, 70.0, 248.0, 800.0, 523.0, 1530.0, 191.0, 68.0],
+        [2790.0, 276.0, 620.0, 92.0, 123.0, 3.0, 156.0, 650.0, 58.0, 216.0, 743.0, 170.0],
+        [3054.0, 728.0, 1389.0, 529.0, 673.0, 51.0, 226.0, 2062.0, 225.0, 909.0, 241.0, 108.0],
+    ]
+)
+
+
+def _nba_spec(n_rows: int) -> LatentFactorSpec:
+    schema = TableSchema.from_names(NBA_FIELDS)
+
+    # Factor loadings in data units (per unit of factor score).
+    court_action = Factor(
+        name="court action",
+        #          min     fg    fga    ft    fta   blk   pf    pts   oreb  treb  ast   stl
+        loadings=np.asarray(
+            [800.0, 170.0, 370.0, 95.0, 125.0, 18.0, 55.0, 440.0, 42.0, 150.0, 95.0, 34.0]
+        ),
+    )
+    field_position = Factor(
+        name="field position",
+        loadings=np.asarray(
+            [-60.0, -70.0, -150.0, -35.0, -30.0, 28.0, 18.0, -190.0, 55.0, 175.0, -55.0, -12.0]
+        ),
+    )
+    height = Factor(
+        name="height",
+        loadings=np.asarray(
+            [0.0, 10.0, 15.0, 5.0, 8.0, 32.0, 12.0, 25.0, 38.0, 115.0, -105.0, -28.0]
+        ),
+    )
+
+    starters = Archetype(
+        name="starters",
+        weight=0.35,
+        score_means=(1.7, 0.0, 0.0),
+        score_stds=(0.45, 0.9, 0.8),
+    )
+    rotation = Archetype(
+        name="rotation players",
+        weight=0.40,
+        score_means=(0.8, 0.0, 0.0),
+        score_stds=(0.35, 0.7, 0.6),
+    )
+    bench = Archetype(
+        name="bench",
+        weight=0.25,
+        score_means=(0.2, 0.0, 0.0),
+        score_stds=(0.15, 0.35, 0.3),
+    )
+
+    base_row = np.asarray(
+        [550.0, 100.0, 225.0, 55.0, 75.0, 16.0, 95.0, 255.0, 38.0, 125.0, 85.0, 32.0]
+    )
+    noise_stds = np.asarray(
+        [110.0, 28.0, 55.0, 18.0, 22.0, 7.0, 22.0, 65.0, 11.0, 28.0, 24.0, 8.0]
+    )
+
+    return LatentFactorSpec(
+        name="nba",
+        n_rows=n_rows,
+        schema=schema,
+        factors=(court_action, field_position, height),
+        archetypes=(starters, rotation, bench),
+        base_row=base_row,
+        noise_stds=noise_stds,
+        clip_min=0.0,
+        round_digits=0,
+    )
+
+
+def generate_nba(n_rows: int = 459, *, seed: int = 0, with_outliers: bool = True) -> Dataset:
+    """Generate the simulated `nba` dataset.
+
+    Parameters
+    ----------
+    n_rows:
+        Total rows including the injected outliers (paper: 459).
+    seed:
+        Determinism seed.
+    with_outliers:
+        Include the four hand-crafted outlier archetype rows (appended
+        last; their labels are :data:`NBA_OUTLIER_LABELS`).
+
+    Returns
+    -------
+    Dataset
+        ``n_rows x 12`` non-negative integer season lines.
+    """
+    if with_outliers:
+        if n_rows <= len(_OUTLIER_ROWS):
+            raise ValueError(
+                f"n_rows must exceed the {len(_OUTLIER_ROWS)} outlier rows, got {n_rows}"
+            )
+        spec = _nba_spec(n_rows - len(_OUTLIER_ROWS))
+        return generate_latent_factor(
+            spec, seed=seed, extra_rows=_OUTLIER_ROWS, extra_labels=NBA_OUTLIER_LABELS
+        )
+    spec = _nba_spec(n_rows)
+    return generate_latent_factor(spec, seed=seed)

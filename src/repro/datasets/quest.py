@@ -1,0 +1,181 @@
+"""Quest-style synthetic market-basket generator.
+
+The paper's scale-up experiment (Fig. 8) times the single-pass Ratio
+Rule computation on a 100,000 x 100 matrix "created using the Quest
+Synthetic Data Generation Tool" (Agrawal et al.'s generator of
+synthetic supermarket transactions).  Quest is long gone from the web,
+so this module rebuilds its essential mechanics with the published
+knobs:
+
+- a pool of **patterns** (frequent itemsets): each pattern is a small
+  set of items with associated dollar weights, pattern sizes Poisson
+  around ``avg_pattern_len``;
+- each **transaction** draws one or more patterns (sizes Poisson around
+  ``avg_patterns_per_txn``), with popular patterns chosen more often
+  (geometric popularity decay), sums their item amounts under a
+  per-transaction volume multiplier, and adds a little noise plus the
+  occasional impulse purchase;
+- amounts are dollars-and-cents, non-negative, mostly zero -- the
+  basket-like sparsity that makes the covariance pass representative.
+
+Generation is vectorized per block and can stream straight into a
+row-store file, so the 100k x 100 scale-up input never needs to exist
+in memory at once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.io.rowstore import RowStore
+from repro.io.schema import TableSchema
+
+__all__ = ["QuestBasketGenerator"]
+
+
+class QuestBasketGenerator:
+    """Synthetic supermarket-transaction generator (Quest-like).
+
+    Parameters
+    ----------
+    n_items:
+        Number of products ``M`` (paper's scale-up: 100).
+    n_patterns:
+        Size of the frequent-pattern pool.
+    avg_pattern_len:
+        Mean items per pattern (Quest's ``|I|``).
+    avg_patterns_per_txn:
+        Mean patterns combined into one transaction (Quest's ``|T|``
+        analog).
+    popularity_decay:
+        Geometric decay of pattern popularity: pattern ``p`` is chosen
+        with weight ``popularity_decay ** p``.
+    impulse_rate:
+        Expected number of random single-item purchases per transaction.
+    seed:
+        Seeds the pattern pool; per-call seeds control the transactions.
+    """
+
+    def __init__(
+        self,
+        n_items: int = 100,
+        *,
+        n_patterns: int = 25,
+        avg_pattern_len: float = 4.0,
+        avg_patterns_per_txn: float = 2.0,
+        popularity_decay: float = 0.9,
+        impulse_rate: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if n_items < 2:
+            raise ValueError(f"n_items must be >= 2, got {n_items}")
+        if n_patterns < 1:
+            raise ValueError(f"n_patterns must be >= 1, got {n_patterns}")
+        if not 0 < popularity_decay <= 1:
+            raise ValueError(f"popularity_decay must be in (0, 1], got {popularity_decay}")
+        self.n_items = n_items
+        self.n_patterns = n_patterns
+        self.avg_patterns_per_txn = avg_patterns_per_txn
+        self.impulse_rate = impulse_rate
+        rng = np.random.default_rng(seed)
+
+        # Pattern pool: each row is a dollar-amount vector over items.
+        self._patterns = np.zeros((n_patterns, n_items))
+        for p in range(n_patterns):
+            length = max(1, rng.poisson(avg_pattern_len))
+            length = min(length, n_items)
+            items = rng.choice(n_items, size=length, replace=False)
+            # Dollar weights: log-normal around a few dollars per item.
+            self._patterns[p, items] = np.exp(rng.normal(1.0, 0.6, size=length))
+        weights = popularity_decay ** np.arange(n_patterns)
+        self._pattern_probs = weights / weights.sum()
+
+    @property
+    def schema(self) -> TableSchema:
+        """Item columns named ``item00``, ``item01``, ..."""
+        digits = len(str(self.n_items - 1))
+        return TableSchema.from_names(
+            (f"item{index:0{digits}d}" for index in range(self.n_items)),
+            unit="$",
+        )
+
+    # -- generation -------------------------------------------------------
+
+    def generate(self, n_transactions: int, *, seed: int = 1) -> np.ndarray:
+        """Generate ``n_transactions`` rows as one in-memory matrix."""
+        blocks = list(self.iter_blocks(n_transactions, seed=seed))
+        return np.vstack(blocks)
+
+    def iter_blocks(
+        self,
+        n_transactions: int,
+        *,
+        block_rows: int = 8192,
+        seed: int = 1,
+    ) -> Iterator[np.ndarray]:
+        """Yield transactions in blocks (bounded memory)."""
+        if n_transactions < 1:
+            raise ValueError(f"n_transactions must be >= 1, got {n_transactions}")
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        rng = np.random.default_rng(seed)
+        remaining = n_transactions
+        while remaining > 0:
+            take = min(block_rows, remaining)
+            yield self._generate_block(take, rng)
+            remaining -= take
+
+    def _generate_block(self, n_rows: int, rng: np.random.Generator) -> np.ndarray:
+        # How many patterns each transaction combines (at least one).
+        counts = np.maximum(1, rng.poisson(self.avg_patterns_per_txn, size=n_rows))
+        max_count = int(counts.max())
+        # Draw pattern indices for every (transaction, slot); unused
+        # slots are masked out below.
+        choices = rng.choice(
+            self.n_patterns, size=(n_rows, max_count), p=self._pattern_probs
+        )
+        slot_active = np.arange(max_count)[np.newaxis, :] < counts[:, np.newaxis]
+
+        block = np.zeros((n_rows, self.n_items))
+        for slot in range(max_count):
+            active = slot_active[:, slot]
+            block[active] += self._patterns[choices[active, slot]]
+
+        # Per-transaction volume multiplier (some customers buy big).
+        volume = np.exp(rng.normal(0.0, 0.35, size=n_rows))
+        block *= volume[:, np.newaxis]
+
+        # Multiplicative jitter on purchased items.
+        jitter = np.exp(rng.normal(0.0, 0.15, size=block.shape))
+        block = np.where(block > 0, block * jitter, 0.0)
+
+        # Impulse purchases: a few random single items per transaction.
+        n_impulses = rng.poisson(self.impulse_rate, size=n_rows)
+        impulse_rows = np.repeat(np.arange(n_rows), n_impulses)
+        if impulse_rows.size:
+            impulse_items = rng.integers(0, self.n_items, size=impulse_rows.size)
+            impulse_amounts = np.exp(rng.normal(0.7, 0.5, size=impulse_rows.size))
+            np.add.at(block, (impulse_rows, impulse_items), impulse_amounts)
+
+        return np.round(block, 2)
+
+    def write_rowstore(
+        self,
+        path: Union[str, Path],
+        n_transactions: int,
+        *,
+        block_rows: int = 8192,
+        seed: int = 1,
+    ) -> None:
+        """Stream ``n_transactions`` rows into a row-store file.
+
+        This is how the scale-up benchmark builds its on-disk inputs:
+        neither generation nor the subsequent covariance pass ever holds
+        more than one block in memory.
+        """
+        with RowStore.create(path, self.schema) as store:
+            for block in self.iter_blocks(n_transactions, block_rows=block_rows, seed=seed):
+                store.append(block)

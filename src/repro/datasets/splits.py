@@ -1,0 +1,44 @@
+"""Train/test split utilities (the paper's 90/10 protocol, Sec. 4.3)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    matrix: np.ndarray,
+    test_fraction: float = 0.1,
+    *,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shuffle rows and split into (train, test) matrices.
+
+    Mirrors the paper's protocol: "a reasonable choice is to use 90% of
+    the original data matrix for training and the remaining 10% for
+    testing".  Both halves keep at least one row.
+
+    Parameters
+    ----------
+    matrix:
+        The full ``N x M`` matrix.
+    test_fraction:
+        Fraction of rows assigned to the test matrix.
+    seed:
+        Shuffle seed (deterministic).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    if matrix.shape[0] < 2:
+        raise ValueError("need at least 2 rows to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(matrix.shape[0])
+    n_test = max(1, int(round(matrix.shape[0] * test_fraction)))
+    n_test = min(n_test, matrix.shape[0] - 1)
+    return matrix[order[n_test:]], matrix[order[:n_test]]

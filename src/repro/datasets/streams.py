@@ -1,0 +1,127 @@
+"""Drifting transaction streams for online-mining scenarios.
+
+The online model (:mod:`repro.core.online`) needs workloads whose
+correlation structure *changes over time* -- promotions altering a
+spending ratio, new product habits emerging.  This module provides a
+declarative stream generator: a list of :class:`StreamPhase` segments,
+each a latent-ratio regime with its own duration, emitted block by
+block with deterministic seeding.
+
+Used by ``examples/streaming_updates.py`` and the drift tests; also a
+convenient stress source for :mod:`repro.core.compare`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.io.schema import TableSchema
+
+__all__ = ["StreamPhase", "TransactionStream"]
+
+
+@dataclass(frozen=True)
+class StreamPhase:
+    """One stationary regime of the stream.
+
+    Attributes
+    ----------
+    loadings:
+        Per-attribute multipliers on the latent basket-size factor --
+        the spending ratio in force during this phase.
+    n_blocks:
+        How many blocks this phase emits.
+    noise_scale:
+        Additive white-noise standard deviation.
+    name:
+        Label for reports.
+    """
+
+    loadings: Tuple[float, ...]
+    n_blocks: int
+    noise_scale: float = 0.1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.loadings:
+            raise ValueError("phase needs at least one attribute loading")
+        if self.n_blocks < 1:
+            raise ValueError(f"n_blocks must be >= 1, got {self.n_blocks}")
+        if self.noise_scale < 0:
+            raise ValueError("noise_scale must be >= 0")
+
+
+class TransactionStream:
+    """Block-by-block generator over a schedule of drifting phases.
+
+    Parameters
+    ----------
+    phases:
+        The regimes, in order; all must agree on attribute count.
+    block_rows:
+        Transactions per emitted block.
+    seed:
+        Determinism seed (each block is independently seeded, so
+        iterating twice yields identical data).
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[StreamPhase],
+        *,
+        block_rows: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        phases = list(phases)
+        if not phases:
+            raise ValueError("need at least one phase")
+        widths = {len(p.loadings) for p in phases}
+        if len(widths) != 1:
+            raise ValueError(f"phases disagree on attribute count: {sorted(widths)}")
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self.phases: List[StreamPhase] = phases
+        self.block_rows = block_rows
+        self.seed = seed
+        self._n_cols = widths.pop()
+
+    @property
+    def n_cols(self) -> int:
+        """Attribute count."""
+        return self._n_cols
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks across all phases."""
+        return sum(p.n_blocks for p in self.phases)
+
+    def schema(self, names: Sequence[str] = ()) -> TableSchema:
+        """Schema for the stream's attributes (generic names by default)."""
+        if names:
+            schema = TableSchema.from_names(names)
+            if schema.width != self._n_cols:
+                raise ValueError(
+                    f"got {schema.width} names for {self._n_cols} attributes"
+                )
+            return schema
+        return TableSchema.generic(self._n_cols, prefix="product")
+
+    def blocks(self) -> Iterator[Tuple[StreamPhase, np.ndarray]]:
+        """Yield ``(phase, block)`` pairs across the whole schedule."""
+        block_index = 0
+        for phase in self.phases:
+            loadings = np.asarray(phase.loadings, dtype=np.float64)
+            for _ in range(phase.n_blocks):
+                rng = np.random.default_rng((self.seed, block_index))
+                volume = rng.uniform(0.5, 4.0, size=self.block_rows)
+                block = np.outer(volume, loadings)
+                block += rng.normal(0.0, phase.noise_scale, size=block.shape)
+                yield phase, np.clip(block, 0.0, None)
+                block_index += 1
+
+    def materialize(self) -> np.ndarray:
+        """Concatenate the entire stream into one matrix (tests/small runs)."""
+        return np.vstack([block for _phase, block in self.blocks()])

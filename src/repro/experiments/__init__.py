@@ -1,0 +1,36 @@
+"""Reproduction experiments: one module per paper table/figure.
+
+==================  ====================================================
+Experiment id       Artifact
+==================  ====================================================
+``fig1``            Fig. 1 -- the bread/butter toy example
+``fig6``            Fig. 6 -- GEh vs number of holes (error stability)
+``fig7``            Fig. 7 -- GE1 relative to col-avgs (accuracy)
+``fig8``            Fig. 8 -- scale-up, time vs N
+``fig9+fig11``      Figs. 9, 11 -- RR-space scatter plots and outliers
+``fig12``           Fig. 12 -- quantitative association rules comparison
+``table2``          Table 2 -- the first three nba Ratio Rules
+``ext-categorical`` extension: hidden-category recovery (Sec. 7 future work)
+``ext-incomplete``  extension: mining from damaged training data
+``ext-stability``   extension: bootstrap stability of the Table 2 rules
+``ext-wide``        extension: dense vs implicit vs sparse mining (footnote 1)
+==================  ====================================================
+
+Run any of them via :func:`repro.experiments.get_experiment`, the CLI
+(``ratio-rules experiment fig7`` / ``experiment all [--markdown]``), or
+the matching benchmark module.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    format_table,
+    get_experiment,
+    list_experiments,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "get_experiment",
+    "list_experiments",
+]

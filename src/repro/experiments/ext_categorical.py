@@ -1,0 +1,116 @@
+"""Extension experiment: Ratio Rules over categorical data.
+
+The paper's future-work direction (Sec. 7), made measurable: on a
+mixed numeric/categorical roster (position as a categorical
+attribute), hide the category and recover it from the numeric
+statistics, comparing the two decoders:
+
+- ``argmax`` -- reconstruct the one-hot block, take the largest score;
+- ``residual`` -- try each category, keep the one whose completed row
+  lies closest to the rule hyper-plane (nearest-subspace).
+
+Shape claims: both decoders beat the majority-class baseline; the
+residual decode is at least as accurate as argmax.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+import numpy as np
+
+from repro.core.categorical import (
+    CategoricalAttribute,
+    CategoricalRatioRuleModel,
+    MixedSchema,
+)
+from repro.experiments.harness import ExperimentResult, register_experiment
+
+__all__ = ["run", "make_mixed_roster"]
+
+POSITIONS = ("guard", "forward", "center")
+
+
+def make_mixed_roster(n_players: int = 600, *, seed: int = 0):
+    """Mixed rows: 4 numeric statistics + a position label."""
+    rng = np.random.default_rng(seed)
+    profiles = {
+        "guard": (150.0, 450.0, 15.0),
+        "forward": (450.0, 200.0, 55.0),
+        "center": (750.0, 110.0, 120.0),
+    }
+    rows = []
+    for i in range(n_players):
+        position = POSITIONS[i % 3]
+        rebounds, assists, blocks = profiles[position]
+        volume = rng.uniform(0.4, 1.3)
+        rows.append(
+            [
+                round(rng.normal(1800, 250) * volume),
+                round(rng.normal(rebounds, 60) * volume),
+                round(rng.normal(assists, 50) * volume),
+                round(rng.normal(blocks, 15) * volume),
+                position,
+            ]
+        )
+    return rows
+
+
+@register_experiment(
+    "ext-categorical", "Recovering a hidden categorical attribute"
+)
+def run(*, seed: int = 0, n_players: int = 600, n_eval: int = 300) -> ExperimentResult:
+    """Train on mixed rows; hide and re-predict the category."""
+    schema = MixedSchema(
+        [
+            "minutes",
+            "rebounds",
+            "assists",
+            "blocks",
+            CategoricalAttribute("position", POSITIONS),
+        ]
+    )
+    rows = make_mixed_roster(n_players, seed=seed)
+    train, evaluation = rows[n_eval:], rows[:n_eval]
+    model = CategoricalRatioRuleModel(schema, cutoff=4).fit(train)
+
+    counts = Counter(row[4] for row in evaluation)
+    majority_accuracy = counts.most_common(1)[0][1] / len(evaluation)
+
+    accuracies = {}
+    for method in ("argmax", "residual"):
+        correct = sum(
+            model.predict_category(list(row), "position", method=method) == row[4]
+            for row in evaluation
+        )
+        accuracies[method] = correct / len(evaluation)
+
+    table_rows: List[List[object]] = [
+        ["majority-class baseline", majority_accuracy],
+        ["argmax decode", accuracies["argmax"]],
+        ["residual decode", accuracies["residual"]],
+    ]
+    claims = {
+        "argmax decode beats the majority baseline": (
+            accuracies["argmax"] > majority_accuracy
+        ),
+        "residual decode beats the majority baseline": (
+            accuracies["residual"] > majority_accuracy
+        ),
+        "residual decode >= argmax decode": (
+            accuracies["residual"] >= accuracies["argmax"]
+        ),
+        "residual decode reaches 85%+": accuracies["residual"] >= 0.85,
+    }
+    return ExperimentResult(
+        experiment_id="ext-categorical",
+        title="Hidden-category recovery on a mixed roster",
+        headers=["method", "accuracy"],
+        rows=table_rows,
+        claims=claims,
+        notes=(
+            f"{n_players - n_eval} training rows, {n_eval} evaluation rows, "
+            "k = 4 over 7 encoded columns (repro.core.categorical)."
+        ),
+    )

@@ -1,0 +1,87 @@
+"""Extension experiment: mining from incomplete training data.
+
+The paper trains on a complete matrix.  Real warehouse history has
+NULLs, so :mod:`repro.core.incomplete` mines Ratio Rules from damaged
+training data via pairwise-available covariance.  This experiment
+quantifies the robustness: punch an increasing fraction of NULLs into
+the `abalone` training matrix, mine from the damaged matrix, and
+measure GE1 on an untouched test matrix.
+
+The shape to uphold: the guessing error degrades *gracefully* -- at
+30% missing training cells the rules should still beat ``col-avgs``
+(fitted on the same damaged data) by a wide margin, because the
+pairwise estimates converge to the same covariance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.guessing_error import single_hole_error
+from repro.core.incomplete import fit_incomplete
+from repro.core.model import RatioRuleModel
+from repro.datasets import load_dataset
+from repro.experiments.harness import ExperimentResult, register_experiment
+
+__all__ = ["run"]
+
+DEFAULT_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4)
+
+
+@register_experiment(
+    "ext-incomplete", "GE1 vs fraction of missing cells in the training data"
+)
+def run(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    *,
+    dataset_name: str = "abalone",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep training missingness and report GE1 on clean test data."""
+    dataset = load_dataset(dataset_name, seed=seed)
+    train, test = dataset.train_test_split(0.1, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+
+    # Reference: the complete-data fit.
+    reference = RatioRuleModel().fit(train.matrix, schema=dataset.schema)
+    reference_ge = single_hole_error(reference, test.matrix).value
+
+    rows: List[List[object]] = []
+    ge_by_fraction = {}
+    for fraction in fractions:
+        damaged = train.matrix.copy()
+        if fraction > 0:
+            mask = rng.random(damaged.shape) < fraction
+            damaged[mask] = np.nan
+        if fraction == 0.0:
+            model = reference
+            min_pairs = train.matrix.shape[0]
+        else:
+            model, accumulator = fit_incomplete(damaged, schema=dataset.schema)
+            min_pairs = accumulator.min_pair_count
+        ge = single_hole_error(model, test.matrix).value
+        ge_by_fraction[fraction] = ge
+        rows.append([f"{fraction:.0%}", min_pairs, model.k, ge, ge / reference_ge])
+
+    claims = {
+        "GE1 at 30% missing within 1.5x of the complete-data GE1": (
+            ge_by_fraction.get(0.3, ge_by_fraction[max(ge_by_fraction)])
+            <= 1.5 * reference_ge
+        ),
+        "GE1 degrades monotonically-ish (worst <= 2x best)": (
+            max(ge_by_fraction.values()) <= 2.0 * min(ge_by_fraction.values())
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="ext-incomplete",
+        title=f"Mining {dataset_name} from incomplete training data",
+        headers=["missing", "min pair count", "k", "GE1", "vs complete fit"],
+        rows=rows,
+        claims=claims,
+        notes=(
+            "Pairwise-available covariance (repro.core.incomplete); test "
+            "matrix untouched. The complete-data GE1 is the 0% row."
+        ),
+    )

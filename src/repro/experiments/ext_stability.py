@@ -1,0 +1,68 @@
+"""Extension experiment: are the Table 2 rules statistically stable?
+
+Sec. 6.2 interprets the first three nba Ratio Rules as "court action",
+"field position" and "height".  Interpretation is only warranted if
+those rules are properties of the population rather than of the
+particular 459 players sampled.  This experiment bootstraps the
+season: refit on resampled player sets, measure how far each rule
+rotates, and check the trailing (interpreted-last) rule is the least
+stable -- the usual pattern, since its eigenvalue sits closest to the
+discarded spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.core.stability import bootstrap_stability
+from repro.datasets import load_dataset
+from repro.experiments.harness import ExperimentResult, register_experiment
+
+__all__ = ["run"]
+
+
+@register_experiment("ext-stability", "Bootstrap stability of the Table 2 rules")
+def run(*, seed: int = 0, n_resamples: int = 30) -> ExperimentResult:
+    """Bootstrap the nba season and audit the three interpreted rules."""
+    dataset = load_dataset("nba", seed=seed)
+    model = RatioRuleModel(cutoff=3).fit(dataset.matrix, schema=dataset.schema)
+    report = bootstrap_stability(
+        model, dataset.matrix, n_resamples=n_resamples, seed=seed
+    )
+
+    rows: List[List[object]] = []
+    medians = {}
+    for index in range(3):
+        median, p90 = report.rule_stability(index)
+        medians[index] = median
+        rows.append([f"RR{index + 1}", median, p90])
+    subspace_median = float(np.median(report.subspace_angles_degrees))
+    rows.append(["RR1-3 subspace (largest angle)", subspace_median, ""])
+
+    claims = {
+        "RR1 ('court action') pinned within 5 deg median": medians[0] <= 5.0,
+        "all three interpreted rules within 15 deg median": all(
+            median <= 15.0 for median in medians.values()
+        ),
+        "rule stability decreases down the spectrum (RR1 <= RR3)": (
+            medians[0] <= medians[2]
+        ),
+        "the 3-rule subspace is stable (median largest angle <= 15 deg)": (
+            subspace_median <= 15.0
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="ext-stability",
+        title="Bootstrap stability of the interpreted nba rules",
+        headers=["rule", "median angle (deg)", "p90 angle (deg)"],
+        rows=rows,
+        claims=claims,
+        notes=(
+            f"{n_resamples} bootstrap resamples of the {dataset.n_rows}-player "
+            "season (repro.core.stability); angles measured against the "
+            "original rules, best-match per resample."
+        ),
+    )

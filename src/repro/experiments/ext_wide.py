@@ -1,0 +1,122 @@
+"""Extension experiment: the wide-matrix paths of footnote 1.
+
+The paper's footnote 1 says that for matrices with far more than ~1000
+columns the dense eigensolver should give way to sparse methods.  This
+experiment makes the trade-off concrete on basket-like data at growing
+width ``M``:
+
+- **dense** -- materialize the ``M x M`` covariance, full eigensolve;
+- **implicit** -- Lanczos against the covariance *operator* (two dense
+  matvecs per step, no ``M x M`` array);
+- **sparse** -- the same operator over a CSR matrix (O(nnz) per step).
+
+Shape claims: all three mine the same top-k eigenvalues; at the
+largest width the implicit path beats dense and the sparse path beats
+the dense path by a wider margin (the data is ~80% zeros).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.core.wide import mine_wide
+from repro.experiments.harness import ExperimentResult, register_experiment
+from repro.linalg.sparse import CSRMatrix
+
+__all__ = ["run", "make_wide_baskets"]
+
+DEFAULT_WIDTHS = (200, 600, 1600)
+TOP_K = 5
+
+
+def _best_of(callable_, repeats: int = 2) -> tuple:
+    """(result, best seconds) over ``repeats`` timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def make_wide_baskets(n_rows: int, n_cols: int, *, seed: int = 0) -> np.ndarray:
+    """Basket-like data: low-rank co-purchase structure, ~80% zeros."""
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal((n_rows, TOP_K)) * np.linspace(8.0, 2.0, TOP_K)
+    loadings = rng.standard_normal((TOP_K, n_cols))
+    dense = scores @ loadings
+    dense[rng.random(dense.shape) < 0.8] = 0.0
+    return np.abs(dense)
+
+
+@register_experiment("ext-wide", "Dense vs implicit vs sparse mining as M grows")
+def run(
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    *,
+    n_rows: int = 800,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Time the three paths and check they agree."""
+    rows: List[List[object]] = []
+    timings = {}
+    agreements = []
+    for n_cols in widths:
+        matrix = make_wide_baskets(n_rows, n_cols, seed=seed)
+        sparse = CSRMatrix.from_dense(matrix)
+
+        dense_model, dense_seconds = _best_of(
+            lambda: RatioRuleModel(cutoff=TOP_K).fit(matrix)
+        )
+        implicit_model, implicit_seconds = _best_of(
+            lambda: mine_wide(matrix, TOP_K, seed=seed)
+        )
+        sparse_model, sparse_seconds = _best_of(
+            lambda: mine_wide(sparse, TOP_K, seed=seed)
+        )
+
+        agreement = bool(
+            np.allclose(
+                implicit_model.eigenvalues_, dense_model.eigenvalues_, rtol=1e-4
+            )
+            and np.allclose(
+                sparse_model.eigenvalues_, dense_model.eigenvalues_, rtol=1e-4
+            )
+        )
+        agreements.append(agreement)
+        timings[n_cols] = (dense_seconds, implicit_seconds, sparse_seconds)
+        rows.append(
+            [
+                n_cols,
+                f"{sparse.density():.0%}",
+                dense_seconds,
+                implicit_seconds,
+                sparse_seconds,
+                agreement,
+            ]
+        )
+
+    widest = max(widths)
+    dense_widest, implicit_widest, sparse_widest = timings[widest]
+    claims = {
+        "all three paths mine the same top-k eigenvalues": all(agreements),
+        f"implicit path beats dense at M={widest}": implicit_widest < dense_widest,
+        f"sparse path beats dense at M={widest}": sparse_widest < dense_widest,
+    }
+    return ExperimentResult(
+        experiment_id="ext-wide",
+        title="Footnote 1 realized: wide-matrix mining paths",
+        headers=["M", "density", "dense s", "implicit s", "sparse s", "eigenvalues agree"],
+        rows=rows,
+        claims=claims,
+        notes=(
+            f"{n_rows} rows, top-{TOP_K} rules; basket-like data "
+            "(~20% nonzero). Dense = covariance matrix + full solve; "
+            "implicit/sparse = Lanczos on the covariance operator "
+            "(repro.core.wide, repro.linalg.sparse)."
+        ),
+    )

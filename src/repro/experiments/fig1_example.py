@@ -1,0 +1,82 @@
+"""Fig. 1 reproduction: the bread/butter toy example.
+
+The paper's opening figure: five customers' dollar spendings on bread
+and butter, and the "best axis to project along" that eigensystem
+analysis finds -- (0.866, 0.5).  We mine the rule from the same five
+rows and check the direction, the 85%-cutoff behaviour (one rule
+suffices) and the forecasting use the figure motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.experiments.harness import ExperimentResult, register_experiment
+from repro.io.schema import TableSchema
+
+__all__ = ["run", "FIGURE1_MATRIX"]
+
+#: The data matrix printed in Fig. 1 (customers x [bread, butter]).
+FIGURE1_MATRIX = np.array(
+    [
+        [0.89, 0.49],
+        [3.34, 1.85],
+        [5.00, 3.09],
+        [1.78, 0.99],
+        [4.02, 2.61],
+    ]
+)
+
+#: The direction the paper reads off the figure.
+PAPER_DIRECTION = np.array([0.866, 0.5])
+
+
+@register_experiment("fig1", "The bread/butter toy example")
+def run(*, seed: int = 0) -> ExperimentResult:
+    """Mine the Fig. 1 rule and verify the paper's reading of it."""
+    schema = TableSchema.from_names(["bread", "butter"], unit="$")
+    model = RatioRuleModel().fit(FIGURE1_MATRIX, schema=schema)
+    direction = model.rules_[0].loadings
+
+    angle_degrees = float(
+        np.degrees(
+            np.arccos(
+                np.clip(
+                    abs(direction @ PAPER_DIRECTION)
+                    / np.linalg.norm(PAPER_DIRECTION),
+                    -1.0,
+                    1.0,
+                )
+            )
+        )
+    )
+    forecast = model.fill_row(np.array([8.50, np.nan]))
+
+    claims = {
+        "85% cutoff keeps exactly one rule": model.k == 1,
+        "mined direction within 5 degrees of the paper's (0.866, 0.5)": (
+            angle_degrees <= 5.0
+        ),
+        "both loadings positive (spendings co-move)": bool(
+            np.all(direction > 0)
+        ),
+        "projection = 'volume of the purchase' (butter forecast scales with bread)": (
+            forecast[1] > FIGURE1_MATRIX[:, 1].max()
+        ),
+    }
+    rows = [
+        ["mined direction (bread, butter)", f"({direction[0]:.3f}, {direction[1]:.3f})"],
+        ["paper's direction", "(0.866, 0.500)"],
+        ["angle between them (degrees)", angle_degrees],
+        ["energy captured by RR1", f"{model.rules_[0].energy_fraction:.1%}"],
+        ["butter forecast at bread=$8.50", float(forecast[1])],
+    ]
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Fig. 1: five customers, bread vs butter",
+        headers=["quantity", "value"],
+        rows=rows,
+        claims=claims,
+        notes="The exact five rows printed in the paper's figure.",
+    )

@@ -1,0 +1,83 @@
+"""Fig. 7 reproduction: prediction accuracy (GE1, normalized).
+
+The paper's headline result (Sec. 5.1): the single-hole guessing error
+of Ratio Rules, normalized by the guessing error of ``col-avgs``, over
+`nba`, `baseball` and `abalone` -- "the proposed method was the clear
+winner for all datasets we tried and gave as low as one-fifth the
+guessing error of col-avgs".
+
+Protocol, matching Sec. 5: 90% of rows train, 10% test; rules cut off
+at 85% energy (Eq. 1); GE1 hides every test cell once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.baselines.column_average import ColumnAverageBaseline
+from repro.core.guessing_error import single_hole_error
+from repro.core.model import RatioRuleModel
+from repro.datasets import PAPER_DATASETS, load_dataset
+from repro.experiments.harness import ExperimentResult, register_experiment
+
+__all__ = ["run"]
+
+
+@register_experiment("fig7", "GE1 of Ratio Rules relative to col-avgs, three datasets")
+def run(
+    datasets: Sequence[str] = PAPER_DATASETS,
+    *,
+    seed: int = 0,
+    test_fraction: float = 0.1,
+) -> ExperimentResult:
+    """Regenerate Fig. 7's bars.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names to evaluate (defaults to the paper's three).
+    seed:
+        Generator and split seed.
+    test_fraction:
+        Test share of the 90/10 protocol.
+
+    Returns
+    -------
+    ExperimentResult
+        One row per dataset: GE1 of both methods and the RR/col-avgs
+        percentage that Fig. 7 plots.
+    """
+    rows = []
+    percents: Dict[str, float] = {}
+    for name in datasets:
+        dataset = load_dataset(name, seed=seed)
+        train, test = dataset.train_test_split(test_fraction, seed=seed)
+
+        model = RatioRuleModel().fit(train.matrix, schema=dataset.schema)
+        baseline = ColumnAverageBaseline().fit(train.matrix, schema=dataset.schema)
+
+        ge_rr = single_hole_error(model, test.matrix).value
+        ge_col = single_hole_error(baseline, test.matrix).value
+        percent = 100.0 * ge_rr / ge_col
+        percents[name] = percent
+        rows.append([name, model.k, ge_rr, ge_col, percent])
+
+    claims = {
+        "RR beats col-avgs on every dataset (percent < 100)": all(
+            percent < 100.0 for percent in percents.values()
+        ),
+        "best dataset reaches roughly one-fifth of col-avgs (percent <= 35)": any(
+            percent <= 35.0 for percent in percents.values()
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Relative guessing error (GE1) vs col-avgs",
+        headers=["dataset", "k", "GE1 (RR)", "GE1 (col-avgs)", "RR % of col-avgs"],
+        rows=rows,
+        claims=claims,
+        notes=(
+            f"90/10 split (seed {seed}); cutoff = 85% energy (Eq. 1). "
+            "col-avgs is by construction 100%."
+        ),
+    )

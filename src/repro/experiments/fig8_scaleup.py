@@ -1,0 +1,122 @@
+"""Fig. 8 reproduction: scale-up of the single-pass algorithm.
+
+Sec. 5.3: time to compute the Ratio Rules versus the number of rows N,
+on Quest-style synthetic market baskets with M = 100 items.  The
+paper's claim is about *shape*, not 1998 SPARCstation seconds: "the
+plot is close to a straight line, as expected", with a negligible
+y-intercept from the O(M^3) eigensystem solve.
+
+We regenerate the experiment end to end: stream each size's
+transactions into an on-disk row store, time the single pass +
+eigensystem, and fit a line to check linearity (R^2) and the relative
+intercept.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.datasets.quest import QuestBasketGenerator
+from repro.experiments.harness import ExperimentResult, register_experiment
+from repro.io.matrix_reader import RowStoreReader
+
+__all__ = ["run", "fit_line"]
+
+#: The paper sweeps N up to 100,000; the default here covers half that
+#: range (still a few seconds end to end on a laptop) -- pass
+#: :data:`PAPER_SIZES` explicitly for the full sweep.
+DEFAULT_SIZES = (10_000, 25_000, 50_000, 75_000, 100_000)
+PAPER_SIZES = (10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000, 90_000, 100_000)
+
+
+def fit_line(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares line fit; returns ``(slope, intercept, r_squared)``."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(x_arr, y_arr, 1)
+    predicted = slope * x_arr + intercept
+    total = float(((y_arr - y_arr.mean()) ** 2).sum())
+    residual = float(((y_arr - predicted) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return float(slope), float(intercept), r_squared
+
+
+@register_experiment("fig8", "Scale-up: time to compute Ratio Rules vs N")
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    *,
+    n_items: int = 100,
+    seed: int = 0,
+    work_dir: Optional[Path] = None,
+    repeats: int = 5,
+) -> ExperimentResult:
+    """Regenerate Fig. 8's curve.
+
+    Parameters
+    ----------
+    sizes:
+        Row counts N to sweep.
+    n_items:
+        Columns M (paper: 100).
+    seed:
+        Generator seed.
+    work_dir:
+        Where the on-disk row stores are staged (a temp dir when None).
+    repeats:
+        Timing repetitions per size (minimum is reported).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    generator = QuestBasketGenerator(n_items=n_items, seed=seed)
+    rows: List[List[object]] = []
+    timings: List[Tuple[int, float]] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(work_dir) if work_dir is not None else Path(tmp)
+        base.mkdir(parents=True, exist_ok=True)
+        for n_rows in sizes:
+            path = base / f"quest_{n_rows}.rr"
+            generator.write_rowstore(path, n_rows, seed=seed + 1)
+            best = float("inf")
+            for _repeat in range(repeats):
+                reader = RowStoreReader(path)
+                start = time.perf_counter()
+                model = RatioRuleModel().fit(reader)
+                elapsed = time.perf_counter() - start
+                best = min(best, elapsed)
+            timings.append((n_rows, best))
+            rows.append([n_rows, n_items, best, model.k])
+            path.unlink()
+
+    slope, intercept, r_squared = fit_line(
+        [n for n, _t in timings], [t for _n, t in timings]
+    )
+    largest_time = max(t for _n, t in timings)
+    claims = {
+        # "Close to a straight line" (the paper's words); 0.97 leaves
+        # room for scheduler noise in the millisecond-scale timings.
+        "time grows linearly in N (R^2 >= 0.97)": r_squared >= 0.97,
+        "eigensystem intercept negligible (|intercept| <= 15% of max time)": (
+            abs(intercept) <= 0.15 * largest_time
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Scale-up: wall-clock seconds vs database size N",
+        headers=["N (rows)", "M (items)", "seconds", "k kept"],
+        rows=rows,
+        claims=claims,
+        notes=(
+            f"Quest-style baskets streamed from disk (row store); line fit: "
+            f"time = {slope:.3g} * N + {intercept:.3g}, R^2 = {r_squared:.4f}. "
+            "Absolute seconds are machine-specific; the paper's claim is the shape."
+        ),
+    )

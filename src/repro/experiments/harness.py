@@ -1,0 +1,153 @@
+"""Shared experiment infrastructure.
+
+Every reproduction experiment (one per paper table/figure) is a module
+exposing ``run(...) -> ExperimentResult``.  This module supplies the
+common pieces: the result container, plain-text table rendering used by
+the CLI and EXPERIMENTS.md, and the registry the CLI dispatches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "register_experiment",
+    "get_experiment",
+    "list_experiments",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id (``"fig7"``, ``"table2"``, ...).
+    title:
+        One-line description.
+    headers, rows:
+        The regenerated table (rows of stringifiable cells).
+    claims:
+        Mapping of the paper's shape claims to whether this run upheld
+        them, e.g. ``{"RR beats col-avgs on every dataset": True}``.
+    notes:
+        Free-form commentary (parameters, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    claims: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full plain-text report: title, table, claims, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.claims:
+            parts.append("")
+            parts.append("Shape claims:")
+            for claim, upheld in self.claims.items():
+                status = "PASS" if upheld else "FAIL"
+                parts.append(f"  [{status}] {claim}")
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def all_claims_upheld(self) -> bool:
+        """True when every recorded shape claim held."""
+        return all(self.claims.values())
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table.
+
+    Numbers are formatted to a sensible precision; everything else via
+    ``str``.
+    """
+
+    def _cell(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1000 or magnitude < 0.01:
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    header_cells = [str(header) for header in headers]
+    widths = [
+        max(len(header_cells[i]), *(len(row[i]) for row in text_rows))
+        if text_rows
+        else len(header_cells[i])
+        for i in range(len(header_cells))
+    ]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Tuple[str, Callable[..., ExperimentResult]]] = {}
+
+
+def register_experiment(
+    experiment_id: str, title: str
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Decorator adding an experiment ``run`` function to the registry."""
+
+    def decorator(run: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = (title, run)
+        return run
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment's ``run`` function by id."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> Mapping[str, str]:
+    """All registered experiments: id -> title."""
+    _ensure_loaded()
+    return {exp_id: title for exp_id, (title, _run) in sorted(_REGISTRY.items())}
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their registrations run."""
+    from repro.experiments import (  # noqa: F401  (imported for side effects)
+        ext_categorical,
+        ext_incomplete,
+        ext_stability,
+        ext_wide,
+        fig1_example,
+        fig6_stability,
+        fig7_accuracy,
+        fig8_scaleup,
+        fig9_fig11_projections,
+        fig12_quant_vs_rr,
+        table2_rules,
+    )

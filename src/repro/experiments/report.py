@@ -1,0 +1,98 @@
+"""Markdown report generation for the reproduction experiments.
+
+``ratio-rules experiment all --markdown report.md`` (or
+:func:`generate_report` programmatically) runs every registered
+experiment and renders one self-contained markdown document: the
+regenerated table, the pass/fail status of each of the paper's shape
+claims, and the run notes.  This is how EXPERIMENTS.md's measured
+numbers are refreshed after a change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+)
+
+__all__ = ["generate_report", "render_markdown"]
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a GitHub-flavored markdown table."""
+
+    def _cell(value: object) -> str:
+        if isinstance(value, float):
+            magnitude = abs(value)
+            if value != 0 and (magnitude >= 10_000 or magnitude < 0.01):
+                return f"{value:.3g}"
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(results: Sequence[ExperimentResult], *, title: str = "Reproduction report") -> str:
+    """Render experiment results as one markdown document."""
+    total_claims = sum(len(r.claims) for r in results)
+    upheld = sum(sum(r.claims.values()) for r in results)
+    parts = [
+        f"# {title}",
+        "",
+        f"{len(results)} experiments; {upheld}/{total_claims} shape claims upheld.",
+        "",
+    ]
+    for result in results:
+        status = "✅" if result.all_claims_upheld() else "❌"
+        parts.append(f"## {status} {result.experiment_id} — {result.title}")
+        parts.append("")
+        parts.append(_markdown_table(result.headers, result.rows))
+        if result.claims:
+            parts.append("")
+            parts.append("**Shape claims:**")
+            parts.append("")
+            for claim, ok in result.claims.items():
+                parts.append(f"- {'✅' if ok else '❌'} {claim}")
+        if result.notes:
+            parts.append("")
+            parts.append(f"> {result.notes}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def generate_report(
+    experiment_ids: Optional[Sequence[str]] = None,
+    *,
+    seed: int = 0,
+    run_kwargs: Optional[Dict[str, dict]] = None,
+) -> str:
+    """Run experiments and return the markdown report.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Which experiments to run; defaults to all registered ones.
+    seed:
+        Forwarded to every experiment.
+    run_kwargs:
+        Optional per-experiment keyword overrides, keyed by id.
+    """
+    if experiment_ids is None:
+        experiment_ids = list(list_experiments())
+    run_kwargs = run_kwargs or {}
+    results: List[ExperimentResult] = []
+    for experiment_id in experiment_ids:
+        run = get_experiment(experiment_id)
+        kwargs = dict(run_kwargs.get(experiment_id, {}))
+        kwargs.setdefault("seed", seed)
+        results.append(run(**kwargs))
+    return render_markdown(results)

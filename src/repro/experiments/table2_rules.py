@@ -1,0 +1,79 @@
+"""Table 2 reproduction: the first three Ratio Rules of `nba`.
+
+Sec. 6.2 reads the rules off as basketball archetypes:
+
+- **RR1 "court action"** -- all-positive volume rule dominated by
+  minutes played and points, in roughly a 2:1 ratio ("the average
+  player scores 1 point for every 2 minutes of play");
+- **RR2 "field position"** -- rebounds *negatively* correlated with
+  points (~2.45:1), separating guards from forwards;
+- **RR3 "height"** -- rebounds negatively correlated with assists and
+  steals, separating the tall from the short.
+
+We regenerate the loading table (small entries blanked, as in the
+paper) and assert the sign structure of each rule.
+"""
+
+from __future__ import annotations
+
+from repro.core.interpret import interpret_rules, loading_table
+from repro.core.model import RatioRuleModel
+from repro.datasets import load_dataset
+from repro.experiments.harness import ExperimentResult, register_experiment
+
+__all__ = ["run"]
+
+
+@register_experiment("table2", "First three Ratio Rules of the nba dataset")
+def run(*, seed: int = 0, test_fraction: float = 0.1) -> ExperimentResult:
+    """Regenerate Table 2 and check its interpretation claims."""
+    dataset = load_dataset("nba", seed=seed)
+    train, _test = dataset.train_test_split(test_fraction, seed=seed)
+    # Table 2 shows three rules; fix k = 3 for the comparison.
+    model = RatioRuleModel(cutoff=3).fit(train.matrix, schema=dataset.schema)
+    rules = model.rules_
+
+    rr1, rr2, rr3 = rules[0], rules[1], rules[2]
+
+    def _sign(rule, attribute: str) -> float:
+        return rule.loading_of(attribute)
+
+    # RR1: all dominant loadings positive (a volume factor) with
+    # minutes-to-points roughly 2:1.
+    dominant_rr1 = rr1.dominant_attributes()
+    rr1_all_positive = all(value > 0 for _name, value in dominant_rr1)
+    minutes_per_point = _sign(rr1, "minutes played") / _sign(rr1, "points")
+
+    # RR2: rebounds against points.
+    rr2_contrast = _sign(rr2, "total rebounds") * _sign(rr2, "points") < 0
+
+    # RR3: rebounds against assists and steals.
+    rr3_contrast = (
+        _sign(rr3, "total rebounds") * _sign(rr3, "assists") < 0
+        and _sign(rr3, "total rebounds") * _sign(rr3, "steals") < 0
+    )
+
+    claims = {
+        "RR1 is an all-positive volume ('court action') rule": rr1_all_positive,
+        "RR1 minutes:points ratio near 2:1 (within [1.4, 2.8])": (
+            1.4 <= minutes_per_point <= 2.8
+        ),
+        "RR2 contrasts rebounds against points ('field position')": rr2_contrast,
+        "RR3 contrasts rebounds against assists+steals ('height')": rr3_contrast,
+    }
+
+    interpretations = interpret_rules(rules)
+    narrative = "\n".join(interp.narrative() for interp in interpretations)
+    rows = [
+        [rule.name, rule.eigenvalue, f"{rule.energy_fraction:.1%}",
+         rule.ratio_string(digits=3)]
+        for rule in rules
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Relative values of the RRs from nba",
+        headers=["rule", "eigenvalue", "energy", "dominant ratio"],
+        rows=rows,
+        claims=claims,
+        notes=loading_table(rules) + "\n\n" + narrative,
+    )

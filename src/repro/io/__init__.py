@@ -1,0 +1,47 @@
+"""Storage and streaming-read substrate.
+
+The paper's single-pass algorithm (Fig. 2a) reads the ``N x M`` data
+matrix row by row from disk while keeping only O(M^2) state in memory.
+This subpackage provides that disk substrate:
+
+- :mod:`repro.io.schema` -- named, typed column metadata;
+- :mod:`repro.io.rowstore` -- a simple binary row-major on-disk matrix
+  format with a self-describing header;
+- :mod:`repro.io.csv_format` -- CSV save/load with a schema header row;
+- :mod:`repro.io.matrix_reader` -- the uniform streaming interface: any
+  source (in-memory array, row-store file, CSV file) exposed as an
+  iterator of row blocks, plus a pass counter that lets tests *prove*
+  the single-pass property.
+"""
+
+from repro.io.csv_format import load_csv_matrix, save_csv_matrix
+from repro.io.npz_format import load_npz_matrix, save_npz_matrix
+from repro.io.partitioned import PartitionedReader, write_partitioned
+from repro.io.matrix_reader import (
+    ArrayReader,
+    CSVReader,
+    MatrixReader,
+    RowStoreReader,
+    open_matrix,
+)
+from repro.io.rowstore import RowStore, RowStoreError, RowStoreHeader
+from repro.io.schema import ColumnSchema, TableSchema
+
+__all__ = [
+    "ArrayReader",
+    "CSVReader",
+    "ColumnSchema",
+    "MatrixReader",
+    "PartitionedReader",
+    "RowStore",
+    "RowStoreError",
+    "RowStoreHeader",
+    "RowStoreReader",
+    "TableSchema",
+    "load_csv_matrix",
+    "load_npz_matrix",
+    "open_matrix",
+    "save_csv_matrix",
+    "save_npz_matrix",
+    "write_partitioned",
+]

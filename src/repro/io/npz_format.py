@@ -1,0 +1,57 @@
+"""NumPy ``.npz`` matrix format.
+
+The natural interchange format for numpy users: one compressed archive
+holding the matrix and its schema JSON.  Unlike the row store this is
+not a streaming format (numpy materializes the array on load), so it
+suits model inputs/outputs that already fit in memory -- test
+matrices, cleaned extracts, projection coordinates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.io.schema import TableSchema
+
+__all__ = ["save_npz_matrix", "load_npz_matrix"]
+
+
+def save_npz_matrix(
+    path: Union[str, Path],
+    matrix: np.ndarray,
+    schema: Optional[TableSchema] = None,
+) -> None:
+    """Write ``matrix`` (+ schema) to a compressed ``.npz`` archive."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    if schema is None:
+        schema = TableSchema.generic(matrix.shape[1])
+    if schema.width != matrix.shape[1]:
+        raise ValueError(
+            f"schema width {schema.width} does not match matrix width {matrix.shape[1]}"
+        )
+    np.savez_compressed(
+        path, matrix=matrix, schema_json=np.asarray([schema.to_json()])
+    )
+
+
+def load_npz_matrix(path: Union[str, Path]) -> Tuple[np.ndarray, TableSchema]:
+    """Read a matrix archive written by :func:`save_npz_matrix`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            matrix = archive["matrix"]
+            schema = TableSchema.from_json(str(archive["schema_json"][0]))
+        except KeyError as exc:
+            raise ValueError(
+                f"{path}: not a repro matrix archive (missing {exc})"
+            ) from None
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"{path}: stored matrix is not 2-d")
+    if schema.width != matrix.shape[1]:
+        raise ValueError(f"{path}: schema width does not match the matrix")
+    return matrix, schema

@@ -1,0 +1,160 @@
+"""Partitioned datasets: a directory of row-store shards with a manifest.
+
+Warehouse-scale data rarely lives in one file; it arrives as
+partitions (per day, per region).  This module gives those a
+first-class representation the rest of the library understands:
+
+- a **manifest** (``manifest.json``) records the shard order, per-shard
+  row counts and the shared schema;
+- :class:`PartitionedReader` exposes the whole partition set as one
+  :class:`~repro.io.matrix_reader.MatrixReader` -- a sequential scan
+  across shards, so the single-pass covariance (and therefore
+  ``RatioRuleModel.fit``) works on a partitioned dataset unchanged;
+- :func:`write_partitioned` builds a partition directory from blocks;
+  partitions can also be fed to
+  :func:`repro.core.parallel.fit_sharded` for a parallel map step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.io.matrix_reader import MatrixReader, RowStoreReader
+from repro.io.rowstore import RowStore, RowStoreError
+from repro.io.schema import TableSchema
+
+__all__ = ["PartitionedReader", "write_partitioned", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+def write_partitioned(
+    directory: Union[str, Path],
+    blocks: Iterable[np.ndarray],
+    schema: Optional[TableSchema] = None,
+    *,
+    shard_name: str = "part-{index:05d}.rr",
+) -> List[Path]:
+    """Write each block as one row-store shard plus a manifest.
+
+    Parameters
+    ----------
+    directory:
+        Target directory (created if needed; the manifest is
+        overwritten, shards are added fresh).
+    blocks:
+        One array per shard, all sharing a width.
+    schema:
+        Shared column metadata (defaults to generic names from the
+        first block).
+    shard_name:
+        Filename template with an ``{index}`` field.
+
+    Returns
+    -------
+    list of Path
+        The shard paths, in manifest order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shard_paths: List[Path] = []
+    entries = []
+    for index, block in enumerate(blocks):
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2:
+            raise ValueError(f"shard {index} must be 2-d, got ndim={block.ndim}")
+        if schema is None:
+            schema = TableSchema.generic(block.shape[1])
+        if schema.width != block.shape[1]:
+            raise ValueError(
+                f"shard {index} width {block.shape[1]} != schema width {schema.width}"
+            )
+        path = directory / shard_name.format(index=index)
+        RowStore.write_matrix(path, block, schema)
+        shard_paths.append(path)
+        entries.append({"file": path.name, "rows": int(block.shape[0])})
+    if not shard_paths:
+        raise ValueError("need at least one shard")
+    manifest = {
+        "format": "repro-partitioned-v1",
+        "schema": json.loads(schema.to_json()),
+        "shards": entries,
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return shard_paths
+
+
+class PartitionedReader(MatrixReader):
+    """One sequential scan over every shard of a partition directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        super().__init__()
+        self._directory = Path(directory)
+        manifest_path = self._directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise RowStoreError(f"{self._directory}: no {MANIFEST_NAME} found")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise RowStoreError(f"{manifest_path}: corrupt manifest: {exc}") from exc
+        if manifest.get("format") != "repro-partitioned-v1":
+            raise RowStoreError(
+                f"{manifest_path}: unknown format {manifest.get('format')!r}"
+            )
+        self._schema = TableSchema.from_json(json.dumps(manifest["schema"]))
+        self._shards: List[Path] = []
+        self._declared_rows: List[int] = []
+        for entry in manifest["shards"]:
+            path = self._directory / entry["file"]
+            if not path.exists():
+                raise RowStoreError(f"manifest references missing shard {path}")
+            self._shards.append(path)
+            self._declared_rows.append(int(entry["rows"]))
+        if not self._shards:
+            raise RowStoreError(f"{manifest_path}: manifest lists no shards")
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    def n_cols(self) -> int:
+        return self._schema.width
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows declared by the manifest."""
+        return sum(self._declared_rows)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    def shard_paths(self) -> List[Path]:
+        """The shard files in scan order (for fit_sharded map steps)."""
+        return list(self._shards)
+
+    # -- scanning ------------------------------------------------------------
+
+    def _iter_blocks(self, block_rows: int) -> Iterator[np.ndarray]:
+        for path, declared in zip(self._shards, self._declared_rows):
+            reader = RowStoreReader(path)
+            if reader.schema.names != self._schema.names:
+                raise RowStoreError(
+                    f"{path}: shard schema disagrees with the manifest"
+                )
+            seen = 0
+            for block in reader.iter_blocks(block_rows):
+                seen += block.shape[0]
+                yield block
+            if seen != declared:
+                raise RowStoreError(
+                    f"{path}: manifest declares {declared} rows, found {seen}"
+                )

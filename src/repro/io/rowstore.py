@@ -1,0 +1,374 @@
+"""A binary, row-major on-disk matrix format.
+
+This is the "training set X on disk" of the paper's Fig. 2(a): rows are
+stored contiguously so a scan reads the file front to back exactly
+once, in blocks, with O(block * M) memory.  The format is deliberately
+simple and self-describing:
+
++----------------------+-----------------------------------------------+
+| bytes                | contents                                      |
++======================+===============================================+
+| 0..7                 | magic ``b"RRSTORE1"``                         |
+| 8..15                | ``N`` rows, little-endian uint64              |
+| 16..23               | ``M`` columns, little-endian uint64           |
+| 24..31               | schema JSON length ``L``, little-endian uint64|
+| 32..32+L             | schema JSON (UTF-8)                           |
+| 32+L..               | ``N * M`` float64 cell values, row-major      |
++----------------------+-----------------------------------------------+
+
+Writers can stream rows in without knowing ``N`` up front: the header's
+row count is back-patched on close.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.io.schema import TableSchema
+
+__all__ = ["RowStore", "RowStoreError", "RowStoreHeader", "MAGIC", "TRAILER_MAGIC"]
+
+MAGIC = b"RRSTORE1"
+#: Optional integrity trailer after the data section: magic + CRC32 of
+#: the data bytes.  Files without a trailer remain readable (the row
+#: count already bounds the data section); files with one can be
+#: verified end to end.
+TRAILER_MAGIC = b"RRCRC32\x00"
+_HEADER_STRUCT = struct.Struct("<8sQQQ")
+_TRAILER_STRUCT = struct.Struct("<8sI")
+
+
+class RowStoreError(RuntimeError):
+    """Raised for malformed or inconsistent row-store files."""
+
+
+class RowStoreHeader:
+    """Parsed header of a row-store file."""
+
+    def __init__(self, n_rows: int, n_cols: int, schema: TableSchema) -> None:
+        if n_cols < 1:
+            raise RowStoreError(f"row store must have >= 1 column, got {n_cols}")
+        if n_rows < 0:
+            raise RowStoreError(f"row count must be >= 0, got {n_rows}")
+        if schema.width != n_cols:
+            raise RowStoreError(
+                f"schema width {schema.width} does not match column count {n_cols}"
+            )
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.schema = schema
+
+    def encode(self) -> bytes:
+        """Serialize the header (fixed part + schema JSON)."""
+        schema_bytes = self.schema.to_json().encode("utf-8")
+        fixed = _HEADER_STRUCT.pack(MAGIC, self.n_rows, self.n_cols, len(schema_bytes))
+        return fixed + schema_bytes
+
+    @classmethod
+    def read_from(cls, handle) -> "RowStoreHeader":
+        """Parse a header from an open binary file positioned at 0."""
+        fixed = handle.read(_HEADER_STRUCT.size)
+        if len(fixed) != _HEADER_STRUCT.size:
+            raise RowStoreError("file too short to contain a row-store header")
+        magic, n_rows, n_cols, schema_len = _HEADER_STRUCT.unpack(fixed)
+        if magic != MAGIC:
+            raise RowStoreError(f"bad magic {magic!r}; not a row-store file")
+        schema_bytes = handle.read(schema_len)
+        if len(schema_bytes) != schema_len:
+            raise RowStoreError("truncated schema block in row-store header")
+        try:
+            schema = TableSchema.from_json(schema_bytes.decode("utf-8"))
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise RowStoreError(f"corrupt schema JSON: {exc}") from exc
+        return cls(n_rows, n_cols, schema)
+
+    @property
+    def data_offset(self) -> int:
+        """Byte offset of the first cell value."""
+        return _HEADER_STRUCT.size + len(self.schema.to_json().encode("utf-8"))
+
+
+class RowStore:
+    """Reader/writer for the binary row-store format.
+
+    Typical usage::
+
+        # Write (streaming; N not known up front)
+        with RowStore.create(path, schema) as store:
+            for block in row_blocks:
+                store.append(block)
+
+        # Read in one gulp
+        matrix, schema = RowStore.read_all(path)
+
+        # Or stream in blocks (the Fig. 2a access pattern)
+        store = RowStore.open(path)
+        for block in store.iter_blocks(block_rows=4096):
+            consume(block)
+    """
+
+    def __init__(self, path: Union[str, Path], header: RowStoreHeader, handle, mode: str) -> None:
+        self._path = Path(path)
+        self._header = header
+        self._handle = handle
+        self._mode = mode
+        self._rows_written = 0
+        self._closed = False
+        self._crc = 0  # running CRC32 of the data section (writers only)
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, path: Union[str, Path], schema: TableSchema) -> "RowStore":
+        """Create a new row-store file for writing (overwrites)."""
+        header = RowStoreHeader(0, schema.width, schema)
+        handle = open(path, "wb")
+        handle.write(header.encode())
+        return cls(path, header, handle, mode="w")
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "RowStore":
+        """Open an existing row-store file for reading."""
+        handle = open(path, "rb")
+        try:
+            header = RowStoreHeader.read_from(handle)
+        except RowStoreError:
+            handle.close()
+            raise
+        return cls(path, header, handle, mode="r")
+
+    @classmethod
+    def open_append(cls, path: Union[str, Path]) -> "RowStore":
+        """Re-open an existing row-store file to append more rows.
+
+        The existing rows are preserved; the header's row count is
+        back-patched on close to cover old + new rows.  An existing
+        integrity trailer is consumed (its CRC seeds the running
+        checksum) and a fresh trailer is written on close.
+        """
+        handle = open(path, "r+b")
+        try:
+            header = RowStoreHeader.read_from(handle)
+            data_end = header.data_offset + 8 * header.n_rows * header.n_cols
+            handle.seek(0, 2)  # end of file
+            file_end = handle.tell()
+            crc = None
+            if file_end == data_end + _TRAILER_STRUCT.size:
+                handle.seek(data_end)
+                magic, stored_crc = _TRAILER_STRUCT.unpack(
+                    handle.read(_TRAILER_STRUCT.size)
+                )
+                if magic != TRAILER_MAGIC:
+                    raise RowStoreError(
+                        "unexpected bytes after the data section "
+                        "(corrupt trailer); refusing to append"
+                    )
+                crc = stored_crc
+                handle.truncate(data_end)
+            elif file_end != data_end:
+                raise RowStoreError(
+                    f"file length {file_end} does not match header "
+                    f"({header.n_rows} rows); refusing to append to a "
+                    "truncated or corrupt store"
+                )
+            if crc is None:
+                # Legacy file without a trailer: seed the checksum by
+                # scanning the existing data once.
+                crc = 0
+                handle.seek(header.data_offset)
+                remaining = data_end - header.data_offset
+                while remaining > 0:
+                    chunk = handle.read(min(remaining, 1 << 20))
+                    if not chunk:
+                        raise RowStoreError("short read while seeding checksum")
+                    crc = zlib.crc32(chunk, crc)
+                    remaining -= len(chunk)
+            handle.seek(0, 2)
+        except RowStoreError:
+            handle.close()
+            raise
+        store = cls(path, header, handle, mode="w")
+        store._rows_written = header.n_rows
+        store._crc = crc
+        return store
+
+    @classmethod
+    def verify(cls, path: Union[str, Path]) -> bool:
+        """Check the data section against the stored CRC32 trailer.
+
+        Returns
+        -------
+        bool
+            True when a trailer exists and matches; False when the file
+            predates trailers (nothing to verify against).
+
+        Raises
+        ------
+        RowStoreError
+            On checksum mismatch or a malformed/truncated file.
+        """
+        with open(path, "rb") as handle:
+            header = RowStoreHeader.read_from(handle)
+            data_end = header.data_offset + 8 * header.n_rows * header.n_cols
+            handle.seek(0, 2)
+            file_end = handle.tell()
+            if file_end == data_end:
+                return False  # legacy file: no trailer
+            if file_end != data_end + _TRAILER_STRUCT.size:
+                raise RowStoreError(
+                    f"file length {file_end} inconsistent with header "
+                    f"({header.n_rows} rows)"
+                )
+            handle.seek(header.data_offset)
+            crc = 0
+            remaining = data_end - header.data_offset
+            while remaining > 0:
+                chunk = handle.read(min(remaining, 1 << 20))
+                if not chunk:
+                    raise RowStoreError("short read while verifying checksum")
+                crc = zlib.crc32(chunk, crc)
+                remaining -= len(chunk)
+            magic, stored_crc = _TRAILER_STRUCT.unpack(
+                handle.read(_TRAILER_STRUCT.size)
+            )
+            if magic != TRAILER_MAGIC:
+                raise RowStoreError("corrupt trailer magic")
+            if crc != stored_crc:
+                raise RowStoreError(
+                    f"checksum mismatch: data CRC {crc:#010x} != "
+                    f"stored {stored_crc:#010x}"
+                )
+        return True
+
+    # -- metadata -------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        """Column schema stored in the header."""
+        return self._header.schema
+
+    @property
+    def n_rows(self) -> int:
+        """Row count: header value when reading, rows appended when writing."""
+        if self._mode == "w":
+            return self._rows_written
+        return self._header.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        """Column count."""
+        return self._header.n_cols
+
+    @property
+    def path(self) -> Path:
+        """Path of the backing file."""
+        return self._path
+
+    # -- writing --------------------------------------------------------
+
+    def append(self, rows: np.ndarray) -> None:
+        """Append a block of rows (``B x M`` or a single ``M``-vector)."""
+        if self._mode != "w":
+            raise RowStoreError("store opened read-only")
+        if self._closed:
+            raise RowStoreError("store already closed")
+        block = np.asarray(rows, dtype=np.float64)
+        if block.ndim == 1:
+            block = block.reshape(1, -1)
+        if block.ndim != 2 or block.shape[1] != self.n_cols:
+            raise RowStoreError(
+                f"expected rows of width {self.n_cols}, got shape {block.shape}"
+            )
+        payload = np.ascontiguousarray(block).tobytes()
+        self._handle.write(payload)
+        self._crc = zlib.crc32(payload, self._crc)
+        self._rows_written += block.shape[0]
+
+    # -- reading --------------------------------------------------------
+
+    def iter_blocks(self, block_rows: int = 4096) -> Iterator[np.ndarray]:
+        """Yield the matrix front to back in blocks of ``block_rows`` rows.
+
+        This is the single-pass access pattern: the file is read exactly
+        once, sequentially.
+        """
+        if self._mode != "r":
+            raise RowStoreError("store opened write-only")
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self._handle.seek(self._header.data_offset)
+        bytes_per_row = 8 * self.n_cols
+        remaining = self._header.n_rows
+        while remaining > 0:
+            take = min(block_rows, remaining)
+            raw = self._handle.read(take * bytes_per_row)
+            if len(raw) != take * bytes_per_row:
+                raise RowStoreError(
+                    f"file truncated: expected {take} rows, got {len(raw) // bytes_per_row}"
+                )
+            yield np.frombuffer(raw, dtype=np.float64).reshape(take, self.n_cols)
+            remaining -= take
+
+    def read_matrix(self) -> np.ndarray:
+        """Materialize the full ``N x M`` matrix in memory."""
+        blocks = list(self.iter_blocks())
+        if not blocks:
+            return np.empty((0, self.n_cols))
+        return np.vstack(blocks)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the file; when writing, append the integrity trailer and
+        back-patch the row count."""
+        if self._closed:
+            return
+        if self._mode == "w":
+            self._handle.flush()
+            self._handle.seek(0, 2)
+            self._handle.write(_TRAILER_STRUCT.pack(TRAILER_MAGIC, self._crc))
+            self._handle.seek(len(MAGIC))
+            self._handle.write(struct.pack("<Q", self._rows_written))
+        self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "RowStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- convenience ----------------------------------------------------
+
+    @classmethod
+    def write_matrix(
+        cls,
+        path: Union[str, Path],
+        matrix: np.ndarray,
+        schema: Optional[TableSchema] = None,
+        *,
+        block_rows: int = 65536,
+    ) -> None:
+        """Write an in-memory matrix to a row-store file in blocks."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+        if schema is None:
+            schema = TableSchema.generic(matrix.shape[1])
+        with cls.create(path, schema) as store:
+            for start in range(0, matrix.shape[0], block_rows):
+                store.append(matrix[start : start + block_rows])
+
+    @classmethod
+    def read_all(cls, path: Union[str, Path]):
+        """Read a row-store file fully; returns ``(matrix, schema)``."""
+        store = cls.open(path)
+        try:
+            return store.read_matrix(), store.schema
+        finally:
+            store.close()

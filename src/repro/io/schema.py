@@ -1,0 +1,130 @@
+"""Column metadata for data matrices.
+
+Ratio Rules are only interpretable against named attributes ("minutes
+played", "field goals", ...; Table 2 of the paper).  A
+:class:`TableSchema` carries those names (and optional units and
+descriptions) alongside the numeric matrix, and survives round-trips
+through the row-store and CSV formats.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ColumnSchema", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Metadata for one attribute (column) of a data matrix.
+
+    Attributes
+    ----------
+    name:
+        Attribute name, e.g. ``"minutes played"``.  Must be non-empty.
+    unit:
+        Optional unit label, e.g. ``"$"`` or ``"minutes"``.
+    description:
+        Optional free-text description used in reports.
+    """
+
+    name: str
+    unit: Optional[str] = None
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("column name must be a non-empty string")
+
+    def label(self) -> str:
+        """Human-readable label, including the unit when present."""
+        if self.unit:
+            return f"{self.name} ({self.unit})"
+        return self.name
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered collection of column schemas for an ``N x M`` matrix."""
+
+    columns: Tuple[ColumnSchema, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate column names: {sorted(duplicates)}")
+
+    @classmethod
+    def from_names(cls, names: Iterable[str], *, unit: Optional[str] = None) -> "TableSchema":
+        """Build a schema from bare column names, sharing one optional unit."""
+        return cls(tuple(ColumnSchema(name=name, unit=unit) for name in names))
+
+    @classmethod
+    def generic(cls, width: int, *, prefix: str = "col") -> "TableSchema":
+        """Anonymous schema (``col0``, ``col1``, ...) for unnamed matrices."""
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        return cls.from_names(f"{prefix}{index}" for index in range(width))
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    @property
+    def names(self) -> List[str]:
+        """Column names in order."""
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnSchema]:
+        return iter(self.columns)
+
+    def __getitem__(self, index: int) -> ColumnSchema:
+        return self.columns[index]
+
+    def index_of(self, name: str) -> int:
+        """Position of the column called ``name``.
+
+        Raises
+        ------
+        KeyError
+            If no column has that name.
+        """
+        for position, column in enumerate(self.columns):
+            if column.name == name:
+                return position
+        raise KeyError(f"no column named {name!r}; have {self.names}")
+
+    def subset(self, indices: Sequence[int]) -> "TableSchema":
+        """Schema restricted to the given column positions, in order."""
+        return TableSchema(tuple(self.columns[index] for index in indices))
+
+    def to_json(self) -> str:
+        """Serialize to a compact JSON string (for file headers)."""
+        payload = [
+            {"name": c.name, "unit": c.unit, "description": c.description}
+            for c in self.columns
+        ]
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TableSchema":
+        """Inverse of :meth:`to_json`."""
+        payload = json.loads(text)
+        if not isinstance(payload, list):
+            raise ValueError("schema JSON must be a list of column objects")
+        columns = tuple(
+            ColumnSchema(
+                name=entry["name"],
+                unit=entry.get("unit"),
+                description=entry.get("description"),
+            )
+            for entry in payload
+        )
+        return cls(columns)

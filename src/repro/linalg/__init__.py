@@ -1,0 +1,74 @@
+"""Linear-algebra substrate for Ratio Rules.
+
+The paper (Sec. 4.2, Fig. 2b) computes Ratio Rules with an
+"off-the-shelf eigensystem package".  This subpackage provides that
+substrate from scratch:
+
+- :mod:`repro.linalg.jacobi` -- a cyclic Jacobi eigensolver for dense
+  symmetric matrices (the classic choice of Numerical Recipes, the
+  paper's reference [17]);
+- :mod:`repro.linalg.householder` -- Householder tridiagonalization +
+  QL: the faster classical dense pipeline (NR ``tred2`` + ``tqli``);
+- :mod:`repro.linalg.tridiagonal` -- the QL-with-implicit-shifts core
+  shared by Householder and Lanczos;
+- :mod:`repro.linalg.power` -- power iteration with deflation, which
+  extracts only the top-``k`` eigenpairs;
+- :mod:`repro.linalg.lanczos` -- a Lanczos solver suited to the large,
+  sparse covariance matrices mentioned in the paper's footnote 1;
+- :mod:`repro.linalg.sparse` -- a from-scratch CSR matrix with the
+  matvec kernels the implicit covariance operator needs;
+- :mod:`repro.linalg.svd` -- singular value decomposition and the
+  Moore-Penrose pseudo-inverse (Eq. 7-8), built on our eigensolvers;
+- :mod:`repro.linalg.eigen` -- a uniform front-end
+  (:func:`~repro.linalg.eigen.solve_eigensystem`) that dispatches among
+  the backends (including ``numpy.linalg.eigh``) and post-processes the
+  results (descending sort, sign canonicalization).
+
+All solvers are validated against ``numpy.linalg`` in the test suite;
+``numpy`` remains the default backend for speed.
+"""
+
+from repro.linalg.eigen import EigenResult, solve_eigensystem
+from repro.linalg.householder import (
+    householder_eigensystem,
+    householder_tridiagonalize,
+)
+from repro.linalg.jacobi import jacobi_eigensystem
+from repro.linalg.lanczos import lanczos_eigensystem
+from repro.linalg.matrix_utils import (
+    canonicalize_sign,
+    center_columns,
+    is_orthonormal,
+    relative_residual,
+    symmetrize,
+)
+from repro.linalg.power import power_iteration_eigensystem
+from repro.linalg.sparse import CSRMatrix
+from repro.linalg.svd import (
+    SVDResult,
+    least_squares_solve,
+    pseudo_inverse,
+    svd_decompose,
+)
+from repro.linalg.tridiagonal import tridiagonal_eigensystem
+
+__all__ = [
+    "CSRMatrix",
+    "EigenResult",
+    "SVDResult",
+    "canonicalize_sign",
+    "center_columns",
+    "householder_eigensystem",
+    "householder_tridiagonalize",
+    "is_orthonormal",
+    "jacobi_eigensystem",
+    "lanczos_eigensystem",
+    "least_squares_solve",
+    "power_iteration_eigensystem",
+    "pseudo_inverse",
+    "relative_residual",
+    "solve_eigensystem",
+    "svd_decompose",
+    "symmetrize",
+    "tridiagonal_eigensystem",
+]

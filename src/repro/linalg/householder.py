@@ -1,0 +1,103 @@
+"""Dense symmetric eigensolver: Householder tridiagonalization + QL.
+
+The production-grade classical pipeline (Numerical Recipes' ``tred2`` +
+``tqli``, the paper's reference [17]):
+
+1. reduce the symmetric matrix to tridiagonal form with a sequence of
+   Householder reflections, accumulating the orthogonal transform;
+2. solve the tridiagonal eigensystem by QL with implicit shifts
+   (:mod:`repro.linalg.tridiagonal`);
+3. back-transform the tridiagonal eigenvectors through the accumulated
+   reflections.
+
+Compared to our cyclic Jacobi backend this is the asymptotically
+faster classical method (one O(M^3) reduction instead of O(M^3) *per
+sweep*), and it gives the library a second fully from-scratch dense
+path to cross-validate against LAPACK and Jacobi.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.matrix_utils import symmetrize
+from repro.linalg.tridiagonal import tridiagonal_eigensystem
+
+__all__ = ["householder_tridiagonalize", "householder_eigensystem"]
+
+
+def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce a symmetric matrix to tridiagonal form.
+
+    Returns ``(diagonal, off_diagonal, q)`` with
+    ``q @ T @ q.T == matrix`` where ``T`` is the tridiagonal matrix
+    assembled from the returned bands.
+
+    Parameters
+    ----------
+    matrix:
+        Real symmetric ``n x n`` matrix (symmetrized defensively).
+    """
+    a = symmetrize(np.array(matrix, dtype=np.float64, copy=True))
+    n = a.shape[0]
+    q = np.eye(n)
+
+    for k in range(n - 2):
+        # Eliminate column k below the first sub-diagonal.
+        x = a[k + 1 :, k].copy()
+        alpha = -np.sign(x[0]) * np.linalg.norm(x) if x[0] != 0 else -np.linalg.norm(x)
+        if alpha == 0.0:
+            continue  # column already zero below the sub-diagonal
+        v = x.copy()
+        v[0] -= alpha
+        v_norm = np.linalg.norm(v)
+        if v_norm <= np.finfo(np.float64).tiny:
+            continue
+        v /= v_norm  # unit Householder vector; H = I - 2 v v^t
+
+        # Apply H from both sides to the trailing block (rows/cols k+1..).
+        block = a[k + 1 :, k + 1 :]
+        w = block @ v
+        tau = float(v @ w)
+        # block <- H block H = block - 2 v w^t - 2 w v^t + 4 tau v v^t
+        block -= 2.0 * np.outer(v, w) + 2.0 * np.outer(w, v) - 4.0 * tau * np.outer(v, v)
+        a[k + 1 :, k + 1 :] = (block + block.T) / 2.0
+
+        # Fix column/row k.
+        a[k + 1, k] = alpha
+        a[k, k + 1] = alpha
+        if n - k - 2 > 0:
+            a[k + 2 :, k] = 0.0
+            a[k, k + 2 :] = 0.0
+
+        # Accumulate Q <- Q H (H acts on coordinates k+1..n-1).
+        q_block = q[:, k + 1 :]
+        q[:, k + 1 :] = q_block - 2.0 * np.outer(q_block @ v, v)
+
+    diagonal = np.diag(a).copy()
+    off_diagonal = np.diag(a, k=-1).copy()
+    return diagonal, off_diagonal, q
+
+
+def householder_eigensystem(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All eigenpairs of a real symmetric matrix, descending order.
+
+    Householder reduction followed by QL with implicit shifts, with the
+    eigenvectors back-transformed through the accumulated reflections.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    n = matrix.shape[0]
+    if n == 1:
+        return np.array([float(matrix[0, 0])]), np.eye(1)
+
+    diagonal, off_diagonal, q = householder_tridiagonalize(matrix)
+    tri_values, tri_vectors = tridiagonal_eigensystem(diagonal, off_diagonal)
+    vectors = q @ tri_vectors
+    # Values come back descending from the tridiagonal solver already,
+    # but re-sort defensively (ties can permute under back-transform).
+    order = np.argsort(tri_values)[::-1]
+    return tri_values[order], vectors[:, order]

@@ -1,0 +1,134 @@
+"""Cyclic Jacobi eigensolver for real symmetric matrices.
+
+The paper's reference implementation used "any off-the-shelf
+eigensystem package" and cites Numerical Recipes [17], whose symmetric
+eigensolver of choice is the Jacobi rotation method.  We implement the
+cyclic-by-row variant: sweep over all super-diagonal pivots, annihilate
+each with a Givens rotation, and repeat until the off-diagonal mass is
+below a tolerance.
+
+Jacobi is O(M^3) per sweep with a handful of sweeps in practice --
+entirely adequate for the paper's regime (M in the hundreds), and it
+delivers small relative errors on every eigenpair, which makes it a
+good independent check on ``numpy.linalg.eigh``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.matrix_utils import symmetrize
+
+__all__ = ["jacobi_eigensystem", "JacobiNotConverged"]
+
+#: Default maximum number of full sweeps before giving up.
+DEFAULT_MAX_SWEEPS = 100
+
+
+class JacobiNotConverged(RuntimeError):
+    """Raised when the Jacobi sweeps fail to reduce the off-diagonal mass."""
+
+
+def _off_diagonal_norm(matrix: np.ndarray) -> float:
+    """Frobenius norm of the strictly off-diagonal part."""
+    off = matrix - np.diag(np.diag(matrix))
+    return float(np.linalg.norm(off))
+
+
+def _rotate(matrix: np.ndarray, vectors: np.ndarray, p: int, q: int) -> None:
+    """Apply one Jacobi rotation annihilating ``matrix[p, q]`` in place.
+
+    Uses the numerically stable formulation from Numerical Recipes:
+    solve for ``t = tan(theta)`` via the root of smaller magnitude of
+    ``t^2 + 2 t / tau - 1 = 0`` where ``tau = (a_qq - a_pp) / (2 a_pq)``.
+    """
+    apq = matrix[p, q]
+    if apq == 0.0:
+        return
+    app = matrix[p, p]
+    aqq = matrix[q, q]
+    tau = (aqq - app) / (2.0 * apq)
+    if tau >= 0.0:
+        t = 1.0 / (tau + np.sqrt(1.0 + tau * tau))
+    else:
+        t = -1.0 / (-tau + np.sqrt(1.0 + tau * tau))
+    c = 1.0 / np.sqrt(1.0 + t * t)
+    s = t * c
+
+    # Update the two affected rows/columns of the symmetric matrix.
+    row_p = matrix[p, :].copy()
+    row_q = matrix[q, :].copy()
+    matrix[p, :] = c * row_p - s * row_q
+    matrix[q, :] = s * row_p + c * row_q
+    col_p = matrix[:, p].copy()
+    col_q = matrix[:, q].copy()
+    matrix[:, p] = c * col_p - s * col_q
+    matrix[:, q] = s * col_p + c * col_q
+    # Set the annihilated pair exactly to zero to avoid drift.
+    matrix[p, q] = 0.0
+    matrix[q, p] = 0.0
+
+    # Accumulate the rotation into the eigenvector matrix.
+    vec_p = vectors[:, p].copy()
+    vec_q = vectors[:, q].copy()
+    vectors[:, p] = c * vec_p - s * vec_q
+    vectors[:, q] = s * vec_p + c * vec_q
+
+
+def jacobi_eigensystem(
+    matrix: np.ndarray,
+    *,
+    tol: float = 1e-12,
+    max_sweeps: int = DEFAULT_MAX_SWEEPS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute all eigenpairs of a real symmetric matrix by cyclic Jacobi.
+
+    Parameters
+    ----------
+    matrix:
+        Real symmetric ``M x M`` matrix.  (It is symmetrized defensively;
+        passing a markedly non-symmetric matrix is a caller bug.)
+    tol:
+        Convergence threshold on the off-diagonal Frobenius norm,
+        relative to the initial matrix norm.
+    max_sweeps:
+        Maximum number of full pivot sweeps.
+
+    Returns
+    -------
+    (eigenvalues, eigenvectors):
+        Eigenvalues in *descending* order and the matching eigenvectors
+        as columns of an ``M x M`` orthogonal matrix.
+
+    Raises
+    ------
+    JacobiNotConverged
+        If ``max_sweeps`` sweeps do not reach the tolerance.
+    """
+    work = symmetrize(np.array(matrix, dtype=np.float64, copy=True))
+    size = work.shape[0]
+    vectors = np.eye(size)
+    if size == 1:
+        return work.diagonal().copy(), vectors
+
+    scale = max(float(np.linalg.norm(work)), np.finfo(np.float64).tiny)
+    threshold = tol * scale
+    for _sweep in range(max_sweeps):
+        if _off_diagonal_norm(work) <= threshold:
+            break
+        for p in range(size - 1):
+            for q in range(p + 1, size):
+                # Skip pivots already negligible relative to their diagonal.
+                if abs(work[p, q]) > threshold / (size * size):
+                    _rotate(work, vectors, p, q)
+    else:
+        raise JacobiNotConverged(
+            f"Jacobi failed to converge in {max_sweeps} sweeps "
+            f"(off-diagonal norm {_off_diagonal_norm(work):.3e}, tol {threshold:.3e})"
+        )
+
+    eigenvalues = work.diagonal().copy()
+    order = np.argsort(eigenvalues)[::-1]
+    return eigenvalues[order], vectors[:, order]

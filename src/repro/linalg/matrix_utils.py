@@ -1,0 +1,153 @@
+"""Small matrix utilities shared across the linear-algebra substrate.
+
+These helpers capture the conventions the rest of the package relies
+on: column centering (the paper's ``Xc``), eigenvector sign
+canonicalization (eigenvectors are only defined up to sign, so we fix a
+deterministic representative), and validation predicates used heavily
+by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "as_float_matrix",
+    "canonicalize_sign",
+    "center_columns",
+    "is_orthonormal",
+    "relative_residual",
+    "symmetrize",
+]
+
+
+def as_float_matrix(data, *, name: str = "data") -> np.ndarray:
+    """Coerce ``data`` to a 2-d float64 array, validating shape and finiteness.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A 2-d ``float64`` array (a copy only if coercion required one).
+
+    Raises
+    ------
+    ValueError
+        If the input is not 2-dimensional, is empty, or contains
+        non-finite entries.
+    """
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got ndim={matrix.ndim}")
+    if matrix.size == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError(f"{name} contains NaN or infinite entries")
+    return matrix
+
+
+def center_columns(matrix: np.ndarray, means: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Subtract column means, producing the paper's zero-mean matrix ``Xc``.
+
+    Parameters
+    ----------
+    matrix:
+        The ``N x M`` data matrix ``X``.
+    means:
+        Column means to subtract.  When ``None`` (the usual case) the
+        means of ``matrix`` itself are used; passing training-set means
+        lets callers center a *test* matrix consistently.
+
+    Returns
+    -------
+    (centered, means):
+        The centered matrix and the means that were subtracted.
+    """
+    matrix = as_float_matrix(matrix, name="matrix")
+    if means is None:
+        means = matrix.mean(axis=0)
+    else:
+        means = np.asarray(means, dtype=np.float64)
+        if means.shape != (matrix.shape[1],):
+            raise ValueError(
+                f"means must have shape ({matrix.shape[1]},), got {means.shape}"
+            )
+    return matrix - means, means
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return ``(A + A^t) / 2``, forcing exact symmetry.
+
+    Accumulated covariance matrices can drift from symmetry by a few
+    ulps; the symmetric eigensolvers assume exact symmetry, so we snap
+    to the nearest symmetric matrix before decomposing.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    return (matrix + matrix.T) / 2.0
+
+
+def canonicalize_sign(vectors: np.ndarray) -> np.ndarray:
+    """Flip eigenvector columns so each largest-magnitude entry is positive.
+
+    Eigenvectors are defined only up to sign; different solvers (or the
+    same solver on different platforms) may return either orientation.
+    Fixing the representative whose largest-|entry| is positive makes
+    rules printable deterministically and makes cross-backend tests
+    sign-invariant.
+
+    Parameters
+    ----------
+    vectors:
+        ``M x k`` matrix with one eigenvector per column.
+
+    Returns
+    -------
+    numpy.ndarray
+        A copy with canonical column signs.
+    """
+    vectors = np.array(vectors, dtype=np.float64, copy=True)
+    if vectors.ndim == 1:
+        vectors = vectors.reshape(-1, 1)
+        squeeze = True
+    else:
+        squeeze = False
+    for j in range(vectors.shape[1]):
+        column = vectors[:, j]
+        pivot = int(np.argmax(np.abs(column)))
+        if column[pivot] < 0:
+            vectors[:, j] = -column
+    return vectors[:, 0] if squeeze else vectors
+
+
+def is_orthonormal(vectors: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Check that the columns of ``vectors`` form an orthonormal set."""
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2:
+        return False
+    gram = vectors.T @ vectors
+    return bool(np.allclose(gram, np.eye(vectors.shape[1]), atol=atol))
+
+
+def relative_residual(matrix: np.ndarray, eigenvalues: np.ndarray, eigenvectors: np.ndarray) -> float:
+    """Relative residual ``||C V - V diag(lambda)|| / max(||C||, eps)``.
+
+    A small residual certifies that ``(eigenvalues, eigenvectors)``
+    genuinely solve the eigenproblem for ``matrix``, independent of the
+    solver that produced them.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+    eigenvectors = np.asarray(eigenvectors, dtype=np.float64)
+    residual = matrix @ eigenvectors - eigenvectors * eigenvalues[np.newaxis, :]
+    scale = max(float(np.linalg.norm(matrix)), np.finfo(np.float64).eps)
+    return float(np.linalg.norm(residual)) / scale

@@ -1,0 +1,162 @@
+"""A from-scratch CSR sparse matrix.
+
+The paper's footnote 1 points at sparse eigensystem methods for wide
+market-basket matrices -- where the data matrix is mostly zeros (a
+customer buys a handful of the thousands of products).  The implicit
+covariance operator of :mod:`repro.core.wide` only needs two
+primitives, ``A @ v`` and ``A.T @ w``; this module supplies them on a
+compressed-sparse-row representation so the cost drops from O(N*M) per
+Lanczos step to O(nnz).
+
+The implementation is deliberately minimal and dependency-free:
+``indptr`` / ``indices`` / ``data`` arrays with vectorized numpy
+kernels (products scattered with ``bincount``), plus the column
+statistics the covariance trick needs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """Compressed-sparse-row matrix with the kernels wide mining needs.
+
+    Build via :meth:`from_dense` or :meth:`from_coo`; the constructor
+    takes pre-validated CSR arrays.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+        # Row id per stored value; precomputed for the bincount kernels.
+        self._row_ids = np.repeat(
+            np.arange(self.shape[0]), np.diff(self.indptr)
+        )
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 1:
+            raise ValueError(f"invalid shape {self.shape}")
+        if self.indptr.shape != (n_rows + 1,):
+            raise ValueError(
+                f"indptr must have length {n_rows + 1}, got {self.indptr.shape[0]}"
+            )
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.shape != (nnz,) or self.data.shape != (nnz,):
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column index out of range")
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "CSRMatrix":
+        """Compress a dense matrix (zeros dropped)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+        mask = matrix != 0.0
+        counts = mask.sum(axis=1)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        rows, cols = np.nonzero(mask)
+        return cls(indptr, cols, matrix[rows, cols], matrix.shape)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "CSRMatrix":
+        """Build from coordinate triplets (duplicates are summed)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValueError("rows, cols and values must have equal length")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("column index out of range")
+        # Sort by (row, col) and merge duplicates.
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if rows.size:
+            keys = rows * n_cols + cols
+            unique_mask = np.concatenate([[True], np.diff(keys) != 0])
+            group_ids = np.cumsum(unique_mask) - 1
+            merged_values = np.bincount(group_ids, weights=values)
+            rows = rows[unique_mask]
+            cols = cols[unique_mask]
+            values = merged_values
+        counts = np.bincount(rows, minlength=n_rows)
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        return cls(indptr, cols, values, (n_rows, n_cols))
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Stored (nonzero) entry count."""
+        return int(self.data.shape[0])
+
+    def density(self) -> float:
+        """Fraction of cells stored."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    # -- kernels --------------------------------------------------------------
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """``A @ v`` in O(nnz)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.shape[1],):
+            raise ValueError(
+                f"vector must have shape ({self.shape[1]},), got {vector.shape}"
+            )
+        products = self.data * vector[self.indices]
+        return np.bincount(self._row_ids, weights=products, minlength=self.shape[0])
+
+    def rmatvec(self, vector: np.ndarray) -> np.ndarray:
+        """``A.T @ w`` in O(nnz)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.shape[0],):
+            raise ValueError(
+                f"vector must have shape ({self.shape[0]},), got {vector.shape}"
+            )
+        products = self.data * vector[self._row_ids]
+        return np.bincount(self.indices, weights=products, minlength=self.shape[1])
+
+    def column_sums(self) -> np.ndarray:
+        """Per-column sum of stored values."""
+        return np.bincount(self.indices, weights=self.data, minlength=self.shape[1])
+
+    def column_squared_sums(self) -> np.ndarray:
+        """Per-column sum of squared values (for trace computations)."""
+        return np.bincount(
+            self.indices, weights=self.data**2, minlength=self.shape[1]
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (tests and small matrices only)."""
+        dense = np.zeros(self.shape)
+        dense[self._row_ids, self.indices] = self.data
+        return dense

@@ -1,0 +1,190 @@
+"""Singular value decomposition and the Moore-Penrose pseudo-inverse.
+
+The hole-filling algorithm's over-specified case (Sec. 4.4, CASE 2)
+solves ``V' x = b'`` with more equations than unknowns by the
+pseudo-inverse of ``V'`` (the paper's Eq. 7-9, following Numerical
+Recipes [17]).  We build the SVD from scratch on top of our own
+symmetric eigensolvers: for an ``m x n`` matrix ``A``, the eigenvectors
+of the smaller Gram matrix (``A^t A`` or ``A A^t``) give one set of
+singular vectors; the other follows by multiplying through ``A``.
+
+The Gram-matrix route squares the condition number, which is fine here:
+``V'`` is a slice of an orthonormal eigenvector matrix, so its singular
+values are at most 1 and typically well separated from zero.  A
+relative cutoff guards the rank-deficient cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.linalg.jacobi import jacobi_eigensystem
+
+__all__ = ["SVDResult", "svd_decompose", "pseudo_inverse", "least_squares_solve"]
+
+#: Relative singular-value cutoff below which directions are treated as
+#: null.  The Gram-matrix construction computes singular values as
+#: square roots of eigenvalues, so values below ~sqrt(machine epsilon)
+#: relative (~1.5e-8) are indistinguishable from round-off; the default
+#: sits just above that resolution limit.
+DEFAULT_RCOND = 1e-7
+
+
+@dataclass(frozen=True)
+class SVDResult:
+    """A thin SVD ``A = U diag(s) V^t``.
+
+    Attributes
+    ----------
+    u:
+        ``m x r`` matrix of left singular vectors.
+    singular_values:
+        The ``r`` singular values in descending order (all > cutoff).
+    vt:
+        ``r x n`` matrix of right singular vectors (transposed).
+    """
+
+    u: np.ndarray
+    singular_values: np.ndarray
+    vt: np.ndarray
+
+    @property
+    def rank(self) -> int:
+        """Numerical rank detected during the decomposition."""
+        return int(self.singular_values.shape[0])
+
+    def reconstruct(self) -> np.ndarray:
+        """Multiply the factors back together."""
+        return self.u @ np.diag(self.singular_values) @ self.vt
+
+
+def svd_decompose(
+    matrix: np.ndarray,
+    *,
+    rcond: float = DEFAULT_RCOND,
+    backend: str = "jacobi",
+) -> SVDResult:
+    """Thin SVD of a dense matrix, built on a symmetric eigensolver.
+
+    Parameters
+    ----------
+    matrix:
+        Any real ``m x n`` matrix.
+    rcond:
+        Singular values below ``rcond * max(singular_values)`` are
+        dropped (treated as exact zeros).
+    backend:
+        ``"jacobi"`` uses our from-scratch solver on the Gram matrix;
+        ``"numpy"`` defers to ``numpy.linalg.eigh`` (still via the Gram
+        matrix, for an apples-to-apples code path).
+
+    Returns
+    -------
+    SVDResult
+        Thin decomposition containing only the numerically nonzero
+        singular triplets.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    if rows == 0 or cols == 0:
+        raise ValueError(f"matrix must be non-empty, got shape {matrix.shape}")
+
+    # Normalize to unit Frobenius norm before forming the Gram matrix:
+    # squaring very small (or very large) entries would otherwise
+    # underflow (overflow) and corrupt the rank decision.  Singular
+    # values scale linearly, so they are restored afterwards.
+    norm = float(np.linalg.norm(matrix))
+    if norm == 0.0:
+        return SVDResult(np.zeros((rows, 0)), np.empty(0), np.zeros((0, cols)))
+    scaled = matrix / norm
+    inner = svd_decompose_normalized(scaled, rcond=rcond, backend=backend)
+    return SVDResult(inner.u, inner.singular_values * norm, inner.vt)
+
+
+def svd_decompose_normalized(
+    matrix: np.ndarray,
+    *,
+    rcond: float = DEFAULT_RCOND,
+    backend: str = "jacobi",
+) -> SVDResult:
+    """Gram-matrix SVD of a matrix already scaled to moderate norm."""
+    rows, cols = matrix.shape
+    # Decompose the smaller Gram matrix.
+    if cols <= rows:
+        gram = matrix.T @ matrix
+        values, right = _symmetric_eigensystem(gram, backend)
+        values = np.clip(values, 0.0, None)
+        singular = np.sqrt(values)
+        keep = singular > rcond * max(float(singular[0]) if singular.size else 0.0, np.finfo(np.float64).tiny)
+        right = right[:, keep]
+        singular = singular[keep]
+        if singular.size == 0:
+            # Zero matrix: rank-0 decomposition.
+            return SVDResult(np.zeros((rows, 0)), singular, np.zeros((0, cols)))
+        left = (matrix @ right) / singular[np.newaxis, :]
+        return SVDResult(left, singular, right.T)
+
+    gram = matrix @ matrix.T
+    values, left = _symmetric_eigensystem(gram, backend)
+    values = np.clip(values, 0.0, None)
+    singular = np.sqrt(values)
+    keep = singular > rcond * max(float(singular[0]) if singular.size else 0.0, np.finfo(np.float64).tiny)
+    left = left[:, keep]
+    singular = singular[keep]
+    if singular.size == 0:
+        return SVDResult(np.zeros((rows, 0)), singular, np.zeros((0, cols)))
+    right = (matrix.T @ left) / singular[np.newaxis, :]
+    return SVDResult(left, singular, right.T)
+
+
+def _symmetric_eigensystem(gram: np.ndarray, backend: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Descending-order eigensystem of a symmetric PSD Gram matrix."""
+    if backend == "jacobi":
+        return jacobi_eigensystem(gram)
+    if backend == "numpy":
+        values, vectors = np.linalg.eigh((gram + gram.T) / 2.0)
+        order = np.argsort(values)[::-1]
+        return values[order], vectors[:, order]
+    raise ValueError(f"unknown SVD backend {backend!r}; expected 'jacobi' or 'numpy'")
+
+
+def pseudo_inverse(
+    matrix: np.ndarray,
+    *,
+    rcond: float = DEFAULT_RCOND,
+    backend: str = "jacobi",
+) -> np.ndarray:
+    """Moore-Penrose pseudo-inverse via the SVD (the paper's Eq. 8).
+
+    ``A+ = V diag(1 / s_j) U^t`` over the numerically nonzero singular
+    values.
+    """
+    result = svd_decompose(matrix, rcond=rcond, backend=backend)
+    if result.rank == 0:
+        matrix = np.asarray(matrix)
+        return np.zeros((matrix.shape[1], matrix.shape[0]))
+    return result.vt.T @ np.diag(1.0 / result.singular_values) @ result.u.T
+
+
+def least_squares_solve(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    *,
+    rcond: float = DEFAULT_RCOND,
+    backend: str = "jacobi",
+) -> np.ndarray:
+    """Minimum-norm least-squares solution of ``matrix @ x = rhs``.
+
+    This is the workhorse of the hole-filling CASE 2 (over-specified)
+    and the degenerate fallbacks of CASE 1/3: it returns the exact
+    solution when one exists, the least-squares solution when the
+    system is inconsistent, and the minimum-norm representative when
+    the system is rank-deficient.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    return pseudo_inverse(matrix, rcond=rcond, backend=backend) @ rhs

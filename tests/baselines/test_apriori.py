@@ -1,0 +1,130 @@
+"""Tests for the from-scratch Apriori implementation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.apriori import AprioriMiner, binarize_matrix
+from repro.io.schema import TableSchema
+
+# Classic textbook transactions.
+TRANSACTIONS = [
+    frozenset({"bread", "milk"}),
+    frozenset({"bread", "diapers", "beer", "eggs"}),
+    frozenset({"milk", "diapers", "beer", "cola"}),
+    frozenset({"bread", "milk", "diapers", "beer"}),
+    frozenset({"bread", "milk", "diapers", "cola"}),
+]
+
+
+class TestFrequentItemsets:
+    def test_singleton_supports(self):
+        miner = AprioriMiner(min_support=0.4, min_confidence=0.6).fit(TRANSACTIONS)
+        supports = miner.frequent_itemsets()
+        assert supports[frozenset({"bread"})] == pytest.approx(0.8)
+        assert supports[frozenset({"beer"})] == pytest.approx(0.6)
+        assert frozenset({"eggs"}) not in supports  # support 0.2 < 0.4
+
+    def test_pair_supports(self):
+        miner = AprioriMiner(min_support=0.4, min_confidence=0.6).fit(TRANSACTIONS)
+        supports = miner.frequent_itemsets()
+        assert supports[frozenset({"milk", "bread"})] == pytest.approx(0.6)
+        assert supports[frozenset({"diapers", "beer"})] == pytest.approx(0.6)
+
+    def test_apriori_property_holds(self):
+        """Every subset of a frequent itemset is itself frequent."""
+        miner = AprioriMiner(min_support=0.3, min_confidence=0.5).fit(TRANSACTIONS)
+        supports = miner.frequent_itemsets()
+        for itemset in supports:
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert subset in supports
+                    assert supports[subset] >= supports[itemset] - 1e-12
+
+    def test_supports_match_brute_force(self):
+        miner = AprioriMiner(min_support=0.2, min_confidence=0.5).fit(TRANSACTIONS)
+        for itemset, support in miner.frequent_itemsets().items():
+            brute = sum(1 for t in TRANSACTIONS if itemset <= t) / len(TRANSACTIONS)
+            assert support == pytest.approx(brute)
+
+    def test_max_itemset_size_respected(self):
+        miner = AprioriMiner(
+            min_support=0.2, min_confidence=0.5, max_itemset_size=2
+        ).fit(TRANSACTIONS)
+        assert max(len(s) for s in miner.frequent_itemsets()) <= 2
+
+
+class TestRules:
+    def test_confidence_definition(self):
+        miner = AprioriMiner(min_support=0.4, min_confidence=0.6).fit(TRANSACTIONS)
+        rule = next(
+            r
+            for r in miner.rules()
+            if r.antecedent == frozenset({"beer"})
+            and r.consequent == frozenset({"diapers"})
+        )
+        # support(beer, diapers) / support(beer) = 0.6 / 0.6 = 1.0.
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(0.6)
+        assert rule.lift == pytest.approx(1.0 / 0.8)
+
+    def test_min_confidence_filters(self):
+        strict = AprioriMiner(min_support=0.4, min_confidence=0.99).fit(TRANSACTIONS)
+        loose = AprioriMiner(min_support=0.4, min_confidence=0.5).fit(TRANSACTIONS)
+        assert len(strict.rules()) < len(loose.rules())
+        assert all(r.confidence >= 0.99 for r in strict.rules())
+
+    def test_rules_sorted_by_confidence(self):
+        miner = AprioriMiner(min_support=0.2, min_confidence=0.5).fit(TRANSACTIONS)
+        confidences = [r.confidence for r in miner.rules()]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_antecedent_consequent_disjoint(self):
+        miner = AprioriMiner(min_support=0.2, min_confidence=0.5).fit(TRANSACTIONS)
+        for rule in miner.rules():
+            assert not rule.antecedent & rule.consequent
+
+    def test_str_rendering(self):
+        miner = AprioriMiner(min_support=0.4, min_confidence=0.9).fit(TRANSACTIONS)
+        text = str(miner.rules()[0])
+        assert "=>" in text
+        assert "confidence" in text
+
+
+class TestBinarize:
+    def test_threshold(self):
+        matrix = np.array([[0.0, 2.5], [1.0, 0.0]])
+        schema = TableSchema.from_names(["bread", "milk"])
+        transactions = binarize_matrix(matrix, schema)
+        assert transactions == [frozenset({"milk"}), frozenset({"bread"})]
+
+    def test_custom_threshold(self):
+        matrix = np.array([[0.5, 2.5]])
+        schema = TableSchema.from_names(["bread", "milk"])
+        transactions = binarize_matrix(matrix, schema, threshold=1.0)
+        assert transactions == [frozenset({"milk"})]
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError, match="width"):
+            binarize_matrix(np.ones((2, 3)), TableSchema.from_names(["a"]))
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AprioriMiner(min_support=0.0)
+        with pytest.raises(ValueError):
+            AprioriMiner(min_confidence=1.5)
+        with pytest.raises(ValueError):
+            AprioriMiner(max_itemset_size=0)
+
+    def test_empty_transactions(self):
+        with pytest.raises(ValueError, match="at least one"):
+            AprioriMiner().fit([])
+
+    def test_unfitted_accessors(self):
+        miner = AprioriMiner()
+        with pytest.raises(RuntimeError):
+            miner.rules()
+        with pytest.raises(RuntimeError):
+            miner.frequent_itemsets()

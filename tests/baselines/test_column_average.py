@@ -1,0 +1,65 @@
+"""Tests for the col-avgs baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.column_average import ColumnAverageBaseline
+from repro.core.guessing_error import single_hole_error
+from repro.core.model import RatioRuleModel
+
+
+class TestColumnAverageBaseline:
+    def test_fill_row(self, rng):
+        matrix = rng.standard_normal((50, 3)) + 7
+        baseline = ColumnAverageBaseline().fit(matrix)
+        filled = baseline.fill_row(np.array([1.0, np.nan, 2.0]))
+        assert filled[0] == 1.0
+        assert filled[2] == 2.0
+        assert filled[1] == pytest.approx(matrix[:, 1].mean())
+
+    def test_fill_row_shape_check(self, rng):
+        baseline = ColumnAverageBaseline().fit(rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError, match="shape"):
+            baseline.fill_row(np.ones(4))
+
+    def test_predict_holes_constant_per_column(self, rng):
+        matrix = rng.standard_normal((30, 4)) + 2
+        baseline = ColumnAverageBaseline().fit(matrix)
+        predictions = baseline.predict_holes(matrix[:5], [2, 0])
+        np.testing.assert_allclose(predictions[:, 0], matrix[:, 2].mean())
+        np.testing.assert_allclose(predictions[:, 1], matrix[:, 0].mean())
+
+    def test_fill_matrix(self, rng):
+        matrix = rng.standard_normal((20, 3)) + 5
+        baseline = ColumnAverageBaseline().fit(matrix)
+        dirty = matrix[:4].copy()
+        dirty[1, 2] = np.nan
+        cleaned = baseline.fill(dirty)
+        assert cleaned[1, 2] == pytest.approx(matrix[:, 2].mean())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            ColumnAverageBaseline().fill_row(np.array([np.nan]))
+
+    def test_equals_rr_with_k_zero_semantics(self, rng):
+        """The paper: col-avgs == the proposed method with k = 0.
+
+        With no rules, the RR reconstruction of an all-hole row is the
+        column means; col-avgs predicts exactly that for every pattern.
+        """
+        matrix = rng.standard_normal((100, 4)) * 3 + 10
+        baseline = ColumnAverageBaseline().fit(matrix)
+        model = RatioRuleModel(cutoff=1).fit(matrix)
+        row = np.full(4, np.nan)
+        np.testing.assert_allclose(
+            baseline.fill_row(row), model.fill_row(row), atol=1e-9
+        )
+
+    def test_ge1_equals_column_stddev_mix(self, rng):
+        """GE1 of col-avgs is the RMS of test deviations from train means."""
+        train = rng.standard_normal((200, 3)) * 2 + 4
+        test = rng.standard_normal((40, 3)) * 2 + 4
+        baseline = ColumnAverageBaseline().fit(train)
+        report = single_hole_error(baseline, test)
+        expected = np.sqrt(((test - train.mean(axis=0)) ** 2).mean())
+        assert report.value == pytest.approx(expected, rel=1e-12)

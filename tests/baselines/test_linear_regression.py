@@ -1,0 +1,94 @@
+"""Tests for the multiple-linear-regression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_regression import LinearRegressionBaseline
+
+
+@pytest.fixture
+def linear_data(rng):
+    """y2 = 3*y0 - y1 + small noise, plus an independent y3."""
+    n = 400
+    y0 = rng.normal(2.0, 1.0, size=n)
+    y1 = rng.normal(-1.0, 2.0, size=n)
+    y2 = 3.0 * y0 - y1 + rng.normal(0, 0.01, size=n)
+    y3 = rng.normal(5.0, 1.0, size=n)
+    return np.column_stack([y0, y1, y2, y3])
+
+
+class TestLinearRegressionBaseline:
+    def test_recovers_linear_relationship(self, linear_data):
+        baseline = LinearRegressionBaseline().fit(linear_data)
+        row = np.array([1.5, 0.5, np.nan, 5.0])
+        filled = baseline.fill_row(row)
+        assert filled[2] == pytest.approx(3.0 * 1.5 - 0.5, abs=0.05)
+
+    def test_matches_numpy_lstsq(self, linear_data):
+        """Single-target prediction equals the closed-form OLS fit."""
+        baseline = LinearRegressionBaseline(ridge=0.0).fit(linear_data)
+        known = [0, 1, 3]
+        target = 2
+        design = np.column_stack(
+            [linear_data[:, known], np.ones(linear_data.shape[0])]
+        )
+        coef, *_ = np.linalg.lstsq(design, linear_data[:, target], rcond=None)
+        test_rows = linear_data[:5]
+        ours = baseline.predict_holes(test_rows, [target])[:, 0]
+        theirs = (
+            np.column_stack([test_rows[:, known], np.ones(5)]) @ coef
+        )
+        np.testing.assert_allclose(ours, theirs, atol=1e-6)
+
+    def test_multiple_simultaneous_holes(self, linear_data):
+        baseline = LinearRegressionBaseline().fit(linear_data)
+        row = linear_data[10].copy()
+        truth = row.copy()
+        row[[2, 3]] = np.nan
+        filled = baseline.fill_row(row)
+        assert not np.isnan(filled).any()
+        # y2 = 3*y0 - y1 stays predictable from the remaining columns;
+        # y3 is independent, so its best guess is (near) the mean.
+        assert filled[2] == pytest.approx(truth[2], abs=0.1)
+        assert filled[3] == pytest.approx(baseline.means_[3], abs=0.3)
+
+    def test_all_holes_gives_means(self, linear_data):
+        baseline = LinearRegressionBaseline().fit(linear_data)
+        row = np.full(4, np.nan)
+        np.testing.assert_allclose(baseline.fill_row(row), baseline.means_)
+
+    def test_no_holes_identity(self, linear_data):
+        baseline = LinearRegressionBaseline().fit(linear_data)
+        row = linear_data[0]
+        np.testing.assert_array_equal(baseline.fill_row(row), row)
+
+    def test_coefficient_cache_reused(self, linear_data):
+        baseline = LinearRegressionBaseline().fit(linear_data)
+        baseline.predict_holes(linear_data[:3], [2])
+        assert len(baseline._coefficient_cache) == 1
+        baseline.predict_holes(linear_data[:3], [2])
+        assert len(baseline._coefficient_cache) == 1
+        baseline.predict_holes(linear_data[:3], [1])
+        assert len(baseline._coefficient_cache) == 2
+
+    def test_collinear_predictors_survive(self, rng):
+        """Ridge keeps duplicated columns from blowing up the solve."""
+        base = rng.normal(0, 1, size=(100, 1))
+        matrix = np.hstack([base, base, rng.normal(0, 1, (100, 1))])
+        baseline = LinearRegressionBaseline().fit(matrix)
+        filled = baseline.fill_row(np.array([1.0, 1.0, np.nan]))
+        assert np.isfinite(filled).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            LinearRegressionBaseline().fill_row(np.array([np.nan]))
+
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(ValueError, match="ridge"):
+            LinearRegressionBaseline(ridge=-1.0)
+
+    def test_refit_clears_cache(self, linear_data):
+        baseline = LinearRegressionBaseline().fit(linear_data)
+        baseline.predict_holes(linear_data[:2], [0])
+        baseline.fit(linear_data[:100])
+        assert not baseline._coefficient_cache

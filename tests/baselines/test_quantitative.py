@@ -1,0 +1,145 @@
+"""Tests for quantitative association rules (Srikant-Agrawal style)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.quantitative import Interval, QuantitativeRuleModel
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def bread_butter(rng):
+    """2-d cloud along butter ~= 0.7 * bread, bread in [1, 6]."""
+    bread = rng.uniform(1.0, 6.0, size=300)
+    butter = 0.7 * bread + rng.normal(0, 0.15, size=300)
+    return np.column_stack([bread, butter])
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_names(["bread", "butter"], unit="$")
+
+
+class TestInterval:
+    def test_half_open_membership(self):
+        interval = Interval(column=0, low=1.0, high=2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(1.99)
+        assert not interval.contains(2.0)
+
+    def test_closed_right(self):
+        interval = Interval(column=0, low=1.0, high=2.0, closed_right=True)
+        assert interval.contains(2.0)
+
+    def test_midpoint_and_label(self):
+        interval = Interval(column=1, low=2.0, high=4.0)
+        assert interval.midpoint == 3.0
+        assert interval.label("butter") == "butter: [2-4]"
+
+
+class TestFitAndRules:
+    def test_rules_mined(self, bread_butter, schema):
+        model = QuantitativeRuleModel(
+            n_intervals=4, min_support=0.05, min_confidence=0.4
+        ).fit(bread_butter, schema)
+        rules = model.rules()
+        assert rules, "no quantitative rules mined from correlated data"
+        # Rules never mix a column on both sides.
+        for rule in rules:
+            lhs = {i.column for i in rule.antecedent}
+            rhs = {i.column for i in rule.consequent}
+            assert not lhs & rhs
+
+    def test_describe_uses_names(self, bread_butter, schema):
+        model = QuantitativeRuleModel(min_support=0.05, min_confidence=0.4).fit(
+            bread_butter, schema
+        )
+        text = model.rules()[0].describe(schema)
+        assert "bread" in text or "butter" in text
+        assert "=>" in text
+
+    def test_equi_depth_buckets_balanced(self, bread_butter, schema):
+        model = QuantitativeRuleModel(n_intervals=4).fit(bread_butter, schema)
+        counts = []
+        for interval in model.intervals_[0]:
+            counts.append(
+                sum(1 for v in bread_butter[:, 0] if interval.contains(float(v)))
+            )
+        # Equi-depth: all buckets within 20% of each other.
+        assert max(counts) <= 1.2 * max(min(counts), 1) + 2
+
+    def test_heavily_tied_column_handled(self, schema):
+        matrix = np.column_stack([np.ones(50), np.arange(50.0)])
+        model = QuantitativeRuleModel(n_intervals=4, min_support=0.05).fit(
+            matrix, schema
+        )
+        assert model.intervals_[0]  # degenerate column still gets buckets
+
+
+class TestPrediction:
+    def test_in_range_prediction_close(self, bread_butter, schema):
+        model = QuantitativeRuleModel(
+            n_intervals=4, min_support=0.05, min_confidence=0.3
+        ).fit(bread_butter, schema)
+        prediction = model.predict(np.array([3.0, np.nan]), target=1)
+        assert prediction is not None
+        assert prediction == pytest.approx(0.7 * 3.0, abs=0.9)
+
+    def test_out_of_range_no_rule_fires(self, bread_butter, schema):
+        """The Fig. 12 failure mode: extrapolation is impossible."""
+        model = QuantitativeRuleModel(
+            n_intervals=4, min_support=0.05, min_confidence=0.3
+        ).fit(bread_butter, schema)
+        assert model.predict(np.array([50.0, np.nan]), target=1) is None
+
+    def test_target_value_never_leaks(self, bread_butter, schema):
+        model = QuantitativeRuleModel(min_support=0.05, min_confidence=0.3).fit(
+            bread_butter, schema
+        )
+        with_truth = model.predict(np.array([3.0, 99999.0]), target=1)
+        with_nan = model.predict(np.array([3.0, np.nan]), target=1)
+        assert with_truth == with_nan
+
+    def test_coverage_accounting(self, bread_butter, schema):
+        model = QuantitativeRuleModel(min_support=0.05, min_confidence=0.3).fit(
+            bread_butter, schema
+        )
+        model.predict(np.array([3.0, np.nan]), target=1)
+        model.predict(np.array([50.0, np.nan]), target=1)
+        assert model.prediction_attempts_ == 2
+        assert model.prediction_misses_ == 1
+        assert model.coverage() == pytest.approx(0.5)
+
+    def test_coverage_nan_before_any_attempt(self, bread_butter, schema):
+        model = QuantitativeRuleModel().fit(bread_butter, schema)
+        assert np.isnan(model.coverage())
+
+    def test_fill_row_falls_back_to_means(self, bread_butter, schema):
+        model = QuantitativeRuleModel(min_support=0.05, min_confidence=0.3).fit(
+            bread_butter, schema
+        )
+        filled = model.fill_row(np.array([50.0, np.nan]))
+        assert filled[1] == pytest.approx(bread_butter[:, 1].mean())
+
+    def test_unfitted_raises(self):
+        model = QuantitativeRuleModel()
+        with pytest.raises(RuntimeError):
+            model.predict(np.array([1.0, np.nan]), target=1)
+        with pytest.raises(RuntimeError):
+            model.rules()
+
+
+class TestValidation:
+    def test_n_intervals_bounds(self):
+        with pytest.raises(ValueError, match="n_intervals"):
+            QuantitativeRuleModel(n_intervals=1)
+
+    def test_schema_mismatch(self, bread_butter):
+        with pytest.raises(ValueError, match="width"):
+            QuantitativeRuleModel().fit(
+                bread_butter, TableSchema.from_names(["only-one"])
+            )
+
+    def test_rejects_1d(self, schema):
+        with pytest.raises(ValueError, match="2-d"):
+            QuantitativeRuleModel().fit(np.ones(5), schema)

@@ -1,0 +1,174 @@
+"""Tests for categorical Ratio Rules (the paper's stated future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorical import (
+    CategoricalAttribute,
+    CategoricalRatioRuleModel,
+    MixedSchema,
+)
+
+
+@pytest.fixture
+def position_schema():
+    return MixedSchema(
+        [
+            "minutes",
+            "rebounds",
+            CategoricalAttribute("position", ("guard", "center")),
+        ]
+    )
+
+
+@pytest.fixture
+def position_rows(rng):
+    """Guards rebound little, centers a lot; minutes independent."""
+    rows = []
+    for i in range(400):
+        position = "guard" if i % 2 == 0 else "center"
+        rebounds = (100.0 if position == "guard" else 600.0) + rng.normal(0, 25)
+        minutes = rng.normal(1500, 300)
+        rows.append([minutes, rebounds, position])
+    return rows
+
+
+class TestSchema:
+    def test_encoded_width(self, position_schema):
+        assert position_schema.width == 3
+        assert position_schema.encoded_width() == 4  # 2 numeric + 2 indicators
+
+    def test_encoded_names(self, position_schema):
+        names = position_schema.encoded_schema().names
+        assert names == ["minutes", "rebounds", "position=guard", "position=center"]
+
+    def test_encoded_slices(self, position_schema):
+        assert position_schema.encoded_slices() == [(0, 1), (1, 2), (2, 4)]
+
+    def test_is_categorical(self, position_schema):
+        assert not position_schema.is_categorical(0)
+        assert position_schema.is_categorical(2)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MixedSchema(["a", CategoricalAttribute("a", ("x", "y"))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixedSchema([])
+
+
+class TestCategoricalAttribute:
+    def test_index_of(self):
+        attribute = CategoricalAttribute("pos", ("guard", "center"))
+        assert attribute.index_of("center") == 1
+
+    def test_unknown_category(self):
+        attribute = CategoricalAttribute("pos", ("guard", "center"))
+        with pytest.raises(KeyError, match="unknown category"):
+            attribute.index_of("libero")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2 categories"):
+            CategoricalAttribute("pos", ("only",))
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalAttribute("pos", ("a", "a"))
+        with pytest.raises(ValueError, match="scale"):
+            CategoricalAttribute("pos", ("a", "b"), scale=0.0)
+
+
+class TestModel:
+    def test_predict_category(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        assert model.predict_category([1500.0, 610.0, None], "position") == "center"
+        assert model.predict_category([1500.0, 95.0, None], "position") == "guard"
+
+    @pytest.mark.parametrize("method", ["argmax", "residual"])
+    def test_decode_methods_agree_on_clear_cases(
+        self, position_schema, position_rows, method
+    ):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        assert (
+            model.predict_category([1500.0, 610.0, None], "position", method=method)
+            == "center"
+        )
+
+    def test_unknown_decode_method(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        with pytest.raises(ValueError, match="unknown method"):
+            model.predict_category([1500.0, 610.0, None], "position", method="vote")
+
+    def test_residual_decode_accuracy(self, position_schema, position_rows):
+        """Residual decoding recovers hidden categories accurately."""
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        correct = sum(
+            model.predict_category(list(row), "position", method="residual") == row[2]
+            for row in position_rows[:100]
+        )
+        assert correct >= 95
+
+    def test_predict_numeric_from_category(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        filled = model.fill_row([1500.0, float("nan"), "center"])
+        assert filled[1] == pytest.approx(600.0, abs=80.0)
+        filled = model.fill_row([1500.0, float("nan"), "guard"])
+        assert filled[1] == pytest.approx(100.0, abs=80.0)
+
+    def test_known_values_pass_through(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        filled = model.fill_row([1234.0, 321.0, None])
+        assert filled[0] == 1234.0
+        assert filled[1] == 321.0
+        assert filled[2] in ("guard", "center")
+
+    def test_category_scores_separated(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        scores = model.category_scores([1500.0, 610.0, None], "position")
+        assert set(scores) == {"guard", "center"}
+        assert scores["center"] > scores["guard"]
+
+    def test_predict_category_on_numeric_field_rejected(
+        self, position_schema, position_rows
+    ):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        with pytest.raises(ValueError, match="numeric"):
+            model.predict_category([1500.0, 100.0, "guard"], "minutes")
+
+    def test_training_holes_rejected(self, position_schema):
+        model = CategoricalRatioRuleModel(position_schema)
+        with pytest.raises(ValueError, match="missing category"):
+            model.fit([[1.0, 2.0, None]])
+        with pytest.raises(ValueError, match="NaN"):
+            model.fit([[float("nan"), 2.0, "guard"]])
+
+    def test_unknown_training_category_rejected(self, position_schema):
+        model = CategoricalRatioRuleModel(position_schema)
+        with pytest.raises(KeyError, match="unknown category"):
+            model.fit([[1.0, 2.0, "libero"]])
+
+    def test_row_width_validated(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        with pytest.raises(ValueError, match="fields"):
+            model.fill_row([1.0, 2.0])
+
+    def test_empty_training_rejected(self, position_schema):
+        with pytest.raises(ValueError, match="at least one"):
+            CategoricalRatioRuleModel(position_schema).fit([])
+
+    def test_manual_scale(self, position_rows):
+        schema = MixedSchema(
+            [
+                "minutes",
+                "rebounds",
+                CategoricalAttribute("position", ("guard", "center"), scale=250.0),
+            ]
+        )
+        model = CategoricalRatioRuleModel(schema, cutoff=2, auto_scale=False).fit(
+            position_rows
+        )
+        assert model.predict_category([1500.0, 610.0, None], "position") == "center"
+
+    def test_inner_model_exposed(self, position_schema, position_rows):
+        model = CategoricalRatioRuleModel(position_schema, cutoff=2).fit(position_rows)
+        assert model.inner_model.schema_.names[-1] == "position=center"
+        assert model.k == 2

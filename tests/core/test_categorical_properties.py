@@ -1,0 +1,70 @@
+"""Property-based tests for the categorical encoding layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categorical import (
+    CategoricalAttribute,
+    CategoricalRatioRuleModel,
+    MixedSchema,
+)
+
+CATEGORIES = ("red", "green", "blue")
+
+numeric_values = st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False)
+
+
+def mixed_rows(n_rows):
+    return st.lists(
+        st.tuples(numeric_values, numeric_values, st.sampled_from(CATEGORIES)).map(
+            list
+        ),
+        min_size=n_rows,
+        max_size=n_rows,
+    )
+
+
+def make_model(rows):
+    schema = MixedSchema(
+        ["x", "y", CategoricalAttribute("color", CATEGORIES)]
+    )
+    model = CategoricalRatioRuleModel(schema, cutoff=2)
+    model.fit(rows)
+    return model
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=mixed_rows(10))
+def test_encode_width_and_indicator_structure(rows):
+    model = make_model(rows)
+    encoded = model.encode_rows(rows)
+    assert encoded.shape == (10, 5)  # 2 numeric + 3 indicators
+    # Indicator block: exactly one nonzero per row, all the same scale.
+    indicators = encoded[:, 2:]
+    nonzero_per_row = (indicators != 0).sum(axis=1)
+    assert np.all(nonzero_per_row == 1)
+    scales = indicators[indicators != 0]
+    assert np.allclose(scales, scales[0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=mixed_rows(10))
+def test_known_fields_pass_through_fill_row(rows):
+    model = make_model(rows)
+    for row in rows[:3]:
+        filled = model.fill_row(row)
+        assert filled[0] == pytest.approx(float(row[0]))
+        assert filled[1] == pytest.approx(float(row[1]))
+        assert filled[2] == row[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=mixed_rows(12))
+def test_predicted_category_is_in_vocabulary(rows):
+    model = make_model(rows)
+    probe = list(rows[0])
+    probe[2] = None
+    for method in ("argmax", "residual"):
+        assert model.predict_category(probe, "color", method=method) in CATEGORIES

@@ -1,0 +1,97 @@
+"""Tests for data cleaning (imputation + corruption repair)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cleaning import impute_missing, repair_corrupted
+from repro.core.model import RatioRuleModel
+
+
+@pytest.fixture
+def ratio_data(rng):
+    factor = rng.normal(8.0, 2.5, size=250)
+    matrix = np.outer(factor, [1.0, 3.0, 2.0])
+    matrix += rng.normal(0.0, 0.05, size=matrix.shape)
+    return matrix
+
+
+@pytest.fixture
+def model(ratio_data):
+    return RatioRuleModel(cutoff=1).fit(ratio_data)
+
+
+class TestImputeMissing:
+    def test_fills_and_audits(self, model, ratio_data):
+        dirty = ratio_data[:20].copy()
+        dirty[4, 1] = np.nan
+        dirty[9, 0] = np.nan
+        dirty[9, 2] = np.nan
+        report = impute_missing(model, dirty)
+        assert report.n_repairs == 3
+        assert not np.isnan(report.cleaned).any()
+        positions = {(r, c) for r, c, _old, _new in report.repairs}
+        assert positions == {(4, 1), (9, 0), (9, 2)}
+        # Old values recorded as NaN for holes.
+        assert all(np.isnan(old) for _r, _c, old, _new in report.repairs)
+
+    def test_accuracy_on_ratio_data(self, model, ratio_data):
+        dirty = ratio_data[:30].copy()
+        truth = dirty[7, 1]
+        dirty[7, 1] = np.nan
+        report = impute_missing(model, dirty)
+        assert abs(report.cleaned[7, 1] - truth) < 1.0
+
+    def test_input_untouched(self, model, ratio_data):
+        dirty = ratio_data[:5].copy()
+        dirty[0, 0] = np.nan
+        impute_missing(model, dirty)
+        assert np.isnan(dirty[0, 0])
+
+    def test_clean_input_no_repairs(self, model, ratio_data):
+        report = impute_missing(model, ratio_data[:5])
+        assert report.n_repairs == 0
+        np.testing.assert_array_equal(report.cleaned, ratio_data[:5])
+
+    def test_rejects_1d(self, model):
+        with pytest.raises(ValueError, match="2-d"):
+            impute_missing(model, np.array([1.0, np.nan]))
+
+
+class TestRepairCorrupted:
+    def test_repairs_gross_corruption(self, model, ratio_data):
+        dirty = ratio_data[:50].copy()
+        truth = dirty[13, 2]
+        dirty[13, 2] = 9999.0
+        report = repair_corrupted(model, dirty, n_sigmas=4.0)
+        assert report.n_repairs >= 1
+        repaired_positions = {(r, c) for r, c, _o, _n in report.repairs}
+        assert (13, 2) in repaired_positions
+        assert abs(report.cleaned[13, 2] - truth) < 5.0
+
+    def test_clean_data_untouched(self, model, ratio_data):
+        report = repair_corrupted(model, ratio_data[:50], n_sigmas=6.0)
+        assert report.n_repairs == 0
+        np.testing.assert_array_equal(report.cleaned, ratio_data[:50])
+
+    def test_never_repairs_same_cell_twice(self, model, ratio_data):
+        dirty = ratio_data[:50].copy()
+        dirty[3, 0] = 5000.0
+        report = repair_corrupted(model, dirty, n_sigmas=3.0, max_rounds=5)
+        positions = [(r, c) for r, c, _o, _n in report.repairs]
+        assert len(positions) == len(set(positions))
+
+    def test_rejects_nan_input(self, model):
+        with pytest.raises(ValueError, match="impute"):
+            repair_corrupted(model, np.array([[1.0, np.nan, 2.0]]))
+
+    def test_audit_records_old_and_new(self, model, ratio_data):
+        dirty = ratio_data[:50].copy()
+        dirty[2, 1] = 7777.0
+        report = repair_corrupted(model, dirty, n_sigmas=4.0)
+        entry = next(
+            (r for r in report.repairs if (r[0], r[1]) == (2, 1)), None
+        )
+        assert entry is not None
+        _row, _col, old, new = entry
+        assert old == pytest.approx(7777.0)
+        assert new != old

@@ -1,0 +1,107 @@
+"""Tests for model comparison / drift detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import compare_models, principal_angles
+from repro.core.model import RatioRuleModel
+from repro.io.schema import TableSchema
+
+
+def ratio_data(rng, loadings, n=400, noise=0.05):
+    factor = rng.normal(5.0, 2.0, size=n)
+    return np.outer(factor, loadings) + rng.normal(0, noise, (n, len(loadings)))
+
+
+class TestPrincipalAngles:
+    def test_identical_subspace_zero_angles(self):
+        basis = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        angles = principal_angles(basis, basis)
+        np.testing.assert_allclose(angles, 0.0, atol=1e-7)
+
+    def test_orthogonal_subspaces_right_angles(self):
+        a = np.array([[1.0], [0.0], [0.0]])
+        b = np.array([[0.0], [1.0], [0.0]])
+        angles = principal_angles(a, b)
+        np.testing.assert_allclose(angles, np.pi / 2, atol=1e-12)
+
+    def test_known_angle(self):
+        theta = 0.3
+        a = np.array([[1.0], [0.0]])
+        b = np.array([[np.cos(theta)], [np.sin(theta)]])
+        np.testing.assert_allclose(principal_angles(a, b), [theta], atol=1e-12)
+
+    def test_rotation_within_subspace_ignored(self, rng):
+        """Rotating the basis inside the same span gives zero angles."""
+        q, _ = np.linalg.qr(rng.standard_normal((6, 2)))
+        theta = 0.8
+        rotation = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        angles = principal_angles(q, q @ rotation)
+        np.testing.assert_allclose(angles, 0.0, atol=1e-7)
+
+    def test_symmetry(self, rng):
+        a, _ = np.linalg.qr(rng.standard_normal((7, 2)))
+        b, _ = np.linalg.qr(rng.standard_normal((7, 3)))
+        np.testing.assert_allclose(
+            principal_angles(a, b), principal_angles(b, a), atol=1e-9
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="different spaces"):
+            principal_angles(np.eye(3)[:, :1], np.eye(4)[:, :1])
+
+
+class TestCompareModels:
+    def test_same_data_stable(self, rng):
+        matrix = ratio_data(rng, [1.0, 2.0, 3.0])
+        schema = TableSchema.from_names(["a", "b", "c"])
+        model_a = RatioRuleModel(cutoff=1).fit(matrix[:200], schema)
+        model_b = RatioRuleModel(cutoff=1).fit(matrix[200:], schema)
+        comparison = compare_models(model_a, model_b)
+        assert comparison.max_angle_degrees < 3.0
+        assert not comparison.is_drifted()
+
+    def test_changed_pattern_drifts(self, rng):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        before = RatioRuleModel(cutoff=1).fit(ratio_data(rng, [1.0, 2.0, 3.0]), schema)
+        after = RatioRuleModel(cutoff=1).fit(ratio_data(rng, [3.0, 0.5, 1.0]), schema)
+        comparison = compare_models(before, after)
+        assert comparison.max_angle_degrees > 15.0
+        assert comparison.is_drifted()
+
+    def test_k_change_counts_as_drift(self, rng):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        matrix = ratio_data(rng, [1.0, 2.0, 3.0])
+        model_a = RatioRuleModel(cutoff=1).fit(matrix, schema)
+        model_b = RatioRuleModel(cutoff=2).fit(matrix, schema)
+        assert compare_models(model_a, model_b).is_drifted()
+
+    def test_mean_shift_reported(self, rng):
+        schema = TableSchema.from_names(["a", "b"])
+        base = rng.normal(0, 1, (300, 2)) + [10.0, 20.0]
+        shifted = base + [5.0, 0.0]
+        model_a = RatioRuleModel(cutoff=1).fit(base, schema)
+        model_b = RatioRuleModel(cutoff=1).fit(shifted, schema)
+        comparison = compare_models(model_a, model_b)
+        assert comparison.mean_shift == pytest.approx(5.0, abs=0.3)
+
+    def test_describe_mentions_verdict(self, rng):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        matrix = ratio_data(rng, [1.0, 2.0, 3.0])
+        model = RatioRuleModel(cutoff=1).fit(matrix, schema)
+        text = compare_models(model, model).describe()
+        assert "stable" in text
+        assert "principal angles" in text
+
+    def test_schema_mismatch_rejected(self, rng):
+        matrix = ratio_data(rng, [1.0, 2.0])
+        model_a = RatioRuleModel(cutoff=1).fit(matrix, TableSchema.from_names(["a", "b"]))
+        model_b = RatioRuleModel(cutoff=1).fit(matrix, TableSchema.from_names(["x", "y"]))
+        with pytest.raises(ValueError, match="different attributes"):
+            compare_models(model_a, model_b)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            compare_models(RatioRuleModel(), RatioRuleModel())

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the core algorithms.
+
+These pin down the invariants that hold for *any* data, not just the
+fixtures: single-pass covariance equals two-pass covariance under any
+blocking; hole filling never touches known cells and is exact for
+on-plane points; the guessing error is non-negative, symmetric in row
+order, and zero only for perfect estimators.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.guessing_error import guessing_error, single_hole_error
+from repro.core.model import RatioRuleModel
+from repro.core.reconstruction import fill_holes
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def data_matrices(min_rows=3, max_rows=20, min_cols=2, max_cols=6):
+    return st.tuples(
+        st.integers(min_rows, max_rows), st.integers(min_cols, max_cols)
+    ).flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=data_matrices(), block=st.integers(min_value=1, max_value=7))
+def test_streaming_covariance_blocking_invariant(matrix, block):
+    """Any block size yields the same scatter as one big update."""
+    whole = StreamingCovariance(matrix.shape[1])
+    whole.update(matrix)
+    chunked = StreamingCovariance(matrix.shape[1])
+    for start in range(0, matrix.shape[0], block):
+        chunked.update(matrix[start : start + block])
+    scale = max(np.abs(whole.scatter_matrix()).max(), 1.0)
+    assert np.allclose(
+        whole.scatter_matrix(), chunked.scatter_matrix(), atol=1e-8 * scale
+    )
+    assert np.allclose(whole.column_means, chunked.column_means, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matrix=data_matrices(), split=st.floats(min_value=0.2, max_value=0.8))
+def test_streaming_covariance_merge_invariant(matrix, split):
+    """merge(a, b) == scan(concat(a, b)) for any split point."""
+    cut = max(1, min(matrix.shape[0] - 1, int(matrix.shape[0] * split)))
+    left = StreamingCovariance(matrix.shape[1])
+    left.update(matrix[:cut])
+    right = StreamingCovariance(matrix.shape[1])
+    right.update(matrix[cut:])
+    left.merge(right)
+    whole = StreamingCovariance(matrix.shape[1])
+    whole.update(matrix)
+    scale = max(np.abs(whole.scatter_matrix()).max(), 1.0)
+    assert np.allclose(
+        left.scatter_matrix(), whole.scatter_matrix(), atol=1e-8 * scale
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    matrix=data_matrices(min_rows=4),
+    hole_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_fill_holes_never_touches_known_cells(matrix, hole_seed):
+    model = RatioRuleModel(cutoff=1).fit(matrix)
+    rng = np.random.default_rng(hole_seed)
+    row = matrix[0].copy()
+    n_holes = int(rng.integers(1, matrix.shape[1]))
+    holes = rng.choice(matrix.shape[1], size=n_holes, replace=False)
+    row[holes] = np.nan
+    result = fill_holes(row, model.rules_matrix, model.means_)
+    known = ~np.isnan(row)
+    assert np.array_equal(result.filled[known], row[known])
+    assert np.all(np.isfinite(result.filled))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    concept=arrays(np.float64, 2, elements=st.floats(-50, 50, allow_nan=False)),
+    hole=st.integers(min_value=0, max_value=3),
+)
+def test_on_plane_point_recovered_exactly(concept, hole):
+    """A point exactly on the rule plane reconstructs exactly."""
+    v = np.array(
+        [[0.5, 0.5], [0.5, -0.5], [0.5, 0.5], [0.5, -0.5]]
+    )  # orthonormal columns
+    means = np.array([1.0, 2.0, 3.0, 4.0])
+    truth = v @ concept + means
+    row = truth.copy()
+    row[hole] = np.nan
+    result = fill_holes(row, v, means)
+    assert np.allclose(result.filled, truth, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=data_matrices(min_rows=5, min_cols=3))
+def test_guessing_error_nonnegative_finite_and_consistent(matrix):
+    model = RatioRuleModel(cutoff=1).fit(matrix)
+    report = single_hole_error(model, matrix)
+    # No a-priori magnitude bound exists (the reconstruction operator
+    # can amplify by 1 / smallest-singular-value of V'), but the error
+    # must be finite, non-negative, and recombine from its per-column
+    # parts.
+    assert report.value >= 0.0
+    assert np.isfinite(report.value)
+    recombined = np.sqrt(
+        sum(v**2 for v in report.per_column.values()) / len(report.per_column)
+    )
+    assert np.isclose(report.value, recombined, rtol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    matrix=data_matrices(min_rows=6, min_cols=3),
+    permutation_seed=st.integers(0, 1000),
+)
+def test_guessing_error_row_order_invariant(matrix, permutation_seed):
+    """Shuffling test rows never changes GEh."""
+    model = RatioRuleModel(cutoff=1).fit(matrix)
+    rng = np.random.default_rng(permutation_seed)
+    shuffled = matrix[rng.permutation(matrix.shape[0])]
+    original = guessing_error(model, matrix, h=1)
+    permuted = guessing_error(model, shuffled, h=1)
+    assert np.isclose(original.value, permuted.value, rtol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=data_matrices(min_rows=4, min_cols=2))
+def test_transform_inverse_consistency(matrix):
+    """inverse_transform(transform(x)) is the rank-k projection: applying
+    it twice changes nothing."""
+    model = RatioRuleModel(cutoff=1).fit(matrix)
+    once = model.reconstruct(matrix)
+    twice = model.reconstruct(once)
+    scale = max(np.abs(once).max(), 1.0)
+    assert np.allclose(once, twice, atol=1e-7 * scale)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=data_matrices(min_rows=4, min_cols=2))
+def test_rules_are_orthonormal(matrix):
+    model = RatioRuleModel().fit(matrix)
+    v = model.rules_matrix
+    assert np.allclose(v.T @ v, np.eye(v.shape[1]), atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=data_matrices(min_rows=5, min_cols=3))
+def test_energy_cutoff_energy_reached(matrix):
+    """The kept rules really cover >= 85% of the variance (or all of it)."""
+    model = RatioRuleModel().fit(matrix)
+    assume(model.total_variance_ > 1e-9)  # zero-variance data: k=1 by fiat
+    total = model.rules_.total_energy_fraction()
+    assert total >= 0.85 - 1e-9 or model.k == matrix.shape[1]

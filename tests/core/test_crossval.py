@@ -1,0 +1,69 @@
+"""Tests for cross-validated cutoff selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossval import cross_validate_cutoff, fit_with_cv_cutoff
+
+
+@pytest.fixture
+def rank2_matrix(rng):
+    scores = rng.standard_normal((300, 2)) * np.array([8.0, 3.0])
+    loadings = np.array([[1.0, 2.0, 0.5, 1.0, 0.3], [0.5, -1.0, 2.0, 0.0, -0.5]])
+    return scores @ loadings + rng.normal(0, 0.05, (300, 5))
+
+
+class TestCrossValidateCutoff:
+    def test_picks_the_true_rank(self, rank2_matrix):
+        report = cross_validate_cutoff(rank2_matrix, n_folds=4, seed=0)
+        assert report.best_k == 2
+
+    def test_full_rank_scores_worst(self, rank2_matrix):
+        """The overfitting cliff: k = M has by far the worst CV GE1."""
+        report = cross_validate_cutoff(rank2_matrix, n_folds=4, seed=0)
+        assert report.scores[5] > 3 * report.scores[2]
+
+    def test_explicit_candidates(self, rank2_matrix):
+        report = cross_validate_cutoff(rank2_matrix, k_values=[1, 3], n_folds=3)
+        assert set(report.scores) == {1, 3}
+        assert report.best_k in (1, 3)
+
+    def test_describe_marks_best(self, rank2_matrix):
+        report = cross_validate_cutoff(rank2_matrix, k_values=[1, 2], n_folds=3)
+        assert "<- best" in report.describe()
+
+    def test_deterministic(self, rank2_matrix):
+        a = cross_validate_cutoff(rank2_matrix, k_values=[1, 2, 3], n_folds=3, seed=7)
+        b = cross_validate_cutoff(rank2_matrix, k_values=[1, 2, 3], n_folds=3, seed=7)
+        assert a.scores == b.scores
+
+    def test_validation(self, rank2_matrix):
+        with pytest.raises(ValueError, match="n_folds"):
+            cross_validate_cutoff(rank2_matrix, n_folds=1)
+        with pytest.raises(ValueError, match="k_values"):
+            cross_validate_cutoff(rank2_matrix, k_values=[0])
+        with pytest.raises(ValueError, match="k_values"):
+            cross_validate_cutoff(rank2_matrix, k_values=[6])
+        with pytest.raises(ValueError, match="2-d"):
+            cross_validate_cutoff(np.ones(5))
+        with pytest.raises(ValueError, match="rows"):
+            cross_validate_cutoff(rank2_matrix[:5], n_folds=5)
+
+
+class TestFitWithCVCutoff:
+    def test_returns_fitted_model_at_best_k(self, rank2_matrix):
+        model, report = fit_with_cv_cutoff(rank2_matrix, n_folds=4, seed=0)
+        assert model.k == report.best_k == 2
+        # The model is fitted on the FULL matrix.
+        assert model.n_rows_ == 300
+
+    def test_cv_model_beats_full_rank_on_holdout(self, rank2_matrix, rng):
+        from repro.core.guessing_error import single_hole_error
+        from repro.core.model import RatioRuleModel
+
+        train, holdout = rank2_matrix[:250], rank2_matrix[250:]
+        cv_model, _report = fit_with_cv_cutoff(train, n_folds=4, seed=0)
+        full_model = RatioRuleModel(cutoff=5).fit(train)
+        ge_cv = single_hole_error(cv_model, holdout).value
+        ge_full = single_hole_error(full_model, holdout).value
+        assert ge_cv < ge_full

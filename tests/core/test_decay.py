@@ -1,0 +1,95 @@
+"""Tests for exponentially-weighted (forgetting) covariance and online models."""
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import DecayingCovariance, StreamingCovariance
+from repro.core.online import OnlineRatioRuleModel
+from repro.datasets.streams import StreamPhase, TransactionStream
+
+
+class TestDecayingCovariance:
+    def test_decay_one_matches_plain(self, rng):
+        matrix = rng.standard_normal((120, 4)) + 3
+        decaying = DecayingCovariance(4, decay=1.0)
+        plain = StreamingCovariance(4)
+        for start in range(0, 120, 30):
+            decaying.update(matrix[start : start + 30])
+            plain.update(matrix[start : start + 30])
+        np.testing.assert_allclose(
+            decaying.scatter_matrix(), plain.scatter_matrix(), atol=1e-9
+        )
+        np.testing.assert_allclose(decaying.column_means, plain.column_means)
+
+    def test_effective_weight_saturates(self, rng):
+        decaying = DecayingCovariance(2, decay=0.5)
+        for _ in range(30):
+            decaying.update(rng.standard_normal((10, 2)))
+        # Geometric series: 10 * (1 + 0.5 + 0.25 + ...) -> 20.
+        assert decaying.effective_weight == pytest.approx(20.0, rel=0.01)
+        assert decaying.n_rows == 300
+
+    def test_recent_data_dominates(self, rng):
+        """After a regime change, the scatter follows the new regime."""
+        decaying = DecayingCovariance(2, decay=0.5)
+        old = np.outer(rng.normal(0, 3, 200), [1.0, 0.0]) + rng.normal(0, 0.01, (200, 2))
+        new = np.outer(rng.normal(0, 3, 200), [0.0, 1.0]) + rng.normal(0, 0.01, (200, 2))
+        decaying.update(old)
+        for start in range(0, 200, 20):
+            decaying.update(new[start : start + 20])
+        scatter = decaying.scatter_matrix()
+        assert scatter[1, 1] > 10 * scatter[0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="decay"):
+            DecayingCovariance(2, decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            DecayingCovariance(2, decay=1.5)
+        acc = DecayingCovariance(2, decay=0.9)
+        with pytest.raises(ValueError, match="no rows"):
+            acc.scatter_matrix()
+        with pytest.raises(ValueError, match="width"):
+            acc.update(np.ones((2, 3)))
+
+
+class TestForgettingOnlineModel:
+    def test_tracks_regime_change_better_than_cumulative(self):
+        stream = TransactionStream(
+            [
+                StreamPhase(loadings=(2.0, 1.0), n_blocks=10, name="before"),
+                StreamPhase(loadings=(1.0, 2.0), n_blocks=10, name="after"),
+            ],
+            block_rows=500,
+            seed=0,
+        )
+        cumulative = OnlineRatioRuleModel(2, cutoff=1)
+        forgetting = OnlineRatioRuleModel(2, cutoff=1, decay=0.6)
+        for _phase, block in stream.blocks():
+            cumulative.update(block)
+            forgetting.update(block)
+
+        def mined_ratio(model):
+            rule = model.model().rules_[0].loadings
+            return rule[1] / rule[0]
+
+        # True post-change ratio is 2.0; forgetting should sit closer.
+        assert abs(mined_ratio(forgetting) - 2.0) < abs(mined_ratio(cumulative) - 2.0)
+        assert mined_ratio(forgetting) == pytest.approx(2.0, rel=0.1)
+
+    def test_decay_one_is_default_behaviour(self, rng):
+        matrix = rng.standard_normal((100, 3)) + 5
+        default = OnlineRatioRuleModel(3, cutoff=1)
+        explicit = OnlineRatioRuleModel(3, cutoff=1, decay=1.0)
+        default.update(matrix)
+        explicit.update(matrix)
+        np.testing.assert_allclose(
+            default.model().rules_matrix, explicit.model().rules_matrix
+        )
+
+    def test_merge_rejected_for_decaying(self, rng):
+        a = OnlineRatioRuleModel(2, decay=0.9)
+        b = OnlineRatioRuleModel(2, decay=0.9)
+        a.update(rng.standard_normal((10, 2)))
+        b.update(rng.standard_normal((10, 2)))
+        with pytest.raises(ValueError, match="not defined"):
+            a.merge(b)

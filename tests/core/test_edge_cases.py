@@ -1,0 +1,114 @@
+"""Edge-case and robustness tests across the core stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.column_average import ColumnAverageBaseline
+from repro.core.guessing_error import single_hole_error
+from repro.core.model import RatioRuleModel
+
+
+class TestSingleColumn:
+    """M = 1: degenerate but legal."""
+
+    def test_fit_and_fill(self, rng):
+        matrix = rng.normal(5.0, 2.0, size=(50, 1))
+        model = RatioRuleModel().fit(matrix)
+        assert model.k == 1
+        # The only possible hole pattern is all-holes -> predict the mean.
+        filled = model.fill_row(np.array([np.nan]))
+        assert filled[0] == pytest.approx(matrix.mean())
+
+    def test_ge_equals_colavg(self, rng):
+        matrix = rng.normal(5.0, 2.0, size=(50, 1))
+        model = RatioRuleModel().fit(matrix)
+        baseline = ColumnAverageBaseline().fit(matrix)
+        test = rng.normal(5.0, 2.0, size=(10, 1))
+        assert single_hole_error(model, test).value == pytest.approx(
+            single_hole_error(baseline, test).value
+        )
+
+
+class TestDegenerateData:
+    def test_single_row_matrix(self):
+        """N = 1: zero variance everywhere, rules still well-defined."""
+        matrix = np.array([[3.0, 7.0, 1.0]])
+        model = RatioRuleModel().fit(matrix)
+        filled = model.fill_row(np.array([np.nan, np.nan, np.nan]))
+        np.testing.assert_allclose(filled, [3.0, 7.0, 1.0])
+
+    def test_constant_matrix(self):
+        matrix = np.full((20, 3), 4.0)
+        model = RatioRuleModel().fit(matrix)
+        filled = model.fill_row(np.array([4.0, np.nan, np.nan]))
+        np.testing.assert_allclose(filled, 4.0, atol=1e-9)
+
+    def test_constant_column_among_varying(self, rng):
+        matrix = rng.standard_normal((100, 3))
+        matrix[:, 1] = 9.0  # dead column
+        model = RatioRuleModel().fit(matrix)
+        filled = model.fill_row(np.array([0.5, np.nan, 0.2]))
+        assert filled[1] == pytest.approx(9.0, abs=0.1)
+
+    def test_duplicate_columns(self, rng):
+        column = rng.standard_normal((80, 1))
+        matrix = np.hstack([column, column, rng.standard_normal((80, 1))])
+        model = RatioRuleModel().fit(matrix)
+        # A duplicated column predicts its twin essentially exactly.
+        row = matrix[0].copy()
+        truth = row[1]
+        row[1] = np.nan
+        assert model.fill_row(row)[1] == pytest.approx(truth, abs=1e-6)
+
+    def test_two_identical_rows(self):
+        matrix = np.array([[1.0, 2.0], [1.0, 2.0]])
+        model = RatioRuleModel().fit(matrix)
+        filled = model.fill_row(np.array([1.0, np.nan]))
+        assert filled[1] == pytest.approx(2.0)
+
+
+class TestScaleExtremes:
+    def test_huge_values(self, rng):
+        factor = rng.normal(5.0, 2.0, size=100)
+        matrix = np.outer(factor, [1e9, 2e9]) + rng.normal(0, 1e6, (100, 2))
+        model = RatioRuleModel(cutoff=1).fit(matrix)
+        filled = model.fill_row(np.array([5e9, np.nan]))
+        assert filled[1] == pytest.approx(1e10, rel=0.05)
+
+    def test_tiny_values(self, rng):
+        factor = rng.normal(5.0, 2.0, size=100)
+        matrix = np.outer(factor, [1e-9, 2e-9]) + rng.normal(0, 1e-12, (100, 2))
+        model = RatioRuleModel(cutoff=1).fit(matrix)
+        filled = model.fill_row(np.array([5e-9, np.nan]))
+        assert filled[1] == pytest.approx(1e-8, rel=0.05)
+
+    def test_mixed_scales(self, rng):
+        """Columns nine orders of magnitude apart coexist."""
+        factor = rng.normal(5.0, 2.0, size=200)
+        matrix = np.column_stack(
+            [factor * 1e6, factor * 1e-3]
+        ) + np.column_stack(
+            [rng.normal(0, 1e3, 200), rng.normal(0, 1e-6, 200)]
+        )
+        model = RatioRuleModel(cutoff=1).fit(matrix)
+        row = matrix[0].copy()
+        truth = row[1]
+        row[1] = np.nan
+        assert model.fill_row(row)[1] == pytest.approx(truth, rel=0.01)
+
+
+class TestAdversarialRows:
+    def test_fill_row_with_wrong_dtype_list(self, correlated_model):
+        filled = correlated_model.fill_row([1.0, float("nan"), 2.0, 3.0, 4.0])
+        assert not np.isnan(filled).any()
+
+    def test_integer_row_input(self, correlated_model):
+        # Integer arrays cannot hold NaN, so filling a complete int row
+        # must work and return it unchanged.
+        row = np.array([1, 2, 3, 4, 5])
+        filled = correlated_model.fill_row(row)
+        np.testing.assert_allclose(filled, row.astype(float))
+
+    def test_transform_empty_matrix(self, correlated_model):
+        coords = correlated_model.transform(np.empty((0, 5)))
+        assert coords.shape == (0, correlated_model.k)

@@ -1,0 +1,128 @@
+"""Tests for the cutoff-selection policies (Eq. 1 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import (
+    AverageEigenvalueCutoff,
+    EnergyCutoff,
+    FixedCutoff,
+    ScreeCutoff,
+    resolve_cutoff,
+)
+
+
+class TestEnergyCutoff:
+    def test_paper_default_threshold(self):
+        assert EnergyCutoff().threshold == 0.85
+
+    def test_picks_first_reaching_threshold(self):
+        # Fractions: 0.6, 0.9, 1.0 -> k = 2 for the 85% rule.
+        eigenvalues = np.array([6.0, 3.0, 1.0])
+        assert EnergyCutoff().choose_k(eigenvalues, 10.0) == 2
+
+    def test_single_dominant_eigenvalue(self):
+        eigenvalues = np.array([9.0, 0.5, 0.5])
+        assert EnergyCutoff().choose_k(eigenvalues, 10.0) == 1
+
+    def test_threshold_one_keeps_all(self):
+        eigenvalues = np.array([5.0, 3.0, 2.0])
+        assert EnergyCutoff(1.0).choose_k(eigenvalues, 10.0) == 3
+
+    def test_partial_spectrum_falls_back_to_all(self):
+        # Only top-2 computed, covering 70% < 85%: keep both.
+        eigenvalues = np.array([4.0, 3.0])
+        assert EnergyCutoff().choose_k(eigenvalues, 10.0) == 2
+
+    def test_exact_boundary(self):
+        eigenvalues = np.array([8.5, 1.5])
+        assert EnergyCutoff(0.85).choose_k(eigenvalues, 10.0) == 1
+
+    def test_zero_variance(self):
+        assert EnergyCutoff().choose_k(np.array([0.0, 0.0]), 0.0) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            EnergyCutoff(0.0)
+        with pytest.raises(ValueError):
+            EnergyCutoff(1.5)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="descending"):
+            EnergyCutoff().choose_k(np.array([1.0, 5.0]), 6.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            EnergyCutoff().choose_k(np.array([]), 1.0)
+
+
+class TestFixedCutoff:
+    def test_fixed_value(self):
+        assert FixedCutoff(3).choose_k(np.array([5.0, 4.0, 3.0, 2.0]), 14.0) == 3
+
+    def test_clamped_to_available(self):
+        assert FixedCutoff(10).choose_k(np.array([2.0, 1.0]), 3.0) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedCutoff(0)
+
+
+class TestScreeCutoff:
+    def test_largest_gap(self):
+        # Gaps: 1, 6, 1 -> elbow after index 1 -> k = 2.
+        eigenvalues = np.array([10.0, 9.0, 3.0, 2.0])
+        assert ScreeCutoff().choose_k(eigenvalues, 24.0) == 2
+
+    def test_single_eigenvalue(self):
+        assert ScreeCutoff().choose_k(np.array([5.0]), 5.0) == 1
+
+
+class TestAverageEigenvalueCutoff:
+    def test_above_average_kept(self):
+        eigenvalues = np.array([6.0, 3.0, 0.5, 0.5])
+        assert AverageEigenvalueCutoff().choose_k(eigenvalues, 10.0) == 2
+
+    def test_always_at_least_one(self):
+        eigenvalues = np.array([1.0, 1.0])
+        assert AverageEigenvalueCutoff().choose_k(eigenvalues, 2.0) >= 1
+
+
+class TestResolveCutoff:
+    def test_none_is_paper_rule(self):
+        policy = resolve_cutoff(None)
+        assert isinstance(policy, EnergyCutoff)
+        assert policy.threshold == 0.85
+
+    def test_int_is_fixed(self):
+        policy = resolve_cutoff(4)
+        assert isinstance(policy, FixedCutoff)
+        assert policy.k == 4
+
+    def test_float_is_energy(self):
+        policy = resolve_cutoff(0.95)
+        assert isinstance(policy, EnergyCutoff)
+        assert policy.threshold == 0.95
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("paper", EnergyCutoff), ("scree", ScreeCutoff), ("kaiser", AverageEigenvalueCutoff)],
+    )
+    def test_names(self, name, expected):
+        assert isinstance(resolve_cutoff(name), expected)
+
+    def test_policy_passthrough(self):
+        policy = FixedCutoff(2)
+        assert resolve_cutoff(policy) is policy
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown cutoff"):
+            resolve_cutoff("banana")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            resolve_cutoff(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_cutoff([1, 2])

@@ -1,0 +1,177 @@
+"""Tests for the guessing-error measure (Eqs. 3-4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.column_average import ColumnAverageBaseline
+from repro.core.guessing_error import (
+    enumerate_hole_sets,
+    guessing_error,
+    relative_guessing_error,
+    single_hole_error,
+)
+from repro.core.model import RatioRuleModel
+
+
+class PerfectEstimator:
+    """Oracle: fills holes with the truth (needs the matrix up front)."""
+
+    def __init__(self, truth: np.ndarray) -> None:
+        self._truth = truth
+        self._cursor = 0
+
+    def predict_holes(self, matrix: np.ndarray, hole_indices) -> np.ndarray:
+        return matrix[:, list(hole_indices)]
+
+
+class ConstantEstimator:
+    """Always predicts a constant; exposes only the slow fill_row path."""
+
+    def __init__(self, value: float, width: int) -> None:
+        self.value = value
+        self.width = width
+        self.fill_row_calls = 0
+
+    def fill_row(self, row: np.ndarray) -> np.ndarray:
+        self.fill_row_calls += 1
+        filled = np.asarray(row, dtype=np.float64).copy()
+        filled[np.isnan(filled)] = self.value
+        return filled
+
+
+class TestEnumerateHoleSets:
+    def test_exhaustive_when_small(self):
+        sets = enumerate_hole_sets(4, 2, max_hole_sets=100)
+        assert len(sets) == 6  # C(4, 2)
+        assert all(len(s) == 2 for s in sets)
+        assert len(set(sets)) == 6
+
+    def test_sampling_when_large(self):
+        sets = enumerate_hole_sets(20, 3, max_hole_sets=50, seed=1)
+        assert len(sets) == 50
+        assert len(set(sets)) == 50
+        assert all(len(set(s)) == 3 for s in sets)
+
+    def test_sampling_deterministic(self):
+        first = enumerate_hole_sets(20, 3, max_hole_sets=30, seed=9)
+        second = enumerate_hole_sets(20, 3, max_hole_sets=30, seed=9)
+        assert first == second
+
+    def test_h_bounds(self):
+        with pytest.raises(ValueError):
+            enumerate_hole_sets(3, 0)
+        with pytest.raises(ValueError):
+            enumerate_hole_sets(3, 4)
+
+
+class TestGuessingError:
+    def test_perfect_estimator_zero_error(self, rng):
+        matrix = rng.standard_normal((10, 4))
+        report = single_hole_error(PerfectEstimator(matrix), matrix)
+        assert report.value == 0.0
+
+    def test_ge1_matches_manual_formula(self, rng):
+        """Eq. 3 computed by hand for a constant predictor."""
+        matrix = rng.standard_normal((6, 3)) + 5.0
+        estimator = ConstantEstimator(0.0, 3)
+        report = single_hole_error(estimator, matrix)
+        expected = math.sqrt(float((matrix**2).sum()) / matrix.size)
+        assert report.value == pytest.approx(expected, rel=1e-12)
+
+    def test_ge1_report_fields(self, rng):
+        matrix = rng.standard_normal((5, 3))
+        report = single_hole_error(ConstantEstimator(0.0, 3), matrix)
+        assert report.h == 1
+        assert report.n_rows == 5
+        assert report.n_hole_sets == 3
+        assert sorted(report.per_column) == [0, 1, 2]
+        # RMS of per-column errors recombines to the overall value.
+        recombined = math.sqrt(
+            sum(v**2 for v in report.per_column.values()) / 3
+        )
+        assert report.value == pytest.approx(recombined, rel=1e-12)
+
+    def test_geh_constant_for_column_average(self, rng):
+        """The paper's observation: GEh of col-avgs is the same for all h
+        (over identical hole-set families)."""
+        matrix = rng.standard_normal((40, 5)) * 3 + 2
+        baseline = ColumnAverageBaseline().fit(matrix)
+        test = rng.standard_normal((10, 5)) * 3 + 2
+        # Evaluate on ALL hole sets per h so no sampling noise enters.
+        values = [
+            guessing_error(baseline, test, h=h, max_hole_sets=100).value
+            for h in (1, 2, 3, 4)
+        ]
+        # With exhaustive hole sets, every cell is hidden equally often,
+        # so all GEh coincide exactly.
+        for value in values[1:]:
+            assert value == pytest.approx(values[0], rel=1e-12)
+
+    def test_batch_and_slow_paths_agree(self, rng):
+        matrix = rng.standard_normal((50, 4)) + 3
+        test = rng.standard_normal((8, 4)) + 3
+        model = RatioRuleModel(cutoff=2).fit(matrix)
+
+        class SlowWrapper:
+            """Strip the batch path off a model."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def fill_row(self, row):
+                return self._inner.fill_row(row)
+
+        sets = enumerate_hole_sets(4, 2, max_hole_sets=10)
+        fast = guessing_error(model, test, h=2, hole_sets=sets)
+        slow = guessing_error(SlowWrapper(model), test, h=2, hole_sets=sets)
+        assert fast.value == pytest.approx(slow.value, rel=1e-10)
+
+    def test_explicit_hole_sets_validated(self, rng):
+        matrix = rng.standard_normal((4, 3))
+        estimator = ConstantEstimator(0.0, 3)
+        with pytest.raises(ValueError, match="h=2"):
+            guessing_error(estimator, matrix, h=2, hole_sets=[(0,)])
+        with pytest.raises(ValueError, match="duplicates"):
+            guessing_error(estimator, matrix, h=2, hole_sets=[(1, 1)])
+        with pytest.raises(ValueError, match="out of range"):
+            guessing_error(estimator, matrix, h=2, hole_sets=[(0, 9)])
+
+    def test_rejects_nan_truth(self):
+        matrix = np.array([[1.0, np.nan]])
+        with pytest.raises(ValueError, match="complete"):
+            single_hole_error(ConstantEstimator(0.0, 2), matrix)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no rows"):
+            guessing_error(ConstantEstimator(0.0, 2), np.empty((0, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            guessing_error(ConstantEstimator(0.0, 2), np.ones(4))
+
+
+class TestRelativeGuessingError:
+    def test_rr_beats_colavgs_on_correlated_data(self, rng):
+        """The paper's core claim on friendly (linearly correlated) data."""
+        factor = rng.normal(10.0, 4.0, size=300)
+        loadings = np.array([1.0, 2.0, 0.5])
+        matrix = np.outer(factor, loadings) + rng.normal(0, 0.1, (300, 3))
+        train, test = matrix[:270], matrix[270:]
+        model = RatioRuleModel().fit(train)
+        baseline = ColumnAverageBaseline().fit(train)
+        percent = relative_guessing_error(model, baseline, test)
+        assert percent < 30.0  # far better than col-avgs
+
+    def test_identical_estimators_give_100(self, rng):
+        matrix = rng.standard_normal((30, 3)) + 4
+        baseline = ColumnAverageBaseline().fit(matrix)
+        percent = relative_guessing_error(baseline, baseline, matrix)
+        assert percent == pytest.approx(100.0)
+
+    def test_zero_baseline_error_rejected(self, rng):
+        matrix = rng.standard_normal((5, 3))
+        perfect = PerfectEstimator(matrix)
+        with pytest.raises(ZeroDivisionError):
+            relative_guessing_error(perfect, perfect, matrix)

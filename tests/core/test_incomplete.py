@@ -1,0 +1,113 @@
+"""Tests for mining from incomplete training data."""
+
+import numpy as np
+import pytest
+
+from repro.core.incomplete import IncompleteCovariance, fit_incomplete
+from repro.core.model import RatioRuleModel
+
+
+@pytest.fixture
+def rank1_matrix(rng):
+    factor = rng.normal(5.0, 2.0, size=400)
+    return np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (400, 3))
+
+
+def punch(matrix, fraction, rng):
+    damaged = matrix.copy()
+    mask = rng.random(matrix.shape) < fraction
+    # Keep at least one observed cell per column.
+    mask[0] = False
+    damaged[mask] = np.nan
+    return damaged
+
+
+class TestIncompleteCovariance:
+    def test_complete_data_matches_reference(self, rng, rank1_matrix):
+        acc = IncompleteCovariance(3)
+        acc.update(rank1_matrix)
+        centered = rank1_matrix - rank1_matrix.mean(axis=0)
+        np.testing.assert_allclose(
+            acc.scatter_matrix(), centered.T @ centered, rtol=1e-9
+        )
+        np.testing.assert_allclose(acc.column_means, rank1_matrix.mean(axis=0))
+        assert acc.min_pair_count == 400
+
+    def test_blockwise_equals_single(self, rng, rank1_matrix):
+        damaged = punch(rank1_matrix, 0.2, rng)
+        whole = IncompleteCovariance(3)
+        whole.update(damaged)
+        chunked = IncompleteCovariance(3)
+        for start in range(0, 400, 64):
+            chunked.update(damaged[start : start + 64])
+        np.testing.assert_allclose(
+            chunked.scatter_matrix(), whole.scatter_matrix(), rtol=1e-9
+        )
+
+    def test_means_ignore_missing(self, rng):
+        matrix = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        acc = IncompleteCovariance(2)
+        acc.update(matrix)
+        np.testing.assert_allclose(acc.column_means, [2.0, 6.0])
+
+    def test_all_missing_column_rejected(self):
+        acc = IncompleteCovariance(2)
+        acc.update(np.array([[1.0, np.nan], [2.0, np.nan]]))
+        with pytest.raises(ValueError, match="no observed values"):
+            _ = acc.column_means
+
+    def test_never_coobserved_pair_zeroed(self):
+        # Columns 0 and 1 never observed together.
+        matrix = np.array([[1.0, np.nan], [np.nan, 2.0], [3.0, np.nan], [np.nan, 4.0]])
+        acc = IncompleteCovariance(2)
+        acc.update(matrix)
+        scatter = acc.scatter_matrix()
+        assert scatter[0, 1] == 0.0
+        assert acc.min_pair_count == 0
+
+    def test_width_validation(self):
+        acc = IncompleteCovariance(3)
+        with pytest.raises(ValueError, match="width"):
+            acc.update(np.ones((2, 4)))
+
+
+class TestFitIncomplete:
+    def test_recovers_direction_under_missingness(self, rng, rank1_matrix):
+        damaged = punch(rank1_matrix, 0.25, rng)
+        model, acc = fit_incomplete(damaged, cutoff=1)
+        reference = RatioRuleModel(cutoff=1).fit(rank1_matrix)
+        # The mined direction survives 25% missingness to within degrees.
+        cosine = abs(float(model.rules_matrix[:, 0] @ reference.rules_matrix[:, 0]))
+        assert cosine > 0.999
+        assert acc.min_pair_count > 100
+
+    def test_model_is_fully_functional(self, rng, rank1_matrix):
+        damaged = punch(rank1_matrix, 0.2, rng)
+        model, _acc = fit_incomplete(damaged, cutoff=1)
+        filled = model.fill_row(np.array([5.0, np.nan, np.nan]))
+        assert filled[1] == pytest.approx(10.0, abs=1.0)
+        assert filled[2] == pytest.approx(15.0, abs=1.5)
+
+    def test_min_pair_count_guard(self, rng):
+        # Two columns never co-observed -> reject.
+        matrix = np.array(
+            [[1.0, np.nan, 2.0], [np.nan, 2.0, 3.0], [3.0, np.nan, 4.0]] * 5
+        )
+        with pytest.raises(ValueError, match="co-observed"):
+            fit_incomplete(matrix, min_pair_count=1)
+
+    def test_complete_data_equals_plain_fit(self, rank1_matrix):
+        model, _acc = fit_incomplete(rank1_matrix, cutoff=1)
+        reference = RatioRuleModel(cutoff=1).fit(rank1_matrix)
+        np.testing.assert_allclose(
+            model.rules_matrix, reference.rules_matrix, atol=1e-9
+        )
+        np.testing.assert_allclose(model.means_, reference.means_)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            fit_incomplete(np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_incomplete(np.empty((0, 3)))

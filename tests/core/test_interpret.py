@@ -1,0 +1,109 @@
+"""Tests for rule interpretation (Fig. 10 methodology, Table 2 rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpret import (
+    _simple_ratio,
+    interpret_rule,
+    interpret_rules,
+    loading_table,
+)
+from repro.core.rules import RatioRule, RuleSet
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_names(["minutes", "points", "rebounds", "assists"])
+
+
+def make_rule(schema, loadings, index=0, eigenvalue=10.0, energy=0.8):
+    return RatioRule(
+        index=index,
+        loadings=np.asarray(loadings, dtype=np.float64),
+        eigenvalue=eigenvalue,
+        energy_fraction=energy,
+        schema=schema,
+    )
+
+
+class TestInterpretRule:
+    def test_volume_factor_detected(self, schema):
+        rule = make_rule(schema, [0.8, 0.4, 0.3, 0.3])
+        interpretation = interpret_rule(rule)
+        assert interpretation.is_size_factor()
+        assert interpretation.negative == ()
+        assert interpretation.positive[0][0] == "minutes"
+
+    def test_contrast_factor_detected(self, schema):
+        rule = make_rule(schema, [0.1, -0.5, 0.8, 0.02])
+        interpretation = interpret_rule(rule)
+        assert not interpretation.is_size_factor()
+        assert [name for name, _v in interpretation.positive] == ["rebounds"]
+        assert [name for name, _v in interpretation.negative] == ["points"]
+
+    def test_threshold_blanks_small_loadings(self, schema):
+        rule = make_rule(schema, [0.9, 0.05, 0.05, 0.05])
+        interpretation = interpret_rule(rule, threshold=0.2)
+        assert len(interpretation.positive) == 1
+
+    def test_cross_sign_ratio_computed(self, schema):
+        # The paper's RR2 reading: rebounds:points = 0.489:0.199 = 2.45:1.
+        rule = make_rule(schema, [0.0, -0.199, 0.489, 0.0])
+        interpretation = interpret_rule(rule)
+        pairs = {(a, b): r for a, b, r in interpretation.ratios}
+        assert ("rebounds", "points") in pairs
+        assert pairs[("rebounds", "points")] == pytest.approx(2.457, abs=0.01)
+
+    def test_narrative_mentions_energy(self, schema):
+        rule = make_rule(schema, [0.8, 0.4, 0.3, 0.3], energy=0.87)
+        text = interpret_rule(rule).narrative()
+        assert "87.0%" in text
+        assert "RR1" in text
+
+    def test_narrative_contrast_wording(self, schema):
+        rule = make_rule(schema, [0.1, -0.6, 0.7, 0.02], index=1)
+        text = interpret_rule(rule).narrative()
+        assert "contrasts" in text
+        assert "rebounds" in text and "points" in text
+
+
+class TestSimpleRatio:
+    def test_near_integer_ratio(self):
+        assert _simple_ratio(2.02) == "2:1"
+
+    def test_small_fraction(self):
+        assert _simple_ratio(1.5) == "3:2"
+
+    def test_awkward_ratio_falls_back(self):
+        assert _simple_ratio(2.4567) == "2.46:1"
+
+    def test_negative_uses_magnitude(self):
+        assert _simple_ratio(-3.0) == "3:1"
+
+
+class TestLoadingTable:
+    def _rules(self, schema):
+        return RuleSet(
+            [
+                make_rule(schema, [0.8, 0.45, 0.3, 0.3], index=0),
+                make_rule(schema, [0.05, -0.5, 0.8, 0.02], index=1, eigenvalue=2.0, energy=0.15),
+            ]
+        )
+
+    def test_structure(self, schema):
+        table = loading_table(self._rules(schema))
+        lines = table.splitlines()
+        assert "RR1" in lines[0] and "RR2" in lines[0]
+        assert len(lines) == 2 + schema.width
+
+    def test_small_loadings_blanked(self, schema):
+        table = loading_table(self._rules(schema))
+        minutes_line = next(l for l in table.splitlines() if l.startswith("minutes"))
+        # RR2 loading on minutes (0.05 vs peak 0.8) must be blank.
+        assert "0.05" not in minutes_line
+
+    def test_interpret_rules_covers_all(self, schema):
+        interpretations = interpret_rules(self._rules(schema))
+        assert [i.rule.name for i in interpretations] == ["RR1", "RR2"]

@@ -1,0 +1,95 @@
+"""Tests for the online (streaming) model."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.online import OnlineRatioRuleModel
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def stream(rng):
+    factor = rng.normal(6.0, 2.0, size=500)
+    return np.outer(factor, [1.0, 2.0, 0.5]) + rng.normal(0, 0.05, (500, 3))
+
+
+class TestOnlineModel:
+    def test_equals_batch_fit(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        for start in range(0, 500, 37):
+            online.update(stream[start : start + 37])
+        batch = RatioRuleModel(cutoff=1).fit(stream)
+        np.testing.assert_allclose(
+            online.model().rules_matrix, batch.rules_matrix, atol=1e-8
+        )
+        np.testing.assert_allclose(online.model().means_, batch.means_, atol=1e-10)
+        assert online.n_rows_seen == 500
+
+    def test_lazy_resolve_cached(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        online.update(stream[:100])
+        first = online.model()
+        assert online.model() is first  # cached
+        online.update(stream[100:200])
+        assert online.model() is not first  # invalidated
+
+    def test_rules_track_drift(self, rng):
+        """New data along a different direction rotates the rules."""
+        online = OnlineRatioRuleModel(2, cutoff=1)
+        phase1 = np.outer(rng.normal(0, 3, 300), [1.0, 0.0]) + rng.normal(0, 0.01, (300, 2))
+        online.update(phase1)
+        direction1 = online.model().rules_matrix[:, 0]
+        # Flood with data along the other axis.
+        phase2 = np.outer(rng.normal(0, 9, 3000), [0.0, 1.0]) + rng.normal(0, 0.01, (3000, 2))
+        online.update(phase2)
+        direction2 = online.model().rules_matrix[:, 0]
+        assert abs(direction1[0]) > 0.9  # first rule was x-ish
+        assert abs(direction2[1]) > 0.9  # now y-ish
+
+    def test_not_ready_before_min_rows(self):
+        online = OnlineRatioRuleModel(3, min_rows=10)
+        online.update(np.ones((5, 3)))
+        assert not online.is_ready
+        with pytest.raises(ValueError, match="at least 10"):
+            online.model()
+
+    def test_estimator_protocol_forwarded(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        online.update(stream)
+        filled = online.fill_row(np.array([6.0, np.nan, 3.0]))
+        assert filled[1] == pytest.approx(12.0, abs=0.5)
+        batch = online.predict_holes(stream[:4], [1])
+        assert batch.shape == (4, 1)
+        coords = online.transform(stream[:4])
+        assert coords.shape == (4, 1)
+
+    def test_merge_streams(self, stream):
+        left = OnlineRatioRuleModel(3, cutoff=1)
+        left.update(stream[:250])
+        right = OnlineRatioRuleModel(3, cutoff=1)
+        right.update(stream[250:])
+        left.merge(right)
+        batch = RatioRuleModel(cutoff=1).fit(stream)
+        np.testing.assert_allclose(
+            left.model().rules_matrix, batch.rules_matrix, atol=1e-8
+        )
+
+    def test_schema_respected(self, stream):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        online = OnlineRatioRuleModel(3, schema=schema, cutoff=1)
+        online.update(stream)
+        assert online.model().schema_.names == ["a", "b", "c"]
+
+    def test_schema_width_validated(self):
+        with pytest.raises(ValueError, match="width"):
+            OnlineRatioRuleModel(3, schema=TableSchema.from_names(["a"]))
+
+    def test_min_rows_validated(self):
+        with pytest.raises(ValueError, match="min_rows"):
+            OnlineRatioRuleModel(3, min_rows=1)
+
+    def test_update_counter(self, stream):
+        online = OnlineRatioRuleModel(3)
+        online.update(stream[:10]).update(stream[10:20])
+        assert online.n_updates == 2

@@ -1,0 +1,82 @@
+"""Tests for sharded/parallel mining."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.parallel import accumulate_shard, fit_sharded, merge_partials
+from repro.io.rowstore import RowStore
+
+
+@pytest.fixture
+def full_matrix(rng):
+    factor = rng.normal(4.0, 2.0, size=600)
+    return np.outer(factor, [1.0, 0.5, 2.0, 1.5]) + rng.normal(0, 0.1, (600, 4))
+
+
+class TestPrimitives:
+    def test_accumulate_shard(self, full_matrix):
+        partial = accumulate_shard(full_matrix[:100])
+        assert partial.n_rows == 100
+        assert partial.n_cols == 4
+
+    def test_merge_exactness(self, full_matrix):
+        shards = [full_matrix[:200], full_matrix[200:350], full_matrix[350:]]
+        merged = merge_partials(accumulate_shard(s) for s in shards)
+        whole = accumulate_shard(full_matrix)
+        np.testing.assert_allclose(
+            merged.scatter_matrix(), whole.scatter_matrix(), atol=1e-8
+        )
+        np.testing.assert_allclose(merged.column_means, whole.column_means)
+        assert merged.n_rows == 600
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_partials([])
+
+
+class TestFitSharded:
+    def test_matches_single_scan(self, full_matrix):
+        reference = RatioRuleModel(cutoff=2).fit(full_matrix)
+        sharded = fit_sharded(
+            [full_matrix[:150], full_matrix[150:400], full_matrix[400:]],
+            cutoff=2,
+        )
+        np.testing.assert_allclose(
+            sharded.rules_matrix, reference.rules_matrix, atol=1e-8
+        )
+        np.testing.assert_allclose(sharded.means_, reference.means_)
+        assert sharded.n_rows_ == reference.n_rows_
+
+    def test_threaded_matches_serial(self, full_matrix):
+        shards = [full_matrix[i::4] for i in range(4)]
+        serial = fit_sharded(shards, cutoff=2, max_workers=1)
+        threaded = fit_sharded(shards, cutoff=2, max_workers=4)
+        np.testing.assert_allclose(
+            threaded.rules_matrix, serial.rules_matrix, atol=1e-10
+        )
+
+    def test_file_shards(self, full_matrix, tmp_path):
+        paths = []
+        for index, start in enumerate(range(0, 600, 200)):
+            path = tmp_path / f"shard{index}.rr"
+            RowStore.write_matrix(path, full_matrix[start : start + 200])
+            paths.append(path)
+        sharded = fit_sharded(paths, cutoff=2)
+        reference = RatioRuleModel(cutoff=2).fit(full_matrix)
+        np.testing.assert_allclose(
+            sharded.rules_matrix, reference.rules_matrix, atol=1e-8
+        )
+
+    def test_model_functional(self, full_matrix):
+        model = fit_sharded([full_matrix[:300], full_matrix[300:]], cutoff=1)
+        filled = model.fill_row(np.array([4.0, np.nan, 8.0, 6.0]))
+        assert filled[1] == pytest.approx(2.0, abs=0.5)
+
+    def test_width_mismatch_rejected(self, full_matrix):
+        with pytest.raises(ValueError, match="column count"):
+            fit_sharded([full_matrix, full_matrix[:, :3]])
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            fit_sharded([])

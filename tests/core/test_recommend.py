@@ -1,0 +1,90 @@
+"""Tests for basket-completion recommendations."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.recommend import BasketRecommender
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def grocery_model(rng):
+    """Two shopping habits: breakfast (cereal+milk) and baking (flour+butter)."""
+    n = 500
+    breakfast = rng.uniform(0.0, 5.0, size=n)
+    baking = rng.uniform(0.0, 5.0, size=n)
+    matrix = np.column_stack(
+        [
+            breakfast,                 # cereal
+            2.0 * breakfast,           # milk
+            baking,                    # flour
+            1.5 * baking,              # butter
+        ]
+    ) + rng.normal(0, 0.05, (n, 4))
+    schema = TableSchema.from_names(["cereal", "milk", "flour", "butter"], unit="$")
+    return RatioRuleModel(cutoff=2).fit(np.clip(matrix, 0, None), schema=schema)
+
+
+class TestCompleteBasket:
+    def test_predicts_missing_products(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        completed = recommender.complete_basket({"cereal": 4.0})
+        assert set(completed) == {"milk", "flour", "butter"}
+        assert completed["milk"] == pytest.approx(8.0, abs=1.0)
+
+    def test_empty_basket_rejected(self, grocery_model):
+        with pytest.raises(ValueError, match="at least one"):
+            BasketRecommender(grocery_model).complete_basket({})
+
+    def test_unknown_product_rejected(self, grocery_model):
+        with pytest.raises(KeyError):
+            BasketRecommender(grocery_model).complete_basket({"caviar": 9.0})
+
+
+class TestRecommend:
+    def test_uplift_ranking_follows_habit(self, grocery_model):
+        """A cereal-heavy basket should push milk above baking goods."""
+        recommender = BasketRecommender(grocery_model, ranking="uplift")
+        recommendations = recommender.recommend({"cereal": 5.0}, top_n=3)
+        assert recommendations[0].product == "milk"
+        assert recommendations[0].uplift > 0
+
+    def test_baking_basket_pushes_butter(self, grocery_model):
+        recommender = BasketRecommender(grocery_model, ranking="uplift")
+        recommendations = recommender.recommend({"flour": 5.0}, top_n=1)
+        assert recommendations[0].product == "butter"
+
+    def test_predicted_ranking(self, grocery_model):
+        recommender = BasketRecommender(grocery_model, ranking="predicted")
+        recommendations = recommender.recommend({"cereal": 5.0}, top_n=3)
+        spends = [r.predicted_spend for r in recommendations]
+        assert spends == sorted(spends, reverse=True)
+
+    def test_top_n_respected(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        assert len(recommender.recommend({"cereal": 3.0}, top_n=2)) <= 2
+
+    def test_candidates_filter(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        recommendations = recommender.recommend(
+            {"cereal": 5.0}, top_n=5, candidates=["flour", "butter"]
+        )
+        assert {r.product for r in recommendations} <= {"flour", "butter"}
+
+    def test_candidate_in_basket_rejected(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        with pytest.raises(ValueError, match="already in the basket"):
+            recommender.recommend({"cereal": 5.0}, candidates=["cereal"])
+
+    def test_invalid_top_n(self, grocery_model):
+        with pytest.raises(ValueError, match="top_n"):
+            BasketRecommender(grocery_model).recommend({"cereal": 1.0}, top_n=0)
+
+    def test_invalid_ranking(self, grocery_model):
+        with pytest.raises(ValueError, match="ranking"):
+            BasketRecommender(grocery_model, ranking="random")
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            BasketRecommender(RatioRuleModel())

@@ -1,0 +1,280 @@
+"""Tests for the hole-filling algorithm (Sec. 4.4 / Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import (
+    CASE_ALL_HOLES,
+    CASE_EXACT,
+    CASE_NO_HOLES,
+    CASE_OVER,
+    CASE_UNDER,
+    fill_holes,
+    fill_matrix,
+    hole_fill_operator,
+)
+
+
+@pytest.fixture
+def rank1_rules():
+    """One rule in 3-space: direction (2, 1, 2)/3, means (10, 5, 10)."""
+    direction = np.array([2.0, 1.0, 2.0]) / 3.0
+    return direction.reshape(3, 1), np.array([10.0, 5.0, 10.0])
+
+
+@pytest.fixture
+def rank2_rules():
+    """Two orthonormal rules in 4-space with zero means."""
+    v = np.zeros((4, 2))
+    v[:, 0] = np.array([1.0, 1.0, 1.0, 1.0]) / 2.0
+    v[:, 1] = np.array([1.0, -1.0, 1.0, -1.0]) / 2.0
+    return v, np.zeros(4)
+
+
+class TestCaseDispatch:
+    def test_exactly_specified(self, rank2_rules):
+        v, means = rank2_rules
+        # M=4, k=2, h=2 -> M-h == k.
+        row = np.array([3.0, 1.0, np.nan, np.nan])
+        result = fill_holes(row, v, means)
+        assert result.case == CASE_EXACT
+        assert result.rules_used == 2
+        # Point on the plane: concept (a, b) with a+b=... solve directly:
+        # entries: (a+b)/2=3, (a-b)/2=1 -> a=4, b=2 -> holes: (a+b)/2=3, (a-b)/2=1.
+        np.testing.assert_allclose(result.filled, [3.0, 1.0, 3.0, 1.0], atol=1e-12)
+
+    def test_over_specified(self, rank1_rules):
+        v, means = rank1_rules
+        # M=3, k=1, h=1 -> M-h=2 > 1.
+        row = np.array([12.0, 6.0, np.nan])
+        result = fill_holes(row, v, means)
+        assert result.case == CASE_OVER
+        assert result.rules_used == 1
+        # Least squares: b' = (2, 1), V' = (2/3, 1/3) -> concept = 3 ->
+        # hole = 2/3*3 + 10 = 12.
+        np.testing.assert_allclose(result.filled, [12.0, 6.0, 12.0], atol=1e-10)
+
+    def test_under_specified_drops_weakest_rules(self, rank2_rules):
+        v, means = rank2_rules
+        # M=4, k=2, h=3 -> M-h=1 < k: keep only RR1.
+        row = np.array([5.0, np.nan, np.nan, np.nan])
+        result = fill_holes(row, v, means)
+        assert result.case == CASE_UNDER
+        assert result.rules_used == 1
+        # Only RR1 (all 1/2): concept = 10, every coordinate = 5.
+        np.testing.assert_allclose(result.filled, [5.0, 5.0, 5.0, 5.0], atol=1e-12)
+
+    def test_no_holes_returns_row(self, rank1_rules):
+        v, means = rank1_rules
+        row = np.array([1.0, 2.0, 3.0])
+        result = fill_holes(row, v, means)
+        assert result.case == CASE_NO_HOLES
+        np.testing.assert_array_equal(result.filled, row)
+
+    def test_all_holes_returns_means(self, rank1_rules):
+        v, means = rank1_rules
+        row = np.array([np.nan, np.nan, np.nan])
+        result = fill_holes(row, v, means)
+        assert result.case == CASE_ALL_HOLES
+        assert result.rules_used == 0
+        np.testing.assert_array_equal(result.filled, means)
+
+
+class TestCorrectness:
+    def test_point_on_hyperplane_recovered_exactly(self, rank2_rules, rng):
+        """A row exactly on the RR-plane is reconstructed perfectly."""
+        v, means = rank2_rules
+        concept = rng.standard_normal(2)
+        truth = v @ concept + means
+        for hole in range(4):
+            row = truth.copy()
+            row[hole] = np.nan
+            result = fill_holes(row, v, means)
+            np.testing.assert_allclose(result.filled, truth, atol=1e-10)
+
+    def test_known_entries_never_modified(self, rank1_rules):
+        v, means = rank1_rules
+        row = np.array([99.0, np.nan, -7.0])
+        result = fill_holes(row, v, means)
+        assert result.filled[0] == 99.0
+        assert result.filled[2] == -7.0
+
+    def test_figure4a_geometry(self):
+        """Fig. 4(a): M=2, k=1, h=1 -- intersect feasible line with RR1."""
+        direction = np.array([0.866, 0.5])
+        direction = direction / np.linalg.norm(direction)
+        v = direction.reshape(2, 1)
+        means = np.zeros(2)
+        row = np.array([4.0, np.nan])
+        result = fill_holes(row, v, means)
+        assert result.case == CASE_EXACT
+        # On the line: butter/bread = 0.5/0.866.
+        assert result.filled[1] == pytest.approx(4.0 * 0.5 / 0.866, rel=1e-6)
+
+    def test_singular_square_system_falls_back(self):
+        """CASE 1 with singular V' must not crash: pseudo-inverse path."""
+        # Rule loads only on the hole column: V' (known rows) is zero.
+        v = np.array([[0.0], [1.0]])
+        means = np.array([5.0, 5.0])
+        row = np.array([7.0, np.nan])
+        result = fill_holes(row, v, means)
+        # No information flows; the hole gets the mean (concept = 0).
+        assert result.filled[1] == pytest.approx(5.0)
+
+    def test_input_row_not_modified(self, rank1_rules):
+        v, means = rank1_rules
+        row = np.array([1.0, np.nan, 3.0])
+        fill_holes(row, v, means)
+        assert np.isnan(row[1])
+
+
+class TestUnderdeterminedPolicies:
+    def test_min_norm_satisfies_known_constraints(self, rank2_rules):
+        v, means = rank2_rules
+        row = np.array([5.0, np.nan, np.nan, np.nan])
+        result = fill_holes(row, v, means, underdetermined="min-norm")
+        assert result.case == CASE_UNDER
+        assert result.rules_used == 2  # all rules retained
+        # The known coordinate is reproduced by the rule combination.
+        reconstructed = v @ result.concept + means
+        assert reconstructed[0] == pytest.approx(5.0, abs=1e-9)
+
+    def test_min_norm_concept_is_minimal(self, rank2_rules):
+        """Any other consistent concept has a larger norm."""
+        v, means = rank2_rules
+        row = np.array([5.0, np.nan, np.nan, np.nan])
+        result = fill_holes(row, v, means, underdetermined="min-norm")
+        truncated = fill_holes(row, v, means, underdetermined="truncate")
+        truncated_full = np.zeros(2)
+        truncated_full[: truncated.concept.shape[0]] = truncated.concept
+        # The truncated solution is also consistent, so its norm bounds
+        # the min-norm solution from above.
+        assert np.linalg.norm(result.concept) <= np.linalg.norm(truncated_full) + 1e-9
+
+    def test_min_norm_avoids_weak_loading_blowup(self):
+        """The motivating failure: RR1 barely loads on the known column."""
+        v = np.array(
+            [[0.05, 0.85], [0.99, 0.1], [0.1, 0.5]]
+        )
+        # Orthonormalize the columns for a fair test.
+        q, _ = np.linalg.qr(v)
+        means = np.zeros(3)
+        row = np.array([2.0, np.nan, np.nan])
+        truncated = fill_holes(row, q, means, underdetermined="truncate")
+        min_norm = fill_holes(row, q, means, underdetermined="min-norm")
+        # Truncation divides by the ~0.05 loading and explodes;
+        # min-norm stays bounded.
+        assert np.abs(min_norm.filled).max() < np.abs(truncated.filled).max()
+
+    def test_policies_agree_when_not_underdetermined(self, rank1_rules):
+        v, means = rank1_rules
+        row = np.array([12.0, 6.0, np.nan])
+        a = fill_holes(row, v, means, underdetermined="truncate")
+        b = fill_holes(row, v, means, underdetermined="min-norm")
+        np.testing.assert_allclose(a.filled, b.filled)
+
+    def test_unknown_policy_rejected(self, rank1_rules):
+        v, means = rank1_rules
+        with pytest.raises(ValueError, match="underdetermined"):
+            fill_holes(np.array([1.0, np.nan, 2.0]), v, means, underdetermined="magic")
+
+
+class TestValidation:
+    def test_rejects_2d_row(self, rank1_rules):
+        v, means = rank1_rules
+        with pytest.raises(ValueError, match="1-d"):
+            fill_holes(np.ones((2, 3)), v, means)
+
+    def test_rejects_shape_mismatch(self, rank1_rules):
+        v, means = rank1_rules
+        with pytest.raises(ValueError, match="rules_matrix"):
+            fill_holes(np.ones(4), v, means)
+
+    def test_rejects_bad_means(self, rank1_rules):
+        v, _means = rank1_rules
+        with pytest.raises(ValueError, match="means"):
+            fill_holes(np.ones(3), v, np.ones(2))
+
+    def test_rejects_infinity(self, rank1_rules):
+        v, means = rank1_rules
+        with pytest.raises(ValueError, match="infinit"):
+            fill_holes(np.array([1.0, np.inf, np.nan]), v, means)
+
+    def test_rejects_zero_rules(self):
+        with pytest.raises(ValueError, match="at least one rule"):
+            fill_holes(np.array([1.0, np.nan]), np.empty((2, 0)), np.zeros(2))
+
+
+class TestHoleFillOperator:
+    def test_matches_fill_holes(self, rank2_rules, rng):
+        v, means = rank2_rules
+        holes = [1, 3]
+        operator, case, used = hole_fill_operator(holes, v, 4)
+        assert case == CASE_EXACT
+        assert used == 2
+        for _ in range(5):
+            row = rng.standard_normal(4) * 3
+            punched = row.copy()
+            punched[holes] = np.nan
+            direct = fill_holes(punched, v, means)
+            known = [0, 2]
+            via_operator = operator @ (row[known] - means[known]) + means[holes]
+            np.testing.assert_allclose(direct.filled[holes], via_operator, atol=1e-10)
+
+    def test_rejects_duplicates(self, rank2_rules):
+        v, _means = rank2_rules
+        with pytest.raises(ValueError, match="duplicates"):
+            hole_fill_operator([1, 1], v, 4)
+
+    def test_rejects_empty(self, rank2_rules):
+        v, _means = rank2_rules
+        with pytest.raises(ValueError, match="non-empty"):
+            hole_fill_operator([], v, 4)
+
+    def test_all_holes_degenerate(self, rank2_rules):
+        v, _means = rank2_rules
+        operator, case, used = hole_fill_operator([0, 1, 2, 3], v, 4)
+        assert case == CASE_ALL_HOLES
+        assert used == 0
+        assert operator.shape == (4, 0)
+
+
+class TestFillMatrix:
+    def test_fills_all_nans(self, rank2_rules, rng):
+        v, means = rank2_rules
+        matrix = rng.standard_normal((10, 4))
+        punched = matrix.copy()
+        punched[2, 1] = np.nan
+        punched[5, 0] = np.nan
+        punched[5, 3] = np.nan
+        filled = fill_matrix(punched, v, means)
+        assert not np.isnan(filled).any()
+        # Untouched cells pass through.
+        mask = ~np.isnan(punched)
+        np.testing.assert_array_equal(filled[mask], punched[mask])
+
+    def test_matches_row_by_row(self, rank2_rules, rng):
+        v, means = rank2_rules
+        matrix = rng.standard_normal((8, 4))
+        punched = matrix.copy()
+        punched[np.asarray([0, 3, 6]), np.asarray([2, 2, 0])] = np.nan
+        batch = fill_matrix(punched, v, means)
+        for i in range(8):
+            single = fill_holes(punched[i], v, means)
+            np.testing.assert_allclose(batch[i], single.filled, atol=1e-10)
+
+    def test_all_hole_rows_get_means(self, rank2_rules):
+        v, means = rank2_rules
+        punched = np.full((2, 4), np.nan)
+        filled = fill_matrix(punched, v, means)
+        np.testing.assert_allclose(filled, np.tile(means, (2, 1)))
+
+    def test_no_nans_is_identity(self, rank2_rules, rng):
+        v, means = rank2_rules
+        matrix = rng.standard_normal((5, 4))
+        np.testing.assert_array_equal(fill_matrix(matrix, v, means), matrix)
+
+    def test_rejects_1d(self, rank2_rules):
+        v, means = rank2_rules
+        with pytest.raises(ValueError, match="2-d"):
+            fill_matrix(np.ones(4), v, means)

@@ -1,0 +1,51 @@
+"""Tests for repr conveniences and the model's score() sugar."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.guessing_error import single_hole_error
+from repro.datasets import load_dataset
+
+
+class TestReprs:
+    def test_unfitted_model_repr(self):
+        text = repr(RatioRuleModel())
+        assert "unfitted" in text
+
+    def test_fitted_model_repr(self, correlated_matrix):
+        model = RatioRuleModel(cutoff=2).fit(correlated_matrix)
+        text = repr(model)
+        assert "k=2" in text
+        assert "M=5" in text
+        assert "N=300" in text
+        assert "energy=" in text
+
+    def test_ruleset_repr(self, correlated_model):
+        text = repr(correlated_model.rules_)
+        assert text.startswith("RuleSet(")
+        assert "k=2" in text
+
+    def test_dataset_repr(self):
+        dataset = load_dataset("nba", seed=0)
+        assert repr(dataset) == "Dataset(name='nba', shape=459x12)"
+
+
+class TestScore:
+    def test_score_equals_ge1(self, correlated_matrix):
+        model = RatioRuleModel(cutoff=2).fit(correlated_matrix[:250])
+        test = correlated_matrix[250:]
+        assert model.score(test) == pytest.approx(
+            single_hole_error(model, test).value
+        )
+
+    def test_score_multi_hole(self, correlated_matrix):
+        model = RatioRuleModel(cutoff=2).fit(correlated_matrix[:250])
+        value = model.score(correlated_matrix[250:], h=2)
+        assert value > 0
+
+    def test_score_requires_fit(self):
+        from repro.core.model import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            RatioRuleModel().score(np.ones((3, 2)))

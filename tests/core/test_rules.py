@@ -1,0 +1,144 @@
+"""Tests for RatioRule / RuleSet value objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import RatioRule, RuleSet
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_names(["bread", "milk", "butter"])
+
+
+def make_rule(schema, index=0, loadings=(0.8, 0.5, 0.3), eigenvalue=5.0, energy=0.7):
+    return RatioRule(
+        index=index,
+        loadings=np.asarray(loadings, dtype=np.float64),
+        eigenvalue=eigenvalue,
+        energy_fraction=energy,
+        schema=schema,
+    )
+
+
+class TestRatioRule:
+    def test_name_is_one_based(self, schema):
+        assert make_rule(schema, index=0).name == "RR1"
+        assert make_rule(schema, index=2).name == "RR3"
+
+    def test_loading_of(self, schema):
+        rule = make_rule(schema, loadings=(0.1, 0.2, 0.3))
+        assert rule.loading_of("milk") == pytest.approx(0.2)
+
+    def test_loading_of_missing_attribute(self, schema):
+        with pytest.raises(KeyError):
+            make_rule(schema).loading_of("caviar")
+
+    def test_dominant_attributes_sorted_and_thresholded(self, schema):
+        rule = make_rule(schema, loadings=(0.9, -0.5, 0.05))
+        dominant = rule.dominant_attributes(threshold=0.2)
+        assert dominant == [("bread", pytest.approx(0.9)), ("milk", pytest.approx(-0.5))]
+
+    def test_dominant_attributes_zero_rule(self, schema):
+        rule = make_rule(schema, loadings=(0.0, 0.0, 0.0))
+        assert rule.dominant_attributes() == []
+
+    def test_ratio_string_default(self, schema):
+        rule = make_rule(schema, loadings=(0.866, 0.5, 0.01))
+        text = rule.ratio_string()
+        assert "bread : milk" in text
+        assert "0.866 : 0.500" in text
+
+    def test_ratio_string_explicit_attributes(self, schema):
+        rule = make_rule(schema, loadings=(0.8, 0.5, 0.3))
+        text = rule.ratio_string(["bread", "butter"], digits=2)
+        assert text == "bread : butter => 0.80 : 0.30"
+
+    def test_histogram_string_structure(self, schema):
+        text = make_rule(schema).histogram_string()
+        lines = text.splitlines()
+        assert lines[0].startswith("RR1")
+        assert len(lines) == 1 + schema.width
+        assert "bread" in lines[1]
+
+    def test_wrong_loading_length_rejected(self, schema):
+        with pytest.raises(ValueError, match="length"):
+            make_rule(schema, loadings=(1.0, 2.0))
+
+
+class TestRuleSet:
+    def _make_set(self, schema):
+        rules = [
+            make_rule(schema, index=0, loadings=(0.9, 0.3, 0.3), eigenvalue=8.0, energy=0.8),
+            make_rule(schema, index=1, loadings=(-0.3, 0.9, 0.1), eigenvalue=1.5, energy=0.15),
+        ]
+        return RuleSet(rules)
+
+    def test_container_protocol(self, schema):
+        rules = self._make_set(schema)
+        assert len(rules) == 2
+        assert rules.k == 2
+        assert rules[1].name == "RR2"
+        assert [rule.name for rule in rules] == ["RR1", "RR2"]
+
+    def test_matrix_shape_and_content(self, schema):
+        rules = self._make_set(schema)
+        matrix = rules.matrix
+        assert matrix.shape == (3, 2)
+        np.testing.assert_allclose(matrix[:, 0], [0.9, 0.3, 0.3])
+
+    def test_matrix_is_copy(self, schema):
+        rules = self._make_set(schema)
+        rules.matrix[0, 0] = 99.0
+        assert rules.matrix[0, 0] == pytest.approx(0.9)
+
+    def test_eigenvalues(self, schema):
+        np.testing.assert_allclose(self._make_set(schema).eigenvalues, [8.0, 1.5])
+
+    def test_total_energy(self, schema):
+        assert self._make_set(schema).total_energy_fraction() == pytest.approx(0.95)
+
+    def test_truncate(self, schema):
+        truncated = self._make_set(schema).truncate(1)
+        assert truncated.k == 1
+        assert truncated[0].name == "RR1"
+
+    def test_truncate_bounds(self, schema):
+        rules = self._make_set(schema)
+        with pytest.raises(ValueError):
+            rules.truncate(0)
+        with pytest.raises(ValueError):
+            rules.truncate(3)
+
+    def test_describe_mentions_energy(self, schema):
+        text = self._make_set(schema).describe()
+        assert "2 Ratio Rules" in text
+        assert "95.0%" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RuleSet([])
+
+    def test_mixed_schema_rejected(self, schema):
+        other_schema = TableSchema.from_names(["x", "y", "z"])
+        rules = [make_rule(schema, index=0), make_rule(other_schema, index=1)]
+        with pytest.raises(ValueError, match="share one schema"):
+            RuleSet(rules)
+
+    def test_non_contiguous_indices_rejected(self, schema):
+        rules = [make_rule(schema, index=0), make_rule(schema, index=2)]
+        with pytest.raises(ValueError, match="contiguous"):
+            RuleSet(rules)
+
+    def test_from_eigen(self, schema):
+        eigenvalues = np.array([4.0, 1.0])
+        eigenvectors = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        rules = RuleSet.from_eigen(eigenvalues, eigenvectors, 5.0, schema)
+        assert rules.k == 2
+        assert rules[0].energy_fraction == pytest.approx(0.8)
+        np.testing.assert_allclose(rules.matrix, eigenvectors)
+
+    def test_from_eigen_count_mismatch(self, schema):
+        with pytest.raises(ValueError, match="mismatch"):
+            RuleSet.from_eigen(np.array([1.0]), np.ones((3, 2)), 1.0, schema)

@@ -1,0 +1,48 @@
+"""Tests for JSON export of rule sets."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import RatioRuleModel
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def fitted_model(rng):
+    factor = rng.normal(5.0, 2.0, size=200)
+    matrix = np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (200, 3))
+    schema = TableSchema.from_names(["bread", "milk", "butter"])
+    return RatioRuleModel(cutoff=2).fit(matrix, schema)
+
+
+class TestRuleSetToJSON:
+    def test_structure(self, fitted_model):
+        payload = json.loads(fitted_model.rules_.to_json())
+        assert payload["k"] == 2
+        assert payload["attributes"] == ["bread", "milk", "butter"]
+        assert 0 < payload["total_energy_fraction"] <= 1.0 + 1e-9
+        assert len(payload["rules"]) == 2
+        rr1 = payload["rules"][0]
+        assert rr1["name"] == "RR1"
+        assert set(rr1["loadings"]) == {"bread", "milk", "butter"}
+
+    def test_loadings_match_matrix(self, fitted_model):
+        payload = json.loads(fitted_model.rules_.to_json())
+        v = fitted_model.rules_matrix
+        for j, name in enumerate(["bread", "milk", "butter"]):
+            assert payload["rules"][0]["loadings"][name] == pytest.approx(v[j, 0])
+
+    def test_compact_mode(self, fitted_model):
+        text = fitted_model.rules_.to_json(indent=None)
+        assert "\n" not in text
+        json.loads(text)
+
+    def test_cli_json_flag(self, fitted_model, tmp_path, capsys):
+        model_path = tmp_path / "m.npz"
+        fitted_model.save(model_path)
+        assert main(["rules", str(model_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 2

@@ -1,0 +1,72 @@
+"""Tests for the SVG scatter exporter."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.visualize import Projection, scatter_svg
+
+
+@pytest.fixture
+def projection():
+    return Projection(
+        x=np.array([0.0, 1.0, 2.0, 10.0]),
+        y=np.array([0.0, 0.5, 1.0, 5.0]),
+        x_rule=0,
+        y_rule=1,
+        labels=("a", "b", "c", "outlier & co"),
+    )
+
+
+class TestScatterSVG:
+    def test_well_formed_xml(self, projection):
+        svg = scatter_svg(projection)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_circle_per_point(self, projection):
+        svg = scatter_svg(projection)
+        root = ET.fromstring(svg)
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == 4
+
+    def test_extreme_markers_and_labels(self, projection):
+        svg = scatter_svg(projection, mark_extremes=1)
+        root = ET.fromstring(svg)
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == 5  # 4 points + 1 marker ring
+        texts = [e.text for e in root.iter() if e.tag.endswith("text")]
+        assert "outlier & co" in texts  # escaped then parsed back
+
+    def test_axis_labels_present(self, projection):
+        svg = scatter_svg(projection)
+        assert "RR1" in svg and "RR2" in svg
+
+    def test_custom_title(self, projection):
+        svg = scatter_svg(projection, title="my plot")
+        assert "my plot" in svg
+
+    def test_points_inside_canvas(self, projection):
+        svg = scatter_svg(projection, width=400, height=300)
+        root = ET.fromstring(svg)
+        for circle in (e for e in root.iter() if e.tag.endswith("circle")):
+            cx, cy = float(circle.get("cx")), float(circle.get("cy"))
+            assert 0 <= cx <= 400
+            assert 0 <= cy <= 300
+
+    def test_degenerate_single_value(self):
+        projection = Projection(
+            x=np.array([2.0, 2.0]), y=np.array([3.0, 3.0]), x_rule=0, y_rule=1
+        )
+        svg = scatter_svg(projection)
+        ET.fromstring(svg)  # must stay well-formed
+
+    def test_too_small_canvas_rejected(self, projection):
+        with pytest.raises(ValueError, match="at least"):
+            scatter_svg(projection, width=50, height=50)
+
+    def test_file_round_trip(self, projection, tmp_path):
+        path = tmp_path / "plot.svg"
+        path.write_text(scatter_svg(projection, mark_extremes=2))
+        assert path.read_text().startswith("<svg")

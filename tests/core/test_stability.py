@@ -1,0 +1,78 @@
+"""Tests for bootstrap rule stability."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.stability import bootstrap_stability
+
+
+@pytest.fixture
+def strong_weak_data(rng):
+    """One overwhelming factor plus two equal (hence unstable) weak ones."""
+    n = 400
+    strong = rng.normal(0, 10.0, size=n)
+    weak_a = rng.normal(0, 1.0, size=n)
+    weak_b = rng.normal(0, 1.0, size=n)  # same strength as weak_a
+    basis = np.array(
+        [
+            [1.0, 1.0, 1.0, 1.0],
+            [1.0, -1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, -1.0],
+        ]
+    )
+    basis = basis / np.linalg.norm(basis, axis=1, keepdims=True)
+    return (
+        np.column_stack([strong, weak_a, weak_b]) @ basis
+        + rng.normal(0, 0.01, (n, 4))
+    )
+
+
+class TestBootstrapStability:
+    def test_strong_rule_stable(self, strong_weak_data):
+        model = RatioRuleModel(cutoff=3).fit(strong_weak_data)
+        report = bootstrap_stability(model, strong_weak_data, n_resamples=20, seed=0)
+        median, p90 = report.rule_stability(0)
+        assert median < 2.0
+        assert p90 < 5.0
+        assert 0 in report.stable_rules()
+
+    def test_degenerate_pair_less_stable_than_strong(self, strong_weak_data):
+        """Two equal eigenvalues: their individual eigenvectors rotate
+        freely under resampling, while RR1 stays pinned."""
+        model = RatioRuleModel(cutoff=3).fit(strong_weak_data)
+        report = bootstrap_stability(model, strong_weak_data, n_resamples=20, seed=0)
+        strong_median, _ = report.rule_stability(0)
+        weak_median, _ = report.rule_stability(1)
+        assert weak_median > strong_median
+
+    def test_subspace_stable_even_when_rules_rotate(self, strong_weak_data):
+        """The degenerate pair spans a stable 2-d subspace even though the
+        individual vectors within it spin."""
+        model = RatioRuleModel(cutoff=3).fit(strong_weak_data)
+        report = bootstrap_stability(model, strong_weak_data, n_resamples=20, seed=0)
+        assert float(np.median(report.subspace_angles_degrees)) < 10.0
+
+    def test_describe_structure(self, strong_weak_data):
+        model = RatioRuleModel(cutoff=2).fit(strong_weak_data)
+        report = bootstrap_stability(model, strong_weak_data, n_resamples=10)
+        text = report.describe()
+        assert "RR1" in text and "RR2" in text
+        assert "subspace" in text
+
+    def test_deterministic(self, strong_weak_data):
+        model = RatioRuleModel(cutoff=2).fit(strong_weak_data)
+        a = bootstrap_stability(model, strong_weak_data, n_resamples=8, seed=3)
+        b = bootstrap_stability(model, strong_weak_data, n_resamples=8, seed=3)
+        np.testing.assert_array_equal(
+            a.subspace_angles_degrees, b.subspace_angles_degrees
+        )
+
+    def test_validation(self, strong_weak_data):
+        model = RatioRuleModel(cutoff=2).fit(strong_weak_data)
+        with pytest.raises(ValueError, match="n_resamples"):
+            bootstrap_stability(model, strong_weak_data, n_resamples=1)
+        with pytest.raises(ValueError, match="fitted"):
+            bootstrap_stability(RatioRuleModel(), strong_weak_data)
+        with pytest.raises(ValueError, match="2-d"):
+            bootstrap_stability(model, strong_weak_data[0])

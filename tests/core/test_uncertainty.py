@@ -1,0 +1,113 @@
+"""Tests for calibrated prediction intervals."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.column_average import ColumnAverageBaseline
+from repro.core.model import RatioRuleModel
+from repro.core.uncertainty import calibrate
+
+
+@pytest.fixture
+def ratio_data(rng):
+    factor = rng.normal(10.0, 3.0, size=500)
+    return np.outer(factor, [1.0, 2.0, 0.5]) + rng.normal(0, 0.2, (500, 3))
+
+
+@pytest.fixture
+def calibrated(ratio_data):
+    train, holdout = ratio_data[:400], ratio_data[400:]
+    model = RatioRuleModel(cutoff=1).fit(train)
+    return calibrate(model, holdout, confidence=0.9), ratio_data
+
+
+class TestCalibrate:
+    def test_intervals_cover_about_right(self, calibrated, rng):
+        wrapper, data = calibrated
+        # Fresh rows from the same process.
+        factor = rng.normal(10.0, 3.0, size=300)
+        fresh = np.outer(factor, [1.0, 2.0, 0.5]) + rng.normal(0, 0.2, (300, 3))
+        hits = 0
+        total = 0
+        for row in fresh:
+            punched = row.copy()
+            punched[1] = np.nan
+            _filled, intervals = wrapper.fill_row_with_intervals(punched)
+            hits += int(intervals[0].covers(row[1]))
+            total += 1
+        coverage = hits / total
+        # Target 90%; allow sampling slack.
+        assert 0.8 <= coverage <= 1.0
+
+    def test_interval_structure(self, calibrated):
+        wrapper, _data = calibrated
+        row = np.array([10.0, np.nan, np.nan])
+        filled, intervals = wrapper.fill_row_with_intervals(row)
+        assert len(intervals) == 2
+        assert [iv.column for iv in intervals] == [1, 2]
+        for interval in intervals:
+            assert interval.lower <= interval.value <= interval.upper
+            assert filled[interval.column] == pytest.approx(interval.value)
+            assert interval.half_width == pytest.approx(
+                wrapper.half_width(interval.column)
+            )
+
+    def test_tighter_model_tighter_intervals(self, ratio_data):
+        """RR intervals must be much narrower than col-avgs intervals."""
+        train, holdout = ratio_data[:400], ratio_data[400:]
+        rr = calibrate(RatioRuleModel(cutoff=1).fit(train), holdout)
+        col = calibrate(ColumnAverageBaseline().fit(train), holdout)
+        assert rr.half_width(1) < 0.3 * col.half_width(1)
+
+    def test_higher_confidence_wider(self, ratio_data):
+        train, holdout = ratio_data[:400], ratio_data[400:]
+        model = RatioRuleModel(cutoff=1).fit(train)
+        narrow = calibrate(model, holdout, confidence=0.5)
+        wide = calibrate(model, holdout, confidence=0.99)
+        assert wide.half_width(0) >= narrow.half_width(0)
+
+    def test_forwarded_protocol(self, calibrated):
+        wrapper, data = calibrated
+        row = np.array([10.0, np.nan, 5.0])
+        np.testing.assert_array_equal(
+            wrapper.fill_row(row), wrapper._estimator.fill_row(row)
+        )
+        batch = wrapper.predict_holes(data[:3], [1])
+        assert batch.shape == (3, 1)
+
+    def test_works_with_slow_estimators(self, ratio_data):
+        """Estimators without predict_holes calibrate via fill_row."""
+
+        class Slow:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def fill_row(self, row):
+                return self._inner.fill_row(row)
+
+        train, holdout = ratio_data[:400], ratio_data[400:420]
+        model = RatioRuleModel(cutoff=1).fit(train)
+        fast = calibrate(model, holdout)
+        slow = calibrate(Slow(model), holdout)
+        for column in range(3):
+            assert slow.half_width(column) == pytest.approx(
+                fast.half_width(column), rel=1e-9
+            )
+
+    def test_uncalibrated_column_rejected(self, calibrated):
+        wrapper, _data = calibrated
+        with pytest.raises(KeyError, match="not calibrated"):
+            wrapper.half_width(99)
+
+    def test_validation(self, ratio_data):
+        model = RatioRuleModel(cutoff=1).fit(ratio_data)
+        with pytest.raises(ValueError, match="confidence"):
+            calibrate(model, ratio_data, confidence=1.5)
+        with pytest.raises(ValueError, match="at least 5"):
+            calibrate(model, ratio_data[:3])
+        with pytest.raises(ValueError, match="complete"):
+            damaged = ratio_data[:10].copy()
+            damaged[0, 0] = np.nan
+            calibrate(model, damaged)
+        with pytest.raises(ValueError, match="2-d"):
+            calibrate(model, ratio_data[0])

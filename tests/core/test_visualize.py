@@ -1,0 +1,109 @@
+"""Tests for RR-space projection and ASCII scatter plots."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.visualize import Projection, ascii_scatter, project
+
+
+@pytest.fixture
+def model_and_data(rng):
+    factor1 = rng.normal(0.0, 5.0, size=120)
+    factor2 = rng.normal(0.0, 2.0, size=120)
+    factor3 = rng.normal(0.0, 1.0, size=120)
+    basis = np.array(
+        [[1.0, 1.0, 1.0, 1.0], [1.0, -1.0, 1.0, -1.0], [1.0, 1.0, -1.0, -1.0]]
+    ) / 2.0
+    matrix = (
+        np.column_stack([factor1, factor2, factor3]) @ basis
+        + rng.normal(0, 0.01, (120, 4))
+        + 10.0
+    )
+    model = RatioRuleModel(cutoff=3).fit(matrix)
+    return model, matrix
+
+
+class TestProject:
+    def test_default_axes(self, model_and_data):
+        model, matrix = model_and_data
+        projection = project(model, matrix)
+        assert projection.x_rule == 0
+        assert projection.y_rule == 1
+        assert projection.x.shape == (120,)
+
+    def test_coordinates_match_transform(self, model_and_data):
+        model, matrix = model_and_data
+        projection = project(model, matrix, x_rule=1, y_rule=2)
+        coords = model.transform(matrix)
+        np.testing.assert_allclose(projection.x, coords[:, 1])
+        np.testing.assert_allclose(projection.y, coords[:, 2])
+
+    def test_labels_carried(self, model_and_data):
+        model, matrix = model_and_data
+        labels = [f"row{i}" for i in range(120)]
+        projection = project(model, matrix, labels=labels)
+        assert projection.labels[5] == "row5"
+
+    def test_label_count_mismatch(self, model_and_data):
+        model, matrix = model_and_data
+        with pytest.raises(ValueError, match="labels"):
+            project(model, matrix, labels=["just one"])
+
+    def test_same_axes_rejected(self, model_and_data):
+        model, matrix = model_and_data
+        with pytest.raises(ValueError, match="differ"):
+            project(model, matrix, x_rule=1, y_rule=1)
+
+    def test_axis_out_of_range(self, model_and_data):
+        model, matrix = model_and_data
+        with pytest.raises(ValueError, match="out of range"):
+            project(model, matrix, x_rule=0, y_rule=7)
+
+    def test_extremes_farthest_first(self, model_and_data):
+        model, matrix = model_and_data
+        projection = project(model, matrix)
+        extremes = projection.extremes(5)
+        assert len(extremes) == 5
+        cx, cy = projection.x.mean(), projection.y.mean()
+        distances = [np.hypot(x - cx, y - cy) for _i, x, y in extremes]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestAsciiScatter:
+    def _projection(self):
+        return Projection(
+            x=np.array([0.0, 1.0, 2.0, 3.0]),
+            y=np.array([0.0, 1.0, 0.5, 3.0]),
+            x_rule=0,
+            y_rule=1,
+            labels=("a", "b", "c", "d"),
+        )
+
+    def test_contains_points_and_frame(self):
+        text = ascii_scatter(self._projection(), width=20, height=10)
+        assert "*" in text
+        assert text.count("+") >= 4  # frame corners
+        assert "RR2" in text and "RR1" in text
+
+    def test_extremes_marked_with_labels(self):
+        text = ascii_scatter(self._projection(), width=20, height=10, mark_extremes=2)
+        assert "A = " in text
+        assert "B = " in text
+
+    def test_degenerate_single_point(self):
+        projection = Projection(
+            x=np.array([1.0, 1.0]), y=np.array([2.0, 2.0]), x_rule=0, y_rule=1
+        )
+        text = ascii_scatter(projection, width=15, height=6)
+        assert "#" in text  # coincident points collapse to one cell
+
+    def test_too_small_plot_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            ascii_scatter(self._projection(), width=5, height=2)
+
+    def test_dimensions_respected(self):
+        text = ascii_scatter(self._projection(), width=30, height=8)
+        body = [line for line in text.splitlines() if line.startswith("|")]
+        assert len(body) == 8
+        assert all(len(line) == 32 for line in body)

@@ -1,0 +1,92 @@
+"""Tests for what-if scenario evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.whatif import Scenario, evaluate_scenario
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def grocery_model(rng):
+    """Cheerios and milk move together 1:2; bread independent-ish."""
+    n = 400
+    cereal_factor = rng.normal(4.0, 1.5, size=n)
+    bread_factor = rng.normal(2.0, 0.7, size=n)
+    matrix = np.column_stack(
+        [
+            cereal_factor,                     # cheerios
+            2.0 * cereal_factor,               # milk
+            bread_factor,                      # bread
+        ]
+    )
+    matrix += rng.normal(0, 0.05, size=matrix.shape)
+    schema = TableSchema.from_names(["cheerios", "milk", "bread"], unit="$")
+    return RatioRuleModel(cutoff=2).fit(matrix, schema=schema)
+
+
+class TestScenario:
+    def test_requires_constraints(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Scenario()
+
+    def test_rejects_fixed_and_scaled_overlap(self):
+        with pytest.raises(ValueError, match="both fixed and scaled"):
+            Scenario(fixed={"milk": 1.0}, scaled={"milk": 2.0})
+
+
+class TestEvaluateScenario:
+    def test_fixed_value_propagates(self, grocery_model):
+        result = evaluate_scenario(grocery_model, Scenario(fixed={"cheerios": 6.0}))
+        assert result["cheerios"] == pytest.approx(6.0)
+        # Milk tracks cheerios at 2x.
+        assert result["milk"] == pytest.approx(12.0, rel=0.1)
+        assert result.specified == frozenset({"cheerios"})
+
+    def test_paper_example_doubling_demand(self, grocery_model):
+        """'Demand for Cheerios doubles' -> milk doubles too."""
+        means = dict(zip(grocery_model.schema_.names, grocery_model.means_))
+        result = evaluate_scenario(
+            grocery_model, Scenario(scaled={"cheerios": 2.0}), baseline=means
+        )
+        assert result["cheerios"] == pytest.approx(2.0 * means["cheerios"], rel=1e-9)
+        assert result["milk"] == pytest.approx(2.0 * means["milk"], rel=0.15)
+
+    def test_default_baseline_is_means(self, grocery_model):
+        explicit = evaluate_scenario(
+            grocery_model,
+            Scenario(scaled={"cheerios": 1.5}),
+            baseline=dict(zip(grocery_model.schema_.names, grocery_model.means_)),
+        )
+        implicit = evaluate_scenario(grocery_model, Scenario(scaled={"cheerios": 1.5}))
+        assert implicit.values == explicit.values
+
+    def test_unknown_attribute_rejected(self, grocery_model):
+        with pytest.raises(KeyError):
+            evaluate_scenario(grocery_model, Scenario(fixed={"caviar": 9.0}))
+
+    def test_scaled_missing_baseline_attribute(self, grocery_model):
+        with pytest.raises(KeyError, match="baseline"):
+            evaluate_scenario(
+                grocery_model,
+                Scenario(scaled={"cheerios": 2.0}),
+                baseline={"milk": 1.0},
+            )
+
+    def test_delta_versus(self, grocery_model):
+        baseline = dict(zip(grocery_model.schema_.names, grocery_model.means_))
+        result = evaluate_scenario(
+            grocery_model, Scenario(scaled={"cheerios": 2.0}), baseline=baseline
+        )
+        deltas = result.delta_versus(baseline)
+        assert deltas["cheerios"] == pytest.approx(baseline["cheerios"], rel=1e-9)
+        assert deltas["milk"] > 0
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            evaluate_scenario(RatioRuleModel(), Scenario(fixed={"x": 1.0}))
+
+    def test_result_case_recorded(self, grocery_model):
+        result = evaluate_scenario(grocery_model, Scenario(fixed={"cheerios": 3.0}))
+        assert result.case in ("exactly-specified", "over-specified", "under-specified")

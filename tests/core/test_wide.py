@@ -1,0 +1,81 @@
+"""Tests for the wide-matrix (implicit covariance) mining path."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.wide import implicit_covariance_operator, mine_wide
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def wide_matrix(rng):
+    """200 rows x 80 columns, rank ~3 plus noise."""
+    scores = rng.standard_normal((200, 3)) * np.array([10.0, 4.0, 2.0])
+    loadings = rng.standard_normal((3, 80))
+    return scores @ loadings + rng.normal(0, 0.05, (200, 80)) + 5.0
+
+
+class TestImplicitOperator:
+    def test_matches_explicit_covariance(self, wide_matrix, rng):
+        matvec, means, total_variance = implicit_covariance_operator(wide_matrix)
+        centered = wide_matrix - wide_matrix.mean(axis=0)
+        explicit = centered.T @ centered
+        for _ in range(3):
+            vector = rng.standard_normal(80)
+            np.testing.assert_allclose(matvec(vector), explicit @ vector, atol=1e-7)
+        np.testing.assert_allclose(total_variance, np.trace(explicit), rtol=1e-10)
+        np.testing.assert_allclose(means, wide_matrix.mean(axis=0))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="2-d"):
+            implicit_covariance_operator(np.ones(4))
+        with pytest.raises(ValueError, match="no rows"):
+            implicit_covariance_operator(np.empty((0, 3)))
+
+
+class TestMineWide:
+    def test_matches_dense_path(self, wide_matrix):
+        wide = mine_wide(wide_matrix, 3)
+        dense = RatioRuleModel(cutoff=3).fit(wide_matrix)
+        np.testing.assert_allclose(
+            wide.eigenvalues_, dense.eigenvalues_, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            wide.rules_matrix, dense.rules_matrix, atol=1e-4
+        )
+
+    def test_model_functional(self, wide_matrix):
+        model = mine_wide(wide_matrix, 3)
+        row = wide_matrix[0].copy()
+        truth = row[10]
+        row[10] = np.nan
+        filled = model.fill_row(row)
+        assert filled[10] == pytest.approx(truth, abs=0.5)
+        coords = model.transform(wide_matrix[:5])
+        assert coords.shape == (5, 3)
+
+    def test_energy_fractions_sensible(self, wide_matrix):
+        model = mine_wide(wide_matrix, 3)
+        total = model.rules_.total_energy_fraction()
+        assert 0.9 < total <= 1.0 + 1e-9  # rank-3 data
+
+    def test_schema_respected(self, wide_matrix):
+        schema = TableSchema.from_names([f"f{i}" for i in range(80)])
+        model = mine_wide(wide_matrix, 2, schema=schema)
+        assert model.schema_.names[0] == "f0"
+
+    def test_validation(self, wide_matrix):
+        with pytest.raises(ValueError, match="k must be"):
+            mine_wide(wide_matrix, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            mine_wide(wide_matrix, 81)
+        with pytest.raises(ValueError, match="schema width"):
+            mine_wide(wide_matrix, 2, schema=TableSchema.from_names(["a"]))
+        with pytest.raises(ValueError, match="2-d"):
+            mine_wide(np.ones(5), 1)
+
+    def test_deterministic(self, wide_matrix):
+        first = mine_wide(wide_matrix, 2, seed=3)
+        second = mine_wide(wide_matrix, 2, seed=3)
+        np.testing.assert_array_equal(first.rules_matrix, second.rules_matrix)

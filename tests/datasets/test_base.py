@@ -1,0 +1,85 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def dataset(rng):
+    matrix = rng.standard_normal((50, 3))
+    schema = TableSchema.from_names(["a", "b", "c"])
+    labels = tuple(f"row{i}" for i in range(50))
+    return Dataset(name="toy", matrix=matrix, schema=schema, row_labels=labels)
+
+
+class TestDataset:
+    def test_shape_properties(self, dataset):
+        assert dataset.n_rows == 50
+        assert dataset.n_cols == 3
+        assert dataset.shape == (50, 3)
+
+    def test_schema_width_validated(self, rng):
+        with pytest.raises(ValueError, match="width"):
+            Dataset(
+                name="bad",
+                matrix=rng.standard_normal((5, 3)),
+                schema=TableSchema.from_names(["a", "b"]),
+            )
+
+    def test_label_count_validated(self, rng):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(
+                name="bad",
+                matrix=rng.standard_normal((5, 2)),
+                schema=TableSchema.from_names(["a", "b"]),
+                row_labels=("only-one",),
+            )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            Dataset(name="bad", matrix=np.ones(3), schema=TableSchema.generic(3))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, dataset):
+        train, test = dataset.train_test_split(0.1, seed=0)
+        assert test.n_rows == 5
+        assert train.n_rows == 45
+
+    def test_partition_is_complete_and_disjoint(self, dataset):
+        train, test = dataset.train_test_split(0.2, seed=3)
+        combined = sorted(
+            map(tuple, np.vstack([train.matrix, test.matrix]).tolist())
+        )
+        original = sorted(map(tuple, dataset.matrix.tolist()))
+        assert combined == original
+
+    def test_labels_follow_rows(self, dataset):
+        train, _test = dataset.train_test_split(0.1, seed=1)
+        for label, row in zip(train.row_labels, train.matrix):
+            index = int(label[3:])
+            np.testing.assert_array_equal(row, dataset.matrix[index])
+
+    def test_deterministic(self, dataset):
+        first = dataset.train_test_split(0.1, seed=5)
+        second = dataset.train_test_split(0.1, seed=5)
+        np.testing.assert_array_equal(first[0].matrix, second[0].matrix)
+
+    def test_different_seeds_differ(self, dataset):
+        first, _ = dataset.train_test_split(0.5, seed=1)
+        second, _ = dataset.train_test_split(0.5, seed=2)
+        assert not np.array_equal(first.matrix, second.matrix)
+
+    def test_both_halves_nonempty_even_extreme(self, dataset):
+        train, test = dataset.train_test_split(0.999, seed=0)
+        assert train.n_rows >= 1
+        assert test.n_rows >= 1
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.train_test_split(0.0)
+        with pytest.raises(ValueError):
+            dataset.train_test_split(1.0)

@@ -1,0 +1,125 @@
+"""Tests for the three simulated paper datasets.
+
+Beyond shape checks, these tests pin down the *spectral stories* each
+dataset must tell for the paper's experiments to be meaningful (see
+DESIGN.md's substitution table).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.datasets import load_dataset
+from repro.datasets.abalone import generate_abalone
+from repro.datasets.baseball import generate_baseball
+from repro.datasets.nba import NBA_OUTLIER_LABELS, generate_nba
+
+
+class TestNBA:
+    def test_paper_shape(self):
+        dataset = generate_nba()
+        assert dataset.shape == (459, 12)
+
+    def test_fields_match_table2(self):
+        dataset = generate_nba()
+        assert "minutes played" in dataset.schema.names
+        assert "total rebounds" in dataset.schema.names
+        assert len(dataset.schema.names) == 12
+
+    def test_non_negative_integers(self):
+        matrix = generate_nba().matrix
+        assert matrix.min() >= 0
+        np.testing.assert_array_equal(matrix, np.round(matrix))
+
+    def test_outliers_present_and_labelled(self):
+        dataset = generate_nba()
+        for label in NBA_OUTLIER_LABELS:
+            assert label in dataset.row_labels
+
+    def test_without_outliers(self):
+        dataset = generate_nba(with_outliers=False)
+        assert dataset.shape == (459, 12)
+        for label in NBA_OUTLIER_LABELS:
+            assert label not in dataset.row_labels
+
+    def test_first_rule_is_court_action(self):
+        """RR1 must be the all-positive volume factor of Table 2."""
+        dataset = generate_nba()
+        model = RatioRuleModel(cutoff=3).fit(dataset.matrix, schema=dataset.schema)
+        rr1 = model.rules_[0]
+        dominant = rr1.dominant_attributes()
+        assert all(value > 0 for _name, value in dominant)
+        assert dominant[0][0] == "minutes played"
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            generate_nba(seed=3).matrix, generate_nba(seed=3).matrix
+        )
+
+    def test_n_rows_must_exceed_outliers(self):
+        with pytest.raises(ValueError, match="exceed"):
+            generate_nba(n_rows=4)
+
+
+class TestBaseball:
+    def test_paper_shape(self):
+        assert generate_baseball().shape == (1574, 17)
+
+    def test_non_negative(self):
+        assert generate_baseball().matrix.min() >= 0
+
+    def test_batting_average_plausible(self):
+        dataset = generate_baseball()
+        ba = dataset.matrix[:, dataset.schema.index_of("batting average")]
+        assert 0.0 <= ba.min()
+        assert ba.max() < 0.6
+
+    def test_playing_time_dominates_spectrum(self):
+        dataset = generate_baseball()
+        model = RatioRuleModel().fit(dataset.matrix, schema=dataset.schema)
+        assert model.rules_[0].energy_fraction > 0.7
+
+
+class TestAbalone:
+    def test_paper_shape(self):
+        assert generate_abalone().shape == (4177, 7)
+
+    def test_strictly_positive(self):
+        assert generate_abalone().matrix.min() > 0
+
+    def test_near_rank_one(self):
+        """Allometric growth: one size factor soaks up the variance.
+
+        This is what makes RR beat col-avgs by the largest margin here.
+        """
+        dataset = generate_abalone()
+        model = RatioRuleModel().fit(dataset.matrix, schema=dataset.schema)
+        assert model.rules_[0].energy_fraction > 0.9
+
+    def test_weights_scale_cubically(self):
+        """Bigger specimens are disproportionately heavier."""
+        dataset = generate_abalone(n_rows=2000)
+        length = dataset.matrix[:, dataset.schema.index_of("length")]
+        whole = dataset.matrix[:, dataset.schema.index_of("whole weight")]
+        # Fit the allometric exponent in log space; expect ~3.
+        slope = np.polyfit(np.log(length), np.log(whole), 1)[0]
+        assert 2.7 < slope < 3.3
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize(
+        "name,shape",
+        [("nba", (459, 12)), ("baseball", (1574, 17)), ("abalone", (4177, 7))],
+    )
+    def test_registry_shapes(self, name, shape):
+        assert load_dataset(name).shape == shape
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("stocks")
+
+    def test_seed_forwarded(self):
+        assert not np.array_equal(
+            load_dataset("abalone", seed=1).matrix,
+            load_dataset("abalone", seed=2).matrix,
+        )

@@ -1,0 +1,77 @@
+"""Tests for the Quest-style market-basket generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.quest import QuestBasketGenerator
+from repro.io.rowstore import RowStore
+
+
+class TestQuestGenerator:
+    def test_shape_and_nonnegativity(self):
+        generator = QuestBasketGenerator(n_items=50, seed=0)
+        matrix = generator.generate(500, seed=1)
+        assert matrix.shape == (500, 50)
+        assert matrix.min() >= 0
+
+    def test_basket_sparsity(self):
+        """Most item cells in a transaction are zero (baskets are small)."""
+        generator = QuestBasketGenerator(n_items=100, seed=0)
+        matrix = generator.generate(300, seed=1)
+        fill = np.count_nonzero(matrix) / matrix.size
+        assert fill < 0.5
+
+    def test_every_transaction_buys_something(self):
+        generator = QuestBasketGenerator(n_items=40, seed=0)
+        matrix = generator.generate(200, seed=1)
+        assert np.all(matrix.sum(axis=1) > 0)
+
+    def test_amounts_are_cents(self):
+        generator = QuestBasketGenerator(n_items=30, seed=0)
+        matrix = generator.generate(100, seed=1)
+        np.testing.assert_allclose(matrix, np.round(matrix, 2))
+
+    def test_deterministic(self):
+        generator_a = QuestBasketGenerator(n_items=30, seed=5)
+        generator_b = QuestBasketGenerator(n_items=30, seed=5)
+        np.testing.assert_array_equal(
+            generator_a.generate(50, seed=2), generator_b.generate(50, seed=2)
+        )
+
+    def test_pattern_correlation_exists(self):
+        """Items sharing a pattern must co-occur -> correlated columns."""
+        generator = QuestBasketGenerator(n_items=60, n_patterns=10, seed=0)
+        matrix = generator.generate(2000, seed=1)
+        correlation = np.corrcoef(matrix, rowvar=False)
+        np.fill_diagonal(correlation, 0.0)
+        assert np.nanmax(correlation) > 0.5
+
+    def test_iter_blocks_sizes(self):
+        generator = QuestBasketGenerator(n_items=20, seed=0)
+        blocks = list(generator.iter_blocks(250, block_rows=100, seed=1))
+        assert [b.shape[0] for b in blocks] == [100, 100, 50]
+
+    def test_write_rowstore(self, tmp_path):
+        generator = QuestBasketGenerator(n_items=25, seed=0)
+        path = tmp_path / "quest.rr"
+        generator.write_rowstore(path, 321, block_rows=100, seed=1)
+        matrix, schema = RowStore.read_all(path)
+        assert matrix.shape == (321, 25)
+        assert schema.names[0] == "item00"
+
+    def test_schema_names_padded(self):
+        generator = QuestBasketGenerator(n_items=100, seed=0)
+        names = generator.schema.names
+        assert names[0] == "item00"
+        assert names[99] == "item99"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_items"):
+            QuestBasketGenerator(n_items=1)
+        with pytest.raises(ValueError, match="n_patterns"):
+            QuestBasketGenerator(n_patterns=0)
+        with pytest.raises(ValueError, match="popularity_decay"):
+            QuestBasketGenerator(popularity_decay=1.5)
+        generator = QuestBasketGenerator(seed=0)
+        with pytest.raises(ValueError, match="n_transactions"):
+            generator.generate(0)

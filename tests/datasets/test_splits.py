@@ -1,0 +1,41 @@
+"""Tests for the matrix-level train/test split."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import train_test_split
+
+
+class TestTrainTestSplit:
+    def test_90_10_protocol(self, rng):
+        matrix = rng.standard_normal((100, 4))
+        train, test = train_test_split(matrix, 0.1, seed=0)
+        assert train.shape == (90, 4)
+        assert test.shape == (10, 4)
+
+    def test_partition_complete(self, rng):
+        matrix = rng.standard_normal((37, 3))
+        train, test = train_test_split(matrix, 0.25, seed=2)
+        combined = sorted(map(tuple, np.vstack([train, test]).tolist()))
+        assert combined == sorted(map(tuple, matrix.tolist()))
+
+    def test_deterministic(self, rng):
+        matrix = rng.standard_normal((20, 2))
+        a = train_test_split(matrix, 0.2, seed=7)
+        b = train_test_split(matrix, 0.2, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_both_sides_nonempty(self, rng):
+        matrix = rng.standard_normal((3, 2))
+        train, test = train_test_split(matrix, 0.01, seed=0)
+        assert train.shape[0] >= 1
+        assert test.shape[0] >= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="2-d"):
+            train_test_split(np.ones(5))
+        with pytest.raises(ValueError, match="at least 2"):
+            train_test_split(np.ones((1, 3)))
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_split(np.ones((5, 2)), 0.0)

@@ -1,0 +1,85 @@
+"""Tests for the drifting transaction stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare import compare_models
+from repro.core.model import RatioRuleModel
+from repro.core.online import OnlineRatioRuleModel
+from repro.datasets.streams import StreamPhase, TransactionStream
+
+
+@pytest.fixture
+def two_phase_stream():
+    return TransactionStream(
+        [
+            StreamPhase(loadings=(1.0, 2.0, 0.5), n_blocks=3, name="before"),
+            StreamPhase(loadings=(1.0, 0.8, 2.0), n_blocks=3, name="after"),
+        ],
+        block_rows=500,
+        seed=0,
+    )
+
+
+class TestTransactionStream:
+    def test_block_schedule(self, two_phase_stream):
+        pairs = list(two_phase_stream.blocks())
+        assert len(pairs) == 6
+        assert [phase.name for phase, _b in pairs] == ["before"] * 3 + ["after"] * 3
+        assert all(block.shape == (500, 3) for _p, block in pairs)
+
+    def test_deterministic_replay(self, two_phase_stream):
+        first = two_phase_stream.materialize()
+        second = two_phase_stream.materialize()
+        np.testing.assert_array_equal(first, second)
+
+    def test_non_negative(self, two_phase_stream):
+        assert two_phase_stream.materialize().min() >= 0.0
+
+    def test_phase_ratios_realized(self, two_phase_stream):
+        """A model per phase recovers each phase's spending ratio."""
+        pairs = list(two_phase_stream.blocks())
+        before = np.vstack([b for p, b in pairs if p.name == "before"])
+        after = np.vstack([b for p, b in pairs if p.name == "after"])
+        model_before = RatioRuleModel(cutoff=1).fit(before)
+        model_after = RatioRuleModel(cutoff=1).fit(after)
+        rule_before = model_before.rules_[0].loadings
+        rule_after = model_after.rules_[0].loadings
+        assert rule_before[1] / rule_before[0] == pytest.approx(2.0, rel=0.1)
+        assert rule_after[2] / rule_after[0] == pytest.approx(2.0, rel=0.1)
+        assert compare_models(model_before, model_after).is_drifted()
+
+    def test_online_model_tracks_drift(self, two_phase_stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        snapshots = []
+        for _phase, block in two_phase_stream.blocks():
+            online.update(block)
+            snapshots.append(online.model().rules_[0].loadings.copy())
+        # After the first phase only, milk-ish column dominates...
+        assert snapshots[2][1] > snapshots[2][2]
+        # ...the final mixture reflects the post-drift data too.
+        assert snapshots[-1][2] > snapshots[2][2]
+
+    def test_schema_helpers(self, two_phase_stream):
+        assert two_phase_stream.schema().names == ["product0", "product1", "product2"]
+        named = two_phase_stream.schema(["a", "b", "c"])
+        assert named.names == ["a", "b", "c"]
+        with pytest.raises(ValueError, match="names"):
+            two_phase_stream.schema(["only", "two"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            TransactionStream([])
+        with pytest.raises(ValueError, match="disagree"):
+            TransactionStream(
+                [
+                    StreamPhase(loadings=(1.0, 2.0), n_blocks=1),
+                    StreamPhase(loadings=(1.0,), n_blocks=1),
+                ]
+            )
+        with pytest.raises(ValueError, match="n_blocks"):
+            StreamPhase(loadings=(1.0,), n_blocks=0)
+        with pytest.raises(ValueError, match="block_rows"):
+            TransactionStream(
+                [StreamPhase(loadings=(1.0,), n_blocks=1)], block_rows=0
+            )

@@ -1,0 +1,144 @@
+"""Tests for the latent-factor generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    Archetype,
+    Factor,
+    LatentFactorSpec,
+    generate_latent_factor,
+)
+from repro.io.schema import TableSchema
+
+
+def simple_spec(n_rows=100, clip_min=None, round_digits=None):
+    schema = TableSchema.from_names(["x", "y", "z"])
+    return LatentFactorSpec(
+        name="toy",
+        n_rows=n_rows,
+        schema=schema,
+        factors=(
+            Factor(loadings=np.array([1.0, 2.0, 3.0]), name="volume"),
+            Factor(loadings=np.array([1.0, -1.0, 0.0]), name="contrast"),
+        ),
+        archetypes=(
+            Archetype(weight=0.7, score_means=(2.0, 0.0), score_stds=(0.5, 1.0), name="big"),
+            Archetype(weight=0.3, score_means=(0.5, 0.0), score_stds=(0.2, 0.5), name="small"),
+        ),
+        base_row=np.array([10.0, 20.0, 30.0]),
+        noise_stds=np.array([0.1, 0.1, 0.1]),
+        clip_min=clip_min,
+        round_digits=round_digits,
+    )
+
+
+class TestSpecValidation:
+    def test_happy_path(self):
+        simple_spec()  # must not raise
+
+    def test_base_row_shape(self):
+        with pytest.raises(ValueError, match="base_row"):
+            LatentFactorSpec(
+                name="bad",
+                n_rows=10,
+                schema=TableSchema.from_names(["x", "y"]),
+                factors=(Factor(loadings=np.array([1.0, 2.0])),),
+                archetypes=(Archetype(weight=1.0, score_means=(0.0,), score_stds=(1.0,)),),
+                base_row=np.zeros(3),
+                noise_stds=np.zeros(2),
+            )
+
+    def test_factor_width_mismatch(self):
+        with pytest.raises(ValueError, match="loadings must have shape"):
+            LatentFactorSpec(
+                name="bad",
+                n_rows=10,
+                schema=TableSchema.from_names(["x", "y"]),
+                factors=(Factor(loadings=np.array([1.0, 2.0, 3.0])),),
+                archetypes=(Archetype(weight=1.0, score_means=(0.0,), score_stds=(1.0,)),),
+                base_row=np.zeros(2),
+                noise_stds=np.zeros(2),
+            )
+
+    def test_archetype_score_count_mismatch(self):
+        with pytest.raises(ValueError, match="score all"):
+            LatentFactorSpec(
+                name="bad",
+                n_rows=10,
+                schema=TableSchema.from_names(["x"]),
+                factors=(Factor(loadings=np.array([1.0])),),
+                archetypes=(
+                    Archetype(weight=1.0, score_means=(0.0, 0.0), score_stds=(1.0, 1.0)),
+                ),
+                base_row=np.zeros(1),
+                noise_stds=np.zeros(1),
+            )
+
+    def test_archetype_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            Archetype(weight=0.0, score_means=(0.0,), score_stds=(1.0,))
+        with pytest.raises(ValueError, match="equal length"):
+            Archetype(weight=1.0, score_means=(0.0, 1.0), score_stds=(1.0,))
+        with pytest.raises(ValueError, match=">= 0"):
+            Archetype(weight=1.0, score_means=(0.0,), score_stds=(-1.0,))
+
+
+class TestGeneration:
+    def test_shape_and_labels(self):
+        dataset = generate_latent_factor(simple_spec(), seed=0)
+        assert dataset.shape == (100, 3)
+        assert len(dataset.row_labels) == 100
+        assert dataset.row_labels[0] == "toy-row-0"
+
+    def test_deterministic(self):
+        first = generate_latent_factor(simple_spec(), seed=4)
+        second = generate_latent_factor(simple_spec(), seed=4)
+        np.testing.assert_array_equal(first.matrix, second.matrix)
+
+    def test_seeds_differ(self):
+        first = generate_latent_factor(simple_spec(), seed=1)
+        second = generate_latent_factor(simple_spec(), seed=2)
+        assert not np.array_equal(first.matrix, second.matrix)
+
+    def test_factor_structure_recovered(self):
+        """The spectral check: generated data has the designed rank."""
+        dataset = generate_latent_factor(simple_spec(n_rows=2000), seed=0)
+        centered = dataset.matrix - dataset.matrix.mean(axis=0)
+        singular = np.linalg.svd(centered, compute_uv=False)
+        energy = singular**2 / (singular**2).sum()
+        # Two real factors + tiny noise: the first two dominate.
+        assert energy[:2].sum() > 0.99
+
+    def test_clipping(self):
+        spec = simple_spec(clip_min=25.0)
+        dataset = generate_latent_factor(spec, seed=0)
+        assert dataset.matrix.min() >= 25.0
+
+    def test_rounding(self):
+        spec = simple_spec(round_digits=0)
+        dataset = generate_latent_factor(spec, seed=0)
+        np.testing.assert_array_equal(dataset.matrix, np.round(dataset.matrix))
+
+    def test_extra_rows_appended(self):
+        extra = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        dataset = generate_latent_factor(
+            simple_spec(n_rows=10), seed=0, extra_rows=extra, extra_labels=["p", "q"]
+        )
+        assert dataset.shape == (12, 3)
+        np.testing.assert_array_equal(dataset.matrix[-2:], extra)
+        assert dataset.row_labels[-2:] == ("p", "q")
+
+    def test_extra_rows_width_validated(self):
+        with pytest.raises(ValueError, match="width"):
+            generate_latent_factor(
+                simple_spec(n_rows=10), extra_rows=np.ones((1, 5))
+            )
+
+    def test_extra_labels_count_validated(self):
+        with pytest.raises(ValueError, match="extra_labels"):
+            generate_latent_factor(
+                simple_spec(n_rows=10),
+                extra_rows=np.ones((2, 3)),
+                extra_labels=["only-one"],
+            )

@@ -1,0 +1,65 @@
+"""End-to-end runs of the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ext_categorical,
+    ext_incomplete,
+    ext_stability,
+    ext_wide,
+)
+from repro.experiments.harness import list_experiments
+
+
+class TestExtIncomplete:
+    def test_claims_uphold(self):
+        result = ext_incomplete.run(fractions=(0.0, 0.2, 0.3), seed=0)
+        assert result.all_claims_upheld(), result.render()
+
+    def test_zero_fraction_is_reference(self):
+        result = ext_incomplete.run(fractions=(0.0,), seed=0)
+        # vs-complete ratio of the 0% row is exactly 1.
+        assert result.rows[0][-1] == pytest.approx(1.0)
+
+    def test_registered(self):
+        assert "ext-incomplete" in list_experiments()
+
+
+class TestExtWide:
+    def test_paths_agree_at_modest_width(self):
+        result = ext_wide.run(widths=(150, 400), n_rows=300, seed=0)
+        assert result.claims["all three paths mine the same top-k eigenvalues"]
+
+    def test_generator_sparsity(self):
+        matrix = ext_wide.make_wide_baskets(200, 100, seed=0)
+        fill = (matrix != 0).mean()
+        assert 0.1 < fill < 0.3
+
+    def test_registered(self):
+        assert "ext-wide" in list_experiments()
+
+
+class TestExtStability:
+    def test_claims_uphold(self):
+        result = ext_stability.run(seed=0, n_resamples=12)
+        assert result.all_claims_upheld(), result.render()
+
+    def test_registered(self):
+        assert "ext-stability" in list_experiments()
+
+
+class TestExtCategorical:
+    def test_claims_uphold(self):
+        result = ext_categorical.run(seed=0, n_players=450, n_eval=150)
+        assert result.all_claims_upheld(), result.render()
+
+    def test_three_method_rows(self):
+        result = ext_categorical.run(seed=1, n_players=450, n_eval=150)
+        assert [row[0] for row in result.rows] == [
+            "majority-class baseline",
+            "argmax decode",
+            "residual decode",
+        ]
+
+    def test_registered(self):
+        assert "ext-categorical" in list_experiments()

@@ -1,0 +1,71 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    format_table,
+    get_experiment,
+    list_experiments,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["longer", 22.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # Columns align: every row has the same separator positions.
+        assert len(set(len(line.rstrip()) >= 0 for line in lines)) == 1
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.000123], [1234567.0], [3.14159], [0.0]])
+        assert "0.000123" in table
+        assert "3.142" in table
+        assert "0" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table
+
+
+class TestExperimentResult:
+    def _result(self, claims):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="test",
+            headers=["a"],
+            rows=[[1]],
+            claims=claims,
+            notes="note text",
+        )
+
+    def test_render_contains_everything(self):
+        text = self._result({"the claim": True}).render()
+        assert "figX" in text
+        assert "[PASS] the claim" in text
+        assert "note text" in text
+
+    def test_render_failed_claim(self):
+        text = self._result({"bad claim": False}).render()
+        assert "[FAIL] bad claim" in text
+
+    def test_all_claims_upheld(self):
+        assert self._result({"a": True, "b": True}).all_claims_upheld()
+        assert not self._result({"a": True, "b": False}).all_claims_upheld()
+        assert self._result({}).all_claims_upheld()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        experiments = list_experiments()
+        for expected in ("fig6", "fig7", "fig8", "fig9+fig11", "fig12", "table2"):
+            assert expected in experiments
+
+    def test_get_experiment_returns_callable(self):
+        assert callable(get_experiment("fig7"))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("fig99")

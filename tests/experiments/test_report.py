@@ -1,0 +1,74 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import generate_report, render_markdown
+
+
+def make_result(experiment_id="figX", claims=None):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="a test experiment",
+        headers=["name", "value"],
+        rows=[["alpha", 1.2345], ["beta", 1e-9]],
+        claims=claims if claims is not None else {"the shape holds": True},
+        notes="some notes",
+    )
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown([make_result()])
+        assert text.startswith("# Reproduction report")
+        assert "## ✅ figX — a test experiment" in text
+        assert "| name | value |" in text
+        assert "- ✅ the shape holds" in text
+        assert "> some notes" in text
+
+    def test_failed_claims_marked(self):
+        text = render_markdown([make_result(claims={"broken": False})])
+        assert "## ❌ figX" in text
+        assert "- ❌ broken" in text
+        assert "1/1 shape claims" not in text
+        assert "0/1 shape claims upheld" in text
+
+    def test_claim_tally(self):
+        results = [
+            make_result("a", {"x": True, "y": True}),
+            make_result("b", {"z": False}),
+        ]
+        text = render_markdown(results)
+        assert "2 experiments; 2/3 shape claims upheld." in text
+
+    def test_small_floats_formatted(self):
+        text = render_markdown([make_result()])
+        assert "1e-09" in text or "1e-9" in text
+
+
+class TestGenerateReport:
+    def test_runs_selected_experiments(self):
+        text = generate_report(["fig12", "table2"], seed=0)
+        assert "fig12" in text
+        assert "table2" in text
+        assert "✅" in text
+
+    def test_kwargs_override(self):
+        text = generate_report(
+            ["fig7"],
+            run_kwargs={"fig7": {"datasets": ("abalone",)}},
+        )
+        assert "abalone" in text
+        assert "nba |" not in text
+
+
+class TestCLIMarkdownFlag:
+    def test_markdown_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["experiment", "fig12", "--markdown", str(out)]) == 0
+        assert out.exists()
+        content = out.read_text()
+        assert content.startswith("# Reproduction report")
+        assert "fig12" in content

@@ -1,0 +1,73 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.io.csv_format import CSVFormatError, load_csv_matrix, save_csv_matrix
+from repro.io.schema import TableSchema
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, rng):
+        matrix = rng.standard_normal((11, 4))
+        schema = TableSchema.from_names(["w", "x", "y", "z"])
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix, schema)
+        restored, restored_schema = load_csv_matrix(path)
+        np.testing.assert_array_equal(restored, matrix)  # repr() is exact
+        assert restored_schema.names == schema.names
+
+    def test_default_schema(self, tmp_path):
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, np.ones((2, 2)))
+        _matrix, schema = load_csv_matrix(path)
+        assert schema.names == ["col0", "col1"]
+
+    def test_empty_body(self, tmp_path):
+        path = tmp_path / "header_only.csv"
+        path.write_text("a,b\n")
+        matrix, schema = load_csv_matrix(path)
+        assert matrix.shape == (0, 2)
+        assert schema.names == ["a", "b"]
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n\n\n")
+        matrix, _schema = load_csv_matrix(path)
+        assert matrix.shape == (1, 2)
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(CSVFormatError, match="empty file"):
+            load_csv_matrix(path)
+
+    def test_blank_header_cell(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,,c\n1,2,3\n")
+        with pytest.raises(CSVFormatError, match="blank column name"):
+            load_csv_matrix(path)
+
+    def test_ragged_row_reports_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n1,2,3\n")
+        with pytest.raises(CSVFormatError, match=":3:"):
+            load_csv_matrix(path)
+
+    def test_non_numeric_cell_reports_line(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("a,b\n1,hello\n")
+        with pytest.raises(CSVFormatError, match=":2:"):
+            load_csv_matrix(path)
+
+    def test_save_schema_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="width"):
+            save_csv_matrix(
+                tmp_path / "x.csv", np.ones((2, 3)), TableSchema.from_names(["a"])
+            )
+
+    def test_save_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError, match="2-d"):
+            save_csv_matrix(tmp_path / "x.csv", np.ones(3))

@@ -1,0 +1,67 @@
+"""Tests for transparent gzip handling in the CSV layer."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.io.csv_format import load_csv_matrix, open_text, save_csv_matrix
+from repro.io.matrix_reader import CSVReader, open_matrix
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.standard_normal((30, 3))
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_names(["a", "b", "c"])
+
+
+class TestGzipCSV:
+    def test_round_trip_gz(self, tmp_path, matrix, schema):
+        path = tmp_path / "data.csv.gz"
+        save_csv_matrix(path, matrix, schema)
+        # The file really is gzip-compressed.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        restored, restored_schema = load_csv_matrix(path)
+        np.testing.assert_array_equal(restored, matrix)
+        assert restored_schema.names == schema.names
+
+    def test_streaming_reader_gz(self, tmp_path, matrix, schema):
+        path = tmp_path / "data.csv.gz"
+        save_csv_matrix(path, matrix, schema)
+        reader = CSVReader(path)
+        blocks = list(reader.iter_blocks(block_rows=7))
+        np.testing.assert_array_equal(np.vstack(blocks), matrix)
+        assert reader.passes_completed == 1
+
+    def test_open_matrix_dispatches_gz_to_csv(self, tmp_path, matrix, schema):
+        path = tmp_path / "data.csv.gz"
+        save_csv_matrix(path, matrix, schema)
+        assert isinstance(open_matrix(path), CSVReader)
+
+    def test_plain_csv_unchanged(self, tmp_path, matrix, schema):
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix, schema)
+        assert path.read_bytes()[:2] != b"\x1f\x8b"
+        restored, _schema = load_csv_matrix(path)
+        np.testing.assert_array_equal(restored, matrix)
+
+    def test_model_fits_from_gz(self, tmp_path, matrix, schema):
+        from repro.core.model import RatioRuleModel
+
+        path = tmp_path / "train.csv.gz"
+        save_csv_matrix(path, matrix, schema)
+        model = RatioRuleModel().fit(path)
+        reference = RatioRuleModel().fit(matrix)
+        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-10)
+
+    def test_open_text_write_read(self, tmp_path):
+        path = tmp_path / "hello.txt.gz"
+        with open_text(path, "w") as handle:
+            handle.write("hello\nworld\n")
+        with gzip.open(path, "rt") as handle:
+            assert handle.read() == "hello\nworld\n"

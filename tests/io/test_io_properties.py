@@ -1,0 +1,97 @@
+"""Property-based tests for the I/O substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.io.csv_format import load_csv_matrix, save_csv_matrix
+from repro.io.rowstore import RowStore
+from repro.io.schema import TableSchema
+
+finite_floats = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_subnormal=False
+)
+
+
+def matrices():
+    return st.tuples(
+        st.integers(1, 25), st.integers(1, 8)
+    ).flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(matrix=matrices())
+def test_rowstore_round_trip_exact(tmp_path, matrix):
+    """Binary storage is bit-exact for any finite float matrix."""
+    path = tmp_path / "prop.rr"
+    RowStore.write_matrix(path, matrix)
+    restored, _schema = RowStore.read_all(path)
+    assert np.array_equal(restored, matrix)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(matrix=matrices(), block=st.integers(1, 9))
+def test_rowstore_block_iteration_complete(tmp_path, matrix, block):
+    """Every block size yields the full matrix, in order."""
+    path = tmp_path / "prop.rr"
+    RowStore.write_matrix(path, matrix)
+    store = RowStore.open(path)
+    blocks = list(store.iter_blocks(block_rows=block))
+    store.close()
+    assert np.array_equal(np.vstack(blocks), matrix)
+    assert all(b.shape[0] <= block for b in blocks)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(matrix=matrices())
+def test_csv_round_trip_exact(tmp_path, matrix):
+    """repr-based CSV serialization round-trips float64 exactly."""
+    path = tmp_path / "prop.csv"
+    save_csv_matrix(path, matrix)
+    restored, _schema = load_csv_matrix(path)
+    assert np.array_equal(restored, matrix)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    matrix=matrices(),
+    split=st.integers(0, 24),
+)
+def test_rowstore_append_equals_single_write(tmp_path, matrix, split):
+    """write(all) == write(first part) + open_append(second part)."""
+    split = min(split, matrix.shape[0])
+    path = tmp_path / "appended.rr"
+    RowStore.write_matrix(path, matrix[:split] if split else matrix[:0])
+    with RowStore.open_append(path) as store:
+        if matrix[split:].size:
+            store.append(matrix[split:])
+    restored, _schema = RowStore.read_all(path)
+    assert np.array_equal(restored, matrix)
+
+
+class TestOpenAppend:
+    def test_append_preserves_schema(self, tmp_path, rng):
+        schema = TableSchema.from_names(["a", "b"])
+        first = rng.standard_normal((5, 2))
+        second = rng.standard_normal((3, 2))
+        path = tmp_path / "grow.rr"
+        RowStore.write_matrix(path, first, schema)
+        with RowStore.open_append(path) as store:
+            assert store.schema.names == ["a", "b"]
+            store.append(second)
+            assert store.n_rows == 8
+        restored, restored_schema = RowStore.read_all(path)
+        assert restored.shape == (8, 2)
+        assert restored_schema.names == ["a", "b"]
+
+    def test_append_to_truncated_file_refused(self, tmp_path, rng):
+        from repro.io.rowstore import RowStoreError
+
+        path = tmp_path / "trunc.rr"
+        RowStore.write_matrix(path, rng.standard_normal((4, 2)))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(RowStoreError, match="truncated or corrupt"):
+            RowStore.open_append(path)

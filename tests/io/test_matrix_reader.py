@@ -1,0 +1,116 @@
+"""Tests for the streaming matrix readers."""
+
+import numpy as np
+import pytest
+
+from repro.io.csv_format import save_csv_matrix
+from repro.io.matrix_reader import (
+    ArrayReader,
+    CSVReader,
+    MatrixReader,
+    RowStoreReader,
+    open_matrix,
+)
+from repro.io.rowstore import RowStore
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.standard_normal((25, 4))
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_names(["a", "b", "c", "d"])
+
+
+def _all_reader_variants(tmp_path, matrix, schema):
+    csv_path = tmp_path / "data.csv"
+    save_csv_matrix(csv_path, matrix, schema)
+    store_path = tmp_path / "data.rr"
+    RowStore.write_matrix(store_path, matrix, schema)
+    return [
+        ArrayReader(matrix, schema),
+        CSVReader(csv_path),
+        RowStoreReader(store_path),
+    ]
+
+
+class TestReaders:
+    def test_all_sources_agree(self, tmp_path, matrix, schema):
+        for reader in _all_reader_variants(tmp_path, matrix, schema):
+            np.testing.assert_allclose(reader.read_matrix(), matrix)
+            assert reader.n_cols == 4
+            assert reader.schema.names == schema.names
+
+    def test_block_sizes_respected(self, tmp_path, matrix, schema):
+        for reader in _all_reader_variants(tmp_path, matrix, schema):
+            blocks = list(reader.iter_blocks(block_rows=7))
+            assert [b.shape[0] for b in blocks] == [7, 7, 7, 4]
+            np.testing.assert_allclose(np.vstack(blocks), matrix)
+
+    def test_pass_counter(self, tmp_path, matrix, schema):
+        for reader in _all_reader_variants(tmp_path, matrix, schema):
+            assert reader.passes_completed == 0
+            list(reader.iter_blocks())
+            assert reader.passes_completed == 1
+            reader.read_matrix()
+            assert reader.passes_completed == 2
+
+    def test_partial_scan_does_not_count(self, matrix, schema):
+        reader = ArrayReader(matrix, schema)
+        iterator = reader.iter_blocks(block_rows=5)
+        next(iterator)
+        assert reader.passes_completed == 0
+
+    def test_invalid_block_rows(self, matrix):
+        reader = ArrayReader(matrix)
+        with pytest.raises(ValueError, match="block_rows"):
+            list(reader.iter_blocks(block_rows=0))
+
+
+class TestArrayReader:
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            ArrayReader(np.ones(3))
+
+    def test_schema_width_mismatch(self, matrix):
+        with pytest.raises(ValueError, match="width"):
+            ArrayReader(matrix, TableSchema.from_names(["a", "b"]))
+
+    def test_n_rows(self, matrix):
+        assert ArrayReader(matrix).n_rows == 25
+
+    def test_empty_rows_ok(self):
+        reader = ArrayReader(np.empty((0, 3)))
+        assert reader.read_matrix().shape == (0, 3)
+
+
+class TestOpenMatrix:
+    def test_array_dispatch(self, matrix):
+        assert isinstance(open_matrix(matrix), ArrayReader)
+
+    def test_list_dispatch(self):
+        reader = open_matrix([[1.0, 2.0], [3.0, 4.0]])
+        assert isinstance(reader, ArrayReader)
+        assert reader.n_cols == 2
+
+    def test_csv_dispatch(self, tmp_path, matrix, schema):
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix, schema)
+        assert isinstance(open_matrix(path), CSVReader)
+        assert isinstance(open_matrix(str(path)), CSVReader)
+
+    def test_rowstore_dispatch(self, tmp_path, matrix, schema):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix, schema)
+        assert isinstance(open_matrix(path), RowStoreReader)
+
+    def test_reader_passthrough(self, matrix):
+        reader = ArrayReader(matrix)
+        assert open_matrix(reader) is reader
+
+    def test_reader_is_abstract(self):
+        with pytest.raises(TypeError):
+            MatrixReader()  # abstract

@@ -1,0 +1,60 @@
+"""Tests for the .npz matrix format."""
+
+import numpy as np
+import pytest
+
+from repro.io.matrix_reader import ArrayReader, open_matrix
+from repro.io.npz_format import load_npz_matrix, save_npz_matrix
+from repro.io.schema import TableSchema
+
+
+class TestNPZFormat:
+    def test_round_trip(self, tmp_path, rng):
+        matrix = rng.standard_normal((17, 4))
+        schema = TableSchema.from_names(["w", "x", "y", "z"])
+        path = tmp_path / "data.npz"
+        save_npz_matrix(path, matrix, schema)
+        restored, restored_schema = load_npz_matrix(path)
+        np.testing.assert_array_equal(restored, matrix)
+        assert restored_schema.names == schema.names
+
+    def test_default_schema(self, tmp_path, rng):
+        path = tmp_path / "data.npz"
+        save_npz_matrix(path, rng.standard_normal((3, 2)))
+        _matrix, schema = load_npz_matrix(path)
+        assert schema.names == ["col0", "col1"]
+
+    def test_open_matrix_dispatch(self, tmp_path, rng):
+        matrix = rng.standard_normal((9, 3))
+        path = tmp_path / "data.npz"
+        save_npz_matrix(path, matrix)
+        reader = open_matrix(path)
+        assert isinstance(reader, ArrayReader)
+        np.testing.assert_array_equal(reader.read_matrix(), matrix)
+
+    def test_model_fits_from_npz(self, tmp_path, rng):
+        from repro.core.model import RatioRuleModel
+
+        factor = rng.normal(5, 2, 100)
+        matrix = np.outer(factor, [1.0, 2.0]) + rng.normal(0, 0.05, (100, 2))
+        path = tmp_path / "train.npz"
+        save_npz_matrix(path, matrix)
+        model = RatioRuleModel().fit(path)
+        reference = RatioRuleModel().fit(matrix)
+        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix)
+
+    def test_foreign_npz_rejected(self, tmp_path, rng):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something_else=rng.standard_normal(5))
+        with pytest.raises(ValueError, match="not a repro matrix archive"):
+            load_npz_matrix(path)
+
+    def test_save_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError, match="2-d"):
+            save_npz_matrix(tmp_path / "x.npz", np.ones(4))
+
+    def test_save_schema_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="width"):
+            save_npz_matrix(
+                tmp_path / "x.npz", np.ones((2, 3)), TableSchema.from_names(["a"])
+            )

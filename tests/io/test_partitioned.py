@@ -1,0 +1,114 @@
+"""Tests for partitioned datasets."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.io.partitioned import MANIFEST_NAME, PartitionedReader, write_partitioned
+from repro.io.rowstore import RowStoreError
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def matrix(rng):
+    factor = rng.normal(4.0, 1.5, size=300)
+    return np.outer(factor, [1.0, 2.0, 0.5]) + rng.normal(0, 0.05, (300, 3))
+
+
+@pytest.fixture
+def partition_dir(tmp_path, matrix):
+    schema = TableSchema.from_names(["a", "b", "c"])
+    write_partitioned(
+        tmp_path / "parts", [matrix[:100], matrix[100:250], matrix[250:]], schema
+    )
+    return tmp_path / "parts"
+
+
+class TestWritePartitioned:
+    def test_creates_shards_and_manifest(self, partition_dir):
+        assert (partition_dir / MANIFEST_NAME).exists()
+        manifest = json.loads((partition_dir / MANIFEST_NAME).read_text())
+        assert len(manifest["shards"]) == 3
+        assert [e["rows"] for e in manifest["shards"]] == [100, 150, 50]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one shard"):
+            write_partitioned(tmp_path / "empty", [])
+
+    def test_width_mismatch_rejected(self, tmp_path, rng):
+        with pytest.raises(ValueError, match="width"):
+            write_partitioned(
+                tmp_path / "bad",
+                [rng.standard_normal((5, 3)), rng.standard_normal((5, 2))],
+            )
+
+
+class TestPartitionedReader:
+    def test_scan_equals_concatenation(self, partition_dir, matrix):
+        reader = PartitionedReader(partition_dir)
+        np.testing.assert_array_equal(reader.read_matrix(), matrix)
+        assert reader.n_rows == 300
+        assert reader.n_shards == 3
+        assert reader.schema.names == ["a", "b", "c"]
+
+    def test_single_pass_counted(self, partition_dir):
+        reader = PartitionedReader(partition_dir)
+        list(reader.iter_blocks(block_rows=64))
+        assert reader.passes_completed == 1
+
+    def test_model_fit_matches_monolithic(self, partition_dir, matrix):
+        model = RatioRuleModel(cutoff=1).fit(PartitionedReader(partition_dir))
+        reference = RatioRuleModel(cutoff=1).fit(matrix)
+        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-9)
+
+    def test_shard_paths_feed_fit_sharded(self, partition_dir, matrix):
+        reader = PartitionedReader(partition_dir)
+        model = fit_sharded(reader.shard_paths(), cutoff=1, max_workers=3)
+        reference = RatioRuleModel(cutoff=1).fit(matrix)
+        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-8)
+
+    def test_open_matrix_dispatches_directories(self, partition_dir, matrix):
+        from repro.io.matrix_reader import open_matrix
+
+        reader = open_matrix(partition_dir)
+        assert isinstance(reader, PartitionedReader)
+        np.testing.assert_array_equal(reader.read_matrix(), matrix)
+
+    def test_cli_fit_on_partition_dir(self, partition_dir, capsys):
+        from repro.cli import main
+
+        assert main(["fit", str(partition_dir)]) == 0
+        assert "Mined" in capsys.readouterr().out
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "nodata").mkdir()
+        with pytest.raises(RowStoreError, match="manifest"):
+            PartitionedReader(tmp_path / "nodata")
+
+    def test_corrupt_manifest(self, partition_dir):
+        (partition_dir / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(RowStoreError, match="corrupt manifest"):
+            PartitionedReader(partition_dir)
+
+    def test_missing_shard(self, partition_dir):
+        (partition_dir / "part-00001.rr").unlink()
+        with pytest.raises(RowStoreError, match="missing shard"):
+            PartitionedReader(partition_dir)
+
+    def test_row_count_mismatch_detected(self, partition_dir):
+        manifest = json.loads((partition_dir / MANIFEST_NAME).read_text())
+        manifest["shards"][0]["rows"] = 999
+        (partition_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        reader = PartitionedReader(partition_dir)
+        with pytest.raises(RowStoreError, match="declares 999"):
+            reader.read_matrix()
+
+    def test_unknown_format_rejected(self, partition_dir):
+        manifest = json.loads((partition_dir / MANIFEST_NAME).read_text())
+        manifest["format"] = "somebody-elses-v9"
+        (partition_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(RowStoreError, match="unknown format"):
+            PartitionedReader(partition_dir)

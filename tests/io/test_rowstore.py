@@ -1,0 +1,139 @@
+"""Tests for the binary row-store format."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.io.rowstore import MAGIC, RowStore, RowStoreError, RowStoreHeader
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_names(["a", "b", "c"])
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.standard_normal((37, 3))
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, schema, matrix):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix, schema)
+        restored, restored_schema = RowStore.read_all(path)
+        np.testing.assert_array_equal(restored, matrix)
+        assert restored_schema == schema
+
+    def test_streaming_append(self, tmp_path, schema, matrix):
+        path = tmp_path / "data.rr"
+        with RowStore.create(path, schema) as store:
+            for row in matrix:
+                store.append(row)
+            assert store.n_rows == matrix.shape[0]
+        restored, _schema = RowStore.read_all(path)
+        np.testing.assert_array_equal(restored, matrix)
+
+    def test_block_iteration(self, tmp_path, schema, matrix):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix, schema)
+        store = RowStore.open(path)
+        blocks = list(store.iter_blocks(block_rows=10))
+        store.close()
+        assert [b.shape[0] for b in blocks] == [10, 10, 10, 7]
+        np.testing.assert_array_equal(np.vstack(blocks), matrix)
+
+    def test_empty_store(self, tmp_path, schema):
+        path = tmp_path / "empty.rr"
+        with RowStore.create(path, schema):
+            pass
+        restored, _schema = RowStore.read_all(path)
+        assert restored.shape == (0, 3)
+
+    def test_default_schema(self, tmp_path, matrix):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix)
+        _restored, schema = RowStore.read_all(path)
+        assert schema.names == ["col0", "col1", "col2"]
+
+
+class TestValidation:
+    def test_append_wrong_width(self, tmp_path, schema):
+        path = tmp_path / "data.rr"
+        with RowStore.create(path, schema) as store:
+            with pytest.raises(RowStoreError, match="width"):
+                store.append(np.ones((2, 4)))
+
+    def test_append_to_reader(self, tmp_path, schema, matrix):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix, schema)
+        store = RowStore.open(path)
+        with pytest.raises(RowStoreError, match="read-only"):
+            store.append(np.ones(3))
+        store.close()
+
+    def test_iter_on_writer(self, tmp_path, schema):
+        path = tmp_path / "data.rr"
+        with RowStore.create(path, schema) as store:
+            with pytest.raises(RowStoreError, match="write-only"):
+                list(store.iter_blocks())
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.rr"
+        path.write_bytes(b"NOTASTORE" + b"\x00" * 100)
+        with pytest.raises(RowStoreError, match="magic"):
+            RowStore.open(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.rr"
+        path.write_bytes(MAGIC)
+        with pytest.raises(RowStoreError, match="too short"):
+            RowStore.open(path)
+
+    def test_truncated_data(self, tmp_path, schema, matrix):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix, schema)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-16])  # chop off two cells
+        store = RowStore.open(path)
+        with pytest.raises(RowStoreError, match="truncated"):
+            store.read_matrix()
+        store.close()
+
+    def test_corrupt_schema_json(self, tmp_path, schema):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, np.ones((2, 3)), schema)
+        raw = bytearray(path.read_bytes())
+        # Overwrite the first schema byte with garbage.
+        header_size = struct.calcsize("<8sQQQ")
+        raw[header_size] = ord("X")
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RowStoreError, match="schema"):
+            RowStore.open(path)
+
+    def test_header_row_schema_mismatch(self, schema):
+        with pytest.raises(RowStoreError, match="schema width"):
+            RowStoreHeader(0, 5, schema)
+
+    def test_append_after_close(self, tmp_path, schema):
+        path = tmp_path / "data.rr"
+        store = RowStore.create(path, schema)
+        store.close()
+        with pytest.raises(RowStoreError, match="closed"):
+            store.append(np.ones(3))
+
+    def test_double_close_is_noop(self, tmp_path, schema):
+        path = tmp_path / "data.rr"
+        store = RowStore.create(path, schema)
+        store.close()
+        store.close()  # must not raise
+
+    def test_invalid_block_rows(self, tmp_path, schema, matrix):
+        path = tmp_path / "data.rr"
+        RowStore.write_matrix(path, matrix, schema)
+        store = RowStore.open(path)
+        with pytest.raises(ValueError, match="block_rows"):
+            list(store.iter_blocks(block_rows=0))
+        store.close()

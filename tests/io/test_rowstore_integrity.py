@@ -1,0 +1,97 @@
+"""Tests for the row-store CRC32 integrity trailer."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.io.rowstore import (
+    MAGIC,
+    TRAILER_MAGIC,
+    RowStore,
+    RowStoreError,
+)
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def stored(tmp_path, rng):
+    matrix = rng.standard_normal((20, 4))
+    path = tmp_path / "data.rr"
+    RowStore.write_matrix(path, matrix)
+    return path, matrix
+
+
+class TestVerify:
+    def test_fresh_file_verifies(self, stored):
+        path, _matrix = stored
+        assert RowStore.verify(path) is True
+
+    def test_trailer_present_on_disk(self, stored):
+        path, _matrix = stored
+        assert TRAILER_MAGIC in path.read_bytes()[-12:]
+
+    def test_data_corruption_detected(self, stored):
+        path, _matrix = stored
+        raw = bytearray(path.read_bytes())
+        # Flip one byte in the middle of the data section.
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RowStoreError, match="checksum mismatch"):
+            RowStore.verify(path)
+
+    def test_legacy_file_returns_false(self, stored):
+        path, _matrix = stored
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-12])  # strip the trailer -> legacy layout
+        assert RowStore.verify(path) is False
+
+    def test_wrong_length_raises(self, stored):
+        path, _matrix = stored
+        raw = path.read_bytes()
+        path.write_bytes(raw + b"extra")
+        with pytest.raises(RowStoreError, match="inconsistent"):
+            RowStore.verify(path)
+
+    def test_corrupt_trailer_magic(self, stored):
+        path, _matrix = stored
+        raw = bytearray(path.read_bytes())
+        raw[-12:-4] = b"BADMAGIC"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RowStoreError, match="trailer magic"):
+            RowStore.verify(path)
+
+
+class TestAppendWithTrailer:
+    def test_append_keeps_checksum_valid(self, stored, rng):
+        path, matrix = stored
+        extra = rng.standard_normal((7, 4))
+        with RowStore.open_append(path) as store:
+            store.append(extra)
+        assert RowStore.verify(path) is True
+        restored, _schema = RowStore.read_all(path)
+        np.testing.assert_array_equal(restored, np.vstack([matrix, extra]))
+
+    def test_append_to_legacy_file_adds_trailer(self, stored, rng):
+        path, matrix = stored
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-12])  # legacy: no trailer
+        extra = rng.standard_normal((3, 4))
+        with RowStore.open_append(path) as store:
+            store.append(extra)
+        assert RowStore.verify(path) is True
+        restored, _schema = RowStore.read_all(path)
+        np.testing.assert_array_equal(restored, np.vstack([matrix, extra]))
+
+    def test_append_refuses_corrupt_trailer(self, stored):
+        path, _matrix = stored
+        raw = bytearray(path.read_bytes())
+        raw[-12:-4] = b"BADMAGIC"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(RowStoreError, match="corrupt trailer"):
+            RowStore.open_append(path)
+
+    def test_reads_ignore_trailer(self, stored):
+        path, matrix = stored
+        restored, _schema = RowStore.read_all(path)
+        np.testing.assert_array_equal(restored, matrix)

@@ -1,0 +1,83 @@
+"""Tests for column/table schemas."""
+
+import pytest
+
+from repro.io.schema import ColumnSchema, TableSchema
+
+
+class TestColumnSchema:
+    def test_basic(self):
+        column = ColumnSchema(name="bread", unit="$", description="spend on bread")
+        assert column.name == "bread"
+        assert column.label() == "bread ($)"
+
+    def test_label_without_unit(self):
+        assert ColumnSchema(name="bread").label() == "bread"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ColumnSchema(name="")
+        with pytest.raises(ValueError, match="non-empty"):
+            ColumnSchema(name="   ")
+
+    def test_frozen(self):
+        column = ColumnSchema(name="bread")
+        with pytest.raises(AttributeError):
+            column.name = "butter"
+
+
+class TestTableSchema:
+    def test_from_names(self):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        assert schema.width == 3
+        assert schema.names == ["a", "b", "c"]
+
+    def test_from_names_with_unit(self):
+        schema = TableSchema.from_names(["a", "b"], unit="$")
+        assert all(column.unit == "$" for column in schema)
+
+    def test_generic(self):
+        schema = TableSchema.generic(3)
+        assert schema.names == ["col0", "col1", "col2"]
+
+    def test_generic_rejects_zero(self):
+        with pytest.raises(ValueError):
+            TableSchema.generic(0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema.from_names(["a", "b", "a"])
+
+    def test_index_of(self):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        assert schema.index_of("b") == 1
+
+    def test_index_of_missing(self):
+        schema = TableSchema.from_names(["a"])
+        with pytest.raises(KeyError, match="no column named"):
+            schema.index_of("z")
+
+    def test_container_protocol(self):
+        schema = TableSchema.from_names(["a", "b"])
+        assert len(schema) == 2
+        assert schema[0].name == "a"
+        assert [c.name for c in schema] == ["a", "b"]
+
+    def test_subset(self):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        sub = schema.subset([2, 0])
+        assert sub.names == ["c", "a"]
+
+    def test_json_round_trip(self):
+        schema = TableSchema(
+            (
+                ColumnSchema(name="bread", unit="$", description="dollars"),
+                ColumnSchema(name="butter"),
+            )
+        )
+        restored = TableSchema.from_json(schema.to_json())
+        assert restored == schema
+
+    def test_from_json_rejects_non_list(self):
+        with pytest.raises(ValueError, match="list"):
+            TableSchema.from_json('{"name": "a"}')

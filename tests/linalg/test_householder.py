@@ -1,0 +1,69 @@
+"""Tests for the Householder+QL dense eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.householder import (
+    householder_eigensystem,
+    householder_tridiagonalize,
+)
+from tests.conftest import assert_eigenpairs_valid, random_symmetric_psd
+
+
+class TestTridiagonalization:
+    @pytest.mark.parametrize("size", [2, 3, 5, 12, 30])
+    def test_similarity_preserved(self, rng, size):
+        matrix = random_symmetric_psd(rng, size)
+        diagonal, off_diagonal, q = householder_tridiagonalize(matrix)
+        tri = np.diag(diagonal)
+        idx = np.arange(size - 1)
+        tri[idx, idx + 1] = off_diagonal
+        tri[idx + 1, idx] = off_diagonal
+        np.testing.assert_allclose(q @ tri @ q.T, matrix, atol=1e-8)
+
+    def test_q_orthogonal(self, rng):
+        matrix = random_symmetric_psd(rng, 10)
+        _d, _e, q = householder_tridiagonalize(matrix)
+        np.testing.assert_allclose(q.T @ q, np.eye(10), atol=1e-10)
+
+    def test_already_tridiagonal_unchanged_bands(self):
+        tri = np.diag([3.0, 2.0, 1.0]) + np.diag([0.5, 0.4], 1) + np.diag([0.5, 0.4], -1)
+        diagonal, off_diagonal, _q = householder_tridiagonalize(tri)
+        np.testing.assert_allclose(diagonal, [3.0, 2.0, 1.0], atol=1e-12)
+        np.testing.assert_allclose(np.abs(off_diagonal), [0.5, 0.4], atol=1e-12)
+
+
+class TestEigensystem:
+    @pytest.mark.parametrize("size", [1, 2, 3, 6, 15, 40])
+    def test_matches_lapack(self, rng, size):
+        matrix = random_symmetric_psd(rng, size)
+        values, vectors = householder_eigensystem(matrix)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-8, atol=1e-8)
+        assert_eigenpairs_valid(matrix, values, vectors, atol=1e-7)
+
+    def test_indefinite_matrix(self, rng):
+        matrix = rng.standard_normal((8, 8))
+        matrix = (matrix + matrix.T) / 2
+        values, vectors = householder_eigensystem(matrix)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-8, atol=1e-8)
+        assert_eigenpairs_valid(matrix, values, vectors, atol=1e-7)
+
+    def test_agrees_with_jacobi(self, rng):
+        from repro.linalg.jacobi import jacobi_eigensystem
+
+        matrix = random_symmetric_psd(rng, 12)
+        hh_values, _ = householder_eigensystem(matrix)
+        jac_values, _ = jacobi_eigensystem(matrix)
+        np.testing.assert_allclose(hh_values, jac_values, rtol=1e-8, atol=1e-8)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            householder_eigensystem(np.ones((2, 3)))
+
+    def test_does_not_modify_input(self, rng):
+        matrix = random_symmetric_psd(rng, 6)
+        original = matrix.copy()
+        householder_eigensystem(matrix)
+        np.testing.assert_array_equal(matrix, original)

@@ -1,0 +1,79 @@
+"""Tests for the cyclic Jacobi eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.jacobi import JacobiNotConverged, jacobi_eigensystem
+from tests.conftest import assert_eigenpairs_valid, random_symmetric_psd
+
+
+class TestJacobiBasics:
+    def test_diagonal_matrix(self):
+        values, vectors = jacobi_eigensystem(np.diag([1.0, 5.0, 3.0]))
+        np.testing.assert_allclose(values, [5.0, 3.0, 1.0])
+        # Eigenvectors are the (permuted, possibly sign-flipped) axes.
+        assert np.allclose(np.abs(vectors), np.eye(3)[:, [1, 2, 0]])
+
+    def test_known_2x2(self):
+        # [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        values, vectors = jacobi_eigensystem(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        np.testing.assert_allclose(values, [3.0, 1.0], atol=1e-12)
+        assert_eigenpairs_valid(np.array([[2.0, 1.0], [1.0, 2.0]]), values, vectors)
+
+    def test_1x1(self):
+        values, vectors = jacobi_eigensystem(np.array([[7.0]]))
+        np.testing.assert_allclose(values, [7.0])
+        np.testing.assert_allclose(vectors, [[1.0]])
+
+    def test_descending_order(self, rng):
+        matrix = random_symmetric_psd(rng, 8)
+        values, _vectors = jacobi_eigensystem(matrix)
+        assert np.all(np.diff(values) <= 1e-9)
+
+    def test_zero_matrix(self):
+        values, vectors = jacobi_eigensystem(np.zeros((3, 3)))
+        np.testing.assert_allclose(values, 0.0)
+        assert_eigenpairs_valid(np.zeros((3, 3)), values, vectors)
+
+
+class TestJacobiAgainstNumpy:
+    @pytest.mark.parametrize("size", [2, 3, 5, 10, 20])
+    def test_eigenvalues_match_lapack(self, rng, size):
+        matrix = random_symmetric_psd(rng, size)
+        our_values, our_vectors = jacobi_eigensystem(matrix)
+        ref_values = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(our_values, ref_values, rtol=1e-9, atol=1e-9)
+        assert_eigenpairs_valid(matrix, our_values, our_vectors)
+
+    def test_negative_eigenvalues_handled(self, rng):
+        # Jacobi works for any symmetric matrix, not just PSD.
+        matrix = rng.standard_normal((6, 6))
+        matrix = (matrix + matrix.T) / 2
+        values, vectors = jacobi_eigensystem(matrix)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-9, atol=1e-9)
+        assert_eigenpairs_valid(matrix, values, vectors)
+
+    def test_repeated_eigenvalues(self):
+        # Identity: all eigenvalues equal; any orthonormal basis works.
+        values, vectors = jacobi_eigensystem(np.eye(4))
+        np.testing.assert_allclose(values, 1.0)
+        assert_eigenpairs_valid(np.eye(4), values, vectors)
+
+
+class TestJacobiConvergence:
+    def test_raises_when_sweeps_exhausted(self, rng):
+        matrix = random_symmetric_psd(rng, 12)
+        with pytest.raises(JacobiNotConverged):
+            jacobi_eigensystem(matrix, max_sweeps=0)
+
+    def test_tight_tolerance_still_converges(self, rng):
+        matrix = random_symmetric_psd(rng, 6)
+        values, vectors = jacobi_eigensystem(matrix, tol=1e-15)
+        assert_eigenpairs_valid(matrix, values, vectors, atol=1e-10)
+
+    def test_does_not_modify_input(self, rng):
+        matrix = random_symmetric_psd(rng, 5)
+        original = matrix.copy()
+        jacobi_eigensystem(matrix)
+        np.testing.assert_array_equal(matrix, original)

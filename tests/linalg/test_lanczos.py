@@ -1,0 +1,90 @@
+"""Tests for the Lanczos eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.lanczos import lanczos_eigensystem
+from tests.conftest import assert_eigenpairs_valid, random_symmetric_psd
+
+
+class TestLanczos:
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_top_k_match_lapack(self, rng, k):
+        matrix = random_symmetric_psd(rng, 30)
+        values, vectors = lanczos_eigensystem(matrix, k)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1][:k]
+        np.testing.assert_allclose(values, ref, rtol=1e-7, atol=1e-8)
+        assert_eigenpairs_valid(matrix, values, vectors, atol=1e-6)
+
+    def test_large_matrix_small_k(self, rng):
+        matrix = random_symmetric_psd(rng, 150)
+        values, vectors = lanczos_eigensystem(matrix, 3)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1][:3]
+        np.testing.assert_allclose(values, ref, rtol=1e-6)
+        assert vectors.shape == (150, 3)
+
+    def test_callable_operator(self, rng):
+        dense = random_symmetric_psd(rng, 25)
+        values, _vectors = lanczos_eigensystem(
+            lambda v: dense @ v, 2, dimension=25
+        )
+        ref = np.sort(np.linalg.eigvalsh(dense))[::-1][:2]
+        np.testing.assert_allclose(values, ref, rtol=1e-6)
+
+    def test_callable_without_dimension_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            lanczos_eigensystem(lambda v: v, 1)
+
+    def test_low_rank_matrix(self):
+        # Rank-2 matrix in 20 dims: Lanczos must find both nonzero pairs.
+        u = np.zeros(20)
+        u[3] = 1.0
+        w = np.zeros(20)
+        w[11] = 1.0
+        matrix = 4.0 * np.outer(u, u) + 2.0 * np.outer(w, w)
+        values, vectors = lanczos_eigensystem(matrix, 2)
+        np.testing.assert_allclose(values, [4.0, 2.0], atol=1e-8)
+        assert_eigenpairs_valid(matrix, values, vectors, atol=1e-7)
+
+    def test_deterministic_given_seed(self, rng):
+        matrix = random_symmetric_psd(rng, 12)
+        first = lanczos_eigensystem(matrix, 3, seed=5)
+        second = lanczos_eigensystem(matrix, 3, seed=5)
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_invalid_k(self, rng):
+        matrix = random_symmetric_psd(rng, 4)
+        with pytest.raises(ValueError, match="k must be"):
+            lanczos_eigensystem(matrix, 0)
+        with pytest.raises(ValueError, match="k must be"):
+            lanczos_eigensystem(matrix, 5)
+
+    def test_k_equals_dimension(self, rng):
+        matrix = random_symmetric_psd(rng, 6)
+        values, vectors = lanczos_eigensystem(matrix, 6)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-7, atol=1e-8)
+
+    def test_zero_matrix_keeps_shape_contract(self):
+        values, vectors = lanczos_eigensystem(np.zeros((4, 4)), 2)
+        np.testing.assert_allclose(values, [0.0, 0.0])
+        assert vectors.shape == (4, 2)
+        np.testing.assert_allclose(vectors.T @ vectors, np.eye(2), atol=1e-10)
+
+    def test_rank_deficient_restart(self):
+        """Invariant-subspace breakdown restarts instead of shortchanging k."""
+        direction = np.array([1.0, 2.0, 3.0, 4.0])
+        matrix = np.outer(direction, direction)
+        values, vectors = lanczos_eigensystem(matrix, 3)
+        assert values.shape == (3,)
+        np.testing.assert_allclose(values[0], direction @ direction, rtol=1e-9)
+        np.testing.assert_allclose(values[1:], 0.0, atol=1e-8)
+        np.testing.assert_allclose(vectors.T @ vectors, np.eye(3), atol=1e-8)
+
+    def test_fully_degenerate_identity(self):
+        """All-equal eigenvalues: restarts build an orthonormal Ritz set."""
+        values, vectors = lanczos_eigensystem(np.eye(5), 3)
+        np.testing.assert_allclose(values, 1.0, atol=1e-12)
+        np.testing.assert_allclose(vectors.T @ vectors, np.eye(3), atol=1e-8)
+        residual = np.eye(5) @ vectors - vectors * values
+        assert np.linalg.norm(residual) < 1e-10

@@ -1,0 +1,141 @@
+"""Tests for repro.linalg.matrix_utils."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.matrix_utils import (
+    as_float_matrix,
+    canonicalize_sign,
+    center_columns,
+    is_orthonormal,
+    relative_residual,
+    symmetrize,
+)
+
+
+class TestAsFloatMatrix:
+    def test_accepts_lists(self):
+        matrix = as_float_matrix([[1, 2], [3, 4]])
+        assert matrix.dtype == np.float64
+        assert matrix.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            as_float_matrix([1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_float_matrix(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_float_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_float_matrix([[1.0, np.inf]])
+
+    def test_error_uses_name(self):
+        with pytest.raises(ValueError, match="mydata"):
+            as_float_matrix([1.0], name="mydata")
+
+
+class TestCenterColumns:
+    def test_zero_mean_columns(self):
+        matrix = np.array([[1.0, 10.0], [3.0, 20.0], [5.0, 30.0]])
+        centered, means = center_columns(matrix)
+        np.testing.assert_allclose(centered.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(means, [3.0, 20.0])
+
+    def test_explicit_means(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        centered, means = center_columns(matrix, means=np.array([1.0, 1.0]))
+        np.testing.assert_allclose(centered, [[0.0, 1.0], [2.0, 3.0]])
+        np.testing.assert_allclose(means, [1.0, 1.0])
+
+    def test_wrong_means_shape(self):
+        with pytest.raises(ValueError, match="means must have shape"):
+            center_columns(np.ones((2, 3)), means=np.ones(2))
+
+    def test_does_not_modify_input(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        original = matrix.copy()
+        center_columns(matrix)
+        np.testing.assert_array_equal(matrix, original)
+
+
+class TestSymmetrize:
+    def test_symmetric_output(self, rng):
+        matrix = rng.standard_normal((5, 5))
+        result = symmetrize(matrix)
+        np.testing.assert_array_equal(result, result.T)
+
+    def test_already_symmetric_unchanged(self):
+        matrix = np.array([[2.0, 1.0], [1.0, 3.0]])
+        np.testing.assert_allclose(symmetrize(matrix), matrix)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            symmetrize(np.ones((2, 3)))
+
+
+class TestCanonicalizeSign:
+    def test_flips_negative_peak(self):
+        vectors = np.array([[0.1, -0.9], [-0.8, 0.3]])
+        result = canonicalize_sign(vectors)
+        # Column 0 peak is -0.8 -> flipped; column 1 peak is -0.9 -> flipped.
+        np.testing.assert_allclose(result, [[-0.1, 0.9], [0.8, -0.3]])
+
+    def test_positive_peak_unchanged(self):
+        vectors = np.array([[0.9], [0.1]])
+        np.testing.assert_allclose(canonicalize_sign(vectors), vectors)
+
+    def test_idempotent(self, rng):
+        vectors = rng.standard_normal((6, 3))
+        once = canonicalize_sign(vectors)
+        twice = canonicalize_sign(once)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_1d_input(self):
+        vector = np.array([-0.6, 0.2])
+        result = canonicalize_sign(vector)
+        assert result.ndim == 1
+        np.testing.assert_allclose(result, [0.6, -0.2])
+
+    def test_does_not_modify_input(self):
+        vectors = np.array([[-1.0], [0.5]])
+        original = vectors.copy()
+        canonicalize_sign(vectors)
+        np.testing.assert_array_equal(vectors, original)
+
+
+class TestIsOrthonormal:
+    def test_identity_is_orthonormal(self):
+        assert is_orthonormal(np.eye(4))
+
+    def test_scaled_identity_is_not(self):
+        assert not is_orthonormal(2.0 * np.eye(4))
+
+    def test_rotation_is_orthonormal(self):
+        theta = 0.7
+        rotation = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        assert is_orthonormal(rotation)
+
+    def test_1d_rejected(self):
+        assert not is_orthonormal(np.array([1.0, 0.0]))
+
+
+class TestRelativeResidual:
+    def test_exact_eigenpairs_give_zero(self):
+        matrix = np.diag([3.0, 2.0, 1.0])
+        values = np.array([3.0, 2.0, 1.0])
+        vectors = np.eye(3)
+        assert relative_residual(matrix, values, vectors) < 1e-15
+
+    def test_wrong_eigenpairs_give_large(self):
+        matrix = np.diag([3.0, 2.0])
+        values = np.array([1.0, 1.0])
+        vectors = np.eye(2)
+        assert relative_residual(matrix, values, vectors) > 0.1

@@ -1,0 +1,67 @@
+"""Tests for power iteration with deflation."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.power import (
+    PowerIterationNotConverged,
+    power_iteration_eigensystem,
+)
+from tests.conftest import assert_eigenpairs_valid, random_symmetric_psd
+
+
+class TestPowerIteration:
+    def test_dominant_pair_of_diagonal(self):
+        values, vectors = power_iteration_eigensystem(np.diag([5.0, 2.0, 1.0]), k=1)
+        np.testing.assert_allclose(values, [5.0], atol=1e-9)
+        np.testing.assert_allclose(np.abs(vectors[:, 0]), [1.0, 0.0, 0.0], atol=1e-6)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_top_k_match_lapack(self, rng, k):
+        matrix = random_symmetric_psd(rng, 7)
+        values, vectors = power_iteration_eigensystem(matrix, k=k)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1][:k]
+        np.testing.assert_allclose(values, ref, rtol=1e-6, atol=1e-8)
+        assert_eigenpairs_valid(matrix, values, vectors, atol=1e-5)
+
+    def test_full_spectrum(self, rng):
+        matrix = random_symmetric_psd(rng, 5)
+        values, vectors = power_iteration_eigensystem(matrix)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-5, atol=1e-7)
+        assert vectors.shape == (5, 5)
+
+    def test_deterministic_given_seed(self, rng):
+        matrix = random_symmetric_psd(rng, 6)
+        first = power_iteration_eigensystem(matrix, k=3, seed=7)
+        second = power_iteration_eigensystem(matrix, k=3, seed=7)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_rank_deficient_matrix(self):
+        # Rank-1 PSD: remaining eigenvalues are zero.
+        direction = np.array([1.0, 2.0, 3.0])
+        matrix = np.outer(direction, direction)
+        values, _vectors = power_iteration_eigensystem(matrix, k=3)
+        np.testing.assert_allclose(values[0], direction @ direction, rtol=1e-9)
+        np.testing.assert_allclose(values[1:], 0.0, atol=1e-8)
+
+    def test_invalid_k(self, rng):
+        matrix = random_symmetric_psd(rng, 4)
+        with pytest.raises(ValueError, match="k must be"):
+            power_iteration_eigensystem(matrix, k=0)
+        with pytest.raises(ValueError, match="k must be"):
+            power_iteration_eigensystem(matrix, k=5)
+
+    def test_nonconvergence_raises(self):
+        # Two exactly equal dominant eigenvalues stall the direction test
+        # only in degenerate subspaces; force failure with max_iter=0-ish.
+        matrix = np.diag([3.0, 1.0])
+        with pytest.raises(PowerIterationNotConverged):
+            power_iteration_eigensystem(matrix, k=1, max_iter=1, tol=1e-15)
+
+    def test_does_not_modify_input(self, rng):
+        matrix = random_symmetric_psd(rng, 4)
+        original = matrix.copy()
+        power_iteration_eigensystem(matrix, k=2)
+        np.testing.assert_array_equal(matrix, original)

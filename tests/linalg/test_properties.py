@@ -1,0 +1,102 @@
+"""Property-based tests for the linear-algebra substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg.eigen import solve_eigensystem
+from repro.linalg.jacobi import jacobi_eigensystem
+from repro.linalg.matrix_utils import canonicalize_sign, center_columns
+from repro.linalg.svd import pseudo_inverse, svd_decompose
+
+# Bounded, finite floats keep the numerics honest without pathological
+# overflow cases.
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+def sym_psd_matrices(max_side: int = 6):
+    """Strategy: random symmetric PSD matrices as A^t A."""
+    return st.integers(min_value=1, max_value=max_side).flatmap(
+        lambda side: arrays(
+            np.float64, (side + 1, side), elements=finite_floats
+        ).map(lambda a: a.T @ a)
+    )
+
+
+def rect_matrices(max_rows: int = 7, max_cols: int = 5):
+    """Strategy: random rectangular matrices."""
+    return st.tuples(
+        st.integers(min_value=1, max_value=max_rows),
+        st.integers(min_value=1, max_value=max_cols),
+    ).flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=sym_psd_matrices())
+def test_jacobi_residual_and_orthonormality(matrix):
+    values, vectors = jacobi_eigensystem(matrix)
+    scale = max(np.linalg.norm(matrix), 1.0)
+    residual = matrix @ vectors - vectors * values[np.newaxis, :]
+    assert np.linalg.norm(residual) / scale < 1e-8
+    gram = vectors.T @ vectors
+    assert np.allclose(gram, np.eye(matrix.shape[0]), atol=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=sym_psd_matrices())
+def test_eigenvalue_sum_equals_trace(matrix):
+    values, _vectors = jacobi_eigensystem(matrix)
+    assert np.isclose(values.sum(), np.trace(matrix), rtol=1e-8, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=sym_psd_matrices())
+def test_solver_eigenvalues_nonnegative_descending(matrix):
+    result = solve_eigensystem(matrix)
+    assert np.all(result.eigenvalues >= 0)
+    assert np.all(np.diff(result.eigenvalues) <= 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrix=rect_matrices())
+def test_svd_reconstructs(matrix):
+    # The contract: reconstruction error is bounded by the rank cutoff
+    # (singular values below DEFAULT_RCOND * s_max are discarded), plus
+    # round-off.
+    result = svd_decompose(matrix)
+    scale = max(np.linalg.norm(matrix), 1.0)
+    assert np.linalg.norm(result.reconstruct() - matrix) / scale < 5e-7
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrix=rect_matrices())
+def test_pseudo_inverse_moore_penrose(matrix):
+    # Tolerances reflect the Gram-matrix construction: singular values
+    # carry ~eps * cond(A)^2 relative error, which 1/s amplifies in the
+    # pseudo-inverse.  (The library's hole-filling use case only ever
+    # inverts slices of orthonormal matrices, where cond is small.)
+    a_plus = pseudo_inverse(matrix)
+    scale = max(np.linalg.norm(matrix), 1.0)
+    assert np.linalg.norm(matrix @ a_plus @ matrix - matrix) / scale < 1e-6
+    plus_scale = max(np.linalg.norm(a_plus), 1.0)
+    assert np.linalg.norm(a_plus @ matrix @ a_plus - a_plus) / plus_scale < 1e-5
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=rect_matrices())
+def test_canonicalize_sign_is_idempotent_and_norm_preserving(matrix):
+    once = canonicalize_sign(matrix)
+    twice = canonicalize_sign(once)
+    assert np.array_equal(once, twice)
+    assert np.allclose(
+        np.linalg.norm(once, axis=0), np.linalg.norm(matrix, axis=0)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=rect_matrices(max_rows=10, max_cols=6))
+def test_centering_zeroes_column_means(matrix):
+    centered, means = center_columns(matrix)
+    assert np.allclose(centered.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(centered + means, matrix)

@@ -1,0 +1,118 @@
+"""Tests for the from-scratch CSR matrix."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.sparse import CSRMatrix
+
+
+@pytest.fixture
+def dense(rng):
+    matrix = rng.standard_normal((15, 9))
+    matrix[rng.random(matrix.shape) < 0.7] = 0.0  # ~70% sparse
+    return matrix
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self, dense):
+        sparse = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+        assert sparse.nnz == np.count_nonzero(dense)
+        assert 0.0 <= sparse.density() <= 1.0
+
+    def test_from_coo(self):
+        sparse = CSRMatrix.from_coo(
+            rows=[0, 2, 1], cols=[1, 0, 2], values=[5.0, 3.0, 7.0], shape=(3, 3)
+        )
+        expected = np.array([[0, 5, 0], [0, 0, 7], [3, 0, 0]], dtype=float)
+        np.testing.assert_array_equal(sparse.to_dense(), expected)
+
+    def test_from_coo_sums_duplicates(self):
+        sparse = CSRMatrix.from_coo(
+            rows=[0, 0, 0], cols=[1, 1, 2], values=[2.0, 3.0, 1.0], shape=(1, 3)
+        )
+        np.testing.assert_array_equal(sparse.to_dense(), [[0.0, 5.0, 1.0]])
+        assert sparse.nnz == 2
+
+    def test_empty_rows_allowed(self):
+        sparse = CSRMatrix.from_coo(rows=[2], cols=[0], values=[1.0], shape=(4, 2))
+        assert sparse.to_dense()[0].sum() == 0
+        np.testing.assert_array_equal(sparse.matvec(np.array([1.0, 0.0])),
+                                      [0.0, 0.0, 1.0, 0.0])
+
+    def test_coo_validation(self):
+        with pytest.raises(ValueError, match="row index"):
+            CSRMatrix.from_coo([5], [0], [1.0], shape=(3, 2))
+        with pytest.raises(ValueError, match="column index"):
+            CSRMatrix.from_coo([0], [9], [1.0], shape=(3, 2))
+        with pytest.raises(ValueError, match="equal length"):
+            CSRMatrix.from_coo([0, 1], [0], [1.0], shape=(3, 2))
+
+    def test_csr_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (3, 2))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix(np.array([0, 2, 1]), np.array([0, 0]), np.array([1.0, 1.0]), (2, 2))
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            CSRMatrix.from_dense(np.ones(4))
+
+
+class TestKernels:
+    def test_matvec_matches_dense(self, dense, rng):
+        sparse = CSRMatrix.from_dense(dense)
+        vector = rng.standard_normal(9)
+        np.testing.assert_allclose(sparse.matvec(vector), dense @ vector, atol=1e-12)
+
+    def test_rmatvec_matches_dense(self, dense, rng):
+        sparse = CSRMatrix.from_dense(dense)
+        vector = rng.standard_normal(15)
+        np.testing.assert_allclose(sparse.rmatvec(vector), dense.T @ vector, atol=1e-12)
+
+    def test_column_statistics(self, dense):
+        sparse = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(sparse.column_sums(), dense.sum(axis=0), atol=1e-12)
+        np.testing.assert_allclose(
+            sparse.column_squared_sums(), (dense**2).sum(axis=0), atol=1e-12
+        )
+
+    def test_kernel_shape_validation(self, dense):
+        sparse = CSRMatrix.from_dense(dense)
+        with pytest.raises(ValueError, match="shape"):
+            sparse.matvec(np.ones(3))
+        with pytest.raises(ValueError, match="shape"):
+            sparse.rmatvec(np.ones(3))
+
+
+class TestWideMiningIntegration:
+    def test_sparse_mine_wide_matches_dense(self, rng):
+        from repro.core.model import RatioRuleModel
+        from repro.core.wide import mine_wide
+
+        # Basket-like data: mostly zeros, low-rank structure.
+        scores = rng.standard_normal((300, 2)) * np.array([8.0, 3.0])
+        loadings = rng.standard_normal((2, 60))
+        dense = scores @ loadings
+        dense[rng.random(dense.shape) < 0.5] = 0.0
+
+        sparse_model = mine_wide(CSRMatrix.from_dense(dense), 2)
+        dense_model = RatioRuleModel(cutoff=2).fit(dense)
+        np.testing.assert_allclose(
+            sparse_model.eigenvalues_, dense_model.eigenvalues_, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            sparse_model.rules_matrix, dense_model.rules_matrix, atol=1e-4
+        )
+
+    def test_sparse_operator_matches_explicit(self, dense, rng):
+        from repro.core.wide import implicit_covariance_operator
+
+        sparse = CSRMatrix.from_dense(dense)
+        matvec, means, total_variance = implicit_covariance_operator(sparse)
+        centered = dense - dense.mean(axis=0)
+        explicit = centered.T @ centered
+        vector = rng.standard_normal(9)
+        np.testing.assert_allclose(matvec(vector), explicit @ vector, atol=1e-9)
+        np.testing.assert_allclose(total_variance, np.trace(explicit), rtol=1e-10)
+        np.testing.assert_allclose(means, dense.mean(axis=0), atol=1e-12)

@@ -1,0 +1,83 @@
+"""Tests for the QL-with-implicit-shifts tridiagonal eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.tridiagonal import TridiagonalNotConverged, tridiagonal_eigensystem
+
+
+def dense_from(diagonal, off_diagonal):
+    n = len(diagonal)
+    dense = np.diag(np.asarray(diagonal, dtype=np.float64))
+    for i in range(n - 1):
+        dense[i, i + 1] = off_diagonal[i]
+        dense[i + 1, i] = off_diagonal[i]
+    return dense
+
+
+class TestTridiagonal:
+    def test_1x1(self):
+        values, vectors = tridiagonal_eigensystem(np.array([4.0]), np.array([]))
+        np.testing.assert_allclose(values, [4.0])
+        np.testing.assert_allclose(vectors, [[1.0]])
+
+    def test_2x2_known(self):
+        # [[2, 1], [1, 2]] -> eigenvalues 3, 1.
+        values, vectors = tridiagonal_eigensystem(
+            np.array([2.0, 2.0]), np.array([1.0])
+        )
+        np.testing.assert_allclose(values, [3.0, 1.0], atol=1e-12)
+        dense = dense_from([2.0, 2.0], [1.0])
+        residual = dense @ vectors - vectors * values
+        assert np.linalg.norm(residual) < 1e-12
+
+    def test_diagonal_matrix(self):
+        values, _vectors = tridiagonal_eigensystem(
+            np.array([3.0, 1.0, 2.0]), np.array([0.0, 0.0])
+        )
+        np.testing.assert_allclose(values, [3.0, 2.0, 1.0])
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 10, 25, 60])
+    def test_matches_lapack(self, rng, size):
+        diagonal = rng.standard_normal(size) * 3
+        off_diagonal = rng.standard_normal(size - 1)
+        values, vectors = tridiagonal_eigensystem(diagonal, off_diagonal)
+        dense = dense_from(diagonal, off_diagonal)
+        ref = np.sort(np.linalg.eigvalsh(dense))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-10, atol=1e-10)
+        # Residual + orthonormality.
+        residual = dense @ vectors - vectors * values
+        assert np.linalg.norm(residual) / max(np.linalg.norm(dense), 1) < 1e-10
+        np.testing.assert_allclose(vectors.T @ vectors, np.eye(size), atol=1e-10)
+
+    def test_repeated_eigenvalues(self):
+        values, vectors = tridiagonal_eigensystem(
+            np.array([5.0, 5.0, 5.0]), np.array([0.0, 0.0])
+        )
+        np.testing.assert_allclose(values, 5.0)
+        np.testing.assert_allclose(vectors.T @ vectors, np.eye(3), atol=1e-12)
+
+    def test_toeplitz_closed_form(self):
+        """The -1/2/-1 Laplacian has a textbook closed-form spectrum."""
+        n = 12
+        values, _vectors = tridiagonal_eigensystem(
+            np.full(n, 2.0), np.full(n - 1, -1.0)
+        )
+        expected = np.sort(
+            2.0 - 2.0 * np.cos(np.pi * np.arange(1, n + 1) / (n + 1))
+        )[::-1]
+        np.testing.assert_allclose(values, expected, atol=1e-10)
+
+    def test_wrong_off_diagonal_length(self):
+        with pytest.raises(ValueError, match="off_diagonal"):
+            tridiagonal_eigensystem(np.ones(3), np.ones(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            tridiagonal_eigensystem(np.array([]), np.array([]))
+
+    def test_iteration_cap(self, rng):
+        diagonal = rng.standard_normal(20)
+        off_diagonal = rng.standard_normal(19)
+        with pytest.raises(TridiagonalNotConverged):
+            tridiagonal_eigensystem(diagonal, off_diagonal, max_iter=0)

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.model import RatioRuleModel
+from repro.io.csv_format import load_csv_matrix, save_csv_matrix
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def csv_file(tmp_path, rng):
+    factor = rng.normal(5.0, 2.0, size=120)
+    matrix = np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (120, 3))
+    path = tmp_path / "train.csv"
+    save_csv_matrix(path, matrix, TableSchema.from_names(["a", "b", "c"]))
+    return path, matrix
+
+
+@pytest.fixture
+def model_file(tmp_path, csv_file):
+    path, matrix = csv_file
+    model_path = tmp_path / "model.npz"
+    RatioRuleModel().fit(matrix, TableSchema.from_names(["a", "b", "c"])).save(model_path)
+    return model_path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fit_arguments(self):
+        args = build_parser().parse_args(["fit", "x.csv", "--cutoff", "3"])
+        assert args.command == "fit"
+        assert args.cutoff == "3"
+
+
+class TestFit(object):
+    def test_fit_prints_rules(self, csv_file, capsys):
+        path, _matrix = csv_file
+        assert main(["fit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Mined" in out
+        assert "RR1" in out
+
+    def test_fit_save(self, csv_file, tmp_path, capsys):
+        path, _matrix = csv_file
+        model_path = tmp_path / "m.npz"
+        assert main(["fit", str(path), "--save", str(model_path)]) == 0
+        assert model_path.exists()
+        restored = RatioRuleModel.load(model_path)
+        assert restored.k >= 1
+
+    def test_fit_with_cutoff_and_backend(self, csv_file, capsys):
+        path, _matrix = csv_file
+        assert main(["fit", str(path), "--cutoff", "2", "--backend", "jacobi"]) == 0
+        assert "Mined 2 Ratio Rules" in capsys.readouterr().out
+
+
+class TestRules:
+    def test_rules_output(self, model_file, capsys):
+        assert main(["rules", str(model_file)]) == 0
+        out = capsys.readouterr().out
+        assert "RR1" in out
+
+    def test_rules_table_only(self, model_file, capsys):
+        assert main(["rules", str(model_file), "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "field" in out
+
+
+class TestFill:
+    def test_fill_stdout(self, model_file, tmp_path, capsys):
+        holes_path = tmp_path / "holes.csv"
+        holes_path.write_text("a,b,c\n5.0,,15.2\n")
+        assert main(["fill", str(model_file), str(holes_path)]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        filled = [float(x) for x in lines[1].split(",")]
+        assert filled[1] == pytest.approx(10.0, abs=1.0)  # b ~= 2*a
+
+    def test_fill_to_file(self, model_file, tmp_path, capsys):
+        holes_path = tmp_path / "holes.csv"
+        holes_path.write_text("a,b,c\n4.0,nan,12.0\n")
+        out_path = tmp_path / "filled.csv"
+        assert main(["fill", str(model_file), str(holes_path), "--output", str(out_path)]) == 0
+        matrix, _schema = load_csv_matrix(out_path)
+        assert not np.isnan(matrix).any()
+
+    def test_fill_column_mismatch(self, model_file, tmp_path, capsys):
+        holes_path = tmp_path / "holes.csv"
+        holes_path.write_text("x,y\n1.0,2.0\n")
+        assert main(["fill", str(model_file), str(holes_path)]) == 2
+        assert "column mismatch" in capsys.readouterr().err
+
+
+class TestGE:
+    def test_ge_report(self, model_file, csv_file, capsys):
+        csv_path, _matrix = csv_file
+        assert main(["ge", str(model_file), str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "GE1 (Ratio Rules" in out
+        assert "col-avgs" in out
+        assert "%" in out
+
+    def test_ge_multi_hole(self, model_file, csv_file, capsys):
+        csv_path, _matrix = csv_file
+        assert main(["ge", str(model_file), str(csv_path), "--holes", "2"]) == 0
+        assert "GE2" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_nba(self, tmp_path, capsys):
+        out_path = tmp_path / "nba.csv"
+        assert main(["generate", "nba", str(out_path)]) == 0
+        matrix, schema = load_csv_matrix(out_path)
+        assert matrix.shape == (459, 12)
+        assert "minutes played" in schema.names
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        assert main(["experiment", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "[PASS]" in out

@@ -1,0 +1,54 @@
+"""Tests for the `compare` CLI subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import RatioRuleModel
+from repro.io.schema import TableSchema
+
+
+def save_model(path, loadings, rng, schema):
+    factor = rng.normal(5.0, 2.0, size=300)
+    matrix = np.outer(factor, loadings) + rng.normal(0, 0.05, (300, len(loadings)))
+    RatioRuleModel(cutoff=1).fit(matrix, schema).save(path)
+
+
+class TestCompareCommand:
+    def test_stable_models_exit_zero(self, tmp_path, rng, capsys):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        path_a = tmp_path / "a.npz"
+        path_b = tmp_path / "b.npz"
+        save_model(path_a, [1.0, 2.0, 3.0], rng, schema)
+        save_model(path_b, [1.0, 2.0, 3.0], rng, schema)
+        assert main(["compare", str(path_a), str(path_b)]) == 0
+        out = capsys.readouterr().out
+        assert "stable" in out
+        assert "principal angles" in out
+
+    def test_drifted_models_exit_one(self, tmp_path, rng, capsys):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        path_a = tmp_path / "a.npz"
+        path_b = tmp_path / "b.npz"
+        save_model(path_a, [1.0, 2.0, 3.0], rng, schema)
+        save_model(path_b, [3.0, 0.2, 1.0], rng, schema)
+        assert main(["compare", str(path_a), str(path_b)]) == 1
+        assert "DRIFTED" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path, rng, capsys):
+        schema = TableSchema.from_names(["a", "b", "c"])
+        path_a = tmp_path / "a.npz"
+        path_b = tmp_path / "b.npz"
+        save_model(path_a, [1.0, 2.0, 3.0], rng, schema)
+        save_model(path_b, [3.0, 0.2, 1.0], rng, schema)
+        # An absurdly loose threshold declares anything stable.
+        assert main(["compare", str(path_a), str(path_b),
+                     "--angle-threshold", "89.9"]) == 0
+
+    def test_schema_mismatch_exit_two(self, tmp_path, rng, capsys):
+        path_a = tmp_path / "a.npz"
+        path_b = tmp_path / "b.npz"
+        save_model(path_a, [1.0, 2.0], rng, TableSchema.from_names(["a", "b"]))
+        save_model(path_b, [1.0, 2.0], rng, TableSchema.from_names(["x", "y"]))
+        assert main(["compare", str(path_a), str(path_b)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""Tests for the extended CLI subcommands (outliers, clean, whatif)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import RatioRuleModel
+from repro.io.csv_format import load_csv_matrix, save_csv_matrix
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def fitted(tmp_path, rng):
+    """A fitted model file plus the clean matrix it was trained on."""
+    factor = rng.normal(5.0, 2.0, size=200)
+    matrix = np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (200, 3))
+    schema = TableSchema.from_names(["a", "b", "c"])
+    model_path = tmp_path / "model.npz"
+    RatioRuleModel(cutoff=1).fit(matrix, schema).save(model_path)
+    return model_path, matrix, schema
+
+
+class TestOutliersCommand:
+    def test_flags_injected_outlier(self, fitted, tmp_path, capsys):
+        model_path, matrix, schema = fitted
+        audited = matrix[:50].copy()
+        audited[7, 1] = 500.0
+        data_path = tmp_path / "audit.csv"
+        save_csv_matrix(data_path, audited, schema)
+        assert main(["outliers", str(model_path), str(data_path),
+                     "--sigmas", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Row outliers" in out
+        assert "Cell outliers" in out
+        assert "row     7" in out
+
+    def test_clean_data_no_flags(self, fitted, tmp_path, capsys):
+        model_path, matrix, schema = fitted
+        data_path = tmp_path / "clean.csv"
+        save_csv_matrix(data_path, matrix[:50], schema)
+        assert main(["outliers", str(model_path), str(data_path),
+                     "--sigmas", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Row outliers" in out and ": 0" in out
+
+
+class TestCleanCommand:
+    def test_impute_only(self, fitted, tmp_path, capsys):
+        model_path, matrix, schema = fitted
+        data_path = tmp_path / "dirty.csv"
+        data_path.write_text("a,b,c\n5.0,,15.0\n4.0,8.0,12.0\n")
+        out_path = tmp_path / "cleaned.csv"
+        assert main(["clean", str(model_path), str(data_path), str(out_path)]) == 0
+        cleaned, _schema = load_csv_matrix(out_path)
+        assert not np.isnan(cleaned).any()
+        assert cleaned[0, 1] == pytest.approx(10.0, abs=0.5)
+        assert "Imputed 1 missing cell" in capsys.readouterr().out
+
+    def test_with_repair(self, fitted, tmp_path, capsys):
+        model_path, matrix, schema = fitted
+        dirty = matrix[:40].copy()
+        dirty[3, 2] = 9999.0
+        data_path = tmp_path / "dirty.csv"
+        save_csv_matrix(data_path, dirty, schema)
+        out_path = tmp_path / "cleaned.csv"
+        assert main(["clean", str(model_path), str(data_path), str(out_path),
+                     "--repair-sigmas", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Repaired" in out
+        cleaned, _schema = load_csv_matrix(out_path)
+        assert cleaned[3, 2] < 100.0
+
+    def test_schema_mismatch(self, fitted, tmp_path, capsys):
+        model_path, _matrix, _schema = fitted
+        data_path = tmp_path / "wrong.csv"
+        data_path.write_text("x,y\n1,2\n")
+        assert main(["clean", str(model_path), str(data_path),
+                     str(tmp_path / "out.csv")]) == 2
+        assert "column mismatch" in capsys.readouterr().err
+
+
+class TestWhatifCommand:
+    def test_set_value(self, fitted, capsys):
+        model_path, _matrix, _schema = fitted
+        assert main(["whatif", str(model_path), "--set", "a=10"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario result" in out
+        assert "(assumed)" in out
+        # b tracks a at 2x on this ratio data.
+        b_line = next(l for l in out.splitlines() if l.strip().startswith("b"))
+        assert "20" in b_line
+
+    def test_scale_value(self, fitted, capsys):
+        model_path, _matrix, _schema = fitted
+        assert main(["whatif", str(model_path), "--scale", "a=2.0"]) == 0
+        assert "Scenario result" in capsys.readouterr().out
+
+    def test_no_constraints_errors(self, fitted, capsys):
+        model_path, _matrix, _schema = fitted
+        assert main(["whatif", str(model_path)]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_unknown_attribute_errors(self, fitted, capsys):
+        model_path, _matrix, _schema = fitted
+        assert main(["whatif", str(model_path), "--set", "zz=1"]) == 2
+
+    def test_malformed_assignment(self, fitted):
+        model_path, _matrix, _schema = fitted
+        with pytest.raises(SystemExit):
+            main(["whatif", str(model_path), "--set", "a:10"])
+        with pytest.raises(SystemExit):
+            main(["whatif", str(model_path), "--set", "a=ten"])

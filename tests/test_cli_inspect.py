@@ -1,0 +1,45 @@
+"""Tests for the `inspect` CLI subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.csv_format import save_csv_matrix
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def data_file(tmp_path, rng):
+    factor = rng.normal(5.0, 2.0, size=200)
+    matrix = np.outer(factor, [1.0, 2.0, 0.1]) + rng.normal(0, 0.05, (200, 3))
+    matrix[:, 2] = rng.normal(7.0, 1.0, size=200)  # independent column
+    path = tmp_path / "data.csv"
+    save_csv_matrix(path, matrix, TableSchema.from_names(["a", "b", "c"]))
+    return path
+
+
+class TestInspectCommand:
+    def test_reports_shape_and_stats(self, data_file, capsys):
+        assert main(["inspect", str(data_file)]) == 0
+        out = capsys.readouterr().out
+        assert "200 rows x 3 columns" in out
+        assert "mean" in out and "stddev" in out
+
+    def test_reports_strong_correlation(self, data_file, capsys):
+        main(["inspect", str(data_file)])
+        out = capsys.readouterr().out
+        assert "a ~ b" in out
+        # a~b is near-perfect; the line should show +0.9-something.
+        line = next(l for l in out.splitlines() if "a ~ b" in l)
+        assert "+0.9" in line or "+1.0" in line
+
+    def test_suggests_cutoff(self, data_file, capsys):
+        main(["inspect", str(data_file)])
+        out = capsys.readouterr().out
+        assert "Suggested cutoff" in out
+        assert "k = " in out
+
+    def test_top_correlations_flag(self, data_file, capsys):
+        assert main(["inspect", str(data_file), "--top-correlations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("~") == 1

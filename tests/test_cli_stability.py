@@ -1,0 +1,39 @@
+"""Tests for the `stability` CLI subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import RatioRuleModel
+from repro.io.csv_format import save_csv_matrix
+from repro.io.schema import TableSchema
+
+
+@pytest.fixture
+def model_and_data(tmp_path, rng):
+    factor = rng.normal(5.0, 2.0, size=200)
+    matrix = np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (200, 3))
+    schema = TableSchema.from_names(["a", "b", "c"])
+    model_path = tmp_path / "m.npz"
+    RatioRuleModel(cutoff=1).fit(matrix, schema).save(model_path)
+    data_path = tmp_path / "train.csv"
+    save_csv_matrix(data_path, matrix, schema)
+    return model_path, data_path
+
+
+class TestStabilityCommand:
+    def test_reports_per_rule_angles(self, model_and_data, capsys):
+        model_path, data_path = model_and_data
+        assert main(["stability", str(model_path), str(data_path),
+                     "--resamples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "RR1" in out
+        assert "median angle" in out
+        assert "subspace" in out
+
+    def test_column_mismatch(self, model_and_data, tmp_path, capsys):
+        model_path, _data = model_and_data
+        bad = tmp_path / "bad.csv"
+        bad.write_text("x,y\n1,2\n3,4\n")
+        assert main(["stability", str(model_path), str(bad)]) == 2
+        assert "columns" in capsys.readouterr().err

@@ -1,0 +1,49 @@
+"""Tests for the `verify` CLI subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io.partitioned import write_partitioned
+from repro.io.rowstore import RowStore
+
+
+class TestVerifyCommand:
+    def test_good_file(self, tmp_path, rng, capsys):
+        path = tmp_path / "good.rr"
+        RowStore.write_matrix(path, rng.standard_normal((10, 3)))
+        assert main(["verify", str(path)]) == 0
+        assert "checksum verified" in capsys.readouterr().out
+
+    def test_corrupt_file(self, tmp_path, rng, capsys):
+        path = tmp_path / "bad.rr"
+        RowStore.write_matrix(path, rng.standard_normal((10, 3)))
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert main(["verify", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_legacy_file_reported(self, tmp_path, rng, capsys):
+        path = tmp_path / "legacy.rr"
+        RowStore.write_matrix(path, rng.standard_normal((10, 3)))
+        path.write_bytes(path.read_bytes()[:-12])
+        assert main(["verify", str(path)]) == 0
+        assert "no checksum trailer" in capsys.readouterr().out
+
+    def test_partition_directory(self, tmp_path, rng, capsys):
+        matrix = rng.standard_normal((60, 2))
+        write_partitioned(tmp_path / "parts", [matrix[:30], matrix[30:]])
+        assert main(["verify", str(tmp_path / "parts")]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") >= 2
+        assert "2 shard(s), 60 rows" in out
+
+    def test_partition_with_corrupt_shard(self, tmp_path, rng, capsys):
+        matrix = rng.standard_normal((60, 2))
+        paths = write_partitioned(tmp_path / "parts", [matrix[:30], matrix[30:]])
+        raw = bytearray(paths[0].read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        paths[0].write_bytes(bytes(raw))
+        assert main(["verify", str(tmp_path / "parts")]) == 1
+        assert "FAIL" in capsys.readouterr().out

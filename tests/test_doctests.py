@@ -1,0 +1,24 @@
+"""Run the doctests embedded in public docstrings.
+
+Documentation examples that don't run are worse than none; this keeps
+the ``>>>`` blocks honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.model
+
+MODULES_WITH_DOCTESTS = [
+    repro.core.model,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

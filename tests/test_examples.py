@@ -1,0 +1,51 @@
+"""Every example script must run clean and produce its headline output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["Mined", "butter", "Guessing error"],
+    "forecasting.py": ["NO RULE FIRES", "Ratio Rule"],
+    "nba_interpretation.py": ["Table 2", "RR1", "minutes"],
+    "outlier_detection.py": ["JORDAN-LIKE", "RODMAN-LIKE", "Cell outliers"],
+    "whatif_scenario.py": ["Cheerios doubles", "milk"],
+    "categorical_data.py": ["position", "recovery accuracy", "residual"],
+    "data_cleaning.py": ["Imputed", "Repaired"],
+    "documents_lsi.py": ["RR1", "topic scores", "reconstructed"],
+    "market_basket.py": ["Cart so far", "uplift", "Apriori"],
+    "streaming_updates.py": ["rows_seen", "promotion", "Live forecast"],
+    "visualization.py": ["nba", "baseball", "abalone", "RR1"],
+    "warehouse_partitions.py": [
+        "monthly partitions",
+        "checksum-verified",
+        "identical to monolithic: True",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for snippet in EXPECTED_SNIPPETS[script]:
+        assert snippet in completed.stdout, (
+            f"{script} output missing {snippet!r}:\n{completed.stdout[:2000]}"
+        )
+
+
+def test_all_examples_covered():
+    """Every script in examples/ has an expectation entry."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

@@ -1,0 +1,170 @@
+"""End-to-end integration tests crossing every subsystem.
+
+Each test here tells one complete story a downstream user would live:
+data lands on disk, a model is mined, persisted, reloaded, applied, and
+evaluated -- with the paper's quality measure closing the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BasketRecommender,
+    ColumnAverageBaseline,
+    RatioRuleModel,
+    Scenario,
+    calibrate,
+    detect_row_outliers,
+    evaluate_scenario,
+    guessing_error,
+    impute_missing,
+    load_dataset,
+    relative_guessing_error,
+    single_hole_error,
+)
+from repro.cli import main
+from repro.core.compare import compare_models
+from repro.core.online import OnlineRatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.datasets.quest import QuestBasketGenerator
+from repro.io.csv_format import save_csv_matrix
+from repro.io.matrix_reader import RowStoreReader
+from repro.io.rowstore import RowStore
+
+
+class TestDiskToModelToEvaluation:
+    """Generate -> store on disk -> single-pass fit -> GE evaluation."""
+
+    def test_full_pipeline_over_rowstore(self, tmp_path):
+        generator = QuestBasketGenerator(n_items=30, seed=0)
+        train_path = tmp_path / "train.rr"
+        generator.write_rowstore(train_path, 5_000, seed=1)
+        test_matrix = generator.generate(500, seed=2)
+
+        reader = RowStoreReader(train_path)
+        model = RatioRuleModel().fit(reader)
+        assert reader.passes_completed == 1  # the paper's core claim
+
+        baseline = ColumnAverageBaseline().fit(RowStoreReader(train_path))
+        percent = relative_guessing_error(model, baseline, test_matrix)
+        assert percent < 100.0  # rules beat means on pattern-rich baskets
+
+    def test_persisted_model_round_trip_through_cli(self, tmp_path, capsys):
+        dataset = load_dataset("abalone", seed=0)
+        train, test = dataset.train_test_split(0.1, seed=0)
+        train_csv = tmp_path / "train.csv"
+        test_csv = tmp_path / "test.csv"
+        save_csv_matrix(train_csv, train.matrix, dataset.schema)
+        save_csv_matrix(test_csv, test.matrix, dataset.schema)
+        model_path = tmp_path / "model.npz"
+
+        assert main(["fit", str(train_csv), "--save", str(model_path)]) == 0
+        assert main(["ge", str(model_path), str(test_csv)]) == 0
+        out = capsys.readouterr().out
+        # The CLI prints the RR/col-avgs ratio; abalone should be far
+        # below 100%.
+        ratio_line = next(l for l in out.splitlines() if "RR / col-avgs" in l)
+        ratio = float(ratio_line.split(":")[1].strip().rstrip("%"))
+        assert ratio < 50.0
+
+
+class TestShardedEqualsMonolithic:
+    """Shards on disk -> parallel fit == one-shot fit, end to end."""
+
+    def test_sharded_disk_fit(self, tmp_path, rng):
+        factor = rng.normal(4.0, 1.5, size=900)
+        matrix = np.outer(factor, [1.0, 2.0, 0.5, 1.5]) + rng.normal(0, 0.05, (900, 4))
+        paths = []
+        for index, start in enumerate(range(0, 900, 300)):
+            path = tmp_path / f"shard{index}.rr"
+            RowStore.write_matrix(path, matrix[start : start + 300])
+            assert RowStore.verify(path)
+            paths.append(path)
+        sharded = fit_sharded(paths, cutoff=1, max_workers=3)
+        whole = RatioRuleModel(cutoff=1).fit(matrix)
+        np.testing.assert_allclose(sharded.rules_matrix, whole.rules_matrix, atol=1e-8)
+        # Both models answer a forecast identically.
+        probe = np.array([4.0, np.nan, np.nan, np.nan])
+        np.testing.assert_allclose(
+            sharded.fill_row(probe), whole.fill_row(probe), atol=1e-8
+        )
+
+
+class TestOnlineConvergesToBatch:
+    """Streaming updates -> drift detection against the batch model."""
+
+    def test_stream_then_compare(self, rng):
+        factor = rng.normal(5.0, 2.0, size=600)
+        matrix = np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (600, 3))
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        for start in range(0, 600, 100):
+            online.update(matrix[start : start + 100])
+        batch = RatioRuleModel(cutoff=1).fit(matrix)
+        comparison = compare_models(batch, online.model())
+        assert not comparison.is_drifted()
+        assert comparison.max_angle_degrees < 0.1
+
+
+class TestCleaningRestoresQuality:
+    """Corrupt a feed, clean it, verify the guessing error recovers."""
+
+    def test_clean_then_ge(self, rng):
+        dataset = load_dataset("abalone", seed=0)
+        train, test = dataset.train_test_split(0.1, seed=0)
+        model = RatioRuleModel().fit(train.matrix, schema=dataset.schema)
+
+        dirty = test.matrix.copy()
+        holes = rng.random(dirty.shape) < 0.08
+        dirty[holes] = np.nan
+        cleaned = impute_missing(model, dirty).cleaned
+
+        # The cleaned matrix is usable as GE ground truth and sits close
+        # to the original.
+        rms = np.sqrt(np.mean((cleaned - test.matrix) ** 2))
+        baseline_rms = np.sqrt(np.mean((test.matrix - train.matrix.mean(axis=0)) ** 2))
+        assert rms < 0.3 * baseline_rms
+        report = guessing_error(model, cleaned, h=1)
+        assert report.value > 0
+
+
+class TestDecisionSupportChain:
+    """What-if -> intervals -> recommendation, one model serving all."""
+
+    def test_one_model_many_applications(self, rng):
+        habit = rng.uniform(0.5, 5.0, size=600)
+        matrix = np.column_stack(
+            [habit, 2.0 * habit, 0.5 * habit]
+        ) + rng.normal(0, 0.05, (600, 3))
+        from repro.io.schema import TableSchema
+
+        schema = TableSchema.from_names(["cereal", "milk", "yogurt"], unit="$")
+        model = RatioRuleModel(cutoff=1).fit(matrix[:500], schema=schema)
+
+        # What-if.
+        result = evaluate_scenario(model, Scenario(scaled={"cereal": 2.0}))
+        assert result["milk"] == pytest.approx(
+            2.0 * model.means_[1], rel=0.1
+        )
+
+        # Calibrated intervals.
+        calibrated = calibrate(model, matrix[500:], confidence=0.9)
+        _filled, intervals = calibrated.fill_row_with_intervals(
+            np.array([3.0, np.nan, np.nan])
+        )
+        assert all(iv.lower < iv.value < iv.upper for iv in intervals)
+
+        # Recommendation.
+        recommender = BasketRecommender(model)
+        recs = recommender.recommend({"cereal": 4.0}, top_n=2)
+        assert recs[0].product in ("milk", "yogurt")
+
+        # Outliers: a fabricated anti-pattern row is flagged.
+        audit = np.vstack([matrix[:100], [[5.0, 0.5, 5.0]]])
+        flagged = detect_row_outliers(model, audit, n_sigmas=3.0)
+        assert any(o.row == 100 for o in flagged)
+
+        # And the quality measure confirms the model is good.
+        ge_model = single_hole_error(model, matrix[500:]).value
+        baseline = ColumnAverageBaseline().fit(matrix[:500], schema=schema)
+        ge_baseline = single_hole_error(baseline, matrix[500:]).value
+        assert ge_model < 0.2 * ge_baseline

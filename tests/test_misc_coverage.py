@@ -1,0 +1,83 @@
+"""Small behaviours not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.guessing_error import guessing_error
+from repro.core.interpret import loading_table
+from repro.core.model import RatioRuleModel
+from repro.core.visualize import Projection
+from repro.experiments.fig8_scaleup import DEFAULT_SIZES, PAPER_SIZES
+from repro.io.rowstore import RowStore
+
+
+class TestProjectionExtremes:
+    def test_count_clamped_to_points(self):
+        projection = Projection(
+            x=np.array([0.0, 1.0]), y=np.array([0.0, 1.0]), x_rule=0, y_rule=1
+        )
+        assert len(projection.extremes(10)) == 2
+
+
+class TestLoadingTableOptions:
+    def test_digits_respected(self, correlated_model):
+        table = loading_table(correlated_model.rules_, digits=5)
+        # A 5-decimal value appears somewhere in the table body.
+        assert any(
+            "." in cell and len(cell.split(".")[-1]) == 5
+            for line in table.splitlines()[2:]
+            for cell in line.split()
+            if any(ch.isdigit() for ch in cell)
+        )
+
+
+class TestGuessingErrorInputFlexibility:
+    def test_numpy_integer_hole_sets(self, correlated_model, correlated_matrix):
+        sets = [np.array([0]), np.array([2])]
+        report = guessing_error(
+            correlated_model, correlated_matrix[:10], h=1, hole_sets=sets
+        )
+        assert report.n_hole_sets == 2
+
+
+class TestRowStoreBlockedWrite:
+    def test_small_block_rows(self, tmp_path, rng):
+        matrix = rng.standard_normal((17, 2))
+        path = tmp_path / "blocked.rr"
+        RowStore.write_matrix(path, matrix, block_rows=4)
+        restored, _schema = RowStore.read_all(path)
+        np.testing.assert_array_equal(restored, matrix)
+        assert RowStore.verify(path)
+
+
+class TestCLIGenerateAllDatasets:
+    @pytest.mark.parametrize(
+        "name,rows", [("baseball", 1574), ("abalone", 4177)]
+    )
+    def test_generate(self, tmp_path, name, rows, capsys):
+        out = tmp_path / f"{name}.csv"
+        assert main(["generate", name, str(out), "--seed", "3"]) == 0
+        assert str(rows) in capsys.readouterr().out
+
+
+class TestFig8Constants:
+    def test_paper_sizes_reach_100k(self):
+        assert max(PAPER_SIZES) == 100_000
+        assert max(DEFAULT_SIZES) == 100_000
+        assert list(PAPER_SIZES) == sorted(PAPER_SIZES)
+
+
+class TestModelEffortSurface:
+    def test_fill_after_load_without_refit(self, tmp_path, correlated_model):
+        """A loaded model is immediately usable (no hidden fit state)."""
+        path = tmp_path / "m.npz"
+        correlated_model.save(path)
+        loaded = RatioRuleModel.load(path)
+        row = np.array([1.0, np.nan, 3.0, np.nan, 5.0])
+        np.testing.assert_allclose(
+            loaded.fill_row(row), correlated_model.fill_row(row)
+        )
+        # And it can score, project, and describe.
+        assert "RR1" in loaded.describe()
+        assert loaded.transform(np.ones((1, 5))).shape[1] == loaded.k

@@ -1,0 +1,42 @@
+"""Tests of the top-level public API surface."""
+
+import numpy as np
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_readme_quickstart_works(self, figure1_matrix):
+        """The exact flow the README promises."""
+        model = repro.RatioRuleModel().fit(figure1_matrix)
+        description = model.describe()
+        assert "RR1" in description
+        filled = model.fill_row(np.array([10.0, np.nan]))
+        assert np.isfinite(filled).all()
+
+    def test_docstring_example_from_model(self):
+        """The RatioRuleModel docstring example, verbatim."""
+        X = np.array(
+            [[0.89, 0.49], [3.34, 1.85], [5.00, 3.09], [1.78, 0.99], [4.02, 2.61]]
+        )
+        model = repro.RatioRuleModel().fit(X)
+        assert model.k == 1
+        filled = model.fill_row(np.array([8.50, np.nan]))
+        assert bool(filled[1] > 4.0)
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.core
+        import repro.datasets
+        import repro.experiments
+        import repro.io
+        import repro.linalg
+
+        assert repro.core.RatioRuleModel is repro.RatioRuleModel
