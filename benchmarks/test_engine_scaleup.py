@@ -1,0 +1,134 @@
+"""Fig.-8-style scale-up for the process-parallel scan engine.
+
+The paper's Fig. 8 shows the miner's scan time growing linearly in the
+row count.  This benchmark reproduces the modern analogue for the
+chunked engine: the same ≥4-shard CSV workload scanned with the
+serial, thread, and process executors, with the merged statistics
+asserted exact against a single-scan reference at every point.
+
+The wall-clock claim -- processes beat threads by >1.5x on a CPU-bound
+CSV parse -- only holds with real parallel hardware; on a single-core
+box the process pool degenerates to serial-with-IPC-overhead, so the
+speedup assertion is gated on ``os.cpu_count() >= 2`` and the
+exactness assertions run everywhere.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.engine import scan_sources
+from repro.io.csv_format import save_csv_matrix
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_SHARDS = 4
+ROWS_PER_SHARD = 10_000
+N_COLS = 16
+WORKERS = 4
+REPEATS = 2
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """A 4-shard CSV workload plus its single-scan reference statistics."""
+    rng = np.random.default_rng(8)
+    factor = rng.normal(40.0, 12.0, size=N_SHARDS * ROWS_PER_SHARD)
+    loadings = rng.uniform(0.5, 2.0, size=N_COLS)
+    matrix = np.outer(factor, loadings) + rng.normal(
+        0, 0.5, (N_SHARDS * ROWS_PER_SHARD, N_COLS)
+    )
+    root = tmp_path_factory.mktemp("engine_scaleup")
+    paths = []
+    for index in range(N_SHARDS):
+        path = root / f"shard{index}.csv"
+        save_csv_matrix(
+            path, matrix[index * ROWS_PER_SHARD : (index + 1) * ROWS_PER_SHARD]
+        )
+        paths.append(path)
+    reference = StreamingCovariance(N_COLS)
+    reference.update(matrix)
+    return paths, reference
+
+
+def best_of(executor, paths, repeats=REPEATS):
+    """(best wall-clock seconds, last ScanResult) over ``repeats`` scans."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = scan_sources(paths, executor=executor, max_workers=WORKERS)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_engine_scaleup_curve(workload):
+    paths, reference = workload
+    timings = {}
+    for executor in ("serial", "thread", "process"):
+        seconds, result = best_of(executor, paths)
+        timings[executor] = (seconds, result)
+        # Exactness everywhere: chunked + merged == one scan of everything.
+        np.testing.assert_allclose(
+            result.accumulator.scatter_matrix(),
+            reference.scatter_matrix(),
+            atol=1e-8,
+        )
+        assert result.accumulator.n_rows == N_SHARDS * ROWS_PER_SHARD
+
+    lines = [
+        "Engine scale-up: %d CSV shards x %d rows x %d cols, %d workers"
+        % (N_SHARDS, ROWS_PER_SHARD, N_COLS, WORKERS),
+        "(best of %d runs per executor; host has %d CPU(s))"
+        % (REPEATS, os.cpu_count() or 1),
+        "",
+        "executor   seconds      rows/s   resolved-as",
+        "--------   -------   ---------   -----------",
+    ]
+    for executor, (seconds, result) in timings.items():
+        lines.append(
+            "%-8s   %7.3f   %9.0f   %s x%d"
+            % (
+                executor,
+                seconds,
+                result.metrics.n_rows / seconds,
+                result.metrics.executor,
+                result.metrics.n_workers,
+            )
+        )
+    serial_s = timings["serial"][0]
+    thread_s = timings["thread"][0]
+    process_s = timings["process"][0]
+    lines.append("")
+    lines.append("process speedup over thread: %.2fx" % (thread_s / process_s))
+    lines.append("process speedup over serial: %.2fx" % (serial_s / process_s))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "engine_scaleup.txt").write_text("\n".join(lines) + "\n")
+
+    if (os.cpu_count() or 1) >= 2:
+        # The ISSUE's headline claim: CPU-bound CSV parsing is GIL-bound
+        # under threads, so the process pool must win by a wide margin.
+        assert thread_s / process_s > 1.5, "\n".join(lines)
+    else:
+        pytest.skip(
+            "single-CPU host: process pool cannot outrun threads "
+            "(exactness already asserted); table written to "
+            "benchmarks/results/engine_scaleup.txt"
+        )
+
+
+def test_engine_scan_throughput(benchmark, workload):
+    """Track the chunked scan's throughput with pytest-benchmark stats."""
+    paths, reference = workload
+    result = benchmark.pedantic(
+        lambda: scan_sources(paths, executor="auto", max_workers=WORKERS),
+        rounds=2,
+        iterations=1,
+    )
+    np.testing.assert_allclose(
+        result.accumulator.scatter_matrix(), reference.scatter_matrix(), atol=1e-8
+    )

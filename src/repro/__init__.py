@@ -28,7 +28,10 @@ Subpackages
     From-scratch eigensolvers (Jacobi, power iteration, Lanczos) and
     SVD/pseudo-inverse.
 ``repro.io``
-    On-disk row store, CSV, and streaming readers.
+    On-disk row store, CSV, and streaming readers, including the
+    offset-seekable chunk readers behind the parallel scan engine.
+``repro.obs``
+    Scan/solve instrumentation (``model.metrics_``, CLI ``--stats``).
 ``repro.datasets``
     Simulated `nba` / `baseball` / `abalone` datasets and a Quest-style
     basket generator (see DESIGN.md for the substitution rationale).
@@ -75,11 +78,13 @@ from repro.core import (
     project,
     relative_guessing_error,
     repair_corrupted,
+    scan_sources,
     scatter_svg,
     single_hole_error,
 )
 from repro.datasets import Dataset, load_dataset
 from repro.io import TableSchema
+from repro.obs import ScanMetrics
 
 __version__ = "1.0.0"
 
@@ -101,6 +106,7 @@ __all__ = [
     "RatioRule",
     "RatioRuleModel",
     "RuleSet",
+    "ScanMetrics",
     "Scenario",
     "TableSchema",
     "__version__",
@@ -121,6 +127,7 @@ __all__ = [
     "project",
     "relative_guessing_error",
     "repair_corrupted",
+    "scan_sources",
     "scatter_svg",
     "single_hole_error",
 ]

@@ -58,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="eigensolver backend")
     fit.add_argument("--save", metavar="MODEL.npz", default=None,
                      help="save the fitted model")
+    fit.add_argument("--stats", action="store_true",
+                     help="print scan/solve telemetry (rows/sec, blocks, "
+                          "merge counts, timings) after fitting")
+    fit.add_argument("--executor", default="auto",
+                     choices=["auto", "serial", "thread", "process"],
+                     help="scan fabric: 'process' parallelizes the scan "
+                          "across CPU cores via the out-of-core engine "
+                          "(default: auto)")
+    fit.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="scan pool width (default: serial for --executor "
+                          "auto, all cores for an explicit parallel executor)")
 
     rules = subparsers.add_parser("rules", help="print the rules of a saved model")
     rules.add_argument("model", help="model .npz produced by 'fit --save'")
@@ -195,9 +206,22 @@ def _load_csv_with_holes(path: str):
 
 def _cmd_fit(args: argparse.Namespace) -> int:
     from repro.core.model import RatioRuleModel
+    from repro.core.parallel import fit_sharded
 
-    model = RatioRuleModel(cutoff=_parse_cutoff(args.cutoff), backend=args.backend)
-    model.fit(args.data)
+    cutoff = _parse_cutoff(args.cutoff)
+    if args.executor != "auto" or args.workers is not None:
+        # Route through the out-of-core scan engine, which splits the
+        # file into chunks and scans them on the requested fabric.
+        model = fit_sharded(
+            [args.data],
+            cutoff=cutoff,
+            backend=args.backend,
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+    else:
+        model = RatioRuleModel(cutoff=cutoff, backend=args.backend)
+        model.fit(args.data)
     print(
         f"Mined {model.k} Ratio Rules from {model.n_rows_} rows x "
         f"{model.schema_.width} attributes "
@@ -205,6 +229,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     )
     print()
     print(model.describe())
+    if args.stats and model.metrics_ is not None:
+        print()
+        print("Scan statistics")
+        print("---------------")
+        print(model.metrics_.render())
     if args.save:
         model.save(args.save)
         print(f"\nModel saved to {args.save}")

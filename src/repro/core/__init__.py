@@ -29,6 +29,10 @@ text):
   filled holes;
 - :mod:`repro.core.parallel` -- sharded mining via mergeable
   accumulators (the single-pass answer to the paper's reference [3]);
+- :mod:`repro.core.engine` -- the process-parallel, out-of-core scan
+  engine behind :func:`~repro.core.parallel.fit_sharded`: chunk
+  planning over files, a picklable map step, exact order-preserving
+  merges, and scan telemetry;
 - :mod:`repro.core.online` -- streaming model maintenance, with
   optional exponential forgetting (via
   :class:`~repro.core.covariance.DecayingCovariance`);
@@ -47,6 +51,13 @@ from repro.core.categorical import (
     MixedSchema,
 )
 from repro.core.compare import ModelComparison, compare_models, principal_angles
+from repro.core.engine import (
+    ScanChunk,
+    ScanResult,
+    plan_chunks,
+    scan_chunk,
+    scan_sources,
+)
 from repro.core.crossval import (
     CutoffCVReport,
     cross_validate_cutoff,
@@ -134,6 +145,8 @@ __all__ = [
     "RuleInterpretation",
     "RuleSet",
     "RuleStabilityReport",
+    "ScanChunk",
+    "ScanResult",
     "Scenario",
     "ScenarioResult",
     "ScreeCutoff",
@@ -164,11 +177,14 @@ __all__ = [
     "loading_table",
     "merge_partials",
     "mine_wide",
+    "plan_chunks",
     "principal_angles",
     "project",
     "relative_guessing_error",
     "repair_corrupted",
     "resolve_cutoff",
+    "scan_chunk",
+    "scan_sources",
     "scatter_svg",
     "single_hole_error",
 ]

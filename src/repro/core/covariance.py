@@ -28,6 +28,7 @@ either way and Eq. 1's energy ratios are scale-invariant).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
@@ -151,15 +152,27 @@ class DecayingCovariance:
 
     The plain :class:`StreamingCovariance` weighs every row equally
     forever, so a regime change is diluted by all the history before
-    it.  This variant multiplies the accumulated statistics by a decay
-    factor ``0 < decay <= 1`` before each new block is folded in:
-    ``decay = 1`` reproduces the plain accumulator; smaller values give
-    the stream an effective memory of roughly ``1 / (1 - decay)``
-    blocks.
+    it.  This variant discounts history **per row**: a row seen ``j``
+    rows ago carries weight ``decay ** j``, regardless of how the
+    stream was cut into blocks.  ``decay = 1`` reproduces the plain
+    accumulator; smaller values give the stream an effective memory of
+    roughly ``1 / (1 - decay)`` *rows*.
 
-    The weighted statistics follow the same Chan-merge algebra with the
-    "row count" generalized to a weight mass, so eigenvector directions
-    remain exact for the weighted problem.
+    .. note::
+       Earlier revisions applied the decay once per ``update()`` call,
+       so 100 single-row updates forgot ~100x faster than one 100-row
+       block.  Decay is now a property of the stream, not of its block
+       partitioning: folding rows in one at a time, in blocks, or in
+       any mix yields identical statistics (up to round-off).  Choose
+       ``decay`` against a row horizon -- e.g. ``decay = 1 - 1/5000``
+       for a ~5000-row memory -- not against an update cadence.
+
+    Internally each incoming block is folded with per-row weights
+    ``decay ** (b - 1 - i)`` (most recent row weighs 1) and the running
+    statistics are aged by ``decay ** b``; the weighted statistics
+    follow the same Chan-merge algebra with the "row count"
+    generalized to a weight mass, so eigenvector directions remain
+    exact for the weighted problem.
     """
 
     def __init__(self, n_cols: int, *, decay: float = 0.99) -> None:
@@ -185,15 +198,26 @@ class DecayingCovariance:
             )
         if block.shape[0] == 0:
             return
-        # Age: weight mass and scatter shrink; the mean is unchanged
-        # (decay reweights history, it does not move its centroid).
-        self._weight *= self.decay
-        self._scatter *= self.decay
+        b_count = block.shape[0]
+        # Age: one decay factor per incoming row, so the discount a row
+        # ever receives depends only on how many rows came after it --
+        # not on the block sizes the stream happened to arrive in.  The
+        # weight mass and scatter shrink; the mean is unchanged (decay
+        # reweights history, it does not move its centroid).
+        aging = self.decay ** b_count
+        self._weight *= aging
+        self._scatter *= aging
 
-        b_weight = float(block.shape[0])
-        b_mean = block.mean(axis=0)
+        if self.decay == 1.0:
+            row_weights = np.ones(b_count)
+        else:
+            # Within the block the same rule applies: row i (0-based) has
+            # b_count - 1 - i rows after it.
+            row_weights = self.decay ** np.arange(b_count - 1, -1, -1, dtype=np.float64)
+        b_weight = float(row_weights.sum())
+        b_mean = (row_weights[:, np.newaxis] * block).sum(axis=0) / b_weight
         centered = block - b_mean
-        b_scatter = centered.T @ centered
+        b_scatter = (row_weights[:, np.newaxis] * centered).T @ centered
 
         total = self._weight + b_weight
         if self._weight == 0.0:
@@ -293,6 +317,7 @@ def covariance_single_pass(
     *,
     block_rows: int = 4096,
     accumulator: str = "stable",
+    metrics=None,
 ) -> Tuple[np.ndarray, np.ndarray, int]:
     """One sequential scan of ``source`` -> (scatter ``C``, means, ``N``).
 
@@ -300,13 +325,18 @@ def covariance_single_pass(
     ----------
     source:
         Anything :func:`repro.io.matrix_reader.open_matrix` accepts: an
-        array, a reader, or a path to a CSV / row-store file.
+        array, a reader, or a path to a CSV / row-store file.  A reader
+        opened here from a path is closed before returning; readers
+        passed in stay open (the caller owns them).
     block_rows:
         Rows per block during the scan.
     accumulator:
         ``"stable"`` (default) uses :class:`StreamingCovariance`;
         ``"textbook"`` uses the paper-faithful
         :class:`TextbookCovarianceAccumulator`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.ScanMetrics` to fill with
+        the scan's row/block counts and wall-clock.
 
     Returns
     -------
@@ -314,17 +344,31 @@ def covariance_single_pass(
         The ``M x M`` scatter matrix ``C = Xc^t Xc``, the column means,
         and the number of rows scanned.
     """
+    owns_reader = not isinstance(source, MatrixReader)
     reader = open_matrix(source)
     if accumulator == "stable":
         acc: object = StreamingCovariance(reader.n_cols)
     elif accumulator == "textbook":
         acc = TextbookCovarianceAccumulator(reader.n_cols)
     else:
+        if owns_reader:
+            reader.close()
         raise ValueError(
             f"unknown accumulator {accumulator!r}; expected 'stable' or 'textbook'"
         )
-    for block in reader.iter_blocks(block_rows):
-        acc.update(block)
+    started = time.perf_counter()
+    n_blocks = 0
+    try:
+        for block in reader.iter_blocks(block_rows):
+            acc.update(block)
+            n_blocks += 1
+    finally:
+        if owns_reader:
+            reader.close()
+    if metrics is not None:
+        metrics.scan_seconds = time.perf_counter() - started
+        metrics.n_blocks = n_blocks
+        metrics.n_rows = acc.n_rows
     if acc.n_rows == 0:
         raise ValueError("source matrix has no rows")
     return acc.scatter_matrix(), acc.column_means, acc.n_rows

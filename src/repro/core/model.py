@@ -33,9 +33,10 @@ from repro.core.energy import (
 )
 from repro.core.reconstruction import HoleFillResult, fill_holes, fill_matrix, hole_fill_operator
 from repro.core.rules import RuleSet
-from repro.io.matrix_reader import open_matrix
+from repro.io.matrix_reader import MatrixReader, open_matrix
 from repro.io.schema import TableSchema
 from repro.linalg.eigen import solve_eigensystem
+from repro.obs.metrics import ScanMetrics, Stopwatch
 
 __all__ = ["RatioRuleModel", "NotFittedError"]
 
@@ -80,6 +81,9 @@ class RatioRuleModel:
         Eigenvalues of the kept rules, descending.
     total_variance_ : float
         Trace of the scatter matrix (Eq. 1's denominator).
+    metrics_ : repro.obs.metrics.ScanMetrics
+        Scan/solve telemetry for the fit (rows/sec, blocks, timings);
+        rendered by the CLI ``--stats`` flag.
 
     Examples
     --------
@@ -116,6 +120,7 @@ class RatioRuleModel:
         self.schema_: Optional[TableSchema] = None
         self.eigenvalues_: Optional[np.ndarray] = None
         self.total_variance_: Optional[float] = None
+        self.metrics_: Optional[ScanMetrics] = None
 
     # -- fitting ----------------------------------------------------------
 
@@ -135,11 +140,26 @@ class RatioRuleModel:
         RatioRuleModel
             ``self``, fitted.
         """
-        reader = open_matrix(source, schema)
-        scatter, means, n_rows = covariance_single_pass(
-            reader, block_rows=self.block_rows, accumulator=self.accumulator
-        )
-        self._fit_from_scatter(scatter, means, n_rows, reader.schema)
+        metrics = ScanMetrics()
+        owns_reader = not isinstance(source, MatrixReader)
+        with Stopwatch() as total_watch:
+            reader = open_matrix(source, schema)
+            try:
+                reader_schema = reader.schema
+                scatter, means, n_rows = covariance_single_pass(
+                    reader,
+                    block_rows=self.block_rows,
+                    accumulator=self.accumulator,
+                    metrics=metrics,
+                )
+            finally:
+                if owns_reader:
+                    reader.close()
+            with Stopwatch() as solve_watch:
+                self._fit_from_scatter(scatter, means, n_rows, reader_schema)
+        metrics.solve_seconds = solve_watch.seconds
+        metrics.total_seconds = total_watch.seconds
+        self.metrics_ = metrics
         return self
 
     def _fit_from_scatter(
@@ -238,10 +258,19 @@ class RatioRuleModel:
             underdetermined=underdetermined,
         )
 
-    def fill(self, matrix: np.ndarray) -> np.ndarray:
-        """Fill every NaN in an ``N x M`` matrix (data cleaning entry point)."""
+    def fill(self, matrix: np.ndarray, *, underdetermined: str = "truncate") -> np.ndarray:
+        """Fill every NaN in an ``N x M`` matrix (data cleaning entry point).
+
+        ``underdetermined`` selects the CASE-3 policy, exactly as in
+        :meth:`fill_row`, so batch and per-row fills agree.
+        """
         rules = self._require_fitted()
-        return fill_matrix(np.asarray(matrix, dtype=np.float64), rules.matrix, self.means_)
+        return fill_matrix(
+            np.asarray(matrix, dtype=np.float64),
+            rules.matrix,
+            self.means_,
+            underdetermined=underdetermined,
+        )
 
     def predict_holes(self, matrix: np.ndarray, hole_indices) -> np.ndarray:
         """Batch-predict the cells at ``hole_indices`` for every row.

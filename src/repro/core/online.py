@@ -48,10 +48,11 @@ class OnlineRatioRuleModel:
         Rows required before the first solve (rules over a handful of
         rows are noise; 2 is the mathematical minimum).
     decay:
-        Exponential forgetting factor applied per :meth:`update` call:
-        ``1.0`` (default) keeps all history forever; smaller values
-        give an effective memory of ~``1 / (1 - decay)`` updates, so
-        the rules track regime changes
+        Exponential forgetting factor applied **per row**: ``1.0``
+        (default) keeps all history forever; smaller values give an
+        effective memory of ~``1 / (1 - decay)`` rows -- independent
+        of how the stream is cut into update blocks -- so the rules
+        track regime changes
         (:class:`~repro.core.covariance.DecayingCovariance`).
     """
 
@@ -100,10 +101,24 @@ class OnlineRatioRuleModel:
 
         Only supported without forgetting: decayed statistics carry an
         update-order dependence that a commutative merge cannot honor.
+
+        Raises
+        ------
+        ValueError
+            When either model forgets (``decay < 1``) or the two
+            models' column schemas disagree -- merging streams that
+            describe different attributes would silently attribute
+            ``other``'s data to ``self``'s columns.
         """
         if self.decay < 1.0 or other.decay < 1.0:
             raise ValueError("merge is not defined for decaying models")
+        if self._schema.names != other._schema.names:
+            raise ValueError(
+                f"cannot merge online models with different schemas: "
+                f"{list(self._schema.names)} != {list(other._schema.names)}"
+            )
         self._accumulator.merge(other._accumulator)
+        self._updates_seen += other._updates_seen
         self._cached_model = None
         return self
 

@@ -14,21 +14,28 @@ This module wires that up at two levels:
 - :func:`merge_partials` / :func:`accumulate_shard` -- the map/reduce
   primitives, usable from any execution fabric (multiprocessing, Spark,
   a bash loop over files);
-- :func:`fit_sharded` -- a convenience driver that runs the map step
-  over sources (optionally in a thread pool; the accumulation is
-  numpy-bound, which releases the GIL for the large matmuls) and
-  returns a fitted :class:`~repro.core.model.RatioRuleModel`.
+- :func:`fit_sharded` -- a convenience driver over the out-of-core scan
+  engine (:mod:`repro.core.engine`): shards are planned into chunks,
+  scanned on a process pool (true parallelism -- CSV parsing and block
+  iteration are pure-Python and GIL-bound), threads, or a serial loop,
+  and the merged statistics are solved into a fitted
+  :class:`~repro.core.model.RatioRuleModel`.  Scan telemetry lands on
+  ``model.metrics_``.
+
+Shard readers are opened lazily, inside the worker that scans them, so
+a 1000-shard fit never holds 1000 open file handles.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.covariance import StreamingCovariance
+from repro.core.engine import scan_sources
 from repro.core.model import RatioRuleModel
-from repro.io.matrix_reader import open_matrix
+from repro.io.matrix_reader import MatrixReader, open_matrix
 from repro.io.schema import TableSchema
+from repro.obs.metrics import Stopwatch
 
 __all__ = ["accumulate_shard", "merge_partials", "fit_sharded"]
 
@@ -37,13 +44,20 @@ def accumulate_shard(source, *, block_rows: int = 4096) -> StreamingCovariance:
     """Map step: scan one shard into a partial covariance accumulator.
 
     ``source`` is anything :func:`~repro.io.matrix_reader.open_matrix`
-    accepts (array, reader, or file path).
+    accepts (array, reader, or file path).  A reader opened here from a
+    path is closed before returning; readers passed in stay open (the
+    caller owns them).
     """
+    owns_reader = not isinstance(source, MatrixReader)
     reader = open_matrix(source)
-    accumulator = StreamingCovariance(reader.n_cols)
-    for block in reader.iter_blocks(block_rows):
-        accumulator.update(block)
-    return accumulator
+    try:
+        accumulator = StreamingCovariance(reader.n_cols)
+        for block in reader.iter_blocks(block_rows):
+            accumulator.update(block)
+        return accumulator
+    finally:
+        if owns_reader:
+            reader.close()
 
 
 def merge_partials(partials: Iterable[StreamingCovariance]) -> StreamingCovariance:
@@ -71,58 +85,66 @@ def fit_sharded(
     backend: str = "numpy",
     block_rows: int = 4096,
     max_workers: Optional[int] = None,
+    executor: str = "auto",
+    target_chunks: Optional[int] = None,
 ) -> RatioRuleModel:
     """Mine Ratio Rules from several shards as if they were one matrix.
 
     Parameters
     ----------
     sources:
-        One entry per shard: arrays, readers, or file paths.  All must
-        share the column layout.
+        One entry per shard: arrays, readers, or file paths (CSV, row
+        store, ``.npz``, partition directory).  All must share the
+        column layout.
     schema:
         Optional explicit schema; defaults to the first shard's.
     cutoff, backend:
         Forwarded to :class:`~repro.core.model.RatioRuleModel`.
     block_rows:
-        Scan block size per shard.
+        Scan block size per chunk.
     max_workers:
-        Thread-pool width for the map step; ``None`` or ``1`` scans
-        serially (results are identical either way -- the merge is
-        order-dependent only at round-off level, and we merge in input
-        order regardless of completion order).
+        Pool width for the map step; ``None`` or ``1`` scans serially
+        unless ``executor`` explicitly requests a parallel fabric.
+        Results are identical either way -- partials are merged in plan
+        order regardless of completion order.
+    executor:
+        ``"auto"`` (serial unless ``max_workers > 1``; then processes
+        for file-backed shards, threads otherwise), ``"serial"``,
+        ``"thread"``, or ``"process"``.  See
+        :func:`repro.core.engine.scan_sources` for the fallback rules.
+    target_chunks:
+        Total scan chunks to plan; defaults to one per shard (or one
+        per worker when that is larger), letting the engine split big
+        files into byte/row ranges.
 
     Returns
     -------
     RatioRuleModel
-        Fitted exactly as a single scan over the concatenated shards.
+        Fitted exactly as a single scan over the concatenated shards,
+        with scan/solve telemetry on ``model.metrics_``.
     """
     if not sources:
         raise ValueError("need at least one shard")
-    readers = [open_matrix(source) for source in sources]
-    if schema is None:
-        schema = readers[0].schema
-    widths = {reader.n_cols for reader in readers}
-    if len(widths) != 1:
-        raise ValueError(f"shards disagree on column count: {sorted(widths)}")
-
-    if max_workers is None or max_workers <= 1:
-        partials: List[StreamingCovariance] = [
-            accumulate_shard(reader, block_rows=block_rows) for reader in readers
-        ]
-    else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            partials = list(
-                pool.map(
-                    lambda reader: accumulate_shard(reader, block_rows=block_rows),
-                    readers,
-                )
+    with Stopwatch() as total_watch:
+        result = scan_sources(
+            sources,
+            executor=executor,
+            max_workers=max_workers,
+            block_rows=block_rows,
+            target_chunks=target_chunks,
+            schema=schema,
+        )
+        if result.accumulator.n_rows == 0:
+            raise ValueError("shards contained no rows")
+        model = RatioRuleModel(cutoff=cutoff, backend=backend)
+        with Stopwatch() as solve_watch:
+            model._fit_from_scatter(
+                result.accumulator.scatter_matrix(),
+                result.accumulator.column_means,
+                result.accumulator.n_rows,
+                result.schema,
             )
-
-    merged = merge_partials(partials)
-    if merged.n_rows == 0:
-        raise ValueError("shards contained no rows")
-    model = RatioRuleModel(cutoff=cutoff, backend=backend)
-    model._fit_from_scatter(
-        merged.scatter_matrix(), merged.column_means, merged.n_rows, schema
-    )
+    result.metrics.solve_seconds = solve_watch.seconds
+    result.metrics.total_seconds = total_watch.seconds
+    model.metrics_ = result.metrics
     return model

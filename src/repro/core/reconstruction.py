@@ -224,6 +224,8 @@ def hole_fill_operator(
     hole_indices: Sequence[int],
     rules_matrix: np.ndarray,
     n_cols: int,
+    *,
+    underdetermined: str = "truncate",
 ) -> Tuple[np.ndarray, str, int]:
     """Precompute the linear map from known entries to hole predictions.
 
@@ -241,6 +243,10 @@ def hole_fill_operator(
         ``M x k`` rule matrix ``V``.
     n_cols:
         ``M`` (validated against ``rules_matrix``).
+    underdetermined:
+        Under-specified-case policy, matching :func:`fill_holes`:
+        ``"truncate"`` (the paper's CASE 3) or ``"min-norm"``
+        (minimum-norm solution over all ``k`` rules).
 
     Returns
     -------
@@ -252,6 +258,11 @@ def hole_fill_operator(
     if rules_matrix.shape[0] != n_cols:
         raise ValueError(
             f"rules_matrix has {rules_matrix.shape[0]} rows, expected {n_cols}"
+        )
+    if underdetermined not in ("truncate", "min-norm"):
+        raise ValueError(
+            f"underdetermined must be 'truncate' or 'min-norm', "
+            f"got {underdetermined!r}"
         )
     holes = np.zeros(n_cols, dtype=bool)
     hole_list = list(hole_indices)
@@ -268,12 +279,19 @@ def hole_fill_operator(
         return np.zeros((n_holes, 0)), CASE_ALL_HOLES, 0
 
     case, rules_used = _classify(n_known, k)
+    if case == CASE_UNDER and underdetermined == "min-norm":
+        rules_used = k  # keep every rule; the pseudo-inverse picks min-norm
     v_known = rules_matrix[~holes, :rules_used]
     v_holes = rules_matrix[holes, :rules_used]
     if float(np.linalg.norm(v_known)) < _MIN_INFORMATIVE_NORM:
         # No rule information in the knowns: zero operator (means only).
         return np.zeros((n_holes, n_known)), case, rules_used
-    if case == CASE_OVER or not _is_well_conditioned(v_known):
+    needs_pinv = (
+        case == CASE_OVER
+        or (case == CASE_UNDER and underdetermined == "min-norm")
+        or not _is_well_conditioned(v_known)
+    )
+    if needs_pinv:
         from repro.linalg.svd import pseudo_inverse
 
         solver = pseudo_inverse(v_known, backend="numpy")
@@ -286,17 +304,28 @@ def fill_matrix(
     matrix: np.ndarray,
     rules_matrix: np.ndarray,
     means: np.ndarray,
+    *,
+    underdetermined: str = "truncate",
 ) -> np.ndarray:
     """Fill every NaN in an ``N x M`` matrix, row by row.
 
     Rows sharing a hole pattern are grouped so the per-pattern solve is
     amortized (one :func:`hole_fill_operator` per distinct pattern).
+    ``underdetermined`` selects the CASE-3 policy exactly as in
+    :func:`fill_holes`, so batch and per-row fills agree cell for cell.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    if underdetermined not in ("truncate", "min-norm"):
+        raise ValueError(
+            f"underdetermined must be 'truncate' or 'min-norm', "
+            f"got {underdetermined!r}"
+        )
     means = np.asarray(means, dtype=np.float64)
     n_cols = matrix.shape[1]
+    if means.shape != (n_cols,):
+        raise ValueError(f"means must have shape ({n_cols},), got {means.shape}")
     filled = matrix.copy()
     hole_mask = np.isnan(matrix)
     if not hole_mask.any():
@@ -316,7 +345,9 @@ def fill_matrix(
         if known.size == 0:
             filled[np.ix_(rows, holes)] = means[holes]
             continue
-        operator, _case, _used = hole_fill_operator(pattern, rules_matrix, n_cols)
+        operator, _case, _used = hole_fill_operator(
+            pattern, rules_matrix, n_cols, underdetermined=underdetermined
+        )
         b_known = matrix[np.ix_(rows, known)] - means[known]
         predictions = b_known @ operator.T + means[holes]
         filled[np.ix_(rows, holes)] = predictions

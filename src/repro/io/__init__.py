@@ -19,9 +19,12 @@ from repro.io.npz_format import load_npz_matrix, save_npz_matrix
 from repro.io.partitioned import PartitionedReader, write_partitioned
 from repro.io.matrix_reader import (
     ArrayReader,
+    CSVChunkReader,
     CSVReader,
     MatrixReader,
+    RowStoreChunkReader,
     RowStoreReader,
+    csv_layout,
     open_matrix,
 )
 from repro.io.rowstore import RowStore, RowStoreError, RowStoreHeader
@@ -29,15 +32,18 @@ from repro.io.schema import ColumnSchema, TableSchema
 
 __all__ = [
     "ArrayReader",
+    "CSVChunkReader",
     "CSVReader",
     "ColumnSchema",
     "MatrixReader",
     "PartitionedReader",
+    "RowStoreChunkReader",
     "RowStore",
     "RowStoreError",
     "RowStoreHeader",
     "RowStoreReader",
     "TableSchema",
+    "csv_layout",
     "load_csv_matrix",
     "load_npz_matrix",
     "open_matrix",

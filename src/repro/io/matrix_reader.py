@@ -9,9 +9,24 @@ row blocks.  Three sources are provided:
 - :class:`RowStoreReader` for the binary on-disk format;
 - :class:`CSVReader` for delimited text files.
 
+Two *chunk* readers support the out-of-core parallel scan engine
+(:mod:`repro.core.engine`), which shards a single file into
+independently scannable ranges:
+
+- :class:`RowStoreChunkReader` scans a half-open row range of a row
+  store (rows are fixed-width, so the reader seeks straight to the
+  first byte);
+- :class:`CSVChunkReader` scans the lines whose first byte falls in a
+  half-open byte range, aligning itself to the next line boundary, so
+  adjacent chunks partition the file exactly.
+
 Every reader counts its scans in :attr:`MatrixReader.passes_completed`,
 which lets the test suite *assert* the paper's single-pass claim
-instead of taking it on faith.
+instead of taking it on faith.  Readers are context managers; those
+opened from a file path by convenience wrappers should be closed (or
+used via ``with``) so a thousand-shard fit never holds a thousand open
+handles -- the bundled readers open their file per scan and release it
+when the scan ends, making ``close()`` cheap to call unconditionally.
 """
 
 from __future__ import annotations
@@ -27,7 +42,16 @@ from repro.io.csv_format import CSVFormatError, open_text
 from repro.io.rowstore import RowStore
 from repro.io.schema import TableSchema
 
-__all__ = ["MatrixReader", "ArrayReader", "RowStoreReader", "CSVReader", "open_matrix"]
+__all__ = [
+    "MatrixReader",
+    "ArrayReader",
+    "RowStoreReader",
+    "CSVReader",
+    "RowStoreChunkReader",
+    "CSVChunkReader",
+    "csv_layout",
+    "open_matrix",
+]
 
 DEFAULT_BLOCK_ROWS = 4096
 
@@ -67,6 +91,22 @@ class MatrixReader(abc.ABC):
     def passes_completed(self) -> int:
         """Number of complete scans performed so far."""
         return self._passes_completed
+
+    def close(self) -> None:
+        """Release any resources held between scans.
+
+        The bundled readers hold no handles between scans (each scan
+        opens and closes its own), so the base implementation is a
+        no-op; subclasses that cache handles override it.  Provided so
+        scan drivers can close every reader they opened without caring
+        which kind it is.
+        """
+
+    def __enter__(self) -> "MatrixReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def read_matrix(self) -> np.ndarray:
         """Materialize the whole matrix (counts as one pass)."""
@@ -198,6 +238,173 @@ class CSVReader(MatrixReader):
                     buffer = []
         if buffer:
             yield np.asarray(buffer, dtype=np.float64)
+
+
+def csv_layout(path: Union[str, Path]):
+    """Probe an uncompressed header-row CSV: ``(schema, data_offset, size)``.
+
+    ``data_offset`` is the byte offset of the first data row (just past
+    the header line), ``size`` the file length -- the two endpoints the
+    chunk planner splits between.  Gzipped CSVs are not byte-seekable
+    and are rejected here; scan them as a single chunk instead.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".gz":
+        raise ValueError(f"{path}: gzipped CSV is not byte-range seekable")
+    size = path.stat().st_size
+    with open(path, "rb") as handle:
+        header_line = handle.readline()
+        data_offset = handle.tell()
+    if not header_line.strip():
+        raise CSVFormatError(f"{path}: empty file")
+    header = next(csv.reader([header_line.decode("utf-8").rstrip("\r\n")]))
+    if not header or any(not name.strip() for name in header):
+        raise CSVFormatError(f"{path}: blank column name in header row")
+    schema = TableSchema.from_names(name.strip() for name in header)
+    return schema, data_offset, size
+
+
+class CSVChunkReader(MatrixReader):
+    """Scan the CSV rows whose line start falls in ``[start, stop)``.
+
+    Adjacent chunks partition the file exactly: a line beginning at
+    byte ``b`` belongs to the chunk with ``start <= b < stop``, and a
+    line that *crosses* ``stop`` is read to completion by the chunk
+    that owns its first byte.  A reader whose ``start`` lands mid-line
+    skips forward to the next line boundary (that partial line belongs
+    to the neighbour on the left).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        start: int,
+        stop: int,
+        schema: Optional[TableSchema] = None,
+    ) -> None:
+        super().__init__()
+        self._path = Path(path)
+        if schema is None:
+            schema, data_offset, size = csv_layout(self._path)
+        else:
+            _, data_offset, size = csv_layout(self._path)
+        self._schema = schema
+        self._data_offset = data_offset
+        # Never let a chunk start inside the header line.
+        self._start = max(int(start), data_offset)
+        self._stop = min(int(stop), size)
+
+    @property
+    def n_cols(self) -> int:
+        return self._schema.width
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def byte_range(self):
+        """The half-open ``(start, stop)`` byte range owned."""
+        return self._start, self._stop
+
+    def _iter_blocks(self, block_rows: int) -> Iterator[np.ndarray]:
+        width = self._schema.width
+        buffer = []
+        with open(self._path, "rb") as handle:
+            position = self._start
+            handle.seek(position)
+            if position > self._data_offset:
+                # Align to the next line start unless already on one.
+                handle.seek(position - 1)
+                if handle.read(1) != b"\n":
+                    handle.readline()
+                position = handle.tell()
+            while position < self._stop:
+                line = handle.readline()
+                if not line:
+                    break
+                line_start = position
+                position = handle.tell()
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                record = next(csv.reader([text]))
+                if len(record) != width:
+                    raise CSVFormatError(
+                        f"{self._path} @ byte {line_start}: expected {width} "
+                        f"cells, got {len(record)}"
+                    )
+                try:
+                    buffer.append([float(cell) for cell in record])
+                except ValueError as exc:
+                    raise CSVFormatError(
+                        f"{self._path} @ byte {line_start}: {exc}"
+                    ) from exc
+                if len(buffer) == block_rows:
+                    yield np.asarray(buffer, dtype=np.float64)
+                    buffer = []
+        if buffer:
+            yield np.asarray(buffer, dtype=np.float64)
+
+
+class RowStoreChunkReader(MatrixReader):
+    """Scan the half-open row range ``[row_start, row_stop)`` of a store.
+
+    Rows are fixed-width on disk, so the scan seeks straight to the
+    first byte of ``row_start`` -- no leading rows are read or parsed.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        row_start: int = 0,
+        row_stop: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._path = Path(path)
+        store = RowStore.open(self._path)
+        try:
+            self._schema = store.schema
+            self._n_cols = store.n_cols
+            total = store.n_rows
+        finally:
+            store.close()
+        if row_stop is None:
+            row_stop = total
+        if not 0 <= row_start <= total:
+            raise ValueError(f"row_start {row_start} outside [0, {total}]")
+        if not row_start <= row_stop <= total:
+            raise ValueError(f"row_stop {row_stop} outside [{row_start}, {total}]")
+        self._row_start = int(row_start)
+        self._row_stop = int(row_stop)
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in the owned range."""
+        return self._row_stop - self._row_start
+
+    @property
+    def row_range(self):
+        """The half-open ``(row_start, row_stop)`` range owned."""
+        return self._row_start, self._row_stop
+
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    def _iter_blocks(self, block_rows: int) -> Iterator[np.ndarray]:
+        store = RowStore.open(self._path)
+        try:
+            for block in store.iter_blocks(
+                block_rows, row_start=self._row_start, row_stop=self._row_stop
+            ):
+                yield block
+        finally:
+            store.close()
 
 
 def open_matrix(source, schema: Optional[TableSchema] = None) -> MatrixReader:

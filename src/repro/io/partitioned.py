@@ -120,6 +120,11 @@ class PartitionedReader(MatrixReader):
     # -- metadata ---------------------------------------------------------
 
     @property
+    def directory(self) -> Path:
+        """The partition directory this reader scans."""
+        return self._directory
+
+    @property
     def n_cols(self) -> int:
         return self._schema.width
 
@@ -140,6 +145,14 @@ class PartitionedReader(MatrixReader):
     def shard_paths(self) -> List[Path]:
         """The shard files in scan order (for fit_sharded map steps)."""
         return list(self._shards)
+
+    def shard_row_counts(self) -> List[int]:
+        """Declared row count per shard, in scan order.
+
+        The parallel scan engine uses these to split big shards into
+        balanced row-range chunks without touching the shard files.
+        """
+        return list(self._declared_rows)
 
     # -- scanning ------------------------------------------------------------
 

@@ -291,19 +291,40 @@ class RowStore:
 
     # -- reading --------------------------------------------------------
 
-    def iter_blocks(self, block_rows: int = 4096) -> Iterator[np.ndarray]:
+    def iter_blocks(
+        self,
+        block_rows: int = 4096,
+        *,
+        row_start: int = 0,
+        row_stop: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
         """Yield the matrix front to back in blocks of ``block_rows`` rows.
 
         This is the single-pass access pattern: the file is read exactly
-        once, sequentially.
+        once, sequentially.  ``row_start`` / ``row_stop`` restrict the
+        scan to the half-open row range ``[row_start, row_stop)`` --
+        rows are fixed-width, so the reader seeks straight to the first
+        byte of ``row_start`` (the offset-seekable access pattern the
+        parallel scan engine shards files with).
         """
         if self._mode != "r":
             raise RowStoreError("store opened write-only")
         if block_rows < 1:
             raise ValueError(f"block_rows must be >= 1, got {block_rows}")
-        self._handle.seek(self._header.data_offset)
+        n_rows = self._header.n_rows
+        if row_stop is None:
+            row_stop = n_rows
+        if not 0 <= row_start <= n_rows:
+            raise ValueError(
+                f"row_start {row_start} outside [0, {n_rows}]"
+            )
+        if not row_start <= row_stop <= n_rows:
+            raise ValueError(
+                f"row_stop {row_stop} outside [{row_start}, {n_rows}]"
+            )
         bytes_per_row = 8 * self.n_cols
-        remaining = self._header.n_rows
+        self._handle.seek(self._header.data_offset + row_start * bytes_per_row)
+        remaining = row_stop - row_start
         while remaining > 0:
             take = min(block_rows, remaining)
             raw = self._handle.read(take * bytes_per_row)

@@ -1,0 +1,19 @@
+"""Observability: lightweight instrumentation for the mining pipeline.
+
+The paper's headline claim is a *performance* claim -- one sequential
+scan, a tiny solve -- so the library should be able to quantify its own
+hot path instead of taking Fig. 8 on faith.  This package holds the
+measurement substrate:
+
+- :mod:`repro.obs.metrics` -- scan/solve timers and counters
+  (:class:`~repro.obs.metrics.ScanMetrics`), attached to fitted models
+  as ``model.metrics_`` and rendered by the CLI ``--stats`` flag.
+
+It is dependency-free and cheap enough to stay on in production: the
+counters are plain ints/floats updated once per block or once per fit,
+never per cell.
+"""
+
+from repro.obs.metrics import ScanMetrics, Stopwatch
+
+__all__ = ["ScanMetrics", "Stopwatch"]

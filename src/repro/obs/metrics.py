@@ -1,0 +1,121 @@
+"""Scan/solve instrumentation for the single-pass mining pipeline.
+
+:class:`ScanMetrics` is the one record the whole library shares: the
+scan engine fills in the map/merge side (rows, blocks, chunks, merges,
+wall-clock), the model fills in the solve side, and the CLI renders the
+result for ``--stats``.  Everything is a plain counter -- no background
+threads, no sampling -- so the overhead is one ``perf_counter`` call
+per stage and one integer add per block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ScanMetrics", "Stopwatch"]
+
+
+class Stopwatch:
+    """Context manager measuring one wall-clock span.
+
+    >>> with Stopwatch() as watch:
+    ...     _ = sum(range(10))
+    >>> watch.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._started is not None
+        self.seconds = time.perf_counter() - self._started
+        self._started = None
+
+
+@dataclass
+class ScanMetrics:
+    """Counters and timings for one fit (scan + merge + solve).
+
+    Attributes
+    ----------
+    executor:
+        Execution fabric actually used for the map step: ``"serial"``,
+        ``"thread"``, or ``"process"`` (after any graceful fallback, so
+        this reports what ran, not what was requested).
+    n_workers:
+        Pool width of the map step (1 for serial scans).
+    n_sources:
+        Input shards/files/arrays scanned.
+    n_chunks:
+        Planned scan chunks (>= ``n_sources`` when sources are split).
+    n_blocks:
+        Row blocks folded into accumulators across all chunks.
+    n_rows:
+        Total rows scanned.
+    n_merges:
+        Partial-accumulator merges in the reduce step.
+    scan_seconds:
+        Wall-clock of the map + merge phase (the out-of-core part).
+    solve_seconds:
+        Wall-clock of the eigensystem solve.
+    total_seconds:
+        End-to-end fit wall-clock (>= scan + solve; includes planning).
+    """
+
+    executor: str = "serial"
+    n_workers: int = 1
+    n_sources: int = 1
+    n_chunks: int = 1
+    n_blocks: int = 0
+    n_rows: int = 0
+    n_merges: int = 0
+    scan_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def rows_per_second(self) -> float:
+        """Scan throughput; 0.0 when the scan was too fast to time."""
+        if self.scan_seconds <= 0.0:
+            return 0.0
+        return self.n_rows / self.scan_seconds
+
+    def merge(self, other: "ScanMetrics") -> None:
+        """Fold another metrics record into this one (for sub-scans)."""
+        self.n_sources += other.n_sources
+        self.n_chunks += other.n_chunks
+        self.n_blocks += other.n_blocks
+        self.n_rows += other.n_rows
+        self.n_merges += other.n_merges
+        self.scan_seconds += other.scan_seconds
+        self.solve_seconds += other.solve_seconds
+        self.total_seconds += other.total_seconds
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        throughput = self.rows_per_second
+        throughput_text = f"{throughput:,.0f} rows/s" if throughput else "n/a"
+        lines = [
+            f"executor      {self.executor} ({self.n_workers} worker(s))",
+            f"sources       {self.n_sources} source(s), {self.n_chunks} chunk(s)",
+            f"rows scanned  {self.n_rows:,} in {self.n_blocks:,} block(s)",
+            f"merges        {self.n_merges}",
+            f"scan time     {self.scan_seconds:.4f} s  ({throughput_text})",
+            f"solve time    {self.solve_seconds:.4f} s",
+            f"total time    {self.total_seconds:.4f} s",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"{key:<13} {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

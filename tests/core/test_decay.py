@@ -25,9 +25,42 @@ class TestDecayingCovariance:
         decaying = DecayingCovariance(2, decay=0.5)
         for _ in range(30):
             decaying.update(rng.standard_normal((10, 2)))
-        # Geometric series: 10 * (1 + 0.5 + 0.25 + ...) -> 20.
-        assert decaying.effective_weight == pytest.approx(20.0, rel=0.01)
+        # Decay is per row: a row j rows back weighs 0.5**j, so the
+        # mass saturates at the geometric sum 1 / (1 - 0.5) = 2.
+        assert decaying.effective_weight == pytest.approx(2.0, rel=0.01)
         assert decaying.n_rows == 300
+
+    def test_decay_invariant_to_block_partitioning(self, rng):
+        """Forgetting depends on rows seen, not on update() call counts.
+
+        The historical bug: decay was applied once per update() call, so
+        100 single-row updates forgot ~100x faster than one 100-row
+        block.  Per-row decay makes every partition of the same stream
+        yield identical statistics.
+        """
+        matrix = rng.standard_normal((120, 3)) + 2.0
+        partitions = [
+            [matrix],  # one big block
+            [matrix[i : i + 1] for i in range(120)],  # row at a time
+            [matrix[:50], matrix[50:53], matrix[53:]],  # ragged blocks
+        ]
+        accumulators = []
+        for blocks in partitions:
+            acc = DecayingCovariance(3, decay=0.97)
+            for block in blocks:
+                acc.update(block)
+            accumulators.append(acc)
+        reference = accumulators[0]
+        for acc in accumulators[1:]:
+            assert acc.effective_weight == pytest.approx(
+                reference.effective_weight, rel=1e-12
+            )
+            np.testing.assert_allclose(
+                acc.column_means, reference.column_means, atol=1e-10
+            )
+            np.testing.assert_allclose(
+                acc.scatter_matrix(), reference.scatter_matrix(), atol=1e-9
+            )
 
     def test_recent_data_dominates(self, rng):
         """After a regime change, the scatter follows the new regime."""

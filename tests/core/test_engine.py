@@ -1,0 +1,209 @@
+"""Tests for the process-parallel, out-of-core scan engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.engine import ScanChunk, plan_chunks, scan_chunk, scan_sources
+from repro.core.model import RatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.io.csv_format import save_csv_matrix
+from repro.io.matrix_reader import ArrayReader, CSVChunkReader, csv_layout
+from repro.io.partitioned import write_partitioned
+from repro.io.rowstore import RowStore
+
+
+@pytest.fixture
+def matrix(rng):
+    factor = rng.normal(5.0, 2.0, size=800)
+    return np.outer(factor, [1.0, 0.5, 2.0, 1.5]) + rng.normal(0, 0.1, (800, 4))
+
+
+@pytest.fixture
+def csv_shards(matrix, tmp_path):
+    paths = []
+    for index, start in enumerate(range(0, 800, 200)):
+        path = tmp_path / f"shard{index}.csv"
+        save_csv_matrix(path, matrix[start : start + 200])
+        paths.append(path)
+    return paths
+
+
+def reference_accumulator(matrix):
+    acc = StreamingCovariance(matrix.shape[1])
+    acc.update(matrix)
+    return acc
+
+
+class TestChunkPlanner:
+    def test_csv_byte_ranges_partition_file(self, csv_shards, matrix):
+        chunks, schema = plan_chunks(csv_shards[0], target_chunks=5)
+        assert len(chunks) == 5
+        assert schema.width == 4
+        _, data_offset, size = csv_layout(csv_shards[0])
+        assert chunks[0].start == data_offset
+        assert chunks[-1].stop == size
+        for left, right in zip(chunks, chunks[1:]):
+            assert left.stop == right.start
+        # Scanning the chunks back to back reproduces the shard exactly.
+        rows = [
+            block
+            for chunk in chunks
+            for block in CSVChunkReader(
+                chunk.source, chunk.start, chunk.stop
+            ).iter_blocks(64)
+        ]
+        np.testing.assert_allclose(np.vstack(rows), matrix[:200])
+
+    def test_rowstore_row_ranges(self, matrix, tmp_path):
+        path = tmp_path / "all.rr"
+        RowStore.write_matrix(path, matrix)
+        chunks, _schema = plan_chunks(path, target_chunks=3)
+        assert [chunk.kind for chunk in chunks] == ["rowstore"] * 3
+        assert chunks[0].start == 0
+        assert chunks[-1].stop == 800
+        assert sum(chunk.stop - chunk.start for chunk in chunks) == 800
+
+    def test_partition_directory_splits_by_shard_rows(self, matrix, tmp_path):
+        directory = tmp_path / "parts"
+        write_partitioned(directory, [matrix[:600], matrix[600:]])
+        chunks, schema = plan_chunks(directory, target_chunks=4)
+        assert schema.width == 4
+        assert all(chunk.kind == "rowstore" for chunk in chunks)
+        assert sum(chunk.stop - chunk.start for chunk in chunks) == 800
+        # The 600-row shard gets more chunks than the 200-row shard.
+        by_shard = {}
+        for chunk in chunks:
+            by_shard.setdefault(chunk.source, 0)
+            by_shard[chunk.source] += 1
+        counts = sorted(by_shard.values())
+        assert counts[-1] >= counts[0]
+
+    def test_gzip_csv_is_one_whole_file_chunk(self, matrix, tmp_path):
+        path = tmp_path / "data.csv.gz"
+        save_csv_matrix(path, matrix[:50])
+        chunks, _schema = plan_chunks(path, target_chunks=8)
+        assert [chunk.kind for chunk in chunks] == ["path"]
+
+    def test_array_chunks(self, matrix):
+        chunks, schema = plan_chunks(matrix, target_chunks=3)
+        assert [chunk.kind for chunk in chunks] == ["array"] * 3
+        assert schema.width == 4
+        assert not chunks[0].picklable
+
+    def test_scan_chunk_covers_planned_rows(self, csv_shards):
+        chunks, _ = plan_chunks(csv_shards[0], target_chunks=4)
+        total = 0
+        for chunk in chunks:
+            partial, n_blocks = scan_chunk(chunk, block_rows=32)
+            total += partial.n_rows
+            assert n_blocks >= 0
+        assert total == 200
+
+    def test_unknown_chunk_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chunk kind"):
+            scan_chunk(ScanChunk("mystery", None))
+
+
+class TestScanSources:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_exact_across_executors(self, executor, csv_shards, matrix):
+        reference = reference_accumulator(matrix)
+        result = scan_sources(csv_shards, executor=executor, max_workers=3)
+        np.testing.assert_allclose(
+            result.accumulator.scatter_matrix(),
+            reference.scatter_matrix(),
+            atol=1e-8,
+        )
+        np.testing.assert_allclose(
+            result.accumulator.column_means, reference.column_means, atol=1e-10
+        )
+        assert result.accumulator.n_rows == 800
+
+    def test_single_file_saturates_pool(self, matrix, tmp_path):
+        path = tmp_path / "big.rr"
+        RowStore.write_matrix(path, matrix)
+        result = scan_sources([path], executor="process", max_workers=4)
+        assert result.metrics.n_chunks == 4
+        assert result.metrics.executor == "process" or result.metrics.n_workers == 1
+        np.testing.assert_allclose(
+            result.accumulator.scatter_matrix(),
+            reference_accumulator(matrix).scatter_matrix(),
+            atol=1e-8,
+        )
+
+    def test_arrays_fall_back_to_threads(self, matrix):
+        result = scan_sources(
+            [matrix[:400], matrix[400:]], executor="process", max_workers=2
+        )
+        assert result.metrics.executor == "thread"
+
+    def test_single_worker_falls_back_to_serial(self, csv_shards):
+        result = scan_sources(csv_shards, executor="process", max_workers=1)
+        assert result.metrics.executor == "serial"
+
+    def test_metrics_populated(self, csv_shards):
+        result = scan_sources(csv_shards, executor="thread", max_workers=2)
+        metrics = result.metrics
+        assert metrics.n_sources == 4
+        assert metrics.n_chunks >= 4
+        assert metrics.n_rows == 800
+        assert metrics.n_merges == metrics.n_chunks
+        assert metrics.n_blocks >= metrics.n_chunks
+        assert metrics.scan_seconds > 0
+        assert metrics.total_seconds >= metrics.scan_seconds
+        assert metrics.rows_per_second > 0
+        rendered = metrics.render()
+        assert "rows/s" in rendered
+        assert "thread" in rendered
+
+    def test_width_mismatch_rejected(self, matrix, tmp_path):
+        narrow = tmp_path / "narrow.csv"
+        save_csv_matrix(narrow, matrix[:10, :3])
+        wide = tmp_path / "wide.csv"
+        save_csv_matrix(wide, matrix[:10])
+        with pytest.raises(ValueError, match="column count"):
+            scan_sources([wide, narrow])
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError, match="at least one source"):
+            scan_sources([])
+
+    def test_bad_executor_rejected(self, matrix):
+        with pytest.raises(ValueError, match="executor"):
+            scan_sources([matrix], executor="mpi")
+
+    def test_live_reader_scans_in_process(self, matrix):
+        reader = ArrayReader(matrix)
+        result = scan_sources([reader], executor="process", max_workers=4)
+        assert result.accumulator.n_rows == 800
+        assert reader.passes_completed == 1
+
+
+class TestProcessBackendFit:
+    def test_process_fit_matches_serial_single_scan(self, csv_shards, matrix):
+        """The ISSUE acceptance check: process == serial, exactly."""
+        reference = RatioRuleModel(cutoff=2).fit(matrix)
+        process_model = fit_sharded(
+            csv_shards, cutoff=2, executor="process", max_workers=3
+        )
+        serial_model = fit_sharded(csv_shards, cutoff=2, executor="serial")
+        np.testing.assert_allclose(
+            process_model.rules_matrix, reference.rules_matrix, atol=1e-8
+        )
+        np.testing.assert_allclose(
+            process_model.rules_matrix, serial_model.rules_matrix, atol=1e-10
+        )
+        np.testing.assert_allclose(process_model.means_, reference.means_)
+        assert process_model.n_rows_ == 800
+        assert process_model.metrics_ is not None
+        assert process_model.metrics_.solve_seconds >= 0.0
+
+    def test_partitioned_directory_process_fit(self, matrix, tmp_path):
+        directory = tmp_path / "parts"
+        write_partitioned(directory, [matrix[:300], matrix[300:550], matrix[550:]])
+        reference = RatioRuleModel(cutoff=2).fit(matrix)
+        model = fit_sharded([directory], cutoff=2, executor="process", max_workers=3)
+        np.testing.assert_allclose(
+            model.rules_matrix, reference.rules_matrix, atol=1e-8
+        )

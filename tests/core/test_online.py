@@ -93,3 +93,23 @@ class TestOnlineModel:
         online = OnlineRatioRuleModel(3)
         online.update(stream[:10]).update(stream[10:20])
         assert online.n_updates == 2
+
+    def test_merge_accumulates_update_counts(self, stream):
+        left = OnlineRatioRuleModel(3)
+        left.update(stream[:100]).update(stream[100:200])
+        right = OnlineRatioRuleModel(3)
+        right.update(stream[200:300]).update(stream[300:400]).update(stream[400:])
+        left.merge(right)
+        assert left.n_updates == 5
+        assert left.n_rows_seen == stream.shape[0]
+
+    def test_merge_schema_mismatch_rejected(self, stream):
+        left = OnlineRatioRuleModel(3, schema=TableSchema.from_names(["a", "b", "c"]))
+        right = OnlineRatioRuleModel(3, schema=TableSchema.from_names(["x", "y", "z"]))
+        left.update(stream[:10])
+        right.update(stream[10:20])
+        with pytest.raises(ValueError, match="schema"):
+            left.merge(right)
+        # The failed merge must not corrupt the left model's state.
+        assert left.n_rows_seen == 10
+        assert left.n_updates == 1

@@ -56,6 +56,30 @@ class TestFitSharded:
             threaded.rules_matrix, serial.rules_matrix, atol=1e-10
         )
 
+    def test_process_executor_matches_serial(self, full_matrix, tmp_path):
+        paths = []
+        for index, start in enumerate(range(0, 600, 150)):
+            path = tmp_path / f"shard{index}.rr"
+            RowStore.write_matrix(path, full_matrix[start : start + 150])
+            paths.append(path)
+        serial = fit_sharded(paths, cutoff=2, executor="serial")
+        process = fit_sharded(paths, cutoff=2, executor="process", max_workers=4)
+        np.testing.assert_allclose(
+            process.rules_matrix, serial.rules_matrix, atol=1e-10
+        )
+        assert process.n_rows_ == 600
+        assert process.metrics_ is not None
+        assert process.metrics_.n_rows == 600
+
+    def test_in_memory_shards_never_use_processes(self, full_matrix):
+        model = fit_sharded(
+            [full_matrix[:300], full_matrix[300:]],
+            cutoff=2,
+            executor="process",
+            max_workers=2,
+        )
+        assert model.metrics_.executor == "thread"
+
     def test_file_shards(self, full_matrix, tmp_path):
         paths = []
         for index, start in enumerate(range(0, 600, 200)):

@@ -278,3 +278,39 @@ class TestFillMatrix:
         v, means = rank2_rules
         with pytest.raises(ValueError, match="2-d"):
             fill_matrix(np.ones(4), v, means)
+
+    def test_rejects_bad_means_shape(self, rank2_rules):
+        v, _means = rank2_rules
+        with pytest.raises(ValueError, match="means"):
+            fill_matrix(np.ones((3, 4)), v, np.zeros(3))
+        with pytest.raises(ValueError, match="means"):
+            fill_matrix(np.ones((3, 4)), v, np.zeros((4, 1)))
+
+    @pytest.mark.parametrize("policy", ["truncate", "min-norm"])
+    def test_policy_parity_with_fill_holes(self, policy, rank2_rules, rng):
+        """fill_matrix honors the same underdetermined policy as fill_holes."""
+        v, means = rank2_rules
+        matrix = rng.standard_normal((12, 4))
+        punched = matrix.copy()
+        # Rows with 3 holes and 1 known value are underdetermined (k=2 > 1).
+        punched[1, 1:] = np.nan
+        punched[4, :3] = np.nan
+        punched[7, 2] = np.nan  # exactly determined row for contrast
+        batch = fill_matrix(punched, v, means, underdetermined=policy)
+        for i in range(12):
+            single = fill_holes(punched[i], v, means, underdetermined=policy)
+            np.testing.assert_allclose(batch[i], single.filled, atol=1e-10)
+
+    def test_policies_differ_on_underdetermined_rows(self, rng):
+        v = np.array([[0.05, 0.85], [0.99, 0.1], [0.1, 0.5]])
+        q, _ = np.linalg.qr(v)
+        means = np.zeros(3)
+        punched = np.array([[2.0, np.nan, np.nan]])
+        truncated = fill_matrix(punched, q, means, underdetermined="truncate")
+        min_norm = fill_matrix(punched, q, means, underdetermined="min-norm")
+        assert np.abs(min_norm).max() < np.abs(truncated).max()
+
+    def test_unknown_policy_rejected(self, rank2_rules):
+        v, means = rank2_rules
+        with pytest.raises(ValueError, match="underdetermined"):
+            fill_matrix(np.ones((2, 4)), v, means, underdetermined="magic")

@@ -58,6 +58,47 @@ class TestFit(object):
         assert main(["fit", str(path), "--cutoff", "2", "--backend", "jacobi"]) == 0
         assert "Mined 2 Ratio Rules" in capsys.readouterr().out
 
+    def test_fit_stats_reports_throughput_and_solve_time(self, csv_file, capsys):
+        path, _matrix = csv_file
+        assert main(["fit", str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Scan statistics" in out
+        assert "rows/s" in out
+        assert "solve time" in out
+        assert "120" in out  # row count
+
+    def test_fit_executor_override(self, csv_file, capsys):
+        path, matrix = csv_file
+        assert main(
+            ["fit", str(path), "--executor", "thread", "--workers", "2", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RR1" in out
+        assert "thread" in out
+
+    def test_fit_process_executor_matches_default(self, csv_file, tmp_path, capsys):
+        path, matrix = csv_file
+        serial_path = tmp_path / "serial.npz"
+        process_path = tmp_path / "process.npz"
+        assert main(["fit", str(path), "--save", str(serial_path)]) == 0
+        assert main(
+            [
+                "fit",
+                str(path),
+                "--executor",
+                "process",
+                "--workers",
+                "2",
+                "--save",
+                str(process_path),
+            ]
+        ) == 0
+        serial = RatioRuleModel.load(serial_path)
+        process = RatioRuleModel.load(process_path)
+        np.testing.assert_allclose(
+            process.rules_matrix, serial.rules_matrix, atol=1e-8
+        )
+
 
 class TestRules:
     def test_rules_output(self, model_file, capsys):
