@@ -60,7 +60,10 @@ from repro.core import (
     OnlineRatioRuleModel,
     RatioRule,
     RatioRuleModel,
+    RetryPolicy,
     RuleSet,
+    ScanCheckpoint,
+    ScanFaultError,
     Scenario,
     ascii_scatter,
     calibrate,
@@ -105,7 +108,10 @@ __all__ = [
     "QuantitativeRuleModel",
     "RatioRule",
     "RatioRuleModel",
+    "RetryPolicy",
     "RuleSet",
+    "ScanCheckpoint",
+    "ScanFaultError",
     "ScanMetrics",
     "Scenario",
     "TableSchema",

@@ -69,6 +69,26 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--workers", type=int, default=None, metavar="N",
                      help="scan pool width (default: serial for --executor "
                           "auto, all cores for an explicit parallel executor)")
+    fit.add_argument("--max-retries", type=int, default=0, metavar="N",
+                     help="re-attempt a failed scan chunk up to N times "
+                          "with exponential backoff (default: 0, fail fast)")
+    fit.add_argument("--chunk-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-attempt deadline for a chunk scan on pooled "
+                          "executors; a late chunk counts as a fault")
+    fit.add_argument("--on-bad-chunk", default="raise",
+                     choices=["raise", "skip"],
+                     help="what to do with a chunk that exhausts its "
+                          "retries: abort the fit (raise, default) or "
+                          "quarantine it and fit on the surviving data "
+                          "(skip; losses are itemized under --stats)")
+    fit.add_argument("--checkpoint", metavar="SCAN.ckpt", default=None,
+                     help="persist each finished chunk's partial "
+                          "accumulator here so an interrupted fit can be "
+                          "resumed without rescanning")
+    fit.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint if it exists (the "
+                          "resumed model is exactly the uninterrupted one)")
 
     rules = subparsers.add_parser("rules", help="print the rules of a saved model")
     rules.add_argument("model", help="model .npz produced by 'fit --save'")
@@ -205,23 +225,59 @@ def _load_csv_with_holes(path: str):
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.core.engine import ScanFaultError
     from repro.core.model import RatioRuleModel
     from repro.core.parallel import fit_sharded
 
     cutoff = _parse_cutoff(args.cutoff)
-    if args.executor != "auto" or args.workers is not None:
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    wants_engine = (
+        args.executor != "auto"
+        or args.workers is not None
+        or args.max_retries > 0
+        or args.chunk_timeout is not None
+        or args.on_bad_chunk != "raise"
+        or args.checkpoint is not None
+    )
+    if wants_engine:
         # Route through the out-of-core scan engine, which splits the
-        # file into chunks and scans them on the requested fabric.
-        model = fit_sharded(
-            [args.data],
-            cutoff=cutoff,
-            backend=args.backend,
-            executor=args.executor,
-            max_workers=args.workers,
-        )
+        # file into chunks, scans them on the requested fabric, and
+        # applies the retry/quarantine/checkpoint policy.
+        try:
+            model = fit_sharded(
+                [args.data],
+                cutoff=cutoff,
+                backend=args.backend,
+                executor=args.executor,
+                max_workers=args.workers,
+                max_retries=args.max_retries,
+                chunk_timeout=args.chunk_timeout,
+                on_bad_chunk=args.on_bad_chunk,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+        except ScanFaultError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if args.checkpoint is not None:
+                print(
+                    f"note: finished chunks are checkpointed in "
+                    f"{args.checkpoint}; rerun with --resume to continue",
+                    file=sys.stderr,
+                )
+            return 3
     else:
         model = RatioRuleModel(cutoff=cutoff, backend=args.backend)
         model.fit(args.data)
+    if model.metrics_ is not None and model.metrics_.n_quarantined:
+        print(
+            f"warning: quarantined {model.metrics_.n_quarantined} bad "
+            f"chunk(s) ({model.metrics_.rows_quarantined} row(s) / "
+            f"{model.metrics_.bytes_quarantined} byte(s) skipped); the "
+            f"model was fitted on the surviving data",
+            file=sys.stderr,
+        )
     print(
         f"Mined {model.k} Ratio Rules from {model.n_rows_} rows x "
         f"{model.schema_.width} attributes "

@@ -52,7 +52,10 @@ from repro.core.categorical import (
 )
 from repro.core.compare import ModelComparison, compare_models, principal_angles
 from repro.core.engine import (
+    RetryPolicy,
     ScanChunk,
+    ScanCheckpoint,
+    ScanFaultError,
     ScanResult,
     plan_chunks,
     scan_chunk,
@@ -141,11 +144,14 @@ __all__ = [
     "RatioRule",
     "RatioRuleModel",
     "Recommendation",
+    "RetryPolicy",
     "RowOutlier",
     "RuleInterpretation",
     "RuleSet",
     "RuleStabilityReport",
     "ScanChunk",
+    "ScanCheckpoint",
+    "ScanFaultError",
     "ScanResult",
     "Scenario",
     "ScenarioResult",

@@ -107,6 +107,42 @@ class StreamingCovariance:
         self._mean += delta * (b_count / total)
         self._count = total
 
+    # -- serialization -----------------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot the accumulator as three plain arrays.
+
+        The returned dict (``count``, ``mean``, ``scatter``) is the
+        complete state: feeding it to :meth:`from_state` reconstructs an
+        accumulator that is bit-for-bit interchangeable with this one.
+        This is what the scan engine's checkpoint files persist, so an
+        interrupted sharded fit can resume without rescanning finished
+        chunks (see :mod:`repro.core.engine`).
+        """
+        return {
+            "count": int(self._count),
+            "mean": self._mean.copy(),
+            "scatter": self._scatter.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingCovariance":
+        """Rebuild an accumulator from a :meth:`state` snapshot."""
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        scatter = np.asarray(state["scatter"], dtype=np.float64)
+        count = int(state["count"])
+        if mean.ndim != 1 or scatter.shape != (mean.size, mean.size):
+            raise ValueError(
+                f"inconsistent state: mean {mean.shape}, scatter {scatter.shape}"
+            )
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        accumulator = cls(mean.size)
+        accumulator._count = count
+        accumulator._mean = mean.copy()
+        accumulator._scatter = scatter.copy()
+        return accumulator
+
     # -- results ----------------------------------------------------------
 
     @property

@@ -1,4 +1,4 @@
-"""Process-parallel, out-of-core scan engine.
+"""Process-parallel, out-of-core, fault-tolerant scan engine.
 
 The paper's algorithm is a single sequential scan folding rows into a
 mergeable O(M^2) accumulator -- which makes it embarrassingly
@@ -22,9 +22,38 @@ the execution fabric for that observation:
    deterministic and numerically identical across executors (identical
    chunk statistics, identical merge sequence).
 
+Because chunks are independent and partials are exact, **failure is
+recoverable without changing results**.  The engine layers four
+fault-tolerance mechanisms on the map step, all off by default:
+
+- **retry** -- a failed chunk attempt is re-queued up to
+  ``max_retries`` times with exponential backoff
+  (:class:`RetryPolicy`); a per-attempt ``chunk_timeout`` bounds how
+  long the reducer waits on any single chunk before treating it as
+  faulted;
+- **quarantine** -- a chunk that exhausts its retry budget either
+  aborts the scan (``on_bad_chunk="raise"``, the strict default) or is
+  skipped with its identity and estimated rows/bytes lost recorded on
+  :class:`~repro.obs.metrics.ScanMetrics` (``on_bad_chunk="skip"``);
+- **degradation** -- when a worker pool dies (e.g. a killed worker
+  breaks a ``ProcessPoolExecutor``), unfinished chunks are retried on
+  the next-weaker fabric: process -> thread -> serial;
+- **checkpoint/resume** -- with ``checkpoint=path`` every completed
+  chunk's partial accumulator is persisted (atomically) through
+  :class:`ScanCheckpoint`; an interrupted scan relaunched with
+  ``resume=True`` reloads the finished partials and scans only the
+  remaining chunks.  Since the final merge always runs over *all*
+  per-chunk partials in plan order, a resumed result is bit-for-bit
+  the fault-free result.
+
+Deterministic fault injection for all of the above lives in
+:mod:`repro.testing.faults`; the semantics are documented in
+``docs/fault_tolerance.md``.
+
 Every scan fills a :class:`~repro.obs.metrics.ScanMetrics` record
-(rows/sec, blocks, merges, wall-clock) so the gap to the paper's
-Fig. 8 linear scale-up is measurable, not aspirational.
+(rows/sec, blocks, merges, wall-clock, fault/retry/quarantine
+counters) so the gap to the paper's Fig. 8 linear scale-up is
+measurable, not aspirational.
 
 Workers return pickled accumulators; the accumulator state is three
 small arrays, so the reduce traffic is O(workers * M^2) regardless of
@@ -33,11 +62,18 @@ small arrays, so the reduce traffic is O(workers * M^2) regardless of
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,15 +94,89 @@ from repro.obs.metrics import ScanMetrics, Stopwatch
 __all__ = [
     "ScanChunk",
     "ScanResult",
+    "ScanFaultError",
+    "RetryPolicy",
+    "ScanCheckpoint",
     "plan_chunks",
     "scan_chunk",
     "scan_sources",
     "EXECUTORS",
+    "BAD_CHUNK_POLICIES",
 ]
 
 #: Recognized executor names; ``"auto"`` resolves per the fallback
 #: rules documented on :func:`scan_sources`.
 EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: What to do with a chunk that exhausted its retry budget.
+BAD_CHUNK_POLICIES = ("raise", "skip")
+
+#: Fabric to fall back to when a worker pool dies mid-round.
+_DOWNGRADE = {"process": "thread", "thread": "serial"}
+
+
+class ScanFaultError(RuntimeError):
+    """A chunk kept failing and the scan ran under ``on_bad_chunk="raise"``.
+
+    Carries the failed chunk's plan index on :attr:`chunk_index`; the
+    original error is chained as ``__cause__``.  When the scan was
+    checkpointing, every chunk finished before the abort is already
+    persisted -- rerunning with ``resume=True`` continues from there.
+    """
+
+    def __init__(self, message: str, chunk_index: int = -1) -> None:
+        super().__init__(message)
+        self.chunk_index = chunk_index
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/deadline policy for one scan's chunk attempts.
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts per chunk after the first failure (0 = fail
+        fast, the historical behavior).
+    backoff_seconds:
+        Base delay before retry round ``r`` (delay = ``backoff_seconds
+        * 2**(r-1)``, capped at :attr:`max_backoff_seconds`).  Set to 0
+        in tests for instant retries.
+    max_backoff_seconds:
+        Upper bound on the exponential backoff delay.
+    chunk_timeout:
+        Per-attempt deadline in seconds for pooled executors; an
+        attempt that misses it counts as a fault and is retried or
+        quarantined like any other failure.  ``None`` disables the
+        deadline.  A serial scan cannot preempt a running chunk, so
+        the deadline only binds on thread/process fabrics.
+    """
+
+    max_retries: int = 0
+    backoff_seconds: float = 0.05
+    max_backoff_seconds: float = 2.0
+    chunk_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be positive, got {self.chunk_timeout}"
+            )
+
+    def delay(self, round_index: int) -> float:
+        """Backoff before retry round ``round_index`` (1-based)."""
+        if round_index <= 0 or self.backoff_seconds <= 0:
+            return 0.0
+        return min(
+            self.backoff_seconds * 2.0 ** (round_index - 1),
+            self.max_backoff_seconds,
+        )
 
 
 @dataclass(frozen=True)
@@ -102,6 +212,20 @@ class ScanChunk:
         """
         return self.kind in ("csv", "rowstore", "path")
 
+    def signature(self) -> dict:
+        """JSON-serializable identity (used by checkpoint plan matching).
+
+        Only meaningful for :attr:`picklable` chunks, whose ``source``
+        is a path string.
+        """
+        return {
+            "kind": self.kind,
+            "source": str(self.source),
+            "start": int(self.start),
+            "stop": int(self.stop),
+            "n_cols": int(self.n_cols),
+        }
+
 
 @dataclass
 class ScanResult:
@@ -110,6 +234,107 @@ class ScanResult:
     accumulator: StreamingCovariance
     schema: TableSchema
     metrics: ScanMetrics
+
+
+class ScanCheckpoint:
+    """Crash-safe store of per-chunk partial accumulators for one scan.
+
+    The file is a plain ``.npz`` holding the planned chunk list (as a
+    JSON fingerprint including ``block_rows``, so a resume against a
+    different plan fails loudly) plus, for every completed chunk,
+    the :meth:`~repro.core.covariance.StreamingCovariance.state`
+    arrays and the block count.  Writes go through a temp file and an
+    atomic ``os.replace``, so a crash mid-write never corrupts the
+    previous checkpoint.
+
+    Because the engine's reduce step merges *all* per-chunk partials in
+    plan order (never a running prefix), a resumed scan reproduces the
+    fault-free result bit for bit.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._plan_json: Optional[str] = None
+        self._partials: Dict[int, Tuple[StreamingCovariance, int]] = {}
+
+    # -- plan binding ------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(chunks: Sequence[ScanChunk], block_rows: int) -> str:
+        return json.dumps(
+            {
+                "block_rows": int(block_rows),
+                "chunks": [chunk.signature() for chunk in chunks],
+            },
+            sort_keys=True,
+        )
+
+    def bind_plan(self, chunks: Sequence[ScanChunk], block_rows: int) -> None:
+        """Pin this checkpoint to a planned scan."""
+        self._plan_json = self._fingerprint(chunks, block_rows)
+
+    def matches(self, chunks: Sequence[ScanChunk], block_rows: int) -> bool:
+        """Whether the stored plan is exactly the given plan."""
+        return self._plan_json == self._fingerprint(chunks, block_rows)
+
+    # -- contents ----------------------------------------------------------
+
+    @property
+    def completed(self) -> Dict[int, Tuple[StreamingCovariance, int]]:
+        """``{chunk index: (partial accumulator, n_blocks)}`` so far."""
+        return dict(self._partials)
+
+    def record(
+        self,
+        index: int,
+        accumulator: StreamingCovariance,
+        n_blocks: int,
+        *,
+        flush: bool = True,
+    ) -> None:
+        """Store one finished chunk's partial; persist unless ``flush=False``."""
+        self._partials[int(index)] = (accumulator, int(n_blocks))
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically write the checkpoint file."""
+        if self._plan_json is None:
+            raise ValueError("bind_plan() must run before flush()")
+        arrays = {
+            "plan_json": np.asarray([self._plan_json]),
+            "done": np.asarray(sorted(self._partials), dtype=np.int64),
+        }
+        for index, (accumulator, n_blocks) in self._partials.items():
+            state = accumulator.state()
+            arrays[f"count_{index}"] = np.asarray(state["count"], dtype=np.int64)
+            arrays[f"mean_{index}"] = state["mean"]
+            arrays[f"scatter_{index}"] = state["scatter"]
+            arrays[f"blocks_{index}"] = np.asarray(n_blocks, dtype=np.int64)
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_path, self.path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScanCheckpoint":
+        """Read a checkpoint written by :meth:`flush`."""
+        checkpoint = cls(path)
+        with np.load(checkpoint.path, allow_pickle=False) as archive:
+            checkpoint._plan_json = str(archive["plan_json"][0])
+            for index in archive["done"].tolist():
+                accumulator = StreamingCovariance.from_state(
+                    {
+                        "count": int(archive[f"count_{index}"]),
+                        "mean": archive[f"mean_{index}"],
+                        "scatter": archive[f"scatter_{index}"],
+                    }
+                )
+                checkpoint._partials[index] = (
+                    accumulator,
+                    int(archive[f"blocks_{index}"]),
+                )
+        return checkpoint
 
 
 def _even_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
@@ -257,7 +482,10 @@ def scan_chunk(chunk: ScanChunk, block_rows: int = 4096) -> Tuple[StreamingCovar
 
 
 def _scan_chunk_task(args) -> Tuple[StreamingCovariance, int]:
-    chunk, block_rows = args
+    """Worker entry point: apply injected faults, then scan the chunk."""
+    chunk, block_rows, fault_injector, chunk_index = args
+    if fault_injector is not None:
+        fault_injector.on_chunk_start(chunk_index)
     return scan_chunk(chunk, block_rows)
 
 
@@ -282,6 +510,164 @@ def _resolve_executor(
     return effective, workers
 
 
+def _describe_source(chunk: ScanChunk) -> str:
+    if isinstance(chunk.source, (str, Path)):
+        return str(chunk.source)
+    return f"<{type(chunk.source).__name__}>"
+
+
+def _quarantine_record(chunk: ScanChunk, error: BaseException) -> dict:
+    """Account for a skipped chunk: identity plus estimated data lost."""
+    rows_lost = 0
+    bytes_lost = 0
+    if chunk.kind in ("rowstore", "array"):
+        rows_lost = max(0, int(chunk.stop) - int(chunk.start))
+    elif chunk.kind == "csv":
+        bytes_lost = max(0, int(chunk.stop) - int(chunk.start))
+    elif chunk.kind == "path":
+        try:
+            bytes_lost = os.path.getsize(chunk.source)
+        except (OSError, TypeError):
+            bytes_lost = 0
+    return {
+        "kind": chunk.kind,
+        "source": _describe_source(chunk),
+        "start": int(chunk.start),
+        "stop": int(chunk.stop),
+        "rows_lost": rows_lost,
+        "bytes_lost": bytes_lost,
+        "error": repr(error),
+    }
+
+
+def _execute_chunks(
+    chunks: Sequence[ScanChunk],
+    pending: Sequence[int],
+    executor: str,
+    workers: int,
+    block_rows: int,
+    policy: RetryPolicy,
+    on_bad_chunk: str,
+    metrics: ScanMetrics,
+    fault_injector,
+    checkpoint: Optional[ScanCheckpoint],
+) -> Tuple[Dict[int, Tuple[StreamingCovariance, int]], str]:
+    """Run the pending chunk indices with retry/quarantine/degradation.
+
+    Returns the successful partials keyed by plan index plus the fabric
+    the scan ended on (after any downgrades).  Chunks that exhaust the
+    retry budget are quarantined or raise per ``on_bad_chunk``; every
+    success is recorded on ``checkpoint`` (when given) the moment it
+    lands, so an interruption at any point preserves all finished work.
+    """
+    results: Dict[int, Tuple[StreamingCovariance, int]] = {}
+    attempts = {index: 0 for index in pending}
+    queue = list(pending)
+    current = executor
+    round_index = 0
+
+    def _succeed(index: int, outcome: Tuple[StreamingCovariance, int]) -> None:
+        results[index] = outcome
+        if checkpoint is not None:
+            checkpoint.record(index, outcome[0], outcome[1])
+
+    while queue:
+        if round_index > 0:
+            delay = policy.delay(round_index)
+            if delay > 0:
+                time.sleep(delay)
+        failures: List[Tuple[int, BaseException, bool]] = []
+
+        if current == "serial":
+            for index in queue:
+                try:
+                    _succeed(
+                        index,
+                        _scan_chunk_task(
+                            (chunks[index], block_rows, fault_injector, index)
+                        ),
+                    )
+                except Exception as exc:
+                    failures.append((index, exc, False))
+        else:
+            pool_cls = (
+                ProcessPoolExecutor if current == "process" else ThreadPoolExecutor
+            )
+            broken = False
+            leaked = False
+            with_pool_error: Optional[BaseException] = None
+            pool = pool_cls(max_workers=min(workers, len(queue)))
+            try:
+                futures = {
+                    index: pool.submit(
+                        _scan_chunk_task,
+                        (chunks[index], block_rows, fault_injector, index),
+                    )
+                    for index in queue
+                }
+                for index in queue:
+                    timeout = 0.0 if broken else policy.chunk_timeout
+                    try:
+                        _succeed(index, futures[index].result(timeout=timeout))
+                    except FuturesTimeoutError:
+                        futures[index].cancel()
+                        if broken:
+                            failures.append((index, with_pool_error, False))
+                        else:
+                            leaked = True
+                            failures.append(
+                                (
+                                    index,
+                                    TimeoutError(
+                                        f"chunk {index} missed the "
+                                        f"{policy.chunk_timeout:g}s deadline"
+                                    ),
+                                    True,
+                                )
+                            )
+                    except BrokenExecutor as exc:
+                        broken = True
+                        with_pool_error = exc
+                        failures.append((index, exc, False))
+                    except Exception as exc:
+                        failures.append((index, exc, False))
+            finally:
+                # A broken pool cannot be joined; a timed-out chunk may
+                # still be running its (now abandoned) attempt -- don't
+                # block the reducer on either.
+                pool.shutdown(wait=not (broken or leaked), cancel_futures=True)
+            if broken:
+                current = _DOWNGRADE.get(current, "serial")
+                metrics.n_executor_downgrades += 1
+
+        queue = []
+        for index, error, is_timeout in failures:
+            attempts[index] += 1
+            metrics.n_faults += 1
+            if is_timeout:
+                metrics.n_timeouts += 1
+            if attempts[index] <= policy.max_retries:
+                metrics.n_retries += 1
+                queue.append(index)
+            elif on_bad_chunk == "skip":
+                record = _quarantine_record(chunks[index], error)
+                metrics.n_quarantined += 1
+                metrics.rows_quarantined += record["rows_lost"]
+                metrics.bytes_quarantined += record["bytes_lost"]
+                metrics.quarantined.append(record)
+            else:
+                raise ScanFaultError(
+                    f"chunk {index} ({chunks[index].kind} "
+                    f"{_describe_source(chunks[index])} "
+                    f"[{chunks[index].start}, {chunks[index].stop})) failed "
+                    f"after {attempts[index]} attempt(s): {error}",
+                    chunk_index=index,
+                ) from error
+        round_index += 1
+
+    return results, current
+
+
 def scan_sources(
     sources: Sequence,
     *,
@@ -290,6 +676,13 @@ def scan_sources(
     block_rows: int = 4096,
     target_chunks: Optional[int] = None,
     schema: Optional[TableSchema] = None,
+    max_retries: int = 0,
+    backoff_seconds: float = 0.05,
+    chunk_timeout: Optional[float] = None,
+    on_bad_chunk: str = "raise",
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    fault_injector=None,
 ) -> ScanResult:
     """Scan one or many sources into a single merged accumulator.
 
@@ -303,9 +696,10 @@ def scan_sources(
         ``"process"`` (default resolution of ``"auto"`` for file-backed
         sources), ``"thread"``, ``"serial"``, or ``"auto"``.  Requests
         are honored when possible and downgraded gracefully: processes
-        fall back to threads when any chunk is in-memory, and anything
+        fall back to threads when any chunk is in-memory, anything
         collapses to a serial loop when ``max_workers <= 1`` or only
-        one chunk was planned.
+        one chunk was planned, and a pool that *dies* mid-scan drops to
+        the next-weaker fabric for the retried chunks.
     max_workers:
         Pool width.  ``None`` means "serial" for ``executor="auto"``
         (preserving the historical default) and ``os.cpu_count()`` for
@@ -317,6 +711,28 @@ def scan_sources(
         so a single big file still saturates the pool.
     schema:
         Optional explicit schema; defaults to the first source's.
+    max_retries, backoff_seconds, chunk_timeout:
+        The :class:`RetryPolicy` knobs: extra attempts per failed
+        chunk, exponential-backoff base delay between retry rounds,
+        and the per-attempt deadline on pooled fabrics.
+    on_bad_chunk:
+        ``"raise"`` (default) aborts the scan with
+        :class:`ScanFaultError` once a chunk exhausts its retries;
+        ``"skip"`` quarantines the chunk -- the scan completes on the
+        surviving data and the loss is itemized on the metrics.
+    checkpoint:
+        Path of a :class:`ScanCheckpoint` file to keep updated with
+        every finished chunk's partial accumulator.  Requires
+        file-backed sources (in-memory chunks cannot be revalidated
+        across runs).
+    resume:
+        Load ``checkpoint`` (which must exist and match the planned
+        scan exactly) and skip its finished chunks.  The merged result
+        is bit-for-bit what a fault-free run produces.
+    fault_injector:
+        Test hook (see :mod:`repro.testing.faults`): an object whose
+        ``on_chunk_start(chunk_index)`` runs in the worker before each
+        attempt and may raise, sleep, or kill the worker.
 
     Returns
     -------
@@ -328,6 +744,17 @@ def scan_sources(
         raise ValueError("need at least one source")
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+    if on_bad_chunk not in BAD_CHUNK_POLICIES:
+        raise ValueError(
+            f"on_bad_chunk must be one of {BAD_CHUNK_POLICIES}, got {on_bad_chunk!r}"
+        )
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        backoff_seconds=backoff_seconds,
+        chunk_timeout=chunk_timeout,
+    )
 
     if executor == "serial":
         desired_workers = 1
@@ -358,31 +785,67 @@ def scan_sources(
                 f"shards disagree on column count: {sorted(widths)}"
             )
 
-        effective, workers = _resolve_executor(executor, chunks, desired_workers)
+        store: Optional[ScanCheckpoint] = None
+        completed: Dict[int, Tuple[StreamingCovariance, int]] = {}
+        if checkpoint is not None:
+            unsupported = [c.kind for c in chunks if not c.picklable]
+            if unsupported:
+                raise ValueError(
+                    "checkpointing requires file-backed sources; got chunk "
+                    f"kind(s) {sorted(set(unsupported))}"
+                )
+            checkpoint_path = Path(checkpoint)
+            if resume and checkpoint_path.exists():
+                store = ScanCheckpoint.load(checkpoint_path)
+                if not store.matches(chunks, block_rows):
+                    raise ValueError(
+                        f"checkpoint {checkpoint_path} was written for a "
+                        "different scan plan (sources, chunking, or "
+                        "block_rows changed); delete it or rerun without "
+                        "resume"
+                    )
+                completed = store.completed
+            else:
+                store = ScanCheckpoint(checkpoint_path)
+                store.bind_plan(chunks, block_rows)
+        metrics.n_chunks_resumed = len(completed)
+
+        pending = [index for index in range(len(chunks)) if index not in completed]
+        effective, workers = _resolve_executor(
+            executor, [chunks[index] for index in pending] or chunks, desired_workers
+        )
 
         with Stopwatch() as scan_watch:
-            if effective == "serial":
-                results = [scan_chunk(chunk, block_rows) for chunk in chunks]
-            elif effective == "thread":
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    results = list(
-                        pool.map(
-                            lambda chunk: scan_chunk(chunk, block_rows), chunks
-                        )
-                    )
-            else:
-                tasks = [(chunk, block_rows) for chunk in chunks]
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    results = list(pool.map(_scan_chunk_task, tasks))
+            scanned, final_executor = _execute_chunks(
+                chunks,
+                pending,
+                effective,
+                workers,
+                block_rows,
+                policy,
+                on_bad_chunk,
+                metrics,
+                fault_injector,
+                store,
+            )
+            results = dict(completed)
+            results.update(scanned)
 
+            # Reduce in plan order over *all* partials -- resumed,
+            # retried, and freshly scanned alike -- so the merge
+            # sequence (and hence the bits) never depends on which
+            # chunks faulted along the way.
             merged = StreamingCovariance(chunks[0].n_cols)
-            for partial, n_blocks in results:
+            for index in range(len(chunks)):
+                if index not in results:
+                    continue  # quarantined
+                partial, n_blocks = results[index]
                 merged.merge(partial)
                 metrics.n_merges += 1
                 metrics.n_blocks += n_blocks
         metrics.scan_seconds = scan_watch.seconds
 
-    metrics.executor = effective
+    metrics.executor = final_executor
     metrics.n_workers = workers
     metrics.n_sources = len(sources)
     metrics.n_chunks = len(chunks)

@@ -162,6 +162,54 @@ class RatioRuleModel:
         self.metrics_ = metrics
         return self
 
+    def fit_from_accumulator(
+        self,
+        accumulator,
+        schema: TableSchema,
+        *,
+        metrics: Optional[ScanMetrics] = None,
+    ) -> "RatioRuleModel":
+        """Finish a fit from an already-accumulated covariance.
+
+        This is the reduce-side entry point for the out-of-core scan
+        engine and its checkpoint/resume path: anything that can
+        produce a merged
+        :class:`~repro.core.covariance.StreamingCovariance` -- a
+        sharded scan, a resumed scan, partials merged by hand with
+        :func:`~repro.core.parallel.merge_partials` -- becomes a
+        fitted model without touching the data again.
+
+        Parameters
+        ----------
+        accumulator:
+            Merged statistics exposing ``scatter_matrix()``,
+            ``column_means`` and ``n_rows`` (e.g.
+            :class:`~repro.core.covariance.StreamingCovariance`).
+        schema:
+            Column metadata for the scanned matrix.
+        metrics:
+            Optional scan telemetry; its ``solve_seconds`` is filled
+            here and the record is attached as ``self.metrics_``.
+
+        Returns
+        -------
+        RatioRuleModel
+            ``self``, fitted.
+        """
+        if accumulator.n_rows == 0:
+            raise ValueError("accumulator holds no rows (shards contained no rows)")
+        with Stopwatch() as solve_watch:
+            self._fit_from_scatter(
+                accumulator.scatter_matrix(),
+                accumulator.column_means,
+                accumulator.n_rows,
+                schema,
+            )
+        if metrics is not None:
+            metrics.solve_seconds = solve_watch.seconds
+            self.metrics_ = metrics
+        return self
+
     def _fit_from_scatter(
         self,
         scatter: np.ndarray,

@@ -28,7 +28,8 @@ a 1000-shard fit never holds 1000 open file handles.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.covariance import StreamingCovariance
 from repro.core.engine import scan_sources
@@ -87,6 +88,13 @@ def fit_sharded(
     max_workers: Optional[int] = None,
     executor: str = "auto",
     target_chunks: Optional[int] = None,
+    max_retries: int = 0,
+    backoff_seconds: float = 0.05,
+    chunk_timeout: Optional[float] = None,
+    on_bad_chunk: str = "raise",
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    fault_injector=None,
 ) -> RatioRuleModel:
     """Mine Ratio Rules from several shards as if they were one matrix.
 
@@ -116,6 +124,19 @@ def fit_sharded(
         Total scan chunks to plan; defaults to one per shard (or one
         per worker when that is larger), letting the engine split big
         files into byte/row ranges.
+    max_retries, backoff_seconds, chunk_timeout, on_bad_chunk:
+        Fault-tolerance policy for the scan, forwarded to
+        :func:`repro.core.engine.scan_sources`: per-chunk retries with
+        exponential backoff, a per-attempt deadline, and whether an
+        irrecoverable chunk aborts (``"raise"``) or is quarantined
+        (``"skip"``) with the loss recorded on ``model.metrics_``.
+    checkpoint, resume:
+        Persist each finished chunk's partial accumulator to
+        ``checkpoint``; with ``resume=True`` an interrupted fit
+        restarts from that file, rescanning only unfinished chunks.
+        The resumed model is bit-for-bit the uninterrupted model.
+    fault_injector:
+        Deterministic test hook (:mod:`repro.testing.faults`).
 
     Returns
     -------
@@ -133,18 +154,17 @@ def fit_sharded(
             block_rows=block_rows,
             target_chunks=target_chunks,
             schema=schema,
+            max_retries=max_retries,
+            backoff_seconds=backoff_seconds,
+            chunk_timeout=chunk_timeout,
+            on_bad_chunk=on_bad_chunk,
+            checkpoint=checkpoint,
+            resume=resume,
+            fault_injector=fault_injector,
         )
-        if result.accumulator.n_rows == 0:
-            raise ValueError("shards contained no rows")
         model = RatioRuleModel(cutoff=cutoff, backend=backend)
-        with Stopwatch() as solve_watch:
-            model._fit_from_scatter(
-                result.accumulator.scatter_matrix(),
-                result.accumulator.column_means,
-                result.accumulator.n_rows,
-                result.schema,
-            )
-    result.metrics.solve_seconds = solve_watch.seconds
+        model.fit_from_accumulator(
+            result.accumulator, result.schema, metrics=result.metrics
+        )
     result.metrics.total_seconds = total_watch.seconds
-    model.metrics_ = result.metrics
     return model

@@ -10,8 +10,9 @@ per stage and one integer add per block.
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 __all__ = ["ScanMetrics", "Stopwatch"]
@@ -68,6 +69,29 @@ class ScanMetrics:
         Wall-clock of the eigensystem solve.
     total_seconds:
         End-to-end fit wall-clock (>= scan + solve; includes planning).
+    n_faults:
+        Failed chunk-scan attempts observed (each retry of a flaky
+        chunk counts its failure here before succeeding).
+    n_retries:
+        Chunk attempts re-queued after a fault (<= ``n_faults``; the
+        difference is attempts that exhausted the retry budget).
+    n_timeouts:
+        Faults that were per-chunk deadline expiries specifically.
+    n_quarantined:
+        Chunks abandoned after exhausting retries under the
+        ``on_bad_chunk="skip"`` policy.
+    rows_quarantined / bytes_quarantined:
+        Data lost to quarantined chunks: rows for row-range chunks
+        (row stores, arrays), bytes for CSV byte-range chunks.
+    n_executor_downgrades:
+        Times the scan fell back to a weaker fabric after a worker
+        pool died (process -> thread -> serial).
+    n_chunks_resumed:
+        Chunks skipped because a checkpoint already held their
+        partial accumulators.
+    quarantined:
+        One record per quarantined chunk: ``{"kind", "source",
+        "start", "stop", "rows_lost", "bytes_lost", "error"}``.
     """
 
     executor: str = "serial"
@@ -80,6 +104,15 @@ class ScanMetrics:
     scan_seconds: float = 0.0
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
+    n_faults: int = 0
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_quarantined: int = 0
+    rows_quarantined: int = 0
+    bytes_quarantined: int = 0
+    n_executor_downgrades: int = 0
+    n_chunks_resumed: int = 0
+    quarantined: list = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -99,6 +132,44 @@ class ScanMetrics:
         self.scan_seconds += other.scan_seconds
         self.solve_seconds += other.solve_seconds
         self.total_seconds += other.total_seconds
+        self.n_faults += other.n_faults
+        self.n_retries += other.n_retries
+        self.n_timeouts += other.n_timeouts
+        self.n_quarantined += other.n_quarantined
+        self.rows_quarantined += other.rows_quarantined
+        self.bytes_quarantined += other.bytes_quarantined
+        self.n_executor_downgrades += other.n_executor_downgrades
+        self.n_chunks_resumed += other.n_chunks_resumed
+        self.quarantined.extend(other.quarantined)
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of every counter (JSON-serializable)."""
+        return {
+            field_def.name: getattr(self, field_def.name)
+            for field_def in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScanMetrics":
+        """Rebuild a record from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected so stale snapshots fail loudly
+        rather than silently dropping counters.
+        """
+        known = {field_def.name for field_def in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ScanMetrics fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScanMetrics":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def render(self) -> str:
         """Human-readable multi-line summary (the ``--stats`` output)."""
@@ -109,6 +180,13 @@ class ScanMetrics:
             f"sources       {self.n_sources} source(s), {self.n_chunks} chunk(s)",
             f"rows scanned  {self.n_rows:,} in {self.n_blocks:,} block(s)",
             f"merges        {self.n_merges}",
+            f"faults        {self.n_faults} fault(s), {self.n_retries} "
+            f"retrie(s), {self.n_timeouts} timeout(s)",
+            f"quarantined   {self.n_quarantined} chunk(s)  "
+            f"({self.rows_quarantined} row(s) / "
+            f"{self.bytes_quarantined} byte(s) lost)",
+            f"downgrades    {self.n_executor_downgrades}",
+            f"resumed       {self.n_chunks_resumed} chunk(s) from checkpoint",
             f"scan time     {self.scan_seconds:.4f} s  ({throughput_text})",
             f"solve time    {self.solve_seconds:.4f} s",
             f"total time    {self.total_seconds:.4f} s",

@@ -1,0 +1,27 @@
+"""Test-support utilities shipped with the library.
+
+The scan engine's fault tolerance (:mod:`repro.core.engine`) is a
+behavioral contract -- retried, degraded, and resumed scans must be
+exactly equal to fault-free scans -- and contracts need a harness.
+:mod:`repro.testing.faults` provides deterministic fault injection
+(chunk failures, worker kills, latency, on-disk corruption) usable both
+by this repository's fault-tolerance suite and by downstream users who
+want to drill their own pipelines.
+
+Nothing here is imported by the production code paths; the package is
+dependency-free and safe to ship.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    InjectedFault,
+    corrupted_bytes,
+    truncated_file,
+)
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "corrupted_bytes",
+    "truncated_file",
+]

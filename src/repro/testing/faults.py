@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the out-of-core scan engine.
+
+The fault-tolerance guarantees of :mod:`repro.core.engine` -- retry,
+quarantine, executor degradation, checkpoint/resume -- are only worth
+shipping if they are *testable*: every failure mode must be
+reproducible on demand, in-process, without flaky sleeps or real
+hardware faults.  This module provides that substrate, in two layers:
+
+:class:`FaultInjector`
+    A picklable hook handed to ``scan_sources(fault_injector=...)``.
+    Workers call it once per chunk-scan attempt; based on the chunk
+    index and the attempt number it can raise (:attr:`~FaultInjector.fail`),
+    hard-kill the worker process (:attr:`~FaultInjector.kill`), or
+    sleep (:attr:`~FaultInjector.slow`).  Attempts are counted in a
+    shared *state directory* -- one marker file per attempt, claimed
+    with ``O_CREAT | O_EXCL`` -- so the accounting is exact across
+    process pools, across retries, and across a checkpoint/resume
+    boundary.  That last property is what lets tests assert "the
+    resumed run did not rescan finished chunks": the attempt counts
+    of finished chunks simply do not move.
+
+file corruption helpers
+    :func:`corrupted_bytes` and :func:`truncated_file` are context
+    managers that damage an on-disk payload *in place* and restore it
+    byte-for-byte on exit.  Unlike injector faults they persist across
+    retries, which is exactly what the quarantine path needs: a chunk
+    that fails every attempt, while its neighbours stay healthy.
+
+Faults are injected *before* any row of the attempt is folded into an
+accumulator, so a retried or resumed scan is exactly equal to a
+fault-free scan -- the invariant the fault-tolerance suite asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+__all__ = [
+    "InjectedFault",
+    "FaultInjector",
+    "corrupted_bytes",
+    "truncated_file",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjector` to simulate a chunk-scan crash."""
+
+
+def _in_worker_process() -> bool:
+    """True when running inside a spawned/forked pool worker."""
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+class FaultInjector:
+    """Deterministic, picklable per-chunk fault plan.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory for the attempt-marker files.  Must be shared by
+        every worker (any local path works -- pool workers inherit the
+        filesystem).  Created if missing.
+    fail:
+        ``{chunk_index: n}`` -- raise :class:`InjectedFault` on the
+        first ``n`` attempts of that chunk; attempt ``n`` succeeds.
+    kill:
+        ``{chunk_index: n}`` -- hard-kill the worker process
+        (``os._exit``) on the first ``n`` attempts, which breaks a
+        process pool mid-scan.  In the main process (serial/thread
+        fabrics) killing would take the test runner down, so the
+        injector raises :class:`InjectedFault` instead -- the fault
+        still happens, just survivably.
+    slow:
+        ``{chunk_index: seconds}`` -- sleep that long before scanning,
+        on the first :attr:`slow_attempts` attempts (so a retried or
+        degraded attempt can beat a per-chunk deadline).
+    slow_attempts:
+        How many attempts of a ``slow`` chunk sleep (default 1).
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        *,
+        fail: Optional[Dict[int, int]] = None,
+        kill: Optional[Dict[int, int]] = None,
+        slow: Optional[Dict[int, float]] = None,
+        slow_attempts: int = 1,
+    ) -> None:
+        self.state_dir = str(state_dir)
+        self.fail = {int(k): int(v) for k, v in (fail or {}).items()}
+        self.kill = {int(k): int(v) for k, v in (kill or {}).items()}
+        self.slow = {int(k): float(v) for k, v in (slow or {}).items()}
+        self.slow_attempts = int(slow_attempts)
+        Path(self.state_dir).mkdir(parents=True, exist_ok=True)
+
+    # -- attempt accounting ------------------------------------------------
+
+    def _marker(self, chunk_index: int, attempt: int) -> Path:
+        return Path(self.state_dir) / f"chunk{chunk_index:05d}.attempt{attempt:04d}"
+
+    def record_attempt(self, chunk_index: int) -> int:
+        """Atomically claim the next attempt slot; returns its 0-based index."""
+        attempt = 0
+        while True:
+            try:
+                handle = os.open(
+                    self._marker(chunk_index, attempt),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+                os.close(handle)
+                return attempt
+            except FileExistsError:
+                attempt += 1
+
+    def attempts(self, chunk_index: int) -> int:
+        """Attempts recorded so far for a chunk (across all processes)."""
+        count = 0
+        while self._marker(chunk_index, count).exists():
+            count += 1
+        return count
+
+    # -- the hook the engine calls -----------------------------------------
+
+    def on_chunk_start(self, chunk_index: int) -> None:
+        """Called by the scan worker before scanning chunk ``chunk_index``.
+
+        Records the attempt, then applies the configured fault for this
+        (chunk, attempt) pair, if any.
+        """
+        attempt = self.record_attempt(chunk_index)
+        if attempt < self.kill.get(chunk_index, 0):
+            if _in_worker_process():
+                os._exit(13)
+            raise InjectedFault(
+                f"injected worker kill (chunk {chunk_index}, attempt {attempt})"
+            )
+        if chunk_index in self.slow and attempt < self.slow_attempts:
+            time.sleep(self.slow[chunk_index])
+        if attempt < self.fail.get(chunk_index, 0):
+            raise InjectedFault(
+                f"injected failure (chunk {chunk_index}, attempt {attempt})"
+            )
+
+
+@contextmanager
+def corrupted_bytes(
+    path: Union[str, Path],
+    offset: int,
+    payload: bytes = b"\x00\xff" * 4,
+) -> Iterator[Path]:
+    """Overwrite ``len(payload)`` bytes at ``offset``; restore on exit.
+
+    The damage persists for the whole ``with`` block -- every retry of a
+    chunk covering the region keeps failing, which drives the
+    quarantine (skip) and strict (raise) policies in tests.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if not 0 <= offset <= size - len(payload):
+        raise ValueError(
+            f"corruption range [{offset}, {offset + len(payload)}) outside "
+            f"file of {size} bytes"
+        )
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(len(payload))
+        handle.seek(offset)
+        handle.write(payload)
+    try:
+        yield path
+    finally:
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(original)
+
+
+@contextmanager
+def truncated_file(path: Union[str, Path], tail_bytes: int) -> Iterator[Path]:
+    """Chop ``tail_bytes`` off the end of ``path``; restore on exit.
+
+    Simulates a partially-written shard (the classic truncated-upload
+    failure).  Restoration is byte-exact.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if not 0 < tail_bytes <= size:
+        raise ValueError(f"tail_bytes must be in (0, {size}], got {tail_bytes}")
+    with open(path, "rb") as handle:
+        handle.seek(size - tail_bytes)
+        tail = handle.read()
+    with open(path, "r+b") as handle:
+        handle.truncate(size - tail_bytes)
+    try:
+        yield path
+    finally:
+        with open(path, "ab") as handle:
+            handle.write(tail)

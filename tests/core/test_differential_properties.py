@@ -1,0 +1,217 @@
+"""Differential property tests for the sharded scan engine.
+
+The engine's central promise is *determinism*: for a fixed chunk plan,
+the merged accumulator is bit-for-bit identical no matter which fabric
+ran the chunks, in what order they finished, or how many times faults
+forced retries.  Hypothesis drives arbitrary matrices, shard splits,
+and chunk counts through serial/thread scans (and fault-injected
+variants) and asserts exact equality; looser ``allclose`` bounds tie
+the sharded result back to the plain in-memory :meth:`fit`.
+
+Process-pool cases live in fixed parametrized tests (pool spawn per
+hypothesis example is too slow) -- see ``TestProcessPoolDifferential``.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import scan_sources
+from repro.core.model import RatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.io.csv_format import save_csv_matrix
+from repro.testing import FaultInjector
+
+
+def _make_matrix(seed, n_rows, n_cols):
+    generator = np.random.default_rng(seed)
+    return generator.normal(loc=1.0, scale=3.0, size=(n_rows, n_cols))
+
+
+def _split(matrix, n_shards):
+    return [part for part in np.array_split(matrix, n_shards) if part.size]
+
+
+scan_cases = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+        "n_rows": st.integers(min_value=2, max_value=120),
+        "n_cols": st.integers(min_value=2, max_value=6),
+        "n_shards": st.integers(min_value=1, max_value=5),
+        "target_chunks": st.integers(min_value=1, max_value=9),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=scan_cases)
+def test_thread_scan_equals_serial_scan_bitwise(case):
+    """Same plan, different fabric -> identical bits."""
+    matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+    shards = _split(matrix, case["n_shards"])
+    serial = scan_sources(
+        shards, executor="serial", target_chunks=case["target_chunks"]
+    )
+    threaded = scan_sources(
+        shards,
+        executor="thread",
+        max_workers=3,
+        target_chunks=case["target_chunks"],
+    )
+    assert serial.accumulator.n_rows == matrix.shape[0]
+    assert threaded.accumulator.n_rows == matrix.shape[0]
+    assert np.array_equal(
+        serial.accumulator.column_means, threaded.accumulator.column_means
+    )
+    assert np.array_equal(
+        serial.accumulator.scatter_matrix(),
+        threaded.accumulator.scatter_matrix(),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=scan_cases)
+def test_faulty_scan_equals_fault_free_scan_bitwise(case):
+    """Injected faults + retries never change a single bit."""
+    matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+    shards = _split(matrix, case["n_shards"])
+    clean = scan_sources(
+        shards, executor="thread", max_workers=2,
+        target_chunks=case["target_chunks"],
+    )
+    n_chunks = clean.metrics.n_chunks
+    fail = {index: 1 for index in range(0, n_chunks, 2)}
+    with tempfile.TemporaryDirectory() as state_dir:
+        injector = FaultInjector(Path(state_dir), fail=fail)
+        faulty = scan_sources(
+            shards,
+            executor="thread",
+            max_workers=2,
+            target_chunks=case["target_chunks"],
+            max_retries=2,
+            backoff_seconds=0.0,
+            fault_injector=injector,
+        )
+    assert faulty.metrics.n_faults == len(fail)
+    assert faulty.metrics.n_retries == len(fail)
+    assert np.array_equal(
+        clean.accumulator.column_means, faulty.accumulator.column_means
+    )
+    assert np.array_equal(
+        clean.accumulator.scatter_matrix(),
+        faulty.accumulator.scatter_matrix(),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(case=scan_cases)
+def test_sharded_scan_matches_single_update(case):
+    """Any shard split and chunk count reproduces one-shot statistics."""
+    matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+    shards = _split(matrix, case["n_shards"])
+    result = scan_sources(shards, target_chunks=case["target_chunks"])
+    assert result.accumulator.n_rows == matrix.shape[0]
+    scale = max(np.abs(matrix).max(), 1.0)
+    assert np.allclose(
+        result.accumulator.column_means, matrix.mean(axis=0), atol=1e-9 * scale
+    )
+    centered = matrix - matrix.mean(axis=0)
+    assert np.allclose(
+        result.accumulator.scatter_matrix(),
+        centered.T @ centered,
+        atol=1e-7 * scale * scale,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    case=st.fixed_dictionaries(
+        {
+            "seed": st.integers(min_value=0, max_value=2**32 - 1),
+            "n_rows": st.integers(min_value=8, max_value=100),
+            "n_cols": st.integers(min_value=2, max_value=5),
+            "n_shards": st.integers(min_value=1, max_value=4),
+            "target_chunks": st.integers(min_value=1, max_value=6),
+        }
+    )
+)
+def test_fit_sharded_matches_in_memory_fit(case):
+    """fit_sharded over any split agrees with the in-memory fit."""
+    matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+    shards = _split(matrix, case["n_shards"])
+    sharded = fit_sharded(shards, target_chunks=case["target_chunks"])
+    in_memory = RatioRuleModel().fit(matrix)
+    assert sharded.n_rows_ == in_memory.n_rows_
+    assert np.allclose(sharded.means_, in_memory.means_, atol=1e-9)
+    assert np.allclose(
+        sharded.eigenvalues_, in_memory.eigenvalues_, rtol=1e-8, atol=1e-8
+    )
+    assert sharded.rules_.k == in_memory.rules_.k
+    # Eigenvectors are sign-ambiguous; compare up to per-rule sign.
+    for mined, expected in zip(
+        sharded.rules_.matrix.T, in_memory.rules_.matrix.T
+    ):
+        agreement = abs(float(np.dot(mined, expected)))
+        assert agreement == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.faults
+class TestProcessPoolDifferential:
+    """Fixed (non-hypothesis) cases that spin up real process pools."""
+
+    @pytest.fixture
+    def csv_shards(self, tmp_path, rng):
+        matrix = rng.normal(loc=2.0, scale=1.5, size=(300, 4))
+        paths = []
+        for index, part in enumerate(np.array_split(matrix, 3)):
+            path = tmp_path / f"shard{index}.csv"
+            save_csv_matrix(path, part)
+            paths.append(path)
+        return paths
+
+    @pytest.mark.parametrize("target_chunks", [3, 5, 8])
+    def test_process_scan_equals_serial_scan_bitwise(
+        self, csv_shards, target_chunks
+    ):
+        serial = scan_sources(
+            csv_shards, executor="serial", target_chunks=target_chunks
+        )
+        pooled = scan_sources(
+            csv_shards,
+            executor="process",
+            max_workers=2,
+            target_chunks=target_chunks,
+        )
+        assert pooled.metrics.executor == "process"
+        assert np.array_equal(
+            serial.accumulator.column_means, pooled.accumulator.column_means
+        )
+        assert np.array_equal(
+            serial.accumulator.scatter_matrix(),
+            pooled.accumulator.scatter_matrix(),
+        )
+
+    def test_faulty_process_scan_equals_serial_scan_bitwise(
+        self, csv_shards, tmp_path
+    ):
+        serial = scan_sources(csv_shards, executor="serial", target_chunks=3)
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        pooled = scan_sources(
+            csv_shards,
+            executor="process",
+            max_workers=2,
+            target_chunks=3,
+            max_retries=3,
+            backoff_seconds=0.0,
+            fault_injector=FaultInjector(state_dir, fail={0: 2, 2: 1}),
+        )
+        assert pooled.metrics.n_faults == 3
+        assert np.array_equal(
+            serial.accumulator.scatter_matrix(),
+            pooled.accumulator.scatter_matrix(),
+        )

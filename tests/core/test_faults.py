@@ -1,0 +1,357 @@
+"""Fault-tolerance suite: retry, quarantine, degradation, exactness.
+
+Every test here drives the scan engine through injected failures
+(:mod:`repro.testing.faults`) and asserts the engine's core contract:
+a recovered run -- retried, degraded, or resumed -- produces
+accumulators and rules **exactly** equal to a fault-free run, because
+chunk statistics and the plan-order merge sequence are unchanged by
+how many times a chunk had to be attempted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.engine import (
+    RetryPolicy,
+    ScanFaultError,
+    scan_sources,
+)
+from repro.core.model import RatioRuleModel
+from repro.core.parallel import fit_sharded
+from repro.io.csv_format import save_csv_matrix
+from repro.io.rowstore import RowStore
+from repro.testing.faults import (
+    FaultInjector,
+    InjectedFault,
+    corrupted_bytes,
+    truncated_file,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def matrix(rng):
+    factor = rng.normal(5.0, 2.0, size=600)
+    return np.outer(factor, [1.0, 0.5, 2.0, 1.5]) + rng.normal(0, 0.1, (600, 4))
+
+
+@pytest.fixture
+def csv_shards(matrix, tmp_path):
+    paths = []
+    for index, start in enumerate(range(0, 600, 150)):
+        path = tmp_path / f"shard{index}.csv"
+        save_csv_matrix(path, matrix[start : start + 150])
+        paths.append(path)
+    return paths
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return tmp_path / "fault-state"
+
+
+def fault_free(csv_shards):
+    return scan_sources(csv_shards, executor="serial")
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(max_retries=5, backoff_seconds=0.1, max_backoff_seconds=0.3)
+        assert policy.delay(0) == 0.0
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_zero_backoff_disables_delay(self):
+        assert RetryPolicy(backoff_seconds=0.0).delay(4) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_seconds"):
+            RetryPolicy(backoff_seconds=-0.5)
+        with pytest.raises(ValueError, match="chunk_timeout"):
+            RetryPolicy(chunk_timeout=0.0)
+
+
+class TestInjector:
+    def test_attempt_accounting_is_shared_and_exact(self, state_dir):
+        injector = FaultInjector(state_dir, fail={3: 2})
+        assert injector.attempts(3) == 0
+        with pytest.raises(InjectedFault):
+            injector.on_chunk_start(3)
+        with pytest.raises(InjectedFault):
+            injector.on_chunk_start(3)
+        injector.on_chunk_start(3)  # third attempt succeeds
+        assert injector.attempts(3) == 3
+        # A second injector over the same state dir sees the history.
+        assert FaultInjector(state_dir).attempts(3) == 3
+
+    def test_kill_in_main_process_degrades_to_raise(self, state_dir):
+        injector = FaultInjector(state_dir, kill={0: 1})
+        with pytest.raises(InjectedFault, match="kill"):
+            injector.on_chunk_start(0)
+
+    def test_corrupted_bytes_restores_exactly(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        original = bytes(range(256))
+        path.write_bytes(original)
+        with corrupted_bytes(path, 10, b"\xff\xff\xff\xff"):
+            assert path.read_bytes() != original
+            assert path.read_bytes()[10:14] == b"\xff\xff\xff\xff"
+        assert path.read_bytes() == original
+
+    def test_truncated_file_restores_exactly(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        original = bytes(range(200))
+        path.write_bytes(original)
+        with truncated_file(path, 50):
+            assert path.stat().st_size == 150
+        assert path.read_bytes() == original
+
+    def test_corruption_range_validated(self, tmp_path):
+        path = tmp_path / "small.bin"
+        path.write_bytes(b"abc")
+        with pytest.raises(ValueError, match="outside"):
+            with corrupted_bytes(path, 2, b"xxxx"):
+                pass
+        with pytest.raises(ValueError, match="tail_bytes"):
+            with truncated_file(path, 99):
+                pass
+
+
+class TestRetryRecovery:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_retried_scan_is_bit_identical(self, executor, csv_shards, state_dir):
+        reference = fault_free(csv_shards)
+        injector = FaultInjector(state_dir, fail={0: 2, 2: 1, 3: 1})
+        result = scan_sources(
+            csv_shards,
+            executor=executor,
+            max_workers=3,
+            max_retries=3,
+            backoff_seconds=0.0,
+            fault_injector=injector,
+        )
+        assert np.array_equal(
+            result.accumulator.scatter_matrix(),
+            reference.accumulator.scatter_matrix(),
+        )
+        assert np.array_equal(
+            result.accumulator.column_means, reference.accumulator.column_means
+        )
+        assert result.accumulator.n_rows == 600
+        assert result.metrics.n_faults == 4
+        assert result.metrics.n_retries == 4
+        assert result.metrics.n_quarantined == 0
+
+    def test_retried_fit_matches_fault_free_fit(self, csv_shards, matrix, state_dir):
+        reference = RatioRuleModel(cutoff=2).fit(matrix)
+        model = fit_sharded(
+            csv_shards,
+            cutoff=2,
+            executor="thread",
+            max_workers=2,
+            max_retries=2,
+            backoff_seconds=0.0,
+            fault_injector=FaultInjector(state_dir, fail={1: 1}),
+        )
+        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-8)
+        np.testing.assert_allclose(model.means_, reference.means_)
+        assert model.metrics_.n_faults == 1
+
+    def test_retry_budget_exhausted_raises_by_default(self, csv_shards, state_dir):
+        injector = FaultInjector(state_dir, fail={1: 99})
+        with pytest.raises(ScanFaultError, match="chunk 1") as excinfo:
+            scan_sources(
+                csv_shards,
+                executor="serial",
+                max_retries=2,
+                backoff_seconds=0.0,
+                fault_injector=injector,
+            )
+        assert excinfo.value.chunk_index == 1
+        assert isinstance(excinfo.value.__cause__, InjectedFault)
+        # 1 initial + 2 retries were actually attempted.
+        assert injector.attempts(1) == 3
+
+
+class TestQuarantine:
+    def test_skip_policy_completes_on_surviving_data(self, csv_shards, matrix, state_dir):
+        result = scan_sources(
+            csv_shards,
+            executor="serial",
+            max_retries=1,
+            backoff_seconds=0.0,
+            on_bad_chunk="skip",
+            fault_injector=FaultInjector(state_dir, fail={1: 99}),
+        )
+        metrics = result.metrics
+        assert metrics.n_quarantined == 1
+        assert metrics.bytes_quarantined > 0
+        assert len(metrics.quarantined) == 1
+        record = metrics.quarantined[0]
+        assert record["kind"] == "csv"
+        assert "InjectedFault" in record["error"]
+        # The surviving three shards are exactly the fault-free scan of them.
+        surviving = [path for i, path in enumerate(csv_shards) if i != 1]
+        reference = scan_sources(surviving, executor="serial")
+        assert np.array_equal(
+            result.accumulator.scatter_matrix(),
+            reference.accumulator.scatter_matrix(),
+        )
+        assert result.accumulator.n_rows == 450
+
+    def test_rowstore_quarantine_counts_rows(self, matrix, tmp_path, state_dir):
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"part{index}.rr"
+            RowStore.write_matrix(path, matrix[index * 200 : (index + 1) * 200])
+            paths.append(path)
+        result = scan_sources(
+            paths,
+            executor="serial",
+            on_bad_chunk="skip",
+            fault_injector=FaultInjector(state_dir, fail={2: 99}),
+        )
+        assert result.metrics.n_quarantined == 1
+        assert result.metrics.rows_quarantined == 200
+        assert result.accumulator.n_rows == 400
+
+    def test_persistent_corruption_is_quarantined(self, csv_shards, matrix):
+        """A corrupted shard region fails every retry and is skipped."""
+        target = csv_shards[2]
+        size = target.stat().st_size
+        with corrupted_bytes(target, size // 2, b"@@garbage@@"):
+            result = scan_sources(
+                csv_shards,
+                executor="serial",
+                max_retries=1,
+                backoff_seconds=0.0,
+                on_bad_chunk="skip",
+            )
+        assert result.metrics.n_quarantined >= 1
+        assert result.accumulator.n_rows < 600
+        # Once restored, the same call is fault-free and complete.
+        clean = scan_sources(csv_shards, executor="serial")
+        assert clean.accumulator.n_rows == 600
+        assert clean.metrics.n_quarantined == 0
+
+    def test_truncated_shard_strict_mode_raises(self, csv_shards):
+        with truncated_file(csv_shards[3], 40):
+            with pytest.raises(ScanFaultError):
+                scan_sources(
+                    csv_shards, executor="serial", target_chunks=4, max_retries=0
+                )
+
+    def test_bad_on_bad_chunk_rejected(self, csv_shards):
+        with pytest.raises(ValueError, match="on_bad_chunk"):
+            scan_sources(csv_shards, on_bad_chunk="ignore")
+
+
+class TestExecutorDegradation:
+    def test_killed_worker_degrades_process_pool(self, csv_shards, state_dir):
+        """A hard-killed worker breaks the pool; the scan survives on threads."""
+        reference = fault_free(csv_shards)
+        result = scan_sources(
+            csv_shards,
+            executor="process",
+            max_workers=2,
+            max_retries=3,
+            backoff_seconds=0.0,
+            fault_injector=FaultInjector(state_dir, kill={1: 1}),
+        )
+        assert result.metrics.n_executor_downgrades >= 1
+        assert result.metrics.executor in ("thread", "serial")
+        assert np.array_equal(
+            result.accumulator.scatter_matrix(),
+            reference.accumulator.scatter_matrix(),
+        )
+        assert result.accumulator.n_rows == 600
+
+    def test_repeated_kills_reach_serial(self, csv_shards, state_dir):
+        """kill-on-every-process-attempt forces process -> thread -> serial."""
+        reference = fault_free(csv_shards)
+        # Kill budget 2: the process attempt dies; after degradation the
+        # injector runs in the main process where kills become raises,
+        # consuming the rest of the budget as plain faults.
+        result = scan_sources(
+            csv_shards,
+            executor="process",
+            max_workers=2,
+            max_retries=4,
+            backoff_seconds=0.0,
+            fault_injector=FaultInjector(state_dir, kill={0: 2}),
+        )
+        assert np.array_equal(
+            result.accumulator.scatter_matrix(),
+            reference.accumulator.scatter_matrix(),
+        )
+
+
+class TestTimeouts:
+    def test_slow_chunk_times_out_and_retries(self, csv_shards, state_dir):
+        reference = fault_free(csv_shards)
+        result = scan_sources(
+            csv_shards,
+            executor="thread",
+            max_workers=2,
+            max_retries=2,
+            backoff_seconds=0.0,
+            chunk_timeout=0.25,
+            fault_injector=FaultInjector(state_dir, slow={0: 2.0}),
+        )
+        assert result.metrics.n_timeouts >= 1
+        assert np.array_equal(
+            result.accumulator.scatter_matrix(),
+            reference.accumulator.scatter_matrix(),
+        )
+
+    def test_timeout_exhaustion_quarantines(self, csv_shards, state_dir):
+        result = scan_sources(
+            csv_shards,
+            executor="thread",
+            max_workers=2,
+            max_retries=0,
+            chunk_timeout=0.25,
+            on_bad_chunk="skip",
+            fault_injector=FaultInjector(
+                state_dir, slow={0: 2.0}, slow_attempts=99
+            ),
+        )
+        assert result.metrics.n_quarantined == 1
+        assert result.metrics.n_timeouts == 1
+        assert result.accumulator.n_rows == 450
+
+
+class TestAccumulatorState:
+    def test_state_round_trip_is_bit_exact(self, rng):
+        accumulator = StreamingCovariance(4)
+        accumulator.update(rng.normal(3.0, 2.0, size=(57, 4)))
+        accumulator.update(rng.normal(-1.0, 0.5, size=(13, 4)))
+        restored = StreamingCovariance.from_state(accumulator.state())
+        assert restored.n_rows == accumulator.n_rows
+        assert np.array_equal(restored.column_means, accumulator.column_means)
+        assert np.array_equal(
+            restored.scatter_matrix(), accumulator.scatter_matrix()
+        )
+        # And it keeps accumulating identically.
+        block = rng.normal(0.0, 1.0, size=(20, 4))
+        accumulator.update(block)
+        restored.update(block)
+        assert np.array_equal(
+            restored.scatter_matrix(), accumulator.scatter_matrix()
+        )
+
+    def test_state_validation(self):
+        with pytest.raises(ValueError, match="inconsistent state"):
+            StreamingCovariance.from_state(
+                {"count": 3, "mean": np.zeros(2), "scatter": np.zeros((3, 3))}
+            )
+        with pytest.raises(ValueError, match="count"):
+            StreamingCovariance.from_state(
+                {"count": -1, "mean": np.zeros(2), "scatter": np.zeros((2, 2))}
+            )

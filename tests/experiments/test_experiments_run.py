@@ -50,6 +50,7 @@ class TestFig6:
         assert len(result.rows) == 4
 
 
+@pytest.mark.slow
 class TestFig8:
     def test_linearity_at_reduced_scale(self, tmp_path):
         # Wall-clock timing is inherently noisy on a shared machine;

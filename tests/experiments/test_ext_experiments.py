@@ -25,6 +25,7 @@ class TestExtIncomplete:
         assert "ext-incomplete" in list_experiments()
 
 
+@pytest.mark.slow
 class TestExtWide:
     def test_paths_agree_at_modest_width(self):
         result = ext_wide.run(widths=(150, 400), n_rows=300, seed=0)

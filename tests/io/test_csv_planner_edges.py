@@ -1,0 +1,154 @@
+"""Regression tests for CSV byte-range planning edge cases.
+
+The planner splits ``[data_offset, size)`` into half-open byte ranges
+and :class:`CSVChunkReader` assigns each data line to the chunk owning
+its first byte.  These tests pin the tricky boundaries: files whose
+last line has no trailing newline, header-only shards, zero-byte
+files, and plans with far more chunks than rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.engine import plan_chunks, scan_chunk, scan_sources
+from repro.io.csv_format import save_csv_matrix
+from repro.io.matrix_reader import CSVChunkReader, CSVFormatError, csv_layout
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.normal(loc=1.0, scale=4.0, size=(60, 3))
+
+
+def _reference(matrix):
+    accumulator = StreamingCovariance(matrix.shape[1])
+    accumulator.update(matrix)
+    return accumulator
+
+
+def _write_csv_without_trailing_newline(path, matrix):
+    save_csv_matrix(path, matrix)
+    data = path.read_bytes().rstrip(b"\r\n")
+    path.write_bytes(data)
+    assert not data.endswith(b"\n")
+    return path
+
+
+class TestNoTrailingNewline:
+    @pytest.mark.parametrize("target_chunks", [1, 2, 3, 5, 8])
+    def test_every_row_scanned_exactly_once(
+        self, tmp_path, matrix, target_chunks
+    ):
+        path = _write_csv_without_trailing_newline(tmp_path / "m.csv", matrix)
+        result = scan_sources([path], target_chunks=target_chunks)
+        assert result.accumulator.n_rows == 60
+        reference = _reference(matrix)
+        assert np.allclose(
+            result.accumulator.column_means, reference.column_means
+        )
+        assert np.allclose(
+            result.accumulator.covariance(ddof=0), reference.covariance(ddof=0)
+        )
+
+    def test_chunks_partition_the_data_bytes(self, tmp_path, matrix):
+        path = _write_csv_without_trailing_newline(tmp_path / "m.csv", matrix)
+        _, data_offset, size = csv_layout(path)
+        chunks, schema = plan_chunks(path, target_chunks=4)
+        assert schema.width == 3
+        assert chunks[0].start == data_offset
+        assert chunks[-1].stop == size
+        for left, right in zip(chunks, chunks[1:]):
+            assert left.stop == right.start
+        row_counts = [scan_chunk(chunk)[0].n_rows for chunk in chunks]
+        assert all(count > 0 for count in row_counts)
+        assert sum(row_counts) == 60
+
+    def test_chunk_boundary_mid_final_line(self, tmp_path, matrix):
+        # A reader whose range starts inside the unterminated final
+        # line must yield nothing: that line belongs to its neighbour
+        # on the left, which reads past its own stop to finish it.
+        path = _write_csv_without_trailing_newline(tmp_path / "m.csv", matrix)
+        _, data_offset, size = csv_layout(path)
+        body = path.read_bytes()
+        last_line_start = body.rfind(b"\n") + 1
+        mid_final = last_line_start + 2
+        assert data_offset < last_line_start < mid_final < size
+
+        left = CSVChunkReader(path, data_offset, mid_final)
+        right = CSVChunkReader(path, mid_final, size)
+        left_rows = sum(block.shape[0] for block in left.iter_blocks(16))
+        right_rows = sum(block.shape[0] for block in right.iter_blocks(16))
+        assert right_rows == 0
+        assert left_rows == 60
+
+
+class TestDegenerateShards:
+    def test_header_only_shard_plans_one_empty_chunk(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b,c\n")
+        chunks, schema = plan_chunks(path, target_chunks=4)
+        assert schema.width == 3
+        assert len(chunks) == 1
+        assert chunks[0].start == chunks[0].stop
+        assert scan_chunk(chunks[0])[0].n_rows == 0
+
+    def test_header_only_without_newline(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b,c")
+        chunks, schema = plan_chunks(path, target_chunks=2)
+        assert schema.width == 3
+        assert sum(scan_chunk(chunk)[0].n_rows for chunk in chunks) == 0
+
+    def test_header_only_shard_merges_as_identity(self, tmp_path, matrix):
+        full = tmp_path / "full.csv"
+        save_csv_matrix(full, matrix)
+        empty = tmp_path / "empty.csv"
+        empty.write_text("a,b,c\n")
+
+        alone = scan_sources([full], target_chunks=2)
+        mixed = scan_sources([empty, full, empty], target_chunks=6)
+        assert mixed.accumulator.n_rows == 60
+        assert np.array_equal(
+            mixed.accumulator.covariance(ddof=0),
+            alone.accumulator.covariance(ddof=0),
+        )
+
+    def test_zero_byte_file_raises_cleanly(self, tmp_path):
+        path = tmp_path / "none.csv"
+        path.write_bytes(b"")
+        with pytest.raises(CSVFormatError, match="empty file"):
+            plan_chunks(path, target_chunks=2)
+        with pytest.raises(CSVFormatError, match="empty file"):
+            scan_sources([path])
+
+    def test_blank_trailing_lines_are_skipped(self, tmp_path, matrix):
+        path = tmp_path / "m.csv"
+        save_csv_matrix(path, matrix)
+        with open(path, "ab") as handle:
+            handle.write(b"\n\n")
+        result = scan_sources([path], target_chunks=3)
+        assert result.accumulator.n_rows == 60
+
+
+class TestOverChunking:
+    def test_more_chunks_than_rows(self, tmp_path, rng):
+        small = rng.normal(size=(7, 3))
+        path = tmp_path / "small.csv"
+        save_csv_matrix(path, small)
+        result = scan_sources([path], target_chunks=50)
+        assert result.accumulator.n_rows == 7
+        reference = _reference(small)
+        assert np.allclose(
+            result.accumulator.covariance(ddof=0), reference.covariance(ddof=0)
+        )
+
+    def test_single_row_no_trailing_newline(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("a,b,c\n1.5,2.5,3.5")
+        for target_chunks in (1, 2, 4):
+            result = scan_sources([path], target_chunks=target_chunks)
+            assert result.accumulator.n_rows == 1
+            assert np.array_equal(
+                result.accumulator.column_means, np.array([1.5, 2.5, 3.5])
+            )

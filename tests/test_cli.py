@@ -100,6 +100,108 @@ class TestFit(object):
         )
 
 
+class TestFitFaultTolerance:
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "fit", "x.csv",
+                "--max-retries", "3",
+                "--chunk-timeout", "2.5",
+                "--on-bad-chunk", "skip",
+                "--checkpoint", "scan.ckpt",
+                "--resume",
+            ]
+        )
+        assert args.max_retries == 3
+        assert args.chunk_timeout == 2.5
+        assert args.on_bad_chunk == "skip"
+        assert args.checkpoint == "scan.ckpt"
+        assert args.resume is True
+
+    def test_on_bad_chunk_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "x.csv", "--on-bad-chunk", "punt"])
+
+    def test_resume_requires_checkpoint(self, csv_file, capsys):
+        path, _matrix = csv_file
+        assert main(["fit", str(path), "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_stats_report_fault_counters(self, csv_file, capsys):
+        path, _matrix = csv_file
+        assert main(["fit", str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out
+        assert "quarantined" in out
+        assert "downgrades" in out
+        assert "resumed" in out
+
+    @staticmethod
+    def _corrupt_second_half(path):
+        """Persistently clobber one data line in the file's second half."""
+        from repro.io.matrix_reader import csv_layout
+
+        _, data_offset, size = csv_layout(path)
+        offset = data_offset + (size - data_offset) * 3 // 4
+        return offset
+
+    def test_skip_policy_fits_on_surviving_data(self, csv_file, capsys):
+        from repro.testing import corrupted_bytes
+
+        path, _matrix = csv_file
+        with corrupted_bytes(path, self._corrupt_second_half(path)):
+            code = main(
+                [
+                    "fit", str(path),
+                    "--workers", "2",
+                    "--on-bad-chunk", "skip",
+                    "--stats",
+                ]
+            )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning: quarantined 1 bad chunk(s)" in captured.err
+        assert "Mined" in captured.out
+        assert "quarantined   1 chunk(s)" in captured.out
+
+    def test_fault_aborts_with_resume_hint_then_resumes(
+        self, csv_file, tmp_path, capsys
+    ):
+        from repro.testing import corrupted_bytes
+
+        path, _matrix = csv_file
+        checkpoint = tmp_path / "scan.ckpt"
+        with corrupted_bytes(path, self._corrupt_second_half(path)):
+            code = main(
+                [
+                    "fit", str(path),
+                    "--workers", "2",
+                    "--checkpoint", str(checkpoint),
+                ]
+            )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "error:" in captured.err
+        assert "rerun with --resume to continue" in captured.err
+        assert checkpoint.exists()
+
+        # The corruption is healed on context exit; resuming finishes
+        # the fit from the surviving checkpoint.
+        code = main(
+            [
+                "fit", str(path),
+                "--workers", "2",
+                "--checkpoint", str(checkpoint),
+                "--resume",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Mined" in captured.out
+        assert "resumed       1 chunk(s) from checkpoint" in captured.out
+
+
 class TestRules:
     def test_rules_output(self, model_file, capsys):
         assert main(["rules", str(model_file)]) == 0
