@@ -30,8 +30,13 @@ Subpackages
 ``repro.io``
     On-disk row store, CSV, and streaming readers, including the
     offset-seekable chunk readers behind the parallel scan engine.
+``repro.serve``
+    The reconstruction serving layer: hole-pattern operator cache,
+    vectorized batch fills, versioned model hot-swap (CLI
+    ``serve-batch``).
 ``repro.obs``
-    Scan/solve instrumentation (``model.metrics_``, CLI ``--stats``).
+    Scan/solve/serve instrumentation (``model.metrics_``, CLI
+    ``--stats``).
 ``repro.datasets``
     Simulated `nba` / `baseball` / `abalone` datasets and a Quest-style
     basket generator (see DESIGN.md for the substitution rationale).
@@ -87,7 +92,8 @@ from repro.core import (
 )
 from repro.datasets import Dataset, load_dataset
 from repro.io import TableSchema
-from repro.obs import ScanMetrics
+from repro.obs import ScanMetrics, ServeMetrics
+from repro.serve import BatchFiller, ModelRegistry, OperatorCache
 
 __version__ = "1.0.0"
 
@@ -95,6 +101,7 @@ __all__ = [
     "AprioriMiner",
     "AssociationRule",
     "BasketRecommender",
+    "BatchFiller",
     "CategoricalAttribute",
     "CategoricalRatioRuleModel",
     "ColumnAverageBaseline",
@@ -104,7 +111,9 @@ __all__ = [
     "GuessingErrorReport",
     "LinearRegressionBaseline",
     "MixedSchema",
+    "ModelRegistry",
     "OnlineRatioRuleModel",
+    "OperatorCache",
     "QuantitativeRuleModel",
     "RatioRule",
     "RatioRuleModel",
@@ -114,6 +123,7 @@ __all__ = [
     "ScanFaultError",
     "ScanMetrics",
     "Scenario",
+    "ServeMetrics",
     "TableSchema",
     "__version__",
     "ascii_scatter",

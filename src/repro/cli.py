@@ -11,6 +11,11 @@ Subcommands
 ``fill``
     Fill the missing cells of a CSV file (empty cells or ``nan`` are
     holes) using a saved model.
+``serve-batch``
+    Fill a CSV of incomplete rows through the cached, batched serving
+    layer (``repro.serve``): rows are grouped by hole pattern, each
+    pattern's operator is computed once and cached, and ``--stats``
+    reports cache traffic and latency percentiles.
 ``ge``
     Evaluate the guessing error of a model against a test file, with
     the col-avgs comparison.
@@ -102,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
     fill.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
     fill.add_argument("--output", default=None,
                       help="write the completed CSV here (default: stdout)")
+
+    serve_batch = subparsers.add_parser(
+        "serve-batch",
+        help="fill incomplete rows through the cached serving layer",
+    )
+    serve_batch.add_argument("model", help="model .npz produced by 'fit --save'")
+    serve_batch.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
+    serve_batch.add_argument("--output", default=None,
+                             help="write the completed CSV here (default: stdout)")
+    serve_batch.add_argument("--batch-size", type=int, default=None, metavar="N",
+                             help="serve the file in batches of N rows "
+                                  "(default: one batch; smaller batches "
+                                  "exercise the operator cache across calls)")
+    serve_batch.add_argument("--cache-entries", type=int, default=1024, metavar="N",
+                             help="operator-cache capacity (LRU; default 1024)")
+    serve_batch.add_argument("--underdetermined", default="truncate",
+                             choices=["truncate", "min-norm"],
+                             help="policy for under-specified rows (CASE 3)")
+    serve_batch.add_argument("--stats", action="store_true",
+                             help="print serving telemetry (cache hit/miss/"
+                                  "eviction, group sizes, latency percentiles)")
 
     ge = subparsers.add_parser("ge", help="guessing error of a model on test data")
     ge.add_argument("model", help="model .npz produced by 'fit --save'")
@@ -336,6 +362,56 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         print(",".join(schema.names))
         for row in filled:
             print(",".join(f"{value:g}" for value in row))
+    return 0
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from repro.core.model import RatioRuleModel
+    from repro.io.csv_format import save_csv_matrix
+    from repro.serve import BatchFiller
+
+    model = RatioRuleModel.load(args.model)
+    matrix, schema = _load_csv_with_holes(args.data)
+    if schema.names != model.schema_.names:
+        print(
+            f"error: column mismatch between model ({model.schema_.names}) "
+            f"and data ({schema.names})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+
+    filler = BatchFiller(
+        model,
+        cache_entries=args.cache_entries,
+        underdetermined=args.underdetermined,
+    )
+    batch_size = args.batch_size or max(len(matrix), 1)
+    pieces = []
+    for start in range(0, len(matrix), batch_size):
+        result = filler.fill_batch(matrix[start:start + batch_size])
+        pieces.append(result.filled)
+    filled = np.vstack(pieces) if pieces else matrix
+    n_holes = int(np.isnan(matrix).sum())
+
+    if args.output:
+        save_csv_matrix(args.output, filled, schema)
+        print(
+            f"Served {len(matrix)} row(s) ({n_holes} hole(s) filled) from "
+            f"model version {filler.registry.latest_version}; "
+            f"wrote {args.output}"
+        )
+    else:
+        print(",".join(schema.names))
+        for row in filled:
+            print(",".join(f"{value:g}" for value in row))
+    if args.stats:
+        print()
+        print("Serving statistics")
+        print("------------------")
+        print(filler.metrics.render())
     return 0
 
 
@@ -625,6 +701,7 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "rules": _cmd_rules,
     "fill": _cmd_fill,
+    "serve-batch": _cmd_serve_batch,
     "ge": _cmd_ge,
     "outliers": _cmd_outliers,
     "clean": _cmd_clean,

@@ -110,7 +110,10 @@ from repro.core.outliers import (
     detect_row_outliers,
 )
 from repro.core.reconstruction import (
+    FillOperator,
     HoleFillResult,
+    apply_fill_operator,
+    compute_fill_operator,
     fill_holes,
     fill_matrix,
     hole_fill_operator,
@@ -131,6 +134,7 @@ __all__ = [
     "CutoffPolicy",
     "DecayingCovariance",
     "EnergyCutoff",
+    "FillOperator",
     "FixedCutoff",
     "GuessingErrorReport",
     "HoleFillResult",
@@ -159,10 +163,12 @@ __all__ = [
     "StreamingCovariance",
     "TextbookCovarianceAccumulator",
     "accumulate_shard",
+    "apply_fill_operator",
     "ascii_scatter",
     "bootstrap_stability",
     "calibrate",
     "compare_models",
+    "compute_fill_operator",
     "covariance_single_pass",
     "cross_validate_cutoff",
     "detect_cell_outliers",

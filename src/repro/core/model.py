@@ -31,7 +31,14 @@ from repro.core.energy import (
     FixedCutoff,
     resolve_cutoff,
 )
-from repro.core.reconstruction import HoleFillResult, fill_holes, fill_matrix, hole_fill_operator
+from repro.core.reconstruction import (
+    FillOperator,
+    HoleFillResult,
+    apply_fill_operator,
+    compute_fill_operator,
+    fill_holes,
+    fill_matrix,
+)
 from repro.core.rules import RuleSet
 from repro.io.matrix_reader import MatrixReader, open_matrix
 from repro.io.schema import TableSchema
@@ -284,6 +291,41 @@ class RatioRuleModel:
         """The ``M x k`` rule matrix ``V`` (copy)."""
         return self._require_fitted().matrix
 
+    def fingerprint(self) -> str:
+        """Content hash of the learned state (rules, means, row count).
+
+        Two fits that landed on the same rules and means share a
+        fingerprint; any retrain that moved them changes it.  The
+        serving layer uses this to tell whether a freshly published
+        model actually differs from the one it replaces.
+        """
+        import hashlib
+
+        rules = self._require_fitted()
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(rules.matrix).tobytes())
+        digest.update(np.ascontiguousarray(self.means_).tobytes())
+        digest.update(str(self.n_rows_).encode())
+        return digest.hexdigest()[:16]
+
+    def fill_operator(
+        self, hole_indices, *, underdetermined: str = "truncate"
+    ) -> FillOperator:
+        """Precompute the reusable linear fill map for one hole pattern.
+
+        The returned :class:`~repro.core.reconstruction.FillOperator`
+        is immutable and thread-safe to share; repeated fills with the
+        same pattern reduce to one kernel apply each.  This is the
+        unit the :mod:`repro.serve` operator cache stores.
+        """
+        rules = self._require_fitted()
+        return compute_fill_operator(
+            hole_indices,
+            rules.matrix,
+            self.schema_.width,
+            underdetermined=underdetermined,
+        )
+
     # -- estimation ---------------------------------------------------------
 
     def fill_row(self, row: np.ndarray, *, underdetermined: str = "truncate") -> np.ndarray:
@@ -340,9 +382,9 @@ class RatioRuleModel:
         if known.size == 0:
             tiled = np.tile(self.means_[holes], (matrix.shape[0], 1))
         else:
-            operator, _case, _used = hole_fill_operator(holes.tolist(), rules.matrix, n_cols)
+            fill_op = compute_fill_operator(holes.tolist(), rules.matrix, n_cols)
             centered_known = matrix[:, known] - self.means_[known]
-            tiled = centered_known @ operator.T + self.means_[holes]
+            tiled = apply_fill_operator(fill_op.operator, centered_known) + self.means_[holes]
         # Reorder columns to match the caller's hole order.
         position = {int(col): j for j, col in enumerate(holes)}
         order = [position[i] for i in requested]

@@ -37,6 +37,18 @@ the tiny retained coefficients get divided into the knowns and the
 concept explodes -- whereas the minimum-norm solution spreads the
 explanation across whichever rules actually involve the known
 attributes.  The paper's behaviour remains the default.
+
+Exactness contract
+------------------
+For a fixed hole pattern the whole reconstruction is *linear* in the
+centered known entries, so every entry point here routes through one
+precomputed :class:`FillOperator` and one shared apply kernel
+(:func:`apply_fill_operator`).  The kernel is an ``einsum`` whose
+per-row float operations do not depend on how many rows are applied at
+once, so a row filled alone, inside :func:`fill_matrix`, or through the
+cached batch path in :mod:`repro.serve` produces **bit-identical**
+results.  (BLAS GEMM/GEMV kernels do not have this property, which is
+why the kernel deliberately avoids them.)
 """
 
 from __future__ import annotations
@@ -46,15 +58,16 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.linalg.svd import least_squares_solve
-
 __all__ = [
     "CASE_EXACT",
     "CASE_OVER",
     "CASE_UNDER",
     "CASE_ALL_HOLES",
     "CASE_NO_HOLES",
+    "FillOperator",
     "HoleFillResult",
+    "apply_fill_operator",
+    "compute_fill_operator",
     "fill_holes",
     "fill_matrix",
     "hole_fill_operator",
@@ -114,22 +127,6 @@ def _classify(n_known: int, k: int) -> Tuple[str, int]:
     return CASE_UNDER, n_known
 
 
-def _solve_concept(v_known: np.ndarray, b_known: np.ndarray, case: str) -> np.ndarray:
-    """Solve ``V' x = b'`` per the dispatched case."""
-    if float(np.linalg.norm(v_known)) < _MIN_INFORMATIVE_NORM:
-        # The rules are (numerically) blind to every known attribute.
-        return np.zeros(v_known.shape[1])
-    if case == CASE_EXACT or case == CASE_UNDER:
-        # Square system (CASE_UNDER has already truncated the rules).
-        # Guard against singular V': fall back to the pseudo-inverse.
-        if _is_well_conditioned(v_known):
-            return np.linalg.solve(v_known, b_known)
-        return least_squares_solve(v_known, b_known, backend="numpy")
-    # Over-specified: least squares through the Moore-Penrose
-    # pseudo-inverse (the paper's Eq. 7-9).
-    return least_squares_solve(v_known, b_known, backend="numpy")
-
-
 def _is_well_conditioned(matrix: np.ndarray) -> bool:
     """Cheap condition check for small square systems."""
     try:
@@ -137,6 +134,170 @@ def _is_well_conditioned(matrix: np.ndarray) -> bool:
     except np.linalg.LinAlgError:
         return False
     return bool(np.isfinite(condition) and condition < _MAX_SQUARE_CONDITION)
+
+
+def apply_fill_operator(operator: np.ndarray, centered_rows: np.ndarray) -> np.ndarray:
+    """Apply a linear fill map to one or many centered rows.
+
+    ``operator`` is ``p x q`` and ``centered_rows`` is ``n x q``; the
+    result is ``n x p``.  The contraction is an ``einsum`` rather than
+    a BLAS matmul because each output row must be bitwise independent
+    of the batch size -- this is what lets the serving layer promise
+    batch fills bit-identical to row-by-row fills.
+    """
+    return np.einsum("pq,nq->np", operator, centered_rows)
+
+
+@dataclass(frozen=True)
+class FillOperator:
+    """The precomputed linear reconstruction for one hole pattern.
+
+    For a fixed hole pattern ``H`` the Sec.-4.4 solve collapses to two
+    matrices applied to the centered known entries ``b'``:
+
+    - ``operator`` (``h x (M - h)``): ``b_hat[H] - means[H] = operator @ b'``
+      -- the hole predictions;
+    - ``solver`` (``rules_used x (M - h)``): ``x_concept = solver @ b'``
+      -- the rule-space solution (diagnostic; zero rows for the
+      all-holes pattern).
+
+    Instances are immutable and safe to share across threads, which is
+    what makes them cacheable (see :class:`repro.serve.OperatorCache`).
+
+    Attributes
+    ----------
+    hole_indices:
+        Sorted hole positions the operator was built for.
+    n_cols:
+        ``M``, the full row width.
+    operator, solver:
+        The two linear maps described above.
+    case:
+        Dispatched regime (:data:`CASE_EXACT` / :data:`CASE_OVER` /
+        :data:`CASE_UNDER` / :data:`CASE_ALL_HOLES`).
+    rules_used:
+        Rules participating in the solve (``< k`` only for the paper's
+        truncating under-specified policy).
+    underdetermined:
+        The CASE-3 policy the operator was built under.
+    """
+
+    hole_indices: Tuple[int, ...]
+    n_cols: int
+    operator: np.ndarray
+    solver: np.ndarray
+    case: str
+    rules_used: int
+    underdetermined: str
+
+    @property
+    def n_holes(self) -> int:
+        """Number of holes in the pattern."""
+        return len(self.hole_indices)
+
+    @property
+    def n_known(self) -> int:
+        """Number of known entries in the pattern."""
+        return self.n_cols - len(self.hole_indices)
+
+    @property
+    def known_indices(self) -> np.ndarray:
+        """Sorted positions of the known entries."""
+        mask = np.ones(self.n_cols, dtype=bool)
+        mask[list(self.hole_indices)] = False
+        return np.nonzero(mask)[0]
+
+    def predict(self, centered_known_rows: np.ndarray) -> np.ndarray:
+        """Centered hole predictions for ``n x (M - h)`` centered knowns."""
+        return apply_fill_operator(self.operator, centered_known_rows)
+
+    def concepts(self, centered_known_rows: np.ndarray) -> np.ndarray:
+        """Rule-space solutions for ``n x (M - h)`` centered knowns."""
+        return apply_fill_operator(self.solver, centered_known_rows)
+
+
+def compute_fill_operator(
+    hole_indices: Sequence[int],
+    rules_matrix: np.ndarray,
+    n_cols: int,
+    *,
+    underdetermined: str = "truncate",
+) -> FillOperator:
+    """Build the :class:`FillOperator` for one hole pattern.
+
+    This is the single factory behind :func:`fill_holes`,
+    :func:`fill_matrix`, :func:`hole_fill_operator` and the
+    :mod:`repro.serve` cache: every reconstruction in the library flows
+    through an operator built here, so they all agree bit for bit.
+
+    Parameters
+    ----------
+    hole_indices:
+        Positions of the holes (non-empty; the zero-hole pattern needs
+        no operator -- :func:`fill_holes` short-circuits it).
+    rules_matrix:
+        ``M x k`` rule matrix ``V``.
+    n_cols:
+        ``M`` (validated against ``rules_matrix``).
+    underdetermined:
+        CASE-3 policy, as in :func:`fill_holes`.
+    """
+    rules_matrix = np.asarray(rules_matrix, dtype=np.float64)
+    if rules_matrix.ndim != 2 or rules_matrix.shape[0] != n_cols:
+        raise ValueError(
+            f"rules_matrix must be {n_cols} x k, got shape {rules_matrix.shape}"
+        )
+    if underdetermined not in ("truncate", "min-norm"):
+        raise ValueError(
+            f"underdetermined must be 'truncate' or 'min-norm', "
+            f"got {underdetermined!r}"
+        )
+    holes = np.zeros(n_cols, dtype=bool)
+    hole_list = [int(i) for i in hole_indices]
+    if not hole_list:
+        raise ValueError("hole_indices must be non-empty")
+    holes[np.asarray(hole_list, dtype=int)] = True
+    n_holes = int(holes.sum())
+    if n_holes != len(hole_list):
+        raise ValueError("hole_indices contains duplicates")
+    pattern = tuple(np.nonzero(holes)[0].tolist())
+    n_known = n_cols - n_holes
+    k = rules_matrix.shape[1]
+    if k < 1:
+        raise ValueError("need at least one rule to fill holes")
+    if n_known == 0:
+        # Degenerate: prediction is the mean, i.e. a zero linear map.
+        return FillOperator(
+            pattern, n_cols, np.zeros((n_holes, 0)), np.zeros((0, 0)),
+            CASE_ALL_HOLES, 0, underdetermined,
+        )
+
+    case, rules_used = _classify(n_known, k)
+    if case == CASE_UNDER and underdetermined == "min-norm":
+        rules_used = k  # keep every rule; the pseudo-inverse picks min-norm
+    v_known = rules_matrix[~holes, :rules_used]
+    v_holes = rules_matrix[holes, :rules_used]
+    if float(np.linalg.norm(v_known)) < _MIN_INFORMATIVE_NORM:
+        # No rule information in the knowns: zero operator (means only).
+        return FillOperator(
+            pattern, n_cols, np.zeros((n_holes, n_known)),
+            np.zeros((rules_used, n_known)), case, rules_used, underdetermined,
+        )
+    needs_pinv = (
+        case == CASE_OVER
+        or (case == CASE_UNDER and underdetermined == "min-norm")
+        or not _is_well_conditioned(v_known)
+    )
+    if needs_pinv:
+        from repro.linalg.svd import pseudo_inverse
+
+        solver = pseudo_inverse(v_known, backend="numpy")
+    else:
+        solver = np.linalg.inv(v_known)
+    return FillOperator(
+        pattern, n_cols, v_holes @ solver, solver, case, rules_used,
+        underdetermined,
+    )
 
 
 def fill_holes(
@@ -197,27 +358,24 @@ def fill_holes(
     n_known = n_cols - n_holes
 
     if n_holes == 0:
+        # Documented no-op fast path: nothing to fill, so no operator is
+        # built (and the serving layer's operator cache is never
+        # touched).  The concept is still reported for diagnostics.
         concept = rules_matrix.T @ (row - means)
         return HoleFillResult(row.copy(), concept, CASE_NO_HOLES, k)
     if n_known == 0:
         # Nothing known: the best unconditional guess is the mean row.
         return HoleFillResult(means.copy(), np.empty(0), CASE_ALL_HOLES, 0)
 
-    case, rules_used = _classify(n_known, k)
-    if case == CASE_UNDER and underdetermined == "min-norm":
-        rules_used = k  # keep every rule; the pseudo-inverse picks min-norm
-    known = ~holes
-    v_known = rules_matrix[known, :rules_used]
-    b_known = row[known] - means[known]
-    if case == CASE_UNDER and underdetermined == "min-norm":
-        concept = least_squares_solve(v_known, b_known, backend="numpy")
-    else:
-        concept = _solve_concept(v_known, b_known, case)
-
-    reconstruction = rules_matrix[:, :rules_used] @ concept + means
+    fill_op = compute_fill_operator(
+        np.nonzero(holes)[0], rules_matrix, n_cols,
+        underdetermined=underdetermined,
+    )
+    b_known = (row[~holes] - means[~holes])[None, :]
+    concept = fill_op.concepts(b_known)[0]
     filled = row.copy()
-    filled[holes] = reconstruction[holes]
-    return HoleFillResult(filled, concept, case, rules_used)
+    filled[holes] = fill_op.predict(b_known)[0] + means[holes]
+    return HoleFillResult(filled, concept, fill_op.case, fill_op.rules_used)
 
 
 def hole_fill_operator(
@@ -253,51 +411,18 @@ def hole_fill_operator(
     (operator, case, rules_used):
         ``operator`` is ``h x (M - h)``: multiply by the centered known
         entries to get the centered hole predictions.
+
+    See Also
+    --------
+    compute_fill_operator:
+        The richer factory this wraps; returns the full
+        :class:`FillOperator` record (the form the serving layer
+        caches).
     """
-    rules_matrix = np.asarray(rules_matrix, dtype=np.float64)
-    if rules_matrix.shape[0] != n_cols:
-        raise ValueError(
-            f"rules_matrix has {rules_matrix.shape[0]} rows, expected {n_cols}"
-        )
-    if underdetermined not in ("truncate", "min-norm"):
-        raise ValueError(
-            f"underdetermined must be 'truncate' or 'min-norm', "
-            f"got {underdetermined!r}"
-        )
-    holes = np.zeros(n_cols, dtype=bool)
-    hole_list = list(hole_indices)
-    if not hole_list:
-        raise ValueError("hole_indices must be non-empty")
-    holes[np.asarray(hole_list, dtype=int)] = True
-    n_holes = int(holes.sum())
-    if n_holes != len(hole_list):
-        raise ValueError("hole_indices contains duplicates")
-    n_known = n_cols - n_holes
-    k = rules_matrix.shape[1]
-    if n_known == 0:
-        # Degenerate: prediction is the mean, i.e. a zero linear map.
-        return np.zeros((n_holes, 0)), CASE_ALL_HOLES, 0
-
-    case, rules_used = _classify(n_known, k)
-    if case == CASE_UNDER and underdetermined == "min-norm":
-        rules_used = k  # keep every rule; the pseudo-inverse picks min-norm
-    v_known = rules_matrix[~holes, :rules_used]
-    v_holes = rules_matrix[holes, :rules_used]
-    if float(np.linalg.norm(v_known)) < _MIN_INFORMATIVE_NORM:
-        # No rule information in the knowns: zero operator (means only).
-        return np.zeros((n_holes, n_known)), case, rules_used
-    needs_pinv = (
-        case == CASE_OVER
-        or (case == CASE_UNDER and underdetermined == "min-norm")
-        or not _is_well_conditioned(v_known)
+    fill_op = compute_fill_operator(
+        hole_indices, rules_matrix, n_cols, underdetermined=underdetermined
     )
-    if needs_pinv:
-        from repro.linalg.svd import pseudo_inverse
-
-        solver = pseudo_inverse(v_known, backend="numpy")
-    else:
-        solver = np.linalg.inv(v_known)
-    return v_holes @ solver, case, rules_used
+    return fill_op.operator, fill_op.case, fill_op.rules_used
 
 
 def fill_matrix(
@@ -310,9 +435,11 @@ def fill_matrix(
     """Fill every NaN in an ``N x M`` matrix, row by row.
 
     Rows sharing a hole pattern are grouped so the per-pattern solve is
-    amortized (one :func:`hole_fill_operator` per distinct pattern).
+    amortized (one :func:`compute_fill_operator` per distinct pattern).
     ``underdetermined`` selects the CASE-3 policy exactly as in
-    :func:`fill_holes`, so batch and per-row fills agree cell for cell.
+    :func:`fill_holes`; batch and per-row fills share the same operator
+    and apply kernel, so they agree **bit for bit** (see the module
+    docstring's exactness contract).
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
@@ -345,10 +472,9 @@ def fill_matrix(
         if known.size == 0:
             filled[np.ix_(rows, holes)] = means[holes]
             continue
-        operator, _case, _used = hole_fill_operator(
+        fill_op = compute_fill_operator(
             pattern, rules_matrix, n_cols, underdetermined=underdetermined
         )
         b_known = matrix[np.ix_(rows, known)] - means[known]
-        predictions = b_known @ operator.T + means[holes]
-        filled[np.ix_(rows, holes)] = predictions
+        filled[np.ix_(rows, holes)] = fill_op.predict(b_known) + means[holes]
     return filled

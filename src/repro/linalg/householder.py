@@ -44,6 +44,16 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     n = a.shape[0]
     q = np.eye(n)
 
+    # Scale to O(1) before reducing: entries around 1e-160 (or 1e+160)
+    # make the sums of squares inside the reflection norms underflow to
+    # subnormals (or overflow), so the "unit" Householder vectors stop
+    # being unit and Q silently loses orthogonality.  Reflections are
+    # scale-invariant; the bands are restored on return.
+    scale = float(np.max(np.abs(a))) if n else 0.0
+    if scale == 0.0 or not np.isfinite(scale):
+        scale = 1.0
+    a /= scale
+
     for k in range(n - 2):
         # Eliminate column k below the first sub-diagonal.
         x = a[k + 1 :, k].copy()
@@ -76,8 +86,8 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
         q_block = q[:, k + 1 :]
         q[:, k + 1 :] = q_block - 2.0 * np.outer(q_block @ v, v)
 
-    diagonal = np.diag(a).copy()
-    off_diagonal = np.diag(a, k=-1).copy()
+    diagonal = np.diag(a).copy() * scale
+    off_diagonal = np.diag(a, k=-1).copy() * scale
     return diagonal, off_diagonal, q
 
 

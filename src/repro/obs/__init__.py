@@ -7,13 +7,17 @@ measurement substrate:
 
 - :mod:`repro.obs.metrics` -- scan/solve timers and counters
   (:class:`~repro.obs.metrics.ScanMetrics`), attached to fitted models
-  as ``model.metrics_`` and rendered by the CLI ``--stats`` flag.
+  as ``model.metrics_`` and rendered by the CLI ``--stats`` flag, plus
+  the serving-side counterpart
+  (:class:`~repro.obs.metrics.ServeMetrics`): operator-cache traffic,
+  pattern-group sizes and fill-latency percentiles for
+  :mod:`repro.serve`.
 
 It is dependency-free and cheap enough to stay on in production: the
-counters are plain ints/floats updated once per block or once per fit,
-never per cell.
+counters are plain ints/floats updated once per block, once per fit,
+or once per served batch -- never per cell.
 """
 
-from repro.obs.metrics import ScanMetrics, Stopwatch
+from repro.obs.metrics import ScanMetrics, ServeMetrics, Stopwatch
 
-__all__ = ["ScanMetrics", "Stopwatch"]
+__all__ = ["ScanMetrics", "ServeMetrics", "Stopwatch"]

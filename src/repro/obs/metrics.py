@@ -1,21 +1,25 @@
-"""Scan/solve instrumentation for the single-pass mining pipeline.
+"""Scan/solve/serve instrumentation for the mining + serving pipeline.
 
-:class:`ScanMetrics` is the one record the whole library shares: the
-scan engine fills in the map/merge side (rows, blocks, chunks, merges,
+:class:`ScanMetrics` is the record the *fitting* side shares: the scan
+engine fills in the map/merge side (rows, blocks, chunks, merges,
 wall-clock), the model fills in the solve side, and the CLI renders the
-result for ``--stats``.  Everything is a plain counter -- no background
-threads, no sampling -- so the overhead is one ``perf_counter`` call
-per stage and one integer add per block.
+result for ``--stats``.  :class:`ServeMetrics` is its counterpart for
+the *query* side (:mod:`repro.serve`): operator-cache hit/miss/eviction
+counters, pattern-group sizes, and fill-latency percentiles.
+Everything is a plain counter -- no background threads, no sampling --
+so the overhead is one ``perf_counter`` call per stage and one integer
+add per block (or per batch).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field, fields
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
-__all__ = ["ScanMetrics", "Stopwatch"]
+__all__ = ["ScanMetrics", "ServeMetrics", "Stopwatch"]
 
 
 class Stopwatch:
@@ -190,6 +194,241 @@ class ScanMetrics:
             f"scan time     {self.scan_seconds:.4f} s  ({throughput_text})",
             f"solve time    {self.solve_seconds:.4f} s",
             f"total time    {self.total_seconds:.4f} s",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"{key:<13} {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+#: Cap on retained latency / group-size samples; beyond it the oldest
+#: samples are dropped (the counters keep exact totals regardless).
+_MAX_SAMPLES = 4096
+
+
+@dataclass
+class ServeMetrics:
+    """Counters and timings for the reconstruction serving layer.
+
+    One record instruments one :class:`repro.serve.BatchFiller` (its
+    operator cache reports into the same record).  All mutators take an
+    internal lock, so a single record can be shared by every serving
+    thread; reads for rendering are snapshots, not transactions.
+
+    Attributes
+    ----------
+    n_batches:
+        ``fill_batch`` calls served.
+    n_rows:
+        Total rows across all batches.
+    n_rows_filled:
+        Rows that had at least one hole and went through an operator.
+    n_rows_no_holes:
+        Rows passed through untouched (the documented no-op fast path;
+        these never touch the operator cache).
+    n_rows_all_holes:
+        Rows with nothing known (filled with the column means).
+    n_groups:
+        Pattern groups processed (one operator apply each).
+    n_holes_filled:
+        Individual cells reconstructed.
+    cache_hits / cache_misses / cache_evictions:
+        Operator-cache traffic.  A miss means one
+        ``compute_fill_operator`` solve; a hit means the solve was
+        amortized away.
+    n_publishes:
+        Model versions published to the registry feeding this filler.
+    fill_seconds:
+        Total wall-clock spent inside ``fill_batch``.
+    group_sizes:
+        Recent per-pattern group sizes (bounded sample).
+    batch_latencies:
+        Recent per-batch wall-clock seconds (bounded sample), the basis
+        of :meth:`latency_percentiles`.
+    """
+
+    n_batches: int = 0
+    n_rows: int = 0
+    n_rows_filled: int = 0
+    n_rows_no_holes: int = 0
+    n_rows_all_holes: int = 0
+    n_groups: int = 0
+    n_holes_filled: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    n_publishes: int = 0
+    fill_seconds: float = 0.0
+    group_sizes: list = field(default_factory=list)
+    batch_latencies: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # -- recording (called by the serving layer) ---------------------------
+
+    def record_batch(
+        self,
+        *,
+        n_rows: int,
+        n_rows_filled: int,
+        n_rows_no_holes: int,
+        n_rows_all_holes: int,
+        n_holes_filled: int,
+        group_sizes: Sequence[int],
+        seconds: float,
+    ) -> None:
+        """Fold one ``fill_batch`` call into the record."""
+        with self._lock:
+            self.n_batches += 1
+            self.n_rows += int(n_rows)
+            self.n_rows_filled += int(n_rows_filled)
+            self.n_rows_no_holes += int(n_rows_no_holes)
+            self.n_rows_all_holes += int(n_rows_all_holes)
+            self.n_groups += len(group_sizes)
+            self.n_holes_filled += int(n_holes_filled)
+            self.fill_seconds += float(seconds)
+            self.group_sizes.extend(int(size) for size in group_sizes)
+            del self.group_sizes[:-_MAX_SAMPLES]
+            self.batch_latencies.append(float(seconds))
+            del self.batch_latencies[:-_MAX_SAMPLES]
+
+    def record_cache_hit(self) -> None:
+        """One operator served from cache."""
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """One operator computed fresh."""
+        with self._lock:
+            self.cache_misses += 1
+
+    def record_cache_eviction(self) -> None:
+        """One operator dropped by the LRU policy."""
+        with self._lock:
+            self.cache_evictions += 1
+
+    def record_publish(self) -> None:
+        """One model version published."""
+        with self._lock:
+            self.n_publishes += 1
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    @property
+    def rows_per_second(self) -> float:
+        """Serving throughput; 0.0 when nothing was timed."""
+        if self.fill_seconds <= 0.0:
+            return 0.0
+        return self.n_rows / self.fill_seconds
+
+    def latency_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> Tuple[float, ...]:
+        """Batch-latency percentiles (seconds) from the retained sample.
+
+        ``quantiles`` are fractions in [0, 1].  Returns zeros before
+        the first batch.
+        """
+        with self._lock:
+            sample = sorted(self.batch_latencies)
+        if not sample:
+            return tuple(0.0 for _ in quantiles)
+        result = []
+        for quantile in quantiles:
+            if not 0.0 <= quantile <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+            position = quantile * (len(sample) - 1)
+            low = int(position)
+            high = min(low + 1, len(sample) - 1)
+            weight = position - low
+            result.append(sample[low] * (1.0 - weight) + sample[high] * weight)
+        return tuple(result)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def merge(self, other: "ServeMetrics") -> None:
+        """Fold another record into this one (multi-filler aggregation)."""
+        with self._lock:
+            self.n_batches += other.n_batches
+            self.n_rows += other.n_rows
+            self.n_rows_filled += other.n_rows_filled
+            self.n_rows_no_holes += other.n_rows_no_holes
+            self.n_rows_all_holes += other.n_rows_all_holes
+            self.n_groups += other.n_groups
+            self.n_holes_filled += other.n_holes_filled
+            self.cache_hits += other.cache_hits
+            self.cache_misses += other.cache_misses
+            self.cache_evictions += other.cache_evictions
+            self.n_publishes += other.n_publishes
+            self.fill_seconds += other.fill_seconds
+            self.group_sizes.extend(other.group_sizes)
+            del self.group_sizes[:-_MAX_SAMPLES]
+            self.batch_latencies.extend(other.batch_latencies)
+            del self.batch_latencies[:-_MAX_SAMPLES]
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of every counter (JSON-serializable)."""
+        with self._lock:
+            payload = {}
+            for field_def in fields(self):
+                value = getattr(self, field_def.name)
+                payload[field_def.name] = list(value) if isinstance(value, list) else value
+            return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeMetrics":
+        """Rebuild a record from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected so stale snapshots fail loudly
+        rather than silently dropping counters.
+        """
+        known = {field_def.name for field_def in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ServeMetrics fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeMetrics":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        p50, p90, p99 = self.latency_percentiles((0.5, 0.9, 0.99))
+        throughput = self.rows_per_second
+        throughput_text = f"{throughput:,.0f} rows/s" if throughput else "n/a"
+        max_group = max(self.group_sizes) if self.group_sizes else 0
+        lines = [
+            f"batches       {self.n_batches} batch(es), {self.n_rows:,} row(s)",
+            f"rows          {self.n_rows_filled:,} filled, "
+            f"{self.n_rows_no_holes:,} complete (no-op), "
+            f"{self.n_rows_all_holes:,} all-holes",
+            f"holes filled  {self.n_holes_filled:,}",
+            f"patterns      {self.n_groups} group(s), largest {max_group} row(s)",
+            f"cache         {self.cache_hits} hit(s), {self.cache_misses} "
+            f"miss(es), {self.cache_evictions} eviction(s)  "
+            f"(hit rate {self.cache_hit_rate:.1%})",
+            f"publishes     {self.n_publishes} model version(s)",
+            f"latency       p50 {p50 * 1e3:.3f} ms  p90 {p90 * 1e3:.3f} ms  "
+            f"p99 {p99 * 1e3:.3f} ms",
+            f"fill time     {self.fill_seconds:.4f} s  ({throughput_text})",
         ]
         for key, value in sorted(self.extras.items()):
             lines.append(f"{key:<13} {value}")

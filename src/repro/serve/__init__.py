@@ -1,0 +1,54 @@
+"""The reconstruction serving layer: cached, batched, hot-swappable.
+
+The paper's killer application is answering "fill these holes" queries
+(Sec. 4.4) at interactive speed.  This package is the
+production-shaped query path on top of
+:mod:`repro.core.reconstruction`:
+
+- :class:`OperatorCache` -- an LRU keyed by (model version, hole
+  pattern, CASE-3 policy) holding precomputed
+  :class:`~repro.core.reconstruction.FillOperator` records, so a
+  repeat-pattern fill is one kernel apply instead of one linear solve;
+- :class:`BatchFiller` -- groups request rows by hole pattern and
+  applies each cached operator to the whole group at once, with a
+  row-by-row reference path (:meth:`BatchFiller.fill_reference`) that
+  the differential suite proves **bit-identical**;
+- :class:`ModelRegistry` -- versioned publish/hot-swap so a background
+  refit replaces the served model atomically; every response is
+  attributable to exactly one published version;
+- :class:`~repro.obs.metrics.ServeMetrics` (re-exported) -- cache
+  traffic, pattern-group sizes, and fill-latency percentiles.
+
+Quickstart::
+
+    from repro import RatioRuleModel
+    from repro.serve import BatchFiller, ModelRegistry
+
+    registry = ModelRegistry(RatioRuleModel().fit(train))
+    filler = BatchFiller(registry)
+    result = filler.fill_batch(incomplete_rows)   # NaN = hole
+    # ... later, from a refit thread:
+    registry.publish(RatioRuleModel().fit(fresh_data))
+
+See ``docs/serving.md`` for architecture, cache semantics, and the
+versioning guarantees.
+"""
+
+from repro.obs.metrics import ServeMetrics
+from repro.serve.batch import BatchFiller, BatchFillResult
+from repro.serve.cache import OperatorCache
+from repro.serve.registry import (
+    ModelRegistry,
+    NoModelPublishedError,
+    PublishedModel,
+)
+
+__all__ = [
+    "BatchFiller",
+    "BatchFillResult",
+    "ModelRegistry",
+    "NoModelPublishedError",
+    "OperatorCache",
+    "PublishedModel",
+    "ServeMetrics",
+]

@@ -1,0 +1,133 @@
+"""The hole-pattern operator cache.
+
+For a fixed (model version, hole pattern, CASE-3 policy) the entire
+Sec.-4.4 reconstruction collapses to one precomputed
+:class:`~repro.core.reconstruction.FillOperator`.  Serving traffic is
+dominated by repeat patterns -- a product catalog has a handful of
+"typical" missing-field combinations -- so an LRU over those operators
+turns almost every fill into a single kernel apply, skipping the
+per-request ``inv``/``pinv`` solve entirely.
+
+The cache is thread-safe and deliberately dumb: a lock, an ordered
+dict, and three counters.  Operator *computation* happens outside the
+lock so concurrent misses on different patterns do not serialize; a
+rare duplicate computation of the same pattern is harmless because
+operators are deterministic (identical bits) and immutable.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional
+
+from repro.core.reconstruction import FillOperator
+from repro.obs.metrics import ServeMetrics
+
+__all__ = ["OperatorCache"]
+
+
+class OperatorCache:
+    """A bounded, thread-safe LRU of :class:`FillOperator` records.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; the least-recently-used operator is evicted when a
+        new pattern would exceed it.  Each entry is a few
+        ``h x (M - h)`` float64 matrices, so even 10k entries on a
+        100-column catalog is only tens of megabytes.
+    metrics:
+        Optional :class:`~repro.obs.metrics.ServeMetrics` to mirror
+        hit/miss/eviction counts into (the cache also keeps its own).
+    """
+
+    def __init__(
+        self, max_entries: int = 1024, *, metrics: Optional[ServeMetrics] = None
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, FillOperator]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get_or_compute(
+        self, key: Hashable, factory: Callable[[], FillOperator]
+    ) -> FillOperator:
+        """Return the cached operator for ``key``, computing it on a miss.
+
+        ``factory`` runs *outside* the lock; if two threads race the
+        same cold key, both compute (bit-identical results) and one
+        insert wins -- every caller still gets a correct operator.
+        """
+        with self._lock:
+            operator = self._entries.get(key)
+            if operator is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if self._metrics is not None:
+                    self._metrics.record_cache_hit()
+                return operator
+        operator = factory()
+        with self._lock:
+            self.misses += 1
+            if self._metrics is not None:
+                self._metrics.record_cache_miss()
+            resident = self._entries.get(key)
+            if resident is not None:
+                # A racing thread inserted first; serve its copy so a
+                # key always maps to one object identity.
+                self._entries.move_to_end(key)
+                return resident
+            self._entries[key] = operator
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.record_cache_eviction()
+        return operator
+
+    def evict_version(self, version: int) -> int:
+        """Drop every entry belonging to a retired model version.
+
+        Keys are ``(version, pattern, policy)`` tuples (see
+        :class:`repro.serve.BatchFiller`); entries for other key shapes
+        are left alone.  Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == version
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Snapshot of size and traffic counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,197 @@
+"""Thread-safe, versioned model registry for hot-swapping served models.
+
+The serving layer must keep answering while a background refit runs.
+The registry makes that safe with one rule: the unit of publication is
+an immutable :class:`PublishedModel` snapshot (version + fitted model),
+and swapping versions is a single reference assignment under a lock.
+Readers take the snapshot *once* per request and use it throughout, so
+every response is attributable to exactly one published version -- a
+request can never see version ``n``'s rules with version ``n+1``'s
+means (no torn reads).
+
+Models themselves are treated as frozen after publication: a fitted
+:class:`~repro.core.model.RatioRuleModel`'s learned arrays are never
+mutated by the serving path, and refits build a *new* model object
+(see :meth:`ModelRegistry.refit_and_publish`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.model import RatioRuleModel
+from repro.obs.metrics import ServeMetrics
+
+__all__ = ["ModelRegistry", "NoModelPublishedError", "PublishedModel"]
+
+
+class NoModelPublishedError(RuntimeError):
+    """Raised when the registry is asked for a model before any publish."""
+
+
+@dataclass(frozen=True)
+class PublishedModel:
+    """One immutable published (version, model) snapshot.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing publication number (1, 2, ...).
+    model:
+        The fitted model; treated as frozen after publication.
+    fingerprint:
+        Content hash of the model's learned state (see
+        :meth:`repro.core.model.RatioRuleModel.fingerprint`).
+    published_at:
+        Wall-clock publication time (``time.time()``).
+    """
+
+    version: int
+    model: RatioRuleModel
+    fingerprint: str
+    published_at: float = field(default=0.0, compare=False)
+
+
+class ModelRegistry:
+    """Versioned publish/hot-swap point for served models.
+
+    Parameters
+    ----------
+    model:
+        Optional fitted model to publish immediately as version 1.
+    metrics:
+        Optional :class:`~repro.obs.metrics.ServeMetrics`; each publish
+        bumps its ``n_publishes`` counter.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import RatioRuleModel
+    >>> from repro.serve import ModelRegistry
+    >>> X = np.outer(np.arange(1.0, 9.0), [1.0, 2.0])
+    >>> registry = ModelRegistry(RatioRuleModel(cutoff=1).fit(X))
+    >>> registry.current().version
+    1
+    """
+
+    def __init__(
+        self,
+        model: Optional[RatioRuleModel] = None,
+        *,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._metrics = metrics
+        self._current: Optional[PublishedModel] = None
+        self._next_version = 1
+        if model is not None:
+            self.publish(model)
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(
+        self, model: RatioRuleModel, *, allow_schema_change: bool = False
+    ) -> PublishedModel:
+        """Atomically publish ``model`` as the next version.
+
+        In-flight requests holding the previous snapshot finish against
+        it; requests that snapshot after this call see the new version.
+
+        Parameters
+        ----------
+        model:
+            A *fitted* model.  Its column schema must match the
+            currently published version's unless
+            ``allow_schema_change`` is set -- silently changing the
+            served row width mid-stream is almost always a deployment
+            mistake.
+
+        Returns
+        -------
+        PublishedModel
+            The freshly published snapshot.
+        """
+        if model.rules_ is None or model.schema_ is None:
+            raise ValueError("only fitted models can be published")
+        fingerprint = model.fingerprint()
+        with self._lock:
+            if (
+                self._current is not None
+                and not allow_schema_change
+                and model.schema_.names != self._current.model.schema_.names
+            ):
+                raise ValueError(
+                    f"schema change on publish: serving "
+                    f"{self._current.model.schema_.names}, got "
+                    f"{model.schema_.names} (pass allow_schema_change=True "
+                    f"if intentional)"
+                )
+            snapshot = PublishedModel(
+                version=self._next_version,
+                model=model,
+                fingerprint=fingerprint,
+                published_at=time.time(),
+            )
+            self._next_version += 1
+            self._current = snapshot
+        if self._metrics is not None:
+            self._metrics.record_publish()
+        return snapshot
+
+    def refit_and_publish(self, sources, **fit_kwargs) -> PublishedModel:
+        """Refit from data sources via the scan engine, then hot-swap.
+
+        Sugar over :func:`repro.core.parallel.fit_sharded` ->
+        :meth:`publish`: the scan (possibly process-parallel, retried,
+        checkpointed -- every engine keyword is forwarded) runs without
+        touching the served model; only the final reference swap is
+        synchronized.
+        """
+        from repro.core.parallel import fit_sharded
+
+        model = fit_sharded(sources, **fit_kwargs)
+        return self.publish(model)
+
+    def publish_from_accumulator(
+        self, accumulator, schema, *, metrics=None, **model_kwargs
+    ) -> PublishedModel:
+        """Finish a fit from merged scan partials, then hot-swap.
+
+        The reduce-side twin of :meth:`refit_and_publish`: anything
+        that produced a merged
+        :class:`~repro.core.covariance.StreamingCovariance` (a sharded
+        scan, a resumed checkpoint) becomes the next served version via
+        :meth:`~repro.core.model.RatioRuleModel.fit_from_accumulator`.
+        """
+        model = RatioRuleModel(**model_kwargs)
+        model.fit_from_accumulator(accumulator, schema, metrics=metrics)
+        return self.publish(model)
+
+    # -- reading -----------------------------------------------------------
+
+    def current(self) -> PublishedModel:
+        """The live snapshot.  Take it once per request and keep it."""
+        snapshot = self._current
+        if snapshot is None:
+            raise NoModelPublishedError(
+                "no model published; call publish() first"
+            )
+        return snapshot
+
+    @property
+    def latest_version(self) -> int:
+        """Version of the live snapshot (0 before any publish)."""
+        snapshot = self._current
+        return 0 if snapshot is None else snapshot.version
+
+    def __repr__(self) -> str:
+        snapshot = self._current
+        if snapshot is None:
+            return "ModelRegistry(unpublished)"
+        return (
+            f"ModelRegistry(version={snapshot.version}, "
+            f"fingerprint={snapshot.fingerprint!r})"
+        )

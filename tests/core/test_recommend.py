@@ -88,3 +88,48 @@ class TestRecommend:
     def test_unfitted_model_rejected(self):
         with pytest.raises(ValueError, match="fitted"):
             BasketRecommender(RatioRuleModel())
+
+
+class TestHotPaths:
+    """Edge-of-domain coverage for the basket-completion hot paths."""
+
+    def test_complete_basket_is_deterministic(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        basket = {"cereal": 3.0, "flour": 0.5}
+        first = recommender.complete_basket(basket)
+        second = recommender.complete_basket(basket)
+        assert first == second  # exact equality, not approx
+
+    def test_full_basket_leaves_nothing_to_recommend(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        basket = {"cereal": 1.0, "milk": 2.0, "flour": 1.0, "butter": 1.5}
+        assert recommender.complete_basket(basket) == {}
+        assert recommender.recommend(basket) == []
+
+    def test_single_hole_basket(self, grocery_model):
+        recommender = BasketRecommender(grocery_model)
+        basket = {"cereal": 3.0, "milk": 6.0, "flour": 1.0}
+        predictions = recommender.complete_basket(basket)
+        assert list(predictions) == ["butter"]
+        assert predictions["butter"] == pytest.approx(1.5, abs=0.3)
+
+    def test_zero_variance_product_predicts_its_constant(self, rng):
+        n = 300
+        habit = rng.uniform(1.0, 5.0, size=n)
+        matrix = np.column_stack(
+            [habit, 2.0 * habit, np.full(n, 1.0)]  # salt: always $1
+        ) + np.column_stack(
+            [rng.normal(0, 0.05, (n, 2)), np.zeros((n, 1))]
+        )
+        schema = TableSchema.from_names(["bread", "jam", "salt"], unit="$")
+        model = RatioRuleModel(cutoff=1).fit(matrix, schema=schema)
+        recommender = BasketRecommender(model, ranking="predicted")
+        predictions = recommender.complete_basket({"bread": 3.0})
+        assert predictions["salt"] == pytest.approx(1.0, abs=0.1)
+        recommendations = recommender.recommend({"bread": 3.0}, top_n=2)
+        assert {r.product for r in recommendations} <= {"jam", "salt"}
+        # Constant product carries ~zero uplift: knowing the basket adds
+        # nothing beyond the population mean.
+        by_name = {r.product: r for r in recommendations}
+        if "salt" in by_name:
+            assert by_name["salt"].uplift == pytest.approx(0.0, abs=0.1)

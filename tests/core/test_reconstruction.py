@@ -314,3 +314,48 @@ class TestFillMatrix:
         v, means = rank2_rules
         with pytest.raises(ValueError, match="underdetermined"):
             fill_matrix(np.ones((2, 4)), v, means, underdetermined="magic")
+
+
+class TestZeroHoleFastPath:
+    """Regression: complete rows must not build (or cache) operators."""
+
+    def test_fill_holes_skips_operator_construction(
+        self, rank1_rules, monkeypatch
+    ):
+        from repro.core import reconstruction
+
+        def exploding(*args, **kwargs):
+            raise AssertionError(
+                "compute_fill_operator must not run for a complete row"
+            )
+
+        monkeypatch.setattr(reconstruction, "compute_fill_operator", exploding)
+        v, means = rank1_rules
+        row = np.array([1.0, 2.0, 3.0])
+        result = reconstruction.fill_holes(row, v, means)
+        assert result.case == CASE_NO_HOLES
+        np.testing.assert_array_equal(result.filled, row)
+
+    def test_fill_matrix_skips_operator_construction(
+        self, rank1_rules, monkeypatch
+    ):
+        from repro.core import reconstruction
+
+        def exploding(*args, **kwargs):
+            raise AssertionError(
+                "compute_fill_operator must not run for complete rows"
+            )
+
+        monkeypatch.setattr(reconstruction, "compute_fill_operator", exploding)
+        v, means = rank1_rules
+        matrix = np.arange(12.0).reshape(4, 3)
+        np.testing.assert_array_equal(
+            reconstruction.fill_matrix(matrix, v, means), matrix
+        )
+
+    def test_fill_holes_no_holes_output_is_a_copy(self, rank1_rules):
+        v, means = rank1_rules
+        row = np.array([1.0, 2.0, 3.0])
+        result = fill_holes(row, v, means)
+        result.filled[0] = 99.0
+        assert row[0] == 1.0

@@ -111,3 +111,50 @@ class TestCalibrate:
             calibrate(model, damaged)
         with pytest.raises(ValueError, match="2-d"):
             calibrate(model, ratio_data[0])
+
+
+class TestHotPaths:
+    """Edge-of-domain coverage for the serving-adjacent hot paths."""
+
+    def test_all_holes_row_gets_an_interval_per_column(self, calibrated):
+        wrapper, _data = calibrated
+        filled, intervals = wrapper.fill_row_with_intervals(
+            np.array([np.nan, np.nan, np.nan])
+        )
+        assert not np.isnan(filled).any()
+        assert [p.column for p in intervals] == [0, 1, 2]
+        for prediction in intervals:
+            assert prediction.lower <= prediction.value <= prediction.upper
+            assert prediction.covers(prediction.value)
+            assert prediction.half_width == pytest.approx(
+                (prediction.upper - prediction.lower) / 2.0
+            )
+
+    def test_complete_row_yields_no_intervals(self, calibrated):
+        wrapper, data = calibrated
+        row = data[0]
+        filled, intervals = wrapper.fill_row_with_intervals(row)
+        np.testing.assert_array_equal(filled, row)
+        assert intervals == []
+
+    def test_zero_variance_column_calibrates_to_zero_width(self, rng):
+        factor = rng.normal(10.0, 3.0, size=200)
+        matrix = np.column_stack(
+            [factor, 2.0 * factor, np.full(200, 7.0)]  # constant column
+        )
+        model = RatioRuleModel(cutoff=1).fit(matrix)
+        wrapper = calibrate(model, matrix, confidence=0.9)
+        assert wrapper.half_width(2) == pytest.approx(0.0, abs=1e-8)
+        _filled, intervals = wrapper.fill_row_with_intervals(
+            np.array([10.0, 20.0, np.nan])
+        )
+        assert intervals[0].column == 2
+        assert intervals[0].value == pytest.approx(7.0, abs=1e-6)
+
+    def test_calibration_is_deterministic(self, ratio_data):
+        train, holdout = ratio_data[:400], ratio_data[400:]
+        model = RatioRuleModel(cutoff=1).fit(train)
+        first = calibrate(model, holdout, confidence=0.8)
+        second = calibrate(model, holdout, confidence=0.8)
+        for column in range(3):
+            assert first.half_width(column) == second.half_width(column)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the serving-layer suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+
+
+def make_rank2_matrix(seed: int, n_rows: int = 200, n_cols: int = 5) -> np.ndarray:
+    """Rank-2 data with small noise; distinct per seed."""
+    generator = np.random.default_rng(seed)
+    factor1 = generator.normal(5.0, 2.0, size=n_rows)
+    factor2 = generator.normal(0.0, 1.0, size=n_rows)
+    loadings1 = np.array([1.0, 2.0, 0.5, 3.0, 1.5])[:n_cols]
+    loadings2 = np.array([0.5, -1.0, 2.0, 0.0, -0.5])[:n_cols]
+    matrix = np.outer(factor1, loadings1) + np.outer(factor2, loadings2)
+    matrix += generator.normal(0.0, 0.05, size=matrix.shape)
+    return matrix
+
+
+def punch_holes(
+    matrix: np.ndarray, generator: np.random.Generator, rate: float = 0.3
+) -> np.ndarray:
+    """Copy of ``matrix`` with a random ``rate`` of cells set to NaN."""
+    holey = matrix.copy()
+    holey[generator.random(matrix.shape) < rate] = np.nan
+    return holey
+
+
+@pytest.fixture
+def served_model() -> RatioRuleModel:
+    """A k=2 model on rank-2 data (all three fill regimes reachable)."""
+    return RatioRuleModel(cutoff=2).fit(make_rank2_matrix(7))
+
+
+@pytest.fixture
+def retrained_model(served_model) -> RatioRuleModel:
+    """Same schema as ``served_model``, different data (hot-swap twin)."""
+    model = RatioRuleModel(cutoff=2).fit(make_rank2_matrix(11))
+    assert model.schema_.names == served_model.schema_.names
+    assert model.fingerprint() != served_model.fingerprint()
+    return model

@@ -1,0 +1,190 @@
+"""Unit tests for the vectorized, cached batch filler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import (
+    CASE_ALL_HOLES,
+    CASE_NO_HOLES,
+    fill_matrix,
+)
+from repro.obs.metrics import ServeMetrics
+from repro.serve import BatchFiller, ModelRegistry, OperatorCache
+
+from tests.serve.conftest import make_rank2_matrix, punch_holes
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def holey_batch(served_model):
+    generator = np.random.default_rng(99)
+    return punch_holes(make_rank2_matrix(13, n_rows=60), generator)
+
+
+class TestExactness:
+    def test_batch_matches_fill_matrix_bitwise(self, served_model, holey_batch):
+        filler = BatchFiller(served_model)
+        result = filler.fill_batch(holey_batch)
+        expected = fill_matrix(
+            holey_batch, served_model.rules_matrix, served_model.means_
+        )
+        np.testing.assert_array_equal(result.filled, expected)
+
+    def test_batch_matches_row_by_row_reference_bitwise(
+        self, served_model, holey_batch
+    ):
+        filler = BatchFiller(served_model)
+        batched = filler.fill_batch(holey_batch)
+        reference = filler.fill_reference(holey_batch)
+        np.testing.assert_array_equal(batched.filled, reference.filled)
+        assert batched.cases == reference.cases
+        assert batched.n_groups == reference.n_groups
+        assert batched.n_holes_filled == reference.n_holes_filled
+
+    def test_warm_cache_is_bitwise_identical_to_cold(
+        self, served_model, holey_batch
+    ):
+        filler = BatchFiller(served_model)
+        cold = filler.fill_batch(holey_batch)
+        assert filler.cache.misses > 0
+        warm = filler.fill_batch(holey_batch)
+        assert filler.cache.hits >= filler.cache.misses
+        np.testing.assert_array_equal(warm.filled, cold.filled)
+
+    def test_fill_row_matches_row_inside_batch(self, served_model, holey_batch):
+        filler = BatchFiller(served_model)
+        batched = filler.fill_batch(holey_batch)
+        for i in (0, 17, 59):
+            single = filler.fill_row(holey_batch[i])
+            np.testing.assert_array_equal(single.filled[0], batched.filled[i])
+
+    def test_min_norm_policy_matches_reference(self, served_model):
+        generator = np.random.default_rng(5)
+        batch = punch_holes(
+            make_rank2_matrix(17, n_rows=40), generator, rate=0.7
+        )
+        filler = BatchFiller(served_model, underdetermined="min-norm")
+        batched = filler.fill_batch(batch)
+        reference = filler.fill_reference(batch)
+        np.testing.assert_array_equal(batched.filled, reference.filled)
+
+
+class TestFastPaths:
+    def test_zero_hole_rows_never_touch_the_cache(self, served_model):
+        complete = make_rank2_matrix(19, n_rows=10)
+        filler = BatchFiller(served_model)
+        result = filler.fill_batch(complete)
+        np.testing.assert_array_equal(result.filled, complete)
+        assert result.cases == (CASE_NO_HOLES,) * 10
+        assert result.n_groups == 0
+        assert result.n_holes_filled == 0
+        assert len(filler.cache) == 0
+        assert filler.cache.misses == 0
+        assert filler.metrics.n_rows_no_holes == 10
+
+    def test_all_holes_rows_get_the_means(self, served_model):
+        batch = np.full((3, 5), np.nan)
+        filler = BatchFiller(served_model)
+        result = filler.fill_batch(batch)
+        for row in result.filled:
+            np.testing.assert_array_equal(row, served_model.means_)
+        assert result.cases == (CASE_ALL_HOLES,) * 3
+        assert len(filler.cache) == 0  # degenerate pattern is not cached
+
+    def test_empty_batch(self, served_model):
+        filler = BatchFiller(served_model)
+        result = filler.fill_batch(np.empty((0, 5)))
+        assert result.n_rows == 0
+        assert result.cases == ()
+        assert result.n_groups == 0
+
+
+class TestAttribution:
+    def test_result_carries_version_and_fingerprint(
+        self, served_model, retrained_model, holey_batch
+    ):
+        registry = ModelRegistry(served_model)
+        filler = BatchFiller(registry)
+        first = filler.fill_batch(holey_batch)
+        registry.publish(retrained_model)
+        second = filler.fill_batch(holey_batch)
+        assert (first.version, second.version) == (1, 2)
+        assert first.fingerprint == served_model.fingerprint()
+        assert second.fingerprint == retrained_model.fingerprint()
+        # Different learned state must actually produce different fills.
+        assert not np.array_equal(first.filled, second.filled)
+
+    def test_cache_keys_are_version_scoped(
+        self, served_model, retrained_model, holey_batch
+    ):
+        registry = ModelRegistry(served_model)
+        filler = BatchFiller(registry)
+        filler.fill_batch(holey_batch)
+        entries_v1 = len(filler.cache)
+        registry.publish(retrained_model)
+        filler.fill_batch(holey_batch)
+        assert len(filler.cache) == 2 * entries_v1
+        assert filler.cache.evict_version(1) == entries_v1
+
+
+class TestSharingAndValidation:
+    def test_fillers_can_share_one_cache(self, served_model, holey_batch):
+        cache = OperatorCache(64)
+        first = BatchFiller(served_model, cache=cache)
+        second = BatchFiller(served_model, cache=cache)
+        first.fill_batch(holey_batch)
+        misses_after_first = cache.misses
+        second.fill_batch(holey_batch)
+        # Same model object -> same fingerprint is irrelevant; keys are
+        # version-scoped, and both private registries assign version 1.
+        assert cache.misses == misses_after_first
+
+    def test_width_mismatch_rejected(self, served_model):
+        filler = BatchFiller(served_model)
+        with pytest.raises(ValueError, match="columns"):
+            filler.fill_batch(np.zeros((2, 4)))
+
+    def test_one_dimensional_input_rejected(self, served_model):
+        filler = BatchFiller(served_model)
+        with pytest.raises(ValueError, match="2-d"):
+            filler.fill_batch(np.zeros(5))
+        with pytest.raises(ValueError, match="1-d"):
+            filler.fill_row(np.zeros((2, 5)))
+
+    def test_infinities_rejected(self, served_model):
+        filler = BatchFiller(served_model)
+        batch = np.zeros((2, 5))
+        batch[0, 0] = np.inf
+        with pytest.raises(ValueError, match="infinit"):
+            filler.fill_batch(batch)
+
+    def test_bad_underdetermined_policy_rejected(self, served_model):
+        with pytest.raises(ValueError, match="underdetermined"):
+            BatchFiller(served_model, underdetermined="zero")
+
+
+class TestMetrics:
+    def test_batch_counters(self, served_model):
+        batch = make_rank2_matrix(23, n_rows=8)
+        batch[0] = np.nan           # all holes
+        batch[1, 2] = np.nan        # pattern {2}
+        batch[2, 2] = np.nan        # pattern {2} again
+        batch[3, 0] = np.nan        # pattern {0}
+        metrics = ServeMetrics()
+        filler = BatchFiller(served_model, metrics=metrics)
+        filler.fill_batch(batch)
+        assert metrics.n_batches == 1
+        assert metrics.n_rows == 8
+        assert metrics.n_rows_all_holes == 1
+        assert metrics.n_rows_no_holes == 4
+        assert metrics.n_rows_filled == 3
+        assert metrics.n_holes_filled == 5 + 3
+        assert sorted(metrics.group_sizes) == [1, 2]
+        assert metrics.n_groups == 2
+        assert metrics.n_publishes == 1  # the wrapped model's publish
+        assert metrics.cache_misses == 2
+        assert 0.0 <= metrics.cache_hit_rate <= 1.0
+        assert metrics.rows_per_second > 0.0

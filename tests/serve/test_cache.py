@@ -1,0 +1,165 @@
+"""Unit tests for the hole-pattern operator cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import ServeMetrics
+from repro.serve import OperatorCache
+
+pytestmark = pytest.mark.serve
+
+
+class _Operator:
+    """Stand-in cache value with a usable identity."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestGetOrCompute:
+    def test_miss_then_hit_returns_same_object(self):
+        cache = OperatorCache(4)
+        first = cache.get_or_compute("a", lambda: _Operator("a"))
+        second = cache.get_or_compute("a", lambda: _Operator("a-again"))
+        assert second is first
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_factory_not_called_on_hit(self):
+        cache = OperatorCache(4)
+        cache.get_or_compute("a", lambda: _Operator("a"))
+
+        def exploding_factory():
+            raise AssertionError("factory must not run on a hit")
+
+        cache.get_or_compute("a", exploding_factory)
+
+    def test_len_and_contains(self):
+        cache = OperatorCache(4)
+        assert len(cache) == 0
+        assert "a" not in cache
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        assert len(cache) == 1
+        assert "a" in cache
+
+
+class TestLRU:
+    def test_least_recently_used_is_evicted(self):
+        cache = OperatorCache(2)
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("b", lambda: _Operator("b"))
+        cache.get_or_compute("a", lambda: _Operator("a"))  # refresh a
+        cache.get_or_compute("c", lambda: _Operator("c"))  # evicts b
+        assert "a" in cache
+        assert "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_capacity_one(self):
+        cache = OperatorCache(1)
+        first = cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("b", lambda: _Operator("b"))
+        assert "a" not in cache
+        replacement = cache.get_or_compute("a", lambda: _Operator("a2"))
+        assert replacement is not first
+        assert cache.evictions == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            OperatorCache(0)
+
+
+class TestVersionEviction:
+    def test_evict_version_drops_only_that_version(self):
+        cache = OperatorCache(8)
+        for version in (1, 2):
+            for pattern in ((0,), (1, 2)):
+                cache.get_or_compute(
+                    (version, pattern, "truncate"),
+                    lambda: _Operator((version, pattern)),
+                )
+        dropped = cache.evict_version(1)
+        assert dropped == 2
+        assert len(cache) == 2
+        assert (2, (0,), "truncate") in cache
+        assert (1, (0,), "truncate") not in cache
+
+    def test_evict_version_ignores_other_key_shapes(self):
+        cache = OperatorCache(8)
+        cache.get_or_compute("plain-key", lambda: _Operator("x"))
+        assert cache.evict_version(1) == 0
+        assert "plain-key" in cache
+
+    def test_clear_preserves_counters(self):
+        cache = OperatorCache(8)
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+
+class TestStatsAndMetrics:
+    def test_stats_snapshot(self):
+        cache = OperatorCache(2)
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("b", lambda: _Operator("b"))
+        cache.get_or_compute("c", lambda: _Operator("c"))
+        assert cache.stats() == {
+            "entries": 2,
+            "max_entries": 2,
+            "hits": 1,
+            "misses": 3,
+            "evictions": 1,
+        }
+
+    def test_traffic_mirrored_into_serve_metrics(self):
+        metrics = ServeMetrics()
+        cache = OperatorCache(1, metrics=metrics)
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("a", lambda: _Operator("a"))
+        cache.get_or_compute("b", lambda: _Operator("b"))
+        assert metrics.cache_hits == 1
+        assert metrics.cache_misses == 2
+        assert metrics.cache_evictions == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_callers_share_one_object_per_key(self):
+        cache = OperatorCache(16)
+        keys = ["k0", "k1", "k2", "k3"]
+        results = {key: [] for key in keys}
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker(seed):
+            generator = np.random.default_rng(seed)
+            try:
+                barrier.wait()
+                for _ in range(200):
+                    key = keys[int(generator.integers(len(keys)))]
+                    operator = cache.get_or_compute(key, lambda: _Operator(key))
+                    results[key].append(operator)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No evictions (capacity exceeds key count), so each key must
+        # resolve to exactly one object identity across every thread.
+        for key in keys:
+            identities = {id(op) for op in results[key]}
+            assert len(identities) == 1
+        # Every call counted exactly once, as either a hit or a miss.
+        assert cache.hits + cache.misses == 8 * 200
+        assert cache.evictions == 0

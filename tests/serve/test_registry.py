@@ -1,0 +1,113 @@
+"""Unit tests for the versioned model registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.model import RatioRuleModel
+from repro.io.schema import TableSchema
+from repro.obs.metrics import ServeMetrics
+from repro.serve import ModelRegistry, NoModelPublishedError, PublishedModel
+
+from tests.serve.conftest import make_rank2_matrix
+
+pytestmark = pytest.mark.serve
+
+
+class TestPublish:
+    def test_versions_are_monotonic(self, served_model, retrained_model):
+        registry = ModelRegistry()
+        first = registry.publish(served_model)
+        second = registry.publish(retrained_model)
+        third = registry.publish(served_model)
+        assert (first.version, second.version, third.version) == (1, 2, 3)
+        assert registry.current() is third
+        assert registry.latest_version == 3
+
+    def test_constructor_model_is_version_one(self, served_model):
+        registry = ModelRegistry(served_model)
+        snapshot = registry.current()
+        assert snapshot.version == 1
+        assert snapshot.model is served_model
+
+    def test_unfitted_model_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="fitted"):
+            registry.publish(RatioRuleModel())
+
+    def test_snapshot_records_fingerprint_and_time(self, served_model):
+        registry = ModelRegistry()
+        snapshot = registry.publish(served_model)
+        assert isinstance(snapshot, PublishedModel)
+        assert snapshot.fingerprint == served_model.fingerprint()
+        assert snapshot.published_at > 0.0
+
+    def test_publish_counts_into_metrics(self, served_model, retrained_model):
+        metrics = ServeMetrics()
+        registry = ModelRegistry(served_model, metrics=metrics)
+        registry.publish(retrained_model)
+        assert metrics.n_publishes == 2
+
+
+class TestSchemaGuard:
+    def test_schema_change_rejected_by_default(self, served_model):
+        registry = ModelRegistry(served_model)
+        narrow = RatioRuleModel(cutoff=1).fit(
+            make_rank2_matrix(3, n_cols=3)
+        )
+        assert narrow.schema_.names != served_model.schema_.names
+        with pytest.raises(ValueError, match="schema change"):
+            registry.publish(narrow)
+        assert registry.latest_version == 1
+
+    def test_schema_change_allowed_when_explicit(self, served_model):
+        registry = ModelRegistry(served_model)
+        narrow = RatioRuleModel(cutoff=1).fit(
+            make_rank2_matrix(3, n_cols=3)
+        )
+        snapshot = registry.publish(narrow, allow_schema_change=True)
+        assert snapshot.version == 2
+
+
+class TestReading:
+    def test_current_raises_before_any_publish(self):
+        registry = ModelRegistry()
+        assert registry.latest_version == 0
+        with pytest.raises(NoModelPublishedError):
+            registry.current()
+
+    def test_repr(self, served_model):
+        registry = ModelRegistry()
+        assert "unpublished" in repr(registry)
+        registry.publish(served_model)
+        assert "version=1" in repr(registry)
+
+
+class TestRefitPaths:
+    def test_refit_and_publish_matches_plain_fit(self):
+        matrix = make_rank2_matrix(21)
+        registry = ModelRegistry(RatioRuleModel(cutoff=2).fit(matrix))
+        shards = np.array_split(make_rank2_matrix(22), 3)
+        snapshot = registry.refit_and_publish(shards, cutoff=2)
+        assert snapshot.version == 2
+        reference = RatioRuleModel(cutoff=2).fit(make_rank2_matrix(22))
+        np.testing.assert_allclose(
+            snapshot.model.rules_matrix, reference.rules_matrix, atol=1e-8
+        )
+
+    def test_publish_from_accumulator(self):
+        matrix = make_rank2_matrix(31, n_cols=3)
+        schema = TableSchema.from_names(["a", "b", "c"])
+        accumulator = StreamingCovariance(3)
+        accumulator.update(matrix)
+        registry = ModelRegistry()
+        snapshot = registry.publish_from_accumulator(
+            accumulator, schema, cutoff=2
+        )
+        assert snapshot.version == 1
+        reference = RatioRuleModel(cutoff=2).fit(matrix)
+        np.testing.assert_allclose(
+            snapshot.model.rules_matrix, reference.rules_matrix, atol=1e-8
+        )

@@ -1,0 +1,117 @@
+"""Property tests for the serving layer's exactness contract.
+
+The serving layer promises that a cached, pattern-grouped batch fill is
+**bit-identical** to calling :func:`repro.core.reconstruction.fill_holes`
+row by row -- across every hole pattern, every dispatch regime
+(exactly-, over-, and under-specified), both CASE-3 policies, and
+regardless of whether the operator cache is cold or warm.  Hypothesis
+drives arbitrary hole masks through both paths and asserts exact
+equality, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import RatioRuleModel
+from repro.core.reconstruction import (
+    CASE_EXACT,
+    CASE_OVER,
+    CASE_UNDER,
+    fill_holes,
+)
+from repro.serve import BatchFiller
+
+from tests.serve.conftest import make_rank2_matrix
+
+pytestmark = pytest.mark.serve
+
+N_COLS = 5
+
+# One fitted model per cutoff, shared across examples (fitting inside
+# the hypothesis loop would dominate the runtime without adding any
+# coverage -- the contract under test is the serving path, not fit).
+_MODELS = {
+    cutoff: RatioRuleModel(cutoff=cutoff).fit(make_rank2_matrix(7))
+    for cutoff in (1, 2, 3)
+}
+
+
+def _batch_from_masks(seed: int, masks) -> np.ndarray:
+    base = make_rank2_matrix(seed, n_rows=len(masks))
+    batch = base.copy()
+    for i, mask in enumerate(masks):
+        for j in range(N_COLS):
+            if mask[j]:
+                batch[i, j] = np.nan
+    return batch
+
+
+hole_masks = st.lists(
+    st.lists(st.booleans(), min_size=N_COLS, max_size=N_COLS),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    masks=hole_masks,
+    seed=st.integers(min_value=0, max_value=2**16),
+    cutoff=st.sampled_from([1, 2, 3]),
+    policy=st.sampled_from(["truncate", "min-norm"]),
+)
+def test_batch_bit_identical_to_row_by_row(masks, seed, cutoff, policy):
+    model = _MODELS[cutoff]
+    batch = _batch_from_masks(seed, masks)
+    filler = BatchFiller(model, underdetermined=policy)
+
+    result = filler.fill_batch(batch)
+
+    for i in range(batch.shape[0]):
+        reference = fill_holes(
+            batch[i], model.rules_matrix, model.means_, underdetermined=policy
+        )
+        np.testing.assert_array_equal(
+            result.filled[i],
+            reference.filled,
+            err_msg=f"row {i} diverged from fill_holes (policy={policy})",
+        )
+        assert result.cases[i] == reference.case
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    masks=hole_masks,
+    seed=st.integers(min_value=0, max_value=2**16),
+    cutoff=st.sampled_from([1, 2, 3]),
+)
+def test_warm_cache_bit_identical_to_cold(masks, seed, cutoff):
+    model = _MODELS[cutoff]
+    batch = _batch_from_masks(seed, masks)
+    filler = BatchFiller(model)
+
+    cold = filler.fill_batch(batch)
+    warm = filler.fill_batch(batch)
+
+    np.testing.assert_array_equal(cold.filled, warm.filled)
+    assert cold.cases == warm.cases
+    # The second pass must be served from cache: no new operator solves.
+    assert filler.cache.misses == len(filler.cache)
+
+
+def test_all_three_regimes_are_reachable():
+    """The property above is vacuous unless exact/over/under all occur."""
+    model = _MODELS[2]  # k=2 rules on 5 columns
+    filler = BatchFiller(model)
+    batch = make_rank2_matrix(41, n_rows=3)
+    batch[0, :3] = np.nan  # 2 known == k      -> exactly-specified
+    batch[1, :1] = np.nan  # 4 known > k       -> over-specified
+    batch[2, :4] = np.nan  # 1 known < k       -> under-specified
+    result = filler.fill_batch(batch)
+    assert result.cases == (CASE_EXACT, CASE_OVER, CASE_UNDER)
+    reference = filler.fill_reference(batch)
+    np.testing.assert_array_equal(result.filled, reference.filled)

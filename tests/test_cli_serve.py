@@ -1,0 +1,135 @@
+"""Tests for the ``serve-batch`` CLI subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.model import RatioRuleModel
+from repro.core.reconstruction import fill_matrix
+from repro.io.csv_format import save_csv_matrix
+from repro.io.schema import TableSchema
+
+pytestmark = pytest.mark.serve
+
+SCHEMA = TableSchema.from_names(["a", "b", "c"])
+
+
+@pytest.fixture
+def train_matrix(rng):
+    factor = rng.normal(5.0, 2.0, size=120)
+    return np.outer(factor, [1.0, 2.0, 3.0]) + rng.normal(0, 0.05, (120, 3))
+
+
+@pytest.fixture
+def model_file(tmp_path, train_matrix):
+    path = tmp_path / "model.npz"
+    RatioRuleModel(cutoff=1).fit(train_matrix, SCHEMA).save(path)
+    return path
+
+
+@pytest.fixture
+def holey_csv(tmp_path, train_matrix, rng):
+    matrix = train_matrix[:20].copy()
+    matrix[rng.random(matrix.shape) < 0.3] = np.nan
+    matrix[0] = np.nan  # one all-holes row
+    path = tmp_path / "requests.csv"
+    save_csv_matrix(path, matrix, SCHEMA)
+    return path, matrix
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve-batch", "m.npz", "d.csv"])
+        assert args.command == "serve-batch"
+        assert args.cache_entries == 1024
+        assert args.underdetermined == "truncate"
+        assert args.batch_size is None
+        assert args.stats is False
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-batch", "m.npz", "d.csv", "--underdetermined", "zero"]
+            )
+
+
+class TestServeBatch:
+    def test_fills_to_stdout(self, model_file, holey_csv, capsys):
+        path, _ = holey_csv
+        assert main(["serve-batch", str(model_file), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("a,b,c")
+        assert "nan" not in out
+
+    def test_output_file_matches_fill_matrix(
+        self, model_file, holey_csv, tmp_path, capsys
+    ):
+        path, matrix = holey_csv
+        out_path = tmp_path / "filled.csv"
+        assert main(
+            [
+                "serve-batch",
+                str(model_file),
+                str(path),
+                "--output",
+                str(out_path),
+            ]
+        ) == 0
+        assert "model version 1" in capsys.readouterr().out
+        model = RatioRuleModel.load(model_file)
+        expected = fill_matrix(matrix, model.rules_matrix, model.means_)
+        from repro.io.csv_format import load_csv_matrix
+
+        filled, schema = load_csv_matrix(out_path)
+        assert schema.names == SCHEMA.names
+        np.testing.assert_allclose(filled, expected, atol=1e-9)
+        assert not np.isnan(filled).any()
+
+    def test_batched_equals_single_shot(
+        self, model_file, holey_csv, tmp_path, capsys
+    ):
+        path, _ = holey_csv
+        one_shot = tmp_path / "one.csv"
+        chunked = tmp_path / "chunked.csv"
+        assert main(
+            ["serve-batch", str(model_file), str(path), "--output", str(one_shot)]
+        ) == 0
+        assert main(
+            [
+                "serve-batch",
+                str(model_file),
+                str(path),
+                "--output",
+                str(chunked),
+                "--batch-size",
+                "3",
+            ]
+        ) == 0
+        assert one_shot.read_text() == chunked.read_text()
+
+    def test_stats_flag_renders_metrics(self, model_file, holey_csv, capsys):
+        path, _ = holey_csv
+        assert main(
+            ["serve-batch", str(model_file), str(path), "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Serving statistics" in out
+
+    def test_column_mismatch_is_an_error(
+        self, model_file, tmp_path, rng, capsys
+    ):
+        other = tmp_path / "other.csv"
+        save_csv_matrix(
+            other,
+            rng.normal(size=(4, 3)),
+            TableSchema.from_names(["x", "y", "z"]),
+        )
+        assert main(["serve-batch", str(model_file), str(other)]) == 2
+        assert "column mismatch" in capsys.readouterr().err
+
+    def test_bad_batch_size_is_an_error(self, model_file, holey_csv, capsys):
+        path, _ = holey_csv
+        assert main(
+            ["serve-batch", str(model_file), str(path), "--batch-size", "0"]
+        ) == 2
+        assert "batch-size" in capsys.readouterr().err

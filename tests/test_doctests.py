@@ -9,9 +9,13 @@ import doctest
 import pytest
 
 import repro.core.model
+import repro.serve.batch
+import repro.serve.registry
 
 MODULES_WITH_DOCTESTS = [
     repro.core.model,
+    repro.serve.batch,
+    repro.serve.registry,
 ]
 
 
