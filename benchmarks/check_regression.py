@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: compare fresh results to committed baselines.
+
+Usage (from the repository root, after running the benchmarks so that
+``benchmarks/results/*.json`` exists)::
+
+    python benchmarks/check_regression.py            # gate (exit 1 on regression)
+    python benchmarks/check_regression.py --update   # rewrite baseline values
+
+Baselines live in ``benchmarks/BENCH_*.json``.  Each one names a
+benchmark and a set of metrics::
+
+    {
+      "benchmark": "serve_speedup",
+      "recorded": {"cpu_count": 4, "date": "2026-08-07"},
+      "metrics": {
+        "speedup": {"value": 33.5, "tolerance": 0.30, "gate": true}
+      }
+    }
+
+All metrics are higher-is-better.  A gated metric regresses when::
+
+    current < baseline_value * (1 - tolerance)
+
+Improvements never fail the gate (``--update`` re-records them so the
+bar ratchets upward deliberately, not silently).  A metric may carry
+``"requires_cpus": N``; it is skipped -- reported, not gated -- when
+the machine that produced the results has fewer CPUs, because e.g. a
+process pool cannot beat a thread pool on a single-core runner.
+
+Raw-throughput metrics (rows/s) are machine-dependent; the committed
+baselines therefore gate mostly on *ratio* metrics (speedups), which
+transfer across hosts, and keep absolute throughputs informational
+(``"gate": false``) unless the environment is pinned.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import date
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_RESULTS_DIR = BENCH_DIR / "results"
+
+# Baseline file -> results file written by the matching benchmark.
+PAIRINGS = {
+    "BENCH_serve.json": "serve_speedup.json",
+    "BENCH_engine.json": "engine_scaleup.json",
+}
+
+
+def load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_pair(baseline_path: Path, results_path: Path, rows: list) -> bool:
+    """Append comparison rows; return True when no gated metric regressed."""
+    baseline = load(baseline_path)
+    if not results_path.exists():
+        rows.append(
+            (baseline["benchmark"], "<missing results>", "", "", "", "FAIL")
+        )
+        return False
+    results = load(results_path)
+    if results.get("benchmark") != baseline.get("benchmark"):
+        rows.append(
+            (baseline["benchmark"], "<benchmark-name mismatch>", "", "", "", "FAIL")
+        )
+        return False
+    cpu_count = int(results.get("cpu_count", 1))
+    ok = True
+    for name, spec in baseline["metrics"].items():
+        expected = float(spec["value"])
+        tolerance = float(spec.get("tolerance", 0.30))
+        floor = expected * (1.0 - tolerance)
+        current = results["metrics"].get(name)
+        if current is None:
+            rows.append((baseline["benchmark"], name, f"{expected:.3f}", "<absent>", f"{floor:.3f}", "FAIL"))
+            ok = False
+            continue
+        current = float(current)
+        change = (current - expected) / expected * 100.0
+        if not spec.get("gate", True):
+            status = "info"
+        elif cpu_count < int(spec.get("requires_cpus", 1)):
+            status = f"skip (needs >= {spec['requires_cpus']} CPUs, have {cpu_count})"
+        elif current < floor:
+            status = "FAIL"
+            ok = False
+        else:
+            status = "ok"
+        rows.append(
+            (
+                baseline["benchmark"],
+                name,
+                f"{expected:.3f}",
+                f"{current:.3f} ({change:+.1f}%)",
+                f"{floor:.3f}",
+                status,
+            )
+        )
+    return ok
+
+
+def update_pair(baseline_path: Path, results_path: Path) -> None:
+    baseline = load(baseline_path)
+    results = load(results_path)
+    for name, spec in baseline["metrics"].items():
+        if name in results["metrics"]:
+            spec["value"] = round(float(results["metrics"][name]), 3)
+    baseline["recorded"] = {
+        "cpu_count": int(results.get("cpu_count", 1)),
+        "date": date.today().isoformat(),
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"updated {baseline_path.name} from {results_path.name}")
+
+
+def render(rows: list) -> str:
+    headers = ("benchmark", "metric", "baseline", "current", "floor", "status")
+    table = [headers] + [tuple(str(cell) for cell in row) for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("   ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("   ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        help="directory holding the benchmarks' JSON output",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite baseline values from the current results and exit",
+    )
+    options = parser.parse_args(argv)
+
+    pairs = [
+        (BENCH_DIR / baseline_name, options.results_dir / results_name)
+        for baseline_name, results_name in PAIRINGS.items()
+        if (BENCH_DIR / baseline_name).exists()
+    ]
+    if not pairs:
+        print("no BENCH_*.json baselines found", file=sys.stderr)
+        return 2
+
+    if options.update:
+        for baseline_path, results_path in pairs:
+            if results_path.exists():
+                update_pair(baseline_path, results_path)
+            else:
+                print(f"skipping {baseline_path.name}: no {results_path.name}")
+        return 0
+
+    rows: list = []
+    all_ok = True
+    for baseline_path, results_path in pairs:
+        all_ok &= check_pair(baseline_path, results_path, rows)
+    print(render(rows))
+    if not all_ok:
+        print(
+            "\nbenchmark regression: a gated metric fell more than its "
+            "tolerance below baseline (see FAIL rows)",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,6 @@ wastes data in stationary periods; no forgetting never converges to the
 new regime.  The bench records the whole trade-off curve.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.online import OnlineRatioRuleModel

@@ -13,6 +13,7 @@ speedup assertion is gated on ``os.cpu_count() >= 2`` and the
 exactness assertions run everywhere.
 """
 
+import json
 import os
 import time
 from pathlib import Path
@@ -108,6 +109,23 @@ def test_engine_scaleup_curve(workload):
     lines.append("process speedup over serial: %.2fx" % (serial_s / process_s))
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "engine_scaleup.txt").write_text("\n".join(lines) + "\n")
+    # Machine-readable twin of the table above, consumed by
+    # benchmarks/check_regression.py against BENCH_engine.json.
+    (RESULTS_DIR / "engine_scaleup.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "engine_scaleup",
+                "cpu_count": os.cpu_count() or 1,
+                "metrics": {
+                    "serial_rows_per_second": N_SHARDS * ROWS_PER_SHARD / serial_s,
+                    "process_speedup_over_thread": thread_s / process_s,
+                    "process_speedup_over_serial": serial_s / process_s,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
     if (os.cpu_count() or 1) >= 2:
         # The ISSUE's headline claim: CPU-bound CSV parsing is GIL-bound

@@ -11,6 +11,8 @@ combinations dominate the request stream, so the cache converges to a
 handful of hot operators immediately.
 """
 
+import json
+import os
 import time
 from pathlib import Path
 
@@ -95,5 +97,22 @@ def test_cached_batch_beats_row_by_row(workload):
     ]
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "serve_speedup.txt").write_text("\n".join(lines) + "\n")
+    # Machine-readable twin of the table above, consumed by
+    # benchmarks/check_regression.py against BENCH_serve.json.
+    (RESULTS_DIR / "serve_speedup.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "serve_speedup",
+                "cpu_count": os.cpu_count() or 1,
+                "metrics": {
+                    "speedup": speedup,
+                    "batch_rows_per_second": N_ROWS / batch_seconds,
+                    "reference_rows_per_second": N_ROWS / reference_seconds,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
     assert speedup >= REQUIRED_SPEEDUP, "\n".join(lines)

@@ -15,7 +15,6 @@ cart specifically signals).
 Run:  python examples/market_basket.py
 """
 
-import numpy as np
 
 from repro import BasketRecommender, RatioRuleModel
 from repro.baselines.apriori import AprioriMiner, binarize_matrix

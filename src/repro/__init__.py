@@ -34,6 +34,11 @@ Subpackages
     The reconstruction serving layer: hole-pattern operator cache,
     vectorized batch fills, versioned model hot-swap (CLI
     ``serve-batch``).
+``repro.pipeline``
+    Continuous ingestion with drift-triggered model refresh: pollable
+    batch sources, guessing-error + rule-angle drift detection, and
+    refresh policies publishing into the serving registry (CLI
+    ``pipeline``).
 ``repro.obs``
     Scan/solve/serve instrumentation (``model.metrics_``, CLI
     ``--stats``).
@@ -92,7 +97,13 @@ from repro.core import (
 )
 from repro.datasets import Dataset, load_dataset
 from repro.io import TableSchema
-from repro.obs import ScanMetrics, ServeMetrics
+from repro.obs import PipelineMetrics, ScanMetrics, ServeMetrics
+from repro.pipeline import (
+    DriftDetector,
+    IngestionPipeline,
+    QueueSource,
+    RefreshPolicy,
+)
 from repro.serve import BatchFiller, ModelRegistry, OperatorCache
 
 __version__ = "1.0.0"
@@ -106,17 +117,22 @@ __all__ = [
     "CategoricalRatioRuleModel",
     "ColumnAverageBaseline",
     "Dataset",
+    "DriftDetector",
     "EnergyCutoff",
     "FixedCutoff",
     "GuessingErrorReport",
+    "IngestionPipeline",
     "LinearRegressionBaseline",
     "MixedSchema",
     "ModelRegistry",
     "OnlineRatioRuleModel",
     "OperatorCache",
+    "PipelineMetrics",
     "QuantitativeRuleModel",
+    "QueueSource",
     "RatioRule",
     "RatioRuleModel",
+    "RefreshPolicy",
     "RetryPolicy",
     "RuleSet",
     "ScanCheckpoint",

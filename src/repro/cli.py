@@ -16,6 +16,11 @@ Subcommands
     layer (``repro.serve``): rows are grouped by hole pattern, each
     pattern's operator is computed once and cached, and ``--stats``
     reports cache traffic and latency percentiles.
+``pipeline``
+    Continuously ingest a CSV (optionally tailing it as it grows),
+    detect drift against the published model, and refresh it with
+    atomic hot-swap (``repro.pipeline``); ``--stats`` reports rows
+    ingested, drift scores, and refresh latency.
 ``ge``
     Evaluate the guessing error of a model against a test file, with
     the col-avgs comparison.
@@ -128,6 +133,56 @@ def build_parser() -> argparse.ArgumentParser:
     serve_batch.add_argument("--stats", action="store_true",
                              help="print serving telemetry (cache hit/miss/"
                                   "eviction, group sizes, latency percentiles)")
+
+    pipeline = subparsers.add_parser(
+        "pipeline",
+        help="continuously ingest a CSV and refresh the model on drift",
+    )
+    pipeline.add_argument("data", help="CSV file to ingest (may keep growing)")
+    pipeline.add_argument("--follow", action="store_true",
+                          help="keep polling for appended rows after "
+                               "end-of-file (Ctrl-C to stop; default: stop "
+                               "at end-of-file)")
+    pipeline.add_argument("--poll-interval", type=float, default=0.2,
+                          metavar="SECONDS",
+                          help="sleep between empty polls in --follow mode")
+    pipeline.add_argument("--batch-rows", type=int, default=1024, metavar="N",
+                          help="rows ingested per pipeline step")
+    pipeline.add_argument("--block-rows", type=int, default=4096, metavar="N",
+                          help="accumulator fold granularity (match the "
+                               "offline fit's block size for bit-identical "
+                               "refits)")
+    pipeline.add_argument("--decay", type=float, default=1.0,
+                          help="per-row forgetting factor in (0,1]; 1.0 "
+                               "remembers the whole stream (default)")
+    pipeline.add_argument("--cutoff", default=None,
+                          help="rules to keep (same forms as 'fit --cutoff')")
+    pipeline.add_argument("--backend", default="numpy",
+                          choices=["numpy", "jacobi", "householder",
+                                   "power", "lanczos"],
+                          help="eigensolver backend for refits")
+    pipeline.add_argument("--min-rows", type=int, default=256, metavar="N",
+                          help="rows since last refresh required before "
+                               "the next one")
+    pipeline.add_argument("--min-interval", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="publish-cadence floor")
+    pipeline.add_argument("--max-rows", type=int, default=None, metavar="N",
+                          help="force a refresh after N rows even without "
+                               "drift (default: never)")
+    pipeline.add_argument("--ge-ratio", type=float, default=1.25,
+                          help="GE1 degradation factor that counts as drift")
+    pipeline.add_argument("--angle-threshold", type=float, default=15.0,
+                          metavar="DEGREES",
+                          help="rule-angle drift threshold")
+    pipeline.add_argument("--reservoir", type=int, default=512, metavar="N",
+                          help="holdout reservoir capacity for the GE signal")
+    pipeline.add_argument("--max-batches", type=int, default=None, metavar="N",
+                          help="stop after N polls (bounded runs)")
+    pipeline.add_argument("--save", metavar="MODEL.npz", default=None,
+                          help="save the final published model")
+    pipeline.add_argument("--stats", action="store_true",
+                          help="print ingestion/drift/refresh telemetry")
 
     ge = subparsers.add_parser("ge", help="guessing error of a model on test data")
     ge.add_argument("model", help="model .npz produced by 'fit --save'")
@@ -415,6 +470,95 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.pipeline import (
+        CSVTailSource,
+        DriftDetector,
+        IngestionPipeline,
+        RefreshPolicy,
+    )
+
+    try:
+        source = CSVTailSource(args.data, follow=args.follow)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    policy = RefreshPolicy(
+        min_rows=args.min_rows,
+        min_interval_seconds=args.min_interval,
+        max_rows=args.max_rows,
+    )
+    detector = DriftDetector(
+        reservoir_capacity=args.reservoir,
+        ge_ratio=args.ge_ratio,
+        angle_threshold_degrees=args.angle_threshold,
+    )
+    pipeline = IngestionPipeline(
+        source,
+        cutoff=_parse_cutoff(args.cutoff),
+        backend=args.backend,
+        block_rows=args.block_rows,
+        batch_rows=args.batch_rows,
+        decay=args.decay,
+        policy=policy,
+        detector=detector,
+    )
+    registry = pipeline.registry
+    last_version = 0
+
+    def report_refreshes() -> None:
+        nonlocal last_version
+        if registry.latest_version > last_version:
+            snapshot = registry.current()
+            metrics = pipeline.metrics
+            print(
+                f"published version {snapshot.version} "
+                f"({metrics.last_refresh_reason}): "
+                f"{snapshot.model.k} rule(s) over "
+                f"{snapshot.model.n_rows_:,} row(s), "
+                f"fingerprint {snapshot.fingerprint}"
+            )
+            last_version = snapshot.version
+
+    try:
+        while True:
+            empty_before = pipeline.metrics.n_empty_polls
+            alive = pipeline.step()
+            report_refreshes()
+            if not alive:
+                break
+            if args.max_batches is not None and (
+                pipeline.metrics.n_batches + pipeline.metrics.n_empty_polls
+                >= args.max_batches
+            ):
+                break
+            went_idle = pipeline.metrics.n_empty_polls > empty_before
+            if args.follow and went_idle and args.poll_interval > 0.0:
+                import time as _time
+
+                _time.sleep(args.poll_interval)
+    except KeyboardInterrupt:
+        print("\ninterrupted; finishing up", file=sys.stderr)
+    if pipeline.metrics.rows_since_refresh > 0 or registry.latest_version == 0:
+        try:
+            pipeline.refresh_now(
+                reason="initial" if registry.latest_version == 0 else "final"
+            )
+            report_refreshes()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.save:
+        registry.current().model.save(args.save)
+        print(f"Model saved to {args.save}")
+    if args.stats:
+        print()
+        print("Pipeline statistics")
+        print("-------------------")
+        print(pipeline.metrics.render())
+    return 0
+
+
 def _cmd_ge(args: argparse.Namespace) -> int:
     from repro.baselines.column_average import ColumnAverageBaseline
     from repro.core.guessing_error import guessing_error
@@ -561,7 +705,7 @@ def _cmd_stability(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.io.partitioned import MANIFEST_NAME, PartitionedReader
+    from repro.io.partitioned import PartitionedReader
     from repro.io.rowstore import RowStore, RowStoreError
 
     target = Path(args.target)
@@ -702,6 +846,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "fill": _cmd_fill,
     "serve-batch": _cmd_serve_batch,
+    "pipeline": _cmd_pipeline,
     "ge": _cmd_ge,
     "outliers": _cmd_outliers,
     "clean": _cmd_clean,

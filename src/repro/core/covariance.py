@@ -29,7 +29,7 @@ either way and Eq. 1's energy ratios are scale-invariant).
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -267,6 +267,47 @@ class DecayingCovariance:
             self._mean += delta * (b_weight / total)
         self._weight = total
         self._rows_seen += block.shape[0]
+
+    # -- serialization -----------------------------------------------------
+
+    def state(self) -> dict:
+        """Snapshot the accumulator as plain arrays and scalars.
+
+        The returned dict is the complete state: feeding it to
+        :meth:`from_state` reconstructs an accumulator that is
+        bit-for-bit interchangeable with this one.  This is what
+        :meth:`repro.core.online.OnlineRatioRuleModel.fork` relies on
+        to clone a live stream without disturbing it.
+        """
+        return {
+            "decay": float(self.decay),
+            "weight": float(self._weight),
+            "rows_seen": int(self._rows_seen),
+            "mean": self._mean.copy(),
+            "scatter": self._scatter.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DecayingCovariance":
+        """Rebuild an accumulator from a :meth:`state` snapshot."""
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        scatter = np.asarray(state["scatter"], dtype=np.float64)
+        if mean.ndim != 1 or scatter.shape != (mean.size, mean.size):
+            raise ValueError(
+                f"inconsistent state: mean {mean.shape}, scatter {scatter.shape}"
+            )
+        weight = float(state["weight"])
+        rows_seen = int(state["rows_seen"])
+        if weight < 0.0 or rows_seen < 0:
+            raise ValueError(
+                f"weight and rows_seen must be >= 0, got {weight}, {rows_seen}"
+            )
+        accumulator = cls(mean.size, decay=float(state["decay"]))
+        accumulator._weight = weight
+        accumulator._rows_seen = rows_seen
+        accumulator._mean = mean.copy()
+        accumulator._scatter = scatter.copy()
+        return accumulator
 
     @property
     def n_cols(self) -> int:

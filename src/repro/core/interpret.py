@@ -20,7 +20,7 @@ emits a compact narrative per rule.  Naming a rule ("court action",
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

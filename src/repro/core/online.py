@@ -89,9 +89,16 @@ class OnlineRatioRuleModel:
     def update(self, rows: np.ndarray) -> "OnlineRatioRuleModel":
         """Fold a block of new rows into the stream statistics.
 
-        Invalidates the cached solve; O(B * M^2).
+        Invalidates the cached solve; O(B * M^2).  An *empty* block
+        (zero rows of the right width) is a no-op: the statistics, the
+        cached solve, and the update counter are all left untouched, so
+        idle polls of a quiet stream cost nothing.  A block of the
+        wrong width raises ``ValueError`` before any state changes.
         """
-        self._accumulator.update(np.asarray(rows, dtype=np.float64))
+        rows = np.asarray(rows, dtype=np.float64)
+        self._accumulator.update(rows)
+        if rows.ndim == 2 and rows.shape[0] == 0:
+            return self
         self._cached_model = None
         self._updates_seen += 1
         return self
@@ -122,7 +129,44 @@ class OnlineRatioRuleModel:
         self._cached_model = None
         return self
 
+    def fork(self) -> "OnlineRatioRuleModel":
+        """An independent copy of this model's stream state.
+
+        The clone shares nothing mutable with the original: folding
+        rows into one never disturbs the other.  This is how the
+        ingestion pipeline (:mod:`repro.pipeline`) solves a candidate
+        model over "all rows so far plus a partial trailing block"
+        without contaminating the block-aligned running accumulator
+        that its bit-identity guarantee depends on.
+        """
+        clone = OnlineRatioRuleModel(
+            self._accumulator.n_cols,
+            schema=self._schema,
+            cutoff=self._cutoff,
+            backend=self._backend,
+            min_rows=self._min_rows,
+            decay=self.decay,
+        )
+        clone._accumulator = type(self._accumulator).from_state(
+            self._accumulator.state()
+        )
+        clone._updates_seen = self._updates_seen
+        # The cached model is frozen after fitting, so sharing it is safe;
+        # the first update() on either side drops its own reference.
+        clone._cached_model = self._cached_model
+        return clone
+
     # -- state ---------------------------------------------------------------
+
+    @property
+    def schema(self) -> TableSchema:
+        """Column metadata for the stream."""
+        return self._schema
+
+    @property
+    def n_cols(self) -> int:
+        """Number of attributes ``M``."""
+        return self._accumulator.n_cols
 
     @property
     def n_rows_seen(self) -> int:

@@ -10,7 +10,7 @@ paper's running example is exactly ``RatioRule.ratio_string()`` here.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

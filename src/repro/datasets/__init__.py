@@ -11,7 +11,6 @@ Use :func:`load_dataset` for name-based access, or call the individual
 generators for full control over their knobs.
 """
 
-from typing import Dict
 
 from repro.datasets.abalone import ABALONE_FIELDS, generate_abalone
 from repro.datasets.base import Dataset

@@ -26,7 +26,7 @@ in memory at once.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 import numpy as np
 

@@ -138,16 +138,17 @@ def list_experiments() -> Mapping[str, str]:
 
 def _ensure_loaded() -> None:
     """Import the experiment modules so their registrations run."""
-    from repro.experiments import (  # noqa: F401  (imported for side effects)
-        ext_categorical,
-        ext_incomplete,
-        ext_stability,
-        ext_wide,
-        fig1_example,
-        fig6_stability,
-        fig7_accuracy,
-        fig8_scaleup,
-        fig9_fig11_projections,
-        fig12_quant_vs_rr,
-        table2_rules,
+    # Imported for side effects: each module registers its experiment.
+    from repro.experiments import (
+        ext_categorical,  # noqa: F401
+        ext_incomplete,  # noqa: F401
+        ext_stability,  # noqa: F401
+        ext_wide,  # noqa: F401
+        fig1_example,  # noqa: F401
+        fig6_stability,  # noqa: F401
+        fig7_accuracy,  # noqa: F401
+        fig8_scaleup,  # noqa: F401
+        fig9_fig11_projections,  # noqa: F401
+        fig12_quant_vs_rr,  # noqa: F401
+        table2_rules,  # noqa: F401
     )

@@ -11,13 +11,21 @@ measurement substrate:
   the serving-side counterpart
   (:class:`~repro.obs.metrics.ServeMetrics`): operator-cache traffic,
   pattern-group sizes and fill-latency percentiles for
-  :mod:`repro.serve`.
+  :mod:`repro.serve`; and the ingestion-side counterpart
+  (:class:`~repro.obs.metrics.PipelineMetrics`): rows/batches
+  ingested, drift scores, refresh counts and latency, reservoir
+  occupancy for :mod:`repro.pipeline`.
 
 It is dependency-free and cheap enough to stay on in production: the
 counters are plain ints/floats updated once per block, once per fit,
 or once per served batch -- never per cell.
 """
 
-from repro.obs.metrics import ScanMetrics, ServeMetrics, Stopwatch
+from repro.obs.metrics import (
+    PipelineMetrics,
+    ScanMetrics,
+    ServeMetrics,
+    Stopwatch,
+)
 
-__all__ = ["ScanMetrics", "ServeMetrics", "Stopwatch"]
+__all__ = ["PipelineMetrics", "ScanMetrics", "ServeMetrics", "Stopwatch"]

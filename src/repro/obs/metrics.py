@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence, Tuple
 
-__all__ = ["ScanMetrics", "ServeMetrics", "Stopwatch"]
+__all__ = ["PipelineMetrics", "ScanMetrics", "ServeMetrics", "Stopwatch"]
 
 
 class Stopwatch:
@@ -194,6 +194,181 @@ class ScanMetrics:
             f"scan time     {self.scan_seconds:.4f} s  ({throughput_text})",
             f"solve time    {self.solve_seconds:.4f} s",
             f"total time    {self.total_seconds:.4f} s",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"{key:<13} {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+@dataclass
+class PipelineMetrics:
+    """Counters and timings for one continuous-ingestion pipeline.
+
+    One record instruments one
+    :class:`repro.pipeline.IngestionPipeline`.  The pipeline is the
+    only writer (it runs its ingest loop on one thread), so the record
+    needs no lock; rendering from another thread sees a consistent
+    enough snapshot for monitoring.
+
+    Attributes
+    ----------
+    rows_ingested:
+        Rows folded into the online accumulator so far.
+    n_batches:
+        Non-empty source polls processed.
+    n_empty_polls:
+        Polls that returned no rows (idle stream).
+    n_blocks_folded:
+        Accumulator ``update()`` calls (block-aligned folds).
+    n_drift_evaluations:
+        Times the drift detector scored the published model.
+    n_refreshes:
+        Models published by this pipeline (including the initial one).
+    refresh_reasons:
+        ``{reason: count}`` across all refreshes (``"initial"``,
+        ``"drift:guessing-error"``, ``"drift:rule-angle"``,
+        ``"forced:max-rows"``, ``"manual"``, ``"final"``).
+    last_refresh_reason:
+        Reason string of the most recent refresh ("" before the first).
+    last_version:
+        Registry version of the most recent publish (0 before any).
+    rows_since_refresh:
+        Rows ingested since the last publish.
+    last_guessing_error / baseline_guessing_error:
+        Most recent holdout GE1 of the published model on the drift
+        reservoir, and the baseline it is compared against (0.0 until
+        first measured).
+    last_angle_degrees:
+        Most recent largest principal angle between the published and
+        candidate rule subspaces (0.0 until first measured).
+    reservoir_rows / reservoir_capacity:
+        Current drift-reservoir occupancy.
+    ingest_seconds / drift_seconds / refresh_seconds:
+        Cumulative wall-clock in each pipeline stage.
+    last_refresh_seconds:
+        Wall-clock of the most recent refit-and-publish.
+    """
+
+    rows_ingested: int = 0
+    n_batches: int = 0
+    n_empty_polls: int = 0
+    n_blocks_folded: int = 0
+    n_drift_evaluations: int = 0
+    n_refreshes: int = 0
+    refresh_reasons: dict = field(default_factory=dict)
+    last_refresh_reason: str = ""
+    last_version: int = 0
+    rows_since_refresh: int = 0
+    last_guessing_error: float = 0.0
+    baseline_guessing_error: float = 0.0
+    last_angle_degrees: float = 0.0
+    reservoir_rows: int = 0
+    reservoir_capacity: int = 0
+    ingest_seconds: float = 0.0
+    drift_seconds: float = 0.0
+    refresh_seconds: float = 0.0
+    last_refresh_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def rows_per_second(self) -> float:
+        """Ingest throughput; 0.0 when ingestion was too fast to time."""
+        if self.ingest_seconds <= 0.0:
+            return 0.0
+        return self.rows_ingested / self.ingest_seconds
+
+    @property
+    def reservoir_occupancy(self) -> float:
+        """Reservoir fill fraction in [0, 1] (0.0 for capacity 0)."""
+        if self.reservoir_capacity <= 0:
+            return 0.0
+        return self.reservoir_rows / self.reservoir_capacity
+
+    def record_refresh(
+        self, *, version: int, reason: str, seconds: float
+    ) -> None:
+        """Fold one refit-and-publish into the record."""
+        self.n_refreshes += 1
+        self.refresh_reasons[reason] = self.refresh_reasons.get(reason, 0) + 1
+        self.last_refresh_reason = reason
+        self.last_version = int(version)
+        self.refresh_seconds += float(seconds)
+        self.last_refresh_seconds = float(seconds)
+        self.rows_since_refresh = 0
+
+    def merge(self, other: "PipelineMetrics") -> None:
+        """Fold another record into this one (multi-pipeline rollup)."""
+        self.rows_ingested += other.rows_ingested
+        self.n_batches += other.n_batches
+        self.n_empty_polls += other.n_empty_polls
+        self.n_blocks_folded += other.n_blocks_folded
+        self.n_drift_evaluations += other.n_drift_evaluations
+        self.n_refreshes += other.n_refreshes
+        for reason, count in other.refresh_reasons.items():
+            self.refresh_reasons[reason] = (
+                self.refresh_reasons.get(reason, 0) + count
+            )
+        self.ingest_seconds += other.ingest_seconds
+        self.drift_seconds += other.drift_seconds
+        self.refresh_seconds += other.refresh_seconds
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of every counter (JSON-serializable)."""
+        return {
+            field_def.name: getattr(self, field_def.name)
+            for field_def in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineMetrics":
+        """Rebuild a record from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected so stale snapshots fail loudly
+        rather than silently dropping counters.
+        """
+        known = {field_def.name for field_def in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown PipelineMetrics fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineMetrics":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        throughput = self.rows_per_second
+        throughput_text = f"{throughput:,.0f} rows/s" if throughput else "n/a"
+        reasons = ", ".join(
+            f"{reason} x{count}"
+            for reason, count in sorted(self.refresh_reasons.items())
+        ) or "none"
+        lines = [
+            f"ingested      {self.rows_ingested:,} row(s) in "
+            f"{self.n_batches:,} batch(es)  ({self.n_empty_polls} empty "
+            f"poll(s), {self.n_blocks_folded} block fold(s))",
+            f"refreshes     {self.n_refreshes} publish(es): {reasons}",
+            f"served        version {self.last_version}, "
+            f"{self.rows_since_refresh:,} row(s) since refresh",
+            f"drift         {self.n_drift_evaluations} evaluation(s); "
+            f"GE1 {self.last_guessing_error:.4g} "
+            f"(baseline {self.baseline_guessing_error:.4g}), "
+            f"angle {self.last_angle_degrees:.1f} deg",
+            f"reservoir     {self.reservoir_rows}/{self.reservoir_capacity} "
+            f"row(s) ({self.reservoir_occupancy:.0%})",
+            f"ingest time   {self.ingest_seconds:.4f} s  ({throughput_text})",
+            f"drift time    {self.drift_seconds:.4f} s",
+            f"refresh time  {self.refresh_seconds:.4f} s  "
+            f"(last {self.last_refresh_seconds:.4f} s)",
         ]
         for key, value in sorted(self.extras.items()):
             lines.append(f"{key:<13} {value}")

@@ -1,0 +1,67 @@
+"""Continuous ingestion with drift-triggered model refresh.
+
+The paper's single-pass algorithm (Fig. 2a) makes Ratio Rules cheap to
+maintain *online*: the scan state is a tiny mergeable accumulator, so
+fresh rows fold in at O(M^2) each and a refit is one O(M^3) solve,
+independent of stream length.  This package turns that property into a
+serving loop:
+
+- :mod:`~repro.pipeline.sources` -- pollable row sources
+  (:class:`QueueSource` with bounded-queue backpressure,
+  :class:`CSVTailSource` for growing files,
+  :class:`TransactionStreamSource` for synthetic drifting workloads);
+- :mod:`~repro.pipeline.drift` -- :class:`DriftDetector`: holdout
+  guessing error (Eq. 3) over a reservoir sample of recent rows, plus
+  principal-angle divergence between the published and candidate rule
+  subspaces;
+- :mod:`~repro.pipeline.policy` -- :class:`RefreshPolicy`: row/interval
+  floors and staleness ceilings gating when drift may act;
+- :mod:`~repro.pipeline.pipeline` -- :class:`IngestionPipeline`: the
+  loop itself, publishing atomically into a
+  :class:`~repro.serve.ModelRegistry` so in-flight
+  :class:`~repro.serve.BatchFiller` requests never see a torn version.
+
+Quickstart::
+
+    from repro.pipeline import (
+        DriftDetector, IngestionPipeline, QueueSource, RefreshPolicy,
+    )
+    from repro.serve import BatchFiller
+
+    source = QueueSource(n_cols)           # producers call source.put(rows)
+    pipeline = IngestionPipeline(
+        source,
+        policy=RefreshPolicy(min_rows=2000, min_interval_seconds=30.0),
+        detector=DriftDetector(ge_ratio=1.25, angle_threshold_degrees=10.0),
+    )
+    filler = BatchFiller(pipeline.registry)   # serves across refreshes
+    pipeline.run(idle_sleep=0.05)             # e.g. on a background thread
+
+See ``docs/pipeline.md`` for architecture, the drift signals, and the
+bit-identity guarantee against offline fits.
+"""
+
+from repro.obs.metrics import PipelineMetrics
+from repro.pipeline.drift import DriftDetector, DriftReport, ReservoirSample
+from repro.pipeline.pipeline import IngestionPipeline
+from repro.pipeline.policy import RefreshDecision, RefreshPolicy
+from repro.pipeline.sources import (
+    BatchSource,
+    CSVTailSource,
+    QueueSource,
+    TransactionStreamSource,
+)
+
+__all__ = [
+    "BatchSource",
+    "CSVTailSource",
+    "DriftDetector",
+    "DriftReport",
+    "IngestionPipeline",
+    "PipelineMetrics",
+    "QueueSource",
+    "RefreshDecision",
+    "RefreshPolicy",
+    "ReservoirSample",
+    "TransactionStreamSource",
+]

@@ -1,0 +1,353 @@
+"""The continuous-ingestion pipeline: stream in, detect drift, publish.
+
+:class:`IngestionPipeline` closes the loop the rest of the library
+left open: the single-pass accumulator (:mod:`repro.core.covariance`)
+makes models *refreshable*, the registry (:mod:`repro.serve.registry`)
+makes refreshed models *hot-swappable*, and this module decides *when*
+to connect the two.  One ``step()`` polls the source, folds the rows
+into an :class:`~repro.core.online.OnlineRatioRuleModel`, feeds the
+drift detector's reservoir, and -- when the
+:class:`~repro.pipeline.policy.RefreshPolicy` allows and the
+:class:`~repro.pipeline.drift.DriftDetector` fires -- refits and
+publishes atomically, so in-flight
+:class:`~repro.serve.BatchFiller` requests keep their version's bits.
+
+Differential guarantee
+----------------------
+With forgetting disabled (``decay == 1``), a pipeline publish is
+**bit-identical** to an offline
+:meth:`RatioRuleModel.fit(all_rows) <repro.core.model.RatioRuleModel.fit>`
+over the same effective rows with the same ``block_rows``.  This holds
+by construction, not by tolerance: the pipeline folds rows into the
+accumulator in *exactly* the block partition the offline scan would
+use (full ``block_rows``-sized blocks, in arrival order), keeping any
+trailing partial block in a side buffer.  At refresh time the
+accumulator is forked (:meth:`OnlineRatioRuleModel.fork
+<repro.core.online.OnlineRatioRuleModel.fork>`) and the partial block
+is folded into the *fork* -- reproducing the offline scan's final
+short block -- so the running accumulator stays block-aligned for the
+next refresh.  Identical float operations in identical order yield an
+identical scatter matrix, and the deterministic eigensolve does the
+rest; ``tests/pipeline/test_pipeline.py`` proves fingerprint equality.
+
+With ``decay < 1`` the refit instead reflects the exponentially
+forgotten statistics (that is the point of decay), and batches are
+folded as they arrive.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.core.online import OnlineRatioRuleModel
+from repro.io.schema import TableSchema
+from repro.obs.metrics import PipelineMetrics, Stopwatch
+from repro.pipeline.drift import DriftDetector
+from repro.pipeline.policy import RefreshPolicy
+from repro.pipeline.sources import BatchSource
+from repro.serve.registry import ModelRegistry, PublishedModel
+
+__all__ = ["IngestionPipeline"]
+
+
+class IngestionPipeline:
+    """Continuous ingestion with drift-triggered model refresh.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.pipeline.sources.BatchSource` (or anything
+        with its ``poll``/``schema`` contract).
+    registry:
+        The :class:`~repro.serve.ModelRegistry` to publish into; a
+        fresh private one by default.  May already hold a published
+        model (e.g. last night's batch fit) -- the pipeline then
+        refreshes it instead of making an initial publish.
+    schema:
+        Column metadata; defaults to the source's schema.
+    cutoff, backend:
+        Forwarded to every refitted
+        :class:`~repro.core.model.RatioRuleModel`.
+    block_rows:
+        Accumulator fold granularity; must match the offline scan's
+        ``block_rows`` for the differential guarantee to be meaningful.
+    decay:
+        Per-row forgetting factor for the online accumulator
+        (``1.0`` = remember everything; see
+        :class:`~repro.core.covariance.DecayingCovariance`).
+    batch_rows:
+        Rows requested from the source per ``step()``.
+    policy / detector / metrics:
+        The refresh gates, drift scorer, and instrumentation record;
+        sensible defaults are built when omitted.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.pipeline import IngestionPipeline, QueueSource
+    >>> source = QueueSource(2)
+    >>> source.put(np.outer(np.arange(1.0, 9.0), [1.0, 2.0]))
+    >>> source.close()
+    >>> pipeline = IngestionPipeline(source, cutoff=1)
+    >>> pipeline.run(final_publish=True).n_refreshes
+    1
+    >>> pipeline.registry.current().version
+    1
+    """
+
+    def __init__(
+        self,
+        source: BatchSource,
+        *,
+        registry: Optional[ModelRegistry] = None,
+        schema: Optional[TableSchema] = None,
+        cutoff=None,
+        backend: str = "numpy",
+        block_rows: int = 4096,
+        decay: float = 1.0,
+        batch_rows: int = 1024,
+        policy: Optional[RefreshPolicy] = None,
+        detector: Optional[DriftDetector] = None,
+        metrics: Optional[PipelineMetrics] = None,
+    ) -> None:
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        if batch_rows < 1:
+            raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+        self._source = source
+        self._schema = schema if schema is not None else source.schema
+        self._registry = registry if registry is not None else ModelRegistry()
+        self._policy = policy if policy is not None else RefreshPolicy()
+        self._detector = detector if detector is not None else DriftDetector()
+        self.metrics = metrics if metrics is not None else PipelineMetrics()
+        self.metrics.reservoir_capacity = self._detector.reservoir.capacity
+        self._block_rows = int(block_rows)
+        self._batch_rows = int(batch_rows)
+        self._online = OnlineRatioRuleModel(
+            self._schema.width,
+            schema=self._schema,
+            cutoff=cutoff,
+            backend=backend,
+            decay=decay,
+        )
+        # Trailing partial block, kept out of the accumulator so the
+        # fold partition matches the offline scan's (see module docs).
+        self._pending: List[np.ndarray] = []
+        self._pending_rows = 0
+        self._rows_since_refresh = 0
+        self._last_refresh_monotonic: Optional[float] = None
+        self._exhausted = False
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def registry(self) -> ModelRegistry:
+        """The registry this pipeline publishes into."""
+        return self._registry
+
+    @property
+    def online_model(self) -> OnlineRatioRuleModel:
+        """The live accumulator (excludes the trailing partial block)."""
+        return self._online
+
+    @property
+    def rows_ingested(self) -> int:
+        """Total rows folded in (including the trailing partial block)."""
+        return self._online.n_rows_seen + self._pending_rows
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the source has permanently ended."""
+        return self._exhausted
+
+    # -- the ingest loop ---------------------------------------------------
+
+    def step(self) -> bool:
+        """Poll once, ingest, maybe refresh.  False when the source ended."""
+        if self._exhausted:
+            return False
+        batch = self._source.poll(self._batch_rows)
+        if batch is None:
+            self._exhausted = True
+            return False
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        if batch.shape[0] == 0:
+            self.metrics.n_empty_polls += 1
+            return True
+        with Stopwatch() as watch:
+            self._ingest(batch)
+        self.metrics.ingest_seconds += watch.seconds
+        self.metrics.rows_ingested += batch.shape[0]
+        self.metrics.n_batches += 1
+        self._rows_since_refresh += batch.shape[0]
+        self.metrics.rows_since_refresh = self._rows_since_refresh
+        self._detector.observe(batch)
+        self.metrics.reservoir_rows = len(self._detector.reservoir)
+        self._maybe_refresh()
+        return True
+
+    def run(
+        self,
+        *,
+        max_batches: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        idle_sleep: float = 0.0,
+        final_publish: bool = False,
+    ) -> PipelineMetrics:
+        """Drive :meth:`step` until the source ends (or a limit hits).
+
+        Parameters
+        ----------
+        max_batches / max_seconds:
+            Optional stop conditions for bounded runs (``max_batches``
+            counts polls, empty or not).
+        idle_sleep:
+            Seconds to sleep after an empty poll; keeps a ``follow``
+            pipeline from spinning on a quiet stream.
+        final_publish:
+            Publish whatever accumulated once the source ends, even
+            with no drift trigger -- so batch-mode consumption of a
+            finite file always leaves a model covering every row.
+        """
+        started = time.monotonic()
+        polls = 0
+        while True:
+            if max_batches is not None and polls >= max_batches:
+                break
+            if (
+                max_seconds is not None
+                and time.monotonic() - started >= max_seconds
+            ):
+                break
+            before_empty = self.metrics.n_empty_polls
+            if not self.step():
+                break
+            polls += 1
+            if idle_sleep > 0.0 and self.metrics.n_empty_polls > before_empty:
+                time.sleep(idle_sleep)
+        if final_publish and self._rows_since_refresh > 0:
+            candidate = self._fork_with_pending()
+            if candidate.is_ready:
+                reason = (
+                    "initial" if self._registry.latest_version == 0 else "final"
+                )
+                self._refresh(reason)
+        return self.metrics
+
+    def refresh_now(self, *, reason: str = "manual") -> PublishedModel:
+        """Refit over everything ingested so far and publish, bypassing
+        the policy gates (the detector's window still rebases)."""
+        return self._refresh(reason)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ingest(self, batch: np.ndarray) -> None:
+        if self._online.decay < 1.0:
+            # Decayed statistics are block-partition invariant by
+            # design, so fold arrivals directly.
+            self._online.update(batch)
+            self.metrics.n_blocks_folded += 1
+            return
+        self._pending.append(batch)
+        self._pending_rows += batch.shape[0]
+        while self._pending_rows >= self._block_rows:
+            take = self._block_rows
+            parts: List[np.ndarray] = []
+            while take > 0:
+                head = self._pending[0]
+                if head.shape[0] <= take:
+                    parts.append(head)
+                    self._pending.pop(0)
+                    take -= head.shape[0]
+                else:
+                    parts.append(head[:take])
+                    self._pending[0] = head[take:]
+                    take = 0
+            block = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            self._online.update(block)
+            self.metrics.n_blocks_folded += 1
+            self._pending_rows -= self._block_rows
+
+    def _fork_with_pending(self) -> OnlineRatioRuleModel:
+        """The accumulator as the offline scan would have left it:
+        every full block, plus the trailing short block."""
+        candidate = self._online.fork()
+        if self._pending_rows > 0:
+            tail = (
+                self._pending[0]
+                if len(self._pending) == 1
+                else np.concatenate(self._pending)
+            )
+            candidate.update(tail)
+        return candidate
+
+    def candidate_model(self) -> RatioRuleModel:
+        """A model refitted over everything ingested so far.
+
+        This is exactly what a refresh would publish; exposed so
+        callers can inspect the would-be rules without publishing.
+        """
+        return self._fork_with_pending().model()
+
+    def _seconds_since_refresh(self) -> float:
+        if self._last_refresh_monotonic is None:
+            return float("inf")
+        return time.monotonic() - self._last_refresh_monotonic
+
+    def _maybe_refresh(self) -> None:
+        if self._registry.latest_version == 0:
+            # Nothing served yet: publish as soon as the policy's row
+            # floor is met -- there is no model to drift from.
+            if self._rows_since_refresh >= self._policy.min_rows:
+                candidate = self._fork_with_pending()
+                if candidate.is_ready:
+                    self._refresh("initial")
+            return
+        if not self._policy.gate(
+            rows_since_refresh=self._rows_since_refresh,
+            seconds_since_refresh=self._seconds_since_refresh(),
+        ):
+            return
+        published = self._registry.current().model
+        candidate = self._fork_with_pending()
+        with Stopwatch() as watch:
+            report = self._detector.evaluate(
+                published,
+                candidate.model() if candidate.is_ready else None,
+            )
+        self.metrics.drift_seconds += watch.seconds
+        self.metrics.n_drift_evaluations += 1
+        if report.guessing_error is not None:
+            self.metrics.last_guessing_error = report.guessing_error
+        if report.baseline_guessing_error is not None:
+            self.metrics.baseline_guessing_error = (
+                report.baseline_guessing_error
+            )
+        if report.angle_degrees is not None:
+            self.metrics.last_angle_degrees = report.angle_degrees
+        decision = self._policy.decide(
+            report,
+            rows_since_refresh=self._rows_since_refresh,
+            seconds_since_refresh=self._seconds_since_refresh(),
+        )
+        if decision.refresh:
+            self._refresh(decision.reason)
+
+    def _refresh(self, reason: str) -> PublishedModel:
+        with Stopwatch() as watch:
+            model = self._fork_with_pending().model()
+            snapshot = self._registry.publish(model)
+        self.metrics.record_refresh(
+            version=snapshot.version, reason=reason, seconds=watch.seconds
+        )
+        self._detector.rebase()
+        self.metrics.reservoir_rows = 0
+        self._rows_since_refresh = 0
+        self._last_refresh_monotonic = time.monotonic()
+        return snapshot

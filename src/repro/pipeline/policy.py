@@ -1,0 +1,116 @@
+"""Refresh policy: when is a drift signal allowed to act?
+
+Drift detection says *whether* the published model went stale; the
+:class:`RefreshPolicy` says *whether acting on that is allowed right
+now*.  Separating the two keeps the operational knobs -- publish
+cadence floors, row minimums, staleness ceilings -- independent of the
+statistics, and makes the pipeline's decisions unit-testable without
+any data.
+
+The policy gates on three axes:
+
+- ``min_rows``: never refresh on fewer than this many rows since the
+  last publish (a refit over a handful of rows is noise);
+- ``min_interval_seconds``: never publish faster than this cadence,
+  no matter how loudly the detector fires (protects serving caches
+  from churn);
+- ``max_rows``: optionally force a refresh after this many rows even
+  with no drift signal at all (bounds staleness when the stream is
+  stable for a long time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pipeline.drift import DriftReport
+
+__all__ = ["RefreshDecision", "RefreshPolicy"]
+
+
+@dataclass(frozen=True)
+class RefreshDecision:
+    """Outcome of one policy consultation.
+
+    ``reason`` is non-empty exactly when ``refresh`` is True, and is
+    recorded verbatim in :class:`~repro.obs.metrics.PipelineMetrics`
+    (``"drift:guessing-error"``, ``"forced:max-rows"``, ...).
+    """
+
+    refresh: bool
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """Operational gates on refit-and-publish.
+
+    Parameters
+    ----------
+    min_rows:
+        Rows since the last refresh required before any refresh
+        (including the initial publish).
+    min_interval_seconds:
+        Seconds since the last refresh required before the next one.
+    max_rows:
+        Force a refresh once this many rows accumulated since the
+        last one, drift or not (``None`` = never force).
+    refresh_on_drift:
+        Whether drift signals may trigger a refresh at all; turn off
+        to run a pipeline that only force-refreshes on ``max_rows``
+        (or is driven manually).
+    """
+
+    min_rows: int = 256
+    min_interval_seconds: float = 0.0
+    max_rows: Optional[int] = None
+    refresh_on_drift: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_rows < 1:
+            raise ValueError(f"min_rows must be >= 1, got {self.min_rows}")
+        if self.min_interval_seconds < 0.0:
+            raise ValueError(
+                f"min_interval_seconds must be >= 0, "
+                f"got {self.min_interval_seconds}"
+            )
+        if self.max_rows is not None and self.max_rows < self.min_rows:
+            raise ValueError(
+                f"max_rows ({self.max_rows}) must be >= min_rows "
+                f"({self.min_rows})"
+            )
+
+    def gate(
+        self, *, rows_since_refresh: int, seconds_since_refresh: float
+    ) -> bool:
+        """Whether a refresh (and hence a drift evaluation) is allowed.
+
+        The pipeline also uses this to skip the drift computation
+        entirely while inside a cooldown window -- no point scoring a
+        signal that could not act.
+        """
+        if rows_since_refresh < self.min_rows:
+            return False
+        return seconds_since_refresh >= self.min_interval_seconds
+
+    def decide(
+        self,
+        report: Optional[DriftReport],
+        *,
+        rows_since_refresh: int,
+        seconds_since_refresh: float,
+    ) -> RefreshDecision:
+        """Combine the gates with a drift report into a decision."""
+        if not self.gate(
+            rows_since_refresh=rows_since_refresh,
+            seconds_since_refresh=seconds_since_refresh,
+        ):
+            return RefreshDecision(refresh=False)
+        if self.max_rows is not None and rows_since_refresh >= self.max_rows:
+            return RefreshDecision(refresh=True, reason="forced:max-rows")
+        if self.refresh_on_drift and report is not None and report.drifted:
+            return RefreshDecision(
+                refresh=True, reason=f"drift:{report.reasons[0]}"
+            )
+        return RefreshDecision(refresh=False)

@@ -1,0 +1,311 @@
+"""Batch sources for the continuous-ingestion pipeline.
+
+A :class:`BatchSource` is anything the pipeline can poll for "the next
+few rows": an in-process queue fed by application threads, a CSV file
+another process keeps appending to, or a synthetic
+:class:`~repro.datasets.streams.TransactionStream`.  The contract is
+deliberately tiny and non-blocking:
+
+``poll(max_rows)``
+    Return up to ``max_rows`` rows as a float64 array.  A ``(0, M)``
+    array means "nothing right now, try again later" (idle stream);
+    ``None`` means the source is permanently exhausted.
+
+All sources share the same backpressure-aware batching discipline: an
+internal row buffer coalesces many small arrivals into one pipeline
+batch and splits oversized arrivals across polls, so the pipeline's
+per-batch costs (drift checks, metrics) are amortized no matter how
+the producer happens to chop the stream.  :class:`QueueSource` adds
+producer-side backpressure on top: its queue is bounded, so a producer
+that outruns the pipeline blocks in ``put()`` instead of growing
+memory without limit.
+"""
+
+from __future__ import annotations
+
+import abc
+import queue
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.datasets.streams import TransactionStream
+from repro.io.schema import TableSchema
+
+__all__ = [
+    "BatchSource",
+    "CSVTailSource",
+    "QueueSource",
+    "TransactionStreamSource",
+]
+
+
+class BatchSource(abc.ABC):
+    """Pollable row source; see the module docstring for the contract."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self._schema = schema
+        self._buffer: List[np.ndarray] = []
+        self._buffered_rows = 0
+
+    @property
+    def schema(self) -> TableSchema:
+        """Column metadata for the rows this source emits."""
+        return self._schema
+
+    @property
+    def n_cols(self) -> int:
+        """Row width ``M``."""
+        return self._schema.width
+
+    # -- the poll contract -------------------------------------------------
+
+    @abc.abstractmethod
+    def _refill(self) -> bool:
+        """Pull newly arrived rows into the buffer.
+
+        Returns False when the source can never produce rows again
+        (the buffer may still hold a tail to drain).
+        """
+
+    def poll(self, max_rows: int) -> Optional[np.ndarray]:
+        """Up to ``max_rows`` new rows; empty = idle, ``None`` = done."""
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        alive = self._refill()
+        if self._buffered_rows == 0:
+            if alive:
+                return np.empty((0, self.n_cols), dtype=np.float64)
+            return None
+        return self._take(max_rows)
+
+    def close(self) -> None:
+        """Release any held resources (idempotent; default no-op)."""
+
+    # -- shared buffering --------------------------------------------------
+
+    def _push(self, rows: np.ndarray) -> None:
+        """Append validated rows to the internal buffer."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.ndim != 2 or rows.shape[1] != self.n_cols:
+            raise ValueError(
+                f"expected rows of width {self.n_cols}, got shape {rows.shape}"
+            )
+        if rows.shape[0] == 0:
+            return
+        self._buffer.append(rows)
+        self._buffered_rows += rows.shape[0]
+
+    def _take(self, max_rows: int) -> np.ndarray:
+        """Pop up to ``max_rows`` buffered rows, splitting the tail piece."""
+        take = min(max_rows, self._buffered_rows)
+        parts: List[np.ndarray] = []
+        remaining = take
+        while remaining > 0:
+            head = self._buffer[0]
+            if head.shape[0] <= remaining:
+                parts.append(head)
+                self._buffer.pop(0)
+                remaining -= head.shape[0]
+            else:
+                parts.append(head[:remaining])
+                self._buffer[0] = head[remaining:]
+                remaining = 0
+        self._buffered_rows -= take
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=0)
+
+
+class QueueSource(BatchSource):
+    """In-process queue source with bounded-memory backpressure.
+
+    Producer threads call :meth:`put` with row blocks of any size;
+    the pipeline polls batches out.  The queue holds at most
+    ``capacity`` blocks, so a producer that outruns the pipeline
+    blocks in ``put()`` (or times out) rather than buffering
+    unboundedly -- backpressure propagates to whoever generates the
+    data.
+
+    Parameters
+    ----------
+    schema_or_width:
+        A :class:`~repro.io.schema.TableSchema` or a plain column
+        count (generic names are synthesized).
+    capacity:
+        Maximum queued blocks before ``put()`` blocks.
+    """
+
+    def __init__(
+        self,
+        schema_or_width: Union[TableSchema, int],
+        *,
+        capacity: int = 64,
+    ) -> None:
+        if isinstance(schema_or_width, TableSchema):
+            schema = schema_or_width
+        else:
+            schema = TableSchema.generic(int(schema_or_width))
+        super().__init__(schema)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._queue: "queue.Queue[Optional[np.ndarray]]" = queue.Queue(
+            maxsize=capacity
+        )
+        self._closed = False
+        self._drained = False
+
+    def put(
+        self, rows: np.ndarray, *, timeout: Optional[float] = None
+    ) -> None:
+        """Enqueue a block of rows; blocks when the queue is full.
+
+        Raises
+        ------
+        ValueError
+            When the rows are the wrong width or the source is closed.
+        queue.Full
+            When ``timeout`` expires before space frees up.
+        """
+        if self._closed:
+            raise ValueError("cannot put() into a closed QueueSource")
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        if rows.ndim != 2 or rows.shape[1] != self.n_cols:
+            raise ValueError(
+                f"expected rows of width {self.n_cols}, got shape {rows.shape}"
+            )
+        if rows.shape[0] == 0:
+            return
+        self._queue.put(rows, timeout=timeout)
+
+    def close(self) -> None:
+        """Mark the stream finished; buffered rows still drain."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(None)
+
+    def _refill(self) -> bool:
+        while True:
+            try:
+                block = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if block is None:
+                self._drained = True
+                break
+            self._push(block)
+        return not self._drained
+
+
+class CSVTailSource(BatchSource):
+    """Poll a CSV file for rows appended since the last poll.
+
+    The file's header row fixes the schema.  Each poll reads whatever
+    bytes were appended since the previous poll and parses only the
+    *complete* lines (a half-written trailing line is left for the
+    next poll, so a concurrently appending writer is safe).
+
+    Parameters
+    ----------
+    path:
+        The CSV file; must exist and contain at least a header row.
+    follow:
+        ``True`` (default) keeps the source alive at end-of-file
+        (``poll`` returns empty batches while waiting for more data);
+        ``False`` exhausts the source at the first poll that finds no
+        new data -- batch-mode consumption of a static file.
+    """
+
+    def __init__(self, path: Union[str, Path], *, follow: bool = True) -> None:
+        self._path = Path(path)
+        self._follow = bool(follow)
+        self._handle = open(self._path, "rb")
+        header = self._handle.readline()
+        if not header.endswith(b"\n"):
+            self._handle.close()
+            raise ValueError(
+                f"{self._path}: missing or incomplete CSV header row"
+            )
+        names = [cell.strip() for cell in header.decode("utf-8").split(",")]
+        if not all(names):
+            self._handle.close()
+            raise ValueError(f"{self._path}: blank column name in header")
+        super().__init__(TableSchema.from_names(names))
+        self._partial = b""
+        self._exhausted = False
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def _refill(self) -> bool:
+        if self._exhausted:
+            return False
+        if self._buffered_rows > 0:
+            # Drain what we have before reading more: keeps memory
+            # bounded by one gulp no matter how the pipeline batches.
+            return True
+        # Bounded gulp: a cold start on a huge file streams in 8 MiB
+        # slices across polls instead of loading the file whole.
+        chunk = self._handle.read(8 << 20)
+        data = self._partial + chunk
+        cut = data.rfind(b"\n")
+        if cut < 0:
+            self._partial = data
+            complete = b""
+        else:
+            complete = data[: cut + 1]
+            self._partial = data[cut + 1 :]
+        rows = []
+        for line in complete.decode("utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            if len(cells) != self.n_cols:
+                raise ValueError(
+                    f"{self._path}: row has {len(cells)} cells, "
+                    f"expected {self.n_cols}: {line!r}"
+                )
+            rows.append([float(cell) for cell in cells])
+        if rows:
+            self._push(np.asarray(rows, dtype=np.float64))
+        elif not self._follow:
+            # Batch mode: a poll that found nothing new ends the stream.
+            self._exhausted = True
+            self.close()
+            return False
+        return True
+
+
+class TransactionStreamSource(BatchSource):
+    """Adapter over a :class:`~repro.datasets.streams.TransactionStream`.
+
+    Exposes the declarative drifting-phases generator through the poll
+    contract, so drift-detection tests and demos can feed the pipeline
+    a workload whose regime changes are known in advance.  The source
+    is exhausted when the stream's schedule ends.
+    """
+
+    def __init__(self, stream: TransactionStream) -> None:
+        super().__init__(stream.schema())
+        self._blocks = stream.blocks()
+        self._done = False
+
+    def _refill(self) -> bool:
+        if self._done:
+            return False
+        if self._buffered_rows == 0:
+            try:
+                _phase, block = next(self._blocks)
+            except StopIteration:
+                self._done = True
+                return False
+            self._push(block)
+        return True

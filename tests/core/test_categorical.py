@@ -1,6 +1,5 @@
 """Tests for categorical Ratio Rules (the paper's stated future work)."""
 
-import numpy as np
 import pytest
 
 from repro.core.categorical import (

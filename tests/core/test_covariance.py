@@ -107,6 +107,41 @@ class TestStreamingCovariance:
         np.testing.assert_array_equal(scatter, scatter.T)
         assert np.all(np.linalg.eigvalsh(scatter) >= -1e-8)
 
+    def test_state_round_trip_is_bit_exact(self, rng):
+        matrix = rng.standard_normal((100, 4)) * 3
+        acc = StreamingCovariance(4)
+        acc.update(matrix[:60])
+        clone = StreamingCovariance.from_state(acc.state())
+        # Interchangeable: same bits now, and same bits after folding
+        # identical further data into both.
+        np.testing.assert_array_equal(
+            clone.scatter_matrix(), acc.scatter_matrix()
+        )
+        acc.update(matrix[60:])
+        clone.update(matrix[60:])
+        np.testing.assert_array_equal(
+            clone.scatter_matrix(), acc.scatter_matrix()
+        )
+        np.testing.assert_array_equal(clone.column_means, acc.column_means)
+        assert clone.n_rows == acc.n_rows == 100
+
+    def test_state_mutation_does_not_leak(self, rng):
+        acc = StreamingCovariance(2)
+        acc.update(rng.standard_normal((10, 2)))
+        state = acc.state()
+        state["mean"][:] = 99.0  # mutating the snapshot...
+        assert acc.column_means.max() < 99.0  # ...never touches the source
+
+    def test_from_state_validates(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            StreamingCovariance.from_state(
+                {"count": 3, "mean": np.zeros(2), "scatter": np.zeros((3, 3))}
+            )
+        with pytest.raises(ValueError, match="count"):
+            StreamingCovariance.from_state(
+                {"count": -1, "mean": np.zeros(2), "scatter": np.zeros((2, 2))}
+            )
+
     def test_stable_under_huge_offset(self, rng):
         """The motivating case: mean >> spread."""
         base = rng.standard_normal((500, 3))

@@ -73,6 +73,43 @@ class TestDecayingCovariance:
         scatter = decaying.scatter_matrix()
         assert scatter[1, 1] > 10 * scatter[0, 0]
 
+    def test_state_round_trip_is_bit_exact(self, rng):
+        matrix = rng.standard_normal((80, 3)) + 2
+        acc = DecayingCovariance(3, decay=0.99)
+        acc.update(matrix[:50])
+        clone = DecayingCovariance.from_state(acc.state())
+        assert clone.decay == acc.decay
+        assert clone.n_rows == acc.n_rows
+        assert clone.effective_weight == acc.effective_weight
+        acc.update(matrix[50:])
+        clone.update(matrix[50:])
+        np.testing.assert_array_equal(
+            clone.scatter_matrix(), acc.scatter_matrix()
+        )
+        np.testing.assert_array_equal(clone.column_means, acc.column_means)
+
+    def test_from_state_validates(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            DecayingCovariance.from_state(
+                {
+                    "decay": 0.9,
+                    "weight": 1.0,
+                    "rows_seen": 1,
+                    "mean": np.zeros(2),
+                    "scatter": np.zeros((3, 3)),
+                }
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            DecayingCovariance.from_state(
+                {
+                    "decay": 0.9,
+                    "weight": -1.0,
+                    "rows_seen": 1,
+                    "mean": np.zeros(2),
+                    "scatter": np.zeros((2, 2)),
+                }
+            )
+
     def test_validation(self):
         with pytest.raises(ValueError, match="decay"):
             DecayingCovariance(2, decay=0.0)

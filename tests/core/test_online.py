@@ -103,6 +103,62 @@ class TestOnlineModel:
         assert left.n_updates == 5
         assert left.n_rows_seen == stream.shape[0]
 
+    def test_empty_update_is_noop(self, stream):
+        """An empty batch leaves statistics, cache and counter alone."""
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        online.update(stream[:100])
+        cached = online.model()
+        online.update(np.empty((0, 3)))
+        assert online.n_rows_seen == 100
+        assert online.n_updates == 1
+        assert online.model() is cached  # cache survives an idle fold
+
+    def test_update_width_mismatch_rejected(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        online.update(stream[:100])
+        with pytest.raises(ValueError, match="width"):
+            online.update(np.ones((5, 4)))
+        # The failed fold must not corrupt the stream state.
+        assert online.n_rows_seen == 100
+        assert online.n_updates == 1
+
+    def test_fork_is_independent(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        online.update(stream[:250])
+        clone = online.fork()
+        assert clone.n_rows_seen == online.n_rows_seen
+        assert clone.n_updates == online.n_updates
+        assert clone.model().fingerprint() == online.model().fingerprint()
+        # Folding into the clone never disturbs the original...
+        clone.update(stream[250:])
+        assert online.n_rows_seen == 250
+        assert clone.n_rows_seen == 500
+        # ...and the clone now equals one straight-through stream.
+        straight = OnlineRatioRuleModel(3, cutoff=1)
+        straight.update(stream[:250]).update(stream[250:])
+        assert clone.model().fingerprint() == straight.model().fingerprint()
+
+    def test_fork_then_update_original(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1)
+        online.update(stream[:250])
+        clone = online.fork()
+        before = clone.model().fingerprint()
+        online.update(stream[250:])
+        assert clone.n_rows_seen == 250
+        assert clone.model().fingerprint() == before
+
+    def test_fork_preserves_decay(self, stream):
+        online = OnlineRatioRuleModel(3, cutoff=1, decay=0.999)
+        online.update(stream[:250])
+        clone = online.fork()
+        assert clone.decay == pytest.approx(0.999)
+        clone.update(stream[250:])
+        straight = OnlineRatioRuleModel(3, cutoff=1, decay=0.999)
+        straight.update(stream[:250]).update(stream[250:])
+        np.testing.assert_array_equal(
+            clone.model().rules_matrix, straight.model().rules_matrix
+        )
+
     def test_merge_schema_mismatch_rejected(self, stream):
         left = OnlineRatioRuleModel(3, schema=TableSchema.from_names(["a", "b", "c"]))
         right = OnlineRatioRuleModel(3, schema=TableSchema.from_names(["x", "y", "z"]))

@@ -1,6 +1,5 @@
 """Tests for the markdown report generator."""
 
-import pytest
 
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.report import generate_report, render_markdown

@@ -1,17 +1,14 @@
 """Tests for the row-store CRC32 integrity trailer."""
 
-import struct
 
 import numpy as np
 import pytest
 
 from repro.io.rowstore import (
-    MAGIC,
     TRAILER_MAGIC,
     RowStore,
     RowStoreError,
 )
-from repro.io.schema import TableSchema
 
 
 @pytest.fixture

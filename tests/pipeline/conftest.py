@@ -1,0 +1,45 @@
+"""Shared fixtures for the continuous-ingestion pipeline suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.streams import StreamPhase, TransactionStream
+
+
+def make_regime_matrix(
+    seed: int,
+    loadings=(1.0, 2.0, 0.5),
+    n_rows: int = 400,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Rank-1 transactions following one latent spending ratio."""
+    generator = np.random.default_rng(seed)
+    volume = generator.uniform(0.5, 4.0, size=n_rows)
+    matrix = np.outer(volume, np.asarray(loadings, dtype=np.float64))
+    matrix += generator.normal(0.0, noise, size=matrix.shape)
+    return matrix
+
+
+@pytest.fixture
+def drifting_stream() -> TransactionStream:
+    """Two regimes: the spending ratio rotates sharply halfway through."""
+    return TransactionStream(
+        [
+            StreamPhase((1.0, 2.0, 0.5), n_blocks=10, name="before"),
+            StreamPhase((1.0, 0.3, 2.5), n_blocks=10, name="after"),
+        ],
+        block_rows=400,
+        seed=5,
+    )
+
+
+@pytest.fixture
+def stable_stream() -> TransactionStream:
+    """One regime throughout: nothing should ever look drifted."""
+    return TransactionStream(
+        [StreamPhase((1.0, 2.0, 0.5), n_blocks=20, name="steady")],
+        block_rows=400,
+        seed=6,
+    )

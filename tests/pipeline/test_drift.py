@@ -1,0 +1,136 @@
+"""Drift-detector tests: reservoir sampling, GE and angle signals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.pipeline import DriftDetector, ReservoirSample
+
+from tests.pipeline.conftest import make_regime_matrix
+
+pytestmark = pytest.mark.pipeline
+
+
+class TestReservoirSample:
+    def test_fills_to_capacity_then_stays_bounded(self):
+        sample = ReservoirSample(16, seed=1)
+        sample.extend(np.arange(10.0).reshape(5, 2))
+        assert len(sample) == 5
+        sample.extend(np.arange(200.0).reshape(100, 2))
+        assert len(sample) == 16
+        assert sample.n_seen == 105
+        assert sample.rows().shape == (16, 2)
+
+    def test_uniformity_over_the_stream(self):
+        # Algorithm R: after n >> capacity rows, the retained sample
+        # should cover the whole stream, not just its head or tail.
+        sample = ReservoirSample(200, seed=2)
+        sample.extend(np.arange(4000.0).reshape(4000, 1))
+        kept = sample.rows().ravel()
+        assert kept.min() < 1000.0 and kept.max() >= 3000.0
+        assert 1200.0 < np.mean(kept) < 2800.0
+
+    def test_deterministic_in_seed(self):
+        rows = np.arange(500.0).reshape(250, 2)
+        a, b = ReservoirSample(32, seed=9), ReservoirSample(32, seed=9)
+        a.extend(rows)
+        b.extend(rows)
+        np.testing.assert_array_equal(a.rows(), b.rows())
+
+    def test_reset_restores_initial_state(self):
+        sample = ReservoirSample(8, seed=3)
+        sample.extend(np.ones((20, 2)))
+        sample.reset()
+        assert len(sample) == 0
+        assert sample.n_seen == 0
+        assert sample.rows().size == 0
+        assert sample.occupancy == 0.0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ReservoirSample(0)
+
+
+class TestDriftDetector:
+    def _fit(self, seed, loadings=(1.0, 2.0, 0.5)):
+        return RatioRuleModel(cutoff=1).fit(
+            make_regime_matrix(seed, loadings=loadings)
+        )
+
+    def test_abstains_below_min_sample(self):
+        detector = DriftDetector(min_sample_rows=50)
+        detector.observe(make_regime_matrix(0, n_rows=10))
+        report = detector.evaluate(self._fit(1))
+        assert report.guessing_error is None
+        assert not report.drifted
+
+    def test_first_evaluation_anchors_baseline(self):
+        detector = DriftDetector(min_sample_rows=16)
+        detector.observe(make_regime_matrix(0, n_rows=64))
+        report = detector.evaluate(self._fit(1))
+        assert report.guessing_error is not None
+        assert report.baseline_guessing_error == report.guessing_error
+        assert not report.drifted  # the anchor itself can never fire
+
+    def test_ge_fires_when_regime_changes(self):
+        detector = DriftDetector(min_sample_rows=16, ge_ratio=1.25)
+        published = self._fit(1)
+        detector.observe(make_regime_matrix(0, n_rows=64))
+        detector.evaluate(published)  # anchor on same-regime rows
+        detector.reservoir.reset()
+        detector.observe(
+            make_regime_matrix(2, loadings=(1.0, 0.3, 2.5), n_rows=64)
+        )
+        report = detector.evaluate(published)
+        assert report.drifted
+        assert "guessing-error" in report.reasons
+
+    def test_angle_fires_on_rotated_candidate(self):
+        detector = DriftDetector(angle_threshold_degrees=15.0)
+        published = self._fit(1)
+        rotated = self._fit(2, loadings=(1.0, 0.3, 2.5))
+        report = detector.evaluate(published, rotated)
+        assert report.angle_degrees is not None
+        assert report.angle_degrees > 15.0
+        assert report.drifted
+        assert "rule-angle" in report.reasons
+
+    def test_stable_candidate_does_not_fire(self):
+        detector = DriftDetector(angle_threshold_degrees=15.0)
+        report = detector.evaluate(self._fit(1), self._fit(2))
+        assert report.angle_degrees < 5.0
+        assert not report.drifted
+
+    def test_rule_count_change_is_drift(self):
+        detector = DriftDetector()
+        published = self._fit(1)
+        wider = RatioRuleModel(cutoff=2).fit(make_regime_matrix(3))
+        report = detector.evaluate(published, wider)
+        assert report.drifted
+        assert "rule-count" in report.reasons
+
+    def test_rebase_clears_baseline_and_reservoir(self):
+        detector = DriftDetector(min_sample_rows=16)
+        detector.observe(make_regime_matrix(0, n_rows=64))
+        detector.evaluate(self._fit(1))
+        assert detector.baseline_guessing_error is not None
+        detector.rebase()
+        assert detector.baseline_guessing_error is None
+        assert len(detector.reservoir) == 0
+
+    def test_describe_is_human_readable(self):
+        detector = DriftDetector(min_sample_rows=16)
+        detector.observe(make_regime_matrix(0, n_rows=64))
+        report = detector.evaluate(self._fit(1), self._fit(2))
+        text = report.describe()
+        assert "GE1" in text and "angle" in text and "stable" in text
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="ge_ratio"):
+            DriftDetector(ge_ratio=0.5)
+        with pytest.raises(ValueError, match="angle_threshold"):
+            DriftDetector(angle_threshold_degrees=0.0)
+        with pytest.raises(ValueError, match="min_sample_rows"):
+            DriftDetector(min_sample_rows=0)

@@ -1,0 +1,425 @@
+"""End-to-end pipeline tests: the differential guarantee, drift-driven
+refreshes, torn-read safety under concurrent serving, and metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import RatioRuleModel
+from repro.core.reconstruction import fill_matrix
+from repro.io.schema import TableSchema
+from repro.obs.metrics import PipelineMetrics
+from repro.pipeline import (
+    DriftDetector,
+    IngestionPipeline,
+    QueueSource,
+    RefreshPolicy,
+    TransactionStreamSource,
+)
+from repro.serve import BatchFiller, ModelRegistry
+
+from tests.pipeline.conftest import make_regime_matrix
+
+pytestmark = pytest.mark.pipeline
+
+
+def feed(source: QueueSource, matrix: np.ndarray, sizes) -> None:
+    """Chop ``matrix`` into blocks of the given sizes and enqueue them."""
+    start = 0
+    for size in sizes:
+        source.put(matrix[start : start + size])
+        start += size
+    assert start == matrix.shape[0]
+    source.close()
+
+
+class TestDifferentialGuarantee:
+    """A pipeline publish == an offline fit, bit for bit (no decay)."""
+
+    def test_publish_bit_identical_to_offline_fit(self):
+        matrix = make_regime_matrix(0, n_rows=5000)
+        source = QueueSource(3)
+        feed(source, matrix, [7, 130, 513, 1024, 999, 2327])
+        pipeline = IngestionPipeline(
+            source,
+            cutoff=1,
+            block_rows=512,
+            batch_rows=300,
+            policy=RefreshPolicy(min_rows=10**9),  # no auto-publish
+        )
+        pipeline.run()
+        snapshot = pipeline.refresh_now()
+        offline = RatioRuleModel(cutoff=1, block_rows=512).fit(
+            matrix, TableSchema.generic(3)
+        )
+        assert snapshot.fingerprint == offline.fingerprint()
+        np.testing.assert_array_equal(
+            snapshot.model.rules_matrix, offline.rules_matrix
+        )
+        np.testing.assert_array_equal(snapshot.model.means_, offline.means_)
+        np.testing.assert_array_equal(
+            snapshot.model.eigenvalues_, offline.eigenvalues_
+        )
+        assert snapshot.model.n_rows_ == offline.n_rows_
+
+    def test_drift_triggered_publish_is_bit_identical_midstream(self):
+        """The acceptance-criterion case: the publish fired *by drift*,
+        mid-stream, must equal an offline fit over the same effective
+        rows -- everything ingested up to the moment it fired."""
+        before = make_regime_matrix(1, loadings=(1.0, 2.0, 0.5), n_rows=1500)
+        after = make_regime_matrix(2, loadings=(1.0, 0.3, 2.5), n_rows=1500)
+        matrix = np.vstack([before, after])
+        source = QueueSource(3)
+        feed(source, matrix, [250] * 12)
+        pipeline = IngestionPipeline(
+            source,
+            cutoff=1,
+            block_rows=256,
+            batch_rows=250,
+            policy=RefreshPolicy(min_rows=500),
+            detector=DriftDetector(
+                reservoir_capacity=128, angle_threshold_degrees=10.0
+            ),
+        )
+        snapshots = []  # (rows_ingested_at_publish, published fingerprint)
+        while pipeline.step():
+            version = pipeline.registry.latest_version
+            if version > len(snapshots):
+                snapshots.append(
+                    (
+                        pipeline.rows_ingested,
+                        pipeline.registry.current().fingerprint,
+                    )
+                )
+        drift_refreshes = [
+            reason
+            for reason in pipeline.metrics.refresh_reasons
+            if reason.startswith("drift:")
+        ]
+        assert drift_refreshes, "regime change must trigger a drift refresh"
+        assert pipeline.registry.latest_version >= 2
+        # Every publish -- initial and drift-triggered alike -- must be
+        # bit-identical to the offline fit over the rows it covered.
+        for n_rows, fingerprint in snapshots:
+            offline = RatioRuleModel(cutoff=1, block_rows=256).fit(
+                matrix[:n_rows], TableSchema.generic(3)
+            )
+            assert fingerprint == offline.fingerprint()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        block_rows=st.integers(min_value=1, max_value=700),
+        batch_rows=st.integers(min_value=1, max_value=500),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=400), min_size=1, max_size=12
+        ),
+    )
+    def test_any_chunking_matches_offline_fit(
+        self, block_rows, batch_rows, sizes
+    ):
+        """Property: for ANY producer chunking, poll batching, and fold
+        granularity, the published bits equal the offline fit's."""
+        total = sum(sizes)
+        if total < 2:
+            sizes = sizes + [2]
+            total += 2
+        matrix = make_regime_matrix(3, n_rows=total)
+        source = QueueSource(3)
+        feed(source, matrix, sizes)
+        pipeline = IngestionPipeline(
+            source,
+            cutoff=1,
+            block_rows=block_rows,
+            batch_rows=batch_rows,
+            policy=RefreshPolicy(min_rows=10**9),
+        )
+        pipeline.run()
+        snapshot = pipeline.refresh_now()
+        offline = RatioRuleModel(cutoff=1, block_rows=block_rows).fit(
+            matrix, TableSchema.generic(3)
+        )
+        assert snapshot.fingerprint == offline.fingerprint()
+
+
+class TestRefreshBehavior:
+    def test_initial_publish_when_min_rows_reached(self):
+        source = QueueSource(3)
+        feed(source, make_regime_matrix(0, n_rows=300), [100, 100, 100])
+        pipeline = IngestionPipeline(
+            source, cutoff=1, batch_rows=100, policy=RefreshPolicy(min_rows=250)
+        )
+        pipeline.run()
+        assert pipeline.registry.latest_version == 1
+        assert pipeline.metrics.refresh_reasons == {"initial": 1}
+        # 300 rows ingested, published at 300 (first step past the floor).
+        assert pipeline.registry.current().model.n_rows_ == 300
+
+    def test_drift_refresh_on_regime_change(self, drifting_stream):
+        pipeline = IngestionPipeline(
+            TransactionStreamSource(drifting_stream),
+            cutoff=1,
+            batch_rows=400,
+            decay=1.0 - 1.0 / 2000.0,
+            policy=RefreshPolicy(min_rows=800),
+            detector=DriftDetector(
+                reservoir_capacity=256, angle_threshold_degrees=10.0
+            ),
+        )
+        pipeline.run()
+        reasons = pipeline.metrics.refresh_reasons
+        assert any(reason.startswith("drift:") for reason in reasons), reasons
+
+    def test_stable_stream_never_drift_refreshes(self, stable_stream):
+        pipeline = IngestionPipeline(
+            TransactionStreamSource(stable_stream),
+            cutoff=1,
+            batch_rows=400,
+            policy=RefreshPolicy(min_rows=800),
+            detector=DriftDetector(
+                reservoir_capacity=256,
+                angle_threshold_degrees=10.0,
+                ge_ratio=1.5,
+            ),
+        )
+        pipeline.run()
+        assert pipeline.registry.latest_version == 1  # just the initial
+        assert set(pipeline.metrics.refresh_reasons) == {"initial"}
+        assert pipeline.metrics.n_drift_evaluations > 0
+
+    def test_max_rows_forces_refresh_without_drift(self, stable_stream):
+        pipeline = IngestionPipeline(
+            TransactionStreamSource(stable_stream),
+            cutoff=1,
+            batch_rows=400,
+            policy=RefreshPolicy(min_rows=400, max_rows=2000),
+        )
+        pipeline.run()
+        assert pipeline.metrics.refresh_reasons.get("forced:max-rows", 0) >= 2
+
+    def test_min_interval_throttles_publishes(self, drifting_stream):
+        pipeline = IngestionPipeline(
+            TransactionStreamSource(drifting_stream),
+            cutoff=1,
+            batch_rows=400,
+            policy=RefreshPolicy(min_rows=400, min_interval_seconds=3600.0),
+            detector=DriftDetector(angle_threshold_degrees=5.0),
+        )
+        pipeline.run()
+        # Initial publish, then the hour-long cooldown blocks everything.
+        assert pipeline.registry.latest_version == 1
+
+    def test_final_publish_covers_the_tail(self):
+        source = QueueSource(3)
+        feed(source, make_regime_matrix(0, n_rows=120), [40, 40, 40])
+        pipeline = IngestionPipeline(
+            source, cutoff=1, policy=RefreshPolicy(min_rows=10**9)
+        )
+        pipeline.run(final_publish=True)
+        assert pipeline.registry.latest_version == 1
+        assert pipeline.registry.current().model.n_rows_ == 120
+        assert pipeline.metrics.refresh_reasons == {"initial": 1}
+
+    def test_preseeded_registry_is_refreshed_not_reinitialized(self):
+        seed_model = RatioRuleModel(cutoff=1).fit(
+            make_regime_matrix(9), TableSchema.generic(3)
+        )
+        registry = ModelRegistry(seed_model)
+        source = QueueSource(3)
+        feed(
+            source,
+            make_regime_matrix(2, loadings=(1.0, 0.3, 2.5), n_rows=1200),
+            [300] * 4,
+        )
+        pipeline = IngestionPipeline(
+            source,
+            registry=registry,
+            cutoff=1,
+            batch_rows=300,
+            policy=RefreshPolicy(min_rows=600),
+            detector=DriftDetector(angle_threshold_degrees=10.0),
+        )
+        pipeline.run()
+        assert registry.latest_version >= 2
+        assert "initial" not in pipeline.metrics.refresh_reasons
+
+    def test_empty_polls_counted_and_harmless(self):
+        source = QueueSource(3)
+        pipeline = IngestionPipeline(source, cutoff=1)
+        assert pipeline.step()  # idle poll
+        source.put(make_regime_matrix(0, n_rows=50))
+        source.close()
+        pipeline.run(final_publish=True)
+        assert pipeline.metrics.n_empty_polls >= 1
+        assert pipeline.metrics.rows_ingested == 50
+
+    def test_run_max_batches_bounds_the_loop(self):
+        source = QueueSource(3)
+        matrix = make_regime_matrix(0, n_rows=1000)
+        source.put(matrix)
+        pipeline = IngestionPipeline(
+            source, cutoff=1, batch_rows=100,
+            policy=RefreshPolicy(min_rows=10**9),
+        )
+        pipeline.run(max_batches=3)
+        assert pipeline.metrics.n_batches == 3
+        assert pipeline.rows_ingested == 300
+
+
+class TestConcurrentServing:
+    """Refreshes must never tear a concurrent BatchFiller's version."""
+
+    N_READERS = 4
+    FILLS_PER_READER = 30
+
+    def test_readers_never_observe_torn_version(self, drifting_stream):
+        registry = ModelRegistry()
+        pipeline = IngestionPipeline(
+            TransactionStreamSource(drifting_stream),
+            registry=registry,
+            cutoff=1,
+            batch_rows=400,
+            policy=RefreshPolicy(min_rows=400),
+            detector=DriftDetector(angle_threshold_degrees=10.0),
+        )
+        # Publish version 1 so readers have something to serve.
+        while registry.latest_version == 0:
+            assert pipeline.step()
+
+        filler = BatchFiller(registry)
+        batch = make_regime_matrix(7, n_rows=16)
+        batch[:, 1] = np.nan  # one hole pattern; fills hit the model hard
+
+        # Per-version ground truth, recorded by the single writer right
+        # after each publish; fill_matrix is the documented bit-exact
+        # reference for BatchFiller.fill_batch.
+        versions_seen: dict = {}
+
+        def writer():
+            while pipeline.step():
+                snapshot = registry.current()
+                if snapshot.version not in versions_seen:
+                    versions_seen[snapshot.version] = fill_matrix(
+                        batch,
+                        snapshot.model.rules_matrix,
+                        snapshot.model.means_,
+                    )
+
+        snapshot0 = registry.current()
+        versions_seen[snapshot0.version] = fill_matrix(
+            batch, snapshot0.model.rules_matrix, snapshot0.model.means_
+        )
+
+        errors = []
+        results = [[] for _ in range(self.N_READERS)]
+
+        def reader(slot):
+            try:
+                for _ in range(self.FILLS_PER_READER):
+                    result = filler.fill_batch(batch)
+                    results[slot].append((result.version, result.filled))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(self.N_READERS)
+        ]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join()
+        writer_thread.join()
+
+        assert not errors
+        assert registry.latest_version >= 2, "expected at least one refresh"
+        checked = 0
+        for slot_results in results:
+            for version, filled in slot_results:
+                assert version in versions_seen, (
+                    f"response claims unpublished version {version}"
+                )
+                np.testing.assert_array_equal(
+                    filled, versions_seen[version],
+                    err_msg=f"torn read at version {version}",
+                )
+                checked += 1
+        assert checked == self.N_READERS * self.FILLS_PER_READER
+
+
+class TestMetrics:
+    def test_counters_track_the_run(self, drifting_stream):
+        metrics = PipelineMetrics()
+        pipeline = IngestionPipeline(
+            TransactionStreamSource(drifting_stream),
+            cutoff=1,
+            batch_rows=400,
+            metrics=metrics,
+            policy=RefreshPolicy(min_rows=800),
+            detector=DriftDetector(
+                reservoir_capacity=128, angle_threshold_degrees=10.0
+            ),
+        )
+        result = pipeline.run()
+        assert result is metrics
+        assert metrics.rows_ingested == 8000
+        assert metrics.n_batches == 20
+        assert metrics.n_blocks_folded > 0
+        assert metrics.n_refreshes == sum(metrics.refresh_reasons.values())
+        assert metrics.n_drift_evaluations > 0
+        assert metrics.last_version == pipeline.registry.latest_version
+        assert metrics.reservoir_capacity == 128
+        assert 0.0 <= metrics.reservoir_occupancy <= 1.0
+        assert metrics.ingest_seconds >= 0.0
+
+    def test_round_trip_and_merge(self):
+        metrics = PipelineMetrics(
+            rows_ingested=100,
+            n_batches=4,
+            n_refreshes=2,
+            refresh_reasons={"initial": 1, "drift:rule-angle": 1},
+        )
+        clone = PipelineMetrics.from_json(metrics.to_json())
+        assert clone.to_dict() == metrics.to_dict()
+        other = PipelineMetrics(
+            rows_ingested=50, n_refreshes=1, refresh_reasons={"final": 1}
+        )
+        metrics.merge(other)
+        assert metrics.rows_ingested == 150
+        assert metrics.n_refreshes == 3
+        assert metrics.refresh_reasons == {
+            "initial": 1,
+            "drift:rule-angle": 1,
+            "final": 1,
+        }
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown PipelineMetrics"):
+            PipelineMetrics.from_dict({"bogus": 1})
+
+    def test_render_mentions_the_essentials(self):
+        metrics = PipelineMetrics(rows_ingested=1234, n_refreshes=1)
+        text = metrics.render()
+        assert "1,234" in text
+        assert "refresh" in text
+
+
+class TestValidation:
+    def test_block_rows_validated(self):
+        with pytest.raises(ValueError, match="block_rows"):
+            IngestionPipeline(QueueSource(2), block_rows=0)
+
+    def test_batch_rows_validated(self):
+        with pytest.raises(ValueError, match="batch_rows"):
+            IngestionPipeline(QueueSource(2), batch_rows=0)
+
+    def test_refresh_now_before_enough_rows_raises(self):
+        pipeline = IngestionPipeline(QueueSource(2))
+        with pytest.raises(ValueError, match="rows"):
+            pipeline.refresh_now()

@@ -1,0 +1,105 @@
+"""Refresh-policy tests: gates and decisions, no data needed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import RefreshPolicy
+from repro.pipeline.drift import DriftReport
+
+pytestmark = pytest.mark.pipeline
+
+
+def make_report(drifted: bool, reasons=("rule-angle",)) -> DriftReport:
+    return DriftReport(
+        drifted=drifted,
+        reasons=tuple(reasons) if drifted else (),
+        guessing_error=1.0,
+        baseline_guessing_error=0.8,
+        angle_degrees=20.0 if drifted else 1.0,
+        k_published=1,
+        k_candidate=1,
+        n_sample_rows=100,
+    )
+
+
+class TestGates:
+    def test_min_rows_blocks(self):
+        policy = RefreshPolicy(min_rows=100)
+        assert not policy.gate(rows_since_refresh=99, seconds_since_refresh=1e9)
+        assert policy.gate(rows_since_refresh=100, seconds_since_refresh=1e9)
+
+    def test_min_interval_blocks(self):
+        policy = RefreshPolicy(min_rows=1, min_interval_seconds=30.0)
+        assert not policy.gate(rows_since_refresh=10**6, seconds_since_refresh=29.9)
+        assert policy.gate(rows_since_refresh=10**6, seconds_since_refresh=30.0)
+
+
+class TestDecisions:
+    def test_drift_triggers_inside_gates(self):
+        policy = RefreshPolicy(min_rows=10)
+        decision = policy.decide(
+            make_report(True), rows_since_refresh=50, seconds_since_refresh=1.0
+        )
+        assert decision.refresh
+        assert decision.reason == "drift:rule-angle"
+
+    def test_drift_blocked_by_cooldown(self):
+        policy = RefreshPolicy(min_rows=10, min_interval_seconds=60.0)
+        decision = policy.decide(
+            make_report(True), rows_since_refresh=50, seconds_since_refresh=5.0
+        )
+        assert not decision.refresh
+        assert decision.reason == ""
+
+    def test_no_drift_no_refresh(self):
+        policy = RefreshPolicy(min_rows=10)
+        decision = policy.decide(
+            make_report(False), rows_since_refresh=50, seconds_since_refresh=1.0
+        )
+        assert not decision.refresh
+
+    def test_max_rows_forces_without_drift(self):
+        policy = RefreshPolicy(min_rows=10, max_rows=1000)
+        decision = policy.decide(
+            make_report(False),
+            rows_since_refresh=1000,
+            seconds_since_refresh=1.0,
+        )
+        assert decision.refresh
+        assert decision.reason == "forced:max-rows"
+
+    def test_max_rows_wins_over_drift_reason(self):
+        policy = RefreshPolicy(min_rows=10, max_rows=1000)
+        decision = policy.decide(
+            make_report(True), rows_since_refresh=5000, seconds_since_refresh=1.0
+        )
+        assert decision.reason == "forced:max-rows"
+
+    def test_drift_disabled_policy_only_forces(self):
+        policy = RefreshPolicy(min_rows=10, refresh_on_drift=False)
+        decision = policy.decide(
+            make_report(True), rows_since_refresh=50, seconds_since_refresh=1.0
+        )
+        assert not decision.refresh
+
+    def test_none_report_is_no_drift(self):
+        policy = RefreshPolicy(min_rows=10)
+        decision = policy.decide(
+            None, rows_since_refresh=50, seconds_since_refresh=1.0
+        )
+        assert not decision.refresh
+
+
+class TestValidation:
+    def test_min_rows_validated(self):
+        with pytest.raises(ValueError, match="min_rows"):
+            RefreshPolicy(min_rows=0)
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError, match="min_interval_seconds"):
+            RefreshPolicy(min_interval_seconds=-1.0)
+
+    def test_max_rows_must_cover_min_rows(self):
+        with pytest.raises(ValueError, match="max_rows"):
+            RefreshPolicy(min_rows=100, max_rows=50)

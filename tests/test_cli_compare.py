@@ -1,7 +1,6 @@
 """Tests for the `compare` CLI subcommand."""
 
 import numpy as np
-import pytest
 
 from repro.cli import main
 from repro.core.model import RatioRuleModel

@@ -1,7 +1,5 @@
 """Tests for the `verify` CLI subcommand."""
 
-import numpy as np
-import pytest
 
 from repro.cli import main
 from repro.io.partitioned import write_partitioned

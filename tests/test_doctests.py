@@ -9,11 +9,13 @@ import doctest
 import pytest
 
 import repro.core.model
+import repro.pipeline.pipeline
 import repro.serve.batch
 import repro.serve.registry
 
 MODULES_WITH_DOCTESTS = [
     repro.core.model,
+    repro.pipeline.pipeline,
     repro.serve.batch,
     repro.serve.registry,
 ]
