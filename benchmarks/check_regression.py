@@ -49,6 +49,7 @@ DEFAULT_RESULTS_DIR = BENCH_DIR / "results"
 PAIRINGS = {
     "BENCH_serve.json": "serve_speedup.json",
     "BENCH_engine.json": "engine_scaleup.json",
+    "BENCH_obs.json": "obs_overhead.json",
 }
 
 

@@ -1,0 +1,128 @@
+"""Observability overhead: tracing must be (nearly) free when off.
+
+The tentpole's performance contract: instrumenting the scan engine
+with spans costs **under 2%** when tracing is disabled (the hot path
+pays one boolean check and a shared null-span object per span site)
+and **under 10%** when tracing is enabled.
+
+Three timings over the identical serial scan workload:
+
+- *reference*: the raw accumulator loop -- same chunking, same block
+  folds, same merges -- with no engine bookkeeping at all;
+- *disabled*: ``scan_sources`` with tracing off (the default);
+- *enabled*: ``scan_sources`` with tracing on.
+
+Both ratios are higher-is-better (1.0 = free) so the regression gate
+in ``check_regression.py`` can watch them like any other metric.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.covariance import StreamingCovariance
+from repro.core.engine import scan_sources
+from repro.obs.tracing import get_tracer, set_tracing
+
+pytestmark = pytest.mark.obs
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_ROWS = 150_000
+N_COLS = 24
+N_CHUNKS = 4
+BLOCK_ROWS = 4096
+REPEATS = 5
+MAX_DISABLED_OVERHEAD = 0.02
+MAX_ENABLED_OVERHEAD = 0.10
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(23)
+    return rng.normal(5.0, 2.0, size=(N_ROWS, N_COLS))
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def reference_scan(matrix: np.ndarray) -> StreamingCovariance:
+    """The engine's serial scan, stripped to its numpy essentials."""
+    total = StreamingCovariance(matrix.shape[1])
+    chunk_rows = matrix.shape[0] // N_CHUNKS
+    for index in range(N_CHUNKS):
+        lo = index * chunk_rows
+        hi = matrix.shape[0] if index == N_CHUNKS - 1 else lo + chunk_rows
+        partial = StreamingCovariance(matrix.shape[1])
+        for start in range(lo, hi, BLOCK_ROWS):
+            partial.update(matrix[start : min(start + BLOCK_ROWS, hi)])
+        total.merge(partial)
+    return total
+
+
+def test_tracing_overhead(matrix):
+    engine = lambda: scan_sources(  # noqa: E731
+        [matrix], executor="serial", target_chunks=N_CHUNKS,
+        block_rows=BLOCK_ROWS,
+    )
+
+    set_tracing(False)
+    get_tracer().clear()
+    t_reference = best_of(lambda: reference_scan(matrix))
+    t_disabled = best_of(engine)
+
+    set_tracing(True)
+    try:
+        t_enabled = best_of(engine)
+    finally:
+        set_tracing(False)
+        get_tracer().clear()
+
+    disabled_vs_reference = t_reference / t_disabled
+    enabled_vs_disabled = t_disabled / t_enabled
+    disabled_overhead = t_disabled / t_reference - 1.0
+    enabled_overhead = t_enabled / t_disabled - 1.0
+
+    lines = [
+        "Observability overhead: serial engine scan, tracing off/on",
+        f"  workload: {N_ROWS} rows x {N_COLS} cols, {N_CHUNKS} chunks, "
+        f"blocks of {BLOCK_ROWS} (best of {REPEATS})",
+        f"  raw accumulator loop:  {t_reference * 1e3:8.2f} ms",
+        f"  engine, tracing off:   {t_disabled * 1e3:8.2f} ms "
+        f"({disabled_overhead * 100:+.2f}% vs reference, "
+        f"limit +{MAX_DISABLED_OVERHEAD * 100:.0f}%)",
+        f"  engine, tracing on:    {t_enabled * 1e3:8.2f} ms "
+        f"({enabled_overhead * 100:+.2f}% vs tracing off, "
+        f"limit +{MAX_ENABLED_OVERHEAD * 100:.0f}%)",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs_overhead.txt").write_text("\n".join(lines) + "\n")
+    # Machine-readable twin, consumed by benchmarks/check_regression.py
+    # against BENCH_obs.json.  Both ratios are higher-is-better.
+    (RESULTS_DIR / "obs_overhead.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "obs_overhead",
+                "cpu_count": os.cpu_count() or 1,
+                "metrics": {
+                    "disabled_vs_reference": disabled_vs_reference,
+                    "enabled_vs_disabled": enabled_vs_disabled,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD, "\n".join(lines)
+    assert enabled_overhead < MAX_ENABLED_OVERHEAD, "\n".join(lines)

@@ -36,6 +36,15 @@ Subcommands
     ``fig8``, ``fig9+fig11``, ``fig12``, ``table2``) or ``all``.
 ``generate``
     Materialize one of the simulated datasets to CSV.
+``obs``
+    Observability utilities: ``obs dump`` pretty-prints a span trace
+    written by ``--trace`` or a metrics JSON scrape.
+
+The ``fit``, ``serve-batch``, and ``pipeline`` subcommands accept
+``--trace TRACE.json`` (enable span tracing for the run and dump the
+span tree on exit) and ``--metrics-port PORT`` (expose a Prometheus
+``/metrics`` + ``/metrics.json`` endpoint for the duration of the
+run -- most useful with long-running ``pipeline --follow``).
 """
 
 from __future__ import annotations
@@ -47,6 +56,17 @@ from typing import List, Optional
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to a subcommand."""
+    sub.add_argument("--trace", metavar="TRACE.json", default=None,
+                     help="enable span tracing for this run and write the "
+                          "span dump here (pretty-print with 'obs dump')")
+    sub.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                     help="serve a Prometheus /metrics (and /metrics.json) "
+                          "endpoint on 127.0.0.1:PORT for the duration of "
+                          "the run (0 picks a free port)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--resume", action="store_true",
                      help="resume from --checkpoint if it exists (the "
                           "resumed model is exactly the uninterrupted one)")
+    _add_obs_arguments(fit)
 
     rules = subparsers.add_parser("rules", help="print the rules of a saved model")
     rules.add_argument("model", help="model .npz produced by 'fit --save'")
@@ -133,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_batch.add_argument("--stats", action="store_true",
                              help="print serving telemetry (cache hit/miss/"
                                   "eviction, group sizes, latency percentiles)")
+    _add_obs_arguments(serve_batch)
 
     pipeline = subparsers.add_parser(
         "pipeline",
@@ -183,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="save the final published model")
     pipeline.add_argument("--stats", action="store_true",
                           help="print ingestion/drift/refresh telemetry")
+    _add_obs_arguments(pipeline)
 
     ge = subparsers.add_parser("ge", help="guessing error of a model on test data")
     ge.add_argument("model", help="model .npz produced by 'fit --save'")
@@ -268,6 +291,19 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("output", help="output .csv path")
     generate.add_argument("--seed", type=int, default=0)
 
+    obs = subparsers.add_parser(
+        "obs", help="observability utilities (trace/metrics dumps)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump",
+        help="pretty-print a span trace (--trace output) or a metrics "
+             "JSON scrape (/metrics.json)",
+    )
+    obs_dump.add_argument(
+        "path", help="trace JSON written by --trace, or metrics JSON"
+    )
+
     return parser
 
 
@@ -303,6 +339,87 @@ def _load_csv_with_holes(path: str):
                 [float(cell) if cell.strip() else float("nan") for cell in record]
             )
     return np.asarray(rows, dtype=np.float64), schema
+
+
+class _ObsSession:
+    """Per-invocation observability scope behind ``--trace`` /
+    ``--metrics-port``.
+
+    Entering the session turns tracing on (when ``--trace`` was given)
+    and starts the ``/metrics`` endpoint (when ``--metrics-port`` was
+    given) over a private registry; exiting dumps the span tree and
+    stops the endpoint.  Commands call :meth:`register` with their
+    metrics records so the endpoint can scrape them live.  With
+    neither flag present every method is a no-op.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_port = getattr(args, "metrics_port", None)
+        self._server = None
+
+    def __enter__(self) -> "_ObsSession":
+        if self.trace_path is not None:
+            from repro.obs import get_tracer, set_tracing
+
+            get_tracer().clear()
+            set_tracing(True)
+        if self.metrics_port is not None:
+            from repro.obs import MetricsRegistry, MetricsServer
+
+            self._server = MetricsServer(
+                MetricsRegistry(), port=self.metrics_port
+            )
+            bound = self._server.start()
+            print(
+                f"metrics endpoint: http://127.0.0.1:{bound}/metrics",
+                file=sys.stderr,
+            )
+        return self
+
+    def register(self, record) -> None:
+        """Expose a metrics record on the ``/metrics`` endpoint."""
+        if self._server is None or record is None:
+            return
+        from repro.obs import (
+            PipelineMetrics,
+            ScanMetrics,
+            ServeMetrics,
+            register_pipeline_metrics,
+            register_scan_metrics,
+            register_serve_metrics,
+        )
+
+        registry = self._server.registry
+        if isinstance(record, ScanMetrics):
+            register_scan_metrics(registry, record)
+        elif isinstance(record, ServeMetrics):
+            register_serve_metrics(registry, record)
+        elif isinstance(record, PipelineMetrics):
+            register_pipeline_metrics(registry, record)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.trace_path is not None:
+            from repro.obs import dump_spans, get_tracer, set_tracing
+
+            set_tracing(False)
+            n_spans = dump_spans(self.trace_path)
+            get_tracer().clear()
+            print(
+                f"trace: wrote {n_spans} span(s) to {self.trace_path} "
+                f"(pretty-print with 'ratio-rules obs dump')",
+                file=sys.stderr,
+            )
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+
+def _obs_register(args: argparse.Namespace, record) -> None:
+    """Register a metrics record with the run's observability session."""
+    session = getattr(args, "_obs", None)
+    if session is not None:
+        session.register(record)
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
@@ -351,6 +468,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     else:
         model = RatioRuleModel(cutoff=cutoff, backend=args.backend)
         model.fit(args.data)
+    _obs_register(args, model.metrics_)
     if model.metrics_ is not None and model.metrics_.n_quarantined:
         print(
             f"warning: quarantined {model.metrics_.n_quarantined} bad "
@@ -443,6 +561,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         underdetermined=args.underdetermined,
     )
+    _obs_register(args, filler.metrics)
     batch_size = args.batch_size or max(len(matrix), 1)
     pieces = []
     for start in range(0, len(matrix), batch_size):
@@ -503,6 +622,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         policy=policy,
         detector=detector,
     )
+    _obs_register(args, pipeline.metrics)
     registry = pipeline.registry
     last_version = 0
 
@@ -841,6 +961,64 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_metrics_dump(payload: dict) -> str:
+    """Flat ``name{labels} value`` rendering of a metrics JSON scrape."""
+    lines = []
+    for family in payload.get("families", []):
+        for sample in family.get("samples", []):
+            labels = sample.get("labels") or {}
+            label_text = (
+                "{"
+                + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                + "}"
+                if labels
+                else ""
+            )
+            lines.append(f"{family['name']}{label_text} {sample['value']:g}")
+        for histogram in family.get("histograms", []):
+            labels = histogram.get("labels") or {}
+            label_text = (
+                " " + ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                if labels
+                else ""
+            )
+            lines.append(
+                f"{family['name']}{label_text} histogram: "
+                f"count {histogram['count']}, sum {histogram['sum']:g}"
+            )
+            for bucket in histogram.get("buckets", []):
+                lines.append(f"  le {bucket['le']:>10}: {bucket['count']}")
+    return "\n".join(lines)
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.tracing import render_span_tree
+
+    try:
+        with open(args.path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if isinstance(payload, dict) and "spans" in payload:
+            print(render_span_tree(payload))
+            return 0
+        if isinstance(payload, dict) and "families" in payload:
+            print(_render_metrics_dump(payload))
+            return 0
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+    print(
+        f"error: {args.path} is neither a span trace (expected a 'spans' "
+        f"key) nor a metrics scrape (expected a 'families' key)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 _COMMANDS = {
     "fit": _cmd_fit,
     "rules": _cmd_rules,
@@ -857,6 +1035,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
     "generate": _cmd_generate,
+    "obs": _cmd_obs,
 }
 
 
@@ -864,7 +1043,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    with _ObsSession(args) as session:
+        args._obs = session
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -90,6 +90,7 @@ from repro.io.partitioned import PartitionedReader
 from repro.io.rowstore import RowStore
 from repro.io.schema import TableSchema
 from repro.obs.metrics import ScanMetrics, Stopwatch
+from repro.obs.tracing import Tracer, adopt_spans, span, tracing_enabled
 
 __all__ = [
     "ScanChunk",
@@ -481,12 +482,33 @@ def scan_chunk(chunk: ScanChunk, block_rows: int = 4096) -> Tuple[StreamingCovar
             reader.close()
 
 
-def _scan_chunk_task(args) -> Tuple[StreamingCovariance, int]:
-    """Worker entry point: apply injected faults, then scan the chunk."""
-    chunk, block_rows, fault_injector, chunk_index = args
+def _scan_chunk_task(args) -> Tuple[StreamingCovariance, int, Optional[list]]:
+    """Worker entry point: apply injected faults, then scan the chunk.
+
+    Returns ``(partial, n_blocks, spans)`` where ``spans`` is a list
+    of plain span dicts when tracing was requested (``None``
+    otherwise).  Spans are recorded on a *private* tracer -- not the
+    worker process's global one -- exported, and piggybacked on the
+    result tuple so the coordinator can re-parent them under its scan
+    span regardless of which fabric (process/thread/serial) ran the
+    chunk.  ``time.perf_counter`` is ``CLOCK_MONOTONIC`` system-wide
+    on Linux, so the shipped timestamps are directly comparable to
+    the coordinator's.
+    """
+    chunk, block_rows, fault_injector, chunk_index, trace = args
     if fault_injector is not None:
         fault_injector.on_chunk_start(chunk_index)
-    return scan_chunk(chunk, block_rows)
+    if not trace:
+        accumulator, n_blocks = scan_chunk(chunk, block_rows)
+        return accumulator, n_blocks, None
+    tracer = Tracer(enabled=True)
+    with tracer.span(
+        "scan.chunk", chunk_index=chunk_index, kind=chunk.kind
+    ) as chunk_span:
+        accumulator, n_blocks = scan_chunk(chunk, block_rows)
+        chunk_span.set_attr("rows", accumulator.n_rows)
+        chunk_span.set_attr("blocks", n_blocks)
+    return accumulator, n_blocks, tracer.export()
 
 
 def _resolve_executor(
@@ -551,25 +573,34 @@ def _execute_chunks(
     metrics: ScanMetrics,
     fault_injector,
     checkpoint: Optional[ScanCheckpoint],
-) -> Tuple[Dict[int, Tuple[StreamingCovariance, int]], str]:
+    trace: bool = False,
+) -> Tuple[Dict[int, Tuple[StreamingCovariance, int]], str, Dict[int, list]]:
     """Run the pending chunk indices with retry/quarantine/degradation.
 
-    Returns the successful partials keyed by plan index plus the fabric
-    the scan ended on (after any downgrades).  Chunks that exhaust the
-    retry budget are quarantined or raise per ``on_bad_chunk``; every
-    success is recorded on ``checkpoint`` (when given) the moment it
-    lands, so an interruption at any point preserves all finished work.
+    Returns the successful partials keyed by plan index, the fabric
+    the scan ended on (after any downgrades), and -- when ``trace`` is
+    set -- the per-chunk span payloads the workers shipped back.
+    Chunks that exhaust the retry budget are quarantined or raise per
+    ``on_bad_chunk``; every success is recorded on ``checkpoint``
+    (when given) the moment it lands, so an interruption at any point
+    preserves all finished work.
     """
     results: Dict[int, Tuple[StreamingCovariance, int]] = {}
+    worker_spans: Dict[int, list] = {}
     attempts = {index: 0 for index in pending}
     queue = list(pending)
     current = executor
     round_index = 0
 
-    def _succeed(index: int, outcome: Tuple[StreamingCovariance, int]) -> None:
-        results[index] = outcome
+    def _succeed(
+        index: int, outcome: Tuple[StreamingCovariance, int, Optional[list]]
+    ) -> None:
+        accumulator, n_blocks, spans = outcome
+        results[index] = (accumulator, n_blocks)
+        if spans:
+            worker_spans[index] = spans
         if checkpoint is not None:
-            checkpoint.record(index, outcome[0], outcome[1])
+            checkpoint.record(index, accumulator, n_blocks)
 
     while queue:
         if round_index > 0:
@@ -584,7 +615,13 @@ def _execute_chunks(
                     _succeed(
                         index,
                         _scan_chunk_task(
-                            (chunks[index], block_rows, fault_injector, index)
+                            (
+                                chunks[index],
+                                block_rows,
+                                fault_injector,
+                                index,
+                                trace,
+                            )
                         ),
                     )
                 except Exception as exc:
@@ -601,7 +638,13 @@ def _execute_chunks(
                 futures = {
                     index: pool.submit(
                         _scan_chunk_task,
-                        (chunks[index], block_rows, fault_injector, index),
+                        (
+                            chunks[index],
+                            block_rows,
+                            fault_injector,
+                            index,
+                            trace,
+                        ),
                     )
                     for index in queue
                 }
@@ -665,7 +708,7 @@ def _execute_chunks(
                 ) from error
         round_index += 1
 
-    return results, current
+    return results, current, worker_spans
 
 
 def scan_sources(
@@ -766,57 +809,65 @@ def scan_sources(
         desired_workers = os.cpu_count() or 1
 
     metrics = ScanMetrics()
-    with Stopwatch() as total_watch:
-        target = target_chunks or max(len(sources), desired_workers)
-        shares = _proportional_shares([1] * len(sources), target)
-        chunks: List[ScanChunk] = []
-        resolved_schema = schema
-        widths = {}
-        for source, share in zip(sources, shares):
-            source_chunks, source_schema = plan_chunks(
-                source, target_chunks=share, schema=schema
-            )
-            chunks.extend(source_chunks)
-            widths[source_schema.width] = True
-            if resolved_schema is None:
-                resolved_schema = source_schema
-        if len(widths) > 1:
-            raise ValueError(
-                f"shards disagree on column count: {sorted(widths)}"
-            )
-
-        store: Optional[ScanCheckpoint] = None
-        completed: Dict[int, Tuple[StreamingCovariance, int]] = {}
-        if checkpoint is not None:
-            unsupported = [c.kind for c in chunks if not c.picklable]
-            if unsupported:
-                raise ValueError(
-                    "checkpointing requires file-backed sources; got chunk "
-                    f"kind(s) {sorted(set(unsupported))}"
+    trace = tracing_enabled()
+    with span(
+        "engine.scan", n_sources=len(sources), executor=executor
+    ) as scan_span, Stopwatch() as total_watch:
+        with span("engine.plan"):
+            target = target_chunks or max(len(sources), desired_workers)
+            shares = _proportional_shares([1] * len(sources), target)
+            chunks: List[ScanChunk] = []
+            resolved_schema = schema
+            widths = {}
+            for source, share in zip(sources, shares):
+                source_chunks, source_schema = plan_chunks(
+                    source, target_chunks=share, schema=schema
                 )
-            checkpoint_path = Path(checkpoint)
-            if resume and checkpoint_path.exists():
-                store = ScanCheckpoint.load(checkpoint_path)
-                if not store.matches(chunks, block_rows):
-                    raise ValueError(
-                        f"checkpoint {checkpoint_path} was written for a "
-                        "different scan plan (sources, chunking, or "
-                        "block_rows changed); delete it or rerun without "
-                        "resume"
-                    )
-                completed = store.completed
-            else:
-                store = ScanCheckpoint(checkpoint_path)
-                store.bind_plan(chunks, block_rows)
-        metrics.n_chunks_resumed = len(completed)
+                chunks.extend(source_chunks)
+                widths[source_schema.width] = True
+                if resolved_schema is None:
+                    resolved_schema = source_schema
+            if len(widths) > 1:
+                raise ValueError(
+                    f"shards disagree on column count: {sorted(widths)}"
+                )
 
-        pending = [index for index in range(len(chunks)) if index not in completed]
-        effective, workers = _resolve_executor(
-            executor, [chunks[index] for index in pending] or chunks, desired_workers
-        )
+            store: Optional[ScanCheckpoint] = None
+            completed: Dict[int, Tuple[StreamingCovariance, int]] = {}
+            if checkpoint is not None:
+                unsupported = [c.kind for c in chunks if not c.picklable]
+                if unsupported:
+                    raise ValueError(
+                        "checkpointing requires file-backed sources; got "
+                        f"chunk kind(s) {sorted(set(unsupported))}"
+                    )
+                checkpoint_path = Path(checkpoint)
+                if resume and checkpoint_path.exists():
+                    store = ScanCheckpoint.load(checkpoint_path)
+                    if not store.matches(chunks, block_rows):
+                        raise ValueError(
+                            f"checkpoint {checkpoint_path} was written for a "
+                            "different scan plan (sources, chunking, or "
+                            "block_rows changed); delete it or rerun without "
+                            "resume"
+                        )
+                    completed = store.completed
+                else:
+                    store = ScanCheckpoint(checkpoint_path)
+                    store.bind_plan(chunks, block_rows)
+            metrics.n_chunks_resumed = len(completed)
+
+            pending = [
+                index for index in range(len(chunks)) if index not in completed
+            ]
+            effective, workers = _resolve_executor(
+                executor,
+                [chunks[index] for index in pending] or chunks,
+                desired_workers,
+            )
 
         with Stopwatch() as scan_watch:
-            scanned, final_executor = _execute_chunks(
+            scanned, final_executor, worker_spans = _execute_chunks(
                 chunks,
                 pending,
                 effective,
@@ -827,7 +878,13 @@ def scan_sources(
                 metrics,
                 fault_injector,
                 store,
+                trace,
             )
+            # Re-home the spans the workers shipped back: their root
+            # scan.chunk spans become children of this coordinator's
+            # engine.scan span, in plan order.
+            for index in sorted(worker_spans):
+                adopt_spans(worker_spans[index], parent=scan_span)
             results = dict(completed)
             results.update(scanned)
 
@@ -835,15 +892,19 @@ def scan_sources(
             # retried, and freshly scanned alike -- so the merge
             # sequence (and hence the bits) never depends on which
             # chunks faulted along the way.
-            merged = StreamingCovariance(chunks[0].n_cols)
-            for index in range(len(chunks)):
-                if index not in results:
-                    continue  # quarantined
-                partial, n_blocks = results[index]
-                merged.merge(partial)
-                metrics.n_merges += 1
-                metrics.n_blocks += n_blocks
+            with span("engine.merge", n_partials=len(results)):
+                merged = StreamingCovariance(chunks[0].n_cols)
+                for index in range(len(chunks)):
+                    if index not in results:
+                        continue  # quarantined
+                    partial, n_blocks = results[index]
+                    merged.merge(partial)
+                    metrics.n_merges += 1
+                    metrics.n_blocks += n_blocks
         metrics.scan_seconds = scan_watch.seconds
+        scan_span.set_attr("executor_used", final_executor)
+        scan_span.set_attr("n_chunks", len(chunks))
+        scan_span.set_attr("n_rows", merged.n_rows)
 
     metrics.executor = final_executor
     metrics.n_workers = workers

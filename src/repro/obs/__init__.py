@@ -1,4 +1,4 @@
-"""Observability: lightweight instrumentation for the mining pipeline.
+"""Observability: instrumentation for the mining + serving pipeline.
 
 The paper's headline claim is a *performance* claim -- one sequential
 scan, a tiny solve -- so the library should be able to quantify its own
@@ -15,17 +15,81 @@ measurement substrate:
   (:class:`~repro.obs.metrics.PipelineMetrics`): rows/batches
   ingested, drift scores, refresh counts and latency, reservoir
   occupancy for :mod:`repro.pipeline`.
+- :mod:`repro.obs.tracing` -- span-based tracing of *where* the time
+  went: a ``with span("scan.chunk", rows=...)`` context-manager API on
+  the monotonic clock, a bounded in-memory buffer, and cross-process
+  collection of spans emitted inside process-pool scan workers.
+  Disabled by default; :func:`~repro.obs.tracing.set_tracing` turns it
+  on, the CLI ``--trace <path>`` flag dumps the result.
+- :mod:`repro.obs.registry` -- a thread-safe
+  :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges,
+  and fixed-bucket histograms, with adapters that expose live
+  ``ScanMetrics`` / ``ServeMetrics`` / ``PipelineMetrics`` records as
+  scrape targets.
+- :mod:`repro.obs.export` -- Prometheus text-format and JSON
+  exporters over a registry, plus an optional stdlib ``http.server``
+  ``/metrics`` endpoint (CLI ``--metrics-port``).
 
-It is dependency-free and cheap enough to stay on in production: the
-counters are plain ints/floats updated once per block, once per fit,
-or once per served batch -- never per cell.
+The record counters are plain ints/floats updated once per block, once
+per fit, or once per served batch -- never per cell -- and tracing off
+is one boolean check, so the default configuration stays production
+cheap (see ``benchmarks/test_obs_overhead.py``).
 """
 
+from repro.obs.export import MetricsServer, to_json, to_prometheus
 from repro.obs.metrics import (
     PipelineMetrics,
     ScanMetrics,
     ServeMetrics,
     Stopwatch,
 )
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    register_pipeline_metrics,
+    register_scan_metrics,
+    register_serve_metrics,
+)
+from repro.obs.tracing import (
+    Tracer,
+    adopt_spans,
+    drain_spans,
+    dump_spans,
+    export_current_spans,
+    get_tracer,
+    set_tracing,
+    span,
+    traced,
+    tracing_enabled,
+)
 
-__all__ = ["PipelineMetrics", "ScanMetrics", "ServeMetrics", "Stopwatch"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "PipelineMetrics",
+    "ScanMetrics",
+    "ServeMetrics",
+    "Stopwatch",
+    "Tracer",
+    "adopt_spans",
+    "drain_spans",
+    "dump_spans",
+    "export_current_spans",
+    "get_registry",
+    "get_tracer",
+    "register_pipeline_metrics",
+    "register_scan_metrics",
+    "register_serve_metrics",
+    "set_tracing",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "traced",
+    "tracing_enabled",
+]

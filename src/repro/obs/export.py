@@ -1,0 +1,226 @@
+"""Exporters for :class:`~repro.obs.registry.MetricsRegistry` scrapes.
+
+Three consumers of :meth:`MetricsRegistry.collect
+<repro.obs.registry.MetricsRegistry.collect>` output:
+
+* :func:`to_prometheus` -- the Prometheus *text exposition format*
+  (``# HELP`` / ``# TYPE`` headers, escaped label values, cumulative
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` rows for histograms);
+* :func:`to_json` / :func:`to_json_obj` -- a structured JSON document
+  for ``obs dump`` and programmatic consumers;
+* :class:`MetricsServer` -- an optional stdlib ``http.server``
+  endpoint (``/metrics`` for Prometheus, ``/metrics.json`` for JSON)
+  for long-running ``ratio-rules pipeline --follow`` and serving
+  processes.  One daemon thread, no dependencies, ``port=0`` binds an
+  ephemeral port (handy in tests).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .registry import MetricFamily, MetricsRegistry
+
+__all__ = ["MetricsServer", "to_json", "to_json_obj", "to_prometheus"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else repr(float(bound))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render one scrape in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        if family.type == "histogram":
+            for labels, buckets, total, count in family.histogram_rows:
+                for bound, cumulative in buckets:
+                    bucket_labels = tuple(labels) + (
+                        ("le", _format_bound(bound)),
+                    )
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(total)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_format_labels(labels)} {count}"
+                )
+        else:
+            for sample in family.samples:
+                lines.append(
+                    f"{family.name}{_format_labels(sample.labels)} "
+                    f"{_format_value(sample.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _family_obj(family: MetricFamily) -> Dict[str, Any]:
+    obj: Dict[str, Any] = {
+        "name": family.name,
+        "type": family.type,
+        "help": family.help,
+        "samples": [
+            {"labels": sample.labels_dict(), "value": sample.value}
+            for sample in family.samples
+        ],
+    }
+    if family.type == "histogram":
+        obj["histograms"] = [
+            {
+                "labels": dict(labels),
+                "buckets": [
+                    {"le": _format_bound(bound), "count": cumulative}
+                    for bound, cumulative in buckets
+                ],
+                "sum": total,
+                "count": count,
+            }
+            for labels, buckets, total, count in family.histogram_rows
+        ]
+    return obj
+
+
+def to_json_obj(registry: MetricsRegistry) -> Dict[str, Any]:
+    """One scrape as a plain JSON-ready object."""
+    return {
+        "format": "repro-metrics/1",
+        "families": [_family_obj(family) for family in registry.collect()],
+    }
+
+
+def to_json(registry: MetricsRegistry, *, indent: int = 2) -> str:
+    """One scrape rendered as a JSON document."""
+    return json.dumps(to_json_obj(registry), indent=indent, sort_keys=True)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (Prometheus text) and ``/metrics.json``."""
+
+    # Injected by MetricsServer via a subclass attribute.
+    registry: MetricsRegistry
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = to_prometheus(self.registry).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = to_json(self.registry).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+
+class MetricsServer:
+    """A background ``/metrics`` HTTP endpoint over one registry.
+
+    >>> from repro.obs.registry import MetricsRegistry
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("demo_total", "Demo.").inc(3)
+    >>> server = MetricsServer(registry, port=0)
+    >>> server.start()  # doctest: +SKIP
+    >>> server.stop()   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._server is not None:
+            raise RuntimeError("metrics server already started")
+        handler = type(
+            "_BoundMetricsHandler",
+            (_MetricsHandler,),
+            {"registry": self.registry},
+        )
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()

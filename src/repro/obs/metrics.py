@@ -13,6 +13,7 @@ add per block (or per batch).
 
 from __future__ import annotations
 
+import copy
 import json
 import threading
 import time
@@ -20,6 +21,41 @@ from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence, Tuple
 
 __all__ = ["PipelineMetrics", "ScanMetrics", "ServeMetrics", "Stopwatch"]
+
+
+def _snapshot_value(value):
+    """Deep-copy container fields so ``to_dict`` is a true snapshot.
+
+    Returning live list/dict references would alias the record's
+    internals into the payload: a record rebuilt via
+    ``from_dict(to_dict())`` would then share (and, on ``merge``,
+    mutate) the original's containers -- double-counting in disguise.
+    """
+    if isinstance(value, (list, dict)):
+        return copy.deepcopy(value)
+    return value
+
+
+def _merge_extras(mine: dict, theirs: dict) -> None:
+    """Fold ``theirs`` into ``mine`` in place.
+
+    Numeric values sum (they are ad-hoc counters); on a non-numeric
+    collision the receiver's value wins; missing keys are copied.
+    Booleans are deliberately *not* summed -- a flag stays a flag.
+    """
+    for key, value in theirs.items():
+        if key not in mine:
+            mine[key] = value
+            continue
+        current = mine[key]
+        numeric = (int, float)
+        if (
+            isinstance(current, numeric)
+            and isinstance(value, numeric)
+            and not isinstance(current, bool)
+            and not isinstance(value, bool)
+        ):
+            mine[key] = current + value
 
 
 class Stopwatch:
@@ -145,11 +181,12 @@ class ScanMetrics:
         self.n_executor_downgrades += other.n_executor_downgrades
         self.n_chunks_resumed += other.n_chunks_resumed
         self.quarantined.extend(other.quarantined)
+        _merge_extras(self.extras, other.extras)
 
     def to_dict(self) -> dict:
         """Plain-dict snapshot of every counter (JSON-serializable)."""
         return {
-            field_def.name: getattr(self, field_def.name)
+            field_def.name: _snapshot_value(getattr(self, field_def.name))
             for field_def in fields(self)
         }
 
@@ -300,7 +337,11 @@ class PipelineMetrics:
         self.rows_since_refresh = 0
 
     def merge(self, other: "PipelineMetrics") -> None:
-        """Fold another record into this one (multi-pipeline rollup)."""
+        """Fold another record into this one (multi-pipeline rollup).
+
+        Counters sum; the ``last_*`` / reservoir gauges describe *one*
+        pipeline's latest state, so the receiver's values are kept.
+        """
         self.rows_ingested += other.rows_ingested
         self.n_batches += other.n_batches
         self.n_empty_polls += other.n_empty_polls
@@ -311,14 +352,16 @@ class PipelineMetrics:
             self.refresh_reasons[reason] = (
                 self.refresh_reasons.get(reason, 0) + count
             )
+        self.rows_since_refresh += other.rows_since_refresh
         self.ingest_seconds += other.ingest_seconds
         self.drift_seconds += other.drift_seconds
         self.refresh_seconds += other.refresh_seconds
+        _merge_extras(self.extras, other.extras)
 
     def to_dict(self) -> dict:
         """Plain-dict snapshot of every counter (JSON-serializable)."""
         return {
-            field_def.name: getattr(self, field_def.name)
+            field_def.name: _snapshot_value(getattr(self, field_def.name))
             for field_def in fields(self)
         }
 
@@ -552,15 +595,15 @@ class ServeMetrics:
             del self.group_sizes[:-_MAX_SAMPLES]
             self.batch_latencies.extend(other.batch_latencies)
             del self.batch_latencies[:-_MAX_SAMPLES]
+            _merge_extras(self.extras, other.extras)
 
     def to_dict(self) -> dict:
         """Plain-dict snapshot of every counter (JSON-serializable)."""
         with self._lock:
-            payload = {}
-            for field_def in fields(self):
-                value = getattr(self, field_def.name)
-                payload[field_def.name] = list(value) if isinstance(value, list) else value
-            return payload
+            return {
+                field_def.name: _snapshot_value(getattr(self, field_def.name))
+                for field_def in fields(self)
+            }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ServeMetrics":

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.compare import compare_models
 from repro.core.guessing_error import single_hole_error
+from repro.obs.tracing import span
 
 __all__ = ["DriftDetector", "DriftReport", "ReservoirSample"]
 
@@ -222,7 +223,10 @@ class DriftDetector:
         sample = self.reservoir.rows()
         guessing_error: Optional[float] = None
         if sample.shape[0] >= self.min_sample_rows:
-            guessing_error = single_hole_error(published, sample).value
+            with span(
+                "drift.guessing_error", sample_rows=int(sample.shape[0])
+            ):
+                guessing_error = single_hole_error(published, sample).value
             if self._baseline_ge is None:
                 # First scoring after a refresh anchors the baseline.
                 self._baseline_ge = guessing_error
@@ -232,7 +236,8 @@ class DriftDetector:
         angle: Optional[float] = None
         k_candidate: Optional[int] = None
         if candidate is not None:
-            comparison = compare_models(published, candidate)
+            with span("drift.rule_angle"):
+                comparison = compare_models(published, candidate)
             angle = comparison.max_angle_degrees
             k_candidate = comparison.k_b
             if comparison.k_a != comparison.k_b:

@@ -46,6 +46,7 @@ from repro.core.model import RatioRuleModel
 from repro.core.online import OnlineRatioRuleModel
 from repro.io.schema import TableSchema
 from repro.obs.metrics import PipelineMetrics, Stopwatch
+from repro.obs.tracing import span
 from repro.pipeline.drift import DriftDetector
 from repro.pipeline.policy import RefreshPolicy
 from repro.pipeline.sources import BatchSource
@@ -180,7 +181,7 @@ class IngestionPipeline:
         if batch.shape[0] == 0:
             self.metrics.n_empty_polls += 1
             return True
-        with Stopwatch() as watch:
+        with span("pipeline.fold", rows=batch.shape[0]), Stopwatch() as watch:
             self._ingest(batch)
         self.metrics.ingest_seconds += watch.seconds
         self.metrics.rows_ingested += batch.shape[0]
@@ -316,7 +317,7 @@ class IngestionPipeline:
             return
         published = self._registry.current().model
         candidate = self._fork_with_pending()
-        with Stopwatch() as watch:
+        with span("pipeline.drift"), Stopwatch() as watch:
             report = self._detector.evaluate(
                 published,
                 candidate.model() if candidate.is_ready else None,
@@ -340,9 +341,12 @@ class IngestionPipeline:
             self._refresh(decision.reason)
 
     def _refresh(self, reason: str) -> PublishedModel:
-        with Stopwatch() as watch:
+        with span(
+            "pipeline.refresh", reason=reason
+        ) as refresh_span, Stopwatch() as watch:
             model = self._fork_with_pending().model()
             snapshot = self._registry.publish(model)
+            refresh_span.set_attr("version", snapshot.version)
         self.metrics.record_refresh(
             version=snapshot.version, reason=reason, seconds=watch.seconds
         )

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.tracing import span
 from repro.pipeline.drift import DriftReport
 
 __all__ = ["RefreshDecision", "RefreshPolicy"]
@@ -102,15 +103,28 @@ class RefreshPolicy:
         seconds_since_refresh: float,
     ) -> RefreshDecision:
         """Combine the gates with a drift report into a decision."""
-        if not self.gate(
-            rows_since_refresh=rows_since_refresh,
-            seconds_since_refresh=seconds_since_refresh,
-        ):
-            return RefreshDecision(refresh=False)
-        if self.max_rows is not None and rows_since_refresh >= self.max_rows:
-            return RefreshDecision(refresh=True, reason="forced:max-rows")
-        if self.refresh_on_drift and report is not None and report.drifted:
-            return RefreshDecision(
-                refresh=True, reason=f"drift:{report.reasons[0]}"
-            )
-        return RefreshDecision(refresh=False)
+        with span(
+            "pipeline.policy", rows_since_refresh=rows_since_refresh
+        ) as decide_span:
+            if not self.gate(
+                rows_since_refresh=rows_since_refresh,
+                seconds_since_refresh=seconds_since_refresh,
+            ):
+                decision = RefreshDecision(refresh=False)
+            elif (
+                self.max_rows is not None
+                and rows_since_refresh >= self.max_rows
+            ):
+                decision = RefreshDecision(
+                    refresh=True, reason="forced:max-rows"
+                )
+            elif self.refresh_on_drift and report is not None and report.drifted:
+                decision = RefreshDecision(
+                    refresh=True, reason=f"drift:{report.reasons[0]}"
+                )
+            else:
+                decision = RefreshDecision(refresh=False)
+            decide_span.set_attr("refresh", decision.refresh)
+            if decision.reason:
+                decide_span.set_attr("reason", decision.reason)
+        return decision

@@ -41,6 +41,7 @@ from repro.core.reconstruction import (
     fill_holes,
 )
 from repro.obs.metrics import ServeMetrics, Stopwatch
+from repro.obs.tracing import span
 from repro.serve.cache import OperatorCache
 from repro.serve.registry import ModelRegistry, PublishedModel
 
@@ -154,11 +155,15 @@ class BatchFiller:
         The model snapshot is taken once up front; a concurrent
         hot-swap affects only *later* batches.
         """
-        with Stopwatch() as watch:
+        with span("serve.fill_batch") as batch_span, Stopwatch() as watch:
             snapshot = self.registry.current()
             filled, cases, group_sizes, n_holes = self._fill_against(
                 snapshot, matrix
             )
+            batch_span.set_attr("version", snapshot.version)
+            batch_span.set_attr("rows", filled.shape[0])
+            batch_span.set_attr("groups", len(group_sizes))
+            batch_span.set_attr("holes_filled", n_holes)
         self.metrics.record_batch(
             n_rows=filled.shape[0],
             n_rows_filled=sum(
@@ -279,16 +284,21 @@ class BatchFiller:
                 continue
             pattern = tuple(int(i) for i in holes)
             key = (snapshot.version, pattern, self.underdetermined)
-            fill_op = self.cache.get_or_compute(
-                key,
-                lambda: compute_fill_operator(
-                    pattern, rules, n_cols,
-                    underdetermined=self.underdetermined,
-                ),
-            )
-            known = fill_op.known_indices
-            centered = matrix[np.ix_(rows, known)] - means[known]
-            filled[np.ix_(rows, holes)] = fill_op.predict(centered) + means[holes]
+            with span(
+                "serve.group_apply", rows=int(rows.size), holes=len(pattern)
+            ):
+                fill_op = self.cache.get_or_compute(
+                    key,
+                    lambda: compute_fill_operator(
+                        pattern, rules, n_cols,
+                        underdetermined=self.underdetermined,
+                    ),
+                )
+                known = fill_op.known_indices
+                centered = matrix[np.ix_(rows, known)] - means[known]
+                filled[np.ix_(rows, holes)] = (
+                    fill_op.predict(centered) + means[holes]
+                )
             for i in rows:
                 cases[i] = fill_op.case
             group_sizes.append(int(rows.size))

@@ -23,6 +23,7 @@ from typing import Callable, Hashable, Optional
 
 from repro.core.reconstruction import FillOperator
 from repro.obs.metrics import ServeMetrics
+from repro.obs.tracing import span
 
 __all__ = ["OperatorCache"]
 
@@ -71,6 +72,11 @@ class OperatorCache:
         ``factory`` runs *outside* the lock; if two threads race the
         same cold key, both compute (bit-identical results) and one
         insert wins -- every caller still gets a correct operator.
+
+        When tracing is on, a miss emits a ``serve.operator_build``
+        span around the factory solve; hits emit nothing (in a trace
+        dump, a pattern group *without* a nested build span was served
+        from cache).
         """
         with self._lock:
             operator = self._entries.get(key)
@@ -80,7 +86,8 @@ class OperatorCache:
                 if self._metrics is not None:
                     self._metrics.record_cache_hit()
                 return operator
-        operator = factory()
+        with span("serve.operator_build", key=str(key)):
+            operator = factory()
         with self._lock:
             self.misses += 1
             if self._metrics is not None:

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.core.model import RatioRuleModel
 from repro.obs.metrics import ServeMetrics
+from repro.obs.tracing import span
 
 __all__ = ["ModelRegistry", "NoModelPublishedError", "PublishedModel"]
 
@@ -116,27 +117,30 @@ class ModelRegistry:
         """
         if model.rules_ is None or model.schema_ is None:
             raise ValueError("only fitted models can be published")
-        fingerprint = model.fingerprint()
-        with self._lock:
-            if (
-                self._current is not None
-                and not allow_schema_change
-                and model.schema_.names != self._current.model.schema_.names
-            ):
-                raise ValueError(
-                    f"schema change on publish: serving "
-                    f"{self._current.model.schema_.names}, got "
-                    f"{model.schema_.names} (pass allow_schema_change=True "
-                    f"if intentional)"
+        with span("serve.publish") as publish_span:
+            fingerprint = model.fingerprint()
+            with self._lock:
+                if (
+                    self._current is not None
+                    and not allow_schema_change
+                    and model.schema_.names
+                    != self._current.model.schema_.names
+                ):
+                    raise ValueError(
+                        f"schema change on publish: serving "
+                        f"{self._current.model.schema_.names}, got "
+                        f"{model.schema_.names} (pass "
+                        f"allow_schema_change=True if intentional)"
+                    )
+                snapshot = PublishedModel(
+                    version=self._next_version,
+                    model=model,
+                    fingerprint=fingerprint,
+                    published_at=time.time(),
                 )
-            snapshot = PublishedModel(
-                version=self._next_version,
-                model=model,
-                fingerprint=fingerprint,
-                published_at=time.time(),
-            )
-            self._next_version += 1
-            self._current = snapshot
+                self._next_version += 1
+                self._current = snapshot
+            publish_span.set_attr("version", snapshot.version)
         if self._metrics is not None:
             self._metrics.record_publish()
         return snapshot

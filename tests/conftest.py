@@ -26,6 +26,44 @@ def figure1_matrix() -> np.ndarray:
     return FIGURE1_MATRIX.copy()
 
 
+# -- shared synthetic-data factories (plain functions, import freely) ------
+
+
+def make_rank2_matrix(seed: int, n_rows: int = 200, n_cols: int = 5) -> np.ndarray:
+    """Rank-2 data with small noise; distinct per seed."""
+    generator = np.random.default_rng(seed)
+    factor1 = generator.normal(5.0, 2.0, size=n_rows)
+    factor2 = generator.normal(0.0, 1.0, size=n_rows)
+    loadings1 = np.array([1.0, 2.0, 0.5, 3.0, 1.5])[:n_cols]
+    loadings2 = np.array([0.5, -1.0, 2.0, 0.0, -0.5])[:n_cols]
+    matrix = np.outer(factor1, loadings1) + np.outer(factor2, loadings2)
+    matrix += generator.normal(0.0, 0.05, size=matrix.shape)
+    return matrix
+
+
+def punch_holes(
+    matrix: np.ndarray, generator: np.random.Generator, rate: float = 0.3
+) -> np.ndarray:
+    """Copy of ``matrix`` with a random ``rate`` of cells set to NaN."""
+    holey = matrix.copy()
+    holey[generator.random(matrix.shape) < rate] = np.nan
+    return holey
+
+
+def make_regime_matrix(
+    seed: int,
+    loadings=(1.0, 2.0, 0.5),
+    n_rows: int = 400,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Rank-1 transactions following one latent spending ratio."""
+    generator = np.random.default_rng(seed)
+    volume = generator.uniform(0.5, 4.0, size=n_rows)
+    matrix = np.outer(volume, np.asarray(loadings, dtype=np.float64))
+    matrix += generator.normal(0.0, noise, size=matrix.shape)
+    return matrix
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator."""

@@ -95,3 +95,88 @@ class TestRepairCorrupted:
         _row, _col, old, new = entry
         assert old == pytest.approx(7777.0)
         assert new != old
+
+
+class TestDegenerateInputs:
+    def test_all_holes_row_filled_with_column_means(self, model, ratio_data):
+        dirty = ratio_data[:5].copy()
+        dirty[2, :] = np.nan
+        report = impute_missing(model, dirty)
+        assert report.n_repairs == 3
+        assert not np.isnan(report.cleaned).any()
+        # Nothing known in the row: the documented fallback is means.
+        np.testing.assert_allclose(report.cleaned[2], model.means_)
+
+    def test_fully_missing_matrix(self, model):
+        dirty = np.full((4, 3), np.nan)
+        report = impute_missing(model, dirty)
+        assert report.n_repairs == 12
+        np.testing.assert_allclose(
+            report.cleaned, np.tile(model.means_, (4, 1))
+        )
+
+    def test_zero_variance_column_repair(self, rng):
+        factor = rng.normal(8.0, 2.5, size=150)
+        matrix = np.column_stack(
+            [factor, 3.0 * factor + rng.normal(0, 0.05, 150), np.full(150, 5.0)]
+        )
+        model = RatioRuleModel(cutoff=2).fit(matrix)
+        report = repair_corrupted(model, matrix)
+        # The constant column is perfectly reconstructed: no repairs
+        # may be invented there.
+        assert all(column != 2 for _r, column, _o, _n in report.repairs)
+
+    def test_full_rank_model_k_equals_m(self, ratio_data):
+        model = RatioRuleModel(cutoff=3).fit(ratio_data)
+        assert model.k == 3
+        corrupted = ratio_data[:50].copy()
+        corrupted[2, 1] = 7777.0
+        # Rank-M reconstruction can reproduce *any* row exactly, so the
+        # hide-one-cell detector is the only signal left; the repair
+        # loop must terminate without oscillating either way.
+        report = repair_corrupted(model, corrupted, n_sigmas=4.0)
+        assert np.isfinite(report.cleaned).all()
+
+    def test_single_row_matrix(self, model, ratio_data):
+        single = ratio_data[:1].copy()
+        single[0, 1] = np.nan
+        report = impute_missing(model, single)
+        assert report.n_repairs == 1
+        assert np.isfinite(report.cleaned).all()
+        # Repairing a 1-row matrix: no distribution, no repairs.
+        assert repair_corrupted(model, ratio_data[:1]).n_repairs == 0
+
+    def test_input_never_modified(self, model, ratio_data):
+        dirty = ratio_data[:10].copy()
+        dirty[3, 1] = np.nan
+        frozen = dirty.copy()
+        impute_missing(model, dirty)
+        np.testing.assert_array_equal(dirty, frozen)
+        complete = ratio_data[:10].copy()
+        complete[4, 2] = 9999.0
+        frozen = complete.copy()
+        repair_corrupted(model, complete)
+        np.testing.assert_array_equal(complete, frozen)
+
+
+class TestDeterminism:
+    def test_cleaning_is_deterministic(self, model, ratio_data):
+        dirty = ratio_data[:40].copy()
+        dirty[3, 1] = np.nan
+        dirty[8, 0] = 4444.0
+        first = impute_missing(model, dirty)
+        second = impute_missing(model, dirty)
+        np.testing.assert_array_equal(first.cleaned, second.cleaned)
+        # Tuple equality would trip over the NaN old-values; compare
+        # positions/new-values exactly and old-values as arrays.
+        assert len(first.repairs) == len(second.repairs)
+        for (r1, c1, old1, new1), (r2, c2, old2, new2) in zip(
+            first.repairs, second.repairs
+        ):
+            assert (r1, c1, new1) == (r2, c2, new2)
+            np.testing.assert_array_equal(old1, old2)
+        complete = first.cleaned
+        rep_a = repair_corrupted(model, complete, n_sigmas=4.0)
+        rep_b = repair_corrupted(model, complete, n_sigmas=4.0)
+        np.testing.assert_array_equal(rep_a.cleaned, rep_b.cleaned)
+        assert rep_a.repairs == rep_b.repairs

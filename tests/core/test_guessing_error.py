@@ -1,9 +1,12 @@
 """Tests for the guessing-error measure (Eqs. 3-4)."""
 
+import itertools
 import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.baselines.column_average import ColumnAverageBaseline
 from repro.core.guessing_error import (
@@ -13,6 +16,7 @@ from repro.core.guessing_error import (
     single_hole_error,
 )
 from repro.core.model import RatioRuleModel
+from repro.core.reconstruction import CASE_EXACT, CASE_OVER, CASE_UNDER
 
 
 class PerfectEstimator:
@@ -150,6 +154,77 @@ class TestGuessingError:
     def test_rejects_1d(self):
         with pytest.raises(ValueError, match="2-d"):
             guessing_error(ConstantEstimator(0.0, 2), np.ones(4))
+
+
+def _brute_force_geh(model, test_matrix: np.ndarray, h: int) -> float:
+    """Eq. 4 transcribed literally: every hole set, every row, one
+    ``fill_row`` per (row, hole set), RMS over ``N * h * |Hh|`` cells."""
+    n_rows, n_cols = test_matrix.shape
+    hole_sets = list(itertools.combinations(range(n_cols), h))
+    squared_sum = 0.0
+    for holes in hole_sets:
+        columns = list(holes)
+        for i in range(n_rows):
+            row = test_matrix[i].copy()
+            row[columns] = np.nan
+            filled = model.fill_row(row)
+            errors = filled[columns] - test_matrix[i, columns]
+            squared_sum += float((errors**2).sum())
+    return math.sqrt(squared_sum / (n_rows * h * len(hole_sets)))
+
+
+def _rank2_fixture(seed: int):
+    """A 4-column rank-2(+noise) train/test pair and a k=2 model.
+
+    With ``M = 4`` and ``k = 2`` the hole counts 1 / 2 / 3 exercise the
+    over-specified, exactly-specified, and under-specified solve
+    regimes respectively.
+    """
+    generator = np.random.default_rng(seed)
+    loadings = np.array(
+        [[1.0, 2.0, 0.5, 1.5], [0.3, -1.0, 2.0, 0.7]]
+    )
+    factors = generator.normal(5.0, 2.0, size=(66, 2))
+    matrix = factors @ loadings + generator.normal(0, 0.05, (66, 4))
+    train, test = matrix[:60], matrix[60:]
+    model = RatioRuleModel(cutoff=2).fit(train)
+    assert model.k == 2
+    return model, test
+
+
+class TestGEhBruteForce:
+    """Eq. 4 property test: ``guessing_error`` (batch fast path) must
+    equal a from-scratch transcription of the formula (slow ``fill_row``
+    path) for every h and hence every reconstruction regime."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @pytest.mark.parametrize(
+        ("h", "expected_case"),
+        [(1, CASE_OVER), (2, CASE_EXACT), (3, CASE_UNDER)],
+    )
+    def test_geh_matches_brute_force(self, h, expected_case, seed):
+        model, test = _rank2_fixture(seed)
+
+        # The hole count really dispatches the regime under test.
+        probe = test[0].copy()
+        probe[:h] = np.nan
+        assert model.fill_row_detailed(probe).case == expected_case
+
+        report = guessing_error(model, test, h=h, max_hole_sets=100)
+        assert report.n_hole_sets == math.comb(4, h)  # exhaustive Hh
+        expected = _brute_force_geh(model, test, h)
+        assert report.value == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_geh_brute_force_over_all_h_at_once(self, rng):
+        """One deterministic pass over every h, including h == M."""
+        model, test = _rank2_fixture(7)
+        for h in (1, 2, 3, 4):
+            report = guessing_error(model, test, h=h, max_hole_sets=100)
+            expected = _brute_force_geh(model, test, h)
+            assert report.value == pytest.approx(
+                expected, rel=1e-9, abs=1e-12
+            ), f"h={h}"
 
 
 class TestRelativeGuessingError:

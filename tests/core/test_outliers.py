@@ -103,3 +103,61 @@ class TestResiduals:
         model = RatioRuleModel(cutoff=3).fit(clean_matrix)
         residuals = reconstruction_residuals(model, clean_matrix)
         np.testing.assert_allclose(residuals, 0.0, atol=1e-8)
+
+
+class TestDegenerateInputs:
+    """Edge shapes must degrade gracefully, never crash (Sec. 4.4 is
+    pitched at dirty warehouse data, which includes these)."""
+
+    def test_zero_variance_column_is_skipped_not_crashed(self, rng):
+        factor = rng.normal(10.0, 3.0, size=100)
+        matrix = np.column_stack(
+            [factor, 2.0 * factor + rng.normal(0, 0.05, 100), np.full(100, 7.0)]
+        )
+        model = RatioRuleModel(cutoff=2).fit(matrix)
+        outliers = detect_cell_outliers(model, matrix)
+        # The constant column reconstructs exactly; it must not be a
+        # division-by-zero, and it must produce no flags of its own.
+        assert all(o.column != 2 for o in outliers)
+        detect_row_outliers(model, matrix)  # must not raise
+
+    def test_full_rank_model_k_equals_m(self, clean_matrix):
+        model = RatioRuleModel(cutoff=3).fit(clean_matrix)
+        assert model.k == 3
+        # Rank-M reconstruction is (numerically) exact, so row
+        # residuals carry no signal worth flagging.
+        outliers = detect_row_outliers(model, clean_matrix, n_sigmas=1e6)
+        assert outliers == []
+        detect_cell_outliers(model, clean_matrix)  # must not raise
+
+    def test_single_row_matrix_yields_no_outliers(self, clean_matrix):
+        model = RatioRuleModel(cutoff=1).fit(clean_matrix)
+        single = clean_matrix[:1]
+        # One observation has no distribution: stddev is 0 in every
+        # column, so both detectors must abstain rather than divide.
+        assert detect_cell_outliers(model, single) == []
+        assert detect_row_outliers(model, single) == []
+        residuals = reconstruction_residuals(model, single)
+        assert residuals.shape == (1,)
+
+    def test_identical_rows_yield_no_row_outliers(self, clean_matrix):
+        model = RatioRuleModel(cutoff=1).fit(clean_matrix)
+        constant = np.tile(clean_matrix[0], (20, 1))
+        assert detect_row_outliers(model, constant) == []
+
+
+class TestDeterminism:
+    def test_detectors_are_deterministic(self, clean_matrix):
+        corrupted = clean_matrix.copy()
+        corrupted[17, 1] = 500.0
+        model = RatioRuleModel(cutoff=1).fit(clean_matrix)
+        first = detect_cell_outliers(model, corrupted)
+        second = detect_cell_outliers(model, corrupted)
+        assert first == second  # CellOutlier is a frozen dataclass
+        assert detect_row_outliers(model, corrupted) == detect_row_outliers(
+            model, corrupted
+        )
+        np.testing.assert_array_equal(
+            reconstruction_residuals(model, corrupted),
+            reconstruction_residuals(model, corrupted),
+        )

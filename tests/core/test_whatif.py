@@ -90,3 +90,56 @@ class TestEvaluateScenario:
     def test_result_case_recorded(self, grocery_model):
         result = evaluate_scenario(grocery_model, Scenario(fixed={"cheerios": 3.0}))
         assert result.case in ("exactly-specified", "over-specified", "under-specified")
+
+
+class TestDegenerateInputs:
+    def test_scenario_on_zero_variance_attribute(self, rng):
+        factor = rng.normal(4.0, 1.5, size=200)
+        matrix = np.column_stack(
+            [factor, 2.0 * factor, np.full(200, 7.0)]
+        ) + rng.normal(0, 0.02, size=(200, 3))
+        schema = TableSchema.from_names(["cheerios", "milk", "flat"])
+        model = RatioRuleModel(cutoff=2).fit(matrix, schema=schema)
+        result = evaluate_scenario(model, Scenario(scaled={"cheerios": 2.0}))
+        # The constant attribute stays at (about) its constant value.
+        assert result["flat"] == pytest.approx(7.0, abs=0.5)
+
+    def test_all_attributes_fixed_is_a_no_hole_pass_through(self, grocery_model):
+        result = evaluate_scenario(
+            grocery_model,
+            Scenario(fixed={"cheerios": 1.0, "milk": 2.0, "bread": 3.0}),
+        )
+        assert result.case == "no-holes"
+        assert result.values == {"cheerios": 1.0, "milk": 2.0, "bread": 3.0}
+        assert result.specified == frozenset(["cheerios", "milk", "bread"])
+
+    def test_full_rank_model_k_equals_m(self, rng):
+        factor = rng.normal(4.0, 1.5, size=200)
+        matrix = np.column_stack(
+            [factor, 2.0 * factor, 3.0 * factor]
+        ) + rng.normal(0, 0.05, size=(200, 3))
+        schema = TableSchema.from_names(["a", "b", "c"])
+        model = RatioRuleModel(cutoff=3).fit(matrix, schema=schema)
+        assert model.k == 3
+        result = evaluate_scenario(model, Scenario(fixed={"a": 5.0}))
+        # Even with every rule kept, the pinned value passes through
+        # and the propagated ones stay near the training ratios.
+        assert result["a"] == pytest.approx(5.0)
+        assert result["b"] == pytest.approx(10.0, rel=0.05)
+
+    def test_single_row_training_matrix(self, rng):
+        schema = TableSchema.from_names(["a", "b"])
+        model = RatioRuleModel(cutoff=1).fit(
+            np.array([[1.0, 2.0]]), schema=schema
+        )
+        result = evaluate_scenario(model, Scenario(fixed={"a": 3.0}))
+        assert np.isfinite(list(result.values.values())).all()
+
+
+class TestDeterminism:
+    def test_evaluation_is_deterministic(self, grocery_model):
+        scenario = Scenario(scaled={"cheerios": 2.0})
+        first = evaluate_scenario(grocery_model, scenario)
+        second = evaluate_scenario(grocery_model, scenario)
+        assert first.values == second.values
+        assert first.case == second.case

@@ -1,0 +1,300 @@
+"""Property-based tests (hypothesis) for the metrics records.
+
+Two families of invariants over all three records:
+
+* **Round-trip**: ``from_dict(to_dict(m)) == m`` and the JSON twin --
+  serialization must reproduce every field, so snapshots on disk are
+  lossless.
+* **Merge algebra**: ``merge`` is associative (``(a+b)+c == a+(b+c)``
+  under any rollup order) and folds every counter exactly once (no
+  dropped and no double-counted fields).  The per-field classification
+  lists below are exhaustive on purpose: adding a field to a record
+  without deciding its merge behavior fails the classification test.
+
+Summed float fields are drawn as integer-valued floats so that
+float-addition associativity is exact; the *merge semantics* under
+test are unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import PipelineMetrics, ScanMetrics, ServeMetrics
+
+pytestmark = pytest.mark.obs
+
+_counts = st.integers(min_value=0, max_value=10_000)
+_seconds = st.integers(min_value=0, max_value=1_000).map(float)
+_gauge_floats = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+_words = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+)
+
+#: extras keys are typed by pool so cross-record merges never collide a
+#: number with a string (receiver-wins on mixed types is order-
+#: sensitive by design; the docs call that out).
+_extras = st.fixed_dictionaries(
+    {},
+    optional={
+        "k0": _counts,
+        "k1": _counts,
+        "note": _words,
+        "tag": _words,
+    },
+)
+
+_quarantine_entries = st.lists(
+    st.fixed_dictionaries({"source": _words, "rows_lost": _counts}),
+    max_size=3,
+)
+
+
+def scan_records():
+    return st.builds(
+        ScanMetrics,
+        executor=st.sampled_from(["serial", "thread", "process"]),
+        n_workers=st.integers(min_value=1, max_value=16),
+        n_sources=_counts,
+        n_chunks=_counts,
+        n_blocks=_counts,
+        n_rows=_counts,
+        n_merges=_counts,
+        scan_seconds=_seconds,
+        solve_seconds=_seconds,
+        total_seconds=_seconds,
+        n_faults=_counts,
+        n_retries=_counts,
+        n_timeouts=_counts,
+        n_quarantined=_counts,
+        rows_quarantined=_counts,
+        bytes_quarantined=_counts,
+        n_executor_downgrades=_counts,
+        n_chunks_resumed=_counts,
+        quarantined=_quarantine_entries,
+        extras=_extras,
+    )
+
+
+def pipeline_records():
+    return st.builds(
+        PipelineMetrics,
+        rows_ingested=_counts,
+        n_batches=_counts,
+        n_empty_polls=_counts,
+        n_blocks_folded=_counts,
+        n_drift_evaluations=_counts,
+        n_refreshes=_counts,
+        refresh_reasons=st.dictionaries(_words, _counts, max_size=4),
+        last_refresh_reason=_words,
+        last_version=_counts,
+        rows_since_refresh=_counts,
+        last_guessing_error=_gauge_floats,
+        baseline_guessing_error=_gauge_floats,
+        last_angle_degrees=_gauge_floats,
+        reservoir_rows=_counts,
+        reservoir_capacity=_counts,
+        ingest_seconds=_seconds,
+        drift_seconds=_seconds,
+        refresh_seconds=_seconds,
+        last_refresh_seconds=_gauge_floats,
+        extras=_extras,
+    )
+
+
+def serve_records():
+    # Sample lists stay tiny so the _MAX_SAMPLES retention cap never
+    # binds; trimming would (intentionally) break strict associativity.
+    return st.builds(
+        ServeMetrics,
+        n_batches=_counts,
+        n_rows=_counts,
+        n_rows_filled=_counts,
+        n_rows_no_holes=_counts,
+        n_rows_all_holes=_counts,
+        n_groups=_counts,
+        n_holes_filled=_counts,
+        cache_hits=_counts,
+        cache_misses=_counts,
+        cache_evictions=_counts,
+        n_publishes=_counts,
+        fill_seconds=_seconds,
+        group_sizes=st.lists(_counts, max_size=4),
+        batch_latencies=st.lists(_seconds, max_size=4),
+        extras=_extras,
+    )
+
+
+_RECORD_STRATEGIES = {
+    ScanMetrics: scan_records,
+    PipelineMetrics: pipeline_records,
+    ServeMetrics: serve_records,
+}
+
+#: Exhaustive merge classification.  Every dataclass field must appear
+#: in exactly one bucket; test_merge_classification_is_exhaustive
+#: enforces it so new fields cannot silently skip merge coverage.
+_SUMMED = {
+    ScanMetrics: (
+        "n_sources", "n_chunks", "n_blocks", "n_rows", "n_merges",
+        "scan_seconds", "solve_seconds", "total_seconds", "n_faults",
+        "n_retries", "n_timeouts", "n_quarantined", "rows_quarantined",
+        "bytes_quarantined", "n_executor_downgrades", "n_chunks_resumed",
+    ),
+    PipelineMetrics: (
+        "rows_ingested", "n_batches", "n_empty_polls", "n_blocks_folded",
+        "n_drift_evaluations", "n_refreshes", "rows_since_refresh",
+        "ingest_seconds", "drift_seconds", "refresh_seconds",
+    ),
+    ServeMetrics: (
+        "n_batches", "n_rows", "n_rows_filled", "n_rows_no_holes",
+        "n_rows_all_holes", "n_groups", "n_holes_filled", "cache_hits",
+        "cache_misses", "cache_evictions", "n_publishes", "fill_seconds",
+    ),
+}
+_RECEIVER_KEPT = {
+    ScanMetrics: ("executor", "n_workers"),
+    PipelineMetrics: (
+        "last_refresh_reason", "last_version", "last_guessing_error",
+        "baseline_guessing_error", "last_angle_degrees", "reservoir_rows",
+        "reservoir_capacity", "last_refresh_seconds",
+    ),
+    ServeMetrics: (),
+}
+_CONCATENATED = {
+    ScanMetrics: ("quarantined",),
+    PipelineMetrics: (),
+    ServeMetrics: ("group_sizes", "batch_latencies"),
+}
+_KEY_SUMMED = {
+    ScanMetrics: ("extras",),
+    PipelineMetrics: ("refresh_reasons", "extras"),
+    ServeMetrics: ("extras",),
+}
+
+_RECORD_TYPES = [ScanMetrics, PipelineMetrics, ServeMetrics]
+_record_params = pytest.mark.parametrize(
+    "record_type", _RECORD_TYPES, ids=lambda t: t.__name__
+)
+
+
+def _copy(record):
+    """Deep-ish copy via the serialization path (locks are not copyable)."""
+    return type(record).from_dict(record.to_dict())
+
+
+@_record_params
+def test_merge_classification_is_exhaustive(record_type):
+    classified = set(
+        _SUMMED[record_type]
+        + _RECEIVER_KEPT[record_type]
+        + _CONCATENATED[record_type]
+        + _KEY_SUMMED[record_type]
+    )
+    declared = {f.name for f in dataclasses.fields(record_type)}
+    assert classified == declared, (
+        f"unclassified merge fields on {record_type.__name__}: "
+        f"{sorted(declared ^ classified)}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+@_record_params
+def test_dict_round_trip(record_type, data):
+    record = data.draw(_RECORD_STRATEGIES[record_type]())
+    assert record_type.from_dict(record.to_dict()) == record
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+@_record_params
+def test_json_round_trip(record_type, data):
+    record = data.draw(_RECORD_STRATEGIES[record_type]())
+    assert record_type.from_json(record.to_json()) == record
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+@_record_params
+def test_merge_folds_every_counter_exactly_once(record_type, data):
+    strategy = _RECORD_STRATEGIES[record_type]()
+    a, b = data.draw(strategy), data.draw(strategy)
+    merged = _copy(a)
+    merged.merge(_copy(b))
+    for name in _SUMMED[record_type]:
+        expected = getattr(a, name) + getattr(b, name)
+        assert getattr(merged, name) == expected, name
+    for name in _RECEIVER_KEPT[record_type]:
+        assert getattr(merged, name) == getattr(a, name), name
+    for name in _CONCATENATED[record_type]:
+        assert getattr(merged, name) == getattr(a, name) + getattr(b, name)
+    for name in _KEY_SUMMED[record_type]:
+        mine, theirs = getattr(a, name), getattr(b, name)
+        folded = getattr(merged, name)
+        assert set(folded) == set(mine) | set(theirs)
+        for key, value in folded.items():
+            left, right = mine.get(key), theirs.get(key)
+            if isinstance(left, int) and isinstance(right, int):
+                assert value == left + right, (name, key)
+            elif left is not None:
+                assert value == left, (name, key)  # receiver wins
+            else:
+                assert value == right, (name, key)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+@_record_params
+def test_merge_is_associative(record_type, data):
+    strategy = _RECORD_STRATEGIES[record_type]()
+    a, b, c = data.draw(strategy), data.draw(strategy), data.draw(strategy)
+
+    left = _copy(a)
+    ab = _copy(a)
+    ab.merge(_copy(b))
+    left = ab
+    left.merge(_copy(c))
+
+    bc = _copy(b)
+    bc.merge(_copy(c))
+    right = _copy(a)
+    right.merge(bc)
+
+    assert left == right
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+@_record_params
+def test_merge_with_default_record_adds_only_defaults(record_type, data):
+    # Not a strict identity: some defaults are non-zero by design
+    # (a default ScanMetrics describes one source / one chunk).
+    record = data.draw(_RECORD_STRATEGIES[record_type]())
+    default = record_type()
+    merged = _copy(record)
+    merged.merge(record_type())
+    for name in _SUMMED[record_type]:
+        expected = getattr(record, name) + getattr(default, name)
+        assert getattr(merged, name) == expected, name
+    for name in _RECEIVER_KEPT[record_type]:
+        assert getattr(merged, name) == getattr(record, name), name
+    for name in _CONCATENATED[record_type] + _KEY_SUMMED[record_type]:
+        assert getattr(merged, name) == getattr(record, name), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+@_record_params
+def test_snapshot_is_independent_of_the_live_record(record_type, data):
+    """to_dict must deep-copy containers: mutating a restored record
+    (e.g. merging into it) must never leak back into the original."""
+    record = data.draw(_RECORD_STRATEGIES[record_type]())
+    before = record.to_json()
+    restored = _copy(record)
+    restored.merge(_copy(record))
+    assert record.to_json() == before

@@ -1,0 +1,333 @@
+"""Tests for the metrics registry: instruments, collectors, adapters.
+
+The load-bearing guarantee is at the bottom: the record adapters must
+emit at least one sample for **every** ``dataclasses.fields()`` entry
+of every metrics record, so a counter added to a record can never
+silently vanish from the scrape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.obs.metrics import PipelineMetrics, ScanMetrics, ServeMetrics
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    register_pipeline_metrics,
+    register_scan_metrics,
+    register_serve_metrics,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        requests = registry.counter("requests_total", "Requests.")
+        requests.inc()
+        requests.inc(2.5)
+        assert requests.value() == 3.5
+
+    def test_labeled_series_are_independent(self, registry):
+        requests = registry.counter("requests_total")
+        requests.inc(route="fill")
+        requests.inc(3, route="publish")
+        assert requests.value(route="fill") == 1.0
+        assert requests.value(route="publish") == 3.0
+        assert requests.value() == 0.0
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("c").inc(-1)
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("0bad-name", "")
+
+    def test_invalid_label_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("c").inc(**{"0bad": "x"})
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        depth = registry.gauge("queue_depth", "Depth.")
+        depth.set(10)
+        depth.inc(5)
+        depth.dec(3)
+        assert depth.value() == 12.0
+
+    def test_gauge_may_go_negative(self, registry):
+        g = registry.gauge("g")
+        g.dec(2)
+        assert g.value() == -2.0
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self, registry):
+        h = registry.histogram("latency", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            h.observe(value)
+        family = h.collect()
+        ((labels, buckets, total, count),) = family.histogram_rows
+        assert labels == ()
+        # Cumulative: <=0.1 -> 1, <=1.0 -> 3, +Inf -> 4.
+        assert buckets == ((0.1, 1), (1.0, 3), (math.inf, 4))
+        assert total == pytest.approx(6.25)
+        assert count == 4
+
+    def test_boundary_value_is_inclusive(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(1.0)
+        ((_, buckets, _, _),) = h.collect().histogram_rows
+        assert buckets[0] == (1.0, 1)
+
+    def test_labeled_rows_are_separate(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(0.5, route="a")
+        h.observe(2.0, route="b")
+        rows = h.collect().histogram_rows
+        assert len(rows) == 2
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", "", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", "", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", "", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_factories_are_idempotent_by_name(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("taken")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            registry.gauge("taken")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            registry.histogram("taken")
+        registry.gauge("g_taken")
+        with pytest.raises(TypeError, match="already registered as gauge"):
+            registry.counter("g_taken")
+
+    def test_collect_includes_instruments_and_collectors(self, registry):
+        registry.counter("c", "Help.").inc()
+        extra = registry.gauge("lazy", "Lazy.")  # collected as instrument
+
+        def collector():
+            return [extra.collect()]
+
+        registry.register_collector(collector)
+        names = [family.name for family in registry.collect()]
+        assert names.count("c") == 1
+        assert names.count("lazy") == 2  # instrument + collector copy
+
+    def test_unregister_collector(self, registry):
+        calls = []
+
+        def collector():
+            calls.append(1)
+            return []
+
+        registry.register_collector(collector)
+        registry.collect()
+        registry.unregister_collector(collector)
+        registry.collect()
+        assert len(calls) == 1
+        registry.unregister_collector(collector)  # no-op, no raise
+
+    def test_clear_drops_everything(self, registry):
+        registry.counter("c").inc()
+        registry.register_collector(lambda: [])
+        registry.clear()
+        assert registry.collect() == []
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+        assert isinstance(get_registry(), MetricsRegistry)
+
+
+def _family_index(families):
+    return {family.name: family for family in families}
+
+
+def _assert_every_field_exported(record, families, prefix):
+    """The acceptance check: every dataclass field -> >= 1 sample."""
+    index = _family_index(families)
+    for field_def in dataclasses.fields(record):
+        name = f"{prefix}_{field_def.name}"
+        candidates = [
+            name, f"{name}_info", f"{name}_retained",
+        ]
+        matches = [index[c] for c in candidates if c in index]
+        assert matches, f"field {field_def.name!r} missing from scrape"
+        assert any(family.samples for family in matches), (
+            f"field {field_def.name!r} exported no samples"
+        )
+
+
+class TestAdapterValidation:
+    """Bad registrations must fail at register time, not inside every
+    scrape (the collector runs on the HTTP handler thread)."""
+
+    @pytest.mark.parametrize(
+        ("register", "wrong"),
+        [
+            (register_scan_metrics, None),
+            (register_scan_metrics, ServeMetrics()),
+            (register_serve_metrics, None),
+            (register_serve_metrics, ScanMetrics()),
+            (register_pipeline_metrics, None),
+            (register_pipeline_metrics, ScanMetrics()),
+        ],
+    )
+    def test_wrong_record_rejected_eagerly(self, register, wrong):
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError, match="expected a live"):
+            register(registry, wrong)
+        assert registry.collect() == []  # nothing half-registered
+
+
+class TestScanAdapter:
+    def test_every_field_exported(self, registry):
+        metrics = ScanMetrics(
+            executor="process",
+            n_rows=100,
+            scan_seconds=2.0,
+            quarantined=[{"source": "x.csv"}],
+            extras={"note": "hi", "count": 3},
+        )
+        register_scan_metrics(registry, metrics)
+        _assert_every_field_exported(
+            metrics, registry.collect(), "repro_scan"
+        )
+
+    def test_live_record_reflects_updates(self, registry):
+        metrics = ScanMetrics()
+        register_scan_metrics(registry, metrics)
+        metrics.n_rows = 7
+        index = _family_index(registry.collect())
+        assert index["repro_scan_n_rows"].samples[0].value == 7.0
+
+    def test_derived_throughput_gauge(self, registry):
+        metrics = ScanMetrics(n_rows=100, scan_seconds=2.0)
+        register_scan_metrics(registry, metrics)
+        index = _family_index(registry.collect())
+        assert index["repro_scan_rows_per_second"].samples[0].value == 50.0
+
+    def test_string_field_becomes_info_sample(self, registry):
+        register_scan_metrics(registry, ScanMetrics(executor="thread"))
+        index = _family_index(registry.collect())
+        sample = index["repro_scan_executor_info"].samples[0]
+        assert sample.labels_dict() == {"value": "thread"}
+        assert sample.value == 1.0
+
+    def test_list_field_exports_retained_length(self, registry):
+        metrics = ScanMetrics(quarantined=[{"a": 1}, {"b": 2}])
+        register_scan_metrics(registry, metrics)
+        index = _family_index(registry.collect())
+        assert index["repro_scan_quarantined_retained"].samples[0].value == 2.0
+
+    def test_returned_collector_can_be_unregistered(self, registry):
+        collector = register_scan_metrics(registry, ScanMetrics())
+        registry.unregister_collector(collector)
+        assert registry.collect() == []
+
+
+class TestPipelineAdapter:
+    def test_every_field_exported(self, registry):
+        metrics = PipelineMetrics(
+            rows_ingested=100,
+            refresh_reasons={"initial": 1, "drift:rule-angle": 2},
+            last_refresh_reason="drift:rule-angle",
+        )
+        register_pipeline_metrics(registry, metrics)
+        _assert_every_field_exported(
+            metrics, registry.collect(), "repro_pipeline"
+        )
+
+    def test_dict_field_fans_out_per_key(self, registry):
+        metrics = PipelineMetrics(
+            refresh_reasons={"initial": 1, "forced:max-rows": 4}
+        )
+        register_pipeline_metrics(registry, metrics)
+        index = _family_index(registry.collect())
+        samples = {
+            s.labels_dict()["key"]: s.value
+            for s in index["repro_pipeline_refresh_reasons"].samples
+        }
+        assert samples == {"initial": 1.0, "forced:max-rows": 4.0}
+
+    def test_derived_reservoir_occupancy(self, registry):
+        metrics = PipelineMetrics(reservoir_rows=50, reservoir_capacity=200)
+        register_pipeline_metrics(registry, metrics)
+        index = _family_index(registry.collect())
+        assert (
+            index["repro_pipeline_reservoir_occupancy"].samples[0].value
+            == 0.25
+        )
+
+
+class TestServeAdapter:
+    def test_every_field_exported(self, registry):
+        metrics = ServeMetrics(cache_hits=3, cache_misses=1)
+        metrics.record_batch(
+            n_rows=10,
+            n_rows_filled=8,
+            n_rows_no_holes=2,
+            n_rows_all_holes=0,
+            n_holes_filled=12,
+            group_sizes=[4, 4],
+            seconds=0.25,
+        )
+        register_serve_metrics(registry, metrics)
+        _assert_every_field_exported(
+            metrics, registry.collect(), "repro_serve"
+        )
+
+    def test_latency_percentile_samples(self, registry):
+        metrics = ServeMetrics()
+        for seconds in (0.010, 0.020, 0.030):
+            metrics.record_batch(
+                n_rows=1,
+                n_rows_filled=1,
+                n_rows_no_holes=0,
+                n_rows_all_holes=0,
+                n_holes_filled=1,
+                group_sizes=[1],
+                seconds=seconds,
+            )
+        register_serve_metrics(registry, metrics)
+        index = _family_index(registry.collect())
+        samples = {
+            s.labels_dict()["quantile"]: s.value
+            for s in index["repro_serve_batch_latency_seconds"].samples
+        }
+        assert samples["0.5"] == pytest.approx(0.020)
+        assert set(samples) == {"0.5", "0.9", "0.99"}
+
+    def test_cache_hit_rate_gauge(self, registry):
+        metrics = ServeMetrics(cache_hits=3, cache_misses=1)
+        register_serve_metrics(registry, metrics)
+        index = _family_index(registry.collect())
+        assert index["repro_serve_cache_hit_rate"].samples[0].value == 0.75

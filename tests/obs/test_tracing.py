@@ -1,0 +1,313 @@
+"""Tests for the span tracer: nesting, bounding, adoption, rendering.
+
+Everything here runs on *private* :class:`Tracer` instances except the
+module-level-API tests, which carefully restore the global switch --
+tracing must stay off for every other test in the suite (the
+disabled-by-default guarantee is itself under test).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    DEFAULT_BUFFER_SPANS,
+    SpanHandle,
+    Tracer,
+    drain_spans,
+    get_tracer,
+    render_span_tree,
+    set_tracing,
+    span,
+    tracing_enabled,
+)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer(enabled=True)
+
+
+class TestSpanBasics:
+    def test_span_records_name_timing_and_status(self, tracer):
+        with tracer.span("work", rows=7):
+            pass
+        (record,) = tracer.spans()
+        assert record["name"] == "work"
+        assert record["attrs"] == {"rows": 7}
+        assert record["status"] == "ok"
+        assert record["end"] >= record["start"]
+        assert record["span_id"]
+
+    def test_nesting_sets_parent_and_finish_order(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        inner_rec, outer_rec = tracer.spans()
+        assert inner_rec["name"] == "inner"  # inner finishes first
+        assert outer_rec["name"] == "outer"
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+        assert outer_rec["parent_id"] is None
+        assert outer_rec["start"] <= inner_rec["start"]
+        assert inner_rec["end"] <= outer_rec["end"]
+
+    def test_exception_marks_error_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (record,) = tracer.spans()
+        assert record["status"] == "error"
+
+    def test_set_attr_mid_flight(self, tracer):
+        with tracer.span("work") as handle:
+            handle.set_attr("n_rows", 42)
+        assert tracer.spans()[0]["attrs"]["n_rows"] == 42
+
+    def test_sibling_spans_share_parent(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        records = {r["name"]: r for r in tracer.spans()}
+        assert records["first"]["parent_id"] == parent.span_id
+        assert records["second"]["parent_id"] == parent.span_id
+
+    def test_threads_get_independent_stacks(self, tracer):
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread.child"):
+                pass
+            done.set()
+
+        with tracer.span("main.root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        records = {r["name"]: r for r in tracer.spans()}
+        # The other thread's span must NOT be parented under main.root.
+        assert records["thread.child"]["parent_id"] is None
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a")
+        second = tracer.span("b", rows=1)
+        assert first is second  # the shared singleton: no allocation
+        with first as handle:
+            handle.set_attr("ignored", 1)
+        assert tracer.spans() == []
+
+    def test_null_span_has_no_identity(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x").span_id is None
+
+    def test_decorator_is_passthrough_when_disabled(self):
+        tracer = Tracer(enabled=False)
+
+        @tracer.traced("decorated")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        assert add.__name__ == "add"
+        assert tracer.spans() == []
+
+
+class TestDecorator:
+    def test_decorator_records_span_per_call(self, tracer):
+        @tracer.traced()
+        def work():
+            return "done"
+
+        assert work() == "done"
+        assert work() == "done"
+        names = [r["name"] for r in tracer.spans()]
+        assert len(names) == 2
+        assert all("work" in name for name in names)
+
+    def test_decorator_explicit_name(self, tracer):
+        @tracer.traced("custom.name")
+        def work():
+            pass
+
+        work()
+        assert tracer.spans()[0]["name"] == "custom.name"
+
+
+class TestRingBuffer:
+    def test_buffer_bounds_and_counts_drops(self):
+        tracer = Tracer(enabled=True, buffer_spans=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert [s["name"] for s in spans] == ["s6", "s7", "s8", "s9"]
+        assert tracer.n_dropped == 6
+
+    def test_default_capacity(self):
+        assert Tracer()._buffer.maxlen == DEFAULT_BUFFER_SPANS == 8192
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="buffer_spans"):
+            Tracer(buffer_spans=0)
+
+    def test_drain_clears_but_keeps_drop_count(self):
+        tracer = Tracer(enabled=True, buffer_spans=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.spans() == []
+        assert tracer.n_dropped == 2
+
+    def test_clear_resets_drop_count(self):
+        tracer = Tracer(enabled=True, buffer_spans=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        tracer.clear()
+        assert tracer.spans() == []
+        assert tracer.n_dropped == 0
+
+
+class TestAdoption:
+    def test_adopt_reparents_foreign_roots_only(self, tracer):
+        foreign = Tracer(enabled=True)
+        with foreign.span("worker.root"):
+            with foreign.span("worker.child"):
+                pass
+        payloads = foreign.export()
+        assert foreign.spans() == []  # export drains
+
+        with tracer.span("coordinator") as parent:
+            adopted = tracer.adopt(payloads, parent=parent)
+        assert adopted == 2
+        records = {r["name"]: r for r in tracer.spans()}
+        root = records["worker.root"]
+        child = records["worker.child"]
+        assert root["parent_id"] == parent.span_id
+        # Internal parentage is preserved, not re-homed.
+        assert child["parent_id"] == root["span_id"]
+
+    def test_adopt_without_parent_makes_roots(self, tracer):
+        foreign = Tracer(enabled=True)
+        with foreign.span("orphan"):
+            pass
+        tracer.adopt(foreign.export())
+        assert tracer.spans()[0]["parent_id"] is None
+
+    def test_adopt_does_not_mutate_payloads(self, tracer):
+        foreign = Tracer(enabled=True)
+        with foreign.span("w"):
+            pass
+        payloads = foreign.export()
+        before = json.dumps(payloads, sort_keys=True)
+        with tracer.span("p") as parent:
+            tracer.adopt(payloads, parent=parent)
+        assert json.dumps(payloads, sort_keys=True) == before
+
+    def test_exported_payloads_are_json_clean(self):
+        foreign = Tracer(enabled=True)
+        with foreign.span("w", rows=3):
+            pass
+        text = json.dumps(foreign.export())
+        assert "rows" in text
+
+
+class TestDumpAndRender:
+    def test_dump_writes_sorted_trace_file(self, tmp_path, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        written = tracer.dump(path)
+        assert written == 2
+        payload = json.loads(path.read_text())
+        assert payload["clock"] == "perf_counter"
+        assert payload["n_spans"] == 2
+        assert payload["n_dropped"] == 0
+        starts = [s["start"] for s in payload["spans"]]
+        assert starts == sorted(starts)
+        # dump() is non-destructive
+        assert len(tracer.spans()) == 2
+
+    def test_render_tree_indents_children(self, tracer):
+        with tracer.span("outer", executor="serial"):
+            with tracer.span("inner"):
+                pass
+        text = render_span_tree(
+            {"spans": tracer.spans(), "n_dropped": 0}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "2 span(s)"
+        assert lines[1].startswith("outer")
+        assert "executor=serial" in lines[1]
+        assert lines[2].startswith("  inner")
+
+    def test_render_reports_drops_and_errors(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("x")
+        text = render_span_tree({"spans": tracer.spans(), "n_dropped": 3})
+        assert "(3 dropped by the ring buffer)" in text
+        assert "bad !" in text
+
+    def test_render_handles_orphan_parents(self):
+        spans = [
+            {
+                "name": "lost.child",
+                "span_id": "1-1",
+                "parent_id": "dead-beef",
+                "start": 0.0,
+                "end": 0.5,
+                "attrs": {},
+            }
+        ]
+        text = render_span_tree({"spans": spans})
+        assert "lost.child" in text
+
+    def test_render_empty_trace(self):
+        assert render_span_tree({"spans": []}) == "0 span(s)"
+
+
+class TestModuleLevelAPI:
+    def test_global_tracing_disabled_by_default(self):
+        assert tracing_enabled() is False
+        with span("ignored") as handle:
+            assert handle.span_id is None
+        assert get_tracer().spans() == []
+
+    def test_global_switch_round_trip(self):
+        set_tracing(True)
+        try:
+            assert tracing_enabled()
+            with span("global.demo", rows=1):
+                pass
+        finally:
+            set_tracing(False)
+        drained = drain_spans()
+        assert [s["name"] for s in drained] == ["global.demo"]
+        assert tracing_enabled() is False
+
+    def test_span_ids_are_unique(self, tracer):
+        handles = []
+        for index in range(50):
+            with tracer.span(f"s{index}") as handle:
+                handles.append(handle.span_id)
+        assert len(set(handles)) == 50
+
+    def test_span_handle_slots(self):
+        handle = SpanHandle(Tracer(enabled=True), "x", {})
+        with pytest.raises(AttributeError):
+            handle.arbitrary = 1

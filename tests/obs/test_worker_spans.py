@@ -1,0 +1,152 @@
+"""Acceptance tests for cross-process span propagation.
+
+The tentpole guarantee: spans emitted *inside* scan workers (which run
+in other processes under the process executor) appear in the
+coordinator's trace dump, re-parented under the coordinator's
+``engine.scan`` span, with timings that nest inside the parent and --
+per worker -- do not overlap (one process scans one chunk at a time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.engine import scan_sources
+from repro.io.rowstore import RowStore
+from repro.obs.tracing import dump_spans, get_tracer, set_tracing
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def traced():
+    """Enable global tracing for one test, restoring a clean tracer."""
+    tracer = get_tracer()
+    tracer.clear()
+    set_tracing(True)
+    yield tracer
+    set_tracing(False)
+    tracer.clear()
+
+
+@pytest.fixture
+def shard_path(tmp_path):
+    """An on-disk row store: file sources keep the process fabric.
+
+    In-memory arrays are deliberately downgraded to threads by the
+    engine (they would be pickled wholesale), so the cross-process
+    tests need a real file.
+    """
+    matrix = np.random.default_rng(0).normal(size=(400, 3))
+    path = tmp_path / "shard.rr"
+    RowStore.write_matrix(path, matrix)
+    return path
+
+
+def _scan_traced(tracer, source, *, executor: str, n_chunks: int = 4):
+    result = scan_sources(
+        [source], executor=executor, target_chunks=n_chunks, max_workers=2
+    )
+    spans = {s["span_id"]: s for s in tracer.spans()}
+    by_name: dict = {}
+    for record in spans.values():
+        by_name.setdefault(record["name"], []).append(record)
+    return result, spans, by_name
+
+
+class TestProcessWorkerSpans:
+    @pytest.fixture(autouse=True)
+    def _spans(self, traced, shard_path):
+        self.result, self.spans, self.by_name = _scan_traced(
+            traced, shard_path, executor="process"
+        )
+
+    def test_chunk_spans_are_collected(self):
+        chunks = self.by_name["scan.chunk"]
+        assert len(chunks) == 4
+        assert {c["attrs"]["chunk_index"] for c in chunks} == {0, 1, 2, 3}
+
+    def test_chunk_spans_come_from_worker_processes(self):
+        pids = {c["pid"] for c in self.by_name["scan.chunk"]}
+        assert os.getpid() not in pids  # genuinely out-of-process
+
+    def test_chunk_spans_parent_under_engine_scan(self):
+        (scan,) = self.by_name["engine.scan"]
+        for chunk in self.by_name["scan.chunk"]:
+            assert chunk["parent_id"] == scan["span_id"]
+
+    def test_chunk_timings_nest_inside_parent(self):
+        (scan,) = self.by_name["engine.scan"]
+        for chunk in self.by_name["scan.chunk"]:
+            assert scan["start"] <= chunk["start"]
+            assert chunk["end"] <= scan["end"]
+
+    def test_chunk_timings_do_not_overlap_per_worker(self):
+        per_pid: dict = {}
+        for chunk in self.by_name["scan.chunk"]:
+            per_pid.setdefault(chunk["pid"], []).append(chunk)
+        for chunks in per_pid.values():
+            chunks.sort(key=lambda c: c["start"])
+            for earlier, later in zip(chunks, chunks[1:]):
+                assert earlier["end"] <= later["start"]
+
+    def test_coordinator_phases_present(self):
+        assert len(self.by_name["engine.plan"]) == 1
+        assert len(self.by_name["engine.merge"]) == 1
+        (scan,) = self.by_name["engine.scan"]
+        assert scan["attrs"]["executor_used"] == "process"
+        assert scan["attrs"]["n_rows"] == 400
+
+    def test_chunk_attrs_carry_row_counts(self):
+        total = sum(c["attrs"]["rows"] for c in self.by_name["scan.chunk"])
+        assert total == 400
+
+    def test_dump_contains_worker_spans(self, tmp_path):
+        path = tmp_path / "trace.json"
+        dump_spans(path)
+        payload = json.loads(path.read_text())
+        names = [s["name"] for s in payload["spans"]]
+        assert names.count("scan.chunk") == 4
+        assert payload["n_dropped"] == 0
+
+
+class TestOtherExecutors:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_chunk_spans_collected_uniformly(self, traced, shard_path, executor):
+        result, spans, by_name = _scan_traced(
+            traced, shard_path, executor=executor
+        )
+        (scan,) = by_name["engine.scan"]
+        chunks = by_name["scan.chunk"]
+        assert len(chunks) == 4
+        for chunk in chunks:
+            assert chunk["parent_id"] == scan["span_id"]
+            assert scan["start"] <= chunk["start"] <= chunk["end"] <= scan["end"]
+
+    def test_tracing_off_leaves_no_spans(self, shard_path):
+        tracer = get_tracer()
+        tracer.clear()
+        scan_sources([shard_path], executor="process", target_chunks=2)
+        assert tracer.spans() == []
+
+    def test_scan_results_identical_with_and_without_tracing(
+        self, traced, shard_path
+    ):
+        with_trace = scan_sources(
+            [shard_path], executor="process", target_chunks=2
+        )
+        set_tracing(False)
+        without = scan_sources(
+            [shard_path], executor="process", target_chunks=2
+        )
+        traced_state = with_trace.accumulator.state()
+        plain_state = without.accumulator.state()
+        assert traced_state.keys() == plain_state.keys()
+        for key in traced_state:
+            np.testing.assert_array_equal(
+                traced_state[key], plain_state[key]
+            )

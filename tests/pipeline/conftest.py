@@ -1,25 +1,17 @@
-"""Shared fixtures for the continuous-ingestion pipeline suite."""
+"""Shared fixtures for the continuous-ingestion pipeline suite.
+
+The regime-matrix factory lives in :mod:`tests.conftest`; it is
+re-exported here so pipeline tests keep their historical import path.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets.streams import StreamPhase, TransactionStream
+from tests.conftest import make_regime_matrix
 
-
-def make_regime_matrix(
-    seed: int,
-    loadings=(1.0, 2.0, 0.5),
-    n_rows: int = 400,
-    noise: float = 0.05,
-) -> np.ndarray:
-    """Rank-1 transactions following one latent spending ratio."""
-    generator = np.random.default_rng(seed)
-    volume = generator.uniform(0.5, 4.0, size=n_rows)
-    matrix = np.outer(volume, np.asarray(loadings, dtype=np.float64))
-    matrix += generator.normal(0.0, noise, size=matrix.shape)
-    return matrix
+__all__ = ["make_regime_matrix"]
 
 
 @pytest.fixture

@@ -1,32 +1,17 @@
-"""Shared fixtures for the serving-layer suite."""
+"""Shared fixtures for the serving-layer suite.
+
+The synthetic-data factories live in :mod:`tests.conftest`; they are
+re-exported here so serving tests keep their historical import path.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.model import RatioRuleModel
+from tests.conftest import make_rank2_matrix, punch_holes
 
-
-def make_rank2_matrix(seed: int, n_rows: int = 200, n_cols: int = 5) -> np.ndarray:
-    """Rank-2 data with small noise; distinct per seed."""
-    generator = np.random.default_rng(seed)
-    factor1 = generator.normal(5.0, 2.0, size=n_rows)
-    factor2 = generator.normal(0.0, 1.0, size=n_rows)
-    loadings1 = np.array([1.0, 2.0, 0.5, 3.0, 1.5])[:n_cols]
-    loadings2 = np.array([0.5, -1.0, 2.0, 0.0, -0.5])[:n_cols]
-    matrix = np.outer(factor1, loadings1) + np.outer(factor2, loadings2)
-    matrix += generator.normal(0.0, 0.05, size=matrix.shape)
-    return matrix
-
-
-def punch_holes(
-    matrix: np.ndarray, generator: np.random.Generator, rate: float = 0.3
-) -> np.ndarray:
-    """Copy of ``matrix`` with a random ``rate`` of cells set to NaN."""
-    holey = matrix.copy()
-    holey[generator.random(matrix.shape) < rate] = np.nan
-    return holey
+__all__ = ["make_rank2_matrix", "punch_holes"]
 
 
 @pytest.fixture
