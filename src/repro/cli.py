@@ -119,6 +119,24 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--resume", action="store_true",
                      help="resume from --checkpoint if it exists (the "
                           "resumed model is exactly the uninterrupted one)")
+    fit.add_argument("--accumulate-dtype", default="float64",
+                     choices=["float64", "raw64", "float32"],
+                     help="covariance accumulation mode: float64 (default, "
+                          "bit-identical to the reference path), raw64 "
+                          "(BLAS raw-moment accumulation), or float32 "
+                          "(single-precision moments, float64 centering)")
+    fit.add_argument("--target-chunks", type=int, default=None, metavar="N",
+                     help="plan the scan into N chunks (default: adaptive -- "
+                          "one per worker, over-chunked for load balance on "
+                          "large files)")
+    fit.add_argument("--min-chunk-bytes", type=int, default=None,
+                     metavar="BYTES",
+                     help="adaptive chunk-sizing floor: never plan chunks "
+                          "smaller than this payload (default: 4 MiB)")
+    fit.add_argument("--no-shm-handoff", action="store_true",
+                     help="disable the shared-memory handoff of partial "
+                          "statistics from process workers (debugging aid; "
+                          "partials are pickled back instead)")
     _add_obs_arguments(fit)
 
     rules = subparsers.add_parser("rules", help="print the rules of a saved model")
@@ -183,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["numpy", "jacobi", "householder",
                                    "power", "lanczos"],
                           help="eigensolver backend for refits")
+    pipeline.add_argument("--on-bad-row", default="raise",
+                          choices=["raise", "skip"],
+                          help="what to do with a corrupt CSV row: abort "
+                               "the pipeline with file/byte context (raise, "
+                               "default) or drop it and count it in the "
+                               "metrics (skip)")
     pipeline.add_argument("--min-rows", type=int, default=256, metavar="N",
                           help="rows since last refresh required before "
                                "the next one")
@@ -438,6 +462,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
         or args.chunk_timeout is not None
         or args.on_bad_chunk != "raise"
         or args.checkpoint is not None
+        or args.target_chunks is not None
+        or args.min_chunk_bytes is not None
     )
     if wants_engine:
         # Route through the out-of-core scan engine, which splits the
@@ -455,6 +481,10 @@ def _cmd_fit(args: argparse.Namespace) -> int:
                 on_bad_chunk=args.on_bad_chunk,
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                target_chunks=args.target_chunks,
+                accumulate_dtype=args.accumulate_dtype,
+                min_chunk_bytes=args.min_chunk_bytes,
+                shm_handoff=not args.no_shm_handoff,
             )
         except ScanFaultError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -466,7 +496,11 @@ def _cmd_fit(args: argparse.Namespace) -> int:
                 )
             return 3
     else:
-        model = RatioRuleModel(cutoff=cutoff, backend=args.backend)
+        model = RatioRuleModel(
+            cutoff=cutoff,
+            backend=args.backend,
+            accumulate_dtype=args.accumulate_dtype,
+        )
         model.fit(args.data)
     _obs_register(args, model.metrics_)
     if model.metrics_ is not None and model.metrics_.n_quarantined:
@@ -598,7 +632,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
 
     try:
-        source = CSVTailSource(args.data, follow=args.follow)
+        source = CSVTailSource(
+            args.data, follow=args.follow, on_bad_row=args.on_bad_row
+        )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

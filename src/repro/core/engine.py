@@ -55,15 +55,32 @@ Every scan fills a :class:`~repro.obs.metrics.ScanMetrics` record
 counters) so the gap to the paper's Fig. 8 linear scale-up is
 measurable, not aspirational.
 
-Workers return pickled accumulators; the accumulator state is three
-small arrays, so the reduce traffic is O(workers * M^2) regardless of
-``N`` -- the out-of-core property survives parallelism.
+Three raw-speed mechanisms keep the parallel overhead below the win:
+
+- **pool reuse** -- worker pools are cached process-wide and reused
+  across scans and retry rounds, so the ~100ms+ cost of spawning a
+  ``ProcessPoolExecutor`` is paid once, not per scan;
+- **shared-memory handoff** -- on the process fabric each worker
+  writes its partial's state arrays into a per-chunk slot of one
+  ``multiprocessing.shared_memory`` segment and returns only a tiny
+  tuple, instead of pickling the accumulator back through the result
+  pipe;
+- **adaptive chunk sizing** -- when ``target_chunks`` is not forced,
+  large workloads are over-chunked (up to 4x the pool width, with at
+  least ``min_chunk_bytes`` of payload per chunk) so a slow worker
+  never strands the pool, while small workloads keep exactly one chunk
+  per worker.
+
+Either way the reduce traffic is O(workers * M^2) regardless of ``N``
+-- the out-of-core property survives parallelism.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
+import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -77,7 +94,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.covariance import StreamingCovariance
+from repro.core.covariance import ACCUMULATE_DTYPES, StreamingCovariance
 from repro.io.matrix_reader import (
     ArrayReader,
     CSVChunkReader,
@@ -101,8 +118,10 @@ __all__ = [
     "plan_chunks",
     "scan_chunk",
     "scan_sources",
+    "shutdown_pools",
     "EXECUTORS",
     "BAD_CHUNK_POLICIES",
+    "MIN_CHUNK_BYTES",
 ]
 
 #: Recognized executor names; ``"auto"`` resolves per the fallback
@@ -114,6 +133,154 @@ BAD_CHUNK_POLICIES = ("raise", "skip")
 
 #: Fabric to fall back to when a worker pool dies mid-round.
 _DOWNGRADE = {"process": "thread", "thread": "serial"}
+
+#: Adaptive chunk sizing floor: when the planner over-chunks a large
+#: workload for load balancing, each chunk keeps at least this much
+#: payload so per-chunk dispatch overhead stays amortized.
+MIN_CHUNK_BYTES = 4 << 20
+
+
+# -- worker-pool cache ------------------------------------------------------
+#
+# Spawning a ProcessPoolExecutor costs fork + interpreter warm-up +
+# handshake per worker; paying that on every scan (and every retry
+# round) is what produced the historical sub-1.0x process "speedup".
+# Pools are cached process-wide, keyed by (fabric, width), checked out
+# for the duration of one execution round, and returned when healthy.
+# Broken pools and pools that may still be running a timed-out attempt
+# are discarded instead.
+
+_POOL_LOCK = threading.Lock()
+_POOL_CACHE: Dict[Tuple[str, int], object] = {}
+
+
+def _borrow_pool(kind: str, workers: int):
+    """Check out a cached executor, creating one on first use.
+
+    A cached pool can have died *after* it was returned (a worker
+    killed once its futures already resolved); hand those to the
+    shredder instead of the caller.
+    """
+    with _POOL_LOCK:
+        pool = _POOL_CACHE.pop((kind, workers), None)
+    if pool is not None:
+        if not getattr(pool, "_broken", False):
+            return pool
+        pool.shutdown(wait=False, cancel_futures=True)
+    pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
+    return pool_cls(max_workers=workers)
+
+
+def _return_pool(kind: str, workers: int, pool) -> None:
+    """Return a healthy pool to the cache; surplus pools shut down."""
+    with _POOL_LOCK:
+        if (kind, workers) not in _POOL_CACHE:
+            _POOL_CACHE[(kind, workers)] = pool
+            return
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached executor (registered atexit)."""
+    with _POOL_LOCK:
+        pools = list(_POOL_CACHE.values())
+        _POOL_CACHE.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+# -- shared-memory partial handoff ------------------------------------------
+
+
+def _slot_nbytes(accumulate_dtype: str, n_cols: int) -> int:
+    """Bytes per chunk slot: int64 count + float64 vector + matrix."""
+    item = 4 if accumulate_dtype == "float32" else 8
+    return 8 + 8 * n_cols + item * n_cols * n_cols
+
+
+def _slot_views(buf, offset: int, accumulate_dtype: str, n_cols: int):
+    """(count, vector, matrix) numpy views into one shared-memory slot."""
+    count = np.frombuffer(buf, dtype=np.int64, count=1, offset=offset)
+    vector = np.frombuffer(
+        buf, dtype=np.float64, count=n_cols, offset=offset + 8
+    )
+    matrix_dtype = np.float32 if accumulate_dtype == "float32" else np.float64
+    matrix = np.frombuffer(
+        buf,
+        dtype=matrix_dtype,
+        count=n_cols * n_cols,
+        offset=offset + 8 + 8 * n_cols,
+    ).reshape(n_cols, n_cols)
+    return count, vector, matrix
+
+
+def _publish_partial(accumulator: StreamingCovariance, handoff) -> bool:
+    """Worker side: write the partial's state into its slot.
+
+    Returns False when the segment cannot be attached (e.g. the
+    coordinator tore it down after a timeout); the caller then falls
+    back to returning the pickled accumulator.
+    """
+    from multiprocessing import shared_memory
+
+    shm_name, offset, accumulate_dtype, n_cols = handoff
+    try:
+        segment = shared_memory.SharedMemory(name=shm_name)
+    except OSError:
+        return False
+    try:
+        # Attaching re-registers the segment with the resource tracker,
+        # but forked workers share the coordinator's tracker process and
+        # registration is a set add — idempotent.  Do NOT unregister
+        # here: that would erase the coordinator's own registration and
+        # its later unlink() would trip a KeyError inside the tracker.
+        state = accumulator.state()
+        count, vector, matrix = _slot_views(
+            segment.buf, offset, accumulate_dtype, n_cols
+        )
+        try:
+            count[0] = state["count"]
+            if accumulate_dtype == "float64":
+                vector[:] = state["mean"]
+                matrix[:] = state["scatter"]
+            else:
+                vector[:] = state["colsum"]
+                matrix[:] = state["raw"]
+        finally:
+            del count, vector, matrix
+        return True
+    finally:
+        segment.close()
+
+
+def _collect_partial(
+    segment, offset: int, accumulate_dtype: str, n_cols: int
+) -> StreamingCovariance:
+    """Coordinator side: rebuild a partial from its slot (copies out)."""
+    count, vector, matrix = _slot_views(
+        segment.buf, offset, accumulate_dtype, n_cols
+    )
+    try:
+        if accumulate_dtype == "float64":
+            state = {
+                "mode": "float64",
+                "count": int(count[0]),
+                "mean": vector.copy(),
+                "scatter": matrix.copy(),
+            }
+        else:
+            state = {
+                "mode": accumulate_dtype,
+                "count": int(count[0]),
+                "colsum": vector.copy(),
+                "raw": matrix.copy(),
+            }
+    finally:
+        del count, vector, matrix
+    return StreamingCovariance.from_state(state)
 
 
 class ScanFaultError(RuntimeError):
@@ -261,22 +428,42 @@ class ScanCheckpoint:
     # -- plan binding ------------------------------------------------------
 
     @staticmethod
-    def _fingerprint(chunks: Sequence[ScanChunk], block_rows: int) -> str:
-        return json.dumps(
-            {
-                "block_rows": int(block_rows),
-                "chunks": [chunk.signature() for chunk in chunks],
-            },
-            sort_keys=True,
+    def _fingerprint(
+        chunks: Sequence[ScanChunk],
+        block_rows: int,
+        accumulate_dtype: str = "float64",
+    ) -> str:
+        payload = {
+            "block_rows": int(block_rows),
+            "chunks": [chunk.signature() for chunk in chunks],
+        }
+        # Keep float64 fingerprints byte-identical to files written
+        # before accumulation modes existed, so those still resume.
+        if accumulate_dtype != "float64":
+            payload["accumulate_dtype"] = accumulate_dtype
+        return json.dumps(payload, sort_keys=True)
+
+    def bind_plan(
+        self,
+        chunks: Sequence[ScanChunk],
+        block_rows: int,
+        accumulate_dtype: str = "float64",
+    ) -> None:
+        """Pin this checkpoint to a planned scan."""
+        self._plan_json = self._fingerprint(
+            chunks, block_rows, accumulate_dtype
         )
 
-    def bind_plan(self, chunks: Sequence[ScanChunk], block_rows: int) -> None:
-        """Pin this checkpoint to a planned scan."""
-        self._plan_json = self._fingerprint(chunks, block_rows)
-
-    def matches(self, chunks: Sequence[ScanChunk], block_rows: int) -> bool:
+    def matches(
+        self,
+        chunks: Sequence[ScanChunk],
+        block_rows: int,
+        accumulate_dtype: str = "float64",
+    ) -> bool:
         """Whether the stored plan is exactly the given plan."""
-        return self._plan_json == self._fingerprint(chunks, block_rows)
+        return self._plan_json == self._fingerprint(
+            chunks, block_rows, accumulate_dtype
+        )
 
     # -- contents ----------------------------------------------------------
 
@@ -308,9 +495,15 @@ class ScanCheckpoint:
         }
         for index, (accumulator, n_blocks) in self._partials.items():
             state = accumulator.state()
+            mode = state.get("mode", "float64")
             arrays[f"count_{index}"] = np.asarray(state["count"], dtype=np.int64)
-            arrays[f"mean_{index}"] = state["mean"]
-            arrays[f"scatter_{index}"] = state["scatter"]
+            if mode == "float64":
+                arrays[f"mean_{index}"] = state["mean"]
+                arrays[f"scatter_{index}"] = state["scatter"]
+            else:
+                arrays[f"mode_{index}"] = np.asarray([mode])
+                arrays[f"colsum_{index}"] = state["colsum"]
+                arrays[f"raw_{index}"] = state["raw"]
             arrays[f"blocks_{index}"] = np.asarray(n_blocks, dtype=np.int64)
         tmp_path = self.path.with_name(self.path.name + ".tmp")
         with open(tmp_path, "wb") as handle:
@@ -324,13 +517,20 @@ class ScanCheckpoint:
         with np.load(checkpoint.path, allow_pickle=False) as archive:
             checkpoint._plan_json = str(archive["plan_json"][0])
             for index in archive["done"].tolist():
-                accumulator = StreamingCovariance.from_state(
-                    {
+                if f"mode_{index}" in archive:
+                    state = {
+                        "mode": str(archive[f"mode_{index}"][0]),
+                        "count": int(archive[f"count_{index}"]),
+                        "colsum": archive[f"colsum_{index}"],
+                        "raw": archive[f"raw_{index}"],
+                    }
+                else:
+                    state = {
                         "count": int(archive[f"count_{index}"]),
                         "mean": archive[f"mean_{index}"],
                         "scatter": archive[f"scatter_{index}"],
                     }
-                )
+                accumulator = StreamingCovariance.from_state(state)
                 checkpoint._partials[index] = (
                     accumulator,
                     int(archive[f"blocks_{index}"]),
@@ -449,7 +649,12 @@ def plan_chunks(
     return chunks, schema
 
 
-def scan_chunk(chunk: ScanChunk, block_rows: int = 4096) -> Tuple[StreamingCovariance, int]:
+def scan_chunk(
+    chunk: ScanChunk,
+    block_rows: int = 4096,
+    *,
+    accumulate_dtype: str = "float64",
+) -> Tuple[StreamingCovariance, int]:
     """Map step: scan one chunk into ``(partial accumulator, n_blocks)``.
 
     Runs in worker processes -- everything it needs travels inside the
@@ -471,7 +676,9 @@ def scan_chunk(chunk: ScanChunk, block_rows: int = 4096) -> Tuple[StreamingCovar
     else:
         raise ValueError(f"unknown chunk kind {chunk.kind!r}")
     try:
-        accumulator = StreamingCovariance(reader.n_cols)
+        accumulator = StreamingCovariance(
+            reader.n_cols, accumulate_dtype=accumulate_dtype
+        )
         n_blocks = 0
         for block in reader.iter_blocks(block_rows):
             accumulator.update(block)
@@ -482,7 +689,7 @@ def scan_chunk(chunk: ScanChunk, block_rows: int = 4096) -> Tuple[StreamingCovar
             reader.close()
 
 
-def _scan_chunk_task(args) -> Tuple[StreamingCovariance, int, Optional[list]]:
+def _scan_chunk_task(args) -> Tuple[Optional[StreamingCovariance], int, Optional[list]]:
     """Worker entry point: apply injected faults, then scan the chunk.
 
     Returns ``(partial, n_blocks, spans)`` where ``spans`` is a list
@@ -494,21 +701,42 @@ def _scan_chunk_task(args) -> Tuple[StreamingCovariance, int, Optional[list]]:
     chunk.  ``time.perf_counter`` is ``CLOCK_MONOTONIC`` system-wide
     on Linux, so the shipped timestamps are directly comparable to
     the coordinator's.
+
+    With a shared-memory ``handoff`` descriptor the partial's state is
+    written into its per-chunk slot instead and the first element of
+    the tuple comes back ``None`` -- the coordinator rebuilds the
+    partial from the slot, skipping result-pipe pickling.
     """
-    chunk, block_rows, fault_injector, chunk_index, trace = args
+    (
+        chunk,
+        block_rows,
+        fault_injector,
+        chunk_index,
+        trace,
+        accumulate_dtype,
+        handoff,
+    ) = args
     if fault_injector is not None:
         fault_injector.on_chunk_start(chunk_index)
+    spans = None
     if not trace:
-        accumulator, n_blocks = scan_chunk(chunk, block_rows)
-        return accumulator, n_blocks, None
-    tracer = Tracer(enabled=True)
-    with tracer.span(
-        "scan.chunk", chunk_index=chunk_index, kind=chunk.kind
-    ) as chunk_span:
-        accumulator, n_blocks = scan_chunk(chunk, block_rows)
-        chunk_span.set_attr("rows", accumulator.n_rows)
-        chunk_span.set_attr("blocks", n_blocks)
-    return accumulator, n_blocks, tracer.export()
+        accumulator, n_blocks = scan_chunk(
+            chunk, block_rows, accumulate_dtype=accumulate_dtype
+        )
+    else:
+        tracer = Tracer(enabled=True)
+        with tracer.span(
+            "scan.chunk", chunk_index=chunk_index, kind=chunk.kind
+        ) as chunk_span:
+            accumulator, n_blocks = scan_chunk(
+                chunk, block_rows, accumulate_dtype=accumulate_dtype
+            )
+            chunk_span.set_attr("rows", accumulator.n_rows)
+            chunk_span.set_attr("blocks", n_blocks)
+        spans = tracer.export()
+    if handoff is not None and _publish_partial(accumulator, handoff):
+        return None, n_blocks, spans
+    return accumulator, n_blocks, spans
 
 
 def _resolve_executor(
@@ -536,6 +764,40 @@ def _describe_source(chunk: ScanChunk) -> str:
     if isinstance(chunk.source, (str, Path)):
         return str(chunk.source)
     return f"<{type(chunk.source).__name__}>"
+
+
+def _estimate_payload_bytes(sources: Sequence) -> Optional[int]:
+    """Total scannable bytes across sources, or ``None`` when unknown.
+
+    Used only to *size chunks adaptively*; an estimate that cannot be
+    made cheaply (live readers) disables adaptation rather than
+    guessing.
+    """
+    total = 0
+    for source in sources:
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            try:
+                if path.is_dir():
+                    total += sum(
+                        child.stat().st_size
+                        for child in path.iterdir()
+                        if child.is_file()
+                    )
+                else:
+                    total += path.stat().st_size
+            except OSError:
+                return None
+        elif isinstance(source, np.ndarray):
+            total += source.nbytes
+        elif isinstance(source, MatrixReader):
+            return None
+        else:
+            try:
+                total += np.asarray(source).nbytes
+            except Exception:
+                return None
+    return total
 
 
 def _quarantine_record(chunk: ScanChunk, error: BaseException) -> dict:
@@ -574,6 +836,8 @@ def _execute_chunks(
     fault_injector,
     checkpoint: Optional[ScanCheckpoint],
     trace: bool = False,
+    accumulate_dtype: str = "float64",
+    shm_handoff: bool = True,
 ) -> Tuple[Dict[int, Tuple[StreamingCovariance, int]], str, Dict[int, list]]:
     """Run the pending chunk indices with retry/quarantine/degradation.
 
@@ -621,37 +885,83 @@ def _execute_chunks(
                                 fault_injector,
                                 index,
                                 trace,
+                                accumulate_dtype,
+                                None,
                             )
                         ),
                     )
                 except Exception as exc:
                     failures.append((index, exc, False))
         else:
-            pool_cls = (
-                ProcessPoolExecutor if current == "process" else ThreadPoolExecutor
-            )
             broken = False
             leaked = False
             with_pool_error: Optional[BaseException] = None
-            pool = pool_cls(max_workers=min(workers, len(queue)))
-            try:
-                futures = {
-                    index: pool.submit(
-                        _scan_chunk_task,
-                        (
-                            chunks[index],
-                            block_rows,
-                            fault_injector,
-                            index,
-                            trace,
-                        ),
+            pool = _borrow_pool(current, workers)
+            segment = None
+            slot_offsets: Dict[int, int] = {}
+            n_cols = chunks[queue[0]].n_cols
+            if current == "process" and shm_handoff:
+                slot = _slot_nbytes(accumulate_dtype, n_cols)
+                try:
+                    from multiprocessing import shared_memory
+
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=slot * len(queue)
                     )
-                    for index in queue
-                }
+                    slot_offsets = {
+                        index: position * slot
+                        for position, index in enumerate(queue)
+                    }
+                except (ImportError, OSError):
+                    segment = None  # no shm on this platform: pickle instead
+            try:
+                futures = {}
+                try:
+                    for index in queue:
+                        futures[index] = pool.submit(
+                            _scan_chunk_task,
+                            (
+                                chunks[index],
+                                block_rows,
+                                fault_injector,
+                                index,
+                                trace,
+                                accumulate_dtype,
+                                None
+                                if segment is None
+                                else (
+                                    segment.name,
+                                    slot_offsets[index],
+                                    accumulate_dtype,
+                                    n_cols,
+                                ),
+                            ),
+                        )
+                except BrokenExecutor as exc:
+                    # The pool died under submission; everything this
+                    # round is a failure and the fabric downgrades.
+                    broken = True
+                    with_pool_error = exc
                 for index in queue:
+                    if index not in futures:
+                        failures.append((index, with_pool_error, False))
+                        continue
                     timeout = 0.0 if broken else policy.chunk_timeout
                     try:
-                        _succeed(index, futures[index].result(timeout=timeout))
+                        accumulator, n_blocks, spans = futures[index].result(
+                            timeout=timeout
+                        )
+                        if accumulator is None:
+                            accumulator = _collect_partial(
+                                segment,
+                                slot_offsets[index],
+                                accumulate_dtype,
+                                n_cols,
+                            )
+                            metrics.n_shm_handoffs += 1
+                        elif current == "process":
+                            metrics.n_pickled_handoffs += 1
+                        _succeed(index, (accumulator, n_blocks, spans))
                     except FuturesTimeoutError:
                         futures[index].cancel()
                         if broken:
@@ -675,10 +985,19 @@ def _execute_chunks(
                     except Exception as exc:
                         failures.append((index, exc, False))
             finally:
-                # A broken pool cannot be joined; a timed-out chunk may
-                # still be running its (now abandoned) attempt -- don't
-                # block the reducer on either.
-                pool.shutdown(wait=not (broken or leaked), cancel_futures=True)
+                if segment is not None:
+                    segment.close()
+                    try:
+                        segment.unlink()
+                    except FileNotFoundError:
+                        pass
+                # A broken pool cannot be rejoined; a timed-out chunk
+                # may still be running its (now abandoned) attempt --
+                # retire such pools instead of caching them.
+                if broken or leaked:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    _return_pool(current, workers, pool)
             if broken:
                 current = _DOWNGRADE.get(current, "serial")
                 metrics.n_executor_downgrades += 1
@@ -726,6 +1045,9 @@ def scan_sources(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     fault_injector=None,
+    accumulate_dtype: str = "float64",
+    min_chunk_bytes: int = MIN_CHUNK_BYTES,
+    shm_handoff: bool = True,
 ) -> ScanResult:
     """Scan one or many sources into a single merged accumulator.
 
@@ -776,6 +1098,22 @@ def scan_sources(
         Test hook (see :mod:`repro.testing.faults`): an object whose
         ``on_chunk_start(chunk_index)`` runs in the worker before each
         attempt and may raise, sleep, or kill the worker.
+    accumulate_dtype:
+        Accumulation mode for every per-chunk partial and the merged
+        result (see
+        :data:`~repro.core.covariance.ACCUMULATE_DTYPES`).  The
+        default ``"float64"`` keeps the bit-exact stable path; raw
+        modes trade the per-block centering for a single BLAS call.
+    min_chunk_bytes:
+        Adaptive chunk sizing floor.  When ``target_chunks`` is not
+        given, large workloads are over-chunked -- up to 4x the pool
+        width -- for load balancing, but never below this many payload
+        bytes per chunk; ``0`` disables over-chunking.
+    shm_handoff:
+        On the process fabric, hand partials back through one
+        ``multiprocessing.shared_memory`` segment instead of pickling
+        them through the result pipe (falls back automatically where
+        shared memory is unavailable).
 
     Returns
     -------
@@ -793,6 +1131,11 @@ def scan_sources(
         )
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
+    if accumulate_dtype not in ACCUMULATE_DTYPES:
+        raise ValueError(
+            f"accumulate_dtype must be one of {ACCUMULATE_DTYPES}, "
+            f"got {accumulate_dtype!r}"
+        )
     policy = RetryPolicy(
         max_retries=max_retries,
         backoff_seconds=backoff_seconds,
@@ -814,7 +1157,20 @@ def scan_sources(
         "engine.scan", n_sources=len(sources), executor=executor
     ) as scan_span, Stopwatch() as total_watch:
         with span("engine.plan"):
-            target = target_chunks or max(len(sources), desired_workers)
+            target = target_chunks
+            if target is None:
+                # One chunk per worker saturates the pool; large
+                # workloads are over-chunked (capped at 4x the pool,
+                # floored at min_chunk_bytes per chunk) so one slow
+                # worker cannot strand the round.
+                target = max(len(sources), desired_workers)
+                if desired_workers > 1 and min_chunk_bytes > 0:
+                    payload = _estimate_payload_bytes(sources)
+                    if payload is not None:
+                        balanced = -(-payload // min_chunk_bytes)
+                        target = max(
+                            target, min(balanced, 4 * desired_workers)
+                        )
             shares = _proportional_shares([1] * len(sources), target)
             chunks: List[ScanChunk] = []
             resolved_schema = schema
@@ -844,7 +1200,9 @@ def scan_sources(
                 checkpoint_path = Path(checkpoint)
                 if resume and checkpoint_path.exists():
                     store = ScanCheckpoint.load(checkpoint_path)
-                    if not store.matches(chunks, block_rows):
+                    if not store.matches(
+                        chunks, block_rows, accumulate_dtype=accumulate_dtype
+                    ):
                         raise ValueError(
                             f"checkpoint {checkpoint_path} was written for a "
                             "different scan plan (sources, chunking, or "
@@ -854,7 +1212,9 @@ def scan_sources(
                     completed = store.completed
                 else:
                     store = ScanCheckpoint(checkpoint_path)
-                    store.bind_plan(chunks, block_rows)
+                    store.bind_plan(
+                        chunks, block_rows, accumulate_dtype=accumulate_dtype
+                    )
             metrics.n_chunks_resumed = len(completed)
 
             pending = [
@@ -879,6 +1239,8 @@ def scan_sources(
                 fault_injector,
                 store,
                 trace,
+                accumulate_dtype,
+                shm_handoff,
             )
             # Re-home the spans the workers shipped back: their root
             # scan.chunk spans become children of this coordinator's
@@ -893,7 +1255,9 @@ def scan_sources(
             # sequence (and hence the bits) never depends on which
             # chunks faulted along the way.
             with span("engine.merge", n_partials=len(results)):
-                merged = StreamingCovariance(chunks[0].n_cols)
+                merged = StreamingCovariance(
+                    chunks[0].n_cols, accumulate_dtype=accumulate_dtype
+                )
                 for index in range(len(chunks)):
                     if index not in results:
                         continue  # quarantined
@@ -908,6 +1272,7 @@ def scan_sources(
 
     metrics.executor = final_executor
     metrics.n_workers = workers
+    metrics.accumulate_dtype = accumulate_dtype
     metrics.n_sources = len(sources)
     metrics.n_chunks = len(chunks)
     metrics.n_rows = merged.n_rows

@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.covariance import StreamingCovariance
-from repro.core.engine import scan_sources
+from repro.core.engine import MIN_CHUNK_BYTES, scan_sources
 from repro.core.model import RatioRuleModel
 from repro.io.matrix_reader import MatrixReader, open_matrix
 from repro.io.schema import TableSchema
@@ -95,6 +95,9 @@ def fit_sharded(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
     fault_injector=None,
+    accumulate_dtype: str = "float64",
+    min_chunk_bytes: Optional[int] = None,
+    shm_handoff: bool = True,
 ) -> RatioRuleModel:
     """Mine Ratio Rules from several shards as if they were one matrix.
 
@@ -137,6 +140,12 @@ def fit_sharded(
         The resumed model is bit-for-bit the uninterrupted model.
     fault_injector:
         Deterministic test hook (:mod:`repro.testing.faults`).
+    accumulate_dtype, min_chunk_bytes, shm_handoff:
+        Hot-path tuning knobs forwarded to
+        :func:`repro.core.engine.scan_sources`: the accumulation mode
+        (``"float64"``, ``"raw64"``, ``"float32"``), the adaptive
+        chunk-sizing floor, and whether process workers hand partials
+        back through shared memory.
 
     Returns
     -------
@@ -161,6 +170,11 @@ def fit_sharded(
             checkpoint=checkpoint,
             resume=resume,
             fault_injector=fault_injector,
+            accumulate_dtype=accumulate_dtype,
+            min_chunk_bytes=(
+                MIN_CHUNK_BYTES if min_chunk_bytes is None else min_chunk_bytes
+            ),
+            shm_handoff=shm_handoff,
         )
         model = RatioRuleModel(cutoff=cutoff, backend=backend)
         model.fit_from_accumulator(

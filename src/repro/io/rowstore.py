@@ -335,6 +335,40 @@ class RowStore:
             yield np.frombuffer(raw, dtype=np.float64).reshape(take, self.n_cols)
             remaining -= take
 
+    def memmap_matrix(self) -> np.ndarray:
+        """Zero-copy read-only view of the whole ``N x M`` data section.
+
+        Memory-maps the file, so a scan touches each page exactly once
+        and never stages rows through ``read()`` buffers -- the fast
+        path for :class:`~repro.io.matrix_reader.RowStoreReader`.  The
+        mapping holds its own file reference and stays valid after this
+        store is closed.
+
+        Raises :class:`RowStoreError` when the file is shorter than the
+        header promises, and ``OSError`` where mmap itself is
+        unavailable (callers fall back to :meth:`iter_blocks`).
+        """
+        if self._mode != "r":
+            raise RowStoreError("store opened write-only")
+        n_rows, n_cols = self._header.n_rows, self.n_cols
+        if n_rows == 0:
+            return np.empty((0, n_cols), dtype=np.float64)
+        data_end = self._header.data_offset + 8 * n_rows * n_cols
+        size = self._path.stat().st_size
+        if size < data_end:
+            have = (size - self._header.data_offset) // (8 * n_cols)
+            raise RowStoreError(
+                f"file truncated: expected {n_rows} rows, got {max(have, 0)}"
+            )
+        matrix = np.memmap(
+            self._path,
+            dtype="<f8",
+            mode="r",
+            offset=self._header.data_offset,
+            shape=(n_rows, n_cols),
+        )
+        return matrix
+
     def read_matrix(self) -> np.ndarray:
         """Materialize the full ``N x M`` matrix in memory."""
         blocks = list(self.iter_blocks())

@@ -129,6 +129,16 @@ class ScanMetrics:
     n_chunks_resumed:
         Chunks skipped because a checkpoint already held their
         partial accumulators.
+    accumulate_dtype:
+        Accumulation mode of the scan (``"float64"``, ``"raw64"``, or
+        ``"float32"``); a mode describes one scan, so ``merge`` keeps
+        the receiver's value.
+    n_shm_handoffs:
+        Chunk partials returned through a shared-memory segment
+        instead of being pickled back through the pool.
+    n_pickled_handoffs:
+        Chunk partials from process workers that fell back to the
+        pickled return path (shared memory unavailable or disabled).
     quarantined:
         One record per quarantined chunk: ``{"kind", "source",
         "start", "stop", "rows_lost", "bytes_lost", "error"}``.
@@ -152,6 +162,9 @@ class ScanMetrics:
     bytes_quarantined: int = 0
     n_executor_downgrades: int = 0
     n_chunks_resumed: int = 0
+    accumulate_dtype: str = "float64"
+    n_shm_handoffs: int = 0
+    n_pickled_handoffs: int = 0
     quarantined: list = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
@@ -180,6 +193,8 @@ class ScanMetrics:
         self.bytes_quarantined += other.bytes_quarantined
         self.n_executor_downgrades += other.n_executor_downgrades
         self.n_chunks_resumed += other.n_chunks_resumed
+        self.n_shm_handoffs += other.n_shm_handoffs
+        self.n_pickled_handoffs += other.n_pickled_handoffs
         self.quarantined.extend(other.quarantined)
         _merge_extras(self.extras, other.extras)
 
@@ -228,6 +243,9 @@ class ScanMetrics:
             f"{self.bytes_quarantined} byte(s) lost)",
             f"downgrades    {self.n_executor_downgrades}",
             f"resumed       {self.n_chunks_resumed} chunk(s) from checkpoint",
+            f"accumulate    {self.accumulate_dtype}  "
+            f"({self.n_shm_handoffs} shm / "
+            f"{self.n_pickled_handoffs} pickled handoff(s))",
             f"scan time     {self.scan_seconds:.4f} s  ({throughput_text})",
             f"solve time    {self.solve_seconds:.4f} s",
             f"total time    {self.total_seconds:.4f} s",
@@ -260,6 +278,15 @@ class PipelineMetrics:
         Polls that returned no rows (idle stream).
     n_blocks_folded:
         Accumulator ``update()`` calls (block-aligned folds).
+    n_source_rotations:
+        Times the tailed source file was replaced under the reader
+        (log rotation) and the source reopened the new file.
+    n_source_truncations:
+        Times the tailed source file shrank below the read offset
+        (in-place truncation) and the source resynced from the top.
+    n_rows_skipped:
+        Corrupt rows dropped by the source's ``on_bad_row="skip"``
+        policy.
     n_drift_evaluations:
         Times the drift detector scored the published model.
     n_refreshes:
@@ -293,6 +320,9 @@ class PipelineMetrics:
     n_batches: int = 0
     n_empty_polls: int = 0
     n_blocks_folded: int = 0
+    n_source_rotations: int = 0
+    n_source_truncations: int = 0
+    n_rows_skipped: int = 0
     n_drift_evaluations: int = 0
     n_refreshes: int = 0
     refresh_reasons: dict = field(default_factory=dict)
@@ -346,6 +376,9 @@ class PipelineMetrics:
         self.n_batches += other.n_batches
         self.n_empty_polls += other.n_empty_polls
         self.n_blocks_folded += other.n_blocks_folded
+        self.n_source_rotations += other.n_source_rotations
+        self.n_source_truncations += other.n_source_truncations
+        self.n_rows_skipped += other.n_rows_skipped
         self.n_drift_evaluations += other.n_drift_evaluations
         self.n_refreshes += other.n_refreshes
         for reason, count in other.refresh_reasons.items():
@@ -399,6 +432,9 @@ class PipelineMetrics:
             f"ingested      {self.rows_ingested:,} row(s) in "
             f"{self.n_batches:,} batch(es)  ({self.n_empty_polls} empty "
             f"poll(s), {self.n_blocks_folded} block fold(s))",
+            f"source        {self.n_source_rotations} rotation(s), "
+            f"{self.n_source_truncations} truncation(s), "
+            f"{self.n_rows_skipped} bad row(s) skipped",
             f"refreshes     {self.n_refreshes} publish(es): {reasons}",
             f"served        version {self.last_version}, "
             f"{self.rows_since_refresh:,} row(s) since refresh",
@@ -577,8 +613,18 @@ class ServeMetrics:
     # -- (de)serialization -------------------------------------------------
 
     def merge(self, other: "ServeMetrics") -> None:
-        """Fold another record into this one (multi-filler aggregation)."""
-        with self._lock:
+        """Fold another record into this one (multi-filler aggregation).
+
+        ``other`` may be a *live* record another thread is still
+        recording into, so both locks are taken -- in a globally
+        consistent order (by ``id``) so two threads cross-merging the
+        same pair cannot deadlock.  Merging a record into itself folds
+        a snapshot (doubling its counters) rather than self-deadlocking.
+        """
+        if other is self:
+            other = ServeMetrics.from_dict(self.to_dict())
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
             self.n_batches += other.n_batches
             self.n_rows += other.n_rows
             self.n_rows_filled += other.n_rows_filled

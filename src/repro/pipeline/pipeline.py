@@ -167,11 +167,28 @@ class IngestionPipeline:
 
     # -- the ingest loop ---------------------------------------------------
 
+    def _sync_source_counters(self) -> None:
+        """Mirror the source's cumulative event counters into metrics.
+
+        Sources that cannot rotate/skip simply lack the attributes,
+        so the gauges stay zero.
+        """
+        self.metrics.n_source_rotations = getattr(
+            self._source, "n_rotations", 0
+        )
+        self.metrics.n_source_truncations = getattr(
+            self._source, "n_truncations", 0
+        )
+        self.metrics.n_rows_skipped = getattr(
+            self._source, "n_bad_rows_skipped", 0
+        )
+
     def step(self) -> bool:
         """Poll once, ingest, maybe refresh.  False when the source ended."""
         if self._exhausted:
             return False
         batch = self._source.poll(self._batch_rows)
+        self._sync_source_counters()
         if batch is None:
             self._exhausted = True
             return False

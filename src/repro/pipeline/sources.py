@@ -24,6 +24,7 @@ memory without limit.
 from __future__ import annotations
 
 import abc
+import os
 import queue
 from pathlib import Path
 from typing import List, Optional, Union
@@ -34,11 +35,17 @@ from repro.datasets.streams import TransactionStream
 from repro.io.schema import TableSchema
 
 __all__ = [
+    "BAD_ROW_POLICIES",
     "BatchSource",
     "CSVTailSource",
     "QueueSource",
     "TransactionStreamSource",
 ]
+
+#: What :class:`CSVTailSource` does with a corrupt row: ``"raise"``
+#: propagates a ``ValueError`` with file/byte context (the historical
+#: behavior, minus the context); ``"skip"`` drops the row and counts it.
+BAD_ROW_POLICIES = ("raise", "skip")
 
 
 class BatchSource(abc.ABC):
@@ -210,6 +217,16 @@ class CSVTailSource(BatchSource):
     *complete* lines (a half-written trailing line is left for the
     next poll, so a concurrently appending writer is safe).
 
+    The source survives log rotation: when a poll hits end-of-file it
+    compares ``os.stat`` of the path against the open handle -- a
+    changed inode/device means the file was replaced (rotation), a
+    size below the read offset means it was rewritten in place
+    (truncation).  Either way the source reopens the path, re-reads
+    the header (which must match the original schema), and resyncs --
+    the same poll then delivers the replacement file's first rows.
+    The events are counted on :attr:`n_rotations` /
+    :attr:`n_truncations` and surface in ``PipelineMetrics``.
+
     Parameters
     ----------
     path:
@@ -219,11 +236,31 @@ class CSVTailSource(BatchSource):
         (``poll`` returns empty batches while waiting for more data);
         ``False`` exhausts the source at the first poll that finds no
         new data -- batch-mode consumption of a static file.
+    on_bad_row:
+        ``"raise"`` (default) propagates a ``ValueError`` naming the
+        file, byte offset, and offending text when a row is ragged or
+        non-numeric; ``"skip"`` drops such rows and counts them on
+        :attr:`n_bad_rows_skipped`.
     """
 
-    def __init__(self, path: Union[str, Path], *, follow: bool = True) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        follow: bool = True,
+        on_bad_row: str = "raise",
+    ) -> None:
+        if on_bad_row not in BAD_ROW_POLICIES:
+            raise ValueError(
+                f"on_bad_row must be one of {BAD_ROW_POLICIES}, "
+                f"got {on_bad_row!r}"
+            )
         self._path = Path(path)
         self._follow = bool(follow)
+        self._on_bad_row = on_bad_row
+        self.n_rotations = 0
+        self.n_truncations = 0
+        self.n_bad_rows_skipped = 0
         self._handle = open(self._path, "rb")
         header = self._handle.readline()
         if not header.endswith(b"\n"):
@@ -237,12 +274,102 @@ class CSVTailSource(BatchSource):
             raise ValueError(f"{self._path}: blank column name in header")
         super().__init__(TableSchema.from_names(names))
         self._partial = b""
+        # Byte offset (in the *current* file) of the start of
+        # ``_partial`` -- the anchor for per-row error context.
+        self._consumed = self._handle.tell()
         self._exhausted = False
 
     def close(self) -> None:
         """Close the underlying file handle (idempotent)."""
         if not self._handle.closed:
             self._handle.close()
+
+    def _parse_complete(self, complete: bytes) -> List[List[float]]:
+        """Parse whole lines under the bad-row policy.
+
+        ``complete`` starts at byte ``self._consumed`` of the current
+        file, which is how errors (and skips) name the exact spot.
+        """
+        rows: List[List[float]] = []
+        index = 0
+        while index < len(complete):
+            line_start = self._consumed + index
+            cut = complete.find(b"\n", index)
+            if cut < 0:
+                cut = len(complete)
+            raw = complete[index:cut]
+            index = cut + 1
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            try:
+                if len(cells) != self.n_cols:
+                    raise ValueError(
+                        f"row has {len(cells)} cells, "
+                        f"expected {self.n_cols}"
+                    )
+                rows.append([float(cell) for cell in cells])
+            except ValueError as exc:
+                if self._on_bad_row == "skip":
+                    self.n_bad_rows_skipped += 1
+                    continue
+                raise ValueError(
+                    f"{self._path} @ byte {line_start}: {exc}: {line!r}"
+                ) from None
+        return rows
+
+    def _reopen_if_replaced(self) -> bool:
+        """At end-of-file, detect rotation/truncation and resync.
+
+        Returns True when the handle now points at the replacement
+        file (the caller should poll it immediately); False when the
+        file is unchanged or the replacement is not ready yet (the
+        old handle is kept and the next poll retries).
+        """
+        try:
+            disk = os.stat(self._path)
+        except FileNotFoundError:
+            # Mid-swap window: the writer unlinked the old file but
+            # has not moved the new one in yet.  Keep waiting.
+            return False
+        here = os.fstat(self._handle.fileno())
+        rotated = (disk.st_ino, disk.st_dev) != (here.st_ino, here.st_dev)
+        truncated = not rotated and disk.st_size < self._handle.tell()
+        if not (rotated or truncated):
+            return False
+        replacement = open(self._path, "rb")
+        header = replacement.readline()
+        if not header.endswith(b"\n"):
+            # Replacement header still being written: keep the old
+            # handle this poll; the next poll re-detects the swap.
+            replacement.close()
+            return False
+        names = [cell.strip() for cell in header.decode("utf-8").split(",")]
+        if names != self.schema.names:
+            replacement.close()
+            raise ValueError(
+                f"{self._path}: replacement file header {names!r} does "
+                f"not match the original schema {self.schema.names!r}"
+            )
+        if rotated:
+            self.n_rotations += 1
+            # The rotated-away file is final: a trailing line without
+            # a newline is now a complete row, not a partial write.
+            leftover, self._partial = self._partial, b""
+            if leftover.strip():
+                rows = self._parse_complete(leftover)
+                if rows:
+                    self._push(np.asarray(rows, dtype=np.float64))
+        else:
+            self.n_truncations += 1
+            # Truncated in place: the bytes the partial came from no
+            # longer exist, so it cannot be trusted.
+            self._partial = b""
+        self._handle.close()
+        self._handle = replacement
+        self._consumed = replacement.tell()
+        return True
 
     def _refill(self) -> bool:
         if self._exhausted:
@@ -251,32 +378,28 @@ class CSVTailSource(BatchSource):
             # Drain what we have before reading more: keeps memory
             # bounded by one gulp no matter how the pipeline batches.
             return True
-        # Bounded gulp: a cold start on a huge file streams in 8 MiB
-        # slices across polls instead of loading the file whole.
-        chunk = self._handle.read(8 << 20)
-        data = self._partial + chunk
-        cut = data.rfind(b"\n")
-        if cut < 0:
-            self._partial = data
-            complete = b""
-        else:
-            complete = data[: cut + 1]
-            self._partial = data[cut + 1 :]
-        rows = []
-        for line in complete.decode("utf-8").splitlines():
-            line = line.strip()
-            if not line:
+        # Two passes so the poll that *detects* a rotation still
+        # delivers the replacement file's first rows.
+        for _attempt in range(2):
+            # Bounded gulp: a cold start on a huge file streams in
+            # 8 MiB slices across polls instead of loading it whole.
+            chunk = self._handle.read(8 << 20)
+            if not chunk and self._reopen_if_replaced():
                 continue
-            cells = line.split(",")
-            if len(cells) != self.n_cols:
-                raise ValueError(
-                    f"{self._path}: row has {len(cells)} cells, "
-                    f"expected {self.n_cols}: {line!r}"
-                )
-            rows.append([float(cell) for cell in cells])
-        if rows:
-            self._push(np.asarray(rows, dtype=np.float64))
-        elif not self._follow:
+            data = self._partial + chunk
+            cut = data.rfind(b"\n")
+            if cut < 0:
+                self._partial = data
+                complete = b""
+            else:
+                complete = data[: cut + 1]
+                self._partial = data[cut + 1 :]
+            rows = self._parse_complete(complete)
+            self._consumed += len(complete)
+            if rows:
+                self._push(np.asarray(rows, dtype=np.float64))
+            break
+        if self._buffered_rows == 0 and not self._follow:
             # Batch mode: a poll that found nothing new ends the stream.
             self._exhausted = True
             self.close()

@@ -1,0 +1,375 @@
+"""Differential tests for the accumulation modes and the shm handoff.
+
+The hot-path rework (raw-moment BLAS accumulation, memory-mapped row
+stores, gulp CSV parsing, shared-memory partial handoff) is only
+shippable because the default ``float64`` mode is *bit-identical* to
+the historical path -- same block centering, same merge tree, same
+reduction order.  Hypothesis drives random matrices through the old
+in-memory accumulation and the new scan paths and asserts exact
+equality; the opt-in ``raw64`` / ``float32`` modes get tolerance
+bounds instead (raw-moment centering is not bit-compatible with
+Chan's update by construction).
+
+Process-pool cases (the shared-memory handoff itself) live in fixed
+tests -- pool spawn per hypothesis example is too slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covariance import ACCUMULATE_DTYPES, StreamingCovariance
+from repro.core.engine import scan_sources
+from repro.io.csv_format import save_csv_matrix
+from repro.io.rowstore import RowStore
+
+
+def _make_matrix(seed, n_rows, n_cols):
+    generator = np.random.default_rng(seed)
+    return generator.normal(loc=1.0, scale=3.0, size=(n_rows, n_cols))
+
+
+def _reference(matrix, block_rows):
+    """The historical path: block-centered float64 accumulation."""
+    accumulator = StreamingCovariance(matrix.shape[1])
+    for start in range(0, matrix.shape[0], block_rows):
+        accumulator.update(matrix[start : start + block_rows])
+    return accumulator
+
+
+cases = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+        "n_rows": st.integers(min_value=2, max_value=150),
+        "n_cols": st.integers(min_value=2, max_value=6),
+        "block_rows": st.integers(min_value=1, max_value=64),
+    }
+)
+
+
+class TestModeDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(case=cases)
+    def test_float64_mode_is_the_legacy_path_bitwise(self, case):
+        matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+        legacy = _reference(matrix, case["block_rows"])
+        explicit = StreamingCovariance(
+            matrix.shape[1], accumulate_dtype="float64"
+        )
+        for start in range(0, matrix.shape[0], case["block_rows"]):
+            explicit.update(matrix[start : start + case["block_rows"]])
+        assert np.array_equal(
+            legacy.scatter_matrix(), explicit.scatter_matrix()
+        )
+        assert np.array_equal(legacy.column_means, explicit.column_means)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=cases)
+    def test_raw64_matches_float64_within_tolerance(self, case):
+        matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+        expected = _reference(matrix, case["block_rows"]).scatter_matrix()
+        raw = StreamingCovariance(matrix.shape[1], accumulate_dtype="raw64")
+        for start in range(0, matrix.shape[0], case["block_rows"]):
+            raw.update(matrix[start : start + case["block_rows"]])
+        scale = max(1.0, float(np.abs(expected).max()))
+        assert np.allclose(
+            raw.scatter_matrix(), expected, rtol=1e-8, atol=1e-8 * scale
+        )
+        assert np.allclose(
+            raw.column_means,
+            _reference(matrix, case["block_rows"]).column_means,
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=cases)
+    def test_float32_matches_float64_within_loose_tolerance(self, case):
+        matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+        expected = _reference(matrix, case["block_rows"]).scatter_matrix()
+        compact = StreamingCovariance(
+            matrix.shape[1], accumulate_dtype="float32"
+        )
+        for start in range(0, matrix.shape[0], case["block_rows"]):
+            compact.update(matrix[start : start + case["block_rows"]])
+        scale = max(1.0, float(np.abs(expected).max()))
+        assert np.allclose(
+            compact.scatter_matrix(), expected, rtol=1e-3, atol=1e-3 * scale
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=cases, split=st.integers(min_value=1, max_value=5))
+    def test_raw_mode_merge_matches_single_accumulation(self, case, split):
+        matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+        whole = StreamingCovariance(matrix.shape[1], accumulate_dtype="raw64")
+        whole.update(matrix)
+        merged = StreamingCovariance(matrix.shape[1], accumulate_dtype="raw64")
+        for part in np.array_split(matrix, split):
+            partial = StreamingCovariance(
+                matrix.shape[1], accumulate_dtype="raw64"
+            )
+            if part.size:
+                partial.update(part)
+            merged.merge(partial)
+        scale = max(1.0, float(np.abs(whole.scatter_matrix()).max()))
+        assert np.allclose(
+            merged.scatter_matrix(),
+            whole.scatter_matrix(),
+            rtol=1e-10,
+            atol=1e-10 * scale,
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        case=cases,
+        mode=st.sampled_from(ACCUMULATE_DTYPES),
+    )
+    def test_state_round_trip_every_mode(self, case, mode):
+        matrix = _make_matrix(case["seed"], case["n_rows"], case["n_cols"])
+        original = StreamingCovariance(matrix.shape[1], accumulate_dtype=mode)
+        original.update(matrix)
+        restored = StreamingCovariance.from_state(original.state())
+        assert restored.accumulate_dtype == mode
+        assert np.array_equal(
+            restored.scatter_matrix(), original.scatter_matrix()
+        )
+        assert np.array_equal(restored.column_means, original.column_means)
+
+    def test_mixed_mode_merge_rejected(self):
+        left = StreamingCovariance(3, accumulate_dtype="raw64")
+        right = StreamingCovariance(3, accumulate_dtype="float64")
+        with pytest.raises(ValueError, match="accumulate_dtype"):
+            left.merge(right)
+
+
+class TestEngineModeDifferential:
+    """The engine end of the proof: scans through the new readers
+    (gulp CSV parse, memory-mapped row stores) in the default mode
+    reproduce the in-memory reference bit for bit."""
+
+    def _shards(self, tmp_path, matrix, n_shards, kind):
+        paths = []
+        for index, part in enumerate(np.array_split(matrix, n_shards)):
+            if kind == "csv":
+                path = tmp_path / f"shard{index}.csv"
+                save_csv_matrix(path, part)
+            else:
+                path = tmp_path / f"shard{index}.rr"
+                RowStore.write_matrix(path, part)
+            paths.append(path)
+        return paths
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_shards=st.integers(min_value=1, max_value=3),
+        kind=st.sampled_from(["csv", "rowstore"]),
+    )
+    def test_serial_file_scan_is_bitwise_the_memory_reference(
+        self, tmp_path_factory, seed, n_shards, kind
+    ):
+        tmp_path = tmp_path_factory.mktemp("modes")
+        matrix = _make_matrix(seed, 97, 4)
+        paths = self._shards(tmp_path, matrix, n_shards, kind)
+        result = scan_sources(paths, executor="serial", block_rows=16)
+        reference = scan_sources(
+            [part for part in np.array_split(matrix, n_shards) if part.size],
+            executor="serial",
+            block_rows=16,
+        )
+        assert result.accumulator.n_rows == matrix.shape[0]
+        assert np.array_equal(
+            result.accumulator.scatter_matrix(),
+            reference.accumulator.scatter_matrix(),
+        )
+        assert np.array_equal(
+            result.accumulator.column_means,
+            reference.accumulator.column_means,
+        )
+
+    @pytest.mark.parametrize("mode", ["raw64", "float32"])
+    def test_engine_raw_modes_close_to_default(self, tmp_path, mode):
+        matrix = _make_matrix(7, 300, 5)
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix)
+        default = scan_sources([path], executor="serial")
+        raw = scan_sources([path], executor="serial", accumulate_dtype=mode)
+        assert raw.metrics.accumulate_dtype == mode
+        expected = default.accumulator.scatter_matrix()
+        scale = max(1.0, float(np.abs(expected).max()))
+        rtol = 1e-8 if mode == "raw64" else 1e-3
+        assert np.allclose(
+            raw.accumulator.scatter_matrix(),
+            expected,
+            rtol=rtol,
+            atol=rtol * scale,
+        )
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="accumulate_dtype"):
+            scan_sources([np.ones((4, 2))], accumulate_dtype="float16")
+
+
+class TestSharedMemoryHandoff:
+    """Tier-1-safe smoke tests for the process-pool shm return path."""
+
+    def test_process_scan_uses_shm_and_matches_serial_bitwise(self, tmp_path):
+        matrix = _make_matrix(11, 200, 4)
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix)
+        serial = scan_sources([path], executor="serial", target_chunks=4)
+        pooled = scan_sources(
+            [path],
+            executor="process",
+            max_workers=2,
+            target_chunks=4,
+        )
+        assert pooled.metrics.n_shm_handoffs == 4
+        assert pooled.metrics.n_pickled_handoffs == 0
+        assert np.array_equal(
+            serial.accumulator.scatter_matrix(),
+            pooled.accumulator.scatter_matrix(),
+        )
+        assert np.array_equal(
+            serial.accumulator.column_means,
+            pooled.accumulator.column_means,
+        )
+
+    def test_disabling_shm_falls_back_to_pickle_same_bits(self, tmp_path):
+        matrix = _make_matrix(13, 150, 3)
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix)
+        with_shm = scan_sources(
+            [path], executor="process", max_workers=2, target_chunks=3
+        )
+        without = scan_sources(
+            [path],
+            executor="process",
+            max_workers=2,
+            target_chunks=3,
+            shm_handoff=False,
+        )
+        assert without.metrics.n_shm_handoffs == 0
+        assert without.metrics.n_pickled_handoffs == 3
+        assert np.array_equal(
+            with_shm.accumulator.scatter_matrix(),
+            without.accumulator.scatter_matrix(),
+        )
+
+    @pytest.mark.parametrize("mode", ["raw64", "float32"])
+    def test_shm_handoff_carries_raw_modes(self, tmp_path, mode):
+        matrix = _make_matrix(17, 180, 4)
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix)
+        serial = scan_sources(
+            [path], executor="serial", target_chunks=3, accumulate_dtype=mode
+        )
+        pooled = scan_sources(
+            [path],
+            executor="process",
+            max_workers=2,
+            target_chunks=3,
+            accumulate_dtype=mode,
+        )
+        assert pooled.metrics.n_shm_handoffs == 3
+        expected = serial.accumulator.scatter_matrix()
+        scale = max(1.0, float(np.abs(expected).max()))
+        # Same chunk plan, same per-chunk arithmetic: the only delta
+        # is merge order, which the engine pins -- so even the raw
+        # modes agree bitwise across fabrics.
+        assert np.allclose(
+            pooled.accumulator.scatter_matrix(),
+            expected,
+            rtol=1e-12,
+            atol=1e-12 * scale,
+        )
+
+
+class TestRawModeCheckpoints:
+    @pytest.mark.parametrize("mode", ["raw64", "float32"])
+    def test_checkpoint_resume_round_trips_raw_modes(self, tmp_path, mode):
+        matrix = _make_matrix(31, 160, 4)
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix)
+        ckpt = tmp_path / "scan.ckpt"
+        first = scan_sources(
+            [path],
+            executor="serial",
+            target_chunks=4,
+            checkpoint=ckpt,
+            accumulate_dtype=mode,
+        )
+        resumed = scan_sources(
+            [path],
+            executor="serial",
+            target_chunks=4,
+            checkpoint=ckpt,
+            resume=True,
+            accumulate_dtype=mode,
+        )
+        assert resumed.metrics.n_chunks_resumed == 4
+        assert np.array_equal(
+            resumed.accumulator.scatter_matrix(),
+            first.accumulator.scatter_matrix(),
+        )
+
+    def test_mode_is_part_of_the_plan_fingerprint(self, tmp_path):
+        matrix = _make_matrix(37, 80, 3)
+        path = tmp_path / "data.csv"
+        save_csv_matrix(path, matrix)
+        ckpt = tmp_path / "scan.ckpt"
+        scan_sources(
+            [path],
+            executor="serial",
+            target_chunks=2,
+            checkpoint=ckpt,
+            accumulate_dtype="raw64",
+        )
+        # A different mode must not resume from these partials.
+        with pytest.raises(ValueError, match="different scan plan"):
+            scan_sources(
+                [path],
+                executor="serial",
+                target_chunks=2,
+                checkpoint=ckpt,
+                resume=True,
+            )
+
+
+class TestAdaptiveChunkSizing:
+    def test_large_payload_is_over_chunked_for_balance(self, tmp_path):
+        matrix = _make_matrix(19, 4000, 4)
+        path = tmp_path / "big.csv"
+        save_csv_matrix(path, matrix)
+        result = scan_sources(
+            [path],
+            executor="thread",
+            max_workers=2,
+            min_chunk_bytes=1024,  # tiny floor: force the 4x cap
+        )
+        assert result.metrics.n_chunks == 8  # 4 * workers
+        assert result.accumulator.n_rows == matrix.shape[0]
+
+    def test_small_payload_keeps_one_chunk_per_worker(self, tmp_path):
+        matrix = _make_matrix(23, 64, 3)
+        path = tmp_path / "small.csv"
+        save_csv_matrix(path, matrix)
+        result = scan_sources([path], executor="thread", max_workers=2)
+        # Payload is far below min_chunk_bytes: no over-chunking.
+        assert result.metrics.n_chunks == 2
+
+    def test_explicit_target_chunks_wins(self, tmp_path):
+        matrix = _make_matrix(29, 4000, 4)
+        path = tmp_path / "big.csv"
+        save_csv_matrix(path, matrix)
+        result = scan_sources(
+            [path],
+            executor="thread",
+            max_workers=2,
+            target_chunks=3,
+            min_chunk_bytes=1,
+        )
+        assert result.metrics.n_chunks == 3

@@ -7,11 +7,12 @@ must survive a ``to_dict``/JSON round trip and show up in the
 """
 
 import json
+import threading
 
 import numpy as np
 import pytest
 
-from repro.obs.metrics import ScanMetrics, Stopwatch
+from repro.obs.metrics import ScanMetrics, ServeMetrics, Stopwatch
 
 
 def _full_record():
@@ -131,6 +132,63 @@ class TestEngineIntegration:
         assert restored.n_rows == 50
         assert restored.n_chunks == 3
         assert restored == result.metrics
+
+
+class TestServeMetricsMergeLocking:
+    """Regression: merge used to read ``other`` without its lock, so a
+    live filler recording into ``other`` could tear the snapshot."""
+
+    def test_merge_while_other_thread_records(self):
+        target = ServeMetrics()
+        live = ServeMetrics()
+        stop = threading.Event()
+
+        def recorder():
+            while not stop.is_set():
+                live.record_batch(
+                    n_rows=4,
+                    n_rows_filled=2,
+                    n_rows_no_holes=1,
+                    n_rows_all_holes=1,
+                    n_holes_filled=3,
+                    group_sizes=[2, 2],
+                    seconds=0.001,
+                )
+
+        thread = threading.Thread(target=recorder)
+        thread.start()
+        try:
+            for _ in range(200):
+                target.merge(live)
+                # Under the lock the batch counter and the per-batch
+                # sample list move together; a torn read breaks that.
+                snapshot = target.to_dict()
+                assert snapshot["n_rows"] == 4 * snapshot["n_batches"]
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_cross_merge_does_not_deadlock(self):
+        a = ServeMetrics(n_batches=1)
+        b = ServeMetrics(n_batches=1)
+
+        def cross(left, right):
+            for _ in range(500):
+                left.merge(right)
+
+        one = threading.Thread(target=cross, args=(a, b))
+        two = threading.Thread(target=cross, args=(b, a))
+        one.start()
+        two.start()
+        one.join(timeout=30)
+        two.join(timeout=30)
+        assert not one.is_alive() and not two.is_alive(), "merge deadlocked"
+
+    def test_self_merge_doubles_instead_of_deadlocking(self):
+        record = ServeMetrics(n_batches=3, n_rows=12)
+        record.merge(record)
+        assert record.n_batches == 6
+        assert record.n_rows == 24
 
 
 class TestStopwatch:

@@ -75,6 +75,9 @@ def scan_records():
         bytes_quarantined=_counts,
         n_executor_downgrades=_counts,
         n_chunks_resumed=_counts,
+        accumulate_dtype=st.sampled_from(["float64", "raw64", "float32"]),
+        n_shm_handoffs=_counts,
+        n_pickled_handoffs=_counts,
         quarantined=_quarantine_entries,
         extras=_extras,
     )
@@ -87,6 +90,9 @@ def pipeline_records():
         n_batches=_counts,
         n_empty_polls=_counts,
         n_blocks_folded=_counts,
+        n_source_rotations=_counts,
+        n_source_truncations=_counts,
+        n_rows_skipped=_counts,
         n_drift_evaluations=_counts,
         n_refreshes=_counts,
         refresh_reasons=st.dictionaries(_words, _counts, max_size=4),
@@ -144,9 +150,11 @@ _SUMMED = {
         "scan_seconds", "solve_seconds", "total_seconds", "n_faults",
         "n_retries", "n_timeouts", "n_quarantined", "rows_quarantined",
         "bytes_quarantined", "n_executor_downgrades", "n_chunks_resumed",
+        "n_shm_handoffs", "n_pickled_handoffs",
     ),
     PipelineMetrics: (
         "rows_ingested", "n_batches", "n_empty_polls", "n_blocks_folded",
+        "n_source_rotations", "n_source_truncations", "n_rows_skipped",
         "n_drift_evaluations", "n_refreshes", "rows_since_refresh",
         "ingest_seconds", "drift_seconds", "refresh_seconds",
     ),
@@ -157,7 +165,7 @@ _SUMMED = {
     ),
 }
 _RECEIVER_KEPT = {
-    ScanMetrics: ("executor", "n_workers"),
+    ScanMetrics: ("executor", "n_workers", "accumulate_dtype"),
     PipelineMetrics: (
         "last_refresh_reason", "last_version", "last_guessing_error",
         "baseline_guessing_error", "last_angle_degrees", "reservoir_rows",

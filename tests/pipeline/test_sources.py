@@ -153,6 +153,149 @@ class TestCSVTailSource:
         source.close()
 
 
+class TestCSVTailSourceRotation:
+    """Log-rotation / truncation resync (regression: the source used to
+    keep reading the rotated-away inode and idle forever)."""
+
+    def _write(self, path, lines, mode="a"):
+        with open(path, mode) as handle:
+            handle.write("".join(lines))
+
+    def test_rotation_resyncs_to_the_new_file(self, tmp_path):
+        import os
+
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n", "1,2\n"])
+        source = CSVTailSource(path, follow=True)
+        assert source.poll(10).shape == (1, 2)
+        # Rotate: write the replacement beside the file, then swap it
+        # in atomically -- exactly what logrotate's copytruncate-less
+        # mode does.
+        rotated = tmp_path / "data.csv.new"
+        self._write(rotated, ["a,b\n", "5,6\n", "7,8\n"], mode="w")
+        os.replace(rotated, path)
+        np.testing.assert_array_equal(
+            source.poll(10), [[5.0, 6.0], [7.0, 8.0]]
+        )
+        assert source.n_rotations == 1
+        assert source.n_truncations == 0
+        # The handle now tracks the new inode: appends keep arriving.
+        self._write(path, ["9,10\n"])
+        np.testing.assert_array_equal(source.poll(10), [[9.0, 10.0]])
+        source.close()
+
+    def test_rotation_flushes_the_old_files_unterminated_tail(self, tmp_path):
+        import os
+
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n", "1,2\n", "3,4"])  # no trailing newline
+        source = CSVTailSource(path, follow=True)
+        np.testing.assert_array_equal(source.poll(10), [[1.0, 2.0]])
+        rotated = tmp_path / "data.csv.new"
+        self._write(rotated, ["a,b\n", "5,6\n"], mode="w")
+        os.replace(rotated, path)
+        # The rotated-away file is final, so its last (newline-less)
+        # line is a complete row and must not be lost.
+        np.testing.assert_array_equal(
+            source.poll(10), [[3.0, 4.0], [5.0, 6.0]]
+        )
+        assert source.n_rotations == 1
+        source.close()
+
+    def test_truncation_resyncs_from_the_top(self, tmp_path):
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n"] + [f"{i},{i}\n" for i in range(50)])
+        source = CSVTailSource(path, follow=True)
+        assert source.poll(100).shape == (50, 2)
+        # Rewrite in place, shorter than the read offset (same inode).
+        self._write(path, ["a,b\n", "1,2\n"], mode="w")
+        np.testing.assert_array_equal(source.poll(10), [[1.0, 2.0]])
+        assert source.n_truncations == 1
+        assert source.n_rotations == 0
+        source.close()
+
+    def test_missing_file_mid_swap_is_idle_not_fatal(self, tmp_path):
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n", "1,2\n"])
+        source = CSVTailSource(path, follow=True)
+        assert source.poll(10).shape == (1, 2)
+        path.unlink()  # the writer removed it but has not replaced it yet
+        assert source.poll(10).shape == (0, 2)  # idle, no crash
+        self._write(path, ["a,b\n", "5,6\n"], mode="w")
+        np.testing.assert_array_equal(source.poll(10), [[5.0, 6.0]])
+        assert source.n_rotations == 1
+        source.close()
+
+    def test_replacement_with_different_header_rejected(self, tmp_path):
+        import os
+
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n", "1,2\n"])
+        source = CSVTailSource(path, follow=True)
+        assert source.poll(10).shape == (1, 2)
+        rotated = tmp_path / "data.csv.new"
+        self._write(rotated, ["x,y,z\n", "1,2,3\n"], mode="w")
+        os.replace(rotated, path)
+        with pytest.raises(ValueError, match="does not match"):
+            source.poll(10)
+        source.close()
+
+
+class TestCSVTailSourceBadRows:
+    """on_bad_row policy (regression: a corrupt row used to raise a
+    bare ValueError with no context, killing the pipeline)."""
+
+    def _write(self, path, lines):
+        with open(path, "a") as handle:
+            handle.write("".join(lines))
+
+    def test_raise_includes_file_and_byte_offset(self, tmp_path):
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n", "1,2\n", "oops,2\n"])
+        source = CSVTailSource(path, follow=False)
+        with pytest.raises(ValueError) as excinfo:
+            source.poll(10)
+        message = str(excinfo.value)
+        assert str(path) in message
+        # The bad row starts right after "a,b\n1,2\n" = byte 8.
+        assert "@ byte 8" in message
+        assert "oops" in message
+        source.close()
+
+    def test_skip_drops_bad_rows_and_counts_them(self, tmp_path):
+        path = tmp_path / "data.csv"
+        self._write(
+            path,
+            ["a,b\n", "1,2\n", "oops,2\n", "3,4\n", "5,6,7\n", "8,9\n"],
+        )
+        source = CSVTailSource(path, follow=False, on_bad_row="skip")
+        batch = source.poll(10)
+        np.testing.assert_array_equal(
+            batch, [[1.0, 2.0], [3.0, 4.0], [8.0, 9.0]]
+        )
+        assert source.n_bad_rows_skipped == 2
+        source.close()
+
+    def test_policy_validated(self, tmp_path):
+        path = tmp_path / "data.csv"
+        self._write(path, ["a,b\n"])
+        with pytest.raises(ValueError, match="on_bad_row"):
+            CSVTailSource(path, on_bad_row="ignore")
+
+    def test_pipeline_surfaces_skip_counts_in_metrics(self, tmp_path):
+        from repro.pipeline import IngestionPipeline
+
+        path = tmp_path / "data.csv"
+        self._write(
+            path, ["a,b\n"] + [f"{i},{i}\n" for i in range(8)] + ["bad,row\n"]
+        )
+        source = CSVTailSource(path, follow=False, on_bad_row="skip")
+        pipeline = IngestionPipeline(source, batch_rows=4)
+        pipeline.run()
+        assert pipeline.metrics.n_rows_skipped == 1
+        assert pipeline.metrics.rows_ingested == 8
+
+
 class TestTransactionStreamSource:
     def test_drains_whole_schedule_then_exhausts(self, stable_stream):
         source = TransactionStreamSource(stable_stream)
