@@ -48,6 +48,7 @@ DEFAULT_RESULTS_DIR = BENCH_DIR / "results"
 # Baseline file -> results file written by the matching benchmark.
 PAIRINGS = {
     "BENCH_serve.json": "serve_speedup.json",
+    "BENCH_serve_http.json": "serve_http.json",
     "BENCH_engine.json": "engine_scaleup.json",
     "BENCH_obs.json": "obs_overhead.json",
 }

@@ -1,0 +1,171 @@
+"""HTTP serving-tier load benchmark: coalescing under concurrent clients.
+
+A closed-loop load generator drives the :class:`repro.serve.http
+.HttpApiServer` end to end -- real sockets, real JSON, real deadline
+coalescing -- with concurrent single-row clients, and reports client-
+observed latency percentiles, aggregate throughput, and how well the
+deadline batcher coalesced the stream.
+
+The gated claim is **mean rows per flush**: with many concurrent
+clients the batcher must actually merge requests into shared
+micro-batches (the whole point of the serving tier), and that ratio
+transfers across machines far better than raw rows/s, which stays
+informational.  Every response is also checked bit-identical to the
+offline :meth:`~repro.serve.BatchFiller.fill_batch` answer, so the
+numbers only count if the answers are right.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.serve import BatchFiller
+from repro.serve.http import HttpApiServer
+
+from tests.serve.conftest import http_post
+
+pytestmark = pytest.mark.serve
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_COLS = 12
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 40
+N_REQUESTS = N_CLIENTS * REQUESTS_PER_CLIENT
+TIMEOUT_MS = 200.0
+REQUIRED_MEAN_ROWS_PER_FLUSH = 2.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A fitted model plus one holey row per planned request."""
+    rng = np.random.default_rng(31)
+    factor = rng.normal(25.0, 8.0, size=4_000)
+    loadings = rng.uniform(0.5, 2.0, size=N_COLS)
+    train = np.outer(factor, loadings)
+    train += rng.normal(0, 0.4, train.shape)
+    model = RatioRuleModel(cutoff=2).fit(train)
+
+    rows = np.outer(
+        rng.normal(25.0, 8.0, size=N_REQUESTS), loadings
+    ) + rng.normal(0, 0.4, (N_REQUESTS, N_COLS))
+    holes = rng.random(rows.shape) < 0.25
+    holes[~holes.any(axis=1), 0] = True  # every request has work to do
+    rows[holes] = np.nan
+    return model, rows
+
+
+def _payload(row) -> dict:
+    return {
+        "row": [None if np.isnan(v) else float(v) for v in row],
+        "timeout_ms": TIMEOUT_MS,
+    }
+
+
+def _percentile(sorted_values, q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def test_http_load_coalesces_concurrent_clients(workload):
+    import threading
+
+    model, rows = workload
+    offline = BatchFiller(model).fill_batch(rows)
+
+    api = HttpApiServer(
+        model,
+        port=0,
+        max_batch_rows=N_CLIENTS,
+        flush_margin=0.18,
+        queue_limit=N_REQUESTS,
+    )
+    api.start()
+    latencies = [[] for _ in range(N_CLIENTS)]
+    responses = [None] * N_REQUESTS
+    start = threading.Barrier(N_CLIENTS + 1)
+    try:
+        def client(slot):
+            start.wait()
+            for turn in range(REQUESTS_PER_CLIENT):
+                index = slot * REQUESTS_PER_CLIENT + turn
+                begin = time.perf_counter()
+                responses[index] = http_post(
+                    api.url + "/v1/fill", _payload(rows[index])
+                )
+                latencies[slot].append(time.perf_counter() - begin)
+
+        threads = [
+            threading.Thread(target=client, args=(slot,))
+            for slot in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_start
+    finally:
+        api.stop()
+
+    # Exactness first: the kernel is batch-size-invariant, so every
+    # coalesced response must equal the one-big-batch offline answer.
+    for index, (status, body, _) in enumerate(responses):
+        assert status == 200, f"request {index}: {body}"
+        assert body["filled"] == [float(v) for v in offline.filled[index]]
+
+    metrics = api.metrics
+    assert metrics.n_rows_coalesced == N_REQUESTS
+    assert metrics.n_rejected == 0 and metrics.n_errors == 0
+
+    flat = sorted(value for bucket in latencies for value in bucket)
+    p50 = _percentile(flat, 0.50)
+    p99 = _percentile(flat, 0.99)
+    rows_per_second = N_REQUESTS / wall_seconds
+    mean_rows_per_flush = metrics.rows_per_flush
+
+    lines = [
+        "HTTP serving-tier load: concurrent single-row clients",
+        f"  workload: {N_CLIENTS} closed-loop clients x "
+        f"{REQUESTS_PER_CLIENT} requests, {N_COLS} cols, k={model.k}",
+        f"  tuning: max_batch_rows={N_CLIENTS}, flush_margin=180 ms, "
+        f"timeout={TIMEOUT_MS:.0f} ms",
+        f"  latency: p50 {p50 * 1e3:7.2f} ms   p99 {p99 * 1e3:7.2f} ms",
+        f"  throughput: {rows_per_second:8.0f} rows/s "
+        f"({wall_seconds * 1e3:.0f} ms wall)",
+        f"  coalescing: {metrics.n_flushes} flushes, "
+        f"{mean_rows_per_flush:.2f} mean rows/flush "
+        f"(required >= {REQUIRED_MEAN_ROWS_PER_FLUSH:.1f}), "
+        f"max {metrics.max_flush_rows}",
+        "  exactness: all responses bit-identical to offline fill_batch",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve_http.txt").write_text("\n".join(lines) + "\n")
+    # Machine-readable twin, consumed by benchmarks/check_regression.py
+    # against BENCH_serve_http.json.  Latencies are lower-is-better and
+    # machine-bound, so they ride along informationally; the gate is
+    # the coalescing ratio.
+    (RESULTS_DIR / "serve_http.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "serve_http",
+                "cpu_count": os.cpu_count() or 1,
+                "metrics": {
+                    "mean_rows_per_flush": mean_rows_per_flush,
+                    "rows_per_second": rows_per_second,
+                    "p50_latency_ms": p50 * 1e3,
+                    "p99_latency_ms": p99 * 1e3,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert mean_rows_per_flush >= REQUIRED_MEAN_ROWS_PER_FLUSH, "\n".join(lines)

@@ -16,6 +16,13 @@ Subcommands
     layer (``repro.serve``): rows are grouped by hole pattern, each
     pattern's operator is computed once and cached, and ``--stats``
     reports cache traffic and latency percentiles.
+``serve-http``
+    Serve a saved model over HTTP (``repro.serve.http``): POST
+    ``/v1/fill`` / ``/v1/whatif`` / ``/v1/outlier`` / ``/v1/recommend``
+    plus ``GET /v1/models`` and ``/healthz``, with concurrent
+    single-row requests coalesced into micro-batches by deadline;
+    ``--stats`` reports queue depth, flush sizes, coalesce latency,
+    and shed counts.
 ``pipeline``
     Continuously ingest a CSV (optionally tailing it as it grows),
     detect drift against the published model, and refresh it with
@@ -173,6 +180,50 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print serving telemetry (cache hit/miss/"
                                   "eviction, group sizes, latency percentiles)")
     _add_obs_arguments(serve_batch)
+
+    serve_http = subparsers.add_parser(
+        "serve-http",
+        help="serve a saved model over HTTP with request coalescing",
+    )
+    serve_http.add_argument("model", help="model .npz produced by 'fit --save'")
+    serve_http.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default: 127.0.0.1)")
+    serve_http.add_argument("--port", type=int, default=8090, metavar="PORT",
+                            help="listen port (0 picks a free port; "
+                                 "default 8090)")
+    serve_http.add_argument("--max-batch-rows", type=int, default=64,
+                            metavar="N",
+                            help="flush the coalescing queue as soon as N "
+                                 "requests are waiting (default 64)")
+    serve_http.add_argument("--flush-margin-ms", type=float, default=5.0,
+                            metavar="MS",
+                            help="flush this many milliseconds before the "
+                                 "earliest queued deadline, leaving the "
+                                 "margin for the batch compute (default 5)")
+    serve_http.add_argument("--queue-limit", type=int, default=256,
+                            metavar="N",
+                            help="admission bound: shed requests with 429 + "
+                                 "Retry-After once N are queued (default 256)")
+    serve_http.add_argument("--default-timeout-ms", type=float, default=1000.0,
+                            metavar="MS",
+                            help="per-request deadline applied when the "
+                                 "request body carries no timeout_ms "
+                                 "(default 1000)")
+    serve_http.add_argument("--cache-entries", type=int, default=1024,
+                            metavar="N",
+                            help="operator-cache capacity (LRU; default 1024)")
+    serve_http.add_argument("--underdetermined", default="truncate",
+                            choices=["truncate", "min-norm"],
+                            help="policy for under-specified rows (CASE 3)")
+    serve_http.add_argument("--duration", type=float, default=None,
+                            metavar="SECONDS",
+                            help="serve for a bounded time then exit "
+                                 "(default: serve until Ctrl-C)")
+    serve_http.add_argument("--stats", action="store_true",
+                            help="print HTTP serving telemetry (queue depth, "
+                                 "flush sizes, coalesce latency, shed "
+                                 "counts) on shutdown")
+    _add_obs_arguments(serve_http)
 
     pipeline = subparsers.add_parser(
         "pipeline",
@@ -408,9 +459,11 @@ class _ObsSession:
         from repro.obs import (
             PipelineMetrics,
             ScanMetrics,
+            ServeHttpMetrics,
             ServeMetrics,
             register_pipeline_metrics,
             register_scan_metrics,
+            register_serve_http_metrics,
             register_serve_metrics,
         )
 
@@ -419,6 +472,8 @@ class _ObsSession:
             register_scan_metrics(registry, record)
         elif isinstance(record, ServeMetrics):
             register_serve_metrics(registry, record)
+        elif isinstance(record, ServeHttpMetrics):
+            register_serve_http_metrics(registry, record)
         elif isinstance(record, PipelineMetrics):
             register_pipeline_metrics(registry, record)
 
@@ -620,6 +675,55 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         print("Serving statistics")
         print("------------------")
         print(filler.metrics.render())
+    return 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.core.model import RatioRuleModel
+    from repro.serve.http import HttpApiServer
+
+    model = RatioRuleModel.load(args.model)
+    try:
+        server = HttpApiServer(
+            model,
+            host=args.host,
+            port=args.port,
+            max_batch_rows=args.max_batch_rows,
+            flush_margin=args.flush_margin_ms / 1e3,
+            queue_limit=args.queue_limit,
+            default_timeout_ms=args.default_timeout_ms,
+            cache_entries=args.cache_entries,
+            underdetermined=args.underdetermined,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _obs_register(args, server.metrics)
+    _obs_register(args, server.filler.metrics)
+    bound = server.start()
+    # Testing hook: expose the live server on the namespace so an
+    # in-process harness can discover the ephemeral port.
+    args._server = server
+    print(
+        f"serving Ratio Rules API on http://{args.host}:{bound} "
+        f"(model version {server.registry.latest_version}; Ctrl-C to stop)"
+    )
+    stop = getattr(args, "_stop_event", None)
+    if stop is None:
+        stop = threading.Event()
+    try:
+        stop.wait(timeout=args.duration)
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    if args.stats:
+        print()
+        print("HTTP serving statistics")
+        print("-----------------------")
+        print(server.metrics.render())
     return 0
 
 
@@ -1060,6 +1164,7 @@ _COMMANDS = {
     "rules": _cmd_rules,
     "fill": _cmd_fill,
     "serve-batch": _cmd_serve_batch,
+    "serve-http": _cmd_serve_http,
     "pipeline": _cmd_pipeline,
     "ge": _cmd_ge,
     "outliers": _cmd_outliers,

@@ -57,9 +57,19 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     for k in range(n - 2):
         # Eliminate column k below the first sub-diagonal.
         x = a[k + 1 :, k].copy()
+        # The global rescale above cannot save a *column* sitting many
+        # orders of magnitude below the matrix scale (e.g. reduction
+        # residue at 1e-161 next to O(1) entries): its squares underflow
+        # to subnormals and the reflector drifts off unit length.
+        # Reflections are scale-invariant, so rescale per column too
+        # (tred2 does the same).
+        col_scale = float(np.max(np.abs(x)))
+        if col_scale == 0.0 or not np.isfinite(col_scale):
+            continue  # column already zero below the sub-diagonal
+        x /= col_scale
         alpha = -np.sign(x[0]) * np.linalg.norm(x) if x[0] != 0 else -np.linalg.norm(x)
         if alpha == 0.0:
-            continue  # column already zero below the sub-diagonal
+            continue
         v = x.copy()
         v[0] -= alpha
         v_norm = np.linalg.norm(v)
@@ -75,9 +85,9 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
         block -= 2.0 * np.outer(v, w) + 2.0 * np.outer(w, v) - 4.0 * tau * np.outer(v, v)
         a[k + 1 :, k + 1 :] = (block + block.T) / 2.0
 
-        # Fix column/row k.
-        a[k + 1, k] = alpha
-        a[k, k + 1] = alpha
+        # Fix column/row k (alpha was computed on the rescaled column).
+        a[k + 1, k] = alpha * col_scale
+        a[k, k + 1] = alpha * col_scale
         if n - k - 2 > 0:
             a[k + 2 :, k] = 0.0
             a[k, k + 2 :] = 0.0

@@ -36,10 +36,16 @@ is one boolean check, so the default configuration stays production
 cheap (see ``benchmarks/test_obs_overhead.py``).
 """
 
-from repro.obs.export import MetricsServer, to_json, to_prometheus
+from repro.obs.export import (
+    HttpService,
+    MetricsServer,
+    to_json,
+    to_prometheus,
+)
 from repro.obs.metrics import (
     PipelineMetrics,
     ScanMetrics,
+    ServeHttpMetrics,
     ServeMetrics,
     Stopwatch,
 )
@@ -51,6 +57,7 @@ from repro.obs.registry import (
     get_registry,
     register_pipeline_metrics,
     register_scan_metrics,
+    register_serve_http_metrics,
     register_serve_metrics,
 )
 from repro.obs.tracing import (
@@ -70,10 +77,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HttpService",
     "MetricsRegistry",
     "MetricsServer",
     "PipelineMetrics",
     "ScanMetrics",
+    "ServeHttpMetrics",
     "ServeMetrics",
     "Stopwatch",
     "Tracer",
@@ -85,6 +94,7 @@ __all__ = [
     "get_tracer",
     "register_pipeline_metrics",
     "register_scan_metrics",
+    "register_serve_http_metrics",
     "register_serve_metrics",
     "set_tracing",
     "span",

@@ -13,6 +13,12 @@ Three consumers of :meth:`MetricsRegistry.collect
   for long-running ``ratio-rules pipeline --follow`` and serving
   processes.  One daemon thread, no dependencies, ``port=0`` binds an
   ephemeral port (handy in tests).
+
+:class:`HttpService` is the lifecycle shell both :class:`MetricsServer`
+and the hole-filling API server (:mod:`repro.serve.http`) are built on:
+one ``ThreadingHTTPServer`` on one daemon thread, ``start()`` that
+refuses a double start and reports the bound (possibly ephemeral) port,
+an idempotent ``stop()``, and context-manager sugar.
 """
 
 from __future__ import annotations
@@ -21,11 +27,17 @@ import json
 import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from .registry import MetricFamily, MetricsRegistry
 
-__all__ = ["MetricsServer", "to_json", "to_json_obj", "to_prometheus"]
+__all__ = [
+    "HttpService",
+    "MetricsServer",
+    "to_json",
+    "to_json_obj",
+    "to_prometheus",
+]
 
 
 def _escape_help(text: str) -> str:
@@ -131,6 +143,99 @@ def to_json(registry: MetricsRegistry, *, indent: int = 2) -> str:
     return json.dumps(to_json_obj(registry), indent=indent, sort_keys=True)
 
 
+class HttpService:
+    """Lifecycle shell for one stdlib ``ThreadingHTTPServer`` endpoint.
+
+    Subclasses provide the request handler via :meth:`_handler_class`;
+    this class owns everything else -- binding (``port=0`` discovers an
+    ephemeral port, re-exposed on ``self.port`` after :meth:`start`),
+    the daemon serving thread, double-start rejection, and an
+    idempotent :meth:`stop`.  Both the read-only :class:`MetricsServer`
+    and the hole-filling API server
+    (:class:`repro.serve.http.HttpApiServer`) are built on it, so the
+    server plumbing exists exactly once.
+    """
+
+    #: Name given to the serving thread (override per subclass).
+    thread_name = "repro-http-service"
+
+    #: Listen backlog.  The stdlib default of 5 resets connections the
+    #: moment a few dozen clients connect at once -- far too small for
+    #: a serving tier whose whole point is riding bursts of concurrent
+    #: single-row requests.
+    request_queue_size = 128
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def _handler_class(self) -> Type[BaseHTTPRequestHandler]:
+        """Build the request-handler class bound to this instance."""
+        raise NotImplementedError
+
+    @property
+    def running(self) -> bool:
+        """Whether the endpoint is currently serving."""
+        return self._server is not None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port.
+
+        Raises
+        ------
+        RuntimeError
+            If the service is already started (stop it first; the
+            bound port cannot change under a live endpoint).
+        """
+        if self._server is not None:
+            raise RuntimeError(f"{type(self).__name__} already started")
+        server_class = type(
+            "_BoundHTTPServer",
+            (ThreadingHTTPServer,),
+            {"request_queue_size": self.request_queue_size},
+        )
+        server = server_class((self.host, self.port), self._handler_class())
+        server.daemon_threads = True
+        self._server = server
+        self.port = server.server_address[1]
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name=self.thread_name,
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread.
+
+        Safe to call twice (the second call is a no-op) and safe to
+        call on a never-started service.
+        """
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the endpoint (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "HttpService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
+
+
 class _MetricsHandler(BaseHTTPRequestHandler):
     """Serves ``/metrics`` (Prometheus text) and ``/metrics.json``."""
 
@@ -158,7 +263,7 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         """Silence per-request stderr logging."""
 
 
-class MetricsServer:
+class MetricsServer(HttpService):
     """A background ``/metrics`` HTTP endpoint over one registry.
 
     >>> from repro.obs.registry import MetricsRegistry
@@ -169,6 +274,8 @@ class MetricsServer:
     >>> server.stop()   # doctest: +SKIP
     """
 
+    thread_name = "repro-metrics-server"
+
     def __init__(
         self,
         registry: MetricsRegistry,
@@ -176,51 +283,21 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
+        super().__init__(host=host, port=port)
         self.registry = registry
-        self.host = host
-        self.port = port
-        self._server: ThreadingHTTPServer | None = None
-        self._thread: threading.Thread | None = None
 
-    def start(self) -> int:
-        """Bind and serve on a daemon thread; returns the bound port."""
-        if self._server is not None:
-            raise RuntimeError("metrics server already started")
-        handler = type(
+    def _handler_class(self) -> Type[BaseHTTPRequestHandler]:
+        return type(
             "_BoundMetricsHandler",
             (_MetricsHandler,),
             {"registry": self.registry},
         )
-        self._server = ThreadingHTTPServer((self.host, self.port), handler)
-        self._server.daemon_threads = True
-        self.port = self._server.server_address[1]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            name="repro-metrics-server",
-            daemon=True,
-        )
-        self._thread.start()
-        return self.port
-
-    def stop(self) -> None:
-        """Shut the endpoint down and join the serving thread."""
-        if self._server is None:
-            return
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        self._server = None
-        self._thread = None
 
     @property
     def url(self) -> str:
-        """Base URL of the endpoint (valid after :meth:`start`)."""
+        """URL of the Prometheus scrape (valid after :meth:`start`)."""
         return f"http://{self.host}:{self.port}/metrics"
 
     def __enter__(self) -> "MetricsServer":
         self.start()
         return self
-
-    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
-        self.stop()

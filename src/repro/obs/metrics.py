@@ -20,7 +20,13 @@ import time
 from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence, Tuple
 
-__all__ = ["PipelineMetrics", "ScanMetrics", "ServeMetrics", "Stopwatch"]
+__all__ = [
+    "PipelineMetrics",
+    "ScanMetrics",
+    "ServeHttpMetrics",
+    "ServeMetrics",
+    "Stopwatch",
+]
 
 
 def _snapshot_value(value):
@@ -693,6 +699,281 @@ class ServeMetrics:
             f"latency       p50 {p50 * 1e3:.3f} ms  p90 {p90 * 1e3:.3f} ms  "
             f"p99 {p99 * 1e3:.3f} ms",
             f"fill time     {self.fill_seconds:.4f} s  ({throughput_text})",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"{key:<13} {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+@dataclass
+class ServeHttpMetrics:
+    """Counters and timings for the HTTP serving tier.
+
+    One record instruments one :class:`repro.serve.http.HttpApiServer`
+    (its request handlers and its coalescer batcher thread all report
+    into the same record).  All mutators take an internal lock; reads
+    for rendering are snapshots, not transactions.
+
+    Attributes
+    ----------
+    n_requests:
+        HTTP requests routed to a known endpoint (every verb plus the
+        GET endpoints; 404s are not counted).
+    n_fill_requests / n_whatif_requests / n_outlier_requests /
+    n_recommend_requests:
+        Per-verb request counters for the four query endpoints.
+    n_flushes:
+        Coalesced micro-batches executed (one
+        :meth:`~repro.serve.BatchFiller.fill_batch` call each).
+    n_rows_coalesced:
+        Rows served through flushes (each row was one queued request).
+    n_shed_queue_full:
+        Requests rejected at admission because the queue was at its
+        limit (HTTP 429).
+    n_expired:
+        Requests whose deadline was already blown -- on arrival or
+        while waiting in the queue (HTTP 503).
+    n_errors:
+        Requests failed by a flush-side exception (HTTP 500).
+    n_bad_requests:
+        Malformed requests rejected before enqueueing (HTTP 400).
+    coalesce_seconds:
+        Total queue-wait across all coalesced rows (enqueue to flush).
+    queue_depth:
+        Queue depth observed at the most recent enqueue/flush (a
+        point-in-time gauge, not a counter).
+    queue_depth_peak:
+        Highest queue depth ever observed.
+    flush_sizes:
+        Recent per-flush row counts (bounded sample); the direct
+        evidence that coalescing happened (sizes > 1).
+    coalesce_waits:
+        Recent per-row queue waits in seconds (bounded sample), the
+        basis of :meth:`coalesce_wait_percentiles`.
+    """
+
+    n_requests: int = 0
+    n_fill_requests: int = 0
+    n_whatif_requests: int = 0
+    n_outlier_requests: int = 0
+    n_recommend_requests: int = 0
+    n_flushes: int = 0
+    n_rows_coalesced: int = 0
+    n_shed_queue_full: int = 0
+    n_expired: int = 0
+    n_errors: int = 0
+    n_bad_requests: int = 0
+    coalesce_seconds: float = 0.0
+    queue_depth: int = 0
+    queue_depth_peak: int = 0
+    flush_sizes: list = field(default_factory=list)
+    coalesce_waits: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    _VERB_COUNTERS = {
+        "fill": "n_fill_requests",
+        "whatif": "n_whatif_requests",
+        "outlier": "n_outlier_requests",
+        "recommend": "n_recommend_requests",
+    }
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # -- recording (called by the HTTP layer and the batcher) --------------
+
+    def record_request(self, verb: Optional[str] = None) -> None:
+        """One routed HTTP request; ``verb`` names a query endpoint."""
+        with self._lock:
+            self.n_requests += 1
+            counter = self._VERB_COUNTERS.get(verb or "")
+            if counter is not None:
+                setattr(self, counter, getattr(self, counter) + 1)
+
+    def record_enqueue(self, queue_depth: int) -> None:
+        """One request admitted to the coalescing queue."""
+        with self._lock:
+            self.queue_depth = int(queue_depth)
+            self.queue_depth_peak = max(
+                self.queue_depth_peak, int(queue_depth)
+            )
+
+    def record_flush(
+        self,
+        *,
+        n_rows: int,
+        waits: Sequence[float],
+        queue_depth: int,
+    ) -> None:
+        """One coalesced micro-batch served."""
+        with self._lock:
+            self.n_flushes += 1
+            self.n_rows_coalesced += int(n_rows)
+            self.coalesce_seconds += float(sum(waits))
+            self.queue_depth = int(queue_depth)
+            self.flush_sizes.append(int(n_rows))
+            del self.flush_sizes[:-_MAX_SAMPLES]
+            self.coalesce_waits.extend(float(wait) for wait in waits)
+            del self.coalesce_waits[:-_MAX_SAMPLES]
+
+    def record_shed(self, n: int = 1) -> None:
+        """Requests turned away because the queue was full (429)."""
+        with self._lock:
+            self.n_shed_queue_full += int(n)
+
+    def record_expired(self, n: int = 1) -> None:
+        """Requests whose deadline was blown before serving (503)."""
+        with self._lock:
+            self.n_expired += int(n)
+
+    def record_error(self, n: int = 1) -> None:
+        """Requests failed by a flush-side exception (500)."""
+        with self._lock:
+            self.n_errors += int(n)
+
+    def record_bad_request(self) -> None:
+        """One malformed request rejected up front (400)."""
+        with self._lock:
+            self.n_bad_requests += 1
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def n_rejected(self) -> int:
+        """Everything turned away: shed + expired (the 429s and 503s)."""
+        return self.n_shed_queue_full + self.n_expired
+
+    @property
+    def rows_per_flush(self) -> float:
+        """Mean coalesced batch size; 0.0 before the first flush."""
+        if self.n_flushes == 0:
+            return 0.0
+        return self.n_rows_coalesced / self.n_flushes
+
+    @property
+    def max_flush_rows(self) -> int:
+        """Largest retained flush (0 before the first flush)."""
+        with self._lock:
+            return max(self.flush_sizes) if self.flush_sizes else 0
+
+    def coalesce_wait_percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> Tuple[float, ...]:
+        """Queue-wait percentiles (seconds) from the retained sample.
+
+        ``quantiles`` are fractions in [0, 1].  Returns zeros before
+        the first flush.
+        """
+        with self._lock:
+            sample = sorted(self.coalesce_waits)
+        if not sample:
+            return tuple(0.0 for _ in quantiles)
+        result = []
+        for quantile in quantiles:
+            if not 0.0 <= quantile <= 1.0:
+                raise ValueError(
+                    f"quantile must be in [0, 1], got {quantile}"
+                )
+            position = quantile * (len(sample) - 1)
+            low = int(position)
+            high = min(low + 1, len(sample) - 1)
+            weight = position - low
+            result.append(
+                sample[low] * (1.0 - weight) + sample[high] * weight
+            )
+        return tuple(result)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def merge(self, other: "ServeHttpMetrics") -> None:
+        """Fold another record into this one (multi-server aggregation).
+
+        Same locking discipline as :meth:`ServeMetrics.merge`: both
+        locks taken in a globally consistent order so cross-merges
+        cannot deadlock, and self-merge folds a snapshot.  Counters
+        sum; ``queue_depth`` keeps the receiver's reading (it is a
+        point-in-time gauge); ``queue_depth_peak`` takes the max.
+        """
+        if other is self:
+            other = ServeHttpMetrics.from_dict(self.to_dict())
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            self.n_requests += other.n_requests
+            self.n_fill_requests += other.n_fill_requests
+            self.n_whatif_requests += other.n_whatif_requests
+            self.n_outlier_requests += other.n_outlier_requests
+            self.n_recommend_requests += other.n_recommend_requests
+            self.n_flushes += other.n_flushes
+            self.n_rows_coalesced += other.n_rows_coalesced
+            self.n_shed_queue_full += other.n_shed_queue_full
+            self.n_expired += other.n_expired
+            self.n_errors += other.n_errors
+            self.n_bad_requests += other.n_bad_requests
+            self.coalesce_seconds += other.coalesce_seconds
+            self.queue_depth_peak = max(
+                self.queue_depth_peak, other.queue_depth_peak
+            )
+            self.flush_sizes.extend(other.flush_sizes)
+            del self.flush_sizes[:-_MAX_SAMPLES]
+            self.coalesce_waits.extend(other.coalesce_waits)
+            del self.coalesce_waits[:-_MAX_SAMPLES]
+            _merge_extras(self.extras, other.extras)
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of every counter (JSON-serializable)."""
+        with self._lock:
+            return {
+                field_def.name: _snapshot_value(getattr(self, field_def.name))
+                for field_def in fields(self)
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeHttpMetrics":
+        """Rebuild a record from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected so stale snapshots fail loudly
+        rather than silently dropping counters.
+        """
+        known = {field_def.name for field_def in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ServeHttpMetrics fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeHttpMetrics":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        p50, p90, p99 = self.coalesce_wait_percentiles((0.5, 0.9, 0.99))
+        lines = [
+            f"requests      {self.n_requests} "
+            f"(fill {self.n_fill_requests}, "
+            f"what-if {self.n_whatif_requests}, "
+            f"outlier {self.n_outlier_requests}, "
+            f"recommend {self.n_recommend_requests})",
+            f"coalescing    {self.n_rows_coalesced:,} row(s) in "
+            f"{self.n_flushes} flush(es)  "
+            f"(mean {self.rows_per_flush:.1f} rows/flush, "
+            f"largest {self.max_flush_rows})",
+            f"queue         depth {self.queue_depth}, "
+            f"peak {self.queue_depth_peak}",
+            f"rejected      {self.n_shed_queue_full} shed (429), "
+            f"{self.n_expired} expired (503)",
+            f"failures      {self.n_errors} error(s) (500), "
+            f"{self.n_bad_requests} bad request(s) (400)",
+            f"queue wait    p50 {p50 * 1e3:.3f} ms  p90 {p90 * 1e3:.3f} ms  "
+            f"p99 {p99 * 1e3:.3f} ms  "
+            f"(total {self.coalesce_seconds:.4f} s)",
         ]
         for key, value in sorted(self.extras.items()):
             lines.append(f"{key:<13} {value}")

@@ -48,7 +48,12 @@ from typing import (
     Tuple,
 )
 
-from .metrics import PipelineMetrics, ScanMetrics, ServeMetrics
+from .metrics import (
+    PipelineMetrics,
+    ScanMetrics,
+    ServeHttpMetrics,
+    ServeMetrics,
+)
 
 __all__ = [
     "Counter",
@@ -61,6 +66,7 @@ __all__ = [
     "get_registry",
     "register_pipeline_metrics",
     "register_scan_metrics",
+    "register_serve_http_metrics",
     "register_serve_metrics",
 ]
 
@@ -591,6 +597,52 @@ def register_serve_metrics(
                 "gauge",
                 "ServeMetrics derived cache hit rate.",
                 (Sample((), metrics.cache_hit_rate),),
+            )
+        )
+        return families
+
+    registry.register_collector(collect)
+    return collect
+
+
+def register_serve_http_metrics(
+    registry: MetricsRegistry,
+    metrics: ServeHttpMetrics,
+    *,
+    prefix: str = "repro_serve_http",
+) -> Collector:
+    """Expose a live :class:`~repro.obs.metrics.ServeHttpMetrics` record."""
+    _require_record(metrics, ServeHttpMetrics)
+
+    def collect() -> List[MetricFamily]:
+        families = _record_families(metrics, prefix, "ServeHttpMetrics")
+        p50, p90, p99 = metrics.coalesce_wait_percentiles((0.5, 0.9, 0.99))
+        families.append(
+            MetricFamily(
+                f"{prefix}_coalesce_wait_seconds",
+                "gauge",
+                "ServeHttpMetrics derived queue-wait percentiles.",
+                (
+                    Sample((("quantile", "0.5"),), p50),
+                    Sample((("quantile", "0.9"),), p90),
+                    Sample((("quantile", "0.99"),), p99),
+                ),
+            )
+        )
+        families.append(
+            MetricFamily(
+                f"{prefix}_rows_per_flush",
+                "gauge",
+                "ServeHttpMetrics derived mean coalesced batch size.",
+                (Sample((), metrics.rows_per_flush),),
+            )
+        )
+        families.append(
+            MetricFamily(
+                f"{prefix}_rejected_total",
+                "gauge",
+                "ServeHttpMetrics derived shed + expired request count.",
+                (Sample((), float(metrics.n_rejected)),),
             )
         )
         return families

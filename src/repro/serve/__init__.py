@@ -17,7 +17,12 @@ production-shaped query path on top of
   refit replaces the served model atomically; every response is
   attributable to exactly one published version;
 - :class:`~repro.obs.metrics.ServeMetrics` (re-exported) -- cache
-  traffic, pattern-group sizes, and fill-latency percentiles.
+  traffic, pattern-group sizes, and fill-latency percentiles;
+- :mod:`repro.serve.http` -- the network tier:
+  :class:`~repro.serve.http.HttpApiServer` exposes fill / what-if /
+  outlier / recommend over HTTP, with
+  :class:`~repro.serve.http.DeadlineCoalescer` merging concurrent
+  single-row requests into micro-batches (see ``docs/serving_http.md``).
 
 Quickstart::
 
@@ -34,9 +39,17 @@ See ``docs/serving.md`` for architecture, cache semantics, and the
 versioning guarantees.
 """
 
-from repro.obs.metrics import ServeMetrics
+from repro.obs.metrics import ServeHttpMetrics, ServeMetrics
 from repro.serve.batch import BatchFiller, BatchFillResult
 from repro.serve.cache import OperatorCache
+from repro.serve.http import (
+    CoalescedFill,
+    CoalescerStoppedError,
+    DeadlineCoalescer,
+    DeadlineExpiredError,
+    HttpApiServer,
+    QueueFullError,
+)
 from repro.serve.registry import (
     ModelRegistry,
     NoModelPublishedError,
@@ -46,9 +59,16 @@ from repro.serve.registry import (
 __all__ = [
     "BatchFiller",
     "BatchFillResult",
+    "CoalescedFill",
+    "CoalescerStoppedError",
+    "DeadlineCoalescer",
+    "DeadlineExpiredError",
+    "HttpApiServer",
     "ModelRegistry",
     "NoModelPublishedError",
     "OperatorCache",
     "PublishedModel",
+    "QueueFullError",
+    "ServeHttpMetrics",
     "ServeMetrics",
 ]

@@ -1,0 +1,773 @@
+"""The network serving tier: an HTTP hole-filling API with
+deadline-based request coalescing.
+
+Everything below this module is in-process; this is the first network
+surface the query side gets.  :class:`HttpApiServer` exposes the four
+query verbs the model already answers --
+
+- ``POST /v1/fill`` -- fill the NaN holes of one row;
+- ``POST /v1/whatif`` -- a what-if scenario (Sec. 3/4.4 of the paper)
+  over attribute names;
+- ``POST /v1/outlier`` -- reconstruction-residual score of one
+  complete row;
+- ``POST /v1/recommend`` -- basket completion / product ranking;
+
+plus ``GET /v1/models`` (what is being served) and ``GET /healthz``.
+
+The heart is :class:`DeadlineCoalescer`.  Single-row fill requests are
+cheap individually but the ~30x serving speedup (``BENCH_serve.json``)
+lives in the batch path: grouping rows by hole pattern through
+``numpy.unique`` and applying one cached operator per pattern.  So
+incoming requests do not call :meth:`~repro.serve.BatchFiller.fill_row`
+directly -- they enqueue with a per-request **deadline**, and a batcher
+thread drains the queue into micro-batches when either
+
+- ``max_batch_rows`` requests are waiting, or
+- the earliest queued deadline minus ``flush_margin`` arrives,
+
+then runs **one** :meth:`~repro.serve.BatchFiller.fill_batch` per flush
+and fans the rows back out to the waiting request threads.  Because
+``fill_batch`` takes one atomic :class:`~repro.serve.PublishedModel`
+snapshot per call, a flush pins exactly one model version for its whole
+batch -- a concurrent hot-swap can never tear a micro-batch across two
+versions.  And because the apply kernel is batch-size invariant, every
+coalesced answer is **bit-identical** to serving the same row alone or
+in any offline batch.
+
+Admission control and load shedding:
+
+- the queue is bounded (``queue_limit``); at the limit new requests are
+  shed with HTTP **429** and a ``Retry-After`` header;
+- a request whose deadline is already blown -- on arrival or while
+  waiting in the queue -- gets HTTP **503**;
+- every rejection is counted on
+  :class:`~repro.obs.metrics.ServeHttpMetrics` (``n_shed_queue_full``,
+  ``n_expired``), so the record exactly accounts for shed traffic.
+
+See ``docs/serving_http.md`` for endpoint schemas and tuning.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Deque, Dict, List, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.obs.export import HttpService
+from repro.obs.metrics import ServeHttpMetrics
+from repro.serve.batch import BatchFiller
+from repro.serve.registry import ModelRegistry, NoModelPublishedError
+
+__all__ = [
+    "CoalescedFill",
+    "CoalescerStoppedError",
+    "DeadlineCoalescer",
+    "DeadlineExpiredError",
+    "HttpApiServer",
+    "QueueFullError",
+]
+
+#: Largest accepted request body, in bytes (single-row payloads are
+#: tiny; anything bigger is a client error, not a bigger batch).
+MAX_BODY_BYTES = 1 << 20
+
+
+class QueueFullError(RuntimeError):
+    """The coalescing queue is at its admission limit (HTTP 429)."""
+
+
+class DeadlineExpiredError(RuntimeError):
+    """The request's deadline passed before it could be served (503)."""
+
+
+class CoalescerStoppedError(RuntimeError):
+    """The coalescer is not running (server starting up or shut down)."""
+
+
+@dataclass(frozen=True)
+class CoalescedFill:
+    """One row served through a coalesced micro-batch.
+
+    Attributes
+    ----------
+    filled:
+        The completed row (known cells untouched, holes reconstructed).
+    version / fingerprint:
+        The registry version the serving flush was pinned to.
+    case:
+        The row's dispatch regime (see :mod:`repro.core.reconstruction`).
+    flush_rows:
+        Rows in the micro-batch that served this request (> 1 means
+        the request actually coalesced with others).
+    wait_seconds:
+        Time the request spent queued before its flush.
+    """
+
+    filled: np.ndarray
+    version: int
+    fingerprint: str
+    case: str
+    flush_rows: int
+    wait_seconds: float
+
+
+@dataclass
+class _Ticket:
+    """One queued request: a row, a deadline, and a result slot."""
+
+    row: np.ndarray
+    deadline: float
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[CoalescedFill] = None
+    error: Optional[BaseException] = None
+
+
+class DeadlineCoalescer:
+    """Coalesce single-row fill requests into micro-batches.
+
+    Parameters
+    ----------
+    filler:
+        The :class:`~repro.serve.BatchFiller` every flush runs through
+        (one ``fill_batch`` call per flush -- one pinned model version
+        per micro-batch).
+    max_batch_rows:
+        Flush as soon as this many requests are queued.
+    flush_margin:
+        Seconds before the earliest queued deadline at which to flush
+        anyway, leaving the margin for the batch compute itself.
+    queue_limit:
+        Admission bound; :meth:`submit` sheds with
+        :class:`QueueFullError` once this many requests are waiting.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.ServeHttpMetrics`;
+        the coalescer records every enqueue, flush, shed, and expiry.
+    """
+
+    def __init__(
+        self,
+        filler: BatchFiller,
+        *,
+        max_batch_rows: int = 64,
+        flush_margin: float = 0.005,
+        queue_limit: int = 256,
+        metrics: Optional[ServeHttpMetrics] = None,
+    ) -> None:
+        if max_batch_rows < 1:
+            raise ValueError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}"
+            )
+        if flush_margin < 0.0:
+            raise ValueError(
+                f"flush_margin must be >= 0, got {flush_margin}"
+            )
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.filler = filler
+        self.max_batch_rows = int(max_batch_rows)
+        self.flush_margin = float(flush_margin)
+        self.queue_limit = int(queue_limit)
+        self.metrics = metrics if metrics is not None else ServeHttpMetrics()
+        self._queue: Deque[_Ticket] = deque()
+        self._wake = threading.Condition(threading.Lock())
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the batcher thread is alive and accepting work."""
+        return self._thread is not None and not self._stopping
+
+    def start(self) -> None:
+        """Start the batcher thread (refuses a double start)."""
+        if self._thread is not None:
+            raise RuntimeError("DeadlineCoalescer already started")
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Drain the queue with a final flush round, then stop.
+
+        Idempotent; requests submitted after the stop begins are
+        refused with :class:`CoalescerStoppedError`, but everything
+        already queued is still served (graceful shutdown).
+        """
+        with self._wake:
+            if self._thread is None:
+                return
+            self._stopping = True
+            thread = self._thread
+            self._wake.notify_all()
+        thread.join(timeout=30.0)
+        self._thread = None
+
+    # -- request side ------------------------------------------------------
+
+    def submit(self, row: np.ndarray, timeout: float) -> _Ticket:
+        """Enqueue one row; returns the ticket to wait on.
+
+        Raises
+        ------
+        DeadlineExpiredError
+            ``timeout`` is not positive -- the deadline is already
+            blown on arrival (counted as expired).
+        QueueFullError
+            The queue is at ``queue_limit`` (counted as shed).
+        CoalescerStoppedError
+            The batcher is not running.
+        """
+        now = time.monotonic()
+        if timeout <= 0.0:
+            self.metrics.record_expired()
+            raise DeadlineExpiredError(
+                f"deadline already blown on arrival (timeout={timeout!r}s)"
+            )
+        ticket = _Ticket(
+            row=np.asarray(row, dtype=np.float64),
+            deadline=now + float(timeout),
+            enqueued_at=now,
+        )
+        with self._wake:
+            if not self.running:
+                raise CoalescerStoppedError("coalescer is not running")
+            if len(self._queue) >= self.queue_limit:
+                self.metrics.record_shed()
+                raise QueueFullError(
+                    f"coalescing queue full ({self.queue_limit} waiting)"
+                )
+            self._queue.append(ticket)
+            self.metrics.record_enqueue(len(self._queue))
+            self._wake.notify_all()
+        return ticket
+
+    def fill(self, row: np.ndarray, timeout: float) -> CoalescedFill:
+        """Submit one row and block until its micro-batch serves it.
+
+        The wait is bounded by the deadline plus a generous compute
+        grace; the batcher always resolves every drained ticket.
+        """
+        ticket = self.submit(row, timeout)
+        ticket.done.wait(max(0.0, ticket.deadline - time.monotonic()) + 30.0)
+        if ticket.error is not None:
+            raise ticket.error
+        if ticket.result is None:  # pragma: no cover - batcher died
+            raise CoalescerStoppedError("coalescer dropped the request")
+        return ticket.result
+
+    # -- batcher thread ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                while not self._stopping and not self._queue:
+                    self._wake.wait()
+                if self._stopping and not self._queue:
+                    return
+                # Wait for a full batch or the earliest deadline minus
+                # the flush margin, whichever comes first.  Stopping
+                # short-circuits straight to a drain.
+                while (
+                    not self._stopping
+                    and 0 < len(self._queue) < self.max_batch_rows
+                ):
+                    now = time.monotonic()
+                    earliest = min(t.deadline for t in self._queue)
+                    flush_at = earliest - self.flush_margin
+                    if now >= flush_at:
+                        break
+                    self._wake.wait(timeout=flush_at - now)
+                if not self._queue:
+                    continue
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(
+                        min(len(self._queue), self.max_batch_rows)
+                    )
+                ]
+                depth_after = len(self._queue)
+            self._flush(batch, depth_after)
+
+    def _flush(self, batch: List[_Ticket], depth_after: int) -> None:
+        """Serve one drained micro-batch and fan the rows back out."""
+        now = time.monotonic()
+        live: List[_Ticket] = []
+        for ticket in batch:
+            if now > ticket.deadline:
+                ticket.error = DeadlineExpiredError(
+                    "deadline expired while queued"
+                )
+                ticket.done.set()
+            else:
+                live.append(ticket)
+        if len(live) < len(batch):
+            self.metrics.record_expired(len(batch) - len(live))
+        if not live:
+            return
+        try:
+            result = self.filler.fill_batch(
+                np.vstack([ticket.row for ticket in live])
+            )
+        except BaseException as exc:
+            for ticket in live:
+                ticket.error = exc
+                ticket.done.set()
+            self.metrics.record_error(len(live))
+            return
+        served_at = time.monotonic()
+        waits = [served_at - ticket.enqueued_at for ticket in live]
+        for i, ticket in enumerate(live):
+            ticket.result = CoalescedFill(
+                filled=result.filled[i],
+                version=result.version,
+                fingerprint=result.fingerprint,
+                case=result.cases[i],
+                flush_rows=len(live),
+                wait_seconds=waits[i],
+            )
+            ticket.done.set()
+        self.metrics.record_flush(
+            n_rows=len(live), waits=waits, queue_depth=depth_after
+        )
+
+
+# -- the HTTP layer --------------------------------------------------------
+
+
+class _BadRequest(ValueError):
+    """Client-side validation failure (rendered as HTTP 400)."""
+
+
+def _parse_body(handler: BaseHTTPRequestHandler) -> Dict[str, Any]:
+    try:
+        length = int(handler.headers.get("Content-Length", "0"))
+    except ValueError:
+        raise _BadRequest("invalid Content-Length header") from None
+    if length <= 0:
+        raise _BadRequest("a JSON request body is required")
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(
+            f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
+        )
+    raw = handler.rfile.read(length)
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _BadRequest(f"invalid JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise _BadRequest("request body must be a JSON object")
+    return payload
+
+
+def _parse_row(payload: Dict[str, Any], width: int) -> np.ndarray:
+    """Decode ``{"row": [...]}``; ``null`` cells are holes (NaN)."""
+    values = payload.get("row")
+    if not isinstance(values, list):
+        raise _BadRequest('"row" must be a JSON array of numbers/nulls')
+    if len(values) != width:
+        raise _BadRequest(
+            f'"row" has {len(values)} cells; the served model expects '
+            f"{width}"
+        )
+    row = np.empty(len(values), dtype=np.float64)
+    for i, cell in enumerate(values):
+        if cell is None:
+            row[i] = np.nan
+        elif isinstance(cell, (int, float)) and not isinstance(cell, bool):
+            if math.isinf(cell):
+                raise _BadRequest(
+                    f'"row" cell {i} is infinite; holes must be null'
+                )
+            row[i] = float(cell)
+        else:
+            raise _BadRequest(
+                f'"row" cell {i} must be a number or null, '
+                f"got {type(cell).__name__}"
+            )
+    return row
+
+
+def _parse_assignments(
+    payload: Dict[str, Any], key: str
+) -> Dict[str, float]:
+    mapping = payload.get(key, {})
+    if not isinstance(mapping, dict):
+        raise _BadRequest(f'"{key}" must be a JSON object of name: number')
+    parsed = {}
+    for name, value in mapping.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _BadRequest(
+                f'"{key}"["{name}"] must be a number, '
+                f"got {type(value).__name__}"
+            )
+        parsed[str(name)] = float(value)
+    return parsed
+
+
+class _ApiHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1/*`` endpoints onto one :class:`HttpApiServer`."""
+
+    # Injected by HttpApiServer via a subclass attribute.
+    service: "HttpApiServer"
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _respond(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._respond(
+            status, {"error": message, "status": status}, headers=headers
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+    # -- routing -----------------------------------------------------------
+
+    _POST_ROUTES = {
+        "/v1/fill": ("fill", "_handle_fill"),
+        "/v1/whatif": ("whatif", "_handle_whatif"),
+        "/v1/outlier": ("outlier", "_handle_outlier"),
+        "/v1/recommend": ("recommend", "_handle_recommend"),
+    }
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        route = self._POST_ROUTES.get(path)
+        if route is None:
+            self._error(404, f"unknown endpoint {path!r}")
+            return
+        verb, method = route
+        self.service.metrics.record_request(verb)
+        try:
+            payload = _parse_body(self)
+            getattr(self, method)(payload)
+        except _BadRequest as exc:
+            self.service.metrics.record_bad_request()
+            self._error(400, str(exc))
+        except NoModelPublishedError:
+            self._error(503, "no model published yet")
+        except QueueFullError as exc:
+            self._error(
+                429,
+                str(exc),
+                headers={
+                    "Retry-After": str(self.service.retry_after_seconds)
+                },
+            )
+        except DeadlineExpiredError as exc:
+            self._error(503, str(exc))
+        except CoalescerStoppedError as exc:
+            self._error(503, str(exc))
+        except Exception as exc:  # flush-side or handler-side failure
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self.service.metrics.record_request()
+            self._handle_healthz()
+        elif path == "/v1/models":
+            self.service.metrics.record_request()
+            self._handle_models()
+        else:
+            self._error(404, f"unknown endpoint {path!r} (try /healthz)")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _timeout_seconds(self, payload: Dict[str, Any]) -> float:
+        value = payload.get("timeout_ms", self.service.default_timeout_ms)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _BadRequest('"timeout_ms" must be a number')
+        return float(value) / 1e3
+
+    def _handle_fill(self, payload: Dict[str, Any]) -> None:
+        service = self.service
+        snapshot = service.registry.current()
+        row = _parse_row(payload, snapshot.model.schema_.width)
+        outcome = service.coalescer.fill(row, self._timeout_seconds(payload))
+        self._respond(
+            200,
+            {
+                "filled": [float(v) for v in outcome.filled],
+                "case": outcome.case,
+                "version": outcome.version,
+                "fingerprint": outcome.fingerprint,
+                "coalesced_rows": outcome.flush_rows,
+            },
+        )
+
+    def _handle_whatif(self, payload: Dict[str, Any]) -> None:
+        service = self.service
+        snapshot = service.registry.current()
+        schema = snapshot.model.schema_
+        fixed = _parse_assignments(payload, "set")
+        scaled = _parse_assignments(payload, "scale")
+        if not fixed and not scaled:
+            raise _BadRequest(
+                'a scenario must constrain at least one attribute '
+                '(provide "set" and/or "scale")'
+            )
+        overlap = set(fixed) & set(scaled)
+        if overlap:
+            raise _BadRequest(
+                f"attributes both set and scaled: {sorted(overlap)}"
+            )
+        baselines = dict(zip(schema.names, snapshot.model.means_))
+        row = np.full(schema.width, np.nan)
+        try:
+            for name, value in fixed.items():
+                row[schema.index_of(name)] = value
+            for name, factor in scaled.items():
+                row[schema.index_of(name)] = baselines[name] * factor
+        except KeyError as exc:
+            raise _BadRequest(f"unknown attribute: {exc}") from None
+        outcome = service.coalescer.fill(row, self._timeout_seconds(payload))
+        self._respond(
+            200,
+            {
+                "values": {
+                    name: float(outcome.filled[j])
+                    for j, name in enumerate(schema.names)
+                },
+                "specified": sorted(set(fixed) | set(scaled)),
+                "case": outcome.case,
+                "version": outcome.version,
+                "fingerprint": outcome.fingerprint,
+            },
+        )
+
+    def _handle_outlier(self, payload: Dict[str, Any]) -> None:
+        snapshot = self.service.registry.current()
+        model = snapshot.model
+        row = _parse_row(payload, model.schema_.width)
+        if np.isnan(row).any():
+            raise _BadRequest(
+                "outlier scoring needs a complete row (no null cells); "
+                "fill holes first via /v1/fill"
+            )
+        reconstructed = model.reconstruct(row[None, :])[0]
+        errors = row - reconstructed
+        self._respond(
+            200,
+            {
+                "residual": float(np.linalg.norm(errors)),
+                "reconstructed": [float(v) for v in reconstructed],
+                "cell_errors": [float(v) for v in errors],
+                "version": snapshot.version,
+                "fingerprint": snapshot.fingerprint,
+            },
+        )
+
+    def _handle_recommend(self, payload: Dict[str, Any]) -> None:
+        from repro.core.recommend import BasketRecommender
+
+        snapshot = self.service.registry.current()
+        basket = _parse_assignments(payload, "basket")
+        if not basket:
+            raise _BadRequest(
+                '"basket" must name at least one known product'
+            )
+        top_n = payload.get("top_n", 3)
+        if not isinstance(top_n, int) or isinstance(top_n, bool):
+            raise _BadRequest('"top_n" must be an integer')
+        ranking = payload.get("ranking", "uplift")
+        try:
+            recommender = BasketRecommender(snapshot.model, ranking=ranking)
+            recommendations = recommender.recommend(basket, top_n=top_n)
+        except (KeyError, ValueError) as exc:
+            raise _BadRequest(str(exc)) from None
+        self._respond(
+            200,
+            {
+                "recommendations": [
+                    {
+                        "product": rec.product,
+                        "predicted_spend": rec.predicted_spend,
+                        "uplift": rec.uplift,
+                    }
+                    for rec in recommendations
+                ],
+                "version": snapshot.version,
+                "fingerprint": snapshot.fingerprint,
+            },
+        )
+
+    def _handle_healthz(self) -> None:
+        service = self.service
+        try:
+            snapshot = service.registry.current()
+        except NoModelPublishedError:
+            self._error(503, "no model published yet")
+            return
+        if not service.coalescer.running:
+            self._error(503, "coalescer is not running")
+            return
+        self._respond(
+            200, {"status": "ok", "version": snapshot.version}
+        )
+
+    def _handle_models(self) -> None:
+        service = self.service
+        try:
+            snapshot = service.registry.current()
+        except NoModelPublishedError:
+            self._respond(200, {"current": None})
+            return
+        model = snapshot.model
+        self._respond(
+            200,
+            {
+                "current": {
+                    "version": snapshot.version,
+                    "fingerprint": snapshot.fingerprint,
+                    "published_at": snapshot.published_at,
+                    "k": model.k,
+                    "n_rows": model.n_rows_,
+                    "columns": list(model.schema_.names),
+                }
+            },
+        )
+
+
+class HttpApiServer(HttpService):
+    """The hole-filling API server (see the module docstring).
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.serve.ModelRegistry` (hot-swappable serving),
+        a fitted :class:`~repro.core.model.RatioRuleModel`, or a
+        ready-made :class:`~repro.serve.BatchFiller`.
+    host / port:
+        Bind address; ``port=0`` discovers an ephemeral port
+        (re-exposed on ``self.port`` after :meth:`start`).
+    max_batch_rows / flush_margin / queue_limit:
+        Coalescer tuning; see :class:`DeadlineCoalescer`.
+    default_timeout_ms:
+        Per-request deadline applied when the request body carries no
+        ``timeout_ms``.
+    retry_after_seconds:
+        Value of the ``Retry-After`` header on shed (429) responses.
+    cache_entries / underdetermined:
+        Forwarded to the internally built
+        :class:`~repro.serve.BatchFiller` (ignored when ``source``
+        already is one).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.ServeHttpMetrics`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import RatioRuleModel
+    >>> from repro.serve.http import HttpApiServer
+    >>> X = np.outer(np.arange(1.0, 9.0), [1.0, 2.0])
+    >>> server = HttpApiServer(RatioRuleModel(cutoff=1).fit(X), port=0)
+    >>> port = server.start()   # doctest: +SKIP
+    >>> server.stop()           # doctest: +SKIP
+    """
+
+    thread_name = "repro-serve-http"
+
+    def __init__(
+        self,
+        source: Union[ModelRegistry, RatioRuleModel, BatchFiller],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_rows: int = 64,
+        flush_margin: float = 0.005,
+        queue_limit: int = 256,
+        default_timeout_ms: float = 1000.0,
+        retry_after_seconds: int = 1,
+        cache_entries: int = 1024,
+        underdetermined: str = "truncate",
+        metrics: Optional[ServeHttpMetrics] = None,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        if default_timeout_ms <= 0.0:
+            raise ValueError(
+                f"default_timeout_ms must be > 0, got {default_timeout_ms}"
+            )
+        self.metrics = metrics if metrics is not None else ServeHttpMetrics()
+        if isinstance(source, BatchFiller):
+            self.filler = source
+        else:
+            self.filler = BatchFiller(
+                source,
+                cache_entries=cache_entries,
+                underdetermined=underdetermined,
+            )
+        self.registry = self.filler.registry
+        self.coalescer = DeadlineCoalescer(
+            self.filler,
+            max_batch_rows=max_batch_rows,
+            flush_margin=flush_margin,
+            queue_limit=queue_limit,
+            metrics=self.metrics,
+        )
+        self.default_timeout_ms = float(default_timeout_ms)
+        self.retry_after_seconds = int(retry_after_seconds)
+
+    def _handler_class(self) -> Type[BaseHTTPRequestHandler]:
+        return type("_BoundApiHandler", (_ApiHandler,), {"service": self})
+
+    def start(self) -> int:
+        """Start the coalescer, then bind and serve; returns the port."""
+        if self.running:
+            raise RuntimeError(f"{type(self).__name__} already started")
+        self.coalescer.start()
+        try:
+            return super().start()
+        except Exception:
+            self.coalescer.stop()
+            raise
+
+    def stop(self) -> None:
+        """Stop accepting requests, then drain and stop the coalescer.
+
+        Idempotent, like :meth:`HttpService.stop`.  The order matters:
+        the listener goes down first so no new requests arrive, then
+        the coalescer's final flush serves everything already queued.
+        """
+        super().stop()
+        self.coalescer.stop()
+
+    def __enter__(self) -> "HttpApiServer":
+        self.start()
+        return self

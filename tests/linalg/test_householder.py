@@ -32,6 +32,24 @@ class TestTridiagonalization:
         np.testing.assert_allclose(diagonal, [3.0, 2.0, 1.0], atol=1e-12)
         np.testing.assert_allclose(np.abs(off_diagonal), [0.5, 0.4], atol=1e-12)
 
+    def test_mixed_scale_column_keeps_q_orthogonal(self):
+        # Hypothesis-found regression: one O(1) entry next to entries
+        # ~1e-145 leaves the second reduction column at ~1e-161, whose
+        # squared norm underflows to subnormals -- without per-column
+        # rescaling the "unit" reflector drifts and Q's orthogonality
+        # error reached ~1.5e-4.
+        tiny = 2.1186324e-145
+        matrix = np.full((4, 4), tiny)
+        matrix[0, 0] = 1.0
+        _d, _e, q = householder_tridiagonalize(matrix)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-12)
+        values, vectors = householder_eigensystem(matrix)
+        ref = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        np.testing.assert_allclose(values, ref, rtol=1e-8, atol=1e-12)
+        np.testing.assert_allclose(
+            vectors.T @ vectors, np.eye(4), atol=1e-12
+        )
+
 
 class TestEigensystem:
     @pytest.mark.parametrize("size", [1, 2, 3, 6, 15, 40])

@@ -18,7 +18,13 @@ import urllib.request
 
 import pytest
 
-from repro.obs.export import MetricsServer, to_json, to_json_obj, to_prometheus
+from repro.obs.export import (
+    HttpService,
+    MetricsServer,
+    to_json,
+    to_json_obj,
+    to_prometheus,
+)
 from repro.obs.metrics import PipelineMetrics, ScanMetrics, ServeMetrics
 from repro.obs.registry import (
     MetricsRegistry,
@@ -275,3 +281,89 @@ class TestMetricsServer:
         finally:
             server.stop()
         server.stop()  # second stop is a no-op
+
+    def test_is_an_http_service(self):
+        """The shared lifecycle shell, not a private reimplementation."""
+        assert issubclass(MetricsServer, HttpService)
+
+
+class _PingService(HttpService):
+    """Minimal HttpService subclass for exercising the base lifecycle."""
+
+    def _handler_class(self):
+        from http.server import BaseHTTPRequestHandler
+
+        class _PingHandler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+                body = b"pong"
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):
+                pass
+
+        return _PingHandler
+
+
+class TestHttpService:
+    """Regression tests for the shared server lifecycle base class."""
+
+    def test_handler_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            HttpService()._handler_class()
+
+    def test_port_zero_discovers_ephemeral_port(self):
+        service = _PingService(port=0)
+        assert not service.running
+        bound = service.start()
+        try:
+            assert bound != 0
+            assert service.port == bound
+            assert service.running
+            url = f"http://{service.host}:{bound}/"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.read() == b"pong"
+        finally:
+            service.stop()
+        assert not service.running
+
+    def test_double_start_raises_without_losing_the_endpoint(self):
+        service = _PingService(port=0)
+        bound = service.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                service.start()
+            # The rejected second start must not tear down the first.
+            assert service.running and service.port == bound
+            with urllib.request.urlopen(service.url + "/", timeout=5) as r:
+                assert r.status == 200
+        finally:
+            service.stop()
+
+    def test_stop_is_idempotent_and_safe_before_start(self):
+        service = _PingService(port=0)
+        service.stop()  # never started: no-op
+        service.start()
+        service.stop()
+        service.stop()  # second stop: no-op
+        assert not service.running
+
+    def test_restart_after_stop_binds_a_fresh_port(self):
+        service = _PingService(port=0)
+        service.start()
+        service.stop()
+        bound = service.start()  # a stopped service can be started again
+        try:
+            with urllib.request.urlopen(
+                f"http://{service.host}:{bound}/", timeout=5
+            ) as response:
+                assert response.read() == b"pong"
+        finally:
+            service.stop()
+
+    def test_context_manager_round_trip(self):
+        with _PingService(port=0) as service:
+            assert service.running
+        assert not service.running

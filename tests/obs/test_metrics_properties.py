@@ -24,7 +24,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.obs.metrics import PipelineMetrics, ScanMetrics, ServeMetrics
+from repro.obs.metrics import (
+    PipelineMetrics,
+    ScanMetrics,
+    ServeHttpMetrics,
+    ServeMetrics,
+)
 
 pytestmark = pytest.mark.obs
 
@@ -135,10 +140,34 @@ def serve_records():
     )
 
 
+def serve_http_records():
+    return st.builds(
+        ServeHttpMetrics,
+        n_requests=_counts,
+        n_fill_requests=_counts,
+        n_whatif_requests=_counts,
+        n_outlier_requests=_counts,
+        n_recommend_requests=_counts,
+        n_flushes=_counts,
+        n_rows_coalesced=_counts,
+        n_shed_queue_full=_counts,
+        n_expired=_counts,
+        n_errors=_counts,
+        n_bad_requests=_counts,
+        coalesce_seconds=_seconds,
+        queue_depth=_counts,
+        queue_depth_peak=_counts,
+        flush_sizes=st.lists(_counts, max_size=4),
+        coalesce_waits=st.lists(_seconds, max_size=4),
+        extras=_extras,
+    )
+
+
 _RECORD_STRATEGIES = {
     ScanMetrics: scan_records,
     PipelineMetrics: pipeline_records,
     ServeMetrics: serve_records,
+    ServeHttpMetrics: serve_http_records,
 }
 
 #: Exhaustive merge classification.  Every dataclass field must appear
@@ -163,6 +192,12 @@ _SUMMED = {
         "n_rows_all_holes", "n_groups", "n_holes_filled", "cache_hits",
         "cache_misses", "cache_evictions", "n_publishes", "fill_seconds",
     ),
+    ServeHttpMetrics: (
+        "n_requests", "n_fill_requests", "n_whatif_requests",
+        "n_outlier_requests", "n_recommend_requests", "n_flushes",
+        "n_rows_coalesced", "n_shed_queue_full", "n_expired", "n_errors",
+        "n_bad_requests", "coalesce_seconds",
+    ),
 }
 _RECEIVER_KEPT = {
     ScanMetrics: ("executor", "n_workers", "accumulate_dtype"),
@@ -172,19 +207,30 @@ _RECEIVER_KEPT = {
         "reservoir_capacity", "last_refresh_seconds",
     ),
     ServeMetrics: (),
+    ServeHttpMetrics: ("queue_depth",),
 }
 _CONCATENATED = {
     ScanMetrics: ("quarantined",),
     PipelineMetrics: (),
     ServeMetrics: ("group_sizes", "batch_latencies"),
+    ServeHttpMetrics: ("flush_sizes", "coalesce_waits"),
 }
 _KEY_SUMMED = {
     ScanMetrics: ("extras",),
     PipelineMetrics: ("refresh_reasons", "extras"),
     ServeMetrics: ("extras",),
+    ServeHttpMetrics: ("extras",),
+}
+#: High-water-mark gauges: merge takes the max (associative, and the
+#: default 0 is its identity on the non-negative draws above).
+_MAXED = {
+    ScanMetrics: (),
+    PipelineMetrics: (),
+    ServeMetrics: (),
+    ServeHttpMetrics: ("queue_depth_peak",),
 }
 
-_RECORD_TYPES = [ScanMetrics, PipelineMetrics, ServeMetrics]
+_RECORD_TYPES = [ScanMetrics, PipelineMetrics, ServeMetrics, ServeHttpMetrics]
 _record_params = pytest.mark.parametrize(
     "record_type", _RECORD_TYPES, ids=lambda t: t.__name__
 )
@@ -202,6 +248,7 @@ def test_merge_classification_is_exhaustive(record_type):
         + _RECEIVER_KEPT[record_type]
         + _CONCATENATED[record_type]
         + _KEY_SUMMED[record_type]
+        + _MAXED[record_type]
     )
     declared = {f.name for f in dataclasses.fields(record_type)}
     assert classified == declared, (
@@ -241,6 +288,10 @@ def test_merge_folds_every_counter_exactly_once(record_type, data):
         assert getattr(merged, name) == getattr(a, name), name
     for name in _CONCATENATED[record_type]:
         assert getattr(merged, name) == getattr(a, name) + getattr(b, name)
+    for name in _MAXED[record_type]:
+        assert getattr(merged, name) == max(
+            getattr(a, name), getattr(b, name)
+        ), name
     for name in _KEY_SUMMED[record_type]:
         mine, theirs = getattr(a, name), getattr(b, name)
         folded = getattr(merged, name)
@@ -291,7 +342,11 @@ def test_merge_with_default_record_adds_only_defaults(record_type, data):
         assert getattr(merged, name) == expected, name
     for name in _RECEIVER_KEPT[record_type]:
         assert getattr(merged, name) == getattr(record, name), name
-    for name in _CONCATENATED[record_type] + _KEY_SUMMED[record_type]:
+    for name in (
+        _CONCATENATED[record_type]
+        + _KEY_SUMMED[record_type]
+        + _MAXED[record_type]
+    ):
         assert getattr(merged, name) == getattr(record, name), name
 
 

@@ -13,7 +13,12 @@ import math
 
 import pytest
 
-from repro.obs.metrics import PipelineMetrics, ScanMetrics, ServeMetrics
+from repro.obs.metrics import (
+    PipelineMetrics,
+    ScanMetrics,
+    ServeHttpMetrics,
+    ServeMetrics,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -23,6 +28,7 @@ from repro.obs.registry import (
     get_registry,
     register_pipeline_metrics,
     register_scan_metrics,
+    register_serve_http_metrics,
     register_serve_metrics,
 )
 
@@ -199,6 +205,8 @@ class TestAdapterValidation:
             (register_serve_metrics, ScanMetrics()),
             (register_pipeline_metrics, None),
             (register_pipeline_metrics, ScanMetrics()),
+            (register_serve_http_metrics, None),
+            (register_serve_http_metrics, ServeMetrics()),
         ],
     )
     def test_wrong_record_rejected_eagerly(self, register, wrong):
@@ -331,3 +339,59 @@ class TestServeAdapter:
         register_serve_metrics(registry, metrics)
         index = _family_index(registry.collect())
         assert index["repro_serve_cache_hit_rate"].samples[0].value == 0.75
+
+
+class TestServeHttpAdapter:
+    def _populated(self) -> ServeHttpMetrics:
+        metrics = ServeHttpMetrics()
+        for verb in ("fill", "fill", "whatif", "outlier", "recommend"):
+            metrics.record_request(verb)
+        metrics.record_enqueue(queue_depth=3)
+        metrics.record_flush(
+            n_rows=3, waits=[0.010, 0.020, 0.030], queue_depth=0
+        )
+        metrics.record_shed(2)
+        metrics.record_expired()
+        metrics.record_error()
+        metrics.record_bad_request()
+        metrics.extras["note"] = "hi"
+        return metrics
+
+    def test_every_field_exported(self, registry):
+        metrics = self._populated()
+        register_serve_http_metrics(registry, metrics)
+        _assert_every_field_exported(
+            metrics, registry.collect(), "repro_serve_http"
+        )
+
+    def test_wait_percentile_samples(self, registry):
+        register_serve_http_metrics(registry, self._populated())
+        index = _family_index(registry.collect())
+        samples = {
+            s.labels_dict()["quantile"]: s.value
+            for s in index["repro_serve_http_coalesce_wait_seconds"].samples
+        }
+        assert set(samples) == {"0.5", "0.9", "0.99"}
+        assert samples["0.5"] == pytest.approx(0.020)
+
+    def test_derived_rows_per_flush_and_rejected(self, registry):
+        register_serve_http_metrics(registry, self._populated())
+        index = _family_index(registry.collect())
+        assert index["repro_serve_http_rows_per_flush"].samples[0].value == 3.0
+        # 2 shed + 1 expired: the gauge accounts for every rejection.
+        assert index["repro_serve_http_rejected_total"].samples[0].value == 3.0
+
+    def test_live_record_reflects_updates(self, registry):
+        metrics = ServeHttpMetrics()
+        register_serve_http_metrics(registry, metrics)
+        metrics.record_request("fill")
+        index = _family_index(registry.collect())
+        assert index["repro_serve_http_n_requests"].samples[0].value == 1.0
+        assert (
+            index["repro_serve_http_n_fill_requests"].samples[0].value == 1.0
+        )
+
+    def test_returned_collector_can_be_unregistered(self, registry):
+        collector = register_serve_http_metrics(registry, ServeHttpMetrics())
+        registry.unregister_collector(collector)
+        assert registry.collect() == []

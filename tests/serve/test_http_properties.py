@@ -1,0 +1,146 @@
+"""Property tests: coalesced grouping is batch-size-invariant.
+
+The deadline coalescer's exactness contract (mirroring
+``tests/core/test_differential_properties.py`` one layer up): however
+the queue happens to be drained -- one giant flush, row-by-row, any
+partition in between, any thread interleaving -- the filled values are
+**bit-identical** to serving all rows as one offline batch.  This is
+what makes deadline-based flushing safe: timing can change latency,
+never answers.
+
+Two drivers:
+
+* a deterministic one that partitions the queue into hypothesis-drawn
+  flush chunks (exactly what the batcher does, minus the clock), and
+* a threaded one that pushes rows through a live coalescer queue with
+  a hypothesis-drawn ``max_batch_rows``, letting real timing pick the
+  partitioning.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import RatioRuleModel
+from repro.serve import BatchFiller
+from repro.serve.http import DeadlineCoalescer, _Ticket
+
+from tests.serve.conftest import make_rank2_matrix
+
+pytestmark = pytest.mark.serve
+
+N_COLS = 5
+
+# One fitted model shared across examples (fitting inside the
+# hypothesis loop would dominate the runtime without adding coverage).
+_MODEL = RatioRuleModel(cutoff=2).fit(make_rank2_matrix(7))
+
+
+def _batch_from_masks(seed: int, masks) -> np.ndarray:
+    base = make_rank2_matrix(seed, n_rows=len(masks))
+    batch = base.copy()
+    for i, mask in enumerate(masks):
+        for j in range(N_COLS):
+            if mask[j]:
+                batch[i, j] = np.nan
+    return batch
+
+
+hole_masks = st.lists(
+    st.lists(st.booleans(), min_size=N_COLS, max_size=N_COLS),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    masks=hole_masks,
+    seed=st.integers(min_value=0, max_value=2**16),
+    data=st.data(),
+)
+def test_any_flush_partition_is_bit_identical_to_one_batch(
+    masks, seed, data
+):
+    """Drive the batcher's own flush path over an arbitrary partition
+    of the queue and require bit-equality with one offline batch."""
+    batch = _batch_from_masks(seed, masks)
+    offline = BatchFiller(_MODEL).fill_batch(batch)
+
+    coalescer = DeadlineCoalescer(BatchFiller(_MODEL))
+    now = time.monotonic()
+    tickets = [
+        _Ticket(row=row.copy(), deadline=now + 60.0, enqueued_at=now)
+        for row in batch
+    ]
+    # Partition the queue into hypothesis-drawn flush chunks.
+    position = 0
+    while position < len(tickets):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(tickets) - position),
+            label=f"flush size @ {position}",
+        )
+        coalescer._flush(tickets[position:position + size], 0)
+        position += size
+
+    for i, ticket in enumerate(tickets):
+        assert ticket.error is None
+        outcome = ticket.result
+        assert outcome is not None
+        np.testing.assert_array_equal(
+            outcome.filled,
+            offline.filled[i],
+            err_msg=f"row {i} diverged from the one-batch answer",
+        )
+        assert outcome.case == offline.cases[i]
+        assert outcome.version == offline.version
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    masks=hole_masks,
+    seed=st.integers(min_value=0, max_value=2**16),
+    max_batch_rows=st.integers(min_value=1, max_value=8),
+)
+def test_live_queue_interleaving_is_bit_identical(
+    masks, seed, max_batch_rows
+):
+    """Concurrent submissions through a live coalescer: real timing
+    picks the flush partitioning, the answers must not move."""
+    batch = _batch_from_masks(seed, masks)
+    offline = BatchFiller(_MODEL).fill_batch(batch)
+
+    coalescer = DeadlineCoalescer(
+        BatchFiller(_MODEL),
+        max_batch_rows=max_batch_rows,
+        # Wide margin so leftover flushes fire ~50 ms after enqueue
+        # instead of sitting out the whole deadline.
+        flush_margin=0.45,
+    )
+    coalescer.start()
+    try:
+        with ThreadPoolExecutor(max_workers=len(batch)) as pool:
+            outcomes = list(
+                pool.map(
+                    lambda row: coalescer.fill(row, timeout=0.5), batch
+                )
+            )
+    finally:
+        coalescer.stop()
+
+    for i, outcome in enumerate(outcomes):
+        np.testing.assert_array_equal(
+            outcome.filled,
+            offline.filled[i],
+            err_msg=(
+                f"row {i} diverged (max_batch_rows={max_batch_rows})"
+            ),
+        )
+        assert outcome.case == offline.cases[i]
+        assert 1 <= outcome.flush_rows <= max(max_batch_rows, 1)
