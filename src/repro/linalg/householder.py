@@ -39,9 +39,19 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     ----------
     matrix:
         Real symmetric ``n x n`` matrix (symmetrized defensively).
+
+    Raises
+    ------
+    ValueError
+        If the matrix is not square or contains NaN/infinite entries.
     """
     a = symmetrize(np.array(matrix, dtype=np.float64, copy=True))
     n = a.shape[0]
+    if n and not np.isfinite(a).all():
+        # A NaN/inf entry cannot be eliminated by a reflection; skipping
+        # the column would silently return a non-tridiagonal T and a
+        # wrong Q, so fail loudly instead.
+        raise ValueError("matrix contains NaN or infinite entries")
     q = np.eye(n)
 
     # Scale to O(1) before reducing: entries around 1e-160 (or 1e+160)
@@ -50,7 +60,7 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
     # being unit and Q silently loses orthogonality.  Reflections are
     # scale-invariant; the bands are restored on return.
     scale = float(np.max(np.abs(a))) if n else 0.0
-    if scale == 0.0 or not np.isfinite(scale):
+    if scale == 0.0:
         scale = 1.0
     a /= scale
 
@@ -64,7 +74,7 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
         # Reflections are scale-invariant, so rescale per column too
         # (tred2 does the same).
         col_scale = float(np.max(np.abs(x)))
-        if col_scale == 0.0 or not np.isfinite(col_scale):
+        if col_scale == 0.0:
             continue  # column already zero below the sub-diagonal
         x /= col_scale
         alpha = -np.sign(x[0]) * np.linalg.norm(x) if x[0] != 0 else -np.linalg.norm(x)

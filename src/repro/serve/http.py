@@ -50,6 +50,7 @@ See ``docs/serving_http.md`` for endpoint schemas and tuning.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import threading
 import time
@@ -78,6 +79,15 @@ __all__ = [
 #: Largest accepted request body, in bytes (single-row payloads are
 #: tiny; anything bigger is a client error, not a bigger batch).
 MAX_BODY_BYTES = 1 << 20
+
+#: Cap on any single request deadline, in seconds.  ``json.loads``
+#: happily parses ``Infinity``/``1e400`` out of a request body; an
+#: unbounded deadline would feed ``Condition.wait`` a timestamp outside
+#: the platform's ``time_t`` range (OverflowError) and park a ticket in
+#: the queue forever, so deadlines are clamped at admission.
+MAX_TIMEOUT_SECONDS = 600.0
+
+_logger = logging.getLogger(__name__)
 
 
 class QueueFullError(RuntimeError):
@@ -186,8 +196,16 @@ class DeadlineCoalescer:
 
     @property
     def running(self) -> bool:
-        """Whether the batcher thread is alive and accepting work."""
-        return self._thread is not None and not self._stopping
+        """Whether the batcher thread is alive and accepting work.
+
+        Checks actual thread liveness, not just lifecycle state: if the
+        batcher ever died, health checks must fail and :meth:`submit`
+        must refuse work that could never be served.
+        """
+        thread = self._thread
+        return (
+            thread is not None and thread.is_alive() and not self._stopping
+        )
 
     def start(self) -> None:
         """Start the batcher thread (refuses a double start)."""
@@ -220,8 +238,13 @@ class DeadlineCoalescer:
     def submit(self, row: np.ndarray, timeout: float) -> _Ticket:
         """Enqueue one row; returns the ticket to wait on.
 
+        Timeouts are clamped to :data:`MAX_TIMEOUT_SECONDS` so a queued
+        deadline can never overflow the batcher's condition wait.
+
         Raises
         ------
+        ValueError
+            ``timeout`` is NaN or infinite (a caller bug, not load).
         DeadlineExpiredError
             ``timeout`` is not positive -- the deadline is already
             blown on arrival (counted as expired).
@@ -231,6 +254,8 @@ class DeadlineCoalescer:
             The batcher is not running.
         """
         now = time.monotonic()
+        if not math.isfinite(timeout):
+            raise ValueError(f"timeout must be finite, got {timeout!r}")
         if timeout <= 0.0:
             self.metrics.record_expired()
             raise DeadlineExpiredError(
@@ -238,7 +263,7 @@ class DeadlineCoalescer:
             )
         ticket = _Ticket(
             row=np.asarray(row, dtype=np.float64),
-            deadline=now + float(timeout),
+            deadline=now + min(float(timeout), MAX_TIMEOUT_SECONDS),
             enqueued_at=now,
         )
         with self._wake:
@@ -272,34 +297,51 @@ class DeadlineCoalescer:
 
     def _run(self) -> None:
         while True:
-            with self._wake:
-                while not self._stopping and not self._queue:
-                    self._wake.wait()
-                if self._stopping and not self._queue:
+            try:
+                if self._run_once():
                     return
-                # Wait for a full batch or the earliest deadline minus
-                # the flush margin, whichever comes first.  Stopping
-                # short-circuits straight to a drain.
-                while (
-                    not self._stopping
-                    and 0 < len(self._queue) < self.max_batch_rows
-                ):
-                    now = time.monotonic()
-                    earliest = min(t.deadline for t in self._queue)
-                    flush_at = earliest - self.flush_margin
-                    if now >= flush_at:
-                        break
-                    self._wake.wait(timeout=flush_at - now)
-                if not self._queue:
-                    continue
-                batch = [
-                    self._queue.popleft()
-                    for _ in range(
-                        min(len(self._queue), self.max_batch_rows)
-                    )
-                ]
-                depth_after = len(self._queue)
-            self._flush(batch, depth_after)
+            except Exception:  # pragma: no cover - defensive
+                # A batcher crash would silently strand every queued
+                # and future request (the HTTP side would 503/hang);
+                # log it and keep draining instead.
+                _logger.exception(
+                    "coalescer flush round failed; batcher continuing"
+                )
+
+    def _run_once(self) -> bool:
+        """One wait/drain/flush round; True means stopped and drained."""
+        with self._wake:
+            while not self._stopping and not self._queue:
+                self._wake.wait()
+            if self._stopping and not self._queue:
+                return True
+            # Wait for a full batch or the earliest deadline minus
+            # the flush margin, whichever comes first.  Stopping
+            # short-circuits straight to a drain.
+            while (
+                not self._stopping
+                and 0 < len(self._queue) < self.max_batch_rows
+            ):
+                now = time.monotonic()
+                earliest = min(t.deadline for t in self._queue)
+                flush_at = earliest - self.flush_margin
+                if now >= flush_at:
+                    break
+                # Deadlines are clamped at admission; the extra min()
+                # keeps the condition wait inside time_t range even if
+                # a caller smuggled in a huge deadline some other way.
+                self._wake.wait(
+                    timeout=min(flush_at - now, MAX_TIMEOUT_SECONDS)
+                )
+            if not self._queue:
+                return False
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), self.max_batch_rows))
+            ]
+            depth_after = len(self._queue)
+        self._flush(batch, depth_after)
+        return False
 
     def _flush(self, batch: List[_Ticket], depth_after: int) -> None:
         """Serve one drained micro-batch and fan the rows back out."""
@@ -317,11 +359,32 @@ class DeadlineCoalescer:
             self.metrics.record_expired(len(batch) - len(live))
         if not live:
             return
+        # Rows were validated against the registry snapshot current at
+        # admission; a hot-swap to a different-width model while they
+        # queued can leave mixed widths in one drain.  Group by width so
+        # a stale-width ticket fails alone instead of poisoning the
+        # whole micro-batch's vstack.  Off the swap path there is
+        # exactly one group, i.e. one fill_batch per flush as before.
+        groups: Dict[int, List[_Ticket]] = {}
+        for ticket in live:
+            groups.setdefault(int(ticket.row.shape[0]), []).append(ticket)
+        for group in groups.values():
+            self._serve_group(group, depth_after)
+
+    def _serve_group(self, live: List[_Ticket], depth_after: int) -> None:
         try:
             result = self.filler.fill_batch(
                 np.vstack([ticket.row for ticket in live])
             )
         except BaseException as exc:
+            if isinstance(exc, ValueError) and not isinstance(
+                exc, _BadRequest
+            ):
+                # Rows are validated at admission, so a ValueError here
+                # means the batch no longer matches the *flush-time*
+                # model (a hot-swap changed the served width while the
+                # rows queued): client/model skew, not a server fault.
+                exc = _BadRequest(str(exc))
             for ticket in live:
                 ticket.error = exc
                 ticket.done.set()
@@ -352,17 +415,32 @@ class _BadRequest(ValueError):
 
 
 def _parse_body(handler: BaseHTTPRequestHandler) -> Dict[str, Any]:
+    """Read and decode the JSON request body.
+
+    Whenever the declared body is rejected *without being read* the
+    handler's connection is marked for close: under HTTP/1.1 keep-alive
+    the unread bytes would otherwise be parsed as the next request line
+    on the same connection, corrupting every later request on it.
+    """
+    if "chunked" in handler.headers.get("Transfer-Encoding", "").lower():
+        handler.close_connection = True
+        raise _BadRequest("chunked request bodies are not supported")
     try:
         length = int(handler.headers.get("Content-Length", "0"))
     except ValueError:
+        handler.close_connection = True
         raise _BadRequest("invalid Content-Length header") from None
     if length <= 0:
         raise _BadRequest("a JSON request body is required")
     if length > MAX_BODY_BYTES:
+        handler.close_connection = True
         raise _BadRequest(
             f"request body too large ({length} > {MAX_BODY_BYTES} bytes)"
         )
     raw = handler.rfile.read(length)
+    if len(raw) < length:
+        handler.close_connection = True
+        raise _BadRequest("request body shorter than Content-Length")
     try:
         payload = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -438,6 +516,10 @@ class _ApiHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client this keep-alive connection is going away
+            # (set when the request body could not be fully consumed).
+            self.send_header("Connection", "close")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -470,6 +552,9 @@ class _ApiHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         route = self._POST_ROUTES.get(path)
         if route is None:
+            # The body of an unroutable POST is never read; close the
+            # connection so it cannot bleed into the next request.
+            self.close_connection = True
             self._error(404, f"unknown endpoint {path!r}")
             return
         verb, method = route
@@ -514,7 +599,17 @@ class _ApiHandler(BaseHTTPRequestHandler):
         value = payload.get("timeout_ms", self.service.default_timeout_ms)
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise _BadRequest('"timeout_ms" must be a number')
-        return float(value) / 1e3
+        seconds = float(value) / 1e3
+        # json.loads accepts Infinity/NaN/1e400; an unbounded deadline
+        # would overflow the batcher's condition wait, so reject
+        # non-finite values outright and clamp the rest.  Non-positive
+        # timeouts stay legal here: they reach the coalescer as an
+        # already-blown deadline (503 + expired counter, documented).
+        if not math.isfinite(seconds):
+            raise _BadRequest(
+                '"timeout_ms" must be a finite number of milliseconds'
+            )
+        return min(seconds, MAX_TIMEOUT_SECONDS)
 
     def _handle_fill(self, payload: Dict[str, Any]) -> None:
         service = self.service
@@ -720,9 +815,10 @@ class HttpApiServer(HttpService):
         metrics: Optional[ServeHttpMetrics] = None,
     ) -> None:
         super().__init__(host=host, port=port)
-        if default_timeout_ms <= 0.0:
+        if not math.isfinite(default_timeout_ms) or default_timeout_ms <= 0.0:
             raise ValueError(
-                f"default_timeout_ms must be > 0, got {default_timeout_ms}"
+                f"default_timeout_ms must be finite and > 0, "
+                f"got {default_timeout_ms}"
             )
         self.metrics = metrics if metrics is not None else ServeHttpMetrics()
         if isinstance(source, BatchFiller):

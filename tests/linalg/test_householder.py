@@ -80,6 +80,16 @@ class TestEigensystem:
         with pytest.raises(ValueError, match="square"):
             householder_eigensystem(np.ones((2, 3)))
 
+    def test_rejects_non_finite_entries(self):
+        """NaN/inf must fail loudly, not silently skip the column's
+        elimination and return a non-tridiagonal T with a wrong Q."""
+        bad = np.eye(4)
+        bad[2, 1] = bad[1, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            householder_tridiagonalize(bad)
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            householder_eigensystem(np.full((3, 3), np.inf))
+
     def test_does_not_modify_input(self, rng):
         matrix = random_symmetric_psd(rng, 6)
         original = matrix.copy()

@@ -11,7 +11,9 @@ surface: validation (400), shedding (429), expiry (503), routing
 
 from __future__ import annotations
 
+import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -22,10 +24,14 @@ from repro.obs.export import HttpService
 from repro.obs.metrics import ServeHttpMetrics
 from repro.serve import BatchFiller, ModelRegistry
 from repro.serve.http import (
+    MAX_BODY_BYTES,
+    MAX_TIMEOUT_SECONDS,
     CoalescerStoppedError,
     DeadlineCoalescer,
     DeadlineExpiredError,
     HttpApiServer,
+    _BadRequest,
+    _Ticket,
 )
 
 from tests.serve.conftest import http_get, http_post, make_rank2_matrix
@@ -120,6 +126,22 @@ class TestFillEndpoint:
         http_post(server.url + "/v1/fill", {"row": [1.0]})
         assert server.metrics.n_bad_requests == 1
         assert server.metrics.n_fill_requests == 1
+
+    def test_non_finite_timeout_is_400_and_not_fatal(self, server):
+        """Regression: json.loads parses Infinity/NaN; before the
+        finiteness check an infinite deadline overflowed the batcher's
+        condition wait and killed the coalescer thread for good."""
+        row = [0.0, 1.0, 2.0, 3.0, 4.0]
+        for bad in (float("inf"), float("-inf"), float("nan")):
+            status, body, _ = http_post(
+                server.url + "/v1/fill", {"row": row, "timeout_ms": bad}
+            )
+            assert status == 400
+            assert "finite" in body["error"]
+        # The batcher survived: a normal request still serves.
+        status, body, _ = http_post(server.url + "/v1/fill", {"row": row})
+        assert status == 200
+        assert server.coalescer.running
 
 
 class TestWhatifEndpoint:
@@ -246,6 +268,94 @@ class TestGetEndpoints:
     def test_unknown_paths_are_404(self, server):
         assert http_get(server.url + "/v1/nope")[0] == 404
         assert http_post(server.url + "/v1/nope", {})[0] == 404
+
+    def test_healthz_503_when_batcher_thread_dead(self, server):
+        """Health must reflect thread liveness, not lifecycle flags."""
+        dead = threading.Thread(target=lambda: None)
+        dead.start()
+        dead.join()
+        real = server.coalescer._thread
+        server.coalescer._thread = dead
+        try:
+            status, body, _ = http_get(server.url + "/healthz")
+            assert status == 503
+            assert "coalescer" in body["error"]
+        finally:
+            server.coalescer._thread = real
+        assert http_get(server.url + "/healthz")[0] == 200
+
+
+class TestKeepAliveSafety:
+    """Rejected-without-reading bodies must not bleed into the next
+    request on an HTTP/1.1 keep-alive connection."""
+
+    @staticmethod
+    def _raw_post(server, headers: str, body: bytes) -> bytes:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.settimeout(10)
+            sock.sendall(
+                (
+                    "POST /v1/fill HTTP/1.1\r\nHost: t\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"{headers}\r\n"
+                ).encode("ascii")
+                + body
+            )
+            response = b""
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break  # server closed the connection
+                response += chunk
+        return response
+
+    def test_oversized_body_rejected_and_connection_closed(self, server):
+        declared = MAX_BODY_BYTES + 1
+        # Send only a sliver of the declared body: the server must not
+        # read it, respond 400, and hang up (instead of parsing the
+        # leftover bytes as the next request line).
+        response = self._raw_post(
+            server, f"Content-Length: {declared}\r\n", b'{"row": [1,'
+        )
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"connection: close" in response.lower()
+
+    def test_chunked_body_rejected_and_connection_closed(self, server):
+        response = self._raw_post(
+            server,
+            "Transfer-Encoding: chunked\r\n",
+            b"5\r\n{\"row\r\n0\r\n\r\n",
+        )
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert b"connection: close" in response.lower()
+
+    def test_unroutable_post_closes_connection(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.settimeout(10)
+            sock.sendall(
+                b"POST /v1/nope HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 8\r\n\r\n"
+            )  # body intentionally never sent
+            response = b""
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                response += chunk
+        assert b"404" in response.split(b"\r\n", 1)[0]
+        assert b"connection: close" in response.lower()
 
 
 class TestServerLifecycle:
@@ -403,3 +513,66 @@ class TestDeadlineCoalescer:
             DeadlineCoalescer(filler, flush_margin=-1.0)
         with pytest.raises(ValueError, match="queue_limit"):
             DeadlineCoalescer(filler, queue_limit=0)
+
+    def test_non_finite_timeout_rejected_and_huge_timeout_clamped(
+        self, served_model
+    ):
+        coalescer = DeadlineCoalescer(BatchFiller(served_model))
+        coalescer.start()
+        try:
+            row = np.full(N_COLS, np.nan)
+            for bad in (float("inf"), float("nan")):
+                with pytest.raises(ValueError, match="finite"):
+                    coalescer.submit(row, timeout=bad)
+            ticket = coalescer.submit(row, timeout=1e12)
+            assert (
+                ticket.deadline - time.monotonic()
+                <= MAX_TIMEOUT_SECONDS + 1.0
+            )
+        finally:
+            coalescer.stop()
+
+    def test_running_detects_dead_batcher_thread(self, served_model):
+        coalescer = DeadlineCoalescer(BatchFiller(served_model))
+        coalescer.start()
+        try:
+            assert coalescer.running
+            dead = threading.Thread(target=lambda: None)
+            dead.start()
+            dead.join()
+            real = coalescer._thread
+            coalescer._thread = dead
+            assert not coalescer.running
+            with pytest.raises(CoalescerStoppedError):
+                coalescer.submit(np.full(N_COLS, np.nan), timeout=1.0)
+            coalescer._thread = real
+            assert coalescer.running
+        finally:
+            coalescer.stop()
+
+    def test_flush_isolates_stale_width_tickets(self, served_model):
+        """A hot-swap mid-queue can leave rows whose width no longer
+        matches the flush-time model; they must fail alone (400-class)
+        without poisoning same-flush rows of the served width."""
+        metrics = ServeHttpMetrics()
+        coalescer = DeadlineCoalescer(
+            BatchFiller(served_model), metrics=metrics
+        )
+        now = time.monotonic()
+        good = _Ticket(
+            row=np.full(N_COLS, np.nan),
+            deadline=now + 5.0,
+            enqueued_at=now,
+        )
+        stale = _Ticket(
+            row=np.full(N_COLS + 2, np.nan),
+            deadline=now + 5.0,
+            enqueued_at=now,
+        )
+        coalescer._flush([good, stale], 0)
+        assert good.error is None
+        assert good.result is not None
+        assert good.result.case == "all-holes"
+        assert isinstance(stale.error, _BadRequest)
+        assert stale.result is None
+        assert metrics.n_errors == 1
