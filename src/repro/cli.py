@@ -76,6 +76,46 @@ def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
                           "the run (0 picks a free port)")
 
 
+def _add_store_arguments(sub: argparse.ArgumentParser) -> None:
+    """Attach the shared durable-model-store flags to a subcommand."""
+    sub.add_argument("--store", metavar="DIR", default=None,
+                     help="mount a durable model store at DIR: every "
+                          "publish is crash-safe on disk, restarts recover "
+                          "the latest version without a refit, and other "
+                          "processes sharing DIR observe publishes")
+    sub.add_argument("--tenant", metavar="NAME", default=None,
+                     help="store namespace to serve/publish (requires "
+                          "--store; default: the 'default' namespace)")
+    sub.add_argument("--keep-last", type=int, default=None, metavar="N",
+                     help="retention: keep at most N versions per tenant "
+                          "(requires --store; default: keep everything)")
+
+
+def _open_store(args: argparse.Namespace):
+    """Build the ``ModelStore`` requested by ``--store``/``--tenant``.
+
+    Returns ``(store, namespace)`` -- both ``None`` when ``--store`` was
+    not given -- or raises ``ValueError`` with a user-facing message.
+    """
+    if getattr(args, "store", None) is None:
+        if getattr(args, "tenant", None) is not None:
+            raise ValueError("--tenant requires --store")
+        if getattr(args, "keep_last", None) is not None:
+            raise ValueError("--keep-last requires --store")
+        return None, None
+    from repro.store import DEFAULT_NAMESPACE, ModelStore
+
+    store = ModelStore(args.store, keep_last=args.keep_last)
+    return store, args.tenant or DEFAULT_NAMESPACE
+
+
+def _store_registry(store, namespace):
+    """A :class:`~repro.serve.ModelRegistry` mounted on ``store``."""
+    from repro.serve import ModelRegistry
+
+    return ModelRegistry(store=store, namespace=namespace)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -163,8 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-batch",
         help="fill incomplete rows through the cached serving layer",
     )
-    serve_batch.add_argument("model", help="model .npz produced by 'fit --save'")
+    serve_batch.add_argument("model", nargs="?", default=None,
+                             help="model .npz produced by 'fit --save' "
+                                  "(optional with --store: the tenant's "
+                                  "latest stored version is served)")
     serve_batch.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
+    _add_store_arguments(serve_batch)
     serve_batch.add_argument("--output", default=None,
                              help="write the completed CSV here (default: stdout)")
     serve_batch.add_argument("--batch-size", type=int, default=None, metavar="N",
@@ -185,7 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-http",
         help="serve a saved model over HTTP with request coalescing",
     )
-    serve_http.add_argument("model", help="model .npz produced by 'fit --save'")
+    serve_http.add_argument("model", nargs="?", default=None,
+                            help="model .npz produced by 'fit --save' "
+                                 "(optional with --store: the tenant's "
+                                 "latest stored version is served)")
+    _add_store_arguments(serve_http)
     serve_http.add_argument("--host", default="127.0.0.1",
                             help="bind address (default: 127.0.0.1)")
     serve_http.add_argument("--port", type=int, default=8090, metavar="PORT",
@@ -280,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="save the final published model")
     pipeline.add_argument("--stats", action="store_true",
                           help="print ingestion/drift/refresh telemetry")
+    _add_store_arguments(pipeline)
     _add_obs_arguments(pipeline)
 
     ge = subparsers.add_parser("ge", help="guessing error of a model on test data")
@@ -461,10 +510,12 @@ class _ObsSession:
             ScanMetrics,
             ServeHttpMetrics,
             ServeMetrics,
+            StoreMetrics,
             register_pipeline_metrics,
             register_scan_metrics,
             register_serve_http_metrics,
             register_serve_metrics,
+            register_store_metrics,
         )
 
         registry = self._server.registry
@@ -476,6 +527,8 @@ class _ObsSession:
             register_serve_http_metrics(registry, record)
         elif isinstance(record, PipelineMetrics):
             register_pipeline_metrics(registry, record)
+        elif isinstance(record, StoreMetrics):
+            register_store_metrics(registry, record)
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self.trace_path is not None:
@@ -630,9 +683,36 @@ def _cmd_fill(args: argparse.Namespace) -> int:
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.core.model import RatioRuleModel
     from repro.io.csv_format import save_csv_matrix
-    from repro.serve import BatchFiller
+    from repro.serve import BatchFiller, ModelRegistry
 
-    model = RatioRuleModel.load(args.model)
+    try:
+        store, tenant = _open_store(args)
+        if args.model is None and store is None:
+            raise ValueError("provide a model file, --store, or both")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if store is not None:
+        # Serve out of the durable tier: recover the tenant's latest
+        # stored version; a model file, if also given, is published
+        # into the store first (and becomes that latest version).
+        registry = ModelRegistry(store=store, namespace=tenant)
+        if args.model is not None:
+            registry.publish(
+                RatioRuleModel.load(args.model), allow_schema_change=True
+            )
+        if registry.latest_version == 0:
+            print(
+                f"error: tenant {tenant!r} has no published models in "
+                f"store {args.store}",
+                file=sys.stderr,
+            )
+            return 2
+        source = registry
+        model = registry.current().model
+    else:
+        model = RatioRuleModel.load(args.model)
+        source = model
     matrix, schema = _load_csv_with_holes(args.data)
     if schema.names != model.schema_.names:
         print(
@@ -646,11 +726,13 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         return 2
 
     filler = BatchFiller(
-        model,
+        source,
         cache_entries=args.cache_entries,
         underdetermined=args.underdetermined,
     )
     _obs_register(args, filler.metrics)
+    if store is not None:
+        _obs_register(args, store.metrics)
     batch_size = args.batch_size or max(len(matrix), 1)
     pieces = []
     for start in range(0, len(matrix), batch_size):
@@ -675,6 +757,11 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         print("Serving statistics")
         print("------------------")
         print(filler.metrics.render())
+        if store is not None:
+            print()
+            print("Model store statistics")
+            print("----------------------")
+            print(store.metrics.render())
     return 0
 
 
@@ -684,10 +771,19 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     from repro.core.model import RatioRuleModel
     from repro.serve.http import HttpApiServer
 
-    model = RatioRuleModel.load(args.model)
     try:
+        store, tenant = _open_store(args)
+        if args.model is None and store is None:
+            raise ValueError("provide a model file, --store, or both")
+        model = (
+            RatioRuleModel.load(args.model)
+            if args.model is not None
+            else None
+        )
         server = HttpApiServer(
             model,
+            store=store,
+            tenant=tenant,
             host=args.host,
             port=args.port,
             max_batch_rows=args.max_batch_rows,
@@ -702,13 +798,20 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         return 2
     _obs_register(args, server.metrics)
     _obs_register(args, server.filler.metrics)
+    if store is not None:
+        _obs_register(args, store.metrics)
     bound = server.start()
     # Testing hook: expose the live server on the namespace so an
     # in-process harness can discover the ephemeral port.
     args._server = server
+    where = (
+        f"tenant {tenant!r} of store {args.store}"
+        if store is not None
+        else f"model version {server.registry.latest_version}"
+    )
     print(
         f"serving Ratio Rules API on http://{args.host}:{bound} "
-        f"(model version {server.registry.latest_version}; Ctrl-C to stop)"
+        f"({where}; Ctrl-C to stop)"
     )
     stop = getattr(args, "_stop_event", None)
     if stop is None:
@@ -724,6 +827,11 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         print("HTTP serving statistics")
         print("-----------------------")
         print(server.metrics.render())
+        if store is not None:
+            print()
+            print("Model store statistics")
+            print("----------------------")
+            print(store.metrics.render())
     return 0
 
 
@@ -736,6 +844,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
 
     try:
+        store, tenant = _open_store(args)
         source = CSVTailSource(
             args.data, follow=args.follow, on_bad_row=args.on_bad_row
         )
@@ -761,8 +870,15 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         decay=args.decay,
         policy=policy,
         detector=detector,
+        registry=(
+            None
+            if store is None
+            else _store_registry(store, tenant)
+        ),
     )
     _obs_register(args, pipeline.metrics)
+    if store is not None:
+        _obs_register(args, store.metrics)
     registry = pipeline.registry
     last_version = 0
 

@@ -48,6 +48,7 @@ from repro.obs.metrics import (
     ServeHttpMetrics,
     ServeMetrics,
     Stopwatch,
+    StoreMetrics,
 )
 from repro.obs.registry import (
     Counter,
@@ -59,6 +60,7 @@ from repro.obs.registry import (
     register_scan_metrics,
     register_serve_http_metrics,
     register_serve_metrics,
+    register_store_metrics,
 )
 from repro.obs.tracing import (
     Tracer,
@@ -85,6 +87,7 @@ __all__ = [
     "ServeHttpMetrics",
     "ServeMetrics",
     "Stopwatch",
+    "StoreMetrics",
     "Tracer",
     "adopt_spans",
     "drain_spans",
@@ -96,6 +99,7 @@ __all__ = [
     "register_scan_metrics",
     "register_serve_http_metrics",
     "register_serve_metrics",
+    "register_store_metrics",
     "set_tracing",
     "span",
     "to_json",

@@ -26,6 +26,7 @@ __all__ = [
     "ServeHttpMetrics",
     "ServeMetrics",
     "Stopwatch",
+    "StoreMetrics",
 ]
 
 
@@ -974,6 +975,228 @@ class ServeHttpMetrics:
             f"queue wait    p50 {p50 * 1e3:.3f} ms  p90 {p90 * 1e3:.3f} ms  "
             f"p99 {p99 * 1e3:.3f} ms  "
             f"(total {self.coalesce_seconds:.4f} s)",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"{key:<13} {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+@dataclass
+class StoreMetrics:
+    """Counters and timings for the durable model store (:mod:`repro.store`).
+
+    One record instruments one :class:`~repro.store.ModelStore` across
+    every namespace it holds.  All mutators take an internal lock, so a
+    single record can be shared by the publish path, the recovery walk,
+    and a polling :class:`~repro.store.StoreWatcher` thread at once.
+
+    Attributes
+    ----------
+    n_publishes:
+        Snapshots durably published (the rename landed).
+    publish_bytes:
+        Total snapshot bytes written by those publishes.
+    n_loads:
+        Models hydrated from disk (cache misses that read a snapshot).
+    n_cache_hits / n_cache_misses / n_cache_evictions:
+        Warm-model LRU cache traffic.
+    n_recoveries:
+        Recovery walks that ran (startup or explicit ``recover``).
+    n_quarantined:
+        Damaged files moved to the quarantine directory (never deleted).
+    n_manifest_rebuilds:
+        Manifests rebuilt from the directory listing because the
+        incremental copy was missing, unreadable, or stale.
+    n_gc_removed / gc_reclaimed_bytes:
+        Snapshots deleted by the retention policy and their bytes.
+    n_sync_checks / n_sync_swaps:
+        Store-watch polls, and how many of them adopted a new version.
+    n_lock_breaks:
+        Stale publish locks broken (previous owner died mid-publish).
+    publish_seconds / load_seconds:
+        Wall-clock totals inside publish and hydrate.
+    """
+
+    n_publishes: int = 0
+    publish_bytes: int = 0
+    n_loads: int = 0
+    n_cache_hits: int = 0
+    n_cache_misses: int = 0
+    n_cache_evictions: int = 0
+    n_recoveries: int = 0
+    n_quarantined: int = 0
+    n_manifest_rebuilds: int = 0
+    n_gc_removed: int = 0
+    gc_reclaimed_bytes: int = 0
+    n_sync_checks: int = 0
+    n_sync_swaps: int = 0
+    n_lock_breaks: int = 0
+    publish_seconds: float = 0.0
+    load_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # -- recording (called by the store) -----------------------------------
+
+    def record_publish(self, *, n_bytes: int, seconds: float) -> None:
+        """One snapshot durably renamed into place."""
+        with self._lock:
+            self.n_publishes += 1
+            self.publish_bytes += int(n_bytes)
+            self.publish_seconds += float(seconds)
+
+    def record_load(self, *, seconds: float) -> None:
+        """One model hydrated from its snapshot file."""
+        with self._lock:
+            self.n_loads += 1
+            self.load_seconds += float(seconds)
+
+    def record_cache_hit(self) -> None:
+        """One model served from the warm LRU cache."""
+        with self._lock:
+            self.n_cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """One model not in the warm cache (a disk read follows)."""
+        with self._lock:
+            self.n_cache_misses += 1
+
+    def record_cache_eviction(self) -> None:
+        """One warm model dropped by the LRU policy."""
+        with self._lock:
+            self.n_cache_evictions += 1
+
+    def record_recovery(self) -> None:
+        """One recovery walk over a namespace."""
+        with self._lock:
+            self.n_recoveries += 1
+
+    def record_quarantine(self, n: int = 1) -> None:
+        """Damaged file(s) moved aside to quarantine."""
+        with self._lock:
+            self.n_quarantined += int(n)
+
+    def record_manifest_rebuild(self) -> None:
+        """One manifest rebuilt from the directory listing."""
+        with self._lock:
+            self.n_manifest_rebuilds += 1
+
+    def record_gc(self, *, n_removed: int, reclaimed_bytes: int) -> None:
+        """One retention sweep's removals."""
+        with self._lock:
+            self.n_gc_removed += int(n_removed)
+            self.gc_reclaimed_bytes += int(reclaimed_bytes)
+
+    def record_sync(self, *, swapped: bool) -> None:
+        """One store-watch poll; ``swapped`` means it adopted a version."""
+        with self._lock:
+            self.n_sync_checks += 1
+            if swapped:
+                self.n_sync_swaps += 1
+
+    def record_lock_break(self) -> None:
+        """One stale publish lock broken."""
+        with self._lock:
+            self.n_lock_breaks += 1
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Warm-cache hits over lookups; 0.0 before the first lookup."""
+        lookups = self.n_cache_hits + self.n_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.n_cache_hits / lookups
+
+    # -- (de)serialization -------------------------------------------------
+
+    def merge(self, other: "StoreMetrics") -> None:
+        """Fold another record into this one (multi-store aggregation).
+
+        ``other`` may be a *live* record another thread is still
+        recording into, so both locks are taken -- in a globally
+        consistent order (by ``id``) so two threads cross-merging the
+        same pair cannot deadlock.  Merging a record into itself folds
+        a snapshot (doubling its counters) rather than self-deadlocking.
+        """
+        if other is self:
+            other = StoreMetrics.from_dict(self.to_dict())
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            self.n_publishes += other.n_publishes
+            self.publish_bytes += other.publish_bytes
+            self.n_loads += other.n_loads
+            self.n_cache_hits += other.n_cache_hits
+            self.n_cache_misses += other.n_cache_misses
+            self.n_cache_evictions += other.n_cache_evictions
+            self.n_recoveries += other.n_recoveries
+            self.n_quarantined += other.n_quarantined
+            self.n_manifest_rebuilds += other.n_manifest_rebuilds
+            self.n_gc_removed += other.n_gc_removed
+            self.gc_reclaimed_bytes += other.gc_reclaimed_bytes
+            self.n_sync_checks += other.n_sync_checks
+            self.n_sync_swaps += other.n_sync_swaps
+            self.n_lock_breaks += other.n_lock_breaks
+            self.publish_seconds += other.publish_seconds
+            self.load_seconds += other.load_seconds
+            _merge_extras(self.extras, other.extras)
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of every counter (JSON-serializable)."""
+        with self._lock:
+            return {
+                field_def.name: _snapshot_value(getattr(self, field_def.name))
+                for field_def in fields(self)
+            }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoreMetrics":
+        """Rebuild a record from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected so stale snapshots fail loudly
+        rather than silently dropping counters.
+        """
+        known = {field_def.name for field_def in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown StoreMetrics fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StoreMetrics":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        lines = [
+            f"publishes     {self.n_publishes} snapshot(s), "
+            f"{self.publish_bytes:,} byte(s) "
+            f"({self.publish_seconds:.4f} s)",
+            f"warm cache    {self.n_cache_hits} hit(s), "
+            f"{self.n_cache_misses} miss(es), "
+            f"{self.n_cache_evictions} eviction(s)  "
+            f"(hit rate {self.cache_hit_rate:.1%})",
+            f"loads         {self.n_loads} hydrate(s) "
+            f"({self.load_seconds:.4f} s)",
+            f"recovery      {self.n_recoveries} walk(s), "
+            f"{self.n_quarantined} file(s) quarantined, "
+            f"{self.n_manifest_rebuilds} manifest rebuild(s)",
+            f"retention     {self.n_gc_removed} snapshot(s) removed, "
+            f"{self.gc_reclaimed_bytes:,} byte(s) reclaimed",
+            f"replication   {self.n_sync_checks} poll(s), "
+            f"{self.n_sync_swaps} hot-swap(s), "
+            f"{self.n_lock_breaks} stale lock(s) broken",
         ]
         for key, value in sorted(self.extras.items()):
             lines.append(f"{key:<13} {value}")

@@ -53,6 +53,7 @@ from .metrics import (
     ScanMetrics,
     ServeHttpMetrics,
     ServeMetrics,
+    StoreMetrics,
 )
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "register_scan_metrics",
     "register_serve_http_metrics",
     "register_serve_metrics",
+    "register_store_metrics",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -596,6 +598,31 @@ def register_serve_metrics(
                 f"{prefix}_cache_hit_rate",
                 "gauge",
                 "ServeMetrics derived cache hit rate.",
+                (Sample((), metrics.cache_hit_rate),),
+            )
+        )
+        return families
+
+    registry.register_collector(collect)
+    return collect
+
+
+def register_store_metrics(
+    registry: MetricsRegistry,
+    metrics: StoreMetrics,
+    *,
+    prefix: str = "repro_store",
+) -> Collector:
+    """Expose a live :class:`~repro.obs.metrics.StoreMetrics` record."""
+    _require_record(metrics, StoreMetrics)
+
+    def collect() -> List[MetricFamily]:
+        families = _record_families(metrics, prefix, "StoreMetrics")
+        families.append(
+            MetricFamily(
+                f"{prefix}_cache_hit_rate",
+                "gauge",
+                "StoreMetrics derived warm-cache hit rate.",
                 (Sample((), metrics.cache_hit_rate),),
             )
         )

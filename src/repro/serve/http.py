@@ -14,6 +14,17 @@ query verbs the model already answers --
 
 plus ``GET /v1/models`` (what is being served) and ``GET /healthz``.
 
+With a durable :class:`~repro.store.ModelStore` mounted (``store=``),
+the same four verbs become **tenant-addressable** under
+``/v1/tenants/<tenant>/...`` (plus ``GET /v1/tenants`` and
+``GET /v1/tenants/<tenant>/models``): each tenant namespace gets its
+own registry, operator cache, and coalescer on first use -- operator
+cache keys are per-registry version numbers, which collide across
+tenants, so per-tenant fillers are a correctness requirement, not just
+isolation.  A background :class:`~repro.store.StoreWatcher` polls the
+store so every tenant hot-swaps versions published by other processes
+sharing the directory.
+
 The heart is :class:`DeadlineCoalescer`.  Single-row fill requests are
 cheap individually but the ~30x serving speedup (``BENCH_serve.json``)
 lives in the batch path: grouping rows by hole pattern through
@@ -57,7 +68,17 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler
-from typing import Any, Deque, Dict, List, Optional, Tuple, Type, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
 
 import numpy as np
 
@@ -66,6 +87,9 @@ from repro.obs.export import HttpService
 from repro.obs.metrics import ServeHttpMetrics
 from repro.serve.batch import BatchFiller
 from repro.serve.registry import ModelRegistry, NoModelPublishedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store import ModelStore
 
 __all__ = [
     "CoalescedFill",
@@ -414,6 +438,27 @@ class _BadRequest(ValueError):
     """Client-side validation failure (rendered as HTTP 400)."""
 
 
+class _UnknownTenant(LookupError):
+    """The request addressed a tenant the store does not hold (404)."""
+
+
+@dataclass
+class _TenantState:
+    """One tenant's serving stack: registry + filler + coalescer.
+
+    Per-tenant fillers are a correctness requirement, not a
+    convenience: operator-cache keys are ``(registry version, hole
+    pattern, policy)``, and version numbers restart at 1 in every
+    namespace -- a shared cache would serve tenant A's operators to
+    tenant B.
+    """
+
+    name: str
+    registry: ModelRegistry
+    filler: BatchFiller
+    coalescer: DeadlineCoalescer
+
+
 def _parse_body(handler: BaseHTTPRequestHandler) -> Dict[str, Any]:
     """Read and decode the JSON request body.
 
@@ -541,27 +586,52 @@ class _ApiHandler(BaseHTTPRequestHandler):
 
     # -- routing -----------------------------------------------------------
 
-    _POST_ROUTES = {
-        "/v1/fill": ("fill", "_handle_fill"),
-        "/v1/whatif": ("whatif", "_handle_whatif"),
-        "/v1/outlier": ("outlier", "_handle_outlier"),
-        "/v1/recommend": ("recommend", "_handle_recommend"),
+    _POST_VERBS = {
+        "fill": "_handle_fill",
+        "whatif": "_handle_whatif",
+        "outlier": "_handle_outlier",
+        "recommend": "_handle_recommend",
     }
+
+    def _route_post(
+        self, path: str
+    ) -> Optional[Tuple[str, str, Optional[str]]]:
+        """Map a POST path to ``(verb, method, tenant-or-None)``."""
+        if path.startswith("/v1/tenants/"):
+            parts = path.split("/")
+            # ["", "v1", "tenants", <tenant...>, <verb>]
+            if len(parts) < 5:
+                return None
+            verb = parts[-1]
+            tenant = "/".join(parts[3:-1])
+            method = self._POST_VERBS.get(verb)
+            if method is None or not tenant:
+                return None
+            return verb, method, tenant
+        verb = path.removeprefix("/v1/")
+        method = self._POST_VERBS.get(verb)
+        if method is None or path != f"/v1/{verb}":
+            return None
+        return verb, method, None
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0]
-        route = self._POST_ROUTES.get(path)
+        route = self._route_post(path)
         if route is None:
             # The body of an unroutable POST is never read; close the
             # connection so it cannot bleed into the next request.
             self.close_connection = True
             self._error(404, f"unknown endpoint {path!r}")
             return
-        verb, method = route
+        verb, method, tenant = route
         self.service.metrics.record_request(verb)
         try:
+            state = self.service.tenant_state(tenant)
             payload = _parse_body(self)
-            getattr(self, method)(payload)
+            getattr(self, method)(payload, state)
+        except _UnknownTenant as exc:
+            self.close_connection = True
+            self._error(404, str(exc))
         except _BadRequest as exc:
             self.service.metrics.record_bad_request()
             self._error(400, str(exc))
@@ -587,11 +657,29 @@ class _ApiHandler(BaseHTTPRequestHandler):
         if path == "/healthz":
             self.service.metrics.record_request()
             self._handle_healthz()
-        elif path == "/v1/models":
+            return
+        if path == "/v1/models":
             self.service.metrics.record_request()
-            self._handle_models()
-        else:
-            self._error(404, f"unknown endpoint {path!r} (try /healthz)")
+            self._handle_models(self.service.default_state)
+            return
+        if path == "/v1/tenants":
+            self.service.metrics.record_request()
+            if self.service.store is None:
+                self._error(404, "tenant routes require a mounted store")
+            else:
+                self._handle_tenants()
+            return
+        if path.startswith("/v1/tenants/") and path.endswith("/models"):
+            tenant = path[len("/v1/tenants/"): -len("/models")]
+            self.service.metrics.record_request()
+            try:
+                self._handle_models(self.service.tenant_state(tenant))
+            except _UnknownTenant as exc:
+                self._error(404, str(exc))
+            except _BadRequest as exc:
+                self._error(400, str(exc))
+            return
+        self._error(404, f"unknown endpoint {path!r} (try /healthz)")
 
     # -- endpoints ---------------------------------------------------------
 
@@ -611,11 +699,12 @@ class _ApiHandler(BaseHTTPRequestHandler):
             )
         return min(seconds, MAX_TIMEOUT_SECONDS)
 
-    def _handle_fill(self, payload: Dict[str, Any]) -> None:
-        service = self.service
-        snapshot = service.registry.current()
+    def _handle_fill(
+        self, payload: Dict[str, Any], state: "_TenantState"
+    ) -> None:
+        snapshot = state.registry.current()
         row = _parse_row(payload, snapshot.model.schema_.width)
-        outcome = service.coalescer.fill(row, self._timeout_seconds(payload))
+        outcome = state.coalescer.fill(row, self._timeout_seconds(payload))
         self._respond(
             200,
             {
@@ -627,9 +716,10 @@ class _ApiHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_whatif(self, payload: Dict[str, Any]) -> None:
-        service = self.service
-        snapshot = service.registry.current()
+    def _handle_whatif(
+        self, payload: Dict[str, Any], state: "_TenantState"
+    ) -> None:
+        snapshot = state.registry.current()
         schema = snapshot.model.schema_
         fixed = _parse_assignments(payload, "set")
         scaled = _parse_assignments(payload, "scale")
@@ -652,7 +742,7 @@ class _ApiHandler(BaseHTTPRequestHandler):
                 row[schema.index_of(name)] = baselines[name] * factor
         except KeyError as exc:
             raise _BadRequest(f"unknown attribute: {exc}") from None
-        outcome = service.coalescer.fill(row, self._timeout_seconds(payload))
+        outcome = state.coalescer.fill(row, self._timeout_seconds(payload))
         self._respond(
             200,
             {
@@ -667,8 +757,10 @@ class _ApiHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_outlier(self, payload: Dict[str, Any]) -> None:
-        snapshot = self.service.registry.current()
+    def _handle_outlier(
+        self, payload: Dict[str, Any], state: "_TenantState"
+    ) -> None:
+        snapshot = state.registry.current()
         model = snapshot.model
         row = _parse_row(payload, model.schema_.width)
         if np.isnan(row).any():
@@ -689,10 +781,12 @@ class _ApiHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_recommend(self, payload: Dict[str, Any]) -> None:
+    def _handle_recommend(
+        self, payload: Dict[str, Any], state: "_TenantState"
+    ) -> None:
         from repro.core.recommend import BasketRecommender
 
-        snapshot = self.service.registry.current()
+        snapshot = state.registry.current()
         basket = _parse_assignments(payload, "basket")
         if not basket:
             raise _BadRequest(
@@ -737,17 +831,17 @@ class _ApiHandler(BaseHTTPRequestHandler):
             200, {"status": "ok", "version": snapshot.version}
         )
 
-    def _handle_models(self) -> None:
-        service = self.service
+    def _handle_models(self, state: "_TenantState") -> None:
         try:
-            snapshot = service.registry.current()
+            snapshot = state.registry.current()
         except NoModelPublishedError:
-            self._respond(200, {"current": None})
+            self._respond(200, {"tenant": state.name, "current": None})
             return
         model = snapshot.model
         self._respond(
             200,
             {
+                "tenant": state.name,
                 "current": {
                     "version": snapshot.version,
                     "fingerprint": snapshot.fingerprint,
@@ -755,9 +849,12 @@ class _ApiHandler(BaseHTTPRequestHandler):
                     "k": model.k,
                     "n_rows": model.n_rows_,
                     "columns": list(model.schema_.names),
-                }
+                },
             },
         )
+
+    def _handle_tenants(self) -> None:
+        self._respond(200, self.service.describe_tenants())
 
 
 class HttpApiServer(HttpService):
@@ -768,7 +865,26 @@ class HttpApiServer(HttpService):
     source:
         A :class:`~repro.serve.ModelRegistry` (hot-swappable serving),
         a fitted :class:`~repro.core.model.RatioRuleModel`, or a
-        ready-made :class:`~repro.serve.BatchFiller`.
+        ready-made :class:`~repro.serve.BatchFiller`.  May be ``None``
+        when ``store`` is given -- the default tenant's model then
+        comes from the store (recovered on startup, no refit).
+    store:
+        Optional :class:`~repro.store.ModelStore`.  Mounting one makes
+        the server multi-tenant: the ``/v1/tenants/<tenant>/...``
+        routes serve every namespace in the store (per-tenant serving
+        stacks are created on first use), the default ``/v1/*`` routes
+        serve the ``tenant`` namespace, and a
+        :class:`~repro.store.StoreWatcher` polls for publishes from
+        other processes sharing the directory.  A ``source`` model is
+        published into the default tenant's namespace at construction
+        (skipped when the store already holds that exact fingerprint).
+    tenant:
+        Default tenant namespace for the bare ``/v1/*`` routes
+        (default ``"default"``).
+    watch_interval:
+        Store poll cadence in seconds; 0 disables background polling
+        (hot-swaps then only happen via this process's own publishes
+        or explicit ``registry.sync()`` calls).
     host / port:
         Bind address; ``port=0`` discovers an ephemeral port
         (re-exposed on ``self.port`` after :meth:`start`).
@@ -801,8 +917,11 @@ class HttpApiServer(HttpService):
 
     def __init__(
         self,
-        source: Union[ModelRegistry, RatioRuleModel, BatchFiller],
+        source: Union[ModelRegistry, RatioRuleModel, BatchFiller, None] = None,
         *,
+        store: Optional["ModelStore"] = None,
+        tenant: Optional[str] = None,
+        watch_interval: float = 0.25,
         host: str = "127.0.0.1",
         port: int = 0,
         max_batch_rows: int = 64,
@@ -820,49 +939,193 @@ class HttpApiServer(HttpService):
                 f"default_timeout_ms must be finite and > 0, "
                 f"got {default_timeout_ms}"
             )
-        self.metrics = metrics if metrics is not None else ServeHttpMetrics()
-        if isinstance(source, BatchFiller):
-            self.filler = source
-        else:
-            self.filler = BatchFiller(
-                source,
-                cache_entries=cache_entries,
-                underdetermined=underdetermined,
+        if source is None and store is None:
+            raise ValueError("provide a source, a store, or both")
+        if tenant is not None and store is None:
+            raise ValueError("tenant routing requires a store")
+        if watch_interval < 0.0:
+            raise ValueError(
+                f"watch_interval must be >= 0, got {watch_interval}"
             )
+        self.metrics = metrics if metrics is not None else ServeHttpMetrics()
+        self.store = store
+        self._coalescer_opts = {
+            "max_batch_rows": max_batch_rows,
+            "flush_margin": flush_margin,
+            "queue_limit": queue_limit,
+        }
+        self._filler_opts = {
+            "cache_entries": cache_entries,
+            "underdetermined": underdetermined,
+        }
+        if store is not None:
+            if tenant is None:
+                from repro.store import DEFAULT_NAMESPACE
+
+                tenant = DEFAULT_NAMESPACE
+            if isinstance(source, BatchFiller):
+                raise ValueError(
+                    "a ready-made BatchFiller cannot be combined with a "
+                    "store; pass a model, a store-backed registry, or "
+                    "neither"
+                )
+            if isinstance(source, ModelRegistry):
+                if source.store is not store:
+                    raise ValueError(
+                        "the registry's store must be the server's store"
+                    )
+                registry = source
+                tenant = registry.namespace or tenant
+            else:
+                registry = ModelRegistry(store=store, namespace=tenant)
+                if source is not None:
+                    current = (
+                        registry.current().fingerprint
+                        if registry.latest_version
+                        else None
+                    )
+                    if source.fingerprint() != current:
+                        registry.publish(source, allow_schema_change=True)
+            self.filler = BatchFiller(registry, **self._filler_opts)
+        else:
+            if isinstance(source, BatchFiller):
+                self.filler = source
+            else:
+                self.filler = BatchFiller(source, **self._filler_opts)
+        self.tenant = tenant
         self.registry = self.filler.registry
         self.coalescer = DeadlineCoalescer(
-            self.filler,
-            max_batch_rows=max_batch_rows,
-            flush_margin=flush_margin,
-            queue_limit=queue_limit,
-            metrics=self.metrics,
+            self.filler, metrics=self.metrics, **self._coalescer_opts
         )
+        self.default_state = _TenantState(
+            name=tenant if tenant is not None else "default",
+            registry=self.registry,
+            filler=self.filler,
+            coalescer=self.coalescer,
+        )
+        self._tenants: Dict[str, _TenantState] = {
+            self.default_state.name: self.default_state
+        }
+        self._tenants_lock = threading.Lock()
+        self._watcher = None
+        if store is not None and watch_interval > 0.0:
+            from repro.store import StoreWatcher
+
+            self._watcher = StoreWatcher(
+                self._watched_registries, interval=watch_interval
+            )
         self.default_timeout_ms = float(default_timeout_ms)
         self.retry_after_seconds = int(retry_after_seconds)
+
+    # -- tenants -----------------------------------------------------------
+
+    def _watched_registries(self) -> List[ModelRegistry]:
+        with self._tenants_lock:
+            states = list(self._tenants.values())
+        return [
+            state.registry for state in states
+            if state.registry.store is not None
+        ]
+
+    def tenant_state(self, tenant: Optional[str]) -> _TenantState:
+        """Resolve (lazily creating) the serving stack for a tenant.
+
+        ``None`` and the default tenant's own name resolve to the
+        default stack.  Other names require a mounted store holding
+        that namespace; the first request for a namespace builds its
+        registry (running startup recovery), filler, and coalescer.
+        """
+        if tenant is None or tenant == self.default_state.name:
+            return self.default_state
+        if self.store is None:
+            raise _UnknownTenant(
+                f"unknown tenant {tenant!r} (multi-tenant serving "
+                f"requires a model store)"
+            )
+        with self._tenants_lock:
+            state = self._tenants.get(tenant)
+            if state is not None:
+                return state
+            from repro.store import StoreError
+
+            try:
+                if self.store.latest_version(tenant) == 0:
+                    raise _UnknownTenant(
+                        f"tenant {tenant!r} has no published models"
+                    )
+            except StoreError as exc:
+                raise _BadRequest(str(exc)) from None
+            registry = ModelRegistry(store=self.store, namespace=tenant)
+            filler = BatchFiller(registry, **self._filler_opts)
+            coalescer = DeadlineCoalescer(
+                filler, metrics=self.metrics, **self._coalescer_opts
+            )
+            if self.coalescer.running:
+                coalescer.start()
+            state = _TenantState(
+                name=tenant,
+                registry=registry,
+                filler=filler,
+                coalescer=coalescer,
+            )
+            self._tenants[tenant] = state
+            return state
+
+    def describe_tenants(self) -> Dict[str, Any]:
+        """The ``GET /v1/tenants`` payload: every servable namespace."""
+        versions: Dict[str, int] = {}
+        if self.store is not None:
+            for namespace in self.store.namespaces():
+                versions[namespace] = self.store.latest_version(namespace)
+        with self._tenants_lock:
+            for name, state in self._tenants.items():
+                versions.setdefault(name, state.registry.latest_version)
+        return {
+            "default": self.default_state.name,
+            "tenants": [
+                {"name": name, "version": versions[name]}
+                for name in sorted(versions)
+            ],
+        }
+
+    # -- lifecycle ---------------------------------------------------------
 
     def _handler_class(self) -> Type[BaseHTTPRequestHandler]:
         return type("_BoundApiHandler", (_ApiHandler,), {"service": self})
 
     def start(self) -> int:
-        """Start the coalescer, then bind and serve; returns the port."""
+        """Start the coalescer(s) and watcher, then bind and serve."""
         if self.running:
             raise RuntimeError(f"{type(self).__name__} already started")
-        self.coalescer.start()
+        with self._tenants_lock:
+            states = list(self._tenants.values())
+        for state in states:
+            state.coalescer.start()
+        if self._watcher is not None:
+            self._watcher.start()
         try:
             return super().start()
         except Exception:
-            self.coalescer.stop()
+            if self._watcher is not None:
+                self._watcher.stop()
+            for state in states:
+                state.coalescer.stop()
             raise
 
     def stop(self) -> None:
-        """Stop accepting requests, then drain and stop the coalescer.
+        """Stop accepting requests, then drain and stop every coalescer.
 
         Idempotent, like :meth:`HttpService.stop`.  The order matters:
         the listener goes down first so no new requests arrive, then
-        the coalescer's final flush serves everything already queued.
+        each coalescer's final flush serves everything already queued.
         """
         super().stop()
-        self.coalescer.stop()
+        if self._watcher is not None:
+            self._watcher.stop()
+        with self._tenants_lock:
+            states = list(self._tenants.values())
+        for state in states:
+            state.coalescer.stop()
 
     def __enter__(self) -> "HttpApiServer":
         self.start()

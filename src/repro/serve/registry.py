@@ -20,11 +20,14 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.model import RatioRuleModel
 from repro.obs.metrics import ServeMetrics
 from repro.obs.tracing import span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store import ModelStore
 
 __all__ = ["ModelRegistry", "NoModelPublishedError", "PublishedModel"]
 
@@ -66,6 +69,16 @@ class ModelRegistry:
     metrics:
         Optional :class:`~repro.obs.metrics.ServeMetrics`; each publish
         bumps its ``n_publishes`` counter.
+    store:
+        Optional :class:`~repro.store.ModelStore` backing tier.  With a
+        store mounted, every publish is made durable *before* the
+        in-memory swap (the store assigns the version number), the
+        registry recovers the namespace's latest complete version on
+        construction (restart-safe: no refit needed), and
+        :meth:`sync` / a :class:`~repro.store.StoreWatcher` adopt
+        versions published by other processes sharing the store.
+    namespace:
+        The store namespace (tenant/dataset) this registry serves.
 
     Examples
     --------
@@ -83,13 +96,47 @@ class ModelRegistry:
         model: Optional[RatioRuleModel] = None,
         *,
         metrics: Optional[ServeMetrics] = None,
+        store: Optional["ModelStore"] = None,
+        namespace: Optional[str] = None,
     ) -> None:
+        if store is None and namespace is not None:
+            raise ValueError("namespace requires a store")
+        if store is not None and namespace is None:
+            from repro.store import DEFAULT_NAMESPACE
+
+            namespace = DEFAULT_NAMESPACE
         self._lock = threading.Lock()
         self._metrics = metrics
+        self._store = store
+        self._namespace = namespace
         self._current: Optional[PublishedModel] = None
         self._next_version = 1
+        if store is not None:
+            self._recover_from_store()
         if model is not None:
             self.publish(model)
+
+    def _recover_from_store(self) -> None:
+        """Cold-start: adopt the store's latest complete version.
+
+        Runs the store's full recovery walk (torn/corrupt files are
+        quarantined, the manifest repaired), then hydrates the
+        surviving latest snapshot -- so a restarted serving process
+        resumes exactly where the durable tier left off, no refit.
+        """
+        assert self._store is not None and self._namespace is not None
+        stored = self._store.recover(self._namespace)
+        if stored is None:
+            return
+        stored, model = self._store.load(self._namespace, stored.version)
+        with self._lock:
+            self._current = PublishedModel(
+                version=stored.version,
+                model=model,
+                fingerprint=stored.fingerprint,
+                published_at=stored.created_at,
+            )
+            self._next_version = stored.version + 1
 
     # -- publishing --------------------------------------------------------
 
@@ -120,26 +167,56 @@ class ModelRegistry:
         with span("serve.publish") as publish_span:
             fingerprint = model.fingerprint()
             with self._lock:
+                current = self._current
                 if (
-                    self._current is not None
+                    current is not None
                     and not allow_schema_change
-                    and model.schema_.names
-                    != self._current.model.schema_.names
+                    and model.schema_.names != current.model.schema_.names
                 ):
+                    namespace = self._namespace or "default"
                     raise ValueError(
-                        f"schema change on publish: serving "
-                        f"{self._current.model.schema_.names}, got "
-                        f"{model.schema_.names} (pass "
+                        f"schema change on publish to namespace "
+                        f"{namespace!r}: serving version "
+                        f"{current.version} with columns "
+                        f"{list(current.model.schema_.names)}, got "
+                        f"{list(model.schema_.names)} (pass "
                         f"allow_schema_change=True if intentional)"
                     )
-                snapshot = PublishedModel(
-                    version=self._next_version,
-                    model=model,
-                    fingerprint=fingerprint,
-                    published_at=time.time(),
-                )
-                self._next_version += 1
-                self._current = snapshot
+                if self._store is not None:
+                    # Durability first: the snapshot hits disk (and the
+                    # store assigns the version) before any reader can
+                    # observe it in memory.  If two registries race on
+                    # one namespace, the on-disk lock serializes them
+                    # and each adopts only versions newer than its own,
+                    # so in-memory versions stay monotonic everywhere.
+                    stored = self._store.publish(
+                        model,
+                        namespace=self._namespace,
+                        meta={"fingerprint": fingerprint},
+                    )
+                    snapshot = PublishedModel(
+                        version=stored.version,
+                        model=model,
+                        fingerprint=fingerprint,
+                        published_at=stored.created_at,
+                    )
+                    if (
+                        self._current is None
+                        or snapshot.version > self._current.version
+                    ):
+                        self._current = snapshot
+                    self._next_version = (
+                        self._current.version + 1
+                    )
+                else:
+                    snapshot = PublishedModel(
+                        version=self._next_version,
+                        model=model,
+                        fingerprint=fingerprint,
+                        published_at=time.time(),
+                    )
+                    self._next_version += 1
+                    self._current = snapshot
             publish_span.set_attr("version", snapshot.version)
         if self._metrics is not None:
             self._metrics.record_publish()
@@ -173,6 +250,65 @@ class ModelRegistry:
         model = RatioRuleModel(**model_kwargs)
         model.fit_from_accumulator(accumulator, schema, metrics=metrics)
         return self.publish(model)
+
+    # -- replication -------------------------------------------------------
+
+    @property
+    def store(self) -> Optional["ModelStore"]:
+        """The mounted durable store, if any."""
+        return self._store
+
+    @property
+    def namespace(self) -> Optional[str]:
+        """The store namespace served (None without a store)."""
+        return self._namespace
+
+    def sync(self) -> bool:
+        """Adopt the store's latest version if it is ahead; True on swap.
+
+        The poll a :class:`~repro.store.StoreWatcher` runs: one cheap
+        manifest read, and only when another process published
+        something newer does the snapshot hydrate + atomic reference
+        swap happen.  Versions only ever move forward -- a reader that
+        raced a slow publisher never steps back to an older version.
+        Without a store this is a no-op returning False.
+        """
+        if self._store is None or self._namespace is None:
+            return False
+        swapped = False
+        snapshot = self._current
+        known = 0 if snapshot is None else snapshot.version
+        latest = self._store.latest_version(self._namespace)
+        if latest > known:
+            try:
+                stored, model = self._store.load(self._namespace, latest)
+            except Exception:
+                # The newest file went bad between the manifest read
+                # and the hydrate; recovery promoted what it could.
+                recovered = self._store.recover(self._namespace)
+                if recovered is None or recovered.version <= known:
+                    self._store.metrics.record_sync(swapped=False)
+                    return False
+                stored, model = self._store.load(
+                    self._namespace, recovered.version
+                )
+            with self._lock:
+                if (
+                    self._current is None
+                    or stored.version > self._current.version
+                ):
+                    self._current = PublishedModel(
+                        version=stored.version,
+                        model=model,
+                        fingerprint=stored.fingerprint,
+                        published_at=stored.created_at,
+                    )
+                    self._next_version = stored.version + 1
+                    swapped = True
+        self._store.metrics.record_sync(swapped=swapped)
+        if swapped and self._metrics is not None:
+            self._metrics.record_publish()
+        return swapped
 
     # -- reading -----------------------------------------------------------
 

@@ -1,0 +1,60 @@
+"""Durable, multi-tenant model storage behind the serving registry.
+
+The paper's artifacts are tiny -- a handful of eigenvectors, the column
+means, a row count -- which makes durably storing *every* tenant's
+*every* version cheap, and that is what this package does:
+
+- :mod:`repro.store.snapshot` -- the self-verifying single-file
+  snapshot format (magic + JSON header + ``.npz`` payload, SHA-256 and
+  fingerprint checked on hydrate).
+- :mod:`repro.store.store` -- :class:`ModelStore`: per-tenant
+  namespaces, atomic write-temp-then-rename publish under an on-disk
+  lock, startup recovery with quarantine (damage is moved aside, never
+  deleted), an incrementally-maintained-and-rebuildable manifest,
+  keep-last-N / max-bytes retention GC, and a warm-model LRU cache.
+- :mod:`repro.store.watch` -- :class:`StoreWatcher`: the replication
+  hook; N serving processes sharing one store directory poll it and
+  hot-swap new versions without torn reads.
+
+:class:`~repro.serve.ModelRegistry` mounts a store via its ``store=`` /
+``namespace=`` parameters; the HTTP tier exposes tenants via
+``/v1/tenants/<tenant>/...`` and the CLI via ``--store`` /
+``--tenant``.  See ``docs/model_store.md`` for the format and the
+crash-consistency guarantees, and ``tests/store/`` for their proof.
+"""
+
+from repro.store.snapshot import (
+    SnapshotError,
+    SnapshotHeader,
+    decode_model,
+    encode_model,
+    encode_snapshot,
+    load_snapshot,
+    read_header,
+    verify_snapshot,
+)
+from repro.store.store import (
+    DEFAULT_NAMESPACE,
+    PUBLISH_STAGES,
+    ModelStore,
+    StoredSnapshot,
+    StoreError,
+)
+from repro.store.watch import StoreWatcher
+
+__all__ = [
+    "DEFAULT_NAMESPACE",
+    "ModelStore",
+    "PUBLISH_STAGES",
+    "SnapshotError",
+    "SnapshotHeader",
+    "StoreError",
+    "StoreWatcher",
+    "StoredSnapshot",
+    "decode_model",
+    "encode_model",
+    "encode_snapshot",
+    "load_snapshot",
+    "read_header",
+    "verify_snapshot",
+]

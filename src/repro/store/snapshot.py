@@ -1,0 +1,294 @@
+"""The versioned snapshot file format of the durable model store.
+
+One snapshot file holds one published model, self-contained and
+self-verifying:
+
+``RRSNAP1\\n`` magic (8 bytes)
+    Identifies the format; anything else is not a snapshot.
+``header length`` (8 bytes, big-endian unsigned)
+    Size of the JSON header that follows.
+JSON header (UTF-8)
+    ``{"format": 1, "version": ..., "fingerprint": ...,
+    "created_at": ..., "meta": {...}, "payload_bytes": ...,
+    "payload_sha256": ...}`` -- everything the manifest needs without
+    touching the payload.
+payload
+    The model's learned arrays as an ``.npz`` archive with exactly the
+    keys :meth:`repro.core.model.RatioRuleModel.save` writes
+    (``rules_matrix``, ``eigenvalues``, ``means``, ``n_rows``,
+    ``total_variance``, ``schema_json``), so a snapshot round-trip is
+    bit-identical to the established on-disk model format.
+
+The layered checks give recovery a precise damage taxonomy: a torn
+*temp* file fails the magic or header parse; a truncated *final* file
+fails the declared ``payload_bytes``; a flipped byte fails the
+``payload_sha256``; and a payload that decodes to different arrays than
+were published fails the fingerprint recomputation in
+:func:`load_snapshot`.  Every failure raises :class:`SnapshotError`
+with the reason -- the store's recovery walk turns that into a
+quarantine move, never a silent delete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import RatioRuleModel
+from repro.core.rules import RuleSet
+from repro.io.schema import TableSchema
+
+__all__ = [
+    "MAGIC",
+    "SnapshotError",
+    "SnapshotHeader",
+    "decode_model",
+    "encode_model",
+    "encode_snapshot",
+    "load_snapshot",
+    "read_header",
+    "verify_snapshot",
+]
+
+#: Leading magic bytes of every snapshot file.
+MAGIC = b"RRSNAP1\n"
+
+#: Sanity bound on the JSON header (a real header is a few hundred
+#: bytes; a huge declared length means the length field is garbage).
+_MAX_HEADER_BYTES = 1 << 20
+
+_LENGTH_STRUCT = struct.Struct(">Q")
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is torn, truncated, corrupted, or mislabeled."""
+
+
+@dataclass(frozen=True)
+class SnapshotHeader:
+    """The parsed JSON header of one snapshot file.
+
+    Attributes
+    ----------
+    version:
+        The published version number the file claims to hold.
+    fingerprint:
+        :meth:`~repro.core.model.RatioRuleModel.fingerprint` of the
+        model at publish time; recomputed and checked on hydrate.
+    created_at:
+        Wall-clock publish time (``time.time()``).
+    payload_bytes / payload_sha256:
+        Size and content hash of the ``.npz`` payload.
+    meta:
+        Free-form publish metadata (JSON object).
+    """
+
+    version: int
+    fingerprint: str
+    created_at: float
+    payload_bytes: int
+    payload_sha256: str
+    meta: dict = field(default_factory=dict)
+
+
+# -- model <-> payload ------------------------------------------------------
+
+
+def encode_model(model: RatioRuleModel) -> bytes:
+    """Serialize a fitted model to ``.npz`` payload bytes.
+
+    Uses exactly the array keys of
+    :meth:`repro.core.model.RatioRuleModel.save`, so the payload is the
+    established model format, just in memory.
+    """
+    if model.rules_ is None or model.schema_ is None:
+        raise ValueError("only fitted models can be snapshotted")
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        rules_matrix=model.rules_.matrix,
+        eigenvalues=model.eigenvalues_,
+        means=model.means_,
+        n_rows=np.asarray([model.n_rows_]),
+        total_variance=np.asarray([model.total_variance_]),
+        schema_json=np.asarray([model.schema_.to_json()]),
+    )
+    return buffer.getvalue()
+
+
+def decode_model(payload: bytes) -> RatioRuleModel:
+    """Rebuild the model from :func:`encode_model` payload bytes.
+
+    Mirrors :meth:`repro.core.model.RatioRuleModel.load`; raises
+    :class:`SnapshotError` when the archive is unreadable or missing
+    arrays (a corrupt payload that happened to pass no other check).
+    """
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            schema = TableSchema.from_json(str(archive["schema_json"][0]))
+            model = RatioRuleModel()
+            model.schema_ = schema
+            model.means_ = archive["means"].copy()
+            model.n_rows_ = int(archive["n_rows"][0])
+            model.total_variance_ = float(archive["total_variance"][0])
+            model.eigenvalues_ = archive["eigenvalues"].copy()
+            model.rules_ = RuleSet.from_eigen(
+                archive["eigenvalues"],
+                archive["rules_matrix"],
+                model.total_variance_,
+                schema,
+            )
+    except (OSError, KeyError, ValueError, struct.error) as exc:
+        raise SnapshotError(f"undecodable model payload: {exc}") from None
+    return model
+
+
+# -- encoding ---------------------------------------------------------------
+
+
+def encode_snapshot(
+    model: RatioRuleModel,
+    *,
+    version: int,
+    created_at: float,
+    meta: Optional[dict] = None,
+) -> bytes:
+    """Serialize one publish to complete snapshot-file bytes."""
+    if version < 1:
+        raise ValueError(f"version must be >= 1, got {version}")
+    payload = encode_model(model)
+    header = {
+        "format": 1,
+        "version": int(version),
+        "fingerprint": model.fingerprint(),
+        "created_at": float(created_at),
+        "meta": dict(meta or {}),
+        "payload_bytes": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return (
+        MAGIC + _LENGTH_STRUCT.pack(len(header_bytes)) + header_bytes + payload
+    )
+
+
+# -- decoding / verification ------------------------------------------------
+
+
+def _parse_header(data: bytes, source: str) -> Tuple[SnapshotHeader, int]:
+    """Parse magic + header; returns (header, payload offset)."""
+    if len(data) < len(MAGIC) or data[: len(MAGIC)] != MAGIC:
+        raise SnapshotError(f"{source}: bad or missing snapshot magic")
+    length_end = len(MAGIC) + _LENGTH_STRUCT.size
+    if len(data) < length_end:
+        raise SnapshotError(f"{source}: truncated before header length")
+    (header_len,) = _LENGTH_STRUCT.unpack(data[len(MAGIC):length_end])
+    if not 0 < header_len <= _MAX_HEADER_BYTES:
+        raise SnapshotError(
+            f"{source}: implausible header length {header_len}"
+        )
+    header_end = length_end + header_len
+    if len(data) < header_end:
+        raise SnapshotError(f"{source}: truncated inside header")
+    try:
+        raw = json.loads(data[length_end:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise SnapshotError(f"{source}: unreadable header: {exc}") from None
+    if not isinstance(raw, dict) or raw.get("format") != 1:
+        raise SnapshotError(f"{source}: unknown snapshot format")
+    try:
+        header = SnapshotHeader(
+            version=int(raw["version"]),
+            fingerprint=str(raw["fingerprint"]),
+            created_at=float(raw["created_at"]),
+            payload_bytes=int(raw["payload_bytes"]),
+            payload_sha256=str(raw["payload_sha256"]),
+            meta=dict(raw.get("meta") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"{source}: header missing or mistyped field: {exc}"
+        ) from None
+    if header.version < 1 or header.payload_bytes < 0:
+        raise SnapshotError(f"{source}: nonsensical header values")
+    return header, header_end
+
+
+def read_header(path: Union[str, Path]) -> SnapshotHeader:
+    """Parse just the header of a snapshot file (no payload scan).
+
+    Cheap enough for manifest rebuilds over many versions; use
+    :func:`verify_snapshot` when payload integrity matters.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(
+                len(MAGIC) + _LENGTH_STRUCT.size + _MAX_HEADER_BYTES
+            )
+    except OSError as exc:
+        raise SnapshotError(f"{path.name}: unreadable: {exc}") from None
+    header, _ = _parse_header(prefix, path.name)
+    return header
+
+
+def verify_snapshot(path: Union[str, Path]) -> SnapshotHeader:
+    """Fully verify one snapshot file's structural integrity.
+
+    Checks magic, header, exact payload size (a truncated *or* padded
+    file both fail), and the payload's SHA-256.  Returns the header on
+    success; raises :class:`SnapshotError` naming the damage otherwise.
+    """
+    header, _ = _read_verified(path)
+    return header
+
+
+def _read_verified(path: Union[str, Path]) -> Tuple[SnapshotHeader, bytes]:
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"{path.name}: unreadable: {exc}") from None
+    header, payload_start = _parse_header(data, path.name)
+    payload = data[payload_start:]
+    if len(payload) != header.payload_bytes:
+        raise SnapshotError(
+            f"{path.name}: payload is {len(payload)} byte(s), header "
+            f"declares {header.payload_bytes}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.payload_sha256:
+        raise SnapshotError(
+            f"{path.name}: payload sha256 mismatch "
+            f"({digest[:12]}... != {header.payload_sha256[:12]}...)"
+        )
+    return header, payload
+
+
+def load_snapshot(
+    path: Union[str, Path]
+) -> Tuple[SnapshotHeader, RatioRuleModel]:
+    """Verify and hydrate one snapshot file end to end.
+
+    On top of :func:`verify_snapshot`'s structural checks, the decoded
+    model's fingerprint is recomputed and compared against the header:
+    the hydrated model is provably the published one, byte-identical in
+    its learned arrays.
+    """
+    path = Path(path)
+    header, payload = _read_verified(path)
+    model = decode_model(payload)
+    fingerprint = model.fingerprint()
+    if fingerprint != header.fingerprint:
+        raise SnapshotError(
+            f"{path.name}: hydrated fingerprint {fingerprint} does not "
+            f"match published fingerprint {header.fingerprint}"
+        )
+    return header, model

@@ -1,0 +1,770 @@
+"""The disk-backed, multi-tenant model store.
+
+One :class:`ModelStore` roots a directory tree of **namespaces** (one
+per tenant/dataset, e.g. ``acme/sales``); each namespace holds its
+versioned snapshot files, an incrementally-maintained manifest, and a
+quarantine subdirectory for damaged files:
+
+.. code-block:: text
+
+    store-root/
+      acme/sales/
+        v00000001.rrs        one complete snapshot per version
+        v00000002.rrs
+        MANIFEST.json        atomically-replaced version index
+        .publish.lock        present only while a publish is in flight
+        tmp-<pid>-<tok>.rrs  in-flight publish (crash debris if stale)
+        quarantine/          damaged files moved aside, never deleted
+
+The durability contract:
+
+**Atomic publish.**  A snapshot is written completely to a temp file,
+fsynced, and ``os.replace``\\ d to its final ``v%08d.rrs`` name (then
+the directory is fsynced).  Readers can never observe a half-written
+*final* file: either the rename happened -- the file is complete -- or
+it did not and the previous version is still the latest.  A
+per-namespace lock file (``O_CREAT | O_EXCL``) serializes writers
+across processes; locks abandoned by a dead publisher are detected by
+pid and broken.
+
+**Recovery, not rollback.**  :meth:`ModelStore.recover` walks a
+namespace, fully verifies every snapshot (magic, header, payload size,
+SHA-256), moves damaged files and dead publishers' temp files into
+``quarantine/`` (never silently deletes), rebuilds the manifest when it
+disagrees with the verified listing, and returns the latest complete
+version.  A process killed at *any* point during publish therefore
+leaves the store serving the last complete version on restart.
+
+**Retention.**  ``keep_last`` / ``max_bytes`` GC deletes old versions
+after a successful publish -- but never a namespace's current version.
+
+**Warm cache.**  Hydrated models are kept in a per-store LRU keyed by
+``(namespace, version)`` so hot tenants skip the disk entirely.
+
+Every publish can invoke a ``fault_hook`` at three stages --
+``"snapshot-temp"`` (mid temp write), ``"snapshot-rename"`` (temp
+complete, rename pending), ``"manifest-update"`` (rename done, manifest
+pending) -- which is how the crash-consistency suite kills publishes at
+exact points (see :class:`repro.testing.StoreFaultInjector`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.model import RatioRuleModel
+from repro.obs.metrics import StoreMetrics
+from repro.store.snapshot import (
+    SnapshotError,
+    SnapshotHeader,
+    encode_snapshot,
+    load_snapshot,
+    verify_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_NAMESPACE",
+    "ModelStore",
+    "StoreError",
+    "StoredSnapshot",
+    "PUBLISH_STAGES",
+]
+
+#: Namespace used when a caller does not name a tenant.
+DEFAULT_NAMESPACE = "default"
+
+#: The fault-hook stages of one publish, in order.
+PUBLISH_STAGES = ("snapshot-temp", "snapshot-rename", "manifest-update")
+
+_MANIFEST_NAME = "MANIFEST.json"
+_LOCK_NAME = ".publish.lock"
+_QUARANTINE_DIR = "quarantine"
+
+_SNAPSHOT_RE = re.compile(r"^v(\d{8})\.rrs$")
+_TEMP_RE = re.compile(r"^tmp-(\d+)-[0-9a-f]+\.rrs$")
+_SEGMENT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+
+
+class StoreError(RuntimeError):
+    """A store-level failure: bad namespace, missing version, lock
+    contention past its timeout."""
+
+
+@dataclass(frozen=True)
+class StoredSnapshot:
+    """One durably published version, as the store describes it.
+
+    ``path`` points at the snapshot file; hydrate it through
+    :meth:`ModelStore.load` (which verifies and caches), not by reading
+    the file directly.
+    """
+
+    namespace: str
+    version: int
+    fingerprint: str
+    created_at: float
+    payload_bytes: int
+    file_bytes: int
+    path: Path = field(compare=False)
+    meta: dict = field(default_factory=dict, compare=False)
+
+
+def _validate_namespace(namespace: str) -> str:
+    """Reject traversal and reserved-name collisions eagerly."""
+    if not isinstance(namespace, str) or not namespace:
+        raise StoreError(f"namespace must be a non-empty string, got {namespace!r}")
+    segments = namespace.split("/")
+    for segment in segments:
+        if segment == _QUARANTINE_DIR:
+            raise StoreError(
+                f"namespace segment {segment!r} is reserved"
+            )
+        if not _SEGMENT_RE.match(segment):
+            raise StoreError(
+                f"invalid namespace {namespace!r}: each /-separated "
+                f"segment must match [A-Za-z0-9][A-Za-z0-9_-]*"
+            )
+    return "/".join(segments)
+
+
+def _snapshot_name(version: int) -> str:
+    return f"v{version:08d}.rrs"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a rename/creation in ``path`` durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user pid
+        return True
+    return True
+
+
+def _manifest_entry(header: SnapshotHeader, file_bytes: int) -> dict:
+    return {
+        "version": header.version,
+        "file": _snapshot_name(header.version),
+        "fingerprint": header.fingerprint,
+        "created_at": header.created_at,
+        "payload_bytes": header.payload_bytes,
+        "payload_sha256": header.payload_sha256,
+        "file_bytes": int(file_bytes),
+        "meta": dict(header.meta),
+    }
+
+
+class ModelStore:
+    """Durable multi-tenant snapshot store (see the module docstring).
+
+    Parameters
+    ----------
+    root:
+        Store directory; created if missing.
+    keep_last:
+        Retention: keep at most this many newest versions per
+        namespace (``None`` keeps everything).
+    max_bytes:
+        Retention: per-namespace snapshot-byte budget; oldest versions
+        go first, the current version is never removed.
+    cache_entries:
+        Warm-model LRU capacity across all namespaces (0 disables).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.StoreMetrics`.
+    fault_hook:
+        Test-only callable invoked with each :data:`PUBLISH_STAGES`
+        name during publish; production leaves it ``None``.
+    lock_timeout:
+        Seconds to wait for a contended namespace publish lock.
+    stale_lock_after:
+        Age past which a lock whose owner cannot be verified is broken
+        (locks of provably dead owners are broken immediately).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        keep_last: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        cache_entries: int = 8,
+        metrics: Optional[StoreMetrics] = None,
+        fault_hook: Optional[Callable[[str], None]] = None,
+        lock_timeout: float = 10.0,
+        stale_lock_after: float = 30.0,
+    ) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if cache_entries < 0:
+            raise ValueError(
+                f"cache_entries must be >= 0, got {cache_entries}"
+            )
+        if lock_timeout <= 0.0:
+            raise ValueError(f"lock_timeout must be > 0, got {lock_timeout}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+        self.max_bytes = max_bytes
+        self.cache_entries = int(cache_entries)
+        self.metrics = metrics if metrics is not None else StoreMetrics()
+        self.fault_hook = fault_hook
+        self.lock_timeout = float(lock_timeout)
+        self.stale_lock_after = float(stale_lock_after)
+        self._cache: "OrderedDict[Tuple[str, int], Tuple[StoredSnapshot, RatioRuleModel]]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+
+    # -- paths -------------------------------------------------------------
+
+    def _dir(self, namespace: str) -> Path:
+        return self.root / _validate_namespace(namespace)
+
+    def _listed_versions(self, ns_dir: Path) -> List[int]:
+        """Version numbers claimed by final snapshot *names* (unverified)."""
+        versions = []
+        try:
+            names = os.listdir(ns_dir)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            match = _SNAPSHOT_RE.match(name)
+            if match:
+                versions.append(int(match.group(1)))
+        return sorted(versions)
+
+    def namespaces(self) -> List[str]:
+        """Every namespace that holds at least one snapshot or manifest."""
+        found = []
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = sorted(
+                d for d in dirnames if d != _QUARANTINE_DIR
+            )
+            if dirpath == str(self.root):
+                continue
+            if _MANIFEST_NAME in filenames or any(
+                _SNAPSHOT_RE.match(name) for name in filenames
+            ):
+                relative = Path(dirpath).relative_to(self.root)
+                found.append("/".join(relative.parts))
+        return sorted(found)
+
+    # -- locking -----------------------------------------------------------
+
+    def _try_break_lock(self, lock_path: Path) -> bool:
+        """Break a lock whose owner is dead (or unknowably old)."""
+        try:
+            stat_before = lock_path.stat()
+            content = json.loads(lock_path.read_text())
+            owner = int(content["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable lock: age it out via mtime.
+            try:
+                stat_before = lock_path.stat()
+            except OSError:
+                return True  # gone already
+            if time.time() - stat_before.st_mtime < self.stale_lock_after:
+                return False
+            owner = -1
+        else:
+            if _pid_alive(owner):
+                return False
+        # Re-stat immediately before unlinking: if the file changed
+        # identity the stale lock was already broken and re-acquired by
+        # someone else -- removing *their* lock would be a double grant.
+        try:
+            stat_now = lock_path.stat()
+            if (stat_now.st_ino, stat_now.st_mtime_ns) != (
+                stat_before.st_ino,
+                stat_before.st_mtime_ns,
+            ):
+                return False
+            lock_path.unlink()
+        except OSError:
+            return True  # somebody else removed it; slot is free
+        self.metrics.record_lock_break()
+        return True
+
+    @contextmanager
+    def _publish_lock(self, ns_dir: Path) -> Iterator[None]:
+        """Cross-process per-namespace writer lock (``O_CREAT|O_EXCL``)."""
+        lock_path = ns_dir / _LOCK_NAME
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                break
+            except FileExistsError:
+                if self._try_break_lock(lock_path):
+                    continue
+                if time.monotonic() >= deadline:
+                    raise StoreError(
+                        f"publish lock busy for {self.lock_timeout}s: "
+                        f"{lock_path}"
+                    )
+                time.sleep(0.01)
+        try:
+            os.write(
+                fd,
+                json.dumps(
+                    {"pid": os.getpid(), "acquired_at": time.time()}
+                ).encode("utf-8"),
+            )
+        finally:
+            os.close(fd)
+        try:
+            yield
+        finally:
+            try:
+                lock_path.unlink()
+            except OSError:  # pragma: no cover - already broken/cleaned
+                pass
+
+    # -- manifest ----------------------------------------------------------
+
+    def _read_manifest(self, ns_dir: Path) -> Optional[dict]:
+        try:
+            payload = json.loads((ns_dir / _MANIFEST_NAME).read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != 1
+            or not isinstance(payload.get("versions"), list)
+        ):
+            return None
+        return payload
+
+    def _write_manifest(self, ns_dir: Path, manifest: dict) -> None:
+        tmp = ns_dir / f".{_MANIFEST_NAME}.tmp-{os.getpid()}"
+        tmp.write_text(json.dumps(manifest, sort_keys=True, indent=1))
+        os.replace(tmp, ns_dir / _MANIFEST_NAME)
+        _fsync_dir(ns_dir)
+
+    def build_manifest(self, namespace: str) -> dict:
+        """Rebuild the manifest purely from the verified dir listing.
+
+        Damaged snapshots are *skipped* (not quarantined -- this is a
+        read-only derivation; :meth:`recover` does the repairs).  The
+        incremental manifest maintained across publishes must always
+        equal this rebuild -- the property the snapshot test suite
+        checks.
+        """
+        namespace = _validate_namespace(namespace)
+        ns_dir = self._dir(namespace)
+        entries = []
+        for version in self._listed_versions(ns_dir):
+            path = ns_dir / _snapshot_name(version)
+            try:
+                header = verify_snapshot(path)
+            except SnapshotError:
+                continue
+            if header.version != version:
+                continue
+            entries.append(_manifest_entry(header, path.stat().st_size))
+        return {"format": 1, "namespace": namespace, "versions": entries}
+
+    def manifest(self, namespace: str) -> dict:
+        """The namespace's manifest as stored (rebuilt if unreadable)."""
+        ns_dir = self._dir(namespace)
+        stored = self._read_manifest(ns_dir)
+        if stored is None:
+            stored = self.build_manifest(namespace)
+        return stored
+
+    # -- publish -----------------------------------------------------------
+
+    def _stage(self, stage: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(stage)
+
+    def publish(
+        self,
+        model: RatioRuleModel,
+        *,
+        namespace: str = DEFAULT_NAMESPACE,
+        meta: Optional[dict] = None,
+    ) -> StoredSnapshot:
+        """Durably publish ``model`` as the namespace's next version.
+
+        The store assigns the version number (one past the highest
+        version *name* present, so a damaged-but-present file is never
+        overwritten), writes and fsyncs a temp file, atomically renames
+        it into place, fsyncs the directory, then updates the manifest
+        and runs retention GC.  Concurrent publishers to the same
+        namespace are serialized by the on-disk lock; a publisher that
+        dies at any point leaves either no new version or a complete
+        one -- never a torn final file.
+        """
+        if model.rules_ is None or model.schema_ is None:
+            raise ValueError("only fitted models can be published")
+        namespace = _validate_namespace(namespace)
+        ns_dir = self._dir(namespace)
+        ns_dir.mkdir(parents=True, exist_ok=True)
+        started = time.perf_counter()
+        with self._publish_lock(ns_dir):
+            listed = self._listed_versions(ns_dir)
+            version = (listed[-1] + 1) if listed else 1
+            created_at = time.time()
+            data = encode_snapshot(
+                model, version=version, created_at=created_at, meta=meta
+            )
+            tmp = ns_dir / f"tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}.rrs"
+            final = ns_dir / _snapshot_name(version)
+            try:
+                with open(tmp, "wb") as handle:
+                    # Two writes around the stage hook so an injected
+                    # crash here leaves a *torn* temp file on disk.
+                    handle.write(data[: len(data) // 2])
+                    handle.flush()
+                    self._stage("snapshot-temp")
+                    handle.write(data[len(data) // 2:])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._stage("snapshot-rename")
+                os.replace(tmp, final)
+                _fsync_dir(ns_dir)
+                self._stage("manifest-update")
+                manifest = self._read_manifest(ns_dir)
+                if manifest is None:
+                    manifest = self.build_manifest(namespace)
+                    if len(manifest["versions"]) > 1:
+                        # More than just our fresh publish: a real
+                        # manifest was lost, not merely never written.
+                        self.metrics.record_manifest_rebuild()
+                else:
+                    # Derive the incremental entry from the file just
+                    # renamed into place, exactly like a rebuild would,
+                    # so incremental and rebuilt manifests are equal.
+                    header = verify_snapshot(final)
+                    entries = [
+                        e
+                        for e in manifest["versions"]
+                        if e.get("version") != version
+                    ]
+                    entries.append(
+                        _manifest_entry(header, final.stat().st_size)
+                    )
+                    entries.sort(key=lambda e: e["version"])
+                    manifest = {
+                        "format": 1,
+                        "namespace": namespace,
+                        "versions": entries,
+                    }
+                manifest = self._gc_locked(namespace, ns_dir, manifest)
+                self._write_manifest(ns_dir, manifest)
+            finally:
+                # On an in-process failure, clear our own debris; a
+                # killed process cannot run this -- recovery quarantines
+                # its temp instead.
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        stored = StoredSnapshot(
+            namespace=namespace,
+            version=version,
+            fingerprint=model.fingerprint(),
+            created_at=created_at,
+            payload_bytes=len(data) - self._payload_offset(data),
+            file_bytes=len(data),
+            path=final,
+            meta=dict(meta or {}),
+        )
+        self.metrics.record_publish(
+            n_bytes=len(data), seconds=time.perf_counter() - started
+        )
+        self._cache_put(stored, model)
+        return stored
+
+    @staticmethod
+    def _payload_offset(data: bytes) -> int:
+        from repro.store.snapshot import _LENGTH_STRUCT, MAGIC
+
+        (header_len,) = _LENGTH_STRUCT.unpack(
+            data[len(MAGIC): len(MAGIC) + _LENGTH_STRUCT.size]
+        )
+        return len(MAGIC) + _LENGTH_STRUCT.size + header_len
+
+    # -- warm cache --------------------------------------------------------
+
+    def _cache_put(
+        self, stored: StoredSnapshot, model: RatioRuleModel
+    ) -> None:
+        if self.cache_entries == 0:
+            return
+        key = (stored.namespace, stored.version)
+        with self._cache_lock:
+            self._cache[key] = (stored, model)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_entries:
+                self._cache.popitem(last=False)
+                self.metrics.record_cache_eviction()
+
+    def _cache_get(
+        self, namespace: str, version: int
+    ) -> Optional[Tuple[StoredSnapshot, RatioRuleModel]]:
+        key = (namespace, version)
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                self.metrics.record_cache_miss()
+                return None
+            self._cache.move_to_end(key)
+        self.metrics.record_cache_hit()
+        return entry
+
+    def _cache_purge(self, namespace: str, versions: List[int]) -> None:
+        doomed = {(namespace, version) for version in versions}
+        with self._cache_lock:
+            for key in list(self._cache):
+                if key in doomed:
+                    del self._cache[key]
+
+    # -- reading -----------------------------------------------------------
+
+    def latest_version(self, namespace: str) -> int:
+        """Newest complete version (0 when the namespace is empty).
+
+        The cheap path trusts the manifest when it agrees with the
+        directory listing -- one small JSON read, suitable for polling.
+        Any disagreement (an unindexed publish, a vanished file, no
+        manifest at all) falls through to a full :meth:`recover`.
+        """
+        namespace = _validate_namespace(namespace)
+        ns_dir = self._dir(namespace)
+        listed = self._listed_versions(ns_dir)
+        if not listed:
+            return 0
+        manifest = self._read_manifest(ns_dir)
+        if manifest is not None:
+            indexed = [
+                int(e["version"])
+                for e in manifest["versions"]
+                if isinstance(e, dict) and "version" in e
+            ]
+            if indexed and sorted(indexed) == listed:
+                return max(indexed)
+        stored = self.recover(namespace)
+        return 0 if stored is None else stored.version
+
+    def versions(self, namespace: str) -> List[int]:
+        """Complete versions on record for the namespace, ascending."""
+        return sorted(
+            int(e["version"]) for e in self.manifest(namespace)["versions"]
+        )
+
+    def load(
+        self, namespace: str = DEFAULT_NAMESPACE, version: Optional[int] = None
+    ) -> Tuple[StoredSnapshot, RatioRuleModel]:
+        """Hydrate one version (latest by default) through the warm cache.
+
+        Disk reads are fully verified (structure *and* fingerprint); a
+        damaged latest snapshot triggers one :meth:`recover` pass and a
+        retry against whatever recovery promoted, so a reader never
+        fails because of a single quarantinable file.
+        """
+        namespace = _validate_namespace(namespace)
+        explicit = version is not None
+        if version is None:
+            version = self.latest_version(namespace)
+            if version == 0:
+                raise StoreError(
+                    f"namespace {namespace!r} has no published versions"
+                )
+        cached = self._cache_get(namespace, version)
+        if cached is not None:
+            return cached
+        path = self._dir(namespace) / _snapshot_name(version)
+        started = time.perf_counter()
+        try:
+            header, model = load_snapshot(path)
+        except SnapshotError:
+            stored = self.recover(namespace)
+            if explicit or stored is None or stored.version == version:
+                # An explicitly requested version is never substituted
+                # with a different one, and recovery cannot replace a
+                # damaged version with a healthy copy of itself --
+                # surface the damage either way.
+                raise
+            return self.load(namespace, stored.version)
+        self.metrics.record_load(seconds=time.perf_counter() - started)
+        stored = StoredSnapshot(
+            namespace=namespace,
+            version=header.version,
+            fingerprint=header.fingerprint,
+            created_at=header.created_at,
+            payload_bytes=header.payload_bytes,
+            file_bytes=path.stat().st_size,
+            path=path,
+            meta=dict(header.meta),
+        )
+        self._cache_put(stored, model)
+        return stored, model
+
+    # -- recovery ----------------------------------------------------------
+
+    def _quarantine(self, ns_dir: Path, path: Path, reason: str) -> None:
+        """Move a damaged file aside -- never delete it."""
+        quarantine = ns_dir / _QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        target = quarantine / f"{path.name}.{reason}"
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine / f"{path.name}.{reason}.{suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced with another recoverer
+            return
+        self.metrics.record_quarantine()
+
+    def recover(self, namespace: str) -> Optional[StoredSnapshot]:
+        """Verify a namespace end to end; returns its latest version.
+
+        Every snapshot file is fully verified; torn, truncated,
+        corrupted, or misnamed files move to ``quarantine/``, as do
+        temp files abandoned by dead publishers (a *live* publisher's
+        temp is left alone).  The manifest is rewritten whenever it
+        disagrees with the verified listing.  Runs under the namespace
+        publish lock so it cannot race an in-flight publish.
+        """
+        namespace = _validate_namespace(namespace)
+        ns_dir = self._dir(namespace)
+        if not ns_dir.is_dir():
+            return None
+        self.metrics.record_recovery()
+        with self._publish_lock(ns_dir):
+            entries = []
+            for version in self._listed_versions(ns_dir):
+                path = ns_dir / _snapshot_name(version)
+                try:
+                    header = verify_snapshot(path)
+                except SnapshotError:
+                    self._quarantine(ns_dir, path, "damaged")
+                    continue
+                if header.version != version:
+                    self._quarantine(ns_dir, path, "misnamed")
+                    continue
+                entries.append(
+                    _manifest_entry(header, path.stat().st_size)
+                )
+            for name in sorted(os.listdir(ns_dir)):
+                match = _TEMP_RE.match(name)
+                if match and not _pid_alive(int(match.group(1))):
+                    self._quarantine(ns_dir, ns_dir / name, "abandoned")
+            rebuilt = {
+                "format": 1,
+                "namespace": namespace,
+                "versions": entries,
+            }
+            if self._read_manifest(ns_dir) != rebuilt:
+                self._write_manifest(ns_dir, rebuilt)
+                self.metrics.record_manifest_rebuild()
+        if not entries:
+            return None
+        newest = entries[-1]
+        return StoredSnapshot(
+            namespace=namespace,
+            version=int(newest["version"]),
+            fingerprint=str(newest["fingerprint"]),
+            created_at=float(newest["created_at"]),
+            payload_bytes=int(newest["payload_bytes"]),
+            file_bytes=int(newest["file_bytes"]),
+            path=ns_dir / str(newest["file"]),
+            meta=dict(newest["meta"]),
+        )
+
+    def recover_all(self) -> Dict[str, Optional[StoredSnapshot]]:
+        """Run :meth:`recover` over every namespace (cold start)."""
+        return {
+            namespace: self.recover(namespace)
+            for namespace in self.namespaces()
+        }
+
+    # -- retention ---------------------------------------------------------
+
+    def _gc_locked(
+        self, namespace: str, ns_dir: Path, manifest: dict
+    ) -> dict:
+        """Apply retention to ``manifest`` (lock already held)."""
+        entries = sorted(
+            manifest["versions"], key=lambda e: int(e["version"])
+        )
+        keep = list(entries)
+        doomed: List[dict] = []
+        if self.keep_last is not None and len(keep) > self.keep_last:
+            doomed.extend(keep[: -self.keep_last])
+            keep = keep[-self.keep_last:]
+        if self.max_bytes is not None:
+            total = sum(int(e["file_bytes"]) for e in keep)
+            # The newest (current) entry survives even when it alone
+            # blows the byte budget.
+            while len(keep) > 1 and total > self.max_bytes:
+                entry = keep.pop(0)
+                total -= int(entry["file_bytes"])
+                doomed.append(entry)
+        if not doomed:
+            return {**manifest, "versions": keep}
+        reclaimed = 0
+        removed: List[int] = []
+        for entry in doomed:
+            path = ns_dir / str(entry["file"])
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                continue
+            reclaimed += size
+            removed.append(int(entry["version"]))
+        self._cache_purge(namespace, removed)
+        self.metrics.record_gc(
+            n_removed=len(removed), reclaimed_bytes=reclaimed
+        )
+        return {**manifest, "versions": keep}
+
+    def gc(self, namespace: str) -> List[int]:
+        """Run retention now; returns the versions removed."""
+        namespace = _validate_namespace(namespace)
+        ns_dir = self._dir(namespace)
+        if not ns_dir.is_dir():
+            return []
+        with self._publish_lock(ns_dir):
+            manifest = self._read_manifest(ns_dir)
+            if manifest is None:
+                manifest = self.build_manifest(namespace)
+            before = {
+                int(e["version"]) for e in manifest["versions"]
+            }
+            manifest = self._gc_locked(namespace, ns_dir, manifest)
+            after = {int(e["version"]) for e in manifest["versions"]}
+            self._write_manifest(ns_dir, manifest)
+        return sorted(before - after)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelStore(root={str(self.root)!r}, "
+            f"namespaces={len(self.namespaces())})"
+        )

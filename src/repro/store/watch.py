@@ -1,0 +1,136 @@
+"""Store-watch replication: poll a shared store, hot-swap on publish.
+
+N serving processes mount one store directory; exactly one of them (or
+an offline pipeline) publishes.  Everyone else runs a
+:class:`StoreWatcher`: a daemon thread that periodically calls
+:meth:`~repro.serve.ModelRegistry.sync` on each watched registry, which
+compares the store's latest durable version against the registry's
+in-memory one and atomically hot-swaps when the store is ahead.
+
+Torn reads are impossible by construction, twice over: the store's
+publish protocol means a *complete* snapshot file is the only thing a
+reader can ever open (write-temp-fsync-rename), and the registry's swap
+is a single reference assignment of an immutable
+:class:`~repro.serve.PublishedModel` -- in-flight requests keep the
+snapshot they started with.
+
+The polling transport is deliberately stdlib-only (one small JSON
+manifest read per namespace per tick); swap detection latency is
+bounded by ``interval``.  :meth:`StoreWatcher.poll_now` runs one
+synchronous tick for deterministic tests and manual nudges.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Callable, Iterable, List, Union
+
+__all__ = ["StoreWatcher"]
+
+_logger = logging.getLogger(__name__)
+
+#: Things the watcher accepts: one registry, a list of them, or a
+#: callable producing the current list each tick (for servers that
+#: create tenant registries lazily).
+RegistrySource = Union[object, Iterable, Callable[[], Iterable]]
+
+
+class StoreWatcher:
+    """Poll-driven replication: keep registries synced to their store.
+
+    Parameters
+    ----------
+    registries:
+        A single registry, an iterable of registries, or a zero-arg
+        callable returning the current iterable (re-evaluated every
+        tick, so lazily created tenant registries join automatically).
+        Anything with a ``sync() -> bool`` method qualifies.
+    interval:
+        Seconds between polls.
+
+    Examples
+    --------
+    >>> from repro.serve import ModelRegistry          # doctest: +SKIP
+    >>> from repro.store import ModelStore, StoreWatcher
+    >>> registry = ModelRegistry(store=ModelStore("/tmp/models"))
+    ...                                                # doctest: +SKIP
+    >>> watcher = StoreWatcher(registry, interval=0.2)  # doctest: +SKIP
+    >>> watcher.start()                                # doctest: +SKIP
+    """
+
+    def __init__(
+        self, registries: RegistrySource, *, interval: float = 0.25
+    ) -> None:
+        if interval <= 0.0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._source = registries
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    def _registries(self) -> List:
+        source = self._source
+        if callable(source):
+            return list(source())
+        if hasattr(source, "sync"):
+            return [source]
+        return list(source)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> None:
+        """Start the polling thread (refuses a double start)."""
+        if self._thread is not None:
+            raise RuntimeError("StoreWatcher already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-store-watcher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop polling; idempotent."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "StoreWatcher":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- polling -----------------------------------------------------------
+
+    def poll_now(self) -> int:
+        """One synchronous sync pass; returns how many registries swapped.
+
+        A registry whose sync fails (store briefly unreadable, lock
+        contention) is logged and skipped -- the next tick retries, and
+        the registry keeps serving its current version meanwhile.
+        """
+        swapped = 0
+        for registry in self._registries():
+            try:
+                if registry.sync():
+                    swapped += 1
+            except Exception:
+                _logger.exception(
+                    "store sync failed for %r; keeping current version",
+                    registry,
+                )
+        return swapped
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.poll_now()

@@ -15,6 +15,7 @@ dependency-free and safe to ship.
 from repro.testing.faults import (
     FaultInjector,
     InjectedFault,
+    StoreFaultInjector,
     corrupted_bytes,
     truncated_file,
 )
@@ -22,6 +23,7 @@ from repro.testing.faults import (
 __all__ = [
     "FaultInjector",
     "InjectedFault",
+    "StoreFaultInjector",
     "corrupted_bytes",
     "truncated_file",
 ]

@@ -43,6 +43,7 @@ from typing import Dict, Iterator, Optional, Union
 __all__ = [
     "InjectedFault",
     "FaultInjector",
+    "StoreFaultInjector",
     "corrupted_bytes",
     "truncated_file",
 ]
@@ -147,6 +148,74 @@ class FaultInjector:
             raise InjectedFault(
                 f"injected failure (chunk {chunk_index}, attempt {attempt})"
             )
+
+
+class StoreFaultInjector(FaultInjector):
+    """Fault plan for the model store's publish protocol.
+
+    :meth:`repro.store.ModelStore.publish` invokes its ``fault_hook``
+    at three named stages; this injector maps each stage onto one
+    "chunk" of the base :class:`FaultInjector`, inheriting its exact
+    cross-process attempt accounting and its kill/fail/slow semantics.
+    Pass it as the store's hook::
+
+        injector = StoreFaultInjector(state_dir, kill={"snapshot-rename": 1})
+        store = ModelStore(root, fault_hook=injector.on_publish_stage)
+
+    A publish running in a worker process then dies with ``os._exit``
+    precisely between writing the complete temp file and renaming it --
+    the crash the recovery walk must survive.  Stage names accepted in
+    ``fail`` / ``kill`` / ``slow`` plans and by :meth:`stage_attempts`:
+    :data:`STAGES`.
+    """
+
+    #: Publish stages, in protocol order (mirrors
+    #: ``repro.store.PUBLISH_STAGES``; duplicated so the testing
+    #: package stays import-independent from the production code).
+    STAGES = ("snapshot-temp", "snapshot-rename", "manifest-update")
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        *,
+        fail: Optional[Dict[str, int]] = None,
+        kill: Optional[Dict[str, int]] = None,
+        slow: Optional[Dict[str, float]] = None,
+        slow_attempts: int = 1,
+    ) -> None:
+        super().__init__(
+            state_dir,
+            fail=self._by_index(fail),
+            kill=self._by_index(kill),
+            slow=self._by_index(slow),
+            slow_attempts=slow_attempts,
+        )
+
+    @classmethod
+    def _stage_index(cls, stage: str) -> int:
+        try:
+            return cls.STAGES.index(stage)
+        except ValueError:
+            raise ValueError(
+                f"unknown publish stage {stage!r}; expected one of "
+                f"{cls.STAGES}"
+            ) from None
+
+    @classmethod
+    def _by_index(cls, plan: Optional[Dict[str, float]]) -> Optional[dict]:
+        if plan is None:
+            return None
+        return {
+            cls._stage_index(stage): value for stage, value in plan.items()
+        }
+
+    def on_publish_stage(self, stage: str) -> None:
+        """The hook the store calls; applies the plan for ``stage``."""
+        self.on_chunk_start(self._stage_index(stage))
+
+    def stage_attempts(self, stage: str) -> int:
+        """Attempts recorded for a stage (across all processes)."""
+        return self.attempts(self._stage_index(stage))
 
 
 @contextmanager

@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     ScanMetrics,
     ServeHttpMetrics,
     ServeMetrics,
+    StoreMetrics,
 )
 
 pytestmark = pytest.mark.obs
@@ -163,11 +164,35 @@ def serve_http_records():
     )
 
 
+def store_records():
+    return st.builds(
+        StoreMetrics,
+        n_publishes=_counts,
+        publish_bytes=_counts,
+        n_loads=_counts,
+        n_cache_hits=_counts,
+        n_cache_misses=_counts,
+        n_cache_evictions=_counts,
+        n_recoveries=_counts,
+        n_quarantined=_counts,
+        n_manifest_rebuilds=_counts,
+        n_gc_removed=_counts,
+        gc_reclaimed_bytes=_counts,
+        n_sync_checks=_counts,
+        n_sync_swaps=_counts,
+        n_lock_breaks=_counts,
+        publish_seconds=_seconds,
+        load_seconds=_seconds,
+        extras=_extras,
+    )
+
+
 _RECORD_STRATEGIES = {
     ScanMetrics: scan_records,
     PipelineMetrics: pipeline_records,
     ServeMetrics: serve_records,
     ServeHttpMetrics: serve_http_records,
+    StoreMetrics: store_records,
 }
 
 #: Exhaustive merge classification.  Every dataclass field must appear
@@ -198,6 +223,13 @@ _SUMMED = {
         "n_rows_coalesced", "n_shed_queue_full", "n_expired", "n_errors",
         "n_bad_requests", "coalesce_seconds",
     ),
+    StoreMetrics: (
+        "n_publishes", "publish_bytes", "n_loads", "n_cache_hits",
+        "n_cache_misses", "n_cache_evictions", "n_recoveries",
+        "n_quarantined", "n_manifest_rebuilds", "n_gc_removed",
+        "gc_reclaimed_bytes", "n_sync_checks", "n_sync_swaps",
+        "n_lock_breaks", "publish_seconds", "load_seconds",
+    ),
 }
 _RECEIVER_KEPT = {
     ScanMetrics: ("executor", "n_workers", "accumulate_dtype"),
@@ -208,18 +240,21 @@ _RECEIVER_KEPT = {
     ),
     ServeMetrics: (),
     ServeHttpMetrics: ("queue_depth",),
+    StoreMetrics: (),
 }
 _CONCATENATED = {
     ScanMetrics: ("quarantined",),
     PipelineMetrics: (),
     ServeMetrics: ("group_sizes", "batch_latencies"),
     ServeHttpMetrics: ("flush_sizes", "coalesce_waits"),
+    StoreMetrics: (),
 }
 _KEY_SUMMED = {
     ScanMetrics: ("extras",),
     PipelineMetrics: ("refresh_reasons", "extras"),
     ServeMetrics: ("extras",),
     ServeHttpMetrics: ("extras",),
+    StoreMetrics: ("extras",),
 }
 #: High-water-mark gauges: merge takes the max (associative, and the
 #: default 0 is its identity on the non-negative draws above).
@@ -228,9 +263,16 @@ _MAXED = {
     PipelineMetrics: (),
     ServeMetrics: (),
     ServeHttpMetrics: ("queue_depth_peak",),
+    StoreMetrics: (),
 }
 
-_RECORD_TYPES = [ScanMetrics, PipelineMetrics, ServeMetrics, ServeHttpMetrics]
+_RECORD_TYPES = [
+    ScanMetrics,
+    PipelineMetrics,
+    ServeMetrics,
+    ServeHttpMetrics,
+    StoreMetrics,
+]
 _record_params = pytest.mark.parametrize(
     "record_type", _RECORD_TYPES, ids=lambda t: t.__name__
 )

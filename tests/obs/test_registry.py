@@ -18,6 +18,7 @@ from repro.obs.metrics import (
     ScanMetrics,
     ServeHttpMetrics,
     ServeMetrics,
+    StoreMetrics,
 )
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -30,6 +31,7 @@ from repro.obs.registry import (
     register_scan_metrics,
     register_serve_http_metrics,
     register_serve_metrics,
+    register_store_metrics,
 )
 
 pytestmark = pytest.mark.obs
@@ -207,6 +209,8 @@ class TestAdapterValidation:
             (register_pipeline_metrics, ScanMetrics()),
             (register_serve_http_metrics, None),
             (register_serve_http_metrics, ServeMetrics()),
+            (register_store_metrics, None),
+            (register_store_metrics, ServeMetrics()),
         ],
     )
     def test_wrong_record_rejected_eagerly(self, register, wrong):
@@ -393,5 +397,52 @@ class TestServeHttpAdapter:
 
     def test_returned_collector_can_be_unregistered(self, registry):
         collector = register_serve_http_metrics(registry, ServeHttpMetrics())
+        registry.unregister_collector(collector)
+        assert registry.collect() == []
+
+
+class TestStoreAdapter:
+    def _populated(self) -> StoreMetrics:
+        return StoreMetrics(
+            n_publishes=3,
+            publish_bytes=4096,
+            n_loads=7,
+            n_cache_hits=6,
+            n_cache_misses=2,
+            n_cache_evictions=1,
+            n_recoveries=1,
+            n_quarantined=1,
+            n_manifest_rebuilds=1,
+            n_gc_removed=2,
+            gc_reclaimed_bytes=1024,
+            n_sync_checks=9,
+            n_sync_swaps=4,
+            n_lock_breaks=1,
+            publish_seconds=0.5,
+            load_seconds=0.25,
+            extras={"note": "hi"},
+        )
+
+    def test_every_field_exported(self, registry):
+        metrics = self._populated()
+        register_store_metrics(registry, metrics)
+        _assert_every_field_exported(
+            metrics, registry.collect(), "repro_store"
+        )
+
+    def test_derived_cache_hit_rate_gauge(self, registry):
+        register_store_metrics(registry, self._populated())
+        index = _family_index(registry.collect())
+        assert index["repro_store_cache_hit_rate"].samples[0].value == 0.75
+
+    def test_live_record_reflects_updates(self, registry):
+        store_metrics = StoreMetrics()
+        register_store_metrics(registry, store_metrics)
+        store_metrics.n_publishes = 5
+        index = _family_index(registry.collect())
+        assert index["repro_store_n_publishes"].samples[0].value == 5.0
+
+    def test_returned_collector_can_be_unregistered(self, registry):
+        collector = register_store_metrics(registry, StoreMetrics())
         registry.unregister_collector(collector)
         assert registry.collect() == []

@@ -1,0 +1,196 @@
+"""Tenant-addressable HTTP serving over a mounted model store.
+
+With a :class:`~repro.store.ModelStore` mounted, one
+:class:`~repro.serve.http.HttpApiServer` serves every namespace in the
+store: the bare ``/v1/*`` routes hit the default tenant, the
+``/v1/tenants/<tenant>/*`` routes hit any other (created lazily, each
+with its own registry + operator cache so versions from different
+tenants can never collide in a cache key), and a store watcher adopts
+publishes made by other processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchFiller, ModelRegistry
+from repro.serve.http import HttpApiServer
+from repro.store import ModelStore
+
+from tests.serve.conftest import http_get, http_post
+from tests.store.conftest import make_model
+
+pytestmark = [pytest.mark.serve, pytest.mark.store]
+
+
+def _row(model) -> list:
+    row = [2.0] * len(model.schema_.names)
+    row[-1] = None
+    return row
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ModelStore(tmp_path / "store")
+    store.publish(make_model(0), namespace="acme/sales")
+    store.publish(make_model(1), namespace="globex")
+    return store
+
+
+@pytest.fixture
+def api(store):
+    server = HttpApiServer(
+        store=store, tenant="acme/sales", port=0, watch_interval=0.02
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestRouting:
+    def test_default_routes_serve_the_default_tenant(self, api, store):
+        _, model = store.load("acme/sales")
+        status, body, _ = http_post(
+            api.url + "/v1/fill", {"row": _row(model), "timeout_ms": 2000}
+        )
+        assert status == 200
+        assert body["fingerprint"] == model.fingerprint()
+        # The explicit tenant path answers identically.
+        status, explicit, _ = http_post(
+            api.url + "/v1/tenants/acme/sales/fill",
+            {"row": _row(model), "timeout_ms": 2000},
+        )
+        assert status == 200
+        assert explicit["filled"] == body["filled"]
+
+    def test_tenant_routes_serve_their_own_models(self, api, store):
+        _, globex = store.load("globex")
+        status, body, _ = http_post(
+            api.url + "/v1/tenants/globex/fill",
+            {"row": _row(globex), "timeout_ms": 2000},
+        )
+        assert status == 200
+        assert body["fingerprint"] == globex.fingerprint()
+        offline = BatchFiller(globex).fill_batch(
+            np.array([[2.0] * (len(globex.schema_.names) - 1) + [np.nan]])
+        )
+        assert body["filled"] == [float(v) for v in offline.filled[0]]
+
+    def test_unknown_tenant_is_404(self, api):
+        status, body, _ = http_post(
+            api.url + "/v1/tenants/nobody/fill",
+            {"row": [1.0, None, None], "timeout_ms": 2000},
+        )
+        assert status == 404
+        assert "nobody" in body["error"]
+
+    def test_invalid_tenant_name_is_400(self, api):
+        status, body, _ = http_post(
+            api.url + "/v1/tenants/..%2fescape/fill",
+            {"row": [1.0, None, None], "timeout_ms": 2000},
+        )
+        assert status in (400, 404)
+
+    def test_tenant_listing(self, api):
+        status, body, _ = http_get(api.url + "/v1/tenants")
+        assert status == 200
+        assert body["default"] == "acme/sales"
+        names = {entry["name"] for entry in body["tenants"]}
+        assert {"acme/sales", "globex"} <= names
+        for entry in body["tenants"]:
+            assert entry["version"] == 1
+
+    def test_tenant_models_endpoint(self, api, store):
+        _, globex = store.load("globex")
+        status, body, _ = http_get(api.url + "/v1/tenants/globex/models")
+        assert status == 200
+        assert body["tenant"] == "globex"
+        assert body["current"]["version"] == 1
+        assert body["current"]["fingerprint"] == globex.fingerprint()
+        status, body, _ = http_get(api.url + "/v1/tenants/nobody/models")
+        assert status == 404
+
+    def test_storeless_server_has_no_tenant_routes(self):
+        server = HttpApiServer(make_model(0), port=0)
+        server.start()
+        try:
+            status, _, _ = http_get(server.url + "/v1/tenants")
+            assert status == 404
+            status, _, _ = http_post(
+                server.url + "/v1/tenants/x/fill",
+                {"row": [1.0, None, None], "timeout_ms": 2000},
+            )
+            assert status == 404
+        finally:
+            server.stop()
+
+
+class TestLifecycle:
+    def test_late_published_tenant_becomes_servable(self, api, store):
+        newcomer = make_model(2)
+        store.publish(newcomer, namespace="newco")
+        status, body, _ = http_post(
+            api.url + "/v1/tenants/newco/fill",
+            {"row": _row(newcomer), "timeout_ms": 2000},
+        )
+        assert status == 200
+        assert body["fingerprint"] == newcomer.fingerprint()
+        # And it shows up in the listing.
+        _, listing, _ = http_get(api.url + "/v1/tenants")
+        assert "newco" in {entry["name"] for entry in listing["tenants"]}
+
+    def test_watcher_hot_swaps_remote_publishes(self, api, store):
+        import time
+
+        other_process = ModelStore(store.root)  # separate store handle
+        swapped = make_model(5)
+        other_process.publish(swapped, namespace="globex")
+        deadline = time.time() + 10.0
+        version = 0
+        while time.time() < deadline:
+            _, body, _ = http_get(api.url + "/v1/tenants/globex/models")
+            version = body["current"]["version"]
+            if version == 2:
+                break
+            time.sleep(0.02)
+        assert version == 2
+        assert body["current"]["fingerprint"] == swapped.fingerprint()
+
+    def test_source_model_is_published_into_the_store(self, tmp_path):
+        # Booting with BOTH a source model and an empty store seeds the
+        # default tenant durably -- a restart without the model file
+        # serves the same fingerprint.
+        model = make_model(0)
+        server = HttpApiServer(
+            model, store=ModelStore(tmp_path), tenant="seeded", port=0
+        )
+        try:
+            assert server.registry.current().version == 1
+        finally:
+            server.stop()
+        revived = ModelRegistry(
+            store=ModelStore(tmp_path), namespace="seeded"
+        )
+        assert revived.current().fingerprint == model.fingerprint()
+
+    def test_same_fingerprint_is_not_republished(self, tmp_path):
+        model = make_model(0)
+        store = ModelStore(tmp_path)
+        for _ in range(2):
+            server = HttpApiServer(
+                model, store=store, tenant="seeded", port=0
+            )
+            server.stop()
+        assert store.versions("seeded") == [1]
+
+    def test_store_validation(self, tmp_path, store):
+        with pytest.raises(ValueError, match="source, a store, or both"):
+            HttpApiServer(port=0)
+        with pytest.raises(ValueError, match="tenant routing requires"):
+            HttpApiServer(make_model(0), tenant="acme", port=0)
+        with pytest.raises(ValueError, match="watch_interval"):
+            HttpApiServer(store=store, port=0, watch_interval=-1.0)
+        registry = ModelRegistry(make_model(0))
+        with pytest.raises(ValueError, match="must be the server's store"):
+            HttpApiServer(registry, store=store, port=0)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the durable model-store suite.
+
+``make_model`` builds small fitted models deterministically from a
+seed: the same seed always yields byte-identical learned arrays (the
+fit is a deterministic pipeline), which is what lets crash tests in
+*other processes* rebuild the exact model the parent expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+
+
+def make_model(
+    seed: int = 0, n_cols: int = 3, n_rows: int = 24
+) -> RatioRuleModel:
+    """A small fitted model, deterministic per (seed, shape)."""
+    loadings = 1.0 + (np.arange(n_cols) + seed % 7) * 0.5
+    rows = np.arange(1.0, n_rows + 1.0) + seed * 3.0
+    matrix = np.outer(rows, loadings)
+    matrix[:, 0] += (seed % 5) * 0.25  # break exact collinearity a bit
+    return RatioRuleModel(cutoff=1).fit(matrix)
+
+
+@pytest.fixture
+def model() -> RatioRuleModel:
+    return make_model(0)
+
+
+@pytest.fixture
+def store(tmp_path):
+    from repro.store import ModelStore
+
+    return ModelStore(tmp_path / "store")

@@ -1,0 +1,267 @@
+"""Crash-consistency proofs for the durable model store.
+
+The store's contract is that a publisher killed at *any* point leaves
+the namespace serving a complete version -- the new one if the rename
+happened, the previous one otherwise -- and that every piece of damage
+is quarantined, never silently deleted.  Two attack surfaces:
+
+* **Process kills** (the ``faults``-marked tests): a real child
+  process publishes with a :class:`~repro.testing.StoreFaultInjector`
+  wired to ``os._exit`` at one of the three protocol stages
+  (``snapshot-temp``, ``snapshot-rename``, ``manifest-update``); the
+  parent then recovers the directory the corpse left behind.
+* **Byte-level damage**: torn, truncated, and corrupted snapshot
+  files produced with the :mod:`repro.testing` damage helpers; the
+  recovery walk must serve the latest *complete* version
+  byte-identically and preserve the damaged bytes in quarantine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    DEFAULT_NAMESPACE,
+    ModelStore,
+    SnapshotError,
+    verify_snapshot,
+)
+from repro.testing import StoreFaultInjector, corrupted_bytes, truncated_file
+
+from tests.store.conftest import make_model
+
+pytestmark = pytest.mark.store
+
+STAGES = ("snapshot-temp", "snapshot-rename", "manifest-update")
+
+
+def _crash_publish(root: str, state_dir: str, seed: int, stage: str) -> None:
+    """Child-process body: publish one model, die mid-publish."""
+    injector = StoreFaultInjector(state_dir, kill={stage: 1})
+    store = ModelStore(root, fault_hook=injector.on_publish_stage)
+    store.publish(make_model(seed))
+
+
+def _run_crashing_publish(root, state_dir, seed: int, stage: str) -> None:
+    """Spawn a publisher child and assert it died at the injection."""
+    context = multiprocessing.get_context("spawn")
+    child = context.Process(
+        target=_crash_publish,
+        args=(str(root), str(state_dir), seed, stage),
+    )
+    child.start()
+    child.join(timeout=60.0)
+    assert child.exitcode == 13, f"publisher survived stage {stage!r}"
+
+
+class TestKilledPublisher:
+    """One real process kill per protocol stage, then recovery."""
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_recovery_after_kill(self, tmp_path, stage):
+        root = tmp_path / "store"
+        seeded = make_model(0)
+        survivor = ModelStore(root).publish(seeded)
+        pristine_v1 = survivor.path.read_bytes()
+
+        _run_crashing_publish(root, tmp_path / "faults", 1, stage)
+
+        # The corpse left its publish lock behind; recovery must break
+        # it (the owner pid is provably dead) and proceed.
+        ns_dir = root / DEFAULT_NAMESPACE
+        assert (ns_dir / ".publish.lock").exists()
+
+        fresh = ModelStore(root)  # a restarted serving process
+        recovered = fresh.recover(DEFAULT_NAMESPACE)
+        assert fresh.metrics.n_lock_breaks == 1
+        assert not (ns_dir / ".publish.lock").exists()
+
+        if stage == "manifest-update":
+            # The rename happened: version 2 is complete on disk and
+            # only the manifest was stale -- the crash must NOT lose
+            # the publish.
+            assert recovered.version == 2
+            _, served = fresh.load()
+            expected = make_model(1)
+            assert served.fingerprint() == expected.fingerprint()
+            np.testing.assert_array_equal(
+                served.rules_.matrix, expected.rules_.matrix
+            )
+        else:
+            # Killed before the rename: the namespace still serves
+            # version 1, byte-identically, and the abandoned temp file
+            # (torn for snapshot-temp, complete for snapshot-rename)
+            # was preserved in quarantine.
+            assert recovered.version == 1
+            assert survivor.path.read_bytes() == pristine_v1
+            _, served = fresh.load()
+            assert served.fingerprint() == seeded.fingerprint()
+            quarantined = list((ns_dir / "quarantine").iterdir())
+            assert len(quarantined) == 1
+            assert quarantined[0].name.endswith(".rrs.abandoned")
+            assert fresh.metrics.n_quarantined == 1
+
+        # Either way the repaired manifest equals a from-scratch
+        # rebuild and no temp debris remains in the namespace dir.
+        assert fresh.manifest(DEFAULT_NAMESPACE) == fresh.build_manifest(
+            DEFAULT_NAMESPACE
+        )
+        assert not [
+            name
+            for name in os.listdir(ns_dir)
+            if name.startswith("tmp-")
+        ]
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("stage", STAGES)
+    def test_publishing_resumes_after_the_crash(self, tmp_path, stage):
+        root = tmp_path / "store"
+        ModelStore(root).publish(make_model(0))
+        _run_crashing_publish(root, tmp_path / "faults", 1, stage)
+
+        fresh = ModelStore(root)
+        fresh.recover(DEFAULT_NAMESPACE)
+        next_stored = fresh.publish(make_model(2))
+        # A crash after the rename durably consumed version 2; before
+        # the rename it did not.  Either way numbering moves forward
+        # and the manifest stays exactly rebuildable.
+        survivors = 2 if stage == "manifest-update" else 1
+        assert next_stored.version == survivors + 1
+        assert fresh.versions(DEFAULT_NAMESPACE) == sorted(
+            {1, next_stored.version} | ({2} if survivors == 2 else set())
+        )
+        assert fresh.manifest(DEFAULT_NAMESPACE) == fresh.build_manifest(
+            DEFAULT_NAMESPACE
+        )
+
+    @pytest.mark.faults
+    def test_injector_counts_attempts_across_processes(self, tmp_path):
+        root = tmp_path / "store"
+        ModelStore(root).publish(make_model(0))
+        injector = StoreFaultInjector(
+            tmp_path / "faults", kill={"snapshot-rename": 1}
+        )
+        _run_crashing_publish(
+            root, tmp_path / "faults", 1, "snapshot-rename"
+        )
+        assert injector.stage_attempts("snapshot-temp") == 1
+        assert injector.stage_attempts("snapshot-rename") == 1
+        assert injector.stage_attempts("manifest-update") == 0
+
+    def test_unknown_stage_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown publish stage"):
+            StoreFaultInjector(tmp_path, kill={"no-such-stage": 1})
+
+
+class TestByteLevelDamage:
+    """Torn / truncated / corrupted finals, via the damage helpers."""
+
+    def _publish_two(self, root):
+        store = ModelStore(root)
+        first = store.publish(make_model(0))
+        second = store.publish(make_model(1))
+        return store, first, second
+
+    def _assert_recovers_v1_and_quarantines(
+        self, root, first, second, damaged_bytes
+    ):
+        reader = ModelStore(root)  # fresh instance: cold cache
+        loaded, served = reader.load()
+        assert loaded.version == first.version
+        assert loaded.fingerprint == first.fingerprint
+        # Byte-identical service of the surviving version.
+        original = make_model(0)
+        np.testing.assert_array_equal(
+            served.rules_.matrix, original.rules_.matrix
+        )
+        np.testing.assert_array_equal(served.means_, original.means_)
+        # The damaged file was moved aside with its bytes intact --
+        # quarantined, never silently deleted.
+        quarantine = root / DEFAULT_NAMESPACE / "quarantine"
+        moved = [
+            p
+            for p in quarantine.iterdir()
+            if p.name.startswith(second.path.name)
+        ]
+        assert len(moved) == 1
+        assert moved[0].read_bytes() == damaged_bytes
+        assert not second.path.exists()
+
+    def test_truncated_snapshot(self, tmp_path):
+        root = tmp_path / "store"
+        _, first, second = self._publish_two(root)
+        with truncated_file(second.path, 16) as path:
+            damaged = path.read_bytes()
+            with pytest.raises(SnapshotError, match="payload is"):
+                verify_snapshot(path)
+        second.path.write_bytes(damaged)  # make the truncation durable
+        self._assert_recovers_v1_and_quarantines(
+            root, first, second, damaged
+        )
+
+    def test_corrupted_snapshot(self, tmp_path):
+        root = tmp_path / "store"
+        _, first, second = self._publish_two(root)
+        offset = second.path.stat().st_size - 32  # deep in the payload
+        with corrupted_bytes(second.path, offset) as path:
+            damaged = path.read_bytes()
+            with pytest.raises(SnapshotError, match="sha256"):
+                verify_snapshot(path)
+        second.path.write_bytes(damaged)
+        self._assert_recovers_v1_and_quarantines(
+            root, first, second, damaged
+        )
+
+    def test_torn_head(self, tmp_path):
+        """Damage at the very front: the file is not even a snapshot."""
+        root = tmp_path / "store"
+        _, first, second = self._publish_two(root)
+        with corrupted_bytes(second.path, 0) as path:
+            damaged = path.read_bytes()
+            with pytest.raises(SnapshotError, match="magic"):
+                verify_snapshot(path)
+        second.path.write_bytes(damaged)
+        self._assert_recovers_v1_and_quarantines(
+            root, first, second, damaged
+        )
+
+
+class TestColdStart:
+    def test_every_tenant_recovers_without_refit(
+        self, tmp_path, monkeypatch
+    ):
+        tenants = ["acme/sales", "acme/ops", "globex"]
+        writer = ModelStore(tmp_path)
+        latest = {}
+        for i, namespace in enumerate(tenants):
+            for seed in (i, i + 10):
+                latest[namespace] = writer.publish(
+                    make_model(seed), namespace=namespace
+                )
+
+        # A refit during recovery would be a contract violation (and a
+        # silent performance cliff): make any fit attempt explode.
+        from repro.core.model import RatioRuleModel
+        from repro.serve import ModelRegistry
+
+        def no_fitting(*args, **kwargs):
+            raise AssertionError("cold start must not refit")
+
+        monkeypatch.setattr(RatioRuleModel, "fit", no_fitting)
+        monkeypatch.setattr(
+            RatioRuleModel, "fit_from_accumulator", no_fitting
+        )
+
+        cold = ModelStore(tmp_path)
+        recovered = cold.recover_all()
+        assert set(recovered) == set(tenants)
+        for namespace in tenants:
+            registry = ModelRegistry(store=cold, namespace=namespace)
+            snapshot = registry.current()
+            assert snapshot.version == latest[namespace].version == 2
+            assert snapshot.fingerprint == latest[namespace].fingerprint

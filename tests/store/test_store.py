@@ -1,0 +1,692 @@
+"""Unit suite for :mod:`repro.store`: format, store, watcher, registry.
+
+The crash-consistency proofs (process kills mid-publish) live in
+``test_crash_consistency.py``; this module covers the same machinery
+in-process -- publish/load round trips, namespace hygiene, the warm
+cache, locking, retention, recovery of hand-damaged files -- plus the
+:class:`~repro.store.StoreWatcher` replication hook and the
+:class:`~repro.serve.ModelRegistry` mount.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry
+from repro.store import (
+    DEFAULT_NAMESPACE,
+    ModelStore,
+    SnapshotError,
+    StoreError,
+    StoreWatcher,
+    decode_model,
+    encode_model,
+    encode_snapshot,
+    load_snapshot,
+    read_header,
+    verify_snapshot,
+)
+from repro.store.snapshot import MAGIC, _LENGTH_STRUCT
+
+from tests.store.conftest import make_model
+
+pytestmark = pytest.mark.store
+
+
+def dead_pid() -> int:
+    """A real pid that is provably no longer alive."""
+    process = subprocess.Popen([sys.executable, "-c", "pass"])
+    process.wait()
+    return process.pid
+
+
+# -- snapshot format -------------------------------------------------------
+
+
+class TestSnapshotFormat:
+    def test_model_round_trip_is_bit_identical(self, model):
+        clone = decode_model(encode_model(model))
+        assert clone.fingerprint() == model.fingerprint()
+        np.testing.assert_array_equal(
+            clone.rules_.matrix, model.rules_.matrix
+        )
+        np.testing.assert_array_equal(clone.means_, model.means_)
+        np.testing.assert_array_equal(
+            clone.eigenvalues_, model.eigenvalues_
+        )
+        assert clone.n_rows_ == model.n_rows_
+        assert clone.total_variance_ == model.total_variance_
+        assert clone.schema_.names == model.schema_.names
+
+    def test_unfitted_model_is_rejected(self):
+        from repro.core.model import RatioRuleModel
+
+        with pytest.raises(ValueError, match="fitted"):
+            encode_model(RatioRuleModel())
+
+    def test_snapshot_header_survives(self, model, tmp_path):
+        data = encode_snapshot(
+            model, version=7, created_at=123.5, meta={"who": "test"}
+        )
+        path = tmp_path / "v00000007.rrs"
+        path.write_bytes(data)
+        header = read_header(path)
+        assert header.version == 7
+        assert header.created_at == 123.5
+        assert header.meta == {"who": "test"}
+        assert header.fingerprint == model.fingerprint()
+        assert verify_snapshot(path) == header
+        loaded_header, loaded = load_snapshot(path)
+        assert loaded_header == header
+        assert loaded.fingerprint() == model.fingerprint()
+
+    def test_version_zero_is_rejected(self, model):
+        with pytest.raises(ValueError, match="version"):
+            encode_snapshot(model, version=0, created_at=0.0)
+
+    def test_decode_garbage_payload(self):
+        with pytest.raises(SnapshotError, match="undecodable"):
+            decode_model(b"this is not an npz archive")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="unreadable"):
+            read_header(tmp_path / "absent.rrs")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            verify_snapshot(tmp_path / "absent.rrs")
+
+    @pytest.mark.parametrize(
+        "mangle, message",
+        [
+            (lambda d: b"NOTSNAP!" + d[8:], "magic"),
+            (lambda d: d[:4], "magic"),
+            (lambda d: d[:10], "truncated before header length"),
+            (
+                lambda d: d[:8] + _LENGTH_STRUCT.pack(2**40) + d[16:],
+                "implausible header length",
+            ),
+            (lambda d: d[:40], "truncated inside header"),
+            (lambda d: d[:-3], "payload is"),
+            (lambda d: d + b"xx", "payload is"),
+            (
+                lambda d: d[:-3] + bytes([d[-3] ^ 0xFF]) + d[-2:],
+                "sha256 mismatch",
+            ),
+        ],
+    )
+    def test_damage_taxonomy(self, model, tmp_path, mangle, message):
+        data = encode_snapshot(model, version=1, created_at=0.0)
+        path = tmp_path / "v00000001.rrs"
+        path.write_bytes(mangle(data))
+        with pytest.raises(SnapshotError, match=message):
+            verify_snapshot(path)
+
+    def _reframe(self, data: bytes, edit) -> bytes:
+        """Re-encode ``data`` with its parsed header dict edited."""
+        (header_len,) = _LENGTH_STRUCT.unpack(data[8:16])
+        header = json.loads(data[16:16 + header_len])
+        payload = data[16 + header_len:]
+        edit(header)
+        raw = json.dumps(header, sort_keys=True).encode()
+        return MAGIC + _LENGTH_STRUCT.pack(len(raw)) + raw + payload
+
+    def test_unreadable_header_json_is_rejected(self, model, tmp_path):
+        data = encode_snapshot(model, version=1, created_at=0.0)
+        (header_len,) = _LENGTH_STRUCT.unpack(data[8:16])
+        garbage = b"\xff" * header_len  # right length, not JSON
+        path = tmp_path / "v00000001.rrs"
+        path.write_bytes(data[:16] + garbage + data[16 + header_len:])
+        with pytest.raises(SnapshotError, match="unreadable header"):
+            verify_snapshot(path)
+
+    def test_unknown_format_is_rejected(self, model, tmp_path):
+        data = encode_snapshot(model, version=1, created_at=0.0)
+        path = tmp_path / "v00000001.rrs"
+        path.write_bytes(
+            self._reframe(data, lambda h: h.update(format=99))
+        )
+        with pytest.raises(SnapshotError, match="unknown snapshot format"):
+            verify_snapshot(path)
+
+    def test_missing_header_field_is_rejected(self, model, tmp_path):
+        data = encode_snapshot(model, version=1, created_at=0.0)
+        path = tmp_path / "v00000001.rrs"
+        path.write_bytes(
+            self._reframe(data, lambda h: h.pop("fingerprint"))
+        )
+        with pytest.raises(SnapshotError, match="missing or mistyped"):
+            verify_snapshot(path)
+
+    def test_nonsensical_header_values_are_rejected(self, model, tmp_path):
+        data = encode_snapshot(model, version=1, created_at=0.0)
+        path = tmp_path / "v00000001.rrs"
+        path.write_bytes(
+            self._reframe(data, lambda h: h.update(version=-4))
+        )
+        with pytest.raises(SnapshotError, match="nonsensical"):
+            verify_snapshot(path)
+
+    def test_wrong_fingerprint_fails_hydration_only(self, model, tmp_path):
+        # Structurally valid file whose header lies about the model it
+        # holds: verify_snapshot passes, load_snapshot must not.
+        data = encode_snapshot(model, version=1, created_at=0.0)
+        path = tmp_path / "v00000001.rrs"
+        path.write_bytes(
+            self._reframe(
+                data, lambda h: h.update(fingerprint="0" * 16)
+            )
+        )
+        verify_snapshot(path)
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            load_snapshot(path)
+
+
+# -- the store -------------------------------------------------------------
+
+
+class TestPublishAndLoad:
+    def test_versions_are_assigned_sequentially(self, store, model):
+        first = store.publish(model)
+        second = store.publish(make_model(1))
+        assert (first.version, second.version) == (1, 2)
+        assert first.namespace == DEFAULT_NAMESPACE
+        assert first.path.name == "v00000001.rrs"
+        assert store.versions(DEFAULT_NAMESPACE) == [1, 2]
+        assert store.latest_version(DEFAULT_NAMESPACE) == 2
+
+    def test_round_trip_is_bit_identical(self, store, model):
+        stored = store.publish(model, meta={"origin": "unit"})
+        store._cache.clear()  # force the disk path
+        loaded, clone = store.load()
+        assert loaded == stored
+        assert loaded.meta == {"origin": "unit"}
+        assert clone.fingerprint() == model.fingerprint()
+        np.testing.assert_array_equal(
+            clone.rules_.matrix, model.rules_.matrix
+        )
+
+    def test_unfitted_model_is_rejected(self, store):
+        from repro.core.model import RatioRuleModel
+
+        with pytest.raises(ValueError, match="fitted"):
+            store.publish(RatioRuleModel())
+
+    def test_namespaces_are_isolated(self, store):
+        store.publish(make_model(0), namespace="acme/sales")
+        store.publish(make_model(1), namespace="acme/ops")
+        store.publish(make_model(2), namespace="acme/ops")
+        assert store.namespaces() == ["acme/ops", "acme/sales"]
+        assert store.latest_version("acme/sales") == 1
+        assert store.latest_version("acme/ops") == 2
+        assert store.latest_version("acme/empty") == 0
+
+    def test_load_empty_namespace_raises(self, store):
+        with pytest.raises(StoreError, match="no published versions"):
+            store.load("nothing-here")
+
+    def test_load_specific_version(self, store):
+        models = [make_model(seed) for seed in range(3)]
+        for m in models:
+            store.publish(m)
+        for version, m in enumerate(models, start=1):
+            _, clone = store.load(DEFAULT_NAMESPACE, version)
+            assert clone.fingerprint() == m.fingerprint()
+
+    @pytest.mark.parametrize(
+        "namespace",
+        ["", "..", "a/../b", "a//b", ".hidden", "quarantine", "a/quarantine"],
+    )
+    def test_bad_namespaces_are_rejected(self, store, model, namespace):
+        with pytest.raises(StoreError):
+            store.publish(model, namespace=namespace)
+
+    def test_non_string_namespace_is_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.latest_version(None)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"keep_last": 0},
+            {"max_bytes": 0},
+            {"cache_entries": -1},
+            {"lock_timeout": 0.0},
+        ],
+    )
+    def test_bad_configuration_is_rejected(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            ModelStore(tmp_path / "s", **kwargs)
+
+    def test_repr(self, store, model):
+        store.publish(model)
+        assert "namespaces=1" in repr(store)
+
+
+class TestWarmCache:
+    def test_second_load_hits_the_cache(self, tmp_path, model):
+        store = ModelStore(tmp_path)
+        store.publish(model)  # publish seeds the cache
+        store.load()
+        assert store.metrics.n_cache_hits == 1
+        assert store.metrics.n_loads == 0  # never touched the disk
+
+    def test_lru_eviction(self, tmp_path):
+        store = ModelStore(tmp_path, cache_entries=1)
+        store.publish(make_model(0))
+        store.publish(make_model(1))  # evicts version 1
+        assert store.metrics.n_cache_evictions == 1
+        store.load(DEFAULT_NAMESPACE, 1)  # miss -> disk
+        assert store.metrics.n_cache_misses == 1
+        assert store.metrics.n_loads == 1
+
+    def test_cache_disabled(self, tmp_path, model):
+        store = ModelStore(tmp_path, cache_entries=0)
+        store.publish(model)
+        store.load()
+        store.load()
+        assert store.metrics.n_cache_hits == 0
+        assert store.metrics.n_loads == 2
+
+
+class TestManifest:
+    def test_incremental_equals_rebuilt(self, store):
+        for seed in range(4):
+            store.publish(make_model(seed), namespace="t/a")
+        assert store.manifest("t/a") == store.build_manifest("t/a")
+
+    def test_unreadable_manifest_falls_back_to_rebuild(self, store, model):
+        store.publish(model)
+        manifest_path = store._dir(DEFAULT_NAMESPACE) / "MANIFEST.json"
+        manifest_path.write_text("{ not json")
+        assert store.manifest(DEFAULT_NAMESPACE) == store.build_manifest(
+            DEFAULT_NAMESPACE
+        )
+        # The cheap latest_version path cannot trust it either; the
+        # recover fallback still answers correctly and repairs it.
+        assert store.latest_version(DEFAULT_NAMESPACE) == 1
+        assert json.loads(manifest_path.read_text())["format"] == 1
+
+    def test_wrong_format_manifest_falls_back_to_rebuild(self, store, model):
+        store.publish(model)
+        manifest_path = store._dir(DEFAULT_NAMESPACE) / "MANIFEST.json"
+        # Valid JSON, wrong shape: future format and missing versions.
+        manifest_path.write_text(json.dumps({"format": 2}))
+        assert store.manifest(DEFAULT_NAMESPACE) == store.build_manifest(
+            DEFAULT_NAMESPACE
+        )
+        assert store.versions(DEFAULT_NAMESPACE) == [1]
+
+    def test_rebuild_skips_damaged_and_misnamed_snapshots(self, store):
+        store.publish(make_model(0))
+        second = store.publish(make_model(1))
+        third = store.publish(make_model(2))
+        second.path.write_bytes(b"torn to shreds")
+        # A file whose *name* claims version 3 but whose header says 2
+        # is not trustworthy either.
+        third.path.write_bytes(
+            encode_snapshot(make_model(2), version=2, created_at=0.0)
+        )
+        rebuilt = store.build_manifest(DEFAULT_NAMESPACE)
+        assert [e["version"] for e in rebuilt["versions"]] == [1]
+        # build_manifest is a read-side tool: it must not quarantine.
+        assert second.path.exists() and third.path.exists()
+
+    def test_missing_manifest_is_rebuilt_on_publish(self, store):
+        store.publish(make_model(0))
+        store.publish(make_model(1))
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        (ns_dir / "MANIFEST.json").unlink()
+        store.publish(make_model(2))
+        assert store.metrics.n_manifest_rebuilds == 1
+        assert store.versions(DEFAULT_NAMESPACE) == [1, 2, 3]
+        assert store.manifest(DEFAULT_NAMESPACE) == store.build_manifest(
+            DEFAULT_NAMESPACE
+        )
+
+
+class TestLocking:
+    def test_contended_lock_times_out(self, tmp_path, model):
+        store = ModelStore(tmp_path, lock_timeout=0.2)
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        ns_dir.mkdir(parents=True)
+        lock = ns_dir / ".publish.lock"
+        lock.write_text(
+            json.dumps({"pid": os.getpid(), "acquired_at": time.time()})
+        )
+        with pytest.raises(StoreError, match="publish lock busy"):
+            store.publish(model)
+        lock.unlink()
+        assert store.publish(model).version == 1
+
+    def test_dead_owner_lock_is_broken(self, tmp_path, model):
+        store = ModelStore(tmp_path, lock_timeout=5.0)
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        ns_dir.mkdir(parents=True)
+        (ns_dir / ".publish.lock").write_text(
+            json.dumps({"pid": dead_pid(), "acquired_at": 0.0})
+        )
+        assert store.publish(model).version == 1
+        assert store.metrics.n_lock_breaks == 1
+
+    def test_unreadable_lock_ages_out_by_mtime(self, tmp_path, model):
+        store = ModelStore(
+            tmp_path, lock_timeout=5.0, stale_lock_after=0.05
+        )
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        ns_dir.mkdir(parents=True)
+        lock = ns_dir / ".publish.lock"
+        lock.write_text("garbage, no pid here")
+        old = time.time() - 60.0
+        os.utime(lock, (old, old))
+        assert store.publish(model).version == 1
+        assert store.metrics.n_lock_breaks == 1
+
+    def test_fresh_unreadable_lock_is_respected(self, tmp_path, model):
+        store = ModelStore(
+            tmp_path, lock_timeout=0.2, stale_lock_after=60.0
+        )
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        ns_dir.mkdir(parents=True)
+        (ns_dir / ".publish.lock").write_text("garbage")
+        with pytest.raises(StoreError, match="publish lock busy"):
+            store.publish(model)
+
+
+class TestRecovery:
+    def test_missing_namespace_recovers_to_none(self, store):
+        assert store.recover("never-published") is None
+
+    def test_corrupt_final_is_quarantined_not_deleted(self, store):
+        store.publish(make_model(0))
+        stored = store.publish(make_model(1))
+        damaged = bytearray(stored.path.read_bytes())
+        damaged[-1] ^= 0xFF
+        stored.path.write_bytes(bytes(damaged))
+        store._cache.clear()
+
+        recovered = store.recover(DEFAULT_NAMESPACE)
+        assert recovered.version == 1
+        quarantine = store._dir(DEFAULT_NAMESPACE) / "quarantine"
+        moved = list(quarantine.iterdir())
+        assert [p.name for p in moved] == ["v00000002.rrs.damaged"]
+        # Never silently deleted: the damaged bytes are preserved.
+        assert moved[0].read_bytes() == bytes(damaged)
+        assert store.metrics.n_quarantined == 1
+
+    def test_load_of_damaged_latest_serves_previous(self, store):
+        first = store.publish(make_model(0))
+        second = store.publish(make_model(1))
+        second.path.write_bytes(b"RRSNAP1\n torn")
+        store._cache.clear()
+        loaded, clone = store.load()
+        assert loaded.version == 1
+        assert clone.fingerprint() == first.fingerprint
+
+    def test_load_of_damaged_only_version_raises(self, store, model):
+        stored = store.publish(model)
+        stored.path.write_bytes(b"not a snapshot at all")
+        store._cache.clear()
+        with pytest.raises(SnapshotError):
+            store.load()
+        # The damage was quarantined in passing; the namespace is empty.
+        assert store.latest_version(DEFAULT_NAMESPACE) == 0
+
+    def test_misnamed_snapshot_is_quarantined(self, store):
+        stored = store.publish(make_model(0))
+        imposter = stored.path.with_name("v00000009.rrs")
+        imposter.write_bytes(stored.path.read_bytes())  # claims version 1
+        recovered = store.recover(DEFAULT_NAMESPACE)
+        assert recovered.version == 1
+        quarantine = store._dir(DEFAULT_NAMESPACE) / "quarantine"
+        assert (quarantine / "v00000009.rrs.misnamed").exists()
+
+    def test_dead_publishers_temp_is_quarantined(self, store, model):
+        store.publish(model)
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        debris = ns_dir / f"tmp-{dead_pid()}-abcd1234.rrs"
+        debris.write_bytes(b"half a snapshot")
+        store.recover(DEFAULT_NAMESPACE)
+        assert not debris.exists()
+        assert (
+            ns_dir / "quarantine" / f"{debris.name}.abandoned"
+        ).exists()
+
+    def test_live_publishers_temp_is_left_alone(self, store, model):
+        store.publish(model)
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        in_flight = ns_dir / f"tmp-{os.getpid()}-abcd1234.rrs"
+        in_flight.write_bytes(b"still being written")
+        store.recover(DEFAULT_NAMESPACE)
+        assert in_flight.exists()
+
+    def test_quarantine_name_collisions_get_suffixes(self, store):
+        ns_dir = store._dir(DEFAULT_NAMESPACE)
+        ns_dir.mkdir(parents=True)
+        for _ in range(3):
+            (ns_dir / "v00000001.rrs").write_bytes(b"junk")
+            store.recover(DEFAULT_NAMESPACE)
+        names = sorted(
+            p.name for p in (ns_dir / "quarantine").iterdir()
+        )
+        assert names == [
+            "v00000001.rrs.damaged",
+            "v00000001.rrs.damaged.1",
+            "v00000001.rrs.damaged.2",
+        ]
+
+    def test_publish_never_overwrites_a_damaged_version(self, store):
+        stored = store.publish(make_model(0))
+        stored.path.write_bytes(b"damaged in place")
+        next_stored = store.publish(make_model(1))
+        # The damaged v1 file still holds its (damaged) bytes; the new
+        # publish took the next number instead of clobbering evidence.
+        assert next_stored.version == 2
+        assert stored.path.read_bytes() == b"damaged in place"
+
+    def test_recover_all_cold_start(self, tmp_path):
+        writer = ModelStore(tmp_path)
+        published = {
+            "acme/sales": writer.publish(
+                make_model(0), namespace="acme/sales"
+            ),
+            "globex": writer.publish(make_model(1), namespace="globex"),
+        }
+        writer.publish(make_model(2), namespace="globex")
+        published["globex"] = writer.publish(
+            make_model(3), namespace="globex"
+        )
+
+        fresh = ModelStore(tmp_path)  # a restarted process
+        recovered = fresh.recover_all()
+        assert set(recovered) == {"acme/sales", "globex"}
+        for namespace, stored in published.items():
+            assert recovered[namespace].version == stored.version
+            assert recovered[namespace].fingerprint == stored.fingerprint
+
+
+class TestRetention:
+    def test_keep_last(self, tmp_path):
+        store = ModelStore(tmp_path, keep_last=2)
+        for seed in range(5):
+            store.publish(make_model(seed))
+        assert store.versions(DEFAULT_NAMESPACE) == [4, 5]
+        assert store._listed_versions(store._dir(DEFAULT_NAMESPACE)) == [
+            4,
+            5,
+        ]
+        assert store.metrics.n_gc_removed == 3
+        assert store.metrics.gc_reclaimed_bytes > 0
+        # GC'd versions left the warm cache too.
+        with pytest.raises(SnapshotError):
+            store.load(DEFAULT_NAMESPACE, 2)
+
+    def test_max_bytes_keeps_the_current_version(self, tmp_path):
+        store = ModelStore(tmp_path, max_bytes=1)  # absurdly tight
+        store.publish(make_model(0))
+        stored = store.publish(make_model(1))
+        # Both old versions are over budget; the newest must survive.
+        assert store.versions(DEFAULT_NAMESPACE) == [stored.version]
+        assert stored.path.exists()
+
+    def test_explicit_gc(self, tmp_path):
+        store = ModelStore(tmp_path)
+        for seed in range(4):
+            store.publish(make_model(seed))
+        store.keep_last = 1
+        assert store.gc(DEFAULT_NAMESPACE) == [1, 2, 3]
+        assert store.gc(DEFAULT_NAMESPACE) == []
+        assert store.gc("no-such-namespace") == []
+        assert store.manifest(DEFAULT_NAMESPACE) == store.build_manifest(
+            DEFAULT_NAMESPACE
+        )
+
+
+# -- the watcher -----------------------------------------------------------
+
+
+class TestStoreWatcher:
+    def test_poll_now_adopts_remote_publishes(self, tmp_path):
+        store_a = ModelStore(tmp_path)
+        store_b = ModelStore(tmp_path)
+        writer = ModelRegistry(make_model(0), store=store_a)
+        reader = ModelRegistry(store=store_b)
+        assert reader.latest_version == 1
+
+        watcher = StoreWatcher(reader, interval=30.0)
+        writer.publish(make_model(1), allow_schema_change=True)
+        assert watcher.poll_now() == 1
+        assert reader.latest_version == 2
+        assert watcher.poll_now() == 0  # nothing new
+
+    def test_callable_source_sees_late_registries(self, tmp_path):
+        store = ModelStore(tmp_path)
+        registries = []
+        watcher = StoreWatcher(lambda: registries, interval=30.0)
+        assert watcher.poll_now() == 0
+        ModelRegistry(make_model(0), store=store)
+        registries.append(ModelRegistry(store=ModelStore(tmp_path)))
+        assert registries[0].latest_version == 1
+
+    def test_background_thread_lifecycle(self, tmp_path):
+        store = ModelStore(tmp_path)
+        reader = ModelRegistry(store=store)
+        with StoreWatcher(reader, interval=0.02) as watcher:
+            assert watcher.running
+            ModelRegistry(make_model(3), store=ModelStore(tmp_path))
+            deadline = time.time() + 5.0
+            while reader.latest_version == 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert reader.latest_version == 1
+        assert not watcher.running
+
+    def test_one_broken_registry_does_not_stop_the_poll(self, tmp_path):
+        class Exploding:
+            def sync(self):
+                raise RuntimeError("boom")
+
+        store = ModelStore(tmp_path)
+        healthy = ModelRegistry(store=store)
+        watcher = StoreWatcher([Exploding(), healthy], interval=30.0)
+        ModelRegistry(make_model(0), store=ModelStore(tmp_path))
+        assert watcher.poll_now() == 1
+        assert healthy.latest_version == 1
+
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            StoreWatcher([], interval=0.0)
+
+    def test_double_start_is_refused(self, tmp_path):
+        watcher = StoreWatcher([], interval=30.0)
+        watcher.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                watcher.start()
+        finally:
+            watcher.stop()
+        # ...but a stopped watcher can be started again.
+        watcher.start()
+        watcher.stop()
+
+
+# -- the registry mount ----------------------------------------------------
+
+
+class TestRegistryIntegration:
+    def test_restart_recovers_without_refit(self, tmp_path):
+        model = make_model(0)
+        first = ModelRegistry(model, store=ModelStore(tmp_path))
+        assert first.current().version == 1
+
+        # A brand-new process: fresh store handle, fresh registry, no
+        # model argument -- state comes entirely from disk.
+        revived = ModelRegistry(store=ModelStore(tmp_path))
+        snapshot = revived.current()
+        assert snapshot.version == 1
+        assert snapshot.fingerprint == model.fingerprint()
+        np.testing.assert_array_equal(
+            snapshot.model.rules_.matrix, model.rules_.matrix
+        )
+
+    def test_publishes_are_durable_and_versioned_by_the_store(
+        self, tmp_path
+    ):
+        store = ModelStore(tmp_path)
+        registry = ModelRegistry(store=store, namespace="acme/sales")
+        for seed in range(3):
+            registry.publish(make_model(seed), allow_schema_change=True)
+        assert registry.current().version == 3
+        assert store.versions("acme/sales") == [1, 2, 3]
+        assert registry.namespace == "acme/sales"
+        assert registry.store is store
+
+    def test_namespace_requires_store(self):
+        with pytest.raises(ValueError, match="namespace requires a store"):
+            ModelRegistry(namespace="acme")
+
+    def test_sync_is_monotonic(self, tmp_path):
+        writer = ModelRegistry(make_model(0), store=ModelStore(tmp_path))
+        reader = ModelRegistry(store=ModelStore(tmp_path))
+        assert not reader.sync()  # both at version 1 already
+        writer.publish(make_model(1), allow_schema_change=True)
+        assert reader.sync()
+        assert reader.latest_version == 2
+        assert not reader.sync()
+        # Storeless registries no-op.
+        assert not ModelRegistry(make_model(0)).sync()
+
+    def test_sync_survives_a_damaged_newest_version(self, tmp_path):
+        writer_store = ModelStore(tmp_path)
+        writer = ModelRegistry(make_model(0), store=writer_store)
+        reader = ModelRegistry(store=ModelStore(tmp_path))
+        stored = writer_store.publish(make_model(1))
+        stored.path.write_bytes(b"torn just after the manifest update")
+        assert not reader.sync()  # v2 is damaged; stays at v1
+        assert reader.latest_version == 1
+
+    def test_schema_guard_names_namespace_versions_and_columns(
+        self, tmp_path
+    ):
+        registry = ModelRegistry(
+            make_model(0, n_cols=3),
+            store=ModelStore(tmp_path),
+            namespace="acme/sales",
+        )
+        wider = make_model(0, n_cols=4)
+        with pytest.raises(ValueError) as excinfo:
+            registry.publish(wider)
+        message = str(excinfo.value)
+        assert "'acme/sales'" in message
+        assert "serving version 1" in message
+        assert "col0" in message and "col3" in message
+        assert "allow_schema_change" in message
+        # The escape hatch works and the rejected publish left no
+        # durable debris behind.
+        assert registry.store.versions("acme/sales") == [1]
+        registry.publish(wider, allow_schema_change=True)
+        assert registry.current().version == 2
