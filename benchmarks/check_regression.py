@@ -81,7 +81,16 @@ def check_pair(baseline_path: Path, results_path: Path, rows: list) -> bool:
         floor = expected * (1.0 - tolerance)
         current = results["metrics"].get(name)
         if current is None:
-            rows.append((baseline["benchmark"], name, f"{expected:.3f}", "<absent>", f"{floor:.3f}", "FAIL"))
+            rows.append(
+                (
+                    baseline["benchmark"],
+                    name,
+                    f"{expected:.3f}",
+                    "<absent>",
+                    f"{floor:.3f}",
+                    "FAIL",
+                )
+            )
             ok = False
             continue
         current = float(current)
@@ -128,7 +137,11 @@ def render(rows: list) -> str:
     widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
     lines = []
     for index, row in enumerate(table):
-        lines.append("   ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        lines.append(
+            "   ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
         if index == 0:
             lines.append("   ".join("-" * width for width in widths))
     return "\n".join(lines)

@@ -28,7 +28,9 @@ def reference_rules(quest_matrix):
     return RatioRuleModel(cutoff=5).fit(quest_matrix).rules_matrix
 
 
-@pytest.mark.parametrize("backend", ["numpy", "jacobi", "householder", "power", "lanczos"])
+@pytest.mark.parametrize(
+    "backend", ["numpy", "jacobi", "householder", "power", "lanczos"]
+)
 def test_backend_fit_cost(benchmark, quest_matrix, reference_rules, backend):
     model = benchmark.pedantic(
         lambda: RatioRuleModel(cutoff=5, backend=backend).fit(quest_matrix),

@@ -58,17 +58,30 @@ def main() -> None:
 
     cumulative_rule = online.model().rules_[0]
     window_rule = window.model().rules_[0]
-    print(f"\nCumulative model's bread:butter after 30 days: "
-          f"{cumulative_rule.loading_of('bread') / cumulative_rule.loading_of('butter'):.2f}:1 "
-          "(a blend -- it never forgets the pre-promotion days; the feed "
-          "shifted from 2:1 to 1:1).")
-    print(f"Trailing 10-day window's bread:butter:               "
-          f"{window_rule.loading_of('bread') / window_rule.loading_of('butter'):.2f}:1 "
-          "(the promotion regime, isolated).")
+    cumulative_ratio = cumulative_rule.loading_of("bread") / cumulative_rule.loading_of(
+        "butter"
+    )
+    print(
+        f"\nCumulative model's bread:butter after 30 days: "
+        f"{cumulative_ratio:.2f}:1 "
+        "(a blend -- it never forgets the pre-promotion days; the feed "
+        "shifted from 2:1 to 1:1)."
+    )
+    window_ratio = window_rule.loading_of("bread") / window_rule.loading_of("butter")
+    print(
+        f"Trailing 10-day window's bread:butter:               "
+        f"{window_ratio:.2f}:1 "
+        "(the promotion regime, isolated)."
+    )
     forgetting_rule = forgetting.model().rules_[0]
-    print(f"Forgetting model's bread:butter (decay 0.8):         "
-          f"{forgetting_rule.loading_of('bread') / forgetting_rule.loading_of('butter'):.2f}:1 "
-          "(tracks the change with no window bookkeeping).")
+    forgetting_ratio = forgetting_rule.loading_of("bread") / forgetting_rule.loading_of(
+        "butter"
+    )
+    print(
+        f"Forgetting model's bread:butter (decay 0.8):         "
+        f"{forgetting_ratio:.2f}:1 "
+        "(tracks the change with no window bookkeeping)."
+    )
     print("Update cost is flat in stream length: the accumulator is O(M^2) "
           "state, the re-solve O(M^3) -- independent of rows seen.")
 

@@ -31,7 +31,9 @@ class ColumnAverageBaseline:
         self.schema_: Optional[TableSchema] = None
         self.n_rows_: Optional[int] = None
 
-    def fit(self, source, schema: Optional[TableSchema] = None) -> "ColumnAverageBaseline":
+    def fit(
+        self, source, schema: Optional[TableSchema] = None
+    ) -> "ColumnAverageBaseline":
         """Learn the column averages in a single pass over ``source``."""
         reader = open_matrix(source, schema)
         _scatter, means, n_rows = covariance_single_pass(reader)

@@ -66,7 +66,9 @@ class KNNImputationBaseline:
         self.means_: Optional[np.ndarray] = None
         self.schema_: Optional[TableSchema] = None
 
-    def fit(self, source, schema: Optional[TableSchema] = None) -> "KNNImputationBaseline":
+    def fit(
+        self, source, schema: Optional[TableSchema] = None
+    ) -> "KNNImputationBaseline":
         """Memorize the training matrix (k-NN has no compression step)."""
         reader = open_matrix(source, schema)
         matrix = reader.read_matrix()

@@ -46,7 +46,9 @@ class LinearRegressionBaseline:
         self.n_rows_: Optional[int] = None
         self._coefficient_cache: Dict[Tuple[Tuple[int, ...], int], np.ndarray] = {}
 
-    def fit(self, source, schema: Optional[TableSchema] = None) -> "LinearRegressionBaseline":
+    def fit(
+        self, source, schema: Optional[TableSchema] = None
+    ) -> "LinearRegressionBaseline":
         """Accumulate sufficient statistics (one pass over ``source``).
 
         Only the column means and the ``M x M`` scatter matrix are

@@ -133,7 +133,9 @@ class QuantitativeRuleModel:
 
     # -- fitting ------------------------------------------------------------
 
-    def fit(self, matrix: np.ndarray, schema: Optional[TableSchema] = None) -> "QuantitativeRuleModel":
+    def fit(
+        self, matrix: np.ndarray, schema: Optional[TableSchema] = None
+    ) -> "QuantitativeRuleModel":
         """Partition attributes, mine interval rules."""
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:

@@ -67,28 +67,50 @@ __all__ = ["main", "build_parser"]
 
 def _add_obs_arguments(sub: argparse.ArgumentParser) -> None:
     """Attach the shared observability flags to a subcommand."""
-    sub.add_argument("--trace", metavar="TRACE.json", default=None,
-                     help="enable span tracing for this run and write the "
-                          "span dump here (pretty-print with 'obs dump')")
-    sub.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
-                     help="serve a Prometheus /metrics (and /metrics.json) "
-                          "endpoint on 127.0.0.1:PORT for the duration of "
-                          "the run (0 picks a free port)")
+    sub.add_argument(
+        "--trace",
+        metavar="TRACE.json",
+        default=None,
+        help="enable span tracing for this run and write the "
+        "span dump here (pretty-print with 'obs dump')",
+    )
+    sub.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a Prometheus /metrics (and /metrics.json) "
+        "endpoint on 127.0.0.1:PORT for the duration of "
+        "the run (0 picks a free port)",
+    )
 
 
 def _add_store_arguments(sub: argparse.ArgumentParser) -> None:
     """Attach the shared durable-model-store flags to a subcommand."""
-    sub.add_argument("--store", metavar="DIR", default=None,
-                     help="mount a durable model store at DIR: every "
-                          "publish is crash-safe on disk, restarts recover "
-                          "the latest version without a refit, and other "
-                          "processes sharing DIR observe publishes")
-    sub.add_argument("--tenant", metavar="NAME", default=None,
-                     help="store namespace to serve/publish (requires "
-                          "--store; default: the 'default' namespace)")
-    sub.add_argument("--keep-last", type=int, default=None, metavar="N",
-                     help="retention: keep at most N versions per tenant "
-                          "(requires --store; default: keep everything)")
+    sub.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="mount a durable model store at DIR: every "
+        "publish is crash-safe on disk, restarts recover "
+        "the latest version without a refit, and other "
+        "processes sharing DIR observe publishes",
+    )
+    sub.add_argument(
+        "--tenant",
+        metavar="NAME",
+        default=None,
+        help="store namespace to serve/publish (requires "
+        "--store; default: the 'default' namespace)",
+    )
+    sub.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retention: keep at most N versions per tenant "
+        "(requires --store; default: keep everything)",
+    )
 
 
 def _open_store(args: argparse.Namespace):
@@ -126,151 +148,280 @@ def build_parser() -> argparse.ArgumentParser:
 
     fit = subparsers.add_parser("fit", help="mine Ratio Rules from a data file")
     fit.add_argument("data", help="input .csv or row-store file")
-    fit.add_argument("--cutoff", default=None,
-                     help="rules to keep: an integer k, a float energy "
-                          "threshold in (0,1], or 'paper'/'scree'/'kaiser' "
-                          "(default: paper's 85%% rule)")
-    fit.add_argument("--backend", default="numpy",
-                     choices=["numpy", "jacobi", "householder", "power", "lanczos"],
-                     help="eigensolver backend")
-    fit.add_argument("--save", metavar="MODEL.npz", default=None,
-                     help="save the fitted model")
-    fit.add_argument("--stats", action="store_true",
-                     help="print scan/solve telemetry (rows/sec, blocks, "
-                          "merge counts, timings) after fitting")
-    fit.add_argument("--executor", default="auto",
-                     choices=["auto", "serial", "thread", "process"],
-                     help="scan fabric: 'process' parallelizes the scan "
-                          "across CPU cores via the out-of-core engine "
-                          "(default: auto)")
-    fit.add_argument("--workers", type=int, default=None, metavar="N",
-                     help="scan pool width (default: serial for --executor "
-                          "auto, all cores for an explicit parallel executor)")
-    fit.add_argument("--max-retries", type=int, default=0, metavar="N",
-                     help="re-attempt a failed scan chunk up to N times "
-                          "with exponential backoff (default: 0, fail fast)")
-    fit.add_argument("--chunk-timeout", type=float, default=None,
-                     metavar="SECONDS",
-                     help="per-attempt deadline for a chunk scan on pooled "
-                          "executors; a late chunk counts as a fault")
-    fit.add_argument("--on-bad-chunk", default="raise",
-                     choices=["raise", "skip"],
-                     help="what to do with a chunk that exhausts its "
-                          "retries: abort the fit (raise, default) or "
-                          "quarantine it and fit on the surviving data "
-                          "(skip; losses are itemized under --stats)")
-    fit.add_argument("--checkpoint", metavar="SCAN.ckpt", default=None,
-                     help="persist each finished chunk's partial "
-                          "accumulator here so an interrupted fit can be "
-                          "resumed without rescanning")
-    fit.add_argument("--resume", action="store_true",
-                     help="resume from --checkpoint if it exists (the "
-                          "resumed model is exactly the uninterrupted one)")
-    fit.add_argument("--accumulate-dtype", default="float64",
-                     choices=["float64", "raw64", "float32"],
-                     help="covariance accumulation mode: float64 (default, "
-                          "bit-identical to the reference path), raw64 "
-                          "(BLAS raw-moment accumulation), or float32 "
-                          "(single-precision moments, float64 centering)")
-    fit.add_argument("--target-chunks", type=int, default=None, metavar="N",
-                     help="plan the scan into N chunks (default: adaptive -- "
-                          "one per worker, over-chunked for load balance on "
-                          "large files)")
-    fit.add_argument("--min-chunk-bytes", type=int, default=None,
-                     metavar="BYTES",
-                     help="adaptive chunk-sizing floor: never plan chunks "
-                          "smaller than this payload (default: 4 MiB)")
-    fit.add_argument("--no-shm-handoff", action="store_true",
-                     help="disable the shared-memory handoff of partial "
-                          "statistics from process workers (debugging aid; "
-                          "partials are pickled back instead)")
+    fit.add_argument(
+        "--cutoff",
+        default=None,
+        help="rules to keep: an integer k, a float energy "
+        "threshold in (0,1], or 'paper'/'scree'/'kaiser' "
+        "(default: paper's 85%% rule)",
+    )
+    fit.add_argument(
+        "--backend",
+        default="numpy",
+        choices=["numpy", "jacobi", "householder", "power", "lanczos"],
+        help="eigensolver backend",
+    )
+    fit.add_argument(
+        "--save",
+        metavar="MODEL.npz",
+        default=None,
+        help="save the fitted model",
+    )
+    fit.add_argument(
+        "--stats",
+        action="store_true",
+        help="print scan/solve telemetry (rows/sec, blocks, "
+        "merge counts, timings) after fitting",
+    )
+    fit.add_argument(
+        "--executor",
+        default="auto",
+        choices=["auto", "serial", "thread", "process"],
+        help="scan fabric: 'process' parallelizes the scan "
+        "across CPU cores via the out-of-core engine "
+        "(default: auto)",
+    )
+    fit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scan pool width (default: serial for --executor "
+        "auto, all cores for an explicit parallel executor)",
+    )
+    fit.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-attempt a failed scan chunk up to N times "
+        "with exponential backoff (default: 0, fail fast)",
+    )
+    fit.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline for a chunk scan on pooled "
+        "executors; a late chunk counts as a fault",
+    )
+    fit.add_argument(
+        "--on-bad-chunk",
+        default="raise",
+        choices=["raise", "skip"],
+        help="what to do with a chunk that exhausts its "
+        "retries: abort the fit (raise, default) or "
+        "quarantine it and fit on the surviving data "
+        "(skip; losses are itemized under --stats)",
+    )
+    fit.add_argument(
+        "--checkpoint",
+        metavar="SCAN.ckpt",
+        default=None,
+        help="persist each finished chunk's partial "
+        "accumulator here so an interrupted fit can be "
+        "resumed without rescanning",
+    )
+    fit.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint if it exists (the "
+        "resumed model is exactly the uninterrupted one)",
+    )
+    fit.add_argument(
+        "--accumulate-dtype",
+        default="float64",
+        choices=["float64", "raw64", "float32"],
+        help="covariance accumulation mode: float64 (default, "
+        "bit-identical to the reference path), raw64 "
+        "(BLAS raw-moment accumulation), or float32 "
+        "(single-precision moments, float64 centering)",
+    )
+    fit.add_argument(
+        "--target-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="plan the scan into N chunks (default: adaptive -- "
+        "one per worker, over-chunked for load balance on "
+        "large files)",
+    )
+    fit.add_argument(
+        "--min-chunk-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="adaptive chunk-sizing floor: never plan chunks "
+        "smaller than this payload (default: 4 MiB)",
+    )
+    fit.add_argument(
+        "--no-shm-handoff",
+        action="store_true",
+        help="disable the shared-memory handoff of partial "
+        "statistics from process workers (debugging aid; "
+        "partials are pickled back instead)",
+    )
     _add_obs_arguments(fit)
 
     rules = subparsers.add_parser("rules", help="print the rules of a saved model")
     rules.add_argument("model", help="model .npz produced by 'fit --save'")
-    rules.add_argument("--table", action="store_true",
-                       help="print the Table-2-style loading table only")
-    rules.add_argument("--json", action="store_true",
-                       help="emit the rules as JSON for downstream tooling")
+    rules.add_argument(
+        "--table",
+        action="store_true",
+        help="print the Table-2-style loading table only",
+    )
+    rules.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rules as JSON for downstream tooling",
+    )
 
     fill = subparsers.add_parser("fill", help="fill missing cells of a CSV file")
     fill.add_argument("model", help="model .npz produced by 'fit --save'")
     fill.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
-    fill.add_argument("--output", default=None,
-                      help="write the completed CSV here (default: stdout)")
+    fill.add_argument(
+        "--output",
+        default=None,
+        help="write the completed CSV here (default: stdout)",
+    )
 
     serve_batch = subparsers.add_parser(
         "serve-batch",
         help="fill incomplete rows through the cached serving layer",
     )
-    serve_batch.add_argument("model", nargs="?", default=None,
-                             help="model .npz produced by 'fit --save' "
-                                  "(optional with --store: the tenant's "
-                                  "latest stored version is served)")
+    serve_batch.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="model .npz produced by 'fit --save' "
+        "(optional with --store: the tenant's "
+        "latest stored version is served)",
+    )
     serve_batch.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
     _add_store_arguments(serve_batch)
-    serve_batch.add_argument("--output", default=None,
-                             help="write the completed CSV here (default: stdout)")
-    serve_batch.add_argument("--batch-size", type=int, default=None, metavar="N",
-                             help="serve the file in batches of N rows "
-                                  "(default: one batch; smaller batches "
-                                  "exercise the operator cache across calls)")
-    serve_batch.add_argument("--cache-entries", type=int, default=1024, metavar="N",
-                             help="operator-cache capacity (LRU; default 1024)")
-    serve_batch.add_argument("--underdetermined", default="truncate",
-                             choices=["truncate", "min-norm"],
-                             help="policy for under-specified rows (CASE 3)")
-    serve_batch.add_argument("--stats", action="store_true",
-                             help="print serving telemetry (cache hit/miss/"
-                                  "eviction, group sizes, latency percentiles)")
+    serve_batch.add_argument(
+        "--output",
+        default=None,
+        help="write the completed CSV here (default: stdout)",
+    )
+    serve_batch.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve the file in batches of N rows "
+        "(default: one batch; smaller batches "
+        "exercise the operator cache across calls)",
+    )
+    serve_batch.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="operator-cache capacity (LRU; default 1024)",
+    )
+    serve_batch.add_argument(
+        "--underdetermined",
+        default="truncate",
+        choices=["truncate", "min-norm"],
+        help="policy for under-specified rows (CASE 3)",
+    )
+    serve_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print serving telemetry (cache hit/miss/"
+        "eviction, group sizes, latency percentiles)",
+    )
     _add_obs_arguments(serve_batch)
 
     serve_http = subparsers.add_parser(
         "serve-http",
         help="serve a saved model over HTTP with request coalescing",
     )
-    serve_http.add_argument("model", nargs="?", default=None,
-                            help="model .npz produced by 'fit --save' "
-                                 "(optional with --store: the tenant's "
-                                 "latest stored version is served)")
+    serve_http.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="model .npz produced by 'fit --save' "
+        "(optional with --store: the tenant's "
+        "latest stored version is served)",
+    )
     _add_store_arguments(serve_http)
-    serve_http.add_argument("--host", default="127.0.0.1",
-                            help="bind address (default: 127.0.0.1)")
-    serve_http.add_argument("--port", type=int, default=8090, metavar="PORT",
-                            help="listen port (0 picks a free port; "
-                                 "default 8090)")
-    serve_http.add_argument("--max-batch-rows", type=int, default=64,
-                            metavar="N",
-                            help="flush the coalescing queue as soon as N "
-                                 "requests are waiting (default 64)")
-    serve_http.add_argument("--flush-margin-ms", type=float, default=5.0,
-                            metavar="MS",
-                            help="flush this many milliseconds before the "
-                                 "earliest queued deadline, leaving the "
-                                 "margin for the batch compute (default 5)")
-    serve_http.add_argument("--queue-limit", type=int, default=256,
-                            metavar="N",
-                            help="admission bound: shed requests with 429 + "
-                                 "Retry-After once N are queued (default 256)")
-    serve_http.add_argument("--default-timeout-ms", type=float, default=1000.0,
-                            metavar="MS",
-                            help="per-request deadline applied when the "
-                                 "request body carries no timeout_ms "
-                                 "(default 1000)")
-    serve_http.add_argument("--cache-entries", type=int, default=1024,
-                            metavar="N",
-                            help="operator-cache capacity (LRU; default 1024)")
-    serve_http.add_argument("--underdetermined", default="truncate",
-                            choices=["truncate", "min-norm"],
-                            help="policy for under-specified rows (CASE 3)")
-    serve_http.add_argument("--duration", type=float, default=None,
-                            metavar="SECONDS",
-                            help="serve for a bounded time then exit "
-                                 "(default: serve until Ctrl-C)")
-    serve_http.add_argument("--stats", action="store_true",
-                            help="print HTTP serving telemetry (queue depth, "
-                                 "flush sizes, coalesce latency, shed "
-                                 "counts) on shutdown")
+    serve_http.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve_http.add_argument(
+        "--port",
+        type=int,
+        default=8090,
+        metavar="PORT",
+        help="listen port (0 picks a free port; "
+        "default 8090)",
+    )
+    serve_http.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flush the coalescing queue as soon as N "
+        "requests are waiting (default 64)",
+    )
+    serve_http.add_argument(
+        "--flush-margin-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="flush this many milliseconds before the "
+        "earliest queued deadline, leaving the "
+        "margin for the batch compute (default 5)",
+    )
+    serve_http.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission bound: shed requests with 429 + "
+        "Retry-After once N are queued (default 256)",
+    )
+    serve_http.add_argument(
+        "--default-timeout-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="per-request deadline applied when the "
+        "request body carries no timeout_ms "
+        "(default 1000)",
+    )
+    serve_http.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="operator-cache capacity (LRU; default 1024)",
+    )
+    serve_http.add_argument(
+        "--underdetermined",
+        default="truncate",
+        choices=["truncate", "min-norm"],
+        help="policy for under-specified rows (CASE 3)",
+    )
+    serve_http.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for a bounded time then exit "
+        "(default: serve until Ctrl-C)",
+    )
+    serve_http.add_argument(
+        "--stats",
+        action="store_true",
+        help="print HTTP serving telemetry (queue depth, "
+        "flush sizes, coalesce latency, shed "
+        "counts) on shutdown",
+    )
     _add_obs_arguments(serve_http)
 
     pipeline = subparsers.add_parser(
@@ -278,56 +429,124 @@ def build_parser() -> argparse.ArgumentParser:
         help="continuously ingest a CSV and refresh the model on drift",
     )
     pipeline.add_argument("data", help="CSV file to ingest (may keep growing)")
-    pipeline.add_argument("--follow", action="store_true",
-                          help="keep polling for appended rows after "
-                               "end-of-file (Ctrl-C to stop; default: stop "
-                               "at end-of-file)")
-    pipeline.add_argument("--poll-interval", type=float, default=0.2,
-                          metavar="SECONDS",
-                          help="sleep between empty polls in --follow mode")
-    pipeline.add_argument("--batch-rows", type=int, default=1024, metavar="N",
-                          help="rows ingested per pipeline step")
-    pipeline.add_argument("--block-rows", type=int, default=4096, metavar="N",
-                          help="accumulator fold granularity (match the "
-                               "offline fit's block size for bit-identical "
-                               "refits)")
-    pipeline.add_argument("--decay", type=float, default=1.0,
-                          help="per-row forgetting factor in (0,1]; 1.0 "
-                               "remembers the whole stream (default)")
-    pipeline.add_argument("--cutoff", default=None,
-                          help="rules to keep (same forms as 'fit --cutoff')")
-    pipeline.add_argument("--backend", default="numpy",
-                          choices=["numpy", "jacobi", "householder",
-                                   "power", "lanczos"],
-                          help="eigensolver backend for refits")
-    pipeline.add_argument("--on-bad-row", default="raise",
-                          choices=["raise", "skip"],
-                          help="what to do with a corrupt CSV row: abort "
-                               "the pipeline with file/byte context (raise, "
-                               "default) or drop it and count it in the "
-                               "metrics (skip)")
-    pipeline.add_argument("--min-rows", type=int, default=256, metavar="N",
-                          help="rows since last refresh required before "
-                               "the next one")
-    pipeline.add_argument("--min-interval", type=float, default=0.0,
-                          metavar="SECONDS",
-                          help="publish-cadence floor")
-    pipeline.add_argument("--max-rows", type=int, default=None, metavar="N",
-                          help="force a refresh after N rows even without "
-                               "drift (default: never)")
-    pipeline.add_argument("--ge-ratio", type=float, default=1.25,
-                          help="GE1 degradation factor that counts as drift")
-    pipeline.add_argument("--angle-threshold", type=float, default=15.0,
-                          metavar="DEGREES",
-                          help="rule-angle drift threshold")
-    pipeline.add_argument("--reservoir", type=int, default=512, metavar="N",
-                          help="holdout reservoir capacity for the GE signal")
-    pipeline.add_argument("--max-batches", type=int, default=None, metavar="N",
-                          help="stop after N polls (bounded runs)")
-    pipeline.add_argument("--save", metavar="MODEL.npz", default=None,
-                          help="save the final published model")
-    pipeline.add_argument("--stats", action="store_true",
-                          help="print ingestion/drift/refresh telemetry")
+    pipeline.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for appended rows after "
+        "end-of-file (Ctrl-C to stop; default: stop "
+        "at end-of-file)",
+    )
+    pipeline.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between empty polls in --follow mode",
+    )
+    pipeline.add_argument(
+        "--batch-rows",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="rows ingested per pipeline step",
+    )
+    pipeline.add_argument(
+        "--block-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="accumulator fold granularity (match the "
+        "offline fit's block size for bit-identical "
+        "refits)",
+    )
+    pipeline.add_argument(
+        "--decay",
+        type=float,
+        default=1.0,
+        help="per-row forgetting factor in (0,1]; 1.0 "
+        "remembers the whole stream (default)",
+    )
+    pipeline.add_argument(
+        "--cutoff",
+        default=None,
+        help="rules to keep (same forms as 'fit --cutoff')",
+    )
+    pipeline.add_argument(
+        "--backend",
+        default="numpy",
+        choices=["numpy", "jacobi", "householder", "power", "lanczos"],
+        help="eigensolver backend for refits",
+    )
+    pipeline.add_argument(
+        "--on-bad-row",
+        default="raise",
+        choices=["raise", "skip"],
+        help="what to do with a corrupt CSV row: abort "
+        "the pipeline with file/byte context (raise, "
+        "default) or drop it and count it in the "
+        "metrics (skip)",
+    )
+    pipeline.add_argument(
+        "--min-rows",
+        type=int,
+        default=256,
+        metavar="N",
+        help="rows since last refresh required before "
+        "the next one",
+    )
+    pipeline.add_argument(
+        "--min-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="publish-cadence floor",
+    )
+    pipeline.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="force a refresh after N rows even without "
+        "drift (default: never)",
+    )
+    pipeline.add_argument(
+        "--ge-ratio",
+        type=float,
+        default=1.25,
+        help="GE1 degradation factor that counts as drift",
+    )
+    pipeline.add_argument(
+        "--angle-threshold",
+        type=float,
+        default=15.0,
+        metavar="DEGREES",
+        help="rule-angle drift threshold",
+    )
+    pipeline.add_argument(
+        "--reservoir",
+        type=int,
+        default=512,
+        metavar="N",
+        help="holdout reservoir capacity for the GE signal",
+    )
+    pipeline.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N polls (bounded runs)",
+    )
+    pipeline.add_argument(
+        "--save",
+        metavar="MODEL.npz",
+        default=None,
+        help="save the final published model",
+    )
+    pipeline.add_argument(
+        "--stats",
+        action="store_true",
+        help="print ingestion/drift/refresh telemetry",
+    )
     _add_store_arguments(pipeline)
     _add_obs_arguments(pipeline)
 
@@ -335,18 +554,30 @@ def build_parser() -> argparse.ArgumentParser:
     ge.add_argument("model", help="model .npz produced by 'fit --save'")
     ge.add_argument("data", help="complete test .csv or row-store file")
     ge.add_argument("--holes", type=int, default=1, help="h, simultaneous holes")
-    ge.add_argument("--max-hole-sets", type=int, default=200,
-                    help="cap on evaluated hole sets")
+    ge.add_argument(
+        "--max-hole-sets",
+        type=int,
+        default=200,
+        help="cap on evaluated hole sets",
+    )
 
     outliers = subparsers.add_parser(
         "outliers", help="flag outlier rows/cells against a saved model"
     )
     outliers.add_argument("model", help="model .npz produced by 'fit --save'")
     outliers.add_argument("data", help="complete .csv or row-store file to audit")
-    outliers.add_argument("--sigmas", type=float, default=2.0,
-                          help="flagging threshold in standard deviations")
-    outliers.add_argument("--limit", type=int, default=10,
-                          help="max outliers listed per kind")
+    outliers.add_argument(
+        "--sigmas",
+        type=float,
+        default=2.0,
+        help="flagging threshold in standard deviations",
+    )
+    outliers.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="max outliers listed per kind",
+    )
 
     clean = subparsers.add_parser(
         "clean", help="impute holes and repair corrupted cells of a CSV file"
@@ -354,28 +585,49 @@ def build_parser() -> argparse.ArgumentParser:
     clean.add_argument("model", help="model .npz produced by 'fit --save'")
     clean.add_argument("data", help="CSV file; empty or 'nan' cells are holes")
     clean.add_argument("output", help="where to write the cleaned CSV")
-    clean.add_argument("--repair-sigmas", type=float, default=None,
-                       help="also repair cells deviating this many sigmas "
-                            "(default: impute only)")
+    clean.add_argument(
+        "--repair-sigmas",
+        type=float,
+        default=None,
+        help="also repair cells deviating this many sigmas "
+        "(default: impute only)",
+    )
 
     whatif = subparsers.add_parser(
         "whatif", help="evaluate a what-if scenario against a saved model"
     )
     whatif.add_argument("model", help="model .npz produced by 'fit --save'")
-    whatif.add_argument("--set", dest="fixed", action="append", default=[],
-                        metavar="ATTR=VALUE",
-                        help="pin an attribute to an absolute value")
-    whatif.add_argument("--scale", dest="scaled", action="append", default=[],
-                        metavar="ATTR=FACTOR",
-                        help="multiply an attribute's baseline by a factor")
+    whatif.add_argument(
+        "--set",
+        dest="fixed",
+        action="append",
+        default=[],
+        metavar="ATTR=VALUE",
+        help="pin an attribute to an absolute value",
+    )
+    whatif.add_argument(
+        "--scale",
+        dest="scaled",
+        action="append",
+        default=[],
+        metavar="ATTR=FACTOR",
+        help="multiply an attribute's baseline by a factor",
+    )
 
     stability = subparsers.add_parser(
         "stability", help="bootstrap stability of a model's rules"
     )
     stability.add_argument("model", help="model .npz produced by 'fit --save'")
-    stability.add_argument("data", help="the training data file the model was fitted on")
-    stability.add_argument("--resamples", type=int, default=30,
-                           help="bootstrap resamples")
+    stability.add_argument(
+        "data",
+        help="the training data file the model was fitted on",
+    )
+    stability.add_argument(
+        "--resamples",
+        type=int,
+        default=30,
+        help="bootstrap resamples",
+    )
 
     verify = subparsers.add_parser(
         "verify", help="check row-store / partition integrity (CRC32)"
@@ -386,27 +638,40 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarize a data file before mining"
     )
     inspect.add_argument("data", help=".csv, .csv.gz, .npz or row-store file")
-    inspect.add_argument("--top-correlations", type=int, default=5,
-                         help="strongest attribute pairs to list")
+    inspect.add_argument(
+        "--top-correlations",
+        type=int,
+        default=5,
+        help="strongest attribute pairs to list",
+    )
 
     compare = subparsers.add_parser(
         "compare", help="compare two saved models (drift report)"
     )
     compare.add_argument("model_a", help="baseline model .npz")
     compare.add_argument("model_b", help="candidate model .npz")
-    compare.add_argument("--angle-threshold", type=float, default=15.0,
-                         help="drift threshold on the largest principal "
-                              "angle, in degrees")
+    compare.add_argument(
+        "--angle-threshold",
+        type=float,
+        default=15.0,
+        help="drift threshold on the largest principal "
+        "angle, in degrees",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="run a paper-reproduction experiment"
     )
     experiment.add_argument(
-        "id", help="experiment id (fig6, fig7, fig8, fig9+fig11, fig12, table2) or 'all'"
+        "id",
+        help="experiment id (fig6, fig7, fig8, fig9+fig11, fig12, table2) or 'all'",
     )
     experiment.add_argument("--seed", type=int, default=0)
-    experiment.add_argument("--markdown", metavar="REPORT.md", default=None,
-                            help="also write a markdown reproduction report")
+    experiment.add_argument(
+        "--markdown",
+        metavar="REPORT.md",
+        default=None,
+        help="also write a markdown reproduction report",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="materialize a simulated dataset to CSV"
@@ -424,9 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="pretty-print a span trace (--trace output) or a metrics "
              "JSON scrape (/metrics.json)",
     )
-    obs_dump.add_argument(
-        "path", help="trace JSON written by --trace, or metrics JSON"
-    )
+    obs_dump.add_argument("path", help="trace JSON written by --trace, or metrics JSON")
 
     return parser
 
@@ -1143,7 +1406,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     pairs = []
     for i in range(n_cols):
         for j in range(i + 1, n_cols):
-            pairs.append((abs(correlation[i, j]), correlation[i, j], names[i], names[j]))
+            pairs.append(
+                (abs(correlation[i, j]), correlation[i, j], names[i], names[j])
+            )
     pairs.sort(reverse=True)
     if pairs:
         print(f"\nStrongest correlations (top {args.top_correlations}):")

@@ -125,7 +125,9 @@ class MixedSchema:
         """Width of the numeric matrix after one-hot encoding."""
         total = 0
         for field in self.fields:
-            total += len(field.categories) if isinstance(field, CategoricalAttribute) else 1
+            total += (
+                len(field.categories) if isinstance(field, CategoricalAttribute) else 1
+            )
         return total
 
     def encoded_schema(self) -> TableSchema:
@@ -143,7 +145,9 @@ class MixedSchema:
         slices = []
         cursor = 0
         for field in self.fields:
-            width = len(field.categories) if isinstance(field, CategoricalAttribute) else 1
+            width = (
+                len(field.categories) if isinstance(field, CategoricalAttribute) else 1
+            )
             slices.append((cursor, cursor + width))
             cursor += width
         return slices
@@ -215,7 +219,9 @@ class CategoricalRatioRuleModel:
             encoded[i] = self._encode_row(row, allow_holes=False)
         return encoded
 
-    def _encode_row(self, row: Sequence[MixedValue], *, allow_holes: bool) -> np.ndarray:
+    def _encode_row(
+        self, row: Sequence[MixedValue], *, allow_holes: bool
+    ) -> np.ndarray:
         if len(row) != self.schema.width:
             raise ValueError(
                 f"row has {len(row)} fields, schema has {self.schema.width}"
@@ -226,7 +232,9 @@ class CategoricalRatioRuleModel:
                 block = np.zeros(len(field.categories))
                 if value is None:
                     if not allow_holes:
-                        raise ValueError(f"{field.name}: missing category in training row")
+                        raise ValueError(
+                            f"{field.name}: missing category in training row"
+                        )
                     block[:] = np.nan
                 else:
                     scale = self._scales[index]
@@ -241,7 +249,9 @@ class CategoricalRatioRuleModel:
 
     def _decode_row(self, encoded: np.ndarray) -> List[MixedValue]:
         decoded: List[MixedValue] = []
-        for field, (start, stop) in zip(self.schema.fields, self.schema.encoded_slices()):
+        for field, (start, stop) in zip(
+            self.schema.fields, self.schema.encoded_slices()
+        ):
             block = encoded[start:stop]
             if isinstance(field, CategoricalAttribute):
                 decoded.append(field.categories[int(np.argmax(block))])
@@ -289,8 +299,15 @@ class CategoricalRatioRuleModel:
                 and isinstance(value, float)
                 and np.isnan(value)
             )
-            result.append(decoded[index] if is_hole else
-                          (str(value) if isinstance(field, CategoricalAttribute) else float(value)))
+            result.append(
+                decoded[index]
+                if is_hole
+                else (
+                    str(value)
+                    if isinstance(field, CategoricalAttribute)
+                    else float(value)
+                )
+            )
         return result
 
     def predict_category(

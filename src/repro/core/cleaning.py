@@ -98,7 +98,9 @@ def repair_corrupted(
     repairs: List[Tuple[int, int, float, float]] = []
     repaired_cells = set()
     for _round in range(max_rounds):
-        outliers: List[CellOutlier] = detect_cell_outliers(model, cleaned, n_sigmas=n_sigmas)
+        outliers: List[CellOutlier] = detect_cell_outliers(
+            model, cleaned, n_sigmas=n_sigmas
+        )
         # Never re-repair a cell: its new value is model-consistent by
         # construction, and oscillation must not produce an infinite audit log.
         outliers = [o for o in outliers if (o.row, o.column) not in repaired_cells]

@@ -141,7 +141,8 @@ class StreamingCovariance:
         """
         if other._n_cols != self._n_cols:
             raise ValueError(
-                f"cannot merge accumulators of widths {self._n_cols} and {other._n_cols}"
+                f"cannot merge accumulators of widths {self._n_cols} "
+                f"and {other._n_cols}"
             )
         if other._mode != self._mode:
             raise ValueError(
@@ -155,7 +156,9 @@ class StreamingCovariance:
         self._colsum += other._colsum
         self._count += other._count
 
-    def _merge_stats(self, b_count: int, b_mean: np.ndarray, b_scatter: np.ndarray) -> None:
+    def _merge_stats(
+        self, b_count: int, b_mean: np.ndarray, b_scatter: np.ndarray
+    ) -> None:
         """Chan-Golub-LeVeque parallel combination of two moment sets."""
         if b_count == 0:
             return

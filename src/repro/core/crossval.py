@@ -59,7 +59,9 @@ class CutoffCVReport:
         return "\n".join(lines)
 
 
-def _fold_slices(n_rows: int, n_folds: int, seed: int) -> Sequence[Tuple[np.ndarray, np.ndarray]]:
+def _fold_slices(
+    n_rows: int, n_folds: int, seed: int
+) -> Sequence[Tuple[np.ndarray, np.ndarray]]:
     """Shuffled k-fold (train_indices, validation_indices) pairs."""
     rng = np.random.default_rng(seed)
     order = rng.permutation(n_rows)

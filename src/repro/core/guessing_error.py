@@ -150,7 +150,9 @@ def guessing_error(
     if test_matrix.shape[0] == 0:
         raise ValueError("test_matrix has no rows")
     if np.isnan(test_matrix).any():
-        raise ValueError("test_matrix must be complete (no NaNs) -- it is the ground truth")
+        raise ValueError(
+            "test_matrix must be complete (no NaNs) -- it is the ground truth"
+        )
     n_rows, n_cols = test_matrix.shape
 
     if hole_sets is None:

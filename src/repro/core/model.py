@@ -273,7 +273,9 @@ class RatioRuleModel:
             eigen = solve_eigensystem(
                 scatter, backend=self.backend, k=k_request, seed=self.seed
             )
-            chosen = self.cutoff_policy.choose_k(eigen.eigenvalues, eigen.total_variance)
+            chosen = self.cutoff_policy.choose_k(
+                eigen.eigenvalues, eigen.total_variance
+            )
             satisfied = chosen < k_request or k_request == n_cols
             if isinstance(self.cutoff_policy, EnergyCutoff):
                 fractions = eigen.energy_fractions()
@@ -338,7 +340,9 @@ class RatioRuleModel:
 
     # -- estimation ---------------------------------------------------------
 
-    def fill_row(self, row: np.ndarray, *, underdetermined: str = "truncate") -> np.ndarray:
+    def fill_row(
+        self, row: np.ndarray, *, underdetermined: str = "truncate"
+    ) -> np.ndarray:
         """Fill the NaN entries of one row; returns the completed row.
 
         ``underdetermined`` selects the CASE-3 policy; see
@@ -358,7 +362,9 @@ class RatioRuleModel:
             underdetermined=underdetermined,
         )
 
-    def fill(self, matrix: np.ndarray, *, underdetermined: str = "truncate") -> np.ndarray:
+    def fill(
+        self, matrix: np.ndarray, *, underdetermined: str = "truncate"
+    ) -> np.ndarray:
         """Fill every NaN in an ``N x M`` matrix (data cleaning entry point).
 
         ``underdetermined`` selects the CASE-3 policy, exactly as in
@@ -394,7 +400,10 @@ class RatioRuleModel:
         else:
             fill_op = compute_fill_operator(holes.tolist(), rules.matrix, n_cols)
             centered_known = matrix[:, known] - self.means_[known]
-            tiled = apply_fill_operator(fill_op.operator, centered_known) + self.means_[holes]
+            tiled = (
+                apply_fill_operator(fill_op.operator, centered_known)
+                + self.means_[holes]
+            )
         # Reorder columns to match the caller's hole order.
         position = {int(col): j for j, col in enumerate(holes)}
         order = [position[i] for i in requested]
@@ -443,7 +452,9 @@ class RatioRuleModel:
         from repro.core.guessing_error import guessing_error
 
         self._require_fitted()
-        return guessing_error(self, np.asarray(test_matrix, dtype=np.float64), h=h).value
+        return guessing_error(
+            self, np.asarray(test_matrix, dtype=np.float64), h=h
+        ).value
 
     def __repr__(self) -> str:
         if self.rules_ is None:

@@ -132,7 +132,9 @@ class BasketRecommender:
                 if name in basket:
                     raise ValueError(f"candidate {name!r} is already in the basket")
             predictions = {
-                name: value for name, value in predictions.items() if name in set(candidates)
+                name: value
+                for name, value in predictions.items()
+                if name in set(candidates)
             }
         means = dict(zip(schema.names, self._model.means_))
         recommendations = [

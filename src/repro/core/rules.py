@@ -54,7 +54,8 @@ class RatioRule:
             raise ValueError(f"loadings must be 1-d, got ndim={loadings.ndim}")
         if loadings.shape[0] != self.schema.width:
             raise ValueError(
-                f"loadings length {loadings.shape[0]} != schema width {self.schema.width}"
+                f"loadings length {loadings.shape[0]} != schema width "
+                f"{self.schema.width}"
             )
         object.__setattr__(self, "loadings", loadings)
 
@@ -81,7 +82,9 @@ class RatioRule:
         order = keep[np.argsort(-magnitudes[keep])]
         return [(self.schema[j].name, float(self.loadings[j])) for j in order]
 
-    def ratio_string(self, attributes: Optional[Sequence[str]] = None, *, digits: int = 3) -> str:
+    def ratio_string(
+        self, attributes: Optional[Sequence[str]] = None, *, digits: int = 3
+    ) -> str:
         """Render the rule in the paper's ``a : b => x : y`` form.
 
         Parameters

@@ -66,7 +66,9 @@ class RuleStabilityReport:
         for index in sorted(self.per_rule_angles_degrees):
             median, p90 = self.rule_stability(index)
             stable = "yes" if median <= 10.0 else "no"
-            lines.append(f"{f'RR{index + 1}':>6}  {median:>12.1f}°  {p90:>9.1f}°  {stable}")
+            lines.append(
+                f"{f'RR{index + 1}':>6}  {median:>12.1f}°  {p90:>9.1f}°  {stable}"
+            )
         lines.append(
             f"subspace: median largest principal angle "
             f"{float(np.median(self.subspace_angles_degrees)):.1f}° "

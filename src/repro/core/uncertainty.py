@@ -68,7 +68,9 @@ class CalibratedEstimator:
     harness unchanged.
     """
 
-    def __init__(self, estimator, half_widths: Dict[int, float], confidence: float) -> None:
+    def __init__(
+        self, estimator, half_widths: Dict[int, float], confidence: float
+    ) -> None:
         self._estimator = estimator
         self._half_widths = dict(half_widths)
         self.confidence = confidence
@@ -95,7 +97,9 @@ class CalibratedEstimator:
                 f"{sorted(self._half_widths)}"
             ) from None
 
-    def fill_row_with_intervals(self, row: np.ndarray) -> Tuple[np.ndarray, List[IntervalPrediction]]:
+    def fill_row_with_intervals(
+        self, row: np.ndarray
+    ) -> Tuple[np.ndarray, List[IntervalPrediction]]:
         """Fill a row and report an interval per hole.
 
         Returns

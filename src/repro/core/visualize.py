@@ -149,11 +149,14 @@ def ascii_scatter(
                 if projection.labels is not None
                 else f"row {index}"
             )
-            callouts.append(f"  {marker} = {label} (RR{projection.x_rule + 1}={xi:.1f}, "
-                            f"RR{projection.y_rule + 1}={yi:.1f})")
+            callouts.append(
+                f"  {marker} = {label} (RR{projection.x_rule + 1}={xi:.1f}, "
+                f"RR{projection.y_rule + 1}={yi:.1f})"
+            )
 
     lines = [
-        f"RR{projection.y_rule + 1} (vertical) vs RR{projection.x_rule + 1} (horizontal)",
+        f"RR{projection.y_rule + 1} (vertical) "
+        f"vs RR{projection.x_rule + 1} (horizontal)",
         "+" + "-" * width + "+",
     ]
     lines.extend("|" + "".join(row) + "|" for row in grid)

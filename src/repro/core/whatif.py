@@ -122,4 +122,6 @@ def evaluate_scenario(
 
     result = model.fill_row_detailed(row)
     values = {schema[j].name: float(result.filled[j]) for j in range(schema.width)}
-    return ScenarioResult(values=values, specified=frozenset(specified), case=result.case)
+    return ScenarioResult(
+        values=values, specified=frozenset(specified), case=result.case
+    )

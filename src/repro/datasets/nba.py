@@ -134,7 +134,9 @@ def _nba_spec(n_rows: int) -> LatentFactorSpec:
     )
 
 
-def generate_nba(n_rows: int = 459, *, seed: int = 0, with_outliers: bool = True) -> Dataset:
+def generate_nba(
+    n_rows: int = 459, *, seed: int = 0, with_outliers: bool = True
+) -> Dataset:
     """Generate the simulated `nba` dataset.
 
     Parameters
@@ -155,7 +157,8 @@ def generate_nba(n_rows: int = 459, *, seed: int = 0, with_outliers: bool = True
     if with_outliers:
         if n_rows <= len(_OUTLIER_ROWS):
             raise ValueError(
-                f"n_rows must exceed the {len(_OUTLIER_ROWS)} outlier rows, got {n_rows}"
+                f"n_rows must exceed the {len(_OUTLIER_ROWS)} outlier rows, "
+                f"got {n_rows}"
             )
         spec = _nba_spec(n_rows - len(_OUTLIER_ROWS))
         return generate_latent_factor(

@@ -75,7 +75,9 @@ class QuestBasketGenerator:
         if n_patterns < 1:
             raise ValueError(f"n_patterns must be >= 1, got {n_patterns}")
         if not 0 < popularity_decay <= 1:
-            raise ValueError(f"popularity_decay must be in (0, 1], got {popularity_decay}")
+            raise ValueError(
+                f"popularity_decay must be in (0, 1], got {popularity_decay}"
+            )
         self.n_items = n_items
         self.n_patterns = n_patterns
         self.avg_patterns_per_txn = avg_patterns_per_txn
@@ -177,5 +179,7 @@ class QuestBasketGenerator:
         more than one block in memory.
         """
         with RowStore.create(path, self.schema) as store:
-            for block in self.iter_blocks(n_transactions, block_rows=block_rows, seed=seed):
+            for block in self.iter_blocks(
+                n_transactions, block_rows=block_rows, seed=seed
+            ):
                 store.append(block)

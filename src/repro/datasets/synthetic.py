@@ -208,7 +208,9 @@ def generate_latent_factor(
             )
         matrix = np.vstack([matrix, extra_rows])
         if extra_labels is None:
-            extra_labels = [f"{spec.name}-extra-{i}" for i in range(extra_rows.shape[0])]
+            extra_labels = [
+                f"{spec.name}-extra-{i}" for i in range(extra_rows.shape[0])
+            ]
         if len(extra_labels) != extra_rows.shape[0]:
             raise ValueError("extra_labels length must match extra_rows")
         labels.extend(str(label) for label in extra_labels)

@@ -110,7 +110,14 @@ def run(
     return ExperimentResult(
         experiment_id="ext-wide",
         title="Footnote 1 realized: wide-matrix mining paths",
-        headers=["M", "density", "dense s", "implicit s", "sparse s", "eigenvalues agree"],
+        headers=[
+            "M",
+            "density",
+            "dense s",
+            "implicit s",
+            "sparse s",
+            "eigenvalues agree",
+        ],
         rows=rows,
         claims=claims,
         notes=(

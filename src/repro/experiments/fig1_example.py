@@ -66,7 +66,10 @@ def run(*, seed: int = 0) -> ExperimentResult:
         ),
     }
     rows = [
-        ["mined direction (bread, butter)", f"({direction[0]:.3f}, {direction[1]:.3f})"],
+        [
+            "mined direction (bread, butter)",
+            f"({direction[0]:.3f}, {direction[1]:.3f})",
+        ],
         ["paper's direction", "(0.866, 0.500)"],
         ["angle between them (degrees)", angle_degrees],
         ["energy captured by RR1", f"{model.rules_[0].energy_fraction:.1%}"],

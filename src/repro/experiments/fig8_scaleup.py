@@ -32,7 +32,18 @@ __all__ = ["run", "fit_line"]
 #: range (still a few seconds end to end on a laptop) -- pass
 #: :data:`PAPER_SIZES` explicitly for the full sweep.
 DEFAULT_SIZES = (10_000, 25_000, 50_000, 75_000, 100_000)
-PAPER_SIZES = (10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000, 80_000, 90_000, 100_000)
+PAPER_SIZES = (
+    10_000,
+    20_000,
+    30_000,
+    40_000,
+    50_000,
+    60_000,
+    70_000,
+    80_000,
+    90_000,
+    100_000,
+)
 
 
 def fit_line(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:

@@ -68,7 +68,13 @@ def run(*, seed: int = 0) -> ExperimentResult:
         ("MALONE-LIKE", malone),
     ):
         rows.append(
-            ["nba", name, float(side.x[index]), float(side.y[index]), float(front.y[index])]
+            [
+                "nba",
+                name,
+                float(side.x[index]),
+                float(side.y[index]),
+                float(front.y[index]),
+            ]
         )
 
     # --- baseball & abalone (Fig. 9) -------------------------------------
@@ -91,7 +97,13 @@ def run(*, seed: int = 0) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="fig9+fig11",
         title="RR-space projections and outlier call-outs",
-        headers=["dataset", "row", "RR1 coord / x-range", "RR2 coord / y-range", "RR3 coord / spread ratio"],
+        headers=[
+            "dataset",
+            "row",
+            "RR1 coord / x-range",
+            "RR2 coord / y-range",
+            "RR3 coord / spread ratio",
+        ],
         rows=rows,
         claims=claims,
         notes=(

@@ -110,7 +110,9 @@ def register_experiment(
 ) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
     """Decorator adding an experiment ``run`` function to the registry."""
 
-    def decorator(run: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+    def decorator(
+        run: Callable[..., ExperimentResult],
+    ) -> Callable[..., ExperimentResult]:
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
         _REGISTRY[experiment_id] = (title, run)

@@ -41,7 +41,9 @@ def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) ->
     return "\n".join(lines)
 
 
-def render_markdown(results: Sequence[ExperimentResult], *, title: str = "Reproduction report") -> str:
+def render_markdown(
+    results: Sequence[ExperimentResult], *, title: str = "Reproduction report"
+) -> str:
     """Render experiment results as one markdown document."""
     total_claims = sum(len(r.claims) for r in results)
     upheld = sum(sum(r.claims.values()) for r in results)

@@ -233,7 +233,9 @@ class MatrixReader(abc.ABC):
 class ArrayReader(MatrixReader):
     """Streaming facade over an in-memory ``N x M`` array."""
 
-    def __init__(self, matrix: np.ndarray, schema: Optional[TableSchema] = None) -> None:
+    def __init__(
+        self, matrix: np.ndarray, schema: Optional[TableSchema] = None
+    ) -> None:
         super().__init__()
         matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
@@ -241,7 +243,9 @@ class ArrayReader(MatrixReader):
         if matrix.shape[1] < 1:
             raise ValueError("matrix must have at least one column")
         self._matrix = matrix
-        self._schema = schema if schema is not None else TableSchema.generic(matrix.shape[1])
+        self._schema = (
+            schema if schema is not None else TableSchema.generic(matrix.shape[1])
+        )
         if self._schema.width != matrix.shape[1]:
             raise ValueError(
                 f"schema width {self._schema.width} != matrix width {matrix.shape[1]}"

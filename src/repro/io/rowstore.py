@@ -112,7 +112,9 @@ class RowStore:
             consume(block)
     """
 
-    def __init__(self, path: Union[str, Path], header: RowStoreHeader, handle, mode: str) -> None:
+    def __init__(
+        self, path: Union[str, Path], header: RowStoreHeader, handle, mode: str
+    ) -> None:
         self._path = Path(path)
         self._header = header
         self._handle = handle
@@ -330,7 +332,8 @@ class RowStore:
             raw = self._handle.read(take * bytes_per_row)
             if len(raw) != take * bytes_per_row:
                 raise RowStoreError(
-                    f"file truncated: expected {take} rows, got {len(raw) // bytes_per_row}"
+                    f"file truncated: expected {take} rows, "
+                    f"got {len(raw) // bytes_per_row}"
                 )
             yield np.frombuffer(raw, dtype=np.float64).reshape(take, self.n_cols)
             remaining -= take

@@ -58,7 +58,9 @@ class TableSchema:
             raise ValueError(f"duplicate column names: {sorted(duplicates)}")
 
     @classmethod
-    def from_names(cls, names: Iterable[str], *, unit: Optional[str] = None) -> "TableSchema":
+    def from_names(
+        cls, names: Iterable[str], *, unit: Optional[str] = None
+    ) -> "TableSchema":
         """Build a schema from bare column names, sharing one optional unit."""
         return cls(tuple(ColumnSchema(name=name, unit=unit) for name in names))
 

@@ -28,7 +28,9 @@ from repro.linalg.tridiagonal import tridiagonal_eigensystem
 __all__ = ["householder_tridiagonalize", "householder_eigensystem"]
 
 
-def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def householder_tridiagonalize(
+    matrix: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Reduce a symmetric matrix to tridiagonal form.
 
     Returns ``(diagonal, off_diagonal, q)`` with
@@ -92,7 +94,9 @@ def householder_tridiagonalize(matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarr
         w = block @ v
         tau = float(v @ w)
         # block <- H block H = block - 2 v w^t - 2 w v^t + 4 tau v v^t
-        block -= 2.0 * np.outer(v, w) + 2.0 * np.outer(w, v) - 4.0 * tau * np.outer(v, v)
+        block -= (
+            2.0 * np.outer(v, w) + 2.0 * np.outer(w, v) - 4.0 * tau * np.outer(v, v)
+        )
         a[k + 1 :, k + 1 :] = (block + block.T) / 2.0
 
         # Fix column/row k (alpha was computed on the rescaled column).

@@ -147,7 +147,9 @@ def lanczos_eigensystem(
         previous = basis[:, step]
         basis[:, step + 1] = w / beta
 
-    tri_values, tri_vectors = _tridiagonal_eigensystem(alphas[:steps], betas[: steps - 1])
+    tri_values, tri_vectors = _tridiagonal_eigensystem(
+        alphas[:steps], betas[: steps - 1]
+    )
     available = min(k, steps)
     eigenvalues = tri_values[:available]
     eigenvectors = basis[:, :steps] @ tri_vectors[:, :available]
@@ -174,7 +176,9 @@ def lanczos_eigensystem(
     return eigenvalues, eigenvectors
 
 
-def _tridiagonal_eigensystem(diagonal: np.ndarray, off_diagonal: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _tridiagonal_eigensystem(
+    diagonal: np.ndarray, off_diagonal: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     """Full eigensystem of a symmetric tridiagonal matrix, descending order.
 
     Delegates to our from-scratch QL-with-implicit-shifts solver

@@ -54,7 +54,9 @@ def as_float_matrix(data, *, name: str = "data") -> np.ndarray:
     return matrix
 
 
-def center_columns(matrix: np.ndarray, means: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+def center_columns(
+    matrix: np.ndarray, means: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """Subtract column means, producing the paper's zero-mean matrix ``Xc``.
 
     Parameters
@@ -138,7 +140,9 @@ def is_orthonormal(vectors: np.ndarray, *, atol: float = 1e-8) -> bool:
     return bool(np.allclose(gram, np.eye(vectors.shape[1]), atol=atol))
 
 
-def relative_residual(matrix: np.ndarray, eigenvalues: np.ndarray, eigenvectors: np.ndarray) -> float:
+def relative_residual(
+    matrix: np.ndarray, eigenvalues: np.ndarray, eigenvectors: np.ndarray
+) -> float:
     """Relative residual ``||C V - V diag(lambda)|| / max(||C||, eps)``.
 
     A small residual certifies that ``(eigenvalues, eigenvectors)``

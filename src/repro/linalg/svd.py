@@ -120,7 +120,9 @@ def svd_decompose_normalized(
         values, right = _symmetric_eigensystem(gram, backend)
         values = np.clip(values, 0.0, None)
         singular = np.sqrt(values)
-        keep = singular > rcond * max(float(singular[0]) if singular.size else 0.0, np.finfo(np.float64).tiny)
+        keep = singular > rcond * max(
+            float(singular[0]) if singular.size else 0.0, np.finfo(np.float64).tiny
+        )
         right = right[:, keep]
         singular = singular[keep]
         if singular.size == 0:
@@ -133,7 +135,9 @@ def svd_decompose_normalized(
     values, left = _symmetric_eigensystem(gram, backend)
     values = np.clip(values, 0.0, None)
     singular = np.sqrt(values)
-    keep = singular > rcond * max(float(singular[0]) if singular.size else 0.0, np.finfo(np.float64).tiny)
+    keep = singular > rcond * max(
+        float(singular[0]) if singular.size else 0.0, np.finfo(np.float64).tiny
+    )
     left = left[:, keep]
     singular = singular[keep]
     if singular.size == 0:
@@ -142,7 +146,9 @@ def svd_decompose_normalized(
     return SVDResult(left, singular, right.T)
 
 
-def _symmetric_eigensystem(gram: np.ndarray, backend: str) -> Tuple[np.ndarray, np.ndarray]:
+def _symmetric_eigensystem(
+    gram: np.ndarray, backend: str
+) -> Tuple[np.ndarray, np.ndarray]:
     """Descending-order eigensystem of a symmetric PSD Gram matrix."""
     if backend == "jacobi":
         return jacobi_eigensystem(gram)

@@ -231,7 +231,9 @@ class ModelStore:
         self.fault_hook = fault_hook
         self.lock_timeout = float(lock_timeout)
         self.stale_lock_after = float(stale_lock_after)
-        self._cache: "OrderedDict[Tuple[str, int], Tuple[StoredSnapshot, RatioRuleModel]]" = OrderedDict()
+        self._cache: (
+            "OrderedDict[Tuple[str, int], Tuple[StoredSnapshot, RatioRuleModel]]"
+        ) = OrderedDict()
         self._cache_lock = threading.Lock()
 
     # -- paths -------------------------------------------------------------

@@ -97,8 +97,12 @@ class TestCompareModels:
 
     def test_schema_mismatch_rejected(self, rng):
         matrix = ratio_data(rng, [1.0, 2.0])
-        model_a = RatioRuleModel(cutoff=1).fit(matrix, TableSchema.from_names(["a", "b"]))
-        model_b = RatioRuleModel(cutoff=1).fit(matrix, TableSchema.from_names(["x", "y"]))
+        model_a = RatioRuleModel(cutoff=1).fit(
+            matrix, TableSchema.from_names(["a", "b"])
+        )
+        model_b = RatioRuleModel(cutoff=1).fit(
+            matrix, TableSchema.from_names(["x", "y"])
+        )
         with pytest.raises(ValueError, match="different attributes"):
             compare_models(model_a, model_b)
 

@@ -22,7 +22,9 @@ class TestStreamingCovariance:
         matrix = rng.standard_normal((200, 6)) * 3.0 + 1.0
         acc = StreamingCovariance(6)
         acc.update(matrix)
-        np.testing.assert_allclose(acc.scatter_matrix(), reference_scatter(matrix), atol=1e-9)
+        np.testing.assert_allclose(
+            acc.scatter_matrix(), reference_scatter(matrix), atol=1e-9
+        )
         np.testing.assert_allclose(acc.column_means, matrix.mean(axis=0))
         assert acc.n_rows == 200
 
@@ -43,7 +45,9 @@ class TestStreamingCovariance:
         acc = StreamingCovariance(3)
         for row in matrix:
             acc.update(row)  # 1-d rows accepted
-        np.testing.assert_allclose(acc.scatter_matrix(), reference_scatter(matrix), atol=1e-9)
+        np.testing.assert_allclose(
+            acc.scatter_matrix(), reference_scatter(matrix), atol=1e-9
+        )
 
     def test_merge_equals_single_scan(self, rng):
         matrix = rng.standard_normal((150, 5)) + 10.0
@@ -52,7 +56,9 @@ class TestStreamingCovariance:
         right = StreamingCovariance(5)
         right.update(matrix[70:])
         left.merge(right)
-        np.testing.assert_allclose(left.scatter_matrix(), reference_scatter(matrix), atol=1e-8)
+        np.testing.assert_allclose(
+            left.scatter_matrix(), reference_scatter(matrix), atol=1e-8
+        )
         assert left.n_rows == 150
 
     def test_merge_into_empty(self, rng):
@@ -61,7 +67,9 @@ class TestStreamingCovariance:
         full.update(matrix)
         empty = StreamingCovariance(3)
         empty.merge(full)
-        np.testing.assert_allclose(empty.scatter_matrix(), reference_scatter(matrix), atol=1e-9)
+        np.testing.assert_allclose(
+            empty.scatter_matrix(), reference_scatter(matrix), atol=1e-9
+        )
 
     def test_merge_empty_is_noop(self, rng):
         matrix = rng.standard_normal((30, 3))
@@ -165,7 +173,9 @@ class TestTextbookAccumulator:
         matrix = rng.standard_normal((100, 4))
         acc = TextbookCovarianceAccumulator(4)
         acc.update(matrix)
-        np.testing.assert_allclose(acc.scatter_matrix(), reference_scatter(matrix), atol=1e-8)
+        np.testing.assert_allclose(
+            acc.scatter_matrix(), reference_scatter(matrix), atol=1e-8
+        )
 
     def test_catastrophic_cancellation_demonstrated(self, rng):
         """The documented failure mode: huge means destroy the textbook sum.

@@ -65,8 +65,12 @@ class TestDecayingCovariance:
     def test_recent_data_dominates(self, rng):
         """After a regime change, the scatter follows the new regime."""
         decaying = DecayingCovariance(2, decay=0.5)
-        old = np.outer(rng.normal(0, 3, 200), [1.0, 0.0]) + rng.normal(0, 0.01, (200, 2))
-        new = np.outer(rng.normal(0, 3, 200), [0.0, 1.0]) + rng.normal(0, 0.01, (200, 2))
+        old = np.outer(rng.normal(0, 3, 200), [1.0, 0.0]) + rng.normal(
+            0, 0.01, (200, 2)
+        )
+        new = np.outer(rng.normal(0, 3, 200), [0.0, 1.0]) + rng.normal(
+            0, 0.01, (200, 2)
+        )
         decaying.update(old)
         for start in range(0, 200, 20):
             decaying.update(new[start : start + 20])

@@ -106,7 +106,11 @@ class TestResolveCutoff:
 
     @pytest.mark.parametrize(
         "name,expected",
-        [("paper", EnergyCutoff), ("scree", ScreeCutoff), ("kaiser", AverageEigenvalueCutoff)],
+        [
+            ("paper", EnergyCutoff),
+            ("scree", ScreeCutoff),
+            ("kaiser", AverageEigenvalueCutoff),
+        ],
     )
     def test_names(self, name, expected):
         assert isinstance(resolve_cutoff(name), expected)

@@ -58,7 +58,9 @@ def fault_free(csv_shards):
 
 class TestRetryPolicy:
     def test_exponential_backoff_with_cap(self):
-        policy = RetryPolicy(max_retries=5, backoff_seconds=0.1, max_backoff_seconds=0.3)
+        policy = RetryPolicy(
+            max_retries=5, backoff_seconds=0.1, max_backoff_seconds=0.3
+        )
         assert policy.delay(0) == 0.0
         assert policy.delay(1) == pytest.approx(0.1)
         assert policy.delay(2) == pytest.approx(0.2)
@@ -159,7 +161,9 @@ class TestRetryRecovery:
             backoff_seconds=0.0,
             fault_injector=FaultInjector(state_dir, fail={1: 1}),
         )
-        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-8)
+        np.testing.assert_allclose(
+            model.rules_matrix, reference.rules_matrix, atol=1e-8
+        )
         np.testing.assert_allclose(model.means_, reference.means_)
         assert model.metrics_.n_faults == 1
 
@@ -180,7 +184,9 @@ class TestRetryRecovery:
 
 
 class TestQuarantine:
-    def test_skip_policy_completes_on_surviving_data(self, csv_shards, matrix, state_dir):
+    def test_skip_policy_completes_on_surviving_data(
+        self, csv_shards, matrix, state_dir
+    ):
         result = scan_sources(
             csv_shards,
             executor="serial",

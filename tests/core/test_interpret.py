@@ -88,7 +88,13 @@ class TestLoadingTable:
         return RuleSet(
             [
                 make_rule(schema, [0.8, 0.45, 0.3, 0.3], index=0),
-                make_rule(schema, [0.05, -0.5, 0.8, 0.02], index=1, eigenvalue=2.0, energy=0.15),
+                make_rule(
+                    schema,
+                    [0.05, -0.5, 0.8, 0.02],
+                    index=1,
+                    eigenvalue=2.0,
+                    energy=0.15,
+                ),
             ]
         )
 

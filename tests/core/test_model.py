@@ -88,7 +88,9 @@ class TestFitBasics:
 
 
 class TestBackends:
-    @pytest.mark.parametrize("backend", ["numpy", "jacobi", "householder", "power", "lanczos"])
+    @pytest.mark.parametrize(
+        "backend", ["numpy", "jacobi", "householder", "power", "lanczos"]
+    )
     def test_backends_agree(self, correlated_matrix, backend):
         reference = RatioRuleModel(cutoff=2).fit(correlated_matrix)
         model = RatioRuleModel(cutoff=2, backend=backend).fit(correlated_matrix)
@@ -131,14 +133,18 @@ class TestEstimation:
             filled = correlated_model.fill_row(row)
             np.testing.assert_allclose(batch[i], filled[holes], atol=1e-9)
 
-    def test_predict_holes_column_order_respected(self, correlated_model, correlated_matrix):
+    def test_predict_holes_column_order_respected(
+        self, correlated_model, correlated_matrix
+    ):
         test = correlated_matrix[:4]
         forward = correlated_model.predict_holes(test, [1, 3])
         backward = correlated_model.predict_holes(test, [3, 1])
         np.testing.assert_allclose(forward[:, 0], backward[:, 1])
         np.testing.assert_allclose(forward[:, 1], backward[:, 0])
 
-    def test_predict_holes_ignores_target_values(self, correlated_model, correlated_matrix):
+    def test_predict_holes_ignores_target_values(
+        self, correlated_model, correlated_matrix
+    ):
         """The prediction must not peek at the hidden column."""
         test = correlated_matrix[:5].copy()
         baseline_prediction = correlated_model.predict_holes(test, [2])

@@ -37,11 +37,15 @@ class TestOnlineModel:
     def test_rules_track_drift(self, rng):
         """New data along a different direction rotates the rules."""
         online = OnlineRatioRuleModel(2, cutoff=1)
-        phase1 = np.outer(rng.normal(0, 3, 300), [1.0, 0.0]) + rng.normal(0, 0.01, (300, 2))
+        phase1 = np.outer(rng.normal(0, 3, 300), [1.0, 0.0]) + rng.normal(
+            0, 0.01, (300, 2)
+        )
         online.update(phase1)
         direction1 = online.model().rules_matrix[:, 0]
         # Flood with data along the other axis.
-        phase2 = np.outer(rng.normal(0, 9, 3000), [0.0, 1.0]) + rng.normal(0, 0.01, (3000, 2))
+        phase2 = np.outer(rng.normal(0, 9, 3000), [0.0, 1.0]) + rng.normal(
+            0, 0.01, (3000, 2)
+        )
         online.update(phase2)
         direction2 = online.model().rules_matrix[:, 0]
         assert abs(direction1[0]) > 0.9  # first rule was x-ish

@@ -38,7 +38,10 @@ class TestRatioRule:
     def test_dominant_attributes_sorted_and_thresholded(self, schema):
         rule = make_rule(schema, loadings=(0.9, -0.5, 0.05))
         dominant = rule.dominant_attributes(threshold=0.2)
-        assert dominant == [("bread", pytest.approx(0.9)), ("milk", pytest.approx(-0.5))]
+        assert dominant == [
+            ("bread", pytest.approx(0.9)),
+            ("milk", pytest.approx(-0.5)),
+        ]
 
     def test_dominant_attributes_zero_rule(self, schema):
         rule = make_rule(schema, loadings=(0.0, 0.0, 0.0))
@@ -70,8 +73,12 @@ class TestRatioRule:
 class TestRuleSet:
     def _make_set(self, schema):
         rules = [
-            make_rule(schema, index=0, loadings=(0.9, 0.3, 0.3), eigenvalue=8.0, energy=0.8),
-            make_rule(schema, index=1, loadings=(-0.3, 0.9, 0.1), eigenvalue=1.5, energy=0.15),
+            make_rule(
+                schema, index=0, loadings=(0.9, 0.3, 0.3), eigenvalue=8.0, energy=0.8
+            ),
+            make_rule(
+                schema, index=1, loadings=(-0.3, 0.9, 0.1), eigenvalue=1.5, energy=0.15
+            ),
         ]
         return RuleSet(rules)
 

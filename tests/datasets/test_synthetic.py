@@ -23,8 +23,12 @@ def simple_spec(n_rows=100, clip_min=None, round_digits=None):
             Factor(loadings=np.array([1.0, -1.0, 0.0]), name="contrast"),
         ),
         archetypes=(
-            Archetype(weight=0.7, score_means=(2.0, 0.0), score_stds=(0.5, 1.0), name="big"),
-            Archetype(weight=0.3, score_means=(0.5, 0.0), score_stds=(0.2, 0.5), name="small"),
+            Archetype(
+                weight=0.7, score_means=(2.0, 0.0), score_stds=(0.5, 1.0), name="big"
+            ),
+            Archetype(
+                weight=0.3, score_means=(0.5, 0.0), score_stds=(0.2, 0.5), name="small"
+            ),
         ),
         base_row=np.array([10.0, 20.0, 30.0]),
         noise_stds=np.array([0.1, 0.1, 0.1]),
@@ -44,7 +48,9 @@ class TestSpecValidation:
                 n_rows=10,
                 schema=TableSchema.from_names(["x", "y"]),
                 factors=(Factor(loadings=np.array([1.0, 2.0])),),
-                archetypes=(Archetype(weight=1.0, score_means=(0.0,), score_stds=(1.0,)),),
+                archetypes=(
+                    Archetype(weight=1.0, score_means=(0.0,), score_stds=(1.0,)),
+                ),
                 base_row=np.zeros(3),
                 noise_stds=np.zeros(2),
             )
@@ -56,7 +62,9 @@ class TestSpecValidation:
                 n_rows=10,
                 schema=TableSchema.from_names(["x", "y"]),
                 factors=(Factor(loadings=np.array([1.0, 2.0, 3.0])),),
-                archetypes=(Archetype(weight=1.0, score_means=(0.0,), score_stds=(1.0,)),),
+                archetypes=(
+                    Archetype(weight=1.0, score_means=(0.0,), score_stds=(1.0,)),
+                ),
                 base_row=np.zeros(2),
                 noise_stds=np.zeros(2),
             )
@@ -69,7 +77,9 @@ class TestSpecValidation:
                 schema=TableSchema.from_names(["x"]),
                 factors=(Factor(loadings=np.array([1.0])),),
                 archetypes=(
-                    Archetype(weight=1.0, score_means=(0.0, 0.0), score_stds=(1.0, 1.0)),
+                    Archetype(
+                        weight=1.0, score_means=(0.0, 0.0), score_stds=(1.0, 1.0)
+                    ),
                 ),
                 base_row=np.zeros(1),
                 noise_stds=np.zeros(1),

@@ -57,7 +57,9 @@ class TestGzipCSV:
         save_csv_matrix(path, matrix, schema)
         model = RatioRuleModel().fit(path)
         reference = RatioRuleModel().fit(matrix)
-        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-10)
+        np.testing.assert_allclose(
+            model.rules_matrix, reference.rules_matrix, atol=1e-10
+        )
 
     def test_open_text_write_read(self, tmp_path):
         path = tmp_path / "hello.txt.gz"

@@ -21,7 +21,11 @@ def matrices():
     ).flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
 
 
-@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(matrix=matrices())
 def test_rowstore_round_trip_exact(tmp_path, matrix):
     """Binary storage is bit-exact for any finite float matrix."""
@@ -31,7 +35,11 @@ def test_rowstore_round_trip_exact(tmp_path, matrix):
     assert np.array_equal(restored, matrix)
 
 
-@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(matrix=matrices(), block=st.integers(1, 9))
 def test_rowstore_block_iteration_complete(tmp_path, matrix, block):
     """Every block size yields the full matrix, in order."""
@@ -44,7 +52,11 @@ def test_rowstore_block_iteration_complete(tmp_path, matrix, block):
     assert all(b.shape[0] <= block for b in blocks)
 
 
-@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(matrix=matrices())
 def test_csv_round_trip_exact(tmp_path, matrix):
     """repr-based CSV serialization round-trips float64 exactly."""
@@ -54,7 +66,11 @@ def test_csv_round_trip_exact(tmp_path, matrix):
     assert np.array_equal(restored, matrix)
 
 
-@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(
     matrix=matrices(),
     split=st.integers(0, 24),

@@ -62,13 +62,17 @@ class TestPartitionedReader:
     def test_model_fit_matches_monolithic(self, partition_dir, matrix):
         model = RatioRuleModel(cutoff=1).fit(PartitionedReader(partition_dir))
         reference = RatioRuleModel(cutoff=1).fit(matrix)
-        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-9)
+        np.testing.assert_allclose(
+            model.rules_matrix, reference.rules_matrix, atol=1e-9
+        )
 
     def test_shard_paths_feed_fit_sharded(self, partition_dir, matrix):
         reader = PartitionedReader(partition_dir)
         model = fit_sharded(reader.shard_paths(), cutoff=1, max_workers=3)
         reference = RatioRuleModel(cutoff=1).fit(matrix)
-        np.testing.assert_allclose(model.rules_matrix, reference.rules_matrix, atol=1e-8)
+        np.testing.assert_allclose(
+            model.rules_matrix, reference.rules_matrix, atol=1e-8
+        )
 
     def test_open_matrix_dispatches_directories(self, partition_dir, matrix):
         from repro.io.matrix_reader import open_matrix

@@ -27,7 +27,9 @@ class TestTridiagonalization:
         np.testing.assert_allclose(q.T @ q, np.eye(10), atol=1e-10)
 
     def test_already_tridiagonal_unchanged_bands(self):
-        tri = np.diag([3.0, 2.0, 1.0]) + np.diag([0.5, 0.4], 1) + np.diag([0.5, 0.4], -1)
+        tri = (
+            np.diag([3.0, 2.0, 1.0]) + np.diag([0.5, 0.4], 1) + np.diag([0.5, 0.4], -1)
+        )
         diagonal, off_diagonal, _q = householder_tridiagonalize(tri)
         np.testing.assert_allclose(diagonal, [3.0, 2.0, 1.0], atol=1e-12)
         np.testing.assert_allclose(np.abs(off_diagonal), [0.5, 0.4], atol=1e-12)

@@ -52,7 +52,9 @@ class TestConstruction:
         with pytest.raises(ValueError, match="indptr"):
             CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (3, 2))
         with pytest.raises(ValueError, match="non-decreasing"):
-            CSRMatrix(np.array([0, 2, 1]), np.array([0, 0]), np.array([1.0, 1.0]), (2, 2))
+            CSRMatrix(
+                np.array([0, 2, 1]), np.array([0, 0]), np.array([1.0, 1.0]), (2, 2)
+            )
 
     def test_from_dense_rejects_1d(self):
         with pytest.raises(ValueError, match="2-d"):

@@ -22,7 +22,9 @@ def csv_file(tmp_path, rng):
 def model_file(tmp_path, csv_file):
     path, matrix = csv_file
     model_path = tmp_path / "model.npz"
-    RatioRuleModel().fit(matrix, TableSchema.from_names(["a", "b", "c"])).save(model_path)
+    RatioRuleModel().fit(matrix, TableSchema.from_names(["a", "b", "c"])).save(
+        model_path
+    )
     return model_path
 
 
@@ -229,7 +231,10 @@ class TestFill:
         holes_path = tmp_path / "holes.csv"
         holes_path.write_text("a,b,c\n4.0,nan,12.0\n")
         out_path = tmp_path / "filled.csv"
-        assert main(["fill", str(model_file), str(holes_path), "--output", str(out_path)]) == 0
+        assert (
+            main(["fill", str(model_file), str(holes_path), "--output", str(out_path)])
+            == 0
+        )
         matrix, _schema = load_csv_matrix(out_path)
         assert not np.isnan(matrix).any()
 

@@ -26,5 +26,7 @@ MODULES_WITH_DOCTESTS = [
 )
 def test_module_doctests(module):
     results = doctest.testmod(module, verbose=False)
-    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert (
+        results.failed == 0
+    ), f"{results.failed} doctest failure(s) in {module.__name__}"
     assert results.attempted > 0, f"no doctests found in {module.__name__}"
