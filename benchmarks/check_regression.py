@@ -51,6 +51,7 @@ PAIRINGS = {
     "BENCH_serve_http.json": "serve_http.json",
     "BENCH_engine.json": "engine_scaleup.json",
     "BENCH_obs.json": "obs_overhead.json",
+    "BENCH_watch.json": "watch.json",
 }
 
 

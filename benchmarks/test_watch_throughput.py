@@ -1,0 +1,155 @@
+"""Closed-loop watch-daemon throughput and the cost of the scoring tap.
+
+Two runs over the identical pre-chunked stream:
+
+- *bare*: an :class:`IngestionPipeline` with no tap -- the ingestion
+  ceiling on this machine;
+- *watched*: a :class:`WatchDaemon` (seeded model, warm calibration)
+  scoring and routing every row before the same accumulator.
+
+``watch_vs_bare`` -- the fraction of bare ingest throughput the daemon
+sustains while scoring every row -- is a ratio, so it transfers across
+machines and is the gated metric.  Absolute rows/s are recorded for
+context but not gated (machine-dependent).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.outliers import calibrate_residuals
+from repro.io.schema import TableSchema
+from repro.obs.metrics import WatchMetrics
+from repro.pipeline import IngestionPipeline, QueueSource, RefreshPolicy
+from repro.serve.registry import ModelRegistry
+from repro.watch import (
+    NotificationManager,
+    RoutingPolicy,
+    RowQuarantine,
+    WatchDaemon,
+)
+
+pytestmark = pytest.mark.watch
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+N_ROWS = 200_000
+N_COLS = 8
+BATCH_ROWS = 4096
+BLOCK_ROWS = 4096
+REPEATS = 3
+MIN_WATCH_VS_BARE = 0.02  # the tap does real per-row work; keep a floor
+
+
+def make_stream(rng):
+    factor = rng.normal(5.0, 2.0, size=N_ROWS)
+    loadings = rng.uniform(0.5, 3.0, size=N_COLS)
+    matrix = np.outer(factor, loadings)
+    matrix += rng.normal(0.0, 0.05, size=matrix.shape)
+    return matrix
+
+
+def feed(matrix):
+    source = QueueSource(N_COLS)
+    for start in range(0, N_ROWS, BATCH_ROWS):
+        source.put(matrix[start : start + BATCH_ROWS])
+    source.close()
+    return source
+
+
+def best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bare(matrix):
+    pipeline = IngestionPipeline(
+        feed(matrix),
+        cutoff=1,
+        block_rows=BLOCK_ROWS,
+        batch_rows=BATCH_ROWS,
+        policy=RefreshPolicy(min_rows=10**9),
+    )
+    pipeline.run()
+    assert pipeline.rows_ingested == N_ROWS
+
+
+def run_watched(matrix, model, calibration_template, tmp_path, index=[0]):
+    registry = ModelRegistry()
+    registry.publish(model)
+    index[0] += 1
+    metrics = WatchMetrics()
+    daemon = WatchDaemon(
+        feed(matrix),
+        quarantine=RowQuarantine(tmp_path / f"q-{index[0]}.jsonl"),
+        notifier=NotificationManager(metrics=metrics),
+        metrics=metrics,
+        registry=registry,
+        calibration=calibration_template.copy(),
+        policy=RoutingPolicy(clean_sigmas=8.0, quarantine_sigmas=8.0),
+        cutoff=1,
+        block_rows=BLOCK_ROWS,
+        batch_rows=BATCH_ROWS,
+        refresh_policy=RefreshPolicy(min_rows=10**9),
+    )
+    daemon.run()
+    assert daemon.metrics.rows_seen == N_ROWS
+    assert daemon.metrics.rows_scored == N_ROWS
+
+
+def test_watch_throughput(tmp_path):
+    rng = np.random.default_rng(17)
+    matrix = make_stream(rng)
+    schema = TableSchema.generic(N_COLS)
+    model = RatioRuleModel(cutoff=1).fit(matrix[:20_000], schema)
+    calibration = calibrate_residuals(model, matrix[:20_000])
+
+    t_bare = best_of(lambda: run_bare(matrix))
+    t_watched = best_of(
+        lambda: run_watched(matrix, model, calibration, tmp_path)
+    )
+
+    bare_rps = N_ROWS / t_bare
+    watched_rps = N_ROWS / t_watched
+    watch_vs_bare = t_bare / t_watched
+
+    lines = [
+        "Watch-daemon closed-loop throughput (score + route every row)",
+        f"  workload: {N_ROWS} rows x {N_COLS} cols, batches of "
+        f"{BATCH_ROWS} (best of {REPEATS})",
+        f"  bare pipeline:    {t_bare:8.3f} s  ({bare_rps:12,.0f} rows/s)",
+        f"  watched pipeline: {t_watched:8.3f} s  "
+        f"({watched_rps:12,.0f} rows/s)",
+        f"  watch vs bare:    {watch_vs_bare:8.3f} "
+        f"(floor {MIN_WATCH_VS_BARE})",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "watch.txt").write_text("\n".join(lines) + "\n")
+    # Machine-readable twin, consumed by benchmarks/check_regression.py
+    # against BENCH_watch.json.  All metrics are higher-is-better.
+    (RESULTS_DIR / "watch.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "watch_throughput",
+                "cpu_count": os.cpu_count() or 1,
+                "metrics": {
+                    "watch_vs_bare": watch_vs_bare,
+                    "watched_rows_per_second": watched_rps,
+                    "bare_rows_per_second": bare_rps,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert watch_vs_bare > MIN_WATCH_VS_BARE, "\n".join(lines)

@@ -550,6 +550,157 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_arguments(pipeline)
     _add_obs_arguments(pipeline)
 
+    watch = subparsers.add_parser(
+        "watch",
+        help="always-on anomaly/cleaning daemon in front of the pipeline",
+    )
+    watch_sub = watch.add_subparsers(dest="watch_command", required=True)
+    watch_run = watch_sub.add_parser(
+        "run",
+        help="tail a CSV, score each row against the live model, and "
+        "pass/clean/quarantine it before the accumulator",
+    )
+    watch_run.add_argument("data", help="CSV file to watch (may keep growing)")
+    watch_run.add_argument(
+        "--model",
+        metavar="MODEL.npz",
+        default=None,
+        help="seed model to score against from the first row "
+        "(default: bootstrap from the stream itself)",
+    )
+    watch_run.add_argument(
+        "--quarantine",
+        metavar="PATH",
+        default=None,
+        help="append-only quarantine JSONL "
+        "(default: <data>.quarantine.jsonl)",
+    )
+    watch_run.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="append structured events to this JSONL file",
+    )
+    watch_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the stdout event sink",
+    )
+    watch_run.add_argument(
+        "--status-file",
+        metavar="PATH",
+        default=None,
+        help="write a live status snapshot here after every poll "
+        "(read it with 'ratio-rules watch status')",
+    )
+    watch_run.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="final status rendering on exit",
+    )
+    watch_run.add_argument(
+        "--clean-sigmas",
+        type=float,
+        default=4.0,
+        metavar="Z",
+        help="residual z-score above which a row is repaired",
+    )
+    watch_run.add_argument(
+        "--quarantine-sigmas",
+        type=float,
+        default=8.0,
+        metavar="Z",
+        help="residual z-score above which a row is quarantined",
+    )
+    watch_run.add_argument(
+        "--min-calibration-rows",
+        type=int,
+        default=64,
+        metavar="N",
+        help="rows observed before scoring starts",
+    )
+    watch_run.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for appended rows after end-of-file "
+        "(Ctrl-C to stop; default: stop at end-of-file)",
+    )
+    watch_run.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="sleep between empty polls in --follow mode",
+    )
+    watch_run.add_argument(
+        "--batch-rows",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="rows scored per daemon step",
+    )
+    watch_run.add_argument(
+        "--block-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="accumulator fold granularity (match the offline fit's "
+        "block size for bit-identical refits)",
+    )
+    watch_run.add_argument(
+        "--cutoff",
+        default=None,
+        help="rules to keep (same forms as 'fit --cutoff')",
+    )
+    watch_run.add_argument(
+        "--backend",
+        default="numpy",
+        choices=["numpy", "jacobi", "householder", "power", "lanczos"],
+        help="eigensolver backend for refits",
+    )
+    watch_run.add_argument(
+        "--on-bad-row",
+        default="raise",
+        choices=["raise", "skip"],
+        help="what to do with a corrupt CSV row (see 'pipeline')",
+    )
+    watch_run.add_argument(
+        "--min-rows",
+        type=int,
+        default=256,
+        metavar="N",
+        help="rows since last refresh required before the next one",
+    )
+    watch_run.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N polls (bounded runs)",
+    )
+    watch_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print watch/pipeline telemetry on exit",
+    )
+    _add_store_arguments(watch_run)
+    _add_obs_arguments(watch_run)
+    watch_status = watch_sub.add_parser(
+        "status",
+        help="render a status snapshot written by 'watch run --status-file'",
+    )
+    watch_status.add_argument(
+        "status_file",
+        help="status JSON written by 'watch run --status-file'",
+    )
+    watch_status.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format",
+    )
+
     ge = subparsers.add_parser("ge", help="guessing error of a model on test data")
     ge.add_argument("model", help="model .npz produced by 'fit --save'")
     ge.add_argument("data", help="complete test .csv or row-store file")
@@ -774,11 +925,13 @@ class _ObsSession:
             ServeHttpMetrics,
             ServeMetrics,
             StoreMetrics,
+            WatchMetrics,
             register_pipeline_metrics,
             register_scan_metrics,
             register_serve_http_metrics,
             register_serve_metrics,
             register_store_metrics,
+            register_watch_metrics,
         )
 
         registry = self._server.registry
@@ -792,6 +945,8 @@ class _ObsSession:
             register_pipeline_metrics(registry, record)
         elif isinstance(record, StoreMetrics):
             register_store_metrics(registry, record)
+        elif isinstance(record, WatchMetrics):
+            register_watch_metrics(registry, record)
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self.trace_path is not None:
@@ -1198,6 +1353,130 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch_run(args: argparse.Namespace) -> int:
+    from repro.pipeline import CSVTailSource, RefreshPolicy
+    from repro.serve.registry import ModelRegistry
+    from repro.watch import (
+        JsonlSink,
+        NotificationManager,
+        RoutingPolicy,
+        RowQuarantine,
+        StdoutSink,
+        WatchDaemon,
+        format_status,
+    )
+
+    try:
+        store, tenant = _open_store(args)
+        source = CSVTailSource(
+            args.data, follow=args.follow, on_bad_row=args.on_bad_row
+        )
+        routing = RoutingPolicy(
+            clean_sigmas=args.clean_sigmas,
+            quarantine_sigmas=args.quarantine_sigmas,
+            min_calibration_rows=args.min_calibration_rows,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = (
+        ModelRegistry() if store is None else _store_registry(store, tenant)
+    )
+    if args.model is not None:
+        from repro.core.model import RatioRuleModel
+
+        if registry.latest_version == 0:
+            registry.publish(RatioRuleModel.load(args.model))
+        else:
+            print(
+                f"note: registry already serves version "
+                f"{registry.latest_version}; ignoring --model",
+                file=sys.stderr,
+            )
+    sinks = []
+    if not args.quiet:
+        sinks.append(StdoutSink())
+    if args.events is not None:
+        sinks.append(JsonlSink(args.events))
+    quarantine_path = (
+        args.quarantine
+        if args.quarantine is not None
+        else f"{args.data}.quarantine.jsonl"
+    )
+    daemon = WatchDaemon(
+        source,
+        quarantine=RowQuarantine(quarantine_path),
+        policy=routing,
+        registry=registry,
+        cutoff=_parse_cutoff(args.cutoff),
+        backend=args.backend,
+        block_rows=args.block_rows,
+        batch_rows=args.batch_rows,
+        refresh_policy=RefreshPolicy(min_rows=args.min_rows),
+    )
+    daemon.notifier = NotificationManager(sinks, metrics=daemon.metrics)
+    _obs_register(args, daemon.metrics)
+    _obs_register(args, daemon.pipeline.metrics)
+    if store is not None:
+        _obs_register(args, store.metrics)
+
+    def write_status() -> None:
+        if args.status_file is not None:
+            daemon.status().save(args.status_file)
+
+    import time as _time
+
+    daemon.start(
+        max_batches=args.max_batches,
+        idle_sleep=max(args.poll_interval, 0.0),
+    )
+    try:
+        while daemon.running:
+            write_status()
+            _time.sleep(0.05)
+    except KeyboardInterrupt:
+        print("\ninterrupted; finishing up", file=sys.stderr)
+    finally:
+        daemon.stop()
+    daemon.notifier.close()
+    write_status()
+    if args.stats:
+        print()
+        print("Watch statistics")
+        print("----------------")
+        print(daemon.metrics.render())
+        print()
+        print("Pipeline statistics")
+        print("-------------------")
+        print(daemon.pipeline.metrics.render())
+    if args.format == "json":
+        print(format_status(daemon.status(), "json"))
+    else:
+        print()
+        print(format_status(daemon.status(), "text"))
+    return 0
+
+
+def _cmd_watch_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.watch import WatchStatus, format_status
+
+    try:
+        status = WatchStatus.load(args.status_file)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_status(status, args.format))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if args.watch_command == "run":
+        return _cmd_watch_run(args)
+    return _cmd_watch_status(args)
+
+
 def _cmd_ge(args: argparse.Namespace) -> int:
     from repro.baselines.column_average import ColumnAverageBaseline
     from repro.core.guessing_error import guessing_error
@@ -1547,6 +1826,7 @@ _COMMANDS = {
     "serve-batch": _cmd_serve_batch,
     "serve-http": _cmd_serve_http,
     "pipeline": _cmd_pipeline,
+    "watch": _cmd_watch,
     "ge": _cmd_ge,
     "outliers": _cmd_outliers,
     "clean": _cmd_clean,

@@ -105,9 +105,14 @@ from repro.core.interpret import (
 from repro.core.model import NotFittedError, RatioRuleModel
 from repro.core.outliers import (
     CellOutlier,
+    ResidualCalibration,
     RowOutlier,
+    RowScore,
+    calibrate_residuals,
     detect_cell_outliers,
     detect_row_outliers,
+    reconstruction_residuals,
+    score_rows,
 )
 from repro.core.reconstruction import (
     FillOperator,
@@ -149,7 +154,9 @@ __all__ = [
     "RatioRuleModel",
     "Recommendation",
     "RetryPolicy",
+    "ResidualCalibration",
     "RowOutlier",
+    "RowScore",
     "RuleInterpretation",
     "RuleSet",
     "RuleStabilityReport",
@@ -167,12 +174,15 @@ __all__ = [
     "ascii_scatter",
     "bootstrap_stability",
     "calibrate",
+    "calibrate_residuals",
     "compare_models",
     "compute_fill_operator",
     "covariance_single_pass",
     "cross_validate_cutoff",
     "detect_cell_outliers",
     "detect_row_outliers",
+    "reconstruction_residuals",
+    "score_rows",
     "enumerate_hole_sets",
     "evaluate_scenario",
     "fill_holes",

@@ -20,15 +20,20 @@ Two granularities are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List
 
 import numpy as np
 
 __all__ = [
     "CellOutlier",
+    "ResidualCalibration",
     "RowOutlier",
+    "RowScore",
+    "calibrate_residuals",
     "detect_cell_outliers",
     "detect_row_outliers",
+    "reconstruction_residuals",
+    "score_rows",
 ]
 
 #: The paper's example threshold: two standard deviations.
@@ -176,3 +181,156 @@ def reconstruction_residuals(model, matrix: np.ndarray) -> np.ndarray:
     """Per-row distance to the RR-hyperplane (the raw outlier scores)."""
     matrix = np.asarray(matrix, dtype=np.float64)
     return np.linalg.norm(matrix - model.reconstruct(matrix), axis=1)
+
+
+@dataclass(frozen=True)
+class RowScore:
+    """Outlier verdict for one streamed row.
+
+    Unlike :class:`RowOutlier` (which normalizes within the scored
+    batch), the ``z_score`` here is relative to a persistent
+    :class:`ResidualCalibration`, so a batch of one row can still be
+    judged against history.
+    """
+
+    row: int
+    residual: float
+    z_score: float
+    is_outlier: bool
+
+
+class ResidualCalibration:
+    """Streaming estimate of the residual distribution (Welford).
+
+    :func:`detect_row_outliers` normalizes residuals *within* the
+    scored batch, which collapses for the streaming case: a batch of
+    one row has zero variance, and a batch that is mostly outliers
+    inflates its own threshold.  This class accumulates the residual
+    mean/variance across every clean row ever observed, so each new
+    row is z-scored against the full history.
+
+    The accumulator only becomes ``ready`` after ``min_rows``
+    observations with nonzero spread; callers should pass rows through
+    unscored until then.
+    """
+
+    def __init__(self, min_rows: int = 32) -> None:
+        if min_rows < 2:
+            raise ValueError(f"min_rows must be >= 2, got {min_rows}")
+        self.min_rows = int(min_rows)
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    @property
+    def n_observed(self) -> int:
+        """Rows folded into the calibration so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean residual of the observed rows."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the observed residuals."""
+        if self._count < 2:
+            return 0.0
+        return float(np.sqrt(self._m2 / self._count))
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough spread has been seen to score rows."""
+        return self._count >= self.min_rows and self.std > 0.0
+
+    def observe(self, residuals: np.ndarray) -> None:
+        """Fold a batch of residuals into the running distribution."""
+        values = np.atleast_1d(np.asarray(residuals, dtype=np.float64))
+        if values.ndim != 1:
+            raise ValueError(f"residuals must be 1-d, got ndim={values.ndim}")
+        for value in values:
+            self._count += 1
+            delta = float(value) - self._mean
+            self._mean += delta / self._count
+            self._m2 += delta * (float(value) - self._mean)
+
+    def z_scores(self, residuals: np.ndarray) -> np.ndarray:
+        """Residuals in units of the calibrated distribution's stddev."""
+        if not self.ready:
+            raise ValueError(
+                f"calibration not ready: {self._count} observed rows "
+                f"(need {self.min_rows}) with std {self.std}"
+            )
+        values = np.atleast_1d(np.asarray(residuals, dtype=np.float64))
+        return (values - self._mean) / self.std
+
+    def copy(self) -> "ResidualCalibration":
+        """An independent clone (reuse one warm calibration many times)."""
+        clone = ResidualCalibration(min_rows=self.min_rows)
+        clone._count = self._count
+        clone._mean = self._mean
+        clone._m2 = self._m2
+        return clone
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (for status reporting)."""
+        return {
+            "min_rows": self.min_rows,
+            "n_observed": self._count,
+            "mean": self._mean,
+            "std": self.std,
+            "ready": self.ready,
+        }
+
+
+def score_rows(
+    model,
+    matrix: np.ndarray,
+    calibration: ResidualCalibration,
+    *,
+    n_sigmas: float = DEFAULT_N_SIGMAS,
+) -> List[RowScore]:
+    """Score every row of ``matrix`` against a calibrated distribution.
+
+    This is the streaming complement of :func:`detect_row_outliers`:
+    residuals are z-scored against ``calibration`` (history), not
+    within the batch, and *every* row gets a verdict, not just the
+    flagged ones.
+
+    The calibration must be :attr:`ResidualCalibration.ready`; the
+    caller decides what to do with rows that arrive before then
+    (typically pass them through unscored).
+    """
+    if n_sigmas <= 0:
+        raise ValueError(f"n_sigmas must be > 0, got {n_sigmas}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-d, got ndim={matrix.ndim}")
+    residuals = reconstruction_residuals(model, matrix)
+    z_scores = calibration.z_scores(residuals)
+    return [
+        RowScore(
+            row=int(i),
+            residual=float(residuals[i]),
+            z_score=float(z_scores[i]),
+            is_outlier=bool(z_scores[i] > n_sigmas),
+        )
+        for i in range(matrix.shape[0])
+    ]
+
+
+def calibrate_residuals(
+    model,
+    matrix: np.ndarray,
+    *,
+    min_rows: int = 32,
+) -> ResidualCalibration:
+    """Build a :class:`ResidualCalibration` from a reference matrix.
+
+    Convenience for warm-starting a daemon from the data the published
+    model was fitted on (or any batch trusted to be clean).
+    """
+    calibration = ResidualCalibration(min_rows=min_rows)
+    calibration.observe(reconstruction_residuals(model, matrix))
+    return calibration

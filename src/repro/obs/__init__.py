@@ -49,6 +49,7 @@ from repro.obs.metrics import (
     ServeMetrics,
     Stopwatch,
     StoreMetrics,
+    WatchMetrics,
 )
 from repro.obs.registry import (
     Counter,
@@ -61,6 +62,7 @@ from repro.obs.registry import (
     register_serve_http_metrics,
     register_serve_metrics,
     register_store_metrics,
+    register_watch_metrics,
 )
 from repro.obs.tracing import (
     Tracer,
@@ -88,6 +90,7 @@ __all__ = [
     "ServeMetrics",
     "Stopwatch",
     "StoreMetrics",
+    "WatchMetrics",
     "Tracer",
     "adopt_spans",
     "drain_spans",
@@ -100,6 +103,7 @@ __all__ = [
     "register_serve_http_metrics",
     "register_serve_metrics",
     "register_store_metrics",
+    "register_watch_metrics",
     "set_tracing",
     "span",
     "to_json",

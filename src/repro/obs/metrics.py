@@ -27,6 +27,7 @@ __all__ = [
     "ServeMetrics",
     "Stopwatch",
     "StoreMetrics",
+    "WatchMetrics",
 ]
 
 
@@ -294,6 +295,9 @@ class PipelineMetrics:
     n_rows_skipped:
         Corrupt rows dropped by the source's ``on_bad_row="skip"``
         policy.
+    n_rows_diverted:
+        Rows removed by the pre-accumulator tap (e.g. quarantined by a
+        ``repro.watch`` daemon) before they could be folded.
     n_drift_evaluations:
         Times the drift detector scored the published model.
     n_refreshes:
@@ -330,6 +334,7 @@ class PipelineMetrics:
     n_source_rotations: int = 0
     n_source_truncations: int = 0
     n_rows_skipped: int = 0
+    n_rows_diverted: int = 0
     n_drift_evaluations: int = 0
     n_refreshes: int = 0
     refresh_reasons: dict = field(default_factory=dict)
@@ -386,6 +391,7 @@ class PipelineMetrics:
         self.n_source_rotations += other.n_source_rotations
         self.n_source_truncations += other.n_source_truncations
         self.n_rows_skipped += other.n_rows_skipped
+        self.n_rows_diverted += other.n_rows_diverted
         self.n_drift_evaluations += other.n_drift_evaluations
         self.n_refreshes += other.n_refreshes
         for reason, count in other.refresh_reasons.items():
@@ -441,7 +447,8 @@ class PipelineMetrics:
             f"poll(s), {self.n_blocks_folded} block fold(s))",
             f"source        {self.n_source_rotations} rotation(s), "
             f"{self.n_source_truncations} truncation(s), "
-            f"{self.n_rows_skipped} bad row(s) skipped",
+            f"{self.n_rows_skipped} bad row(s) skipped, "
+            f"{self.n_rows_diverted} row(s) diverted",
             f"refreshes     {self.n_refreshes} publish(es): {reasons}",
             f"served        version {self.last_version}, "
             f"{self.rows_since_refresh:,} row(s) since refresh",
@@ -1197,6 +1204,197 @@ class StoreMetrics:
             f"replication   {self.n_sync_checks} poll(s), "
             f"{self.n_sync_swaps} hot-swap(s), "
             f"{self.n_lock_breaks} stale lock(s) broken",
+        ]
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"{key:<13} {value}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+@dataclass
+class WatchMetrics:
+    """Counters and timings for one anomaly-watch daemon.
+
+    One record instruments one :class:`repro.watch.WatchDaemon`.  The
+    daemon is the only writer (routing runs on its loop thread), so
+    the record needs no lock; rendering from another thread sees a
+    consistent enough snapshot for monitoring.
+
+    Attributes
+    ----------
+    rows_seen:
+        Rows the tap inspected (scored or not).
+    rows_scored:
+        Rows that received a z-score against the calibration.
+    rows_unscored:
+        Rows passed through before a model was published or before
+        the calibration warmed up.
+    rows_passed:
+        Scored rows admitted unchanged.
+    rows_cleaned:
+        Scored rows repaired (worst cell re-filled) then admitted.
+    rows_quarantined:
+        Scored rows diverted to the append-only quarantine.
+    n_batches_tapped:
+        Non-empty batches inspected by the tap.
+    n_bursts:
+        ``outlier-burst`` events raised.
+    n_calibration_resets:
+        Times the residual calibration restarted (model refresh).
+    n_events:
+        Events published to the notification manager.
+    n_sink_failures:
+        Sink deliveries that raised (logged and skipped).
+    events_by_kind:
+        ``{event_kind: count}`` across all published events.
+    last_event_kind:
+        Kind of the most recent event ("" before the first).
+    last_z_score / last_residual:
+        Score of the most recently scored row (0.0 before any).
+    calibration_rows:
+        Rows folded into the current residual calibration.
+    calibration_mean / calibration_std:
+        Current calibrated residual distribution (0.0 until ready).
+    model_version:
+        Registry version the daemon last scored against (0 = none).
+    quarantine_rows / quarantine_bytes:
+        Size of the quarantine file.
+    score_seconds / clean_seconds / quarantine_seconds:
+        Cumulative wall-clock in each routing stage.
+    """
+
+    rows_seen: int = 0
+    rows_scored: int = 0
+    rows_unscored: int = 0
+    rows_passed: int = 0
+    rows_cleaned: int = 0
+    rows_quarantined: int = 0
+    n_batches_tapped: int = 0
+    n_bursts: int = 0
+    n_calibration_resets: int = 0
+    n_events: int = 0
+    n_sink_failures: int = 0
+    events_by_kind: dict = field(default_factory=dict)
+    last_event_kind: str = ""
+    last_z_score: float = 0.0
+    last_residual: float = 0.0
+    calibration_rows: int = 0
+    calibration_mean: float = 0.0
+    calibration_std: float = 0.0
+    model_version: int = 0
+    quarantine_rows: int = 0
+    quarantine_bytes: int = 0
+    score_seconds: float = 0.0
+    clean_seconds: float = 0.0
+    quarantine_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def rows_per_second(self) -> float:
+        """Scoring throughput; 0.0 when scoring was too fast to time."""
+        if self.score_seconds <= 0.0:
+            return 0.0
+        return self.rows_scored / self.score_seconds
+
+    @property
+    def quarantine_fraction(self) -> float:
+        """Fraction of scored rows quarantined (0.0 before scoring)."""
+        if self.rows_scored <= 0:
+            return 0.0
+        return self.rows_quarantined / self.rows_scored
+
+    def record_event(self, kind: str) -> None:
+        """Fold one published event into the record."""
+        self.n_events += 1
+        self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
+        self.last_event_kind = kind
+
+    def merge(self, other: "WatchMetrics") -> None:
+        """Fold another record into this one (multi-daemon rollup).
+
+        Counters sum; the ``last_*`` / calibration / quarantine gauges
+        describe *one* daemon's latest state, so the receiver's values
+        are kept.
+        """
+        self.rows_seen += other.rows_seen
+        self.rows_scored += other.rows_scored
+        self.rows_unscored += other.rows_unscored
+        self.rows_passed += other.rows_passed
+        self.rows_cleaned += other.rows_cleaned
+        self.rows_quarantined += other.rows_quarantined
+        self.n_batches_tapped += other.n_batches_tapped
+        self.n_bursts += other.n_bursts
+        self.n_calibration_resets += other.n_calibration_resets
+        self.n_events += other.n_events
+        self.n_sink_failures += other.n_sink_failures
+        for kind, count in other.events_by_kind.items():
+            self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + count
+        self.score_seconds += other.score_seconds
+        self.clean_seconds += other.clean_seconds
+        self.quarantine_seconds += other.quarantine_seconds
+        _merge_extras(self.extras, other.extras)
+
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of every counter (JSON-serializable)."""
+        return {
+            field_def.name: _snapshot_value(getattr(self, field_def.name))
+            for field_def in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WatchMetrics":
+        """Rebuild a record from a :meth:`to_dict` snapshot.
+
+        Unknown keys are rejected so stale snapshots fail loudly
+        rather than silently dropping counters.
+        """
+        known = {field_def.name for field_def in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown WatchMetrics fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WatchMetrics":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the ``--stats`` output)."""
+        throughput = self.rows_per_second
+        throughput_text = f"{throughput:,.0f} rows/s" if throughput else "n/a"
+        kinds = (
+            ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(self.events_by_kind.items())
+            )
+            or "none"
+        )
+        lines = [
+            f"seen          {self.rows_seen:,} row(s) in "
+            f"{self.n_batches_tapped:,} batch(es), "
+            f"{self.rows_unscored:,} unscored",
+            f"routed        {self.rows_passed:,} passed, "
+            f"{self.rows_cleaned:,} cleaned, "
+            f"{self.rows_quarantined:,} quarantined "
+            f"({self.quarantine_fraction:.2%} of scored)",
+            f"scoring       {self.rows_scored:,} row(s) in "
+            f"{self.score_seconds:.4f} s  ({throughput_text}) "
+            f"against model v{self.model_version}",
+            f"calibration   {self.calibration_rows:,} row(s), "
+            f"mean {self.calibration_mean:.4f}, "
+            f"std {self.calibration_std:.4f}, "
+            f"{self.n_calibration_resets} reset(s)",
+            f"quarantine    {self.quarantine_rows:,} row(s), "
+            f"{self.quarantine_bytes:,} byte(s)",
+            f"events        {self.n_events} published "
+            f"({self.n_sink_failures} sink failure(s)): {kinds}",
         ]
         for key, value in sorted(self.extras.items()):
             lines.append(f"{key:<13} {value}")

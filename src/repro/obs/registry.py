@@ -54,6 +54,7 @@ from .metrics import (
     ServeHttpMetrics,
     ServeMetrics,
     StoreMetrics,
+    WatchMetrics,
 )
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "register_serve_http_metrics",
     "register_serve_metrics",
     "register_store_metrics",
+    "register_watch_metrics",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -678,3 +680,36 @@ def register_serve_http_metrics(
     return collect
 
 
+
+
+def register_watch_metrics(
+    registry: MetricsRegistry,
+    metrics: WatchMetrics,
+    *,
+    prefix: str = "repro_watch",
+) -> Collector:
+    """Expose a live :class:`~repro.obs.metrics.WatchMetrics` record."""
+    _require_record(metrics, WatchMetrics)
+
+    def collect() -> List[MetricFamily]:
+        families = _record_families(metrics, prefix, "WatchMetrics")
+        families.append(
+            MetricFamily(
+                f"{prefix}_quarantine_fraction",
+                "gauge",
+                "WatchMetrics derived quarantined share of scored rows.",
+                (Sample((), metrics.quarantine_fraction),),
+            )
+        )
+        families.append(
+            MetricFamily(
+                f"{prefix}_rows_per_second",
+                "gauge",
+                "WatchMetrics derived scoring throughput.",
+                (Sample((), metrics.rows_per_second),),
+            )
+        )
+        return families
+
+    registry.register_collector(collect)
+    return collect

@@ -38,7 +38,7 @@ folded as they arrive.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from repro.core.online import OnlineRatioRuleModel
 from repro.io.schema import TableSchema
 from repro.obs.metrics import PipelineMetrics, Stopwatch
 from repro.obs.tracing import span
-from repro.pipeline.drift import DriftDetector
+from repro.pipeline.drift import DriftDetector, DriftReport
 from repro.pipeline.policy import RefreshPolicy
 from repro.pipeline.sources import BatchSource
 from repro.serve.registry import ModelRegistry, PublishedModel
@@ -85,6 +85,15 @@ class IngestionPipeline:
     policy / detector / metrics:
         The refresh gates, drift scorer, and instrumentation record;
         sensible defaults are built when omitted.
+    tap:
+        Optional pre-accumulator hook: called with every non-empty
+        polled batch, it returns the subset of rows to ingest (same
+        width, row order preserved; ``None`` diverts the whole
+        batch).  Diverted rows never touch the accumulator or the
+        drift reservoir -- this is how a :mod:`repro.watch` daemon
+        quarantines outliers before they poison the model.  Because
+        the tap filters *before* block partitioning, the differential
+        guarantee still holds over exactly the rows the tap admitted.
 
     Examples
     --------
@@ -114,6 +123,7 @@ class IngestionPipeline:
         policy: Optional[RefreshPolicy] = None,
         detector: Optional[DriftDetector] = None,
         metrics: Optional[PipelineMetrics] = None,
+        tap: Optional[Callable[[np.ndarray], Optional[np.ndarray]]] = None,
     ) -> None:
         if block_rows < 1:
             raise ValueError(f"block_rows must be >= 1, got {block_rows}")
@@ -142,6 +152,10 @@ class IngestionPipeline:
         self._rows_since_refresh = 0
         self._last_refresh_monotonic: Optional[float] = None
         self._exhausted = False
+        self._tap = tap
+        #: The most recent :class:`DriftReport` (``None`` before the
+        #: first evaluation); watchers read this to notice drift.
+        self.last_drift_report: Optional[DriftReport] = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -198,6 +212,12 @@ class IngestionPipeline:
         if batch.shape[0] == 0:
             self.metrics.n_empty_polls += 1
             return True
+        if self._tap is not None:
+            batch = self._apply_tap(batch)
+            if batch.shape[0] == 0:
+                # The whole batch was diverted; the poll itself was
+                # not empty, so this does not count as an idle poll.
+                return True
         with span("pipeline.fold", rows=batch.shape[0]), Stopwatch() as watch:
             self._ingest(batch)
         self.metrics.ingest_seconds += watch.seconds
@@ -264,6 +284,27 @@ class IngestionPipeline:
         return self._refresh(reason)
 
     # -- internals ---------------------------------------------------------
+
+    def _apply_tap(self, batch: np.ndarray) -> np.ndarray:
+        assert self._tap is not None
+        kept = self._tap(batch)
+        if kept is None:
+            kept = batch[:0]
+        kept = np.asarray(kept, dtype=np.float64)
+        if kept.ndim == 1:
+            kept = kept.reshape(1, -1)
+        if kept.shape[0] > batch.shape[0]:
+            raise ValueError(
+                f"tap returned {kept.shape[0]} rows from a batch of "
+                f"{batch.shape[0]}; it may only filter"
+            )
+        if kept.shape[0] and kept.shape[1] != batch.shape[1]:
+            raise ValueError(
+                f"tap changed row width from {batch.shape[1]} to "
+                f"{kept.shape[1]}"
+            )
+        self.metrics.n_rows_diverted += batch.shape[0] - kept.shape[0]
+        return kept
 
     def _ingest(self, batch: np.ndarray) -> None:
         if self._online.decay < 1.0:
@@ -341,6 +382,7 @@ class IngestionPipeline:
             )
         self.metrics.drift_seconds += watch.seconds
         self.metrics.n_drift_evaluations += 1
+        self.last_drift_report = report
         if report.guessing_error is not None:
             self.metrics.last_guessing_error = report.guessing_error
         if report.baseline_guessing_error is not None:

@@ -1,0 +1,52 @@
+"""repro.watch -- the always-on anomaly/cleaning daemon.
+
+Closes the loop between ingestion (:mod:`repro.pipeline`) and serving
+(:mod:`repro.serve`): a :class:`WatchDaemon` tails a batch source,
+scores every incoming row against the currently published model
+(reconstruction-error outlier detection, Sec. 4.4 of the paper,
+z-scored against a streaming residual calibration), and routes each
+row -- admit, repair-then-admit, or quarantine -- *before* it can
+reach the pipeline accumulator.  Structured events flow through a
+:class:`NotificationManager` to pluggable sinks, and ``ratio-rules
+watch run|status`` exposes the whole thing on the command line.
+
+============================  =========================================
+:mod:`repro.watch.daemon`     the watch loop and routing tap
+:mod:`repro.watch.policy`     pass/clean/quarantine thresholds
+:mod:`repro.watch.events`     the event taxonomy and wire format
+:mod:`repro.watch.notify`     sinks and the fan-out manager
+:mod:`repro.watch.quarantine` append-only, bit-exact row quarantine
+:mod:`repro.watch.status`     live-status snapshots and formatters
+============================  =========================================
+"""
+
+from repro.watch.daemon import WatchDaemon
+from repro.watch.events import EVENT_KINDS, WatchEvent
+from repro.watch.notify import (
+    CallableSink,
+    EventSink,
+    JsonlSink,
+    NotificationManager,
+    StdoutSink,
+)
+from repro.watch.policy import ROUTE_ACTIONS, RoutingDecision, RoutingPolicy
+from repro.watch.quarantine import RowQuarantine
+from repro.watch.status import STATUS_FORMATS, WatchStatus, format_status
+
+__all__ = [
+    "CallableSink",
+    "EVENT_KINDS",
+    "EventSink",
+    "JsonlSink",
+    "NotificationManager",
+    "ROUTE_ACTIONS",
+    "RoutingDecision",
+    "RoutingPolicy",
+    "RowQuarantine",
+    "STATUS_FORMATS",
+    "StdoutSink",
+    "WatchDaemon",
+    "WatchEvent",
+    "WatchStatus",
+    "format_status",
+]

@@ -1,0 +1,492 @@
+"""The always-on anomaly/cleaning daemon.
+
+:class:`WatchDaemon` closes the last open loop between the streaming
+pipeline and the serving tier: it stands *in front of* an
+:class:`~repro.pipeline.IngestionPipeline`'s accumulator (via the
+pipeline's pre-accumulator ``tap``) and gives every incoming row a
+verdict before the accumulator can see it.
+
+For each polled batch the daemon:
+
+1. fetches the current :class:`~repro.serve.registry.PublishedModel`
+   from the registry (resetting its residual calibration when the
+   version changed -- residuals are model-relative);
+2. computes each row's reconstruction residual and z-scores it
+   against the streaming :class:`~repro.core.outliers.ResidualCalibration`
+   (rows arriving before a model is published, or before the
+   calibration warms up, pass through unscored);
+3. routes each row by :class:`~repro.watch.policy.RoutingPolicy` --
+   ``pass`` (admit), ``clean`` (repair the worst cell via the
+   canonical fill operator, then admit), or ``quarantine`` (preserve
+   the original bytes in the append-only
+   :class:`~repro.watch.quarantine.RowQuarantine`; the accumulator
+   never sees the row);
+4. publishes structured :class:`~repro.watch.events.WatchEvent`
+   notifications (one per quarantined row, plus burst / drift /
+   refresh / rotation / growth events) through the
+   :class:`~repro.watch.notify.NotificationManager`.
+
+Because routing happens before block partitioning, the pipeline's
+bit-identity guarantee transfers: the refreshed model is bit-identical
+to an offline fit over exactly the rows the daemon admitted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.outliers import ResidualCalibration, reconstruction_residuals
+from repro.io.schema import TableSchema
+from repro.obs.metrics import PipelineMetrics, Stopwatch, WatchMetrics
+from repro.obs.tracing import span
+from repro.pipeline.drift import DriftDetector, DriftReport
+from repro.pipeline.pipeline import IngestionPipeline
+from repro.pipeline.policy import RefreshPolicy
+from repro.pipeline.sources import BatchSource
+from repro.serve.registry import ModelRegistry, NoModelPublishedError
+from repro.watch.events import WatchEvent
+from repro.watch.notify import NotificationManager
+from repro.watch.policy import RoutingPolicy
+from repro.watch.quarantine import RowQuarantine
+from repro.watch.status import WatchStatus
+
+__all__ = ["WatchDaemon"]
+
+
+class WatchDaemon:
+    """Score, route, and notify on a live stream.
+
+    Parameters
+    ----------
+    source:
+        The :class:`~repro.pipeline.sources.BatchSource` to tail.
+    quarantine:
+        Where diverted rows are preserved.
+    notifier:
+        Event fan-out; a sink-less manager by default (events are
+        still counted in metrics).
+    policy:
+        Row-routing thresholds (:class:`RoutingPolicy` default).
+    registry:
+        The registry scored against *and* published into; a fresh
+        private one by default.  Seed it (or pass a store-backed one)
+        to score from the first row.
+    schema:
+        Column metadata; defaults to the source's schema.
+    cutoff, backend, block_rows, decay, batch_rows, refresh_policy,
+    detector:
+        Forwarded to the embedded :class:`IngestionPipeline`.
+    metrics:
+        The :class:`~repro.obs.metrics.WatchMetrics` record to write
+        into; a fresh one by default.
+    calibration:
+        A pre-warmed :class:`ResidualCalibration` (e.g. from
+        :func:`~repro.core.outliers.calibrate_residuals` over the
+        training data); a cold one by default.
+    clock:
+        Wall-clock source for event timestamps (test override).
+    """
+
+    def __init__(
+        self,
+        source: BatchSource,
+        *,
+        quarantine: RowQuarantine,
+        notifier: Optional[NotificationManager] = None,
+        policy: Optional[RoutingPolicy] = None,
+        registry: Optional[ModelRegistry] = None,
+        schema: Optional[TableSchema] = None,
+        cutoff: object = None,
+        backend: str = "numpy",
+        block_rows: int = 4096,
+        decay: float = 1.0,
+        batch_rows: int = 1024,
+        refresh_policy: Optional[RefreshPolicy] = None,
+        detector: Optional[DriftDetector] = None,
+        metrics: Optional[WatchMetrics] = None,
+        calibration: Optional[ResidualCalibration] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.policy = policy if policy is not None else RoutingPolicy()
+        self.metrics = metrics if metrics is not None else WatchMetrics()
+        self.quarantine = quarantine
+        self.notifier = (
+            notifier
+            if notifier is not None
+            else NotificationManager(metrics=self.metrics)
+        )
+        self.calibration = (
+            calibration
+            if calibration is not None
+            else ResidualCalibration(min_rows=self.policy.min_calibration_rows)
+        )
+        self._clock = clock
+        self._registry = registry if registry is not None else ModelRegistry()
+        self.pipeline = IngestionPipeline(
+            source,
+            registry=self._registry,
+            schema=schema,
+            cutoff=cutoff,
+            backend=backend,
+            block_rows=block_rows,
+            decay=decay,
+            batch_rows=batch_rows,
+            policy=refresh_policy,
+            detector=detector,
+            tap=self._tap,
+        )
+        self._scored_version = 0
+        self._seen_version = self._registry.latest_version
+        self._seen_rotations = 0
+        self._seen_truncations = 0
+        self._seen_drift_report: Optional[DriftReport] = None
+        self._last_growth_mark = 0
+        self._started_monotonic: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_requested = threading.Event()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def registry(self) -> ModelRegistry:
+        """The registry the daemon scores against and publishes into."""
+        return self._registry
+
+    @property
+    def pipeline_metrics(self) -> PipelineMetrics:
+        """The embedded pipeline's instrumentation record."""
+        return self.pipeline.metrics
+
+    @property
+    def running(self) -> bool:
+        """Whether a background :meth:`start` thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- the routing tap ---------------------------------------------------
+
+    def _tap(self, batch: np.ndarray) -> Optional[np.ndarray]:
+        """Route one polled batch; returns the rows to admit."""
+        self.metrics.rows_seen += batch.shape[0]
+        self.metrics.n_batches_tapped += 1
+        try:
+            published = self._registry.current()
+        except NoModelPublishedError:
+            published = None
+        if published is None:
+            # Nothing to score against yet: let rows through so the
+            # pipeline can bootstrap an initial model.
+            self.metrics.rows_unscored += batch.shape[0]
+            return batch
+        if (
+            published.version != self._scored_version
+            and self.policy.recalibrate_on_refresh
+            and self._scored_version != 0
+        ):
+            self.calibration = ResidualCalibration(
+                min_rows=self.policy.min_calibration_rows
+            )
+            self.metrics.n_calibration_resets += 1
+        self._scored_version = published.version
+        self.metrics.model_version = published.version
+        model = published.model
+        with span("watch.score", rows=batch.shape[0]), Stopwatch() as watch:
+            residuals = reconstruction_residuals(model, batch)
+            if not self.calibration.ready:
+                self.calibration.observe(residuals)
+                self._sync_calibration_gauges()
+                self.metrics.rows_unscored += batch.shape[0]
+                return batch
+            z_scores = self.calibration.z_scores(residuals)
+        self.metrics.score_seconds += watch.seconds
+        self.metrics.rows_scored += batch.shape[0]
+        self.metrics.last_residual = float(residuals[-1])
+        self.metrics.last_z_score = float(z_scores[-1])
+
+        admitted: List[np.ndarray] = []
+        clean_residuals: List[float] = []
+        n_flagged = 0
+        n_passed = 0
+        for index in range(batch.shape[0]):
+            decision = self.policy.route_z(float(z_scores[index]))
+            if decision.action == "pass":
+                admitted.append(batch[index])
+                clean_residuals.append(float(residuals[index]))
+                n_passed += 1
+                continue
+            n_flagged += 1
+            if decision.action == "clean":
+                with span("watch.clean"), Stopwatch() as clean_watch:
+                    repaired = self._clean_row(model, batch[index])
+                self.metrics.clean_seconds += clean_watch.seconds
+                self.metrics.rows_cleaned += 1
+                admitted.append(repaired)
+                self.notifier.publish(
+                    WatchEvent.now(
+                        "row-cleaned",
+                        {
+                            "z_score": float(z_scores[index]),
+                            "residual": float(residuals[index]),
+                            "reason": decision.reason,
+                            "model_version": published.version,
+                        },
+                        clock=self._clock,
+                    )
+                )
+                continue
+            with span("watch.quarantine"), Stopwatch() as q_watch:
+                record = self.quarantine.append(
+                    batch[index],
+                    residual=float(residuals[index]),
+                    z_score=float(z_scores[index]),
+                    reason=decision.reason,
+                    model_version=published.version,
+                )
+            self.metrics.quarantine_seconds += q_watch.seconds
+            self.metrics.rows_quarantined += 1
+            self.notifier.publish(
+                WatchEvent.now(
+                    "row-quarantined",
+                    {
+                        "seq": record["seq"],
+                        "z_score": float(z_scores[index]),
+                        "residual": float(residuals[index]),
+                        "reason": decision.reason,
+                        "model_version": published.version,
+                    },
+                    clock=self._clock,
+                )
+            )
+        self.metrics.rows_passed += n_passed
+        # Passed rows (not cleaned ones) refine the calibration: they
+        # looked like the population, so they sharpen its estimate.
+        if clean_residuals:
+            self.calibration.observe(np.asarray(clean_residuals))
+        self._sync_calibration_gauges()
+        self._sync_quarantine_gauges()
+        if self.policy.is_burst(n_flagged, batch.shape[0]):
+            self.metrics.n_bursts += 1
+            self.notifier.publish(
+                WatchEvent.now(
+                    "outlier-burst",
+                    {
+                        "n_flagged": n_flagged,
+                        "n_rows": int(batch.shape[0]),
+                        "fraction": n_flagged / batch.shape[0],
+                        "model_version": published.version,
+                    },
+                    clock=self._clock,
+                )
+            )
+        self._maybe_growth_event()
+        if not admitted:
+            return None
+        return np.vstack(admitted)
+
+    def _clean_row(self, model: object, row: np.ndarray) -> np.ndarray:
+        """Repair a mildly anomalous row via the canonical fill path.
+
+        The cell whose hide-and-reconstruct error is largest (the
+        paper's Sec. 4.4 cell criterion, applied to one row) is blanked
+        and re-filled with the model's fill operator.
+        """
+        matrix = row.reshape(1, -1)
+        errors = np.empty(matrix.shape[1])
+        for column in range(matrix.shape[1]):
+            predicted = model.predict_holes(matrix, [column])[0, 0]  # type: ignore[attr-defined]
+            errors[column] = abs(matrix[0, column] - predicted)
+        worst = int(np.argmax(errors))
+        holed = row.astype(np.float64).copy()
+        holed[worst] = np.nan
+        return np.asarray(
+            model.fill_row(holed),  # type: ignore[attr-defined]
+            dtype=np.float64,
+        )
+
+    def _sync_calibration_gauges(self) -> None:
+        self.metrics.calibration_rows = self.calibration.n_observed
+        self.metrics.calibration_mean = self.calibration.mean
+        self.metrics.calibration_std = self.calibration.std
+
+    def _sync_quarantine_gauges(self) -> None:
+        self.metrics.quarantine_rows = self.quarantine.n_quarantined
+        self.metrics.quarantine_bytes = self.quarantine.total_bytes
+
+    def _maybe_growth_event(self) -> None:
+        mark = self.quarantine.n_quarantined // self.policy.growth_every_rows
+        if mark > self._last_growth_mark:
+            self._last_growth_mark = mark
+            self.notifier.publish(
+                WatchEvent.now(
+                    "quarantine-growth",
+                    {
+                        "rows": self.quarantine.n_quarantined,
+                        "bytes": self.quarantine.total_bytes,
+                        "path": str(self.quarantine.path),
+                    },
+                    clock=self._clock,
+                )
+            )
+
+    # -- pipeline-observation events ---------------------------------------
+
+    def _emit_pipeline_events(self) -> None:
+        """Diff pipeline/source state and emit events for changes."""
+        pm = self.pipeline.metrics
+        if pm.n_source_rotations > self._seen_rotations:
+            self._seen_rotations = pm.n_source_rotations
+            self.notifier.publish(
+                WatchEvent.now(
+                    "source-rotation",
+                    {"n_rotations": pm.n_source_rotations},
+                    clock=self._clock,
+                )
+            )
+        if pm.n_source_truncations > self._seen_truncations:
+            self._seen_truncations = pm.n_source_truncations
+            self.notifier.publish(
+                WatchEvent.now(
+                    "source-truncation",
+                    {"n_truncations": pm.n_source_truncations},
+                    clock=self._clock,
+                )
+            )
+        report = self.pipeline.last_drift_report
+        if report is not None and report is not self._seen_drift_report:
+            self._seen_drift_report = report
+            if report.drifted:
+                self.notifier.publish(
+                    WatchEvent.now(
+                        "drift-detected",
+                        {
+                            "reasons": list(report.reasons),
+                            "guessing_error": report.guessing_error,
+                            "baseline_guessing_error": (
+                                report.baseline_guessing_error
+                            ),
+                            "angle_degrees": report.angle_degrees,
+                        },
+                        clock=self._clock,
+                    )
+                )
+        version = self._registry.latest_version
+        if version > self._seen_version:
+            self._seen_version = version
+            self.notifier.publish(
+                WatchEvent.now(
+                    "refresh-published",
+                    {
+                        "version": version,
+                        "reason": pm.last_refresh_reason,
+                    },
+                    clock=self._clock,
+                )
+            )
+
+    # -- the watch loop ----------------------------------------------------
+
+    def step(self) -> bool:
+        """One poll-score-route-notify cycle.  False when the source
+        permanently ended."""
+        alive = self.pipeline.step()
+        self._emit_pipeline_events()
+        return alive
+
+    def run(
+        self,
+        *,
+        max_batches: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        idle_sleep: float = 0.01,
+    ) -> WatchMetrics:
+        """Drive :meth:`step` until the source ends (or a limit hits).
+
+        Emits ``watch-started`` / ``watch-stopped`` around the loop.
+        ``stop()`` from another thread also ends it.
+        """
+        self._started_monotonic = time.monotonic()
+        self.notifier.publish(
+            WatchEvent.now(
+                "watch-started",
+                {"source": type(self.pipeline._source).__name__},
+                clock=self._clock,
+            )
+        )
+        started = time.monotonic()
+        polls = 0
+        try:
+            while not self._stop_requested.is_set():
+                if max_batches is not None and polls >= max_batches:
+                    break
+                if (
+                    max_seconds is not None
+                    and time.monotonic() - started >= max_seconds
+                ):
+                    break
+                before_empty = self.pipeline.metrics.n_empty_polls
+                if not self.step():
+                    break
+                polls += 1
+                if (
+                    idle_sleep > 0.0
+                    and self.pipeline.metrics.n_empty_polls > before_empty
+                ):
+                    # Interruptible sleep so stop() takes effect fast.
+                    self._stop_requested.wait(idle_sleep)
+        finally:
+            self.notifier.publish(
+                WatchEvent.now(
+                    "watch-stopped",
+                    {
+                        "rows_seen": self.metrics.rows_seen,
+                        "rows_quarantined": self.metrics.rows_quarantined,
+                    },
+                    clock=self._clock,
+                )
+            )
+        return self.metrics
+
+    def start(self, **run_kwargs: object) -> None:
+        """Run the watch loop on a background thread."""
+        if self.running:
+            raise RuntimeError("watch daemon already running")
+        self._stop_requested.clear()
+        self._thread = threading.Thread(
+            target=self.run,
+            kwargs=run_kwargs,
+            name="repro-watch",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Ask a background loop to finish and wait for it."""
+        self._stop_requested.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("watch daemon did not stop in time")
+            self._thread = None
+
+    # -- status ------------------------------------------------------------
+
+    def status(self) -> WatchStatus:
+        """A point-in-time snapshot for ``ratio-rules watch status``."""
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        return WatchStatus(
+            running=self.running,
+            uptime_seconds=uptime,
+            model_version=self._registry.latest_version,
+            source_exhausted=self.pipeline.exhausted,
+            calibration=self.calibration.to_dict(),
+            quarantine_path=str(self.quarantine.path),
+            watch_metrics=self.metrics.to_dict(),
+            pipeline_metrics=self.pipeline.metrics.to_dict(),
+        )

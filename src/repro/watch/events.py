@@ -1,0 +1,103 @@
+"""Structured event notifications emitted by the watch daemon.
+
+Every noteworthy state change in a :class:`~repro.watch.WatchDaemon`
+becomes one :class:`WatchEvent` -- a frozen ``(kind, unix_time,
+payload)`` triple with a stable JSON rendering -- published through
+the :class:`~repro.watch.notify.NotificationManager`.  Sinks receive
+events, never raw daemon internals, so the event taxonomy is the
+daemon's public wire format (documented in ``docs/watch.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["EVENT_KINDS", "WatchEvent"]
+
+#: Every event kind the daemon can emit.  Sinks may rely on this being
+#: exhaustive; adding a kind is a wire-format change.
+EVENT_KINDS = (
+    "watch-started",
+    "watch-stopped",
+    "row-quarantined",
+    "row-cleaned",
+    "outlier-burst",
+    "drift-detected",
+    "refresh-published",
+    "source-rotation",
+    "source-truncation",
+    "quarantine-growth",
+)
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One structured notification.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    unix_time:
+        Wall-clock time the event was created (``time.time()``).
+    payload:
+        Kind-specific details; JSON-serializable values only.
+    """
+
+    kind: str
+    unix_time: float
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{', '.join(EVENT_KINDS)}"
+            )
+
+    @classmethod
+    def now(
+        cls,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        clock: Any = time.time,
+    ) -> "WatchEvent":
+        """Build an event stamped with the current wall-clock time."""
+        return cls(
+            kind=kind,
+            unix_time=float(clock()),
+            payload=dict(payload) if payload else {},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the JSONL sink writes exactly this)."""
+        return {
+            "kind": self.kind,
+            "unix_time": self.unix_time,
+            "payload": dict(self.payload),
+        }
+
+    def to_json(self) -> str:
+        """One-line JSON rendering (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WatchEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(payload["kind"]),
+            unix_time=float(payload["unix_time"]),
+            payload=dict(payload.get("payload", {})),
+        )
+
+    def render(self) -> str:
+        """Human-readable one-liner (the stdout sink writes this)."""
+        details = " ".join(
+            f"{key}={value}" for key, value in sorted(self.payload.items())
+        )
+        text = f"[watch] {self.kind}"
+        return f"{text} {details}" if details else text

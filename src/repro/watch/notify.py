@@ -1,0 +1,174 @@
+"""Pluggable event sinks and the manager that fans out to them.
+
+The manager/sink split keeps delivery policy out of the daemon: the
+daemon publishes :class:`~repro.watch.events.WatchEvent` objects to
+one :class:`NotificationManager`, which fans each event out to every
+registered sink.  A sink that raises is logged and skipped -- a broken
+notification channel must never stall row routing -- and the failure
+is counted so operators can see the channel is down.
+
+Three sinks cover the common cases:
+
+- :class:`StdoutSink` -- human-readable one-liners to a stream;
+- :class:`JsonlSink` -- append-only JSON Lines file (one event per
+  line, flushed per event so a tailing consumer sees it immediately);
+- :class:`CallableSink` -- adapt any ``callable(event)`` (tests,
+  in-process bridges, custom transports).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import IO, Callable, List, Optional, Protocol, Union
+
+from repro.obs.metrics import WatchMetrics
+from repro.watch.events import WatchEvent
+
+__all__ = [
+    "CallableSink",
+    "EventSink",
+    "JsonlSink",
+    "NotificationManager",
+    "StdoutSink",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class EventSink(Protocol):
+    """What the manager requires of a sink."""
+
+    def emit(self, event: WatchEvent) -> None:
+        """Deliver one event.  May raise; the manager contains it."""
+        ...  # pragma: no cover
+
+    def close(self) -> None:
+        """Release resources.  Called once by the manager's close."""
+        ...  # pragma: no cover
+
+
+class StdoutSink:
+    """Render events as one-line text to a stream (stdout by default)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream
+
+    def emit(self, event: WatchEvent) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        stream.write(event.render() + "\n")
+        stream.flush()
+
+    def close(self) -> None:
+        """Nothing to release (the stream is not owned)."""
+
+
+class JsonlSink:
+    """Append events to a JSON Lines file, one event per line.
+
+    The file is opened in append mode and each event is flushed as it
+    is written, so a concurrent ``tail -f`` (or the E2E test) sees
+    every event as soon as ``emit`` returns.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: WatchEvent) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink already closed: {self.path}")
+        self._handle.write(event.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @staticmethod
+    def read_events(path: Union[str, Path]) -> List[WatchEvent]:
+        """Parse a JSONL event file back into events (for tooling/tests)."""
+        events = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(WatchEvent.from_dict(json.loads(line)))
+        return events
+
+
+class CallableSink:
+    """Adapt a plain ``callable(event)`` into a sink."""
+
+    def __init__(self, fn: Callable[[WatchEvent], None]) -> None:
+        self._fn = fn
+
+    def emit(self, event: WatchEvent) -> None:
+        self._fn(event)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class NotificationManager:
+    """Fan events out to sinks; contain (and count) sink failures.
+
+    Parameters
+    ----------
+    sinks:
+        Initial sinks; more can be added with :meth:`add_sink`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.WatchMetrics` to record
+        publishes and failures into.
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[List[EventSink]] = None,
+        *,
+        metrics: Optional[WatchMetrics] = None,
+    ) -> None:
+        self._sinks: List[EventSink] = list(sinks) if sinks else []
+        self._metrics = metrics
+        self.n_published = 0
+        self.n_sink_failures = 0
+
+    @property
+    def sinks(self) -> List[EventSink]:
+        """The registered sinks (a copy; mutate via :meth:`add_sink`)."""
+        return list(self._sinks)
+
+    def add_sink(self, sink: EventSink) -> None:
+        """Register one more sink."""
+        self._sinks.append(sink)
+
+    def publish(self, event: WatchEvent) -> None:
+        """Deliver ``event`` to every sink, logging (not raising) on
+        sink failure."""
+        self.n_published += 1
+        if self._metrics is not None:
+            self._metrics.record_event(event.kind)
+        for sink in self._sinks:
+            try:
+                sink.emit(event)
+            except Exception:
+                self.n_sink_failures += 1
+                if self._metrics is not None:
+                    self._metrics.n_sink_failures += 1
+                logger.exception(
+                    "event sink %r failed on %s; continuing",
+                    sink,
+                    event.kind,
+                )
+
+    def close(self) -> None:
+        """Close every sink (failures logged, not raised)."""
+        for sink in self._sinks:
+            try:
+                sink.close()
+            except Exception:
+                logger.exception("event sink %r failed to close", sink)

@@ -1,0 +1,135 @@
+"""Live-status snapshots and their text/JSON renderings.
+
+The daemon serializes a :class:`WatchStatus` to a status file on a
+cadence; ``ratio-rules watch status`` reads that file and renders it
+with :func:`format_status` in either human-readable text or JSON --
+the same formatter split the rest of the CLI uses, so scripts consume
+``--format json`` and humans read the default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Union
+
+__all__ = ["STATUS_FORMATS", "WatchStatus", "format_status"]
+
+#: Output formats ``format_status`` understands.
+STATUS_FORMATS = ("text", "json")
+
+
+@dataclass
+class WatchStatus:
+    """A point-in-time snapshot of one watch daemon.
+
+    Attributes
+    ----------
+    running:
+        Whether the daemon's loop thread is alive.
+    uptime_seconds:
+        Seconds since the loop started (0.0 before the first run).
+    model_version:
+        Latest registry version (0 = nothing published yet).
+    source_exhausted:
+        Whether the tailed source permanently ended.
+    calibration:
+        :meth:`ResidualCalibration.to_dict` snapshot.
+    quarantine_path:
+        Where quarantined rows are preserved.
+    watch_metrics:
+        :meth:`WatchMetrics.to_dict` snapshot.
+    pipeline_metrics:
+        :meth:`PipelineMetrics.to_dict` snapshot of the embedded
+        pipeline.
+    """
+
+    running: bool = False
+    uptime_seconds: float = 0.0
+    model_version: int = 0
+    source_exhausted: bool = False
+    calibration: Dict[str, Any] = field(default_factory=dict)
+    quarantine_path: str = ""
+    watch_metrics: Dict[str, Any] = field(default_factory=dict)
+    pipeline_metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot (JSON-serializable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WatchStatus":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown WatchStatus fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """JSON rendering (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically write the snapshot to ``path``.
+
+        Temp-write-then-rename so a concurrent ``watch status`` never
+        reads a half-written file.
+        """
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temp = target.with_name(target.name + ".tmp")
+        temp.write_text(self.to_json() + "\n", encoding="utf-8")
+        temp.replace(target)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WatchStatus":
+        """Read a snapshot written by :meth:`save`."""
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def _render_text(status: WatchStatus) -> str:
+    wm = status.watch_metrics
+    calibration = status.calibration
+    state = "running" if status.running else "stopped"
+    if status.source_exhausted:
+        state += " (source exhausted)"
+    ready = "ready" if calibration.get("ready") else "warming up"
+    lines = [
+        f"state         {state}, up {status.uptime_seconds:.1f} s",
+        f"model         version {status.model_version}",
+        f"calibration   {ready}: {calibration.get('n_observed', 0):,} row(s), "
+        f"mean {calibration.get('mean', 0.0):.4f}, "
+        f"std {calibration.get('std', 0.0):.4f}",
+        f"seen          {wm.get('rows_seen', 0):,} row(s), "
+        f"{wm.get('rows_unscored', 0):,} unscored",
+        f"routed        {wm.get('rows_passed', 0):,} passed, "
+        f"{wm.get('rows_cleaned', 0):,} cleaned, "
+        f"{wm.get('rows_quarantined', 0):,} quarantined",
+        f"quarantine    {wm.get('quarantine_rows', 0):,} row(s), "
+        f"{wm.get('quarantine_bytes', 0):,} byte(s) at "
+        f"{status.quarantine_path or '<none>'}",
+        f"events        {wm.get('n_events', 0)} published, "
+        f"{wm.get('n_sink_failures', 0)} sink failure(s)",
+    ]
+    kinds = wm.get("events_by_kind") or {}
+    if kinds:
+        rendered = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(kinds.items())
+        )
+        lines.append(f"by kind       {rendered}")
+    return "\n".join(lines)
+
+
+def format_status(status: WatchStatus, fmt: str = "text") -> str:
+    """Render a status snapshot as ``text`` or ``json``."""
+    if fmt == "text":
+        return _render_text(status)
+    if fmt == "json":
+        return status.to_json()
+    raise ValueError(
+        f"unknown format {fmt!r}; expected one of {', '.join(STATUS_FORMATS)}"
+    )

@@ -30,6 +30,7 @@ from repro.obs.metrics import (
     ServeHttpMetrics,
     ServeMetrics,
     StoreMetrics,
+    WatchMetrics,
 )
 
 pytestmark = pytest.mark.obs
@@ -99,6 +100,7 @@ def pipeline_records():
         n_source_rotations=_counts,
         n_source_truncations=_counts,
         n_rows_skipped=_counts,
+        n_rows_diverted=_counts,
         n_drift_evaluations=_counts,
         n_refreshes=_counts,
         refresh_reasons=st.dictionaries(_words, _counts, max_size=4),
@@ -187,12 +189,44 @@ def store_records():
     )
 
 
+def watch_records():
+    return st.builds(
+        WatchMetrics,
+        rows_seen=_counts,
+        rows_scored=_counts,
+        rows_unscored=_counts,
+        rows_passed=_counts,
+        rows_cleaned=_counts,
+        rows_quarantined=_counts,
+        n_batches_tapped=_counts,
+        n_bursts=_counts,
+        n_calibration_resets=_counts,
+        n_events=_counts,
+        n_sink_failures=_counts,
+        events_by_kind=st.dictionaries(_words, _counts, max_size=4),
+        last_event_kind=_words,
+        last_z_score=_gauge_floats,
+        last_residual=_gauge_floats,
+        calibration_rows=_counts,
+        calibration_mean=_gauge_floats,
+        calibration_std=_gauge_floats,
+        model_version=_counts,
+        quarantine_rows=_counts,
+        quarantine_bytes=_counts,
+        score_seconds=_seconds,
+        clean_seconds=_seconds,
+        quarantine_seconds=_seconds,
+        extras=_extras,
+    )
+
+
 _RECORD_STRATEGIES = {
     ScanMetrics: scan_records,
     PipelineMetrics: pipeline_records,
     ServeMetrics: serve_records,
     ServeHttpMetrics: serve_http_records,
     StoreMetrics: store_records,
+    WatchMetrics: watch_records,
 }
 
 #: Exhaustive merge classification.  Every dataclass field must appear
@@ -209,7 +243,8 @@ _SUMMED = {
     PipelineMetrics: (
         "rows_ingested", "n_batches", "n_empty_polls", "n_blocks_folded",
         "n_source_rotations", "n_source_truncations", "n_rows_skipped",
-        "n_drift_evaluations", "n_refreshes", "rows_since_refresh",
+        "n_rows_diverted", "n_drift_evaluations", "n_refreshes",
+        "rows_since_refresh",
         "ingest_seconds", "drift_seconds", "refresh_seconds",
     ),
     ServeMetrics: (
@@ -230,6 +265,13 @@ _SUMMED = {
         "gc_reclaimed_bytes", "n_sync_checks", "n_sync_swaps",
         "n_lock_breaks", "publish_seconds", "load_seconds",
     ),
+    WatchMetrics: (
+        "rows_seen", "rows_scored", "rows_unscored", "rows_passed",
+        "rows_cleaned", "rows_quarantined", "n_batches_tapped",
+        "n_bursts", "n_calibration_resets", "n_events",
+        "n_sink_failures", "score_seconds", "clean_seconds",
+        "quarantine_seconds",
+    ),
 }
 _RECEIVER_KEPT = {
     ScanMetrics: ("executor", "n_workers", "accumulate_dtype"),
@@ -241,6 +283,11 @@ _RECEIVER_KEPT = {
     ServeMetrics: (),
     ServeHttpMetrics: ("queue_depth",),
     StoreMetrics: (),
+    WatchMetrics: (
+        "last_event_kind", "last_z_score", "last_residual",
+        "calibration_rows", "calibration_mean", "calibration_std",
+        "model_version", "quarantine_rows", "quarantine_bytes",
+    ),
 }
 _CONCATENATED = {
     ScanMetrics: ("quarantined",),
@@ -248,6 +295,7 @@ _CONCATENATED = {
     ServeMetrics: ("group_sizes", "batch_latencies"),
     ServeHttpMetrics: ("flush_sizes", "coalesce_waits"),
     StoreMetrics: (),
+    WatchMetrics: (),
 }
 _KEY_SUMMED = {
     ScanMetrics: ("extras",),
@@ -255,6 +303,7 @@ _KEY_SUMMED = {
     ServeMetrics: ("extras",),
     ServeHttpMetrics: ("extras",),
     StoreMetrics: ("extras",),
+    WatchMetrics: ("events_by_kind", "extras"),
 }
 #: High-water-mark gauges: merge takes the max (associative, and the
 #: default 0 is its identity on the non-negative draws above).
@@ -264,6 +313,7 @@ _MAXED = {
     ServeMetrics: (),
     ServeHttpMetrics: ("queue_depth_peak",),
     StoreMetrics: (),
+    WatchMetrics: (),
 }
 
 _RECORD_TYPES = [
@@ -272,6 +322,7 @@ _RECORD_TYPES = [
     ServeMetrics,
     ServeHttpMetrics,
     StoreMetrics,
+    WatchMetrics,
 ]
 _record_params = pytest.mark.parametrize(
     "record_type", _RECORD_TYPES, ids=lambda t: t.__name__

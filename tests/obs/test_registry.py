@@ -19,6 +19,7 @@ from repro.obs.metrics import (
     ServeHttpMetrics,
     ServeMetrics,
     StoreMetrics,
+    WatchMetrics,
 )
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -32,6 +33,7 @@ from repro.obs.registry import (
     register_serve_http_metrics,
     register_serve_metrics,
     register_store_metrics,
+    register_watch_metrics,
 )
 
 pytestmark = pytest.mark.obs
@@ -211,6 +213,8 @@ class TestAdapterValidation:
             (register_serve_http_metrics, ServeMetrics()),
             (register_store_metrics, None),
             (register_store_metrics, ServeMetrics()),
+            (register_watch_metrics, None),
+            (register_watch_metrics, ServeMetrics()),
         ],
     )
     def test_wrong_record_rejected_eagerly(self, register, wrong):
@@ -444,5 +448,65 @@ class TestStoreAdapter:
 
     def test_returned_collector_can_be_unregistered(self, registry):
         collector = register_store_metrics(registry, StoreMetrics())
+        registry.unregister_collector(collector)
+        assert registry.collect() == []
+
+
+class TestWatchAdapter:
+    def _populated(self) -> WatchMetrics:
+        return WatchMetrics(
+            rows_seen=100,
+            rows_scored=80,
+            rows_unscored=20,
+            rows_passed=70,
+            rows_cleaned=6,
+            rows_quarantined=4,
+            n_batches_tapped=5,
+            n_bursts=1,
+            n_calibration_resets=1,
+            n_events=7,
+            n_sink_failures=1,
+            events_by_kind={"row-quarantined": 4},
+            last_event_kind="row-quarantined",
+            last_z_score=9.5,
+            last_residual=123.4,
+            calibration_rows=76,
+            calibration_mean=0.5,
+            calibration_std=0.1,
+            model_version=3,
+            quarantine_rows=4,
+            quarantine_bytes=1024,
+            score_seconds=0.5,
+            clean_seconds=0.1,
+            quarantine_seconds=0.05,
+            extras={"note": "hi"},
+        )
+
+    def test_every_field_exported(self, registry):
+        metrics = self._populated()
+        register_watch_metrics(registry, metrics)
+        _assert_every_field_exported(
+            metrics, registry.collect(), "repro_watch"
+        )
+
+    def test_derived_gauges(self, registry):
+        register_watch_metrics(registry, self._populated())
+        index = _family_index(registry.collect())
+        assert index["repro_watch_quarantine_fraction"].samples[0].value == (
+            pytest.approx(4 / 80)
+        )
+        assert index["repro_watch_rows_per_second"].samples[0].value == (
+            pytest.approx(80 / 0.5)
+        )
+
+    def test_live_record_reflects_updates(self, registry):
+        watch_metrics = WatchMetrics()
+        register_watch_metrics(registry, watch_metrics)
+        watch_metrics.rows_quarantined = 9
+        index = _family_index(registry.collect())
+        assert index["repro_watch_rows_quarantined"].samples[0].value == 9.0
+
+    def test_returned_collector_can_be_unregistered(self, registry):
+        collector = register_watch_metrics(registry, WatchMetrics())
         registry.unregister_collector(collector)
         assert registry.collect() == []

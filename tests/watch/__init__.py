@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.watch` -- the anomaly/cleaning daemon."""

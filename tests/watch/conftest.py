@@ -1,0 +1,54 @@
+"""Shared fixtures for the watch-daemon suite.
+
+The regime-matrix factory lives in :mod:`tests.conftest`; it is
+re-exported here so watch tests keep the same import path the pipeline
+suite uses.  ``seeded_daemon_parts`` bundles the boilerplate most
+daemon tests share: a model fitted on clean regime data, a registry
+already serving it, and a residual calibration warmed on the training
+matrix so scoring starts at the first polled row.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import pytest
+
+from repro.core.model import RatioRuleModel
+from repro.core.outliers import ResidualCalibration, calibrate_residuals
+from repro.io.schema import TableSchema
+from repro.serve.registry import ModelRegistry
+from tests.conftest import make_regime_matrix
+
+__all__ = ["make_regime_matrix"]
+
+#: Column names shared by fixtures and the CSV files tests write.
+COLUMNS = ["bread", "milk", "butter"]
+
+
+class SeededParts(NamedTuple):
+    """A fitted model, a registry serving it, a warm calibration."""
+
+    model: RatioRuleModel
+    registry: ModelRegistry
+    calibration: ResidualCalibration
+
+
+def make_seeded_parts(
+    seed: int = 0, n_rows: int = 400, cutoff: int = 1
+) -> SeededParts:
+    """Build the standard scoring setup over clean regime data."""
+    train = make_regime_matrix(seed, n_rows=n_rows)
+    model = RatioRuleModel(cutoff=cutoff).fit(
+        train, TableSchema.from_names(COLUMNS)
+    )
+    registry = ModelRegistry()
+    registry.publish(model)
+    calibration = calibrate_residuals(model, train)
+    return SeededParts(model, registry, calibration)
+
+
+@pytest.fixture
+def seeded_parts() -> SeededParts:
+    """Model + registry + warm calibration on seed-0 regime data."""
+    return make_seeded_parts()

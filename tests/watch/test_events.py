@@ -1,0 +1,58 @@
+"""The event taxonomy and its wire format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.watch import EVENT_KINDS, WatchEvent
+
+pytestmark = pytest.mark.watch
+
+
+class TestWatchEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            WatchEvent(kind="row-eaten", unix_time=0.0)
+
+    @pytest.mark.parametrize("kind", EVENT_KINDS)
+    def test_every_kind_constructs(self, kind):
+        event = WatchEvent(kind=kind, unix_time=1.5, payload={"a": 1})
+        assert event.kind == kind
+
+    def test_now_uses_injected_clock(self):
+        event = WatchEvent.now("watch-started", clock=lambda: 123.25)
+        assert event.unix_time == 123.25
+        assert event.payload == {}
+
+    def test_now_copies_payload(self):
+        payload = {"rows": 3}
+        event = WatchEvent.now("outlier-burst", payload, clock=lambda: 0.0)
+        payload["rows"] = 99
+        assert event.payload == {"rows": 3}
+
+    def test_dict_round_trip(self):
+        event = WatchEvent.now(
+            "row-quarantined",
+            {"seq": 7, "z_score": 12.5},
+            clock=lambda: 42.0,
+        )
+        assert WatchEvent.from_dict(event.to_dict()) == event
+
+    def test_json_is_one_stable_line(self):
+        event = WatchEvent(
+            kind="refresh-published", unix_time=1.0, payload={"b": 2, "a": 1}
+        )
+        text = event.to_json()
+        assert "\n" not in text
+        assert json.loads(text) == event.to_dict()
+        assert text.index('"a"') < text.index('"b"')  # sorted keys
+
+    def test_render_is_human_readable(self):
+        event = WatchEvent(
+            kind="row-quarantined", unix_time=0.0, payload={"seq": 3}
+        )
+        assert event.render() == "[watch] row-quarantined seq=3"
+        bare = WatchEvent(kind="watch-stopped", unix_time=0.0)
+        assert bare.render() == "[watch] watch-stopped"

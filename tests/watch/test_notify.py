@@ -1,0 +1,127 @@
+"""Sinks and the fan-out manager: delivery, isolation, accounting."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.metrics import WatchMetrics
+from repro.watch import (
+    CallableSink,
+    JsonlSink,
+    NotificationManager,
+    StdoutSink,
+    WatchEvent,
+)
+
+
+pytestmark = pytest.mark.watch
+
+
+def event(kind: str = "watch-started", **payload) -> WatchEvent:
+    return WatchEvent.now(kind, payload, clock=lambda: 7.0)
+
+
+class TestSinks:
+    def test_stdout_sink_writes_rendered_line(self):
+        stream = io.StringIO()
+        StdoutSink(stream).emit(event("row-quarantined", seq=1))
+        assert stream.getvalue() == "[watch] row-quarantined seq=1\n"
+
+    def test_jsonl_sink_appends_and_reads_back(self, tmp_path):
+        path = tmp_path / "events" / "log.jsonl"
+        sink = JsonlSink(path)  # parent dir created
+        first, second = event("watch-started"), event("watch-stopped")
+        sink.emit(first)
+        sink.emit(second)
+        sink.close()
+        assert JsonlSink.read_events(path) == [first, second]
+        # Reopening appends; existing events are preserved.
+        reopened = JsonlSink(path)
+        reopened.emit(event("outlier-burst", n_flagged=9))
+        reopened.close()
+        kinds = [e.kind for e in JsonlSink.read_events(path)]
+        assert kinds == ["watch-started", "watch-stopped", "outlier-burst"]
+
+    def test_jsonl_sink_raises_after_close(self, tmp_path):
+        sink = JsonlSink(tmp_path / "log.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(event())
+
+    def test_jsonl_sink_flushes_per_event(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(event("row-quarantined", seq=0))
+        # Visible to a concurrent reader before close().
+        assert len(JsonlSink.read_events(path)) == 1
+        sink.close()
+
+    def test_callable_sink_forwards(self):
+        seen = []
+        CallableSink(seen.append).emit(event())
+        assert [e.kind for e in seen] == ["watch-started"]
+
+
+class TestNotificationManager:
+    def test_fans_out_to_every_sink(self):
+        first, second = [], []
+        manager = NotificationManager(
+            [CallableSink(first.append), CallableSink(second.append)]
+        )
+        manager.publish(event())
+        assert len(first) == len(second) == 1
+        assert manager.n_published == 1
+
+    def test_add_sink_after_construction(self):
+        seen = []
+        manager = NotificationManager()
+        manager.add_sink(CallableSink(seen.append))
+        manager.publish(event())
+        assert len(seen) == 1
+
+    def test_failing_sink_is_contained_and_counted(self, caplog):
+        delivered = []
+
+        def explode(_event):
+            raise RuntimeError("channel down")
+
+        metrics = WatchMetrics()
+        manager = NotificationManager(
+            [CallableSink(explode), CallableSink(delivered.append)],
+            metrics=metrics,
+        )
+        with caplog.at_level("ERROR"):
+            manager.publish(event("row-quarantined", seq=0))
+        # The broken sink never stalls delivery to the healthy one.
+        assert len(delivered) == 1
+        assert manager.n_sink_failures == 1
+        assert metrics.n_sink_failures == 1
+        assert any("continuing" in r.message for r in caplog.records)
+
+    def test_metrics_record_every_publish(self):
+        metrics = WatchMetrics()
+        manager = NotificationManager(metrics=metrics)
+        manager.publish(event("watch-started"))
+        manager.publish(event("row-quarantined", seq=0))
+        manager.publish(event("row-quarantined", seq=1))
+        assert metrics.n_events == 3
+        assert metrics.events_by_kind == {
+            "watch-started": 1,
+            "row-quarantined": 2,
+        }
+        assert metrics.last_event_kind == "row-quarantined"
+
+    def test_close_contains_sink_close_failures(self, tmp_path):
+        class BadClose:
+            def emit(self, _event):
+                pass
+
+            def close(self):
+                raise RuntimeError("already gone")
+
+        manager = NotificationManager(
+            [BadClose(), JsonlSink(tmp_path / "log.jsonl")]
+        )
+        manager.close()  # must not raise

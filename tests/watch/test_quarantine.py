@@ -1,0 +1,130 @@
+"""Append-only quarantine: sequencing, durability, bit-exactness."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.watch import RowQuarantine
+
+pytestmark = pytest.mark.watch
+
+
+def _quarantine(tmp_path, name="q.jsonl"):
+    return RowQuarantine(tmp_path / name, clock=lambda: 99.0)
+
+
+class TestAppend:
+    def test_records_carry_provenance(self, tmp_path):
+        quarantine = _quarantine(tmp_path)
+        record = quarantine.append(
+            np.array([1.5, -2.25]),
+            residual=3.5,
+            z_score=12.0,
+            reason="z=12.00 > quarantine_sigmas=8",
+            model_version=4,
+        )
+        assert record["seq"] == 0
+        assert record["unix_time"] == 99.0
+        assert record["model_version"] == 4
+        assert record["residual"] == 3.5
+        assert record["z_score"] == 12.0
+        assert record["values"] == [1.5, -2.25]
+        assert quarantine.n_quarantined == 1
+        assert quarantine.total_bytes > 0
+
+    def test_sequence_increments_and_read_all_orders(self, tmp_path):
+        quarantine = _quarantine(tmp_path)
+        for i in range(5):
+            quarantine.append(
+                np.array([float(i)]),
+                residual=0.0,
+                z_score=0.0,
+                reason="r",
+                model_version=1,
+            )
+        records = quarantine.read_all()
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+        assert [r["values"][0] for r in records] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_reopen_continues_the_sequence(self, tmp_path):
+        first = _quarantine(tmp_path)
+        first.append(
+            np.array([1.0]), residual=0.0, z_score=0.0, reason="r",
+            model_version=1,
+        )
+        reopened = _quarantine(tmp_path)
+        assert reopened.n_quarantined == 1
+        record = reopened.append(
+            np.array([2.0]), residual=0.0, z_score=0.0, reason="r",
+            model_version=1,
+        )
+        assert record["seq"] == 1
+        assert len(reopened.read_all()) == 2
+
+    def test_file_is_plain_jsonl(self, tmp_path):
+        quarantine = _quarantine(tmp_path)
+        quarantine.append(
+            np.array([1.0]), residual=0.0, z_score=0.0, reason="r",
+            model_version=1,
+        )
+        lines = (tmp_path / "q.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["seq"] == 0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        quarantine = _quarantine(tmp_path, name="never-written.jsonl")
+        assert quarantine.read_all() == []
+        assert quarantine.n_quarantined == 0
+        assert quarantine.total_bytes == 0
+
+
+class TestBitExactness:
+    @given(
+        st.lists(
+            st.floats(
+                allow_nan=False,
+                allow_infinity=False,
+                width=64,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_hex_round_trip_is_bit_exact(self, values):
+        """Property: any finite float64 row survives JSON bit-for-bit."""
+        row = np.array(values, dtype=np.float64)
+        record = json.loads(
+            json.dumps(
+                {"values_hex": [float(v).hex() for v in row]}, sort_keys=True
+            )
+        )
+        decoded = RowQuarantine.decode_values(record)
+        assert decoded.dtype == np.float64
+        for original, recovered in zip(row, decoded):
+            # Bit-pattern equality, not just numeric closeness: -0.0
+            # and subnormals must survive too.
+            assert math.copysign(1.0, original) == math.copysign(
+                1.0, recovered
+            )
+            assert np.float64(original).tobytes() == np.float64(
+                recovered
+            ).tobytes()
+
+    def test_adversarial_values_through_the_file(self, tmp_path):
+        row = np.array(
+            [-0.0, 5e-324, 1.7976931348623157e308, 1 / 3, -1e-200],
+            dtype=np.float64,
+        )
+        quarantine = _quarantine(tmp_path)
+        quarantine.append(
+            row, residual=0.0, z_score=0.0, reason="r", model_version=1
+        )
+        record = RowQuarantine(tmp_path / "q.jsonl").read_all()[0]
+        decoded = RowQuarantine.decode_values(record)
+        assert decoded.tobytes() == row.tobytes()

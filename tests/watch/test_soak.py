@@ -1,0 +1,129 @@
+"""Nightly soak: a live producer, a following daemon, zero stalls.
+
+A writer thread appends batches (with occasional injected outliers) to
+a CSV for ``WATCH_SOAK_SECONDS`` while a background daemon follows it.
+The soak passes when the daemon kept up (every produced row was seen
+and routed), every injected outlier was quarantined, and no sink ever
+failed.  Marked ``slow``: tier-1 skips it, nightly runs it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import WatchMetrics
+from repro.pipeline import CSVTailSource, RefreshPolicy
+from repro.watch import (
+    JsonlSink,
+    NotificationManager,
+    RoutingPolicy,
+    RowQuarantine,
+    WatchDaemon,
+)
+from tests.watch.conftest import COLUMNS, make_seeded_parts
+
+pytestmark = [pytest.mark.watch, pytest.mark.slow]
+
+SOAK_SECONDS = float(os.environ.get("WATCH_SOAK_SECONDS", "30"))
+OUTLIER_ROW = [5.0, 500.0, -300.0]
+
+
+class Producer(threading.Thread):
+    """Appends a clean batch (sometimes plus one outlier) every tick."""
+
+    def __init__(self, path, stop_event):
+        super().__init__(name="soak-producer", daemon=True)
+        self.path = path
+        self.stop_event = stop_event
+        self.rows_written = 0
+        self.outliers_written = 0
+        self._rng = np.random.default_rng(42)
+
+    def run(self) -> None:
+        batch_index = 0
+        while not self.stop_event.is_set():
+            volume = self._rng.uniform(0.5, 4.0, size=20)
+            batch = np.outer(volume, [1.0, 2.0, 0.5])
+            batch += self._rng.normal(0.0, 0.05, batch.shape)
+            lines = [
+                ",".join(repr(float(v)) for v in row) + "\n" for row in batch
+            ]
+            self.rows_written += batch.shape[0]
+            if batch_index % 10 == 5:
+                lines.append(
+                    ",".join(repr(float(v)) for v in OUTLIER_ROW) + "\n"
+                )
+                self.rows_written += 1
+                self.outliers_written += 1
+            with open(self.path, "a") as handle:
+                handle.writelines(lines)
+                handle.flush()
+            batch_index += 1
+            self.stop_event.wait(0.02)
+
+
+def test_thirty_second_soak(tmp_path):
+    parts = make_seeded_parts(seed=0, n_rows=600)
+    csv_path = tmp_path / "soak.csv"
+    csv_path.write_text(",".join(COLUMNS) + "\n")
+    source = CSVTailSource(csv_path, follow=True)
+    metrics = WatchMetrics()
+    events_path = tmp_path / "events.jsonl"
+    daemon = WatchDaemon(
+        source,
+        quarantine=RowQuarantine(tmp_path / "quarantine.jsonl"),
+        notifier=NotificationManager(
+            [JsonlSink(events_path)], metrics=metrics
+        ),
+        metrics=metrics,
+        registry=parts.registry,
+        calibration=parts.calibration,
+        policy=RoutingPolicy(clean_sigmas=8.0, quarantine_sigmas=8.0),
+        cutoff=1,
+        refresh_policy=RefreshPolicy(min_rows=10**9),
+        batch_rows=256,
+    )
+
+    stop_writer = threading.Event()
+    producer = Producer(csv_path, stop_writer)
+    producer.start()
+    daemon.start(idle_sleep=0.01)
+    time.sleep(SOAK_SECONDS)
+    stop_writer.set()
+    producer.join(timeout=10.0)
+    assert not producer.is_alive()
+    # Drain: let the daemon catch up with the final appends.
+    deadline = time.monotonic() + 30.0
+    while (
+        daemon.metrics.rows_seen < producer.rows_written
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.05)
+    daemon.stop()
+
+    # No stalls: every produced row was seen and every row was routed.
+    assert daemon.metrics.rows_seen == producer.rows_written
+    assert daemon.metrics.rows_seen > 0
+    routed = (
+        daemon.metrics.rows_passed
+        + daemon.metrics.rows_cleaned
+        + daemon.metrics.rows_quarantined
+        + daemon.metrics.rows_unscored
+    )
+    assert routed == daemon.metrics.rows_seen
+    # Every injected outlier was caught, and nothing else.
+    assert daemon.metrics.rows_quarantined == producer.outliers_written
+    assert daemon.quarantine.n_quarantined == producer.outliers_written
+    # The notification channel stayed healthy throughout.
+    assert daemon.metrics.n_sink_failures == 0
+    events = JsonlSink.read_events(events_path)
+    quarantine_events = [e for e in events if e.kind == "row-quarantined"]
+    assert len(quarantine_events) == producer.outliers_written
+    # Sustained throughput is worth a floor: the daemon must not be
+    # orders of magnitude behind a 20-rows-per-20ms producer.
+    assert daemon.metrics.rows_per_second > 100.0

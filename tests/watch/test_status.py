@@ -1,0 +1,99 @@
+"""Status snapshots: persistence, atomicity, and rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.watch import STATUS_FORMATS, WatchStatus, format_status
+
+pytestmark = pytest.mark.watch
+
+
+def sample_status() -> WatchStatus:
+    return WatchStatus(
+        running=True,
+        uptime_seconds=12.5,
+        model_version=3,
+        source_exhausted=False,
+        calibration={
+            "n_observed": 400,
+            "mean": 0.05,
+            "std": 0.02,
+            "min_rows": 64,
+            "ready": True,
+        },
+        quarantine_path="/tmp/q.jsonl",
+        watch_metrics={
+            "rows_seen": 500,
+            "rows_passed": 490,
+            "rows_cleaned": 4,
+            "rows_quarantined": 6,
+            "rows_unscored": 0,
+            "quarantine_rows": 6,
+            "quarantine_bytes": 1234,
+            "n_events": 9,
+            "n_sink_failures": 0,
+            "events_by_kind": {"row-quarantined": 6, "watch-started": 1},
+        },
+        pipeline_metrics={"n_batches": 5},
+    )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        status = sample_status()
+        path = tmp_path / "nested" / "status.json"
+        status.save(path)  # parent dir created
+        assert WatchStatus.load(path) == status
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "status.json"
+        status = sample_status()
+        status.save(path)
+        status.save(path)  # overwrite goes through the same rename
+        assert not path.with_name("status.json.tmp").exists()
+        assert WatchStatus.load(path) == status
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown WatchStatus fields"):
+            WatchStatus.from_dict({"running": True, "surprise": 1})
+
+    def test_to_json_parses(self):
+        payload = json.loads(sample_status().to_json())
+        assert payload["model_version"] == 3
+
+
+class TestFormatting:
+    def test_text_summarizes_the_daemon(self):
+        text = format_status(sample_status(), "text")
+        assert "running" in text
+        assert "version 3" in text
+        assert "490 passed" in text
+        assert "6 quarantined" in text
+        assert "row-quarantined x6" in text
+
+    def test_stopped_and_exhausted_states_render(self):
+        status = sample_status()
+        status.running = False
+        status.source_exhausted = True
+        text = format_status(status, "text")
+        assert "stopped (source exhausted)" in text
+
+    def test_warming_up_renders(self):
+        status = sample_status()
+        status.calibration = {"n_observed": 3, "ready": False}
+        assert "warming up" in format_status(status, "text")
+
+    def test_json_format_is_the_snapshot(self):
+        status = sample_status()
+        assert json.loads(format_status(status, "json")) == status.to_dict()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            format_status(sample_status(), "yaml")
+
+    def test_formats_constant_is_exhaustive(self):
+        for fmt in STATUS_FORMATS:
+            assert format_status(sample_status(), fmt)
